@@ -1,0 +1,240 @@
+use crate::state::{State, StateNorm};
+use fedpower_sim::rng::derive_seed;
+use fedpower_sim::{ClusterProcessor, FreqLevel, PerfCounters, ProcessorConfig, VfTable};
+use fedpower_workloads::{AppId, AppRun, SequenceMode, Sequencer};
+
+/// Configuration of a multi-core cluster environment.
+#[derive(Debug, Clone)]
+pub struct ClusterEnvConfig {
+    /// Application pool launched onto free cores.
+    pub apps: Vec<AppId>,
+    /// Cores in the shared-clock cluster (the Nano has 4).
+    pub num_cores: usize,
+    /// Cores kept busy with applications (the rest idle).
+    pub active_cores: usize,
+    /// Processor model (shared by all cores).
+    pub processor: ProcessorConfig,
+    /// DVFS control interval in seconds.
+    pub control_interval_s: f64,
+    /// Application launch ordering.
+    pub mode: SequenceMode,
+    /// State-feature normalization (must match the controller's).
+    pub norm: StateNorm,
+}
+
+impl ClusterEnvConfig {
+    /// A 4-core Nano-class cluster keeping `active_cores` cores busy with
+    /// `apps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or `active_cores` is zero or exceeds the
+    /// core count.
+    pub fn new(apps: &[AppId], active_cores: usize) -> Self {
+        assert!(!apps.is_empty(), "a cluster needs at least one application");
+        let num_cores = 4;
+        assert!(
+            active_cores > 0 && active_cores <= num_cores,
+            "active cores must be in 1..={num_cores}, got {active_cores}"
+        );
+        ClusterEnvConfig {
+            apps: apps.to_vec(),
+            num_cores,
+            active_cores,
+            processor: ProcessorConfig::jetson_nano(),
+            control_interval_s: 0.5,
+            mode: SequenceMode::UniformRandom,
+            norm: StateNorm::jetson_nano(),
+        }
+    }
+}
+
+/// One control interval's observation from a [`ClusterEnv`].
+#[derive(Debug, Clone)]
+pub struct ClusterObservation {
+    /// The next agent state (from noisy cluster-aggregate counters).
+    pub state: State,
+    /// Noisy aggregate counters.
+    pub counters: PerfCounters,
+    /// Ground-truth aggregate counters.
+    pub clean: PerfCounters,
+    /// Applications that completed during this interval.
+    pub completed: Vec<AppId>,
+}
+
+/// A simulated multi-core edge device under one cluster-wide DVFS
+/// controller — the general case of the paper's single-active-core setup.
+///
+/// Co-running applications advance independently on their cores but share
+/// the voltage/frequency decision; the controller observes aggregate
+/// counters (total IPS, blended MPKI, cluster power) and must find the
+/// level that serves the *mix*.
+#[derive(Debug, Clone)]
+pub struct ClusterEnv {
+    cluster: ClusterProcessor,
+    sequencer: Sequencer,
+    slots: Vec<Option<AppRun>>,
+    interval_s: f64,
+    norm: StateNorm,
+    completed: u64,
+    steps: u64,
+}
+
+impl ClusterEnv {
+    /// Creates the environment and launches applications onto the active
+    /// cores.
+    pub fn new(config: ClusterEnvConfig, seed: u64) -> Self {
+        assert!(
+            config.control_interval_s > 0.0,
+            "control interval must be positive"
+        );
+        let mut sequencer = Sequencer::new(&config.apps, config.mode, derive_seed(seed, 110));
+        let slots = (0..config.num_cores)
+            .map(|core| {
+                if core < config.active_cores {
+                    Some(sequencer.next_run())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ClusterEnv {
+            cluster: ClusterProcessor::new(config.processor, config.num_cores, derive_seed(seed, 111)),
+            sequencer,
+            slots,
+            interval_s: config.control_interval_s,
+            norm: config.norm,
+            completed: 0,
+            steps: 0,
+        }
+    }
+
+    /// The cluster's shared V/f table.
+    pub fn vf_table(&self) -> &VfTable {
+        self.cluster.vf_table()
+    }
+
+    /// Applications currently running, by core (`None` = idle core).
+    pub fn running_apps(&self) -> Vec<Option<AppId>> {
+        self.slots
+            .iter()
+            .map(|s| s.as_ref().map(AppRun::id))
+            .collect()
+    }
+
+    /// Applications completed since construction.
+    pub fn completed_apps(&self) -> u64 {
+        self.completed
+    }
+
+    /// Control intervals executed since construction.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs one interval at the current level to produce the initial
+    /// observation.
+    pub fn bootstrap(&mut self) -> ClusterObservation {
+        let level = self.cluster.level();
+        self.execute(level)
+    }
+
+    /// Executes `action` cluster-wide for one control interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is outside the V/f table.
+    pub fn execute(&mut self, action: FreqLevel) -> ClusterObservation {
+        self.cluster.set_level(action);
+        let phases: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| s.as_ref().map(AppRun::current_phase))
+            .collect();
+        let out = self.cluster.run(&phases, self.interval_s);
+        self.steps += 1;
+
+        let mut completed = Vec::new();
+        for (slot, core) in self.slots.iter_mut().zip(&out.cores) {
+            if let (Some(run), Some(core)) = (slot.as_mut(), core) {
+                run.advance(core.instructions_retired);
+                if run.is_complete() {
+                    completed.push(run.id());
+                    self.completed += 1;
+                    *slot = Some(self.sequencer.next_run());
+                }
+            }
+        }
+
+        ClusterObservation {
+            state: State::from_counters(&out.counters, &self.norm),
+            counters: out.counters,
+            clean: out.clean,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpower_sim::NoiseConfig;
+
+    fn env(active: usize, seed: u64) -> ClusterEnv {
+        let mut config = ClusterEnvConfig::new(&[AppId::Lu, AppId::Ocean, AppId::Fft], active);
+        config.processor.noise = NoiseConfig::none();
+        ClusterEnv::new(config, seed)
+    }
+
+    #[test]
+    fn launches_apps_on_the_requested_cores() {
+        let e = env(3, 1);
+        let running = e.running_apps();
+        assert_eq!(running.len(), 4);
+        assert_eq!(running.iter().filter(|a| a.is_some()).count(), 3);
+        assert!(running[3].is_none(), "last core idles");
+    }
+
+    #[test]
+    fn more_active_cores_draw_more_power_and_retire_more_work() {
+        let mut one = env(1, 2);
+        let mut four = env(4, 2);
+        let o1 = one.execute(FreqLevel(10));
+        let o4 = four.execute(FreqLevel(10));
+        assert!(o4.clean.power_w > o1.clean.power_w);
+        assert!(o4.clean.ips > 2.0 * o1.clean.ips);
+    }
+
+    #[test]
+    fn completed_apps_are_replaced_immediately() {
+        let mut e = env(4, 3);
+        let mut total_completed = 0;
+        for _ in 0..300 {
+            total_completed += e.execute(FreqLevel(14)).completed.len();
+            assert_eq!(
+                e.running_apps().iter().filter(|a| a.is_some()).count(),
+                4,
+                "active core count must stay constant"
+            );
+        }
+        assert!(total_completed >= 1, "150 s at f_max finishes something");
+        assert_eq!(e.completed_apps() as usize, total_completed);
+    }
+
+    #[test]
+    fn same_seed_same_cluster_trajectory() {
+        let mut a = env(2, 5);
+        let mut b = env(2, 5);
+        for i in 0..20 {
+            let oa = a.execute(FreqLevel(i % 15));
+            let ob = b.execute(FreqLevel(i % 15));
+            assert_eq!(oa.counters, ob.counters);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "active cores")]
+    fn zero_active_cores_panics() {
+        let _ = ClusterEnvConfig::new(&[AppId::Lu], 0);
+    }
+}

@@ -1,0 +1,232 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponentially decaying softmax temperature (§III-A):
+/// `τ(t) = max(τ_min, τ_max · e^(−decay·t))`.
+///
+/// With the paper's parameters (τ_max = 0.9, decay = 5·10⁻⁴, τ_min = 0.01)
+/// the temperature reaches its floor near step 9000 — the end of the
+/// 100-round × 100-step training schedule — so exploration anneals over
+/// exactly the training horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureSchedule {
+    /// Initial temperature τ_max.
+    pub tau_max: f64,
+    /// Floor temperature τ_min.
+    pub tau_min: f64,
+    /// Exponential decay rate per step.
+    pub decay: f64,
+}
+
+impl TemperatureSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < τ_min ≤ τ_max` and `decay ≥ 0`.
+    pub fn new(tau_max: f64, tau_min: f64, decay: f64) -> Self {
+        assert!(
+            tau_min > 0.0 && tau_min <= tau_max,
+            "need 0 < tau_min <= tau_max, got {tau_min} / {tau_max}"
+        );
+        assert!(decay >= 0.0, "decay must be nonnegative, got {decay}");
+        TemperatureSchedule {
+            tau_max,
+            tau_min,
+            decay,
+        }
+    }
+
+    /// The paper's schedule (Table I).
+    pub fn paper() -> Self {
+        TemperatureSchedule::new(0.9, 0.01, 0.0005)
+    }
+
+    /// Temperature at step `t`.
+    pub fn temperature(&self, t: u64) -> f64 {
+        (self.tau_max * (-self.decay * t as f64).exp()).max(self.tau_min)
+    }
+}
+
+impl Default for TemperatureSchedule {
+    fn default() -> Self {
+        TemperatureSchedule::paper()
+    }
+}
+
+/// The Boltzmann (softmax) policy of Eq. (3):
+/// `π(a|s) = exp(μ(s,a)/τ) / Σ_a' exp(μ(s,a')/τ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoftmaxPolicy;
+
+impl SoftmaxPolicy {
+    /// Action probabilities for predicted rewards `mu` at temperature `tau`.
+    ///
+    /// Numerically stable (max-subtracted). At low temperatures the
+    /// distribution approaches a point mass on the argmax; at high
+    /// temperatures it approaches uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is empty or `tau` is not strictly positive.
+    pub fn probabilities(mu: &[f32], tau: f64) -> Vec<f64> {
+        assert!(!mu.is_empty(), "need at least one action");
+        assert!(tau > 0.0, "temperature must be positive, got {tau}");
+        let max = mu.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+        let exps: Vec<f64> = mu
+            .iter()
+            .map(|&m| ((m as f64 - max) / tau).exp())
+            .collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Samples an action index from the softmax distribution.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SoftmaxPolicy::probabilities`].
+    pub fn sample(mu: &[f32], tau: f64, rng: &mut StdRng) -> usize {
+        let probs = Self::probabilities(mu, tau);
+        let u: f64 = rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    /// The greedy action — argmax of predicted reward (used during
+    /// evaluation, where "agents consistently exploit the action with the
+    /// highest predicted reward", §IV-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is empty.
+    pub fn greedy(mu: &[f32]) -> usize {
+        assert!(!mu.is_empty(), "need at least one action");
+        let mut best = 0;
+        for (i, &m) in mu.iter().enumerate() {
+            if m > mu[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Shannon entropy (nats) of the policy at temperature `tau` — used by
+    /// tests and the exploration ablation to characterize annealing.
+    pub fn entropy(mu: &[f32], tau: f64) -> f64 {
+        Self::probabilities(mu, tau)
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_schedule_reaches_floor_at_training_end() {
+        let s = TemperatureSchedule::paper();
+        assert!((s.temperature(0) - 0.9).abs() < 1e-12);
+        assert!(s.temperature(5000) > 0.05, "mid-training still explores");
+        assert_eq!(s.temperature(10_000), 0.01, "floor reached by step 10k");
+        assert_eq!(s.temperature(u64::MAX / 2), 0.01);
+    }
+
+    #[test]
+    fn temperature_is_monotone_decreasing() {
+        let s = TemperatureSchedule::paper();
+        let mut prev = f64::INFINITY;
+        for t in (0..20_000).step_by(500) {
+            let tau = s.temperature(t);
+            assert!(tau <= prev);
+            prev = tau;
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_are_ordered_like_mu() {
+        let mu = [0.1_f32, 0.5, -0.2, 0.4];
+        let p = SoftmaxPolicy::probabilities(&mu, 0.5);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[1] > p[3] && p[3] > p[0] && p[0] > p[2]);
+    }
+
+    #[test]
+    fn high_temperature_is_nearly_uniform() {
+        let mu = [0.0_f32, 0.3, 0.6, 0.9];
+        let p = SoftmaxPolicy::probabilities(&mu, 100.0);
+        for &pi in &p {
+            assert!((pi - 0.25).abs() < 0.01, "p={p:?}");
+        }
+    }
+
+    #[test]
+    fn low_temperature_concentrates_on_argmax() {
+        let mu = [0.0_f32, 0.3, 0.6, 0.9];
+        let p = SoftmaxPolicy::probabilities(&mu, 0.01);
+        assert!(p[3] > 0.999, "p={p:?}");
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mu = [1000.0_f32, -1000.0];
+        let p = SoftmaxPolicy::probabilities(&mu, 0.01);
+        assert!(p[0] > 0.999 && p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn entropy_decreases_with_temperature() {
+        let mu = [0.0_f32, 0.2, 0.4, 0.6, 0.8];
+        let hot = SoftmaxPolicy::entropy(&mu, 10.0);
+        let cold = SoftmaxPolicy::entropy(&mu, 0.05);
+        assert!(hot > cold);
+        assert!(hot < (5.0_f64).ln() + 1e-9, "entropy bounded by ln K");
+    }
+
+    #[test]
+    fn sampling_frequencies_match_probabilities() {
+        let mu = [0.0_f32, 1.0];
+        let tau = 0.5;
+        let p = SoftmaxPolicy::probabilities(&mu, tau);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| SoftmaxPolicy::sample(&mu, tau, &mut rng) == 1)
+            .count();
+        let freq = ones as f64 / n as f64;
+        assert!(
+            (freq - p[1]).abs() < 0.02,
+            "empirical {freq} vs theoretical {}",
+            p[1]
+        );
+    }
+
+    #[test]
+    fn greedy_picks_argmax_first_on_ties() {
+        assert_eq!(SoftmaxPolicy::greedy(&[0.1, 0.9, 0.9]), 1);
+        assert_eq!(SoftmaxPolicy::greedy(&[0.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        let _ = SoftmaxPolicy::probabilities(&[0.0, 1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau_min")]
+    fn invalid_schedule_panics() {
+        let _ = TemperatureSchedule::new(0.5, 0.9, 0.1);
+    }
+}

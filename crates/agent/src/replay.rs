@@ -1,0 +1,211 @@
+use crate::state::{State, STATE_DIM};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One experience sample `(s, a, r)` stored in the replay buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// The observed state.
+    pub state: State,
+    /// The executed V/f level index.
+    pub action: usize,
+    /// The reward received.
+    pub reward: f32,
+}
+
+/// A bounded ring buffer holding the `C` most recent transitions (Lin 1992;
+/// §III-A of the paper, capacity `C = 4000`).
+///
+/// "The buffer is maintained across all rounds and its content never leaves
+/// the device" — the privacy property federated averaging preserves.
+///
+/// # Example
+///
+/// ```
+/// use fedpower_agent::{ReplayBuffer, State, Transition};
+/// let mut buf = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buf.push(Transition {
+///         state: State::from_features([0.1; 5]),
+///         action: i,
+///         reward: 0.5,
+///     });
+/// }
+/// assert_eq!(buf.len(), 2, "oldest transition evicted");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Transition>,
+    /// Insertion cursor once the buffer is full.
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be nonzero");
+        ReplayBuffer {
+            capacity,
+            items: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+        }
+    }
+
+    /// Maximum number of stored transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts a transition, evicting the oldest once at capacity.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `batch_size` transitions uniformly with replacement into
+    /// flat buffers ready for [`fedpower_nn::TrainBatch`].
+    ///
+    /// Returns `None` if the buffer is empty.
+    pub fn sample_batch(
+        &self,
+        batch_size: usize,
+        rng: &mut StdRng,
+    ) -> Option<(Vec<f32>, Vec<usize>, Vec<f32>)> {
+        if self.items.is_empty() || batch_size == 0 {
+            return None;
+        }
+        let mut inputs = Vec::with_capacity(batch_size * STATE_DIM);
+        let mut actions = Vec::with_capacity(batch_size);
+        let mut targets = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let t = &self.items[rng.random_range(0..self.items.len())];
+            inputs.extend_from_slice(t.state.features());
+            actions.push(t.action);
+            targets.push(t.reward);
+        }
+        Some((inputs, actions, targets))
+    }
+
+    /// Iterates over stored transitions in unspecified order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transition> {
+        self.items.iter()
+    }
+
+    /// Approximate in-memory footprint in bytes (the paper reports ~100 kB
+    /// for `C = 4000`).
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity * std::mem::size_of::<Transition>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(action: usize, reward: f32) -> Transition {
+        Transition {
+            state: State::from_features([reward; STATE_DIM]),
+            action,
+            reward,
+        }
+    }
+
+    #[test]
+    fn buffer_fills_then_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..3 {
+            buf.push(t(i, i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        buf.push(t(3, 3.0));
+        assert_eq!(buf.len(), 3, "capacity bound holds");
+        let actions: Vec<usize> = buf.iter().map(|x| x.action).collect();
+        assert!(!actions.contains(&0), "oldest entry evicted");
+        assert!(actions.contains(&3), "newest entry present");
+    }
+
+    #[test]
+    fn eviction_is_fifo_over_many_pushes() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..100 {
+            buf.push(t(i, i as f32));
+        }
+        let mut actions: Vec<usize> = buf.iter().map(|x| x.action).collect();
+        actions.sort_unstable();
+        assert_eq!(actions, vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn sample_batch_has_requested_shape() {
+        let mut buf = ReplayBuffer::new(100);
+        for i in 0..10 {
+            buf.push(t(i % 15, 0.1 * i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let (inputs, actions, targets) = buf.sample_batch(32, &mut rng).unwrap();
+        assert_eq!(inputs.len(), 32 * STATE_DIM);
+        assert_eq!(actions.len(), 32);
+        assert_eq!(targets.len(), 32);
+        assert!(actions.iter().all(|&a| a < 15));
+    }
+
+    #[test]
+    fn sampling_empty_buffer_returns_none() {
+        let buf = ReplayBuffer::new(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample_batch(4, &mut rng).is_none());
+        let mut buf = ReplayBuffer::new(10);
+        buf.push(t(0, 0.0));
+        assert!(buf.sample_batch(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn sampling_covers_the_buffer() {
+        let mut buf = ReplayBuffer::new(50);
+        for i in 0..50 {
+            buf.push(t(i, i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, actions, _) = buf.sample_batch(2000, &mut rng).unwrap();
+        let unique: std::collections::HashSet<usize> = actions.into_iter().collect();
+        assert!(unique.len() > 45, "uniform sampling should hit most slots");
+    }
+
+    #[test]
+    fn paper_capacity_has_paper_scale_footprint() {
+        let buf = ReplayBuffer::new(4000);
+        let kb = buf.memory_bytes() / 1024;
+        // §IV-C reports ~100 kB of replay storage.
+        assert!(
+            (80..160).contains(&kb),
+            "replay footprint {kb} kB far from the paper's ~100 kB"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the paper's reward signal (Eq. (4), Fig. 2).
+///
+/// The reward trades off application performance — approximated by the
+/// normalized operating frequency `f/f_max` — against the power constraint:
+///
+/// ```text
+///        ⎧ f/f_max                                    P ≤ P_crit
+///        ⎪ f/f_max · (P_crit + k − P)/k               P ≤ P_crit + k
+/// r(f,P)=⎨ (P_crit + k − P)/k                         P ≤ P_crit + 2k
+///        ⎪ −1                                         otherwise
+///        ⎩
+/// ```
+///
+/// Instead of a hard cut at `P_crit`, the reward decays over a band of
+/// width `k_offset`, crosses zero at `P_crit + k_offset`, and bottoms out
+/// at −1 at `P_crit + 2·k_offset` — "the behavior of the system is unlikely
+/// to deteriorate at the slightest overshoot" (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// The power constraint `P_crit` in watts (paper: 0.6 W).
+    pub p_crit_w: f64,
+    /// The softening band `k_offset` in watts (paper: 0.05 W).
+    pub k_offset_w: f64,
+}
+
+impl RewardConfig {
+    /// Creates a reward configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive or non-finite.
+    pub fn new(p_crit_w: f64, k_offset_w: f64) -> Self {
+        assert!(
+            p_crit_w > 0.0 && p_crit_w.is_finite(),
+            "P_crit must be positive, got {p_crit_w}"
+        );
+        assert!(
+            k_offset_w > 0.0 && k_offset_w.is_finite(),
+            "k_offset must be positive, got {k_offset_w}"
+        );
+        RewardConfig {
+            p_crit_w,
+            k_offset_w,
+        }
+    }
+
+    /// The paper's configuration: `P_crit = 0.6 W`, `k_offset = 0.05 W`.
+    pub fn paper() -> Self {
+        RewardConfig::new(0.6, 0.05)
+    }
+
+    /// Evaluates Eq. (4) for normalized frequency `f_norm = f_{t+1}/f_max`
+    /// and measured power `power_w = P_{t+1}`.
+    ///
+    /// The result is in `[−1, 1]` for `f_norm ∈ [0, 1]`.
+    pub fn reward(&self, f_norm: f64, power_w: f64) -> f64 {
+        let p = self.p_crit_w;
+        let k = self.k_offset_w;
+        if power_w <= p {
+            f_norm
+        } else if power_w <= p + k {
+            f_norm * (p + k - power_w) / k
+        } else if power_w <= p + 2.0 * k {
+            (p + k - power_w) / k
+        } else {
+            -1.0
+        }
+    }
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn below_constraint_reward_is_normalized_frequency() {
+        let r = RewardConfig::paper();
+        assert!((r.reward(0.8, 0.5) - 0.8).abs() < EPS);
+        assert!((r.reward(1.0, 0.6) - 1.0).abs() < EPS, "boundary included");
+        assert!((r.reward(0.069, 0.1) - 0.069).abs() < EPS);
+    }
+
+    #[test]
+    fn first_band_scales_frequency_reward_to_zero() {
+        let r = RewardConfig::paper();
+        // Midpoint of the first band: factor 0.5.
+        assert!((r.reward(0.8, 0.625) - 0.4).abs() < EPS);
+        // End of the first band: exactly zero.
+        assert!(r.reward(0.8, 0.65).abs() < EPS);
+    }
+
+    #[test]
+    fn second_band_goes_negative_down_to_minus_one() {
+        let r = RewardConfig::paper();
+        // Midpoint of the second band: −0.5 regardless of frequency.
+        assert!((r.reward(0.3, 0.675) + 0.5).abs() < EPS);
+        assert!((r.reward(1.0, 0.675) + 0.5).abs() < EPS);
+        // End of the second band: −1.
+        assert!((r.reward(0.5, 0.7) + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn beyond_both_bands_reward_is_minus_one() {
+        let r = RewardConfig::paper();
+        assert_eq!(r.reward(1.0, 0.71), -1.0);
+        assert_eq!(r.reward(0.0, 5.0), -1.0);
+    }
+
+    #[test]
+    fn reward_is_continuous_at_band_boundaries() {
+        let r = RewardConfig::paper();
+        let f = 0.85;
+        for boundary in [0.6, 0.65, 0.7] {
+            let lo = r.reward(f, boundary - 1e-9);
+            let hi = r.reward(f, boundary + 1e-9);
+            assert!(
+                (lo - hi).abs() < 1e-6,
+                "discontinuity at P={boundary}: {lo} vs {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn reward_is_monotonically_nonincreasing_in_power() {
+        let r = RewardConfig::paper();
+        let f = 0.9;
+        let mut prev = f64::INFINITY;
+        let mut p = 0.3;
+        while p < 0.9 {
+            let rew = r.reward(f, p);
+            assert!(rew <= prev + 1e-12, "reward increased at P={p}");
+            prev = rew;
+            p += 0.001;
+        }
+    }
+
+    #[test]
+    fn higher_frequency_pays_off_only_below_the_zero_crossing() {
+        let r = RewardConfig::paper();
+        // Below P_crit + k_offset, a faster clock gives a larger reward.
+        assert!(r.reward(1.0, 0.62) > r.reward(0.5, 0.62));
+        // Past the zero crossing the penalty is frequency-independent.
+        assert_eq!(r.reward(1.0, 0.68), r.reward(0.5, 0.68));
+    }
+
+    #[test]
+    fn reward_is_bounded() {
+        let r = RewardConfig::paper();
+        for fi in 0..=10 {
+            let f = fi as f64 / 10.0;
+            let mut p = 0.0;
+            while p < 2.0 {
+                let rew = r.reward(f, p);
+                assert!((-1.0..=1.0).contains(&rew), "r({f},{p})={rew}");
+                p += 0.01;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "P_crit must be positive")]
+    fn zero_p_crit_panics() {
+        let _ = RewardConfig::new(0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "k_offset must be positive")]
+    fn zero_k_offset_panics() {
+        let _ = RewardConfig::new(0.6, 0.0);
+    }
+}

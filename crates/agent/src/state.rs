@@ -1,0 +1,145 @@
+use fedpower_sim::PerfCounters;
+use serde::{Deserialize, Serialize};
+
+/// Number of state features: `s = (f, P, ipc, mr, mpki)` (§III-A).
+pub const STATE_DIM: usize = 5;
+
+/// Normalization constants mapping raw counters into the unit-ish range the
+/// network trains on.
+///
+/// Neural networks train poorly on features spanning wildly different
+/// magnitudes (frequency in MHz vs. miss rate in `[0,1]`); the paper's state
+/// is therefore normalized before entering the MLP. Scales are chosen so
+/// typical values land in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateNorm {
+    /// Maximum processor frequency in MHz (normalizes `f`).
+    pub f_max_mhz: f64,
+    /// Power full-scale in watts (normalizes `P`).
+    pub power_scale_w: f64,
+    /// IPC full-scale (normalizes `ipc`).
+    pub ipc_scale: f64,
+    /// MPKI full-scale (normalizes `mpki`).
+    pub mpki_scale: f64,
+}
+
+impl StateNorm {
+    /// Jetson-Nano-scale normalization used by the reproduction.
+    pub fn jetson_nano() -> Self {
+        StateNorm {
+            f_max_mhz: 1479.0,
+            power_scale_w: 1.5,
+            ipc_scale: 2.0,
+            mpki_scale: 30.0,
+        }
+    }
+}
+
+impl Default for StateNorm {
+    fn default() -> Self {
+        StateNorm::jetson_nano()
+    }
+}
+
+/// The agent's observed state: normalized `(f, P, ipc, mr, mpki)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct State {
+    features: [f32; STATE_DIM],
+}
+
+impl State {
+    /// Builds a state from raw performance counters.
+    pub fn from_counters(counters: &PerfCounters, norm: &StateNorm) -> Self {
+        State {
+            features: [
+                (counters.freq_mhz / norm.f_max_mhz) as f32,
+                (counters.power_w / norm.power_scale_w) as f32,
+                (counters.ipc / norm.ipc_scale) as f32,
+                counters.miss_rate as f32,
+                (counters.mpki / norm.mpki_scale) as f32,
+            ],
+        }
+    }
+
+    /// Builds a state directly from normalized features (used by tests and
+    /// the tabular baselines' featurization).
+    pub fn from_features(features: [f32; STATE_DIM]) -> Self {
+        State { features }
+    }
+
+    /// The normalized feature vector in `(f, P, ipc, mr, mpki)` order.
+    pub fn features(&self) -> &[f32; STATE_DIM] {
+        &self.features
+    }
+
+    /// Normalized frequency `f/f_max` (first feature).
+    pub fn f_norm(&self) -> f32 {
+        self.features[0]
+    }
+
+    /// Normalized power (second feature).
+    pub fn power_norm(&self) -> f32 {
+        self.features[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> PerfCounters {
+        PerfCounters {
+            freq_mhz: 1479.0,
+            power_w: 0.75,
+            ipc: 1.0,
+            miss_rate: 0.4,
+            mpki: 15.0,
+            ips: 1.5e9,
+            temp_c: 40.0,
+        }
+    }
+
+    #[test]
+    fn featurization_normalizes_to_unit_scale() {
+        let s = State::from_counters(&counters(), &StateNorm::jetson_nano());
+        let f = s.features();
+        assert!((f[0] - 1.0).abs() < 1e-6, "f/f_max");
+        assert!((f[1] - 0.5).abs() < 1e-6, "P/1.5");
+        assert!((f[2] - 0.5).abs() < 1e-6, "ipc/2");
+        assert!((f[3] - 0.4).abs() < 1e-6, "miss rate passthrough");
+        assert!((f[4] - 0.5).abs() < 1e-6, "mpki/30");
+    }
+
+    #[test]
+    fn typical_counters_stay_in_unit_box() {
+        let norm = StateNorm::jetson_nano();
+        for (f, p, ipc, mr, mpki) in [
+            (102.0, 0.15, 0.3, 0.05, 1.0),
+            (825.6, 0.55, 1.4, 0.1, 3.0),
+            (1479.0, 1.2, 0.25, 0.45, 28.0),
+        ] {
+            let c = PerfCounters {
+                freq_mhz: f,
+                power_w: p,
+                ipc,
+                miss_rate: mr,
+                mpki,
+                ..PerfCounters::default()
+            };
+            let s = State::from_counters(&c, &norm);
+            for (i, v) in s.features().iter().enumerate() {
+                assert!(
+                    (0.0..=1.0).contains(v),
+                    "feature {i} = {v} escaped the unit box for {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_return_named_features() {
+        let s = State::from_features([0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(s.f_norm(), 0.1);
+        assert_eq!(s.power_norm(), 0.2);
+    }
+}

@@ -1,0 +1,346 @@
+//! A temporal-difference (Q-learning) variant of the power controller.
+//!
+//! The paper argues that power-constrained DVFS is a *contextual bandit*:
+//! "the effect of frequency selection is immediately observable in the
+//! power consumption in the next timestep" (footnote 2), so the reward
+//! model needs no bootstrapping. This module implements the alternative —
+//! a DQN-style agent with discount factor γ and a periodically synced
+//! target network — so that modelling choice can be measured instead of
+//! assumed (see the `ablation_bandit_vs_td` bench).
+
+use crate::controller::ControllerConfig;
+use crate::policy::SoftmaxPolicy;
+use crate::state::{State, STATE_DIM};
+use fedpower_nn::{Activation, Adam, Huber, Mlp, NnError, Optimizer, TrainBatch};
+use fedpower_sim::rng::{derive_rng, derive_seed, streams};
+use fedpower_sim::{FreqLevel, PerfCounters};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`TdController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TdConfig {
+    /// All bandit hyperparameters (network, replay, exploration, reward).
+    pub base: ControllerConfig,
+    /// Discount factor γ. `0.0` reduces exactly to the paper's bandit.
+    pub gamma: f64,
+    /// Sync the target network every this many gradient updates.
+    pub target_sync_updates: u64,
+}
+
+impl TdConfig {
+    /// The paper's configuration with a conventional discount.
+    pub fn paper_with_gamma(gamma: f64) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        TdConfig {
+            base: ControllerConfig::paper(),
+            gamma,
+            target_sync_updates: 25,
+        }
+    }
+}
+
+/// One four-tuple of TD experience.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TdTransition {
+    /// State the action was chosen in.
+    pub state: State,
+    /// Executed V/f level index.
+    pub action: usize,
+    /// Observed reward.
+    pub reward: f32,
+    /// State produced by the action (bootstrapping target).
+    pub next_state: State,
+}
+
+/// A DQN-style DVFS controller: like [`crate::PowerController`] but with
+/// `Q(s, a) ← r + γ·max_a' Q_target(s', a')` regression targets.
+#[derive(Debug, Clone)]
+pub struct TdController {
+    config: TdConfig,
+    net: Mlp,
+    target_net: Mlp,
+    optimizer: Adam,
+    replay: Vec<TdTransition>,
+    replay_head: usize,
+    explore_rng: StdRng,
+    replay_rng: StdRng,
+    steps: u64,
+    updates: u64,
+}
+
+impl TdController {
+    /// Creates a controller with freshly initialized weights; the target
+    /// network starts as a copy of the online network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (see
+    /// [`crate::PowerController::new`]) or `target_sync_updates == 0`.
+    pub fn new(config: TdConfig, seed: u64) -> Self {
+        assert!(config.base.num_actions > 0, "need at least one action");
+        assert!(config.base.batch_size > 0, "batch size must be nonzero");
+        assert!(
+            config.target_sync_updates > 0,
+            "target sync interval must be nonzero"
+        );
+        let net = Mlp::new(
+            &config.base.network_dims(),
+            Activation::Relu,
+            derive_seed(seed, streams::NN_INIT),
+        );
+        let optimizer = Adam::new(config.base.learning_rate, net.num_params());
+        TdController {
+            target_net: net.clone(),
+            replay: Vec::new(),
+            replay_head: 0,
+            explore_rng: derive_rng(seed, streams::EXPLORATION),
+            replay_rng: derive_rng(seed, streams::REPLAY),
+            steps: 0,
+            updates: 0,
+            config,
+            net,
+            optimizer,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &TdConfig {
+        &self.config
+    }
+
+    /// Environment steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Gradient updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Featurizes raw counters with this controller's normalization.
+    pub fn featurize(&self, counters: &PerfCounters) -> State {
+        State::from_counters(counters, &self.config.base.norm)
+    }
+
+    /// Computes the Eq. (4) reward for an observed counter sample.
+    pub fn reward_for(&self, counters: &PerfCounters) -> f64 {
+        self.config.base.reward.reward(
+            counters.freq_mhz / self.config.base.norm.f_max_mhz,
+            counters.power_w,
+        )
+    }
+
+    /// Predicted action values `Q(s, a)` for every action.
+    pub fn predict_values(&self, state: &State) -> Vec<f32> {
+        self.net
+            .forward(state.features())
+            .expect("state dim matches network input by construction")
+    }
+
+    /// Samples the next V/f level from the softmax policy over Q-values.
+    pub fn select_action(&mut self, state: &State) -> FreqLevel {
+        let q = self.predict_values(state);
+        let tau = self.config.base.temperature.temperature(self.steps);
+        FreqLevel(SoftmaxPolicy::sample(&q, tau, &mut self.explore_rng))
+    }
+
+    /// The greedy V/f level.
+    pub fn greedy_action(&self, state: &State) -> FreqLevel {
+        FreqLevel(SoftmaxPolicy::greedy(&self.predict_values(state)))
+    }
+
+    /// Records a TD transition and trains every `H` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is outside the action space.
+    pub fn observe(&mut self, state: &State, action: FreqLevel, reward: f64, next_state: &State) {
+        assert!(
+            action.index() < self.config.base.num_actions,
+            "action {} out of range",
+            action.index()
+        );
+        let t = TdTransition {
+            state: *state,
+            action: action.index(),
+            reward: reward as f32,
+            next_state: *next_state,
+        };
+        if self.replay.len() < self.config.base.replay_capacity {
+            self.replay.push(t);
+        } else {
+            self.replay[self.replay_head] = t;
+            self.replay_head = (self.replay_head + 1) % self.config.base.replay_capacity;
+        }
+        self.steps += 1;
+        if self.steps.is_multiple_of(self.config.base.optim_interval) {
+            self.train_once();
+        }
+    }
+
+    /// One gradient update with bootstrapped targets; `None` while the
+    /// replay buffer is empty.
+    pub fn train_once(&mut self) -> Option<f32> {
+        if self.replay.is_empty() {
+            return None;
+        }
+        let batch_size = self.config.base.batch_size;
+        let mut inputs = Vec::with_capacity(batch_size * STATE_DIM);
+        let mut actions = Vec::with_capacity(batch_size);
+        let mut targets = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let t = &self.replay[self.replay_rng.random_range(0..self.replay.len())];
+            inputs.extend_from_slice(t.state.features());
+            actions.push(t.action);
+            let bootstrap = if self.config.gamma > 0.0 {
+                let next_q = self
+                    .target_net
+                    .forward(t.next_state.features())
+                    .expect("state dim matches network input");
+                let max_next = next_q.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                self.config.gamma as f32 * max_next
+            } else {
+                0.0
+            };
+            targets.push(t.reward + bootstrap);
+        }
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &actions,
+            targets: &targets,
+        };
+        let (loss, grads) = self
+            .net
+            .loss_and_gradient(&batch, &Huber::new(self.config.base.huber_delta))
+            .expect("batch assembled from replay is well formed");
+        let mut params = self.net.params();
+        self.optimizer.step(&mut params, &grads);
+        self.net
+            .set_params(&params)
+            .expect("params length is stable across a step");
+        self.updates += 1;
+        if self.updates.is_multiple_of(self.config.target_sync_updates) {
+            self.target_net = self.net.clone();
+        }
+        Some(loss)
+    }
+
+    /// Flat parameters of the online network (for federated exchange).
+    pub fn params(&self) -> Vec<f32> {
+        self.net.params()
+    }
+
+    /// Installs new online parameters and re-syncs the target network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the parameter count differs.
+    pub fn set_params(&mut self, params: &[f32]) -> Result<(), NnError> {
+        self.net.set_params(params)?;
+        self.target_net = self.net.clone();
+        Ok(())
+    }
+
+    /// Serialized upload size in bytes.
+    pub fn transfer_bytes(&self) -> usize {
+        self.net.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(f: f32) -> State {
+        State::from_features([f, 0.3, 0.5, 0.1, 0.2])
+    }
+
+    #[test]
+    fn gamma_zero_reduces_to_bandit_targets() {
+        // With γ=0 the TD agent and the bandit agent optimize the same
+        // objective; after identical experience their greedy choices on the
+        // training state agree.
+        let mut td = TdController::new(TdConfig::paper_with_gamma(0.0), 1);
+        let mut bandit = crate::PowerController::new(ControllerConfig::paper(), 1);
+        let s = state(0.5);
+        for step in 0..2000u64 {
+            let a = FreqLevel((step % 15) as usize);
+            let r = if a.index() == 9 { 0.8 } else { 0.1 };
+            td.observe(&s, a, r, &s);
+            bandit.observe(&s, a, r);
+        }
+        assert_eq!(td.greedy_action(&s), FreqLevel(9));
+        assert_eq!(bandit.greedy_action(&s), FreqLevel(9));
+    }
+
+    #[test]
+    fn discounted_values_exceed_immediate_rewards() {
+        // A constant reward of r everywhere has value r/(1-γ) under TD; the
+        // learned Q should clearly exceed the bandit estimate r.
+        let mut td = TdController::new(TdConfig::paper_with_gamma(0.9), 2);
+        let s = state(0.4);
+        for step in 0..4000u64 {
+            td.observe(&s, FreqLevel((step % 15) as usize), 0.5, &s);
+        }
+        let q = td.predict_values(&s);
+        let mean_q: f32 = q.iter().sum::<f32>() / q.len() as f32;
+        assert!(
+            mean_q > 1.5,
+            "discounted fixed-point should be well above 0.5, got {mean_q}"
+        );
+    }
+
+    #[test]
+    fn target_network_syncs_periodically() {
+        let mut td = TdController::new(TdConfig::paper_with_gamma(0.5), 3);
+        let s = state(0.6);
+        // 25 sync interval × H=20 steps/update → first sync at step 500.
+        for step in 0..520u64 {
+            td.observe(&s, FreqLevel((step % 15) as usize), 0.3, &s);
+        }
+        assert!(td.updates() >= 26);
+        // After a sync the target equals the online net on this state.
+        let q_online = td.predict_values(&s);
+        let q_target = td.target_net.forward(s.features()).unwrap();
+        // They were synced at update 25 and have drifted for ≤1 update.
+        let max_diff = q_online
+            .iter()
+            .zip(&q_target)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f32, f32::max);
+        assert!(max_diff < 0.1, "target far from online: {max_diff}");
+    }
+
+    #[test]
+    fn set_params_resyncs_target() {
+        let mut a = TdController::new(TdConfig::paper_with_gamma(0.9), 4);
+        let b = TdController::new(TdConfig::paper_with_gamma(0.9), 5);
+        a.set_params(&b.params()).unwrap();
+        let s = state(0.2);
+        assert_eq!(
+            a.predict_values(&s),
+            a.target_net.forward(s.features()).unwrap()
+        );
+    }
+
+    #[test]
+    fn replay_is_bounded() {
+        let mut cfg = TdConfig::paper_with_gamma(0.5);
+        cfg.base.replay_capacity = 10;
+        let mut td = TdController::new(cfg, 6);
+        let s = state(0.1);
+        for i in 0..50u64 {
+            td.observe(&s, FreqLevel((i % 15) as usize), 0.0, &s);
+        }
+        assert_eq!(td.replay.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in")]
+    fn invalid_gamma_panics() {
+        let _ = TdConfig::paper_with_gamma(1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! # fedpower-analysis
+//!
+//! Statistical utilities for analysing `fedpower` experiments.
+//!
+//! The paper reports single-run numbers; this crate provides the machinery
+//! a careful reproduction should add on top:
+//!
+//! * [`Summary`] — mean / standard deviation / standard error / normal 95 %
+//!   confidence intervals over replicated runs,
+//! * [`bootstrap_mean_ci`] — seeded percentile-bootstrap confidence
+//!   intervals, free of normality assumptions,
+//! * [`replicate`] — run an experiment across a set of seeds and summarize,
+//! * [`ema`] / [`rolling_mean`] — smoothing for the noisy per-round reward
+//!   curves of Fig. 3,
+//! * [`pareto_front`] — the power/performance Pareto front across policies.
+//!
+//! # Example
+//!
+//! ```
+//! use fedpower_analysis::{replicate, Summary};
+//!
+//! // A toy "experiment": the reward depends weakly on the seed.
+//! let rep = replicate(&[1, 2, 3, 4, 5], |seed| 0.5 + (seed as f64) * 1e-3);
+//! assert_eq!(rep.per_seed.len(), 5);
+//! assert!((rep.summary.mean - 0.503).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pareto;
+mod regression;
+mod significance;
+mod smooth;
+mod stats;
+
+pub use pareto::pareto_front;
+pub use regression::RegressionMetrics;
+pub use significance::{paired_permutation_test, PermutationTest};
+pub use smooth::{ema, rolling_mean};
+pub use stats::{bootstrap_mean_ci, BootstrapCi, Summary};
+
+use serde::{Deserialize, Serialize};
+
+/// The result of running one experiment across several seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Replication {
+    /// The seeds, in the order supplied.
+    pub seeds: Vec<u64>,
+    /// The experiment's scalar outcome per seed.
+    pub per_seed: Vec<f64>,
+    /// Summary statistics over the outcomes.
+    pub summary: Summary,
+}
+
+/// Runs `experiment` once per seed and summarizes the outcomes.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn replicate<F: FnMut(u64) -> f64>(seeds: &[u64], mut experiment: F) -> Replication {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let per_seed: Vec<f64> = seeds.iter().map(|&s| experiment(s)).collect();
+    Replication {
+        seeds: seeds.to_vec(),
+        summary: Summary::from_samples(&per_seed),
+        per_seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_runs_once_per_seed_in_order() {
+        let mut calls = Vec::new();
+        let rep = replicate(&[9, 3, 7], |s| {
+            calls.push(s);
+            s as f64
+        });
+        assert_eq!(calls, vec![9, 3, 7]);
+        assert_eq!(rep.per_seed, vec![9.0, 3.0, 7.0]);
+        assert!((rep.summary.mean - 19.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn replicate_with_no_seeds_panics() {
+        let _ = replicate(&[], |_| 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Pareto-front extraction for power/performance trade-off studies.
+
+/// Returns the indices of the Pareto-optimal points when *minimizing* both
+/// coordinates (e.g. `(execution time, power)`), sorted ascending by the
+/// first coordinate.
+///
+/// A point is Pareto-optimal iff no other point is at least as good in both
+/// coordinates and strictly better in one.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(x, y)) in points.iter().enumerate() {
+        for (j, &(ox, oy)) in points.iter().enumerate() {
+            if i != j && ox <= x && oy <= y && (ox < x || oy < y) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .expect("finite coordinates")
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let points = [
+            (1.0, 5.0), // fast, hungry — on the front
+            (5.0, 1.0), // slow, frugal — on the front
+            (3.0, 3.0), // balanced — on the front
+            (4.0, 4.0), // dominated by (3,3)
+            (6.0, 6.0), // dominated by everything
+        ];
+        assert_eq!(pareto_front(&points), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        assert_eq!(pareto_front(&[(2.0, 2.0)]), vec![0]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_kept() {
+        // Identical points do not strictly dominate each other.
+        let points = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front(&points).len(), 2);
+    }
+
+    #[test]
+    fn front_is_sorted_by_first_coordinate() {
+        let points = [(5.0, 1.0), (1.0, 5.0), (3.0, 2.0)];
+        let front = pareto_front(&points);
+        let xs: Vec<f64> = front.iter().map(|&i| points[i].0).collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn colinear_improvements_keep_only_the_best() {
+        // (2,2) dominates (2,3) and (3,2).
+        let points = [(2.0, 2.0), (2.0, 3.0), (3.0, 2.0)];
+        assert_eq!(pareto_front(&points), vec![0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Regression-quality metrics for evaluating learned reward models.
+
+use serde::{Deserialize, Serialize};
+
+/// Fit metrics for paired predictions/targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegressionMetrics {
+    /// Number of pairs.
+    pub n: usize,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Coefficient of determination R² (1 = perfect; ≤ 0 = worse than
+    /// predicting the target mean).
+    pub r_squared: f64,
+}
+
+impl RegressionMetrics {
+    /// Computes metrics over paired `(prediction, target)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or differ in length.
+    pub fn from_pairs(predictions: &[f64], targets: &[f64]) -> Self {
+        assert!(!predictions.is_empty(), "need at least one pair");
+        assert_eq!(
+            predictions.len(),
+            targets.len(),
+            "predictions and targets must pair up"
+        );
+        let n = predictions.len();
+        let mut abs_sum = 0.0;
+        let mut sq_sum = 0.0;
+        for (&p, &t) in predictions.iter().zip(targets) {
+            abs_sum += (p - t).abs();
+            sq_sum += (p - t) * (p - t);
+        }
+        let target_mean = targets.iter().sum::<f64>() / n as f64;
+        let total_var: f64 = targets
+            .iter()
+            .map(|&t| (t - target_mean) * (t - target_mean))
+            .sum();
+        let r_squared = if total_var > 0.0 {
+            1.0 - sq_sum / total_var
+        } else if sq_sum == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
+        RegressionMetrics {
+            n,
+            mae: abs_sum / n as f64,
+            rmse: (sq_sum / n as f64).sqrt(),
+            r_squared,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_perfectly() {
+        let t = [1.0, 2.0, 3.0];
+        let m = RegressionMetrics::from_pairs(&t, &t);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.r_squared, 1.0);
+    }
+
+    #[test]
+    fn metrics_match_hand_computation() {
+        let p = [1.0, 2.0];
+        let t = [2.0, 4.0];
+        let m = RegressionMetrics::from_pairs(&p, &t);
+        assert!((m.mae - 1.5).abs() < 1e-12);
+        assert!((m.rmse - (2.5_f64).sqrt()).abs() < 1e-12);
+        // total variance = 2·1² = 2, residual = 5 → R² = 1 − 5/2 = −1.5
+        assert!((m.r_squared + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicting_the_mean_gives_zero_r_squared() {
+        let t = [0.0, 2.0, 4.0];
+        let p = [2.0, 2.0, 2.0];
+        let m = RegressionMetrics::from_pairs(&p, &t);
+        assert!(m.r_squared.abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_targets_with_matching_predictions_are_perfect() {
+        let m = RegressionMetrics::from_pairs(&[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(m.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        let _ = RegressionMetrics::from_pairs(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Paired significance testing for method comparisons.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of a paired sign-flip permutation test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PermutationTest {
+    /// Observed mean paired difference `mean(a - b)`.
+    pub mean_difference: f64,
+    /// Two-sided p-value: probability of a |mean difference| at least as
+    /// large under the null hypothesis of exchangeable pairs.
+    pub p_value: f64,
+    /// Number of sign-flip permutations drawn.
+    pub permutations: usize,
+}
+
+impl PermutationTest {
+    /// Whether the difference is significant at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a seeded paired sign-flip permutation test on `(a_i, b_i)` pairs —
+/// e.g. federated vs. local-only rewards per seed. Under the null
+/// (methods exchangeable), each paired difference is symmetric around 0,
+/// so random sign flips generate the reference distribution.
+///
+/// # Panics
+///
+/// Panics if the samples are empty, differ in length, or `permutations`
+/// is zero.
+pub fn paired_permutation_test(
+    a: &[f64],
+    b: &[f64],
+    permutations: usize,
+    seed: u64,
+) -> PermutationTest {
+    assert!(!a.is_empty(), "need at least one pair");
+    assert_eq!(a.len(), b.len(), "samples must pair up");
+    assert!(permutations > 0, "need at least one permutation");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len() as f64;
+    let observed = diffs.iter().sum::<f64>() / n;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..permutations {
+        let flipped: f64 = diffs
+            .iter()
+            .map(|&d| if rng.random::<bool>() { d } else { -d })
+            .sum::<f64>()
+            / n;
+        if flipped.abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    PermutationTest {
+        mean_difference: observed,
+        // +1 correction keeps p > 0 (Phipson & Smyth 2010).
+        p_value: (extreme + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a = [0.9, 0.85, 0.92, 0.88, 0.91, 0.87, 0.9, 0.93];
+        let b = [0.3, 0.35, 0.28, 0.32, 0.31, 0.29, 0.33, 0.3];
+        let t = paired_permutation_test(&a, &b, 5000, 1);
+        assert!(t.mean_difference > 0.5);
+        assert!(t.significant_at(0.05), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn identical_methods_are_not_significant() {
+        let a = [0.5, 0.52, 0.48, 0.51, 0.49, 0.5];
+        let b = [0.51, 0.49, 0.5, 0.5, 0.52, 0.48];
+        let t = paired_permutation_test(&a, &b, 5000, 2);
+        assert!(
+            !t.significant_at(0.05),
+            "noise should not be significant: p = {}",
+            t.p_value
+        );
+    }
+
+    #[test]
+    fn p_value_is_bounded_and_deterministic() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, 1.5, 2.5];
+        let t1 = paired_permutation_test(&a, &b, 1000, 7);
+        let t2 = paired_permutation_test(&a, &b, 1000, 7);
+        assert_eq!(t1, t2);
+        assert!(t1.p_value > 0.0 && t1.p_value <= 1.0);
+    }
+
+    #[test]
+    fn small_samples_cannot_reach_tiny_p_values() {
+        // With 3 pairs there are only 8 sign patterns: p >= 1/8-ish.
+        let a = [10.0, 11.0, 12.0];
+        let b = [0.0, 0.0, 0.0];
+        let t = paired_permutation_test(&a, &b, 10_000, 3);
+        assert!(t.p_value > 0.1, "p = {}", t.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_permutation_test(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Series smoothing for noisy per-round reward curves.
+
+/// Exponential moving average with smoothing factor `alpha ∈ (0, 1]`:
+/// `y_0 = x_0`, `y_t = α·x_t + (1 − α)·y_{t−1}`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+pub fn ema(values: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "alpha must be in (0, 1], got {alpha}"
+    );
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev = None;
+    for &x in values {
+        let y = match prev {
+            None => x,
+            Some(p) => alpha * x + (1.0 - alpha) * p,
+        };
+        out.push(y);
+        prev = Some(y);
+    }
+    out
+}
+
+/// Centered-as-possible trailing rolling mean with the given window: each
+/// output is the mean of the last `window` inputs seen so far (fewer at the
+/// start).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn rolling_mean(values: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be nonzero");
+    let mut out = Vec::with_capacity(values.len());
+    let mut sum = 0.0;
+    for (i, &x) in values.iter().enumerate() {
+        sum += x;
+        if i >= window {
+            sum -= values[i - window];
+        }
+        let denom = (i + 1).min(window) as f64;
+        out.push(sum / denom);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_with_alpha_one_is_identity() {
+        let xs = [1.0, -2.0, 3.5];
+        assert_eq!(ema(&xs, 1.0), xs.to_vec());
+    }
+
+    #[test]
+    fn ema_smooths_a_step() {
+        let xs = [0.0, 0.0, 1.0, 1.0, 1.0];
+        let ys = ema(&xs, 0.5);
+        assert_eq!(ys[0], 0.0);
+        assert_eq!(ys[2], 0.5);
+        assert!(ys[4] > ys[3] && ys[4] < 1.0, "converging toward 1");
+    }
+
+    #[test]
+    fn rolling_mean_matches_hand_computation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = rolling_mean(&xs, 2);
+        assert_eq!(ys, vec![1.0, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn rolling_mean_window_larger_than_series_is_cumulative_mean() {
+        let xs = [2.0, 4.0, 6.0];
+        let ys = rolling_mean(&xs, 10);
+        assert_eq!(ys, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn smoothing_preserves_length_and_empty_input() {
+        assert!(ema(&[], 0.3).is_empty());
+        assert!(rolling_mean(&[], 3).is_empty());
+        assert_eq!(ema(&[1.0; 7], 0.2).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = ema(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = rolling_mean(&[1.0], 0);
+    }
+}

@@ -1,0 +1,179 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of scalar outcomes.
+///
+/// # Example
+///
+/// ```
+/// use fedpower_analysis::Summary;
+/// let s = Summary::from_samples(&[0.5, 0.6, 0.55, 0.58]);
+/// assert!(s.ci95_lo < s.mean && s.mean < s.ci95_hi);
+/// assert!(s.ci95_excludes(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected for `n > 1`).
+    pub std: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Lower edge of the normal-approximation 95 % CI of the mean.
+    pub ci95_lo: f64,
+    /// Upper edge of the normal-approximation 95 % CI of the mean.
+    pub ci95_hi: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let sem = std / (n as f64).sqrt();
+        Summary {
+            n,
+            mean,
+            std,
+            sem,
+            ci95_lo: mean - 1.96 * sem,
+            ci95_hi: mean + 1.96 * sem,
+        }
+    }
+
+    /// Whether the 95 % CI excludes `value` — a quick significance check
+    /// for "is the improvement real across seeds?".
+    pub fn ci95_excludes(&self, value: f64) -> bool {
+        value < self.ci95_lo || value > self.ci95_hi
+    }
+}
+
+/// A percentile-bootstrap confidence interval of the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+/// Computes a seeded percentile-bootstrap CI of the mean at the given
+/// confidence level (e.g. `0.95`).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `resamples` is zero, or `confidence` is
+/// outside `(0, 1)`.
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapCi {
+    assert!(!samples.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = samples.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += samples[rng.random_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - alpha)) as usize).min(resamples - 1);
+    BootstrapCi {
+        mean: samples.iter().sum::<f64>() / n as f64,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // Bessel-corrected std of 1..4 = sqrt(5/3).
+        assert!((s.std - (5.0_f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95_lo < s.mean && s.mean < s.ci95_hi);
+    }
+
+    #[test]
+    fn singleton_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95_lo, 7.0);
+        assert_eq!(s.ci95_hi, 7.0);
+    }
+
+    #[test]
+    fn ci_excludes_far_values_only() {
+        let s = Summary::from_samples(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        assert!(s.ci95_excludes(0.0));
+        assert!(!s.ci95_excludes(1.0));
+    }
+
+    #[test]
+    fn bootstrap_brackets_the_true_mean() {
+        // 200 samples from a known distribution.
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..200).map(|_| 3.0 + rng.random_range(-1.0..1.0)).collect();
+        let ci = bootstrap_mean_ci(&samples, 2000, 0.95, 9);
+        assert!(ci.lo < 3.0 && 3.0 < ci.hi, "CI [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.hi - ci.lo < 0.5, "CI should be tight for n=200");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_mean_ci(&samples, 500, 0.9, 1);
+        let b = bootstrap_mean_ci(&samples, 500, 0.9, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let samples: Vec<f64> = (0..50).map(|i| (i as f64 * 0.77).sin()).collect();
+        let narrow = bootstrap_mean_ci(&samples, 2000, 0.5, 3);
+        let wide = bootstrap_mean_ci(&samples, 2000, 0.99, 3);
+        assert!(wide.hi - wide.lo > narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_summary_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+}

@@ -1,0 +1,384 @@
+use crate::discretize::StateKey;
+use crate::profit::{ProfitAgent, ProfitConfig};
+use fedpower_agent::{DeviceEnv, DeviceEnvConfig};
+use fedpower_sim::rng::derive_seed;
+use fedpower_sim::{FreqLevel, PerfCounters};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One state's entry in the shared *CollabPolicy* global policy:
+/// `(π*(s), r̄(s), n(s))` (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyEntry {
+    /// The best-known action π*(s).
+    pub best_action: usize,
+    /// Average reward r̄(s) observed in the state.
+    pub mean_reward: f64,
+    /// Visit count n(s).
+    pub visits: u64,
+}
+
+/// The CollabPolicy aggregation server.
+///
+/// Devices upload their local policies as per-state tuples; the server
+/// merges them "by considering average rewards and visit counts": the
+/// merged average reward is the visit-weighted mean, and the merged best
+/// action comes from the contributor reporting the highest average reward
+/// in that state.
+#[derive(Debug, Clone, Default)]
+pub struct CollabServer {
+    global: HashMap<StateKey, PolicyEntry>,
+    rounds: u64,
+}
+
+impl CollabServer {
+    /// Creates a server with an empty global policy.
+    pub fn new() -> Self {
+        CollabServer::default()
+    }
+
+    /// The current global policy.
+    pub fn global(&self) -> &HashMap<StateKey, PolicyEntry> {
+        &self.global
+    }
+
+    /// Rounds merged so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Merges the devices' (cumulative) local policies into a new global
+    /// policy.
+    pub fn merge(&mut self, locals: &[HashMap<StateKey, PolicyEntry>]) {
+        let mut merged: HashMap<StateKey, PolicyEntry> = HashMap::new();
+        for local in locals {
+            for (key, entry) in local {
+                if entry.visits == 0 {
+                    continue;
+                }
+                merged
+                    .entry(*key)
+                    .and_modify(|m| {
+                        let total = m.visits + entry.visits;
+                        m.mean_reward = (m.mean_reward * m.visits as f64
+                            + entry.mean_reward * entry.visits as f64)
+                            / total as f64;
+                        if entry.mean_reward > m.mean_reward {
+                            m.best_action = entry.best_action;
+                        }
+                        m.visits = total;
+                    })
+                    .or_insert(*entry);
+            }
+        }
+        self.global = merged;
+        self.rounds += 1;
+    }
+}
+
+/// A device-side CollabPolicy participant: a local [`ProfitAgent`] value
+/// table plus a copy of the global policy.
+///
+/// "When the average reward for the current state is higher under the local
+/// policy, it will consult the local policy, otherwise, the global policy."
+#[derive(Debug, Clone)]
+pub struct CollabClient {
+    agent: ProfitAgent,
+    global: HashMap<StateKey, PolicyEntry>,
+}
+
+impl CollabClient {
+    /// Creates a client with an empty local table and no global policy.
+    pub fn new(config: ProfitConfig, seed: u64) -> Self {
+        CollabClient {
+            agent: ProfitAgent::new(config, seed),
+            global: HashMap::new(),
+        }
+    }
+
+    /// Read access to the local tabular agent.
+    pub fn agent(&self) -> &ProfitAgent {
+        &self.agent
+    }
+
+    /// The Profit reward for a counter sample (local objective).
+    pub fn reward_for(&self, c: &PerfCounters) -> f64 {
+        self.agent.reward_for(c)
+    }
+
+    fn consult_global(&self, c: &PerfCounters) -> Option<&PolicyEntry> {
+        let key = self.agent.config().discretizer.key(c);
+        let global = self.global.get(&key)?;
+        let local_mean = self
+            .agent
+            .table()
+            .get(&key)
+            .filter(|s| s.n > 0)
+            .map(|s| s.mean_reward);
+        match local_mean {
+            Some(local) if local >= global.mean_reward => None,
+            _ => Some(global),
+        }
+    }
+
+    /// Action selection during training: global policy when it promises a
+    /// higher average reward, otherwise local ε-greedy.
+    pub fn select_action(&mut self, c: &PerfCounters) -> FreqLevel {
+        if let Some(entry) = self.consult_global(c) {
+            FreqLevel(entry.best_action)
+        } else {
+            self.agent.select_action(c)
+        }
+    }
+
+    /// Greedy action for evaluation: the better of local and global per
+    /// their average-reward estimates.
+    pub fn greedy_action(&self, c: &PerfCounters) -> FreqLevel {
+        if let Some(entry) = self.consult_global(c) {
+            FreqLevel(entry.best_action)
+        } else {
+            self.agent.greedy_action(c)
+        }
+    }
+
+    /// Records an observation into the local table.
+    pub fn observe(&mut self, c: &PerfCounters, action: FreqLevel, reward: f64) {
+        self.agent.observe(c, action, reward);
+    }
+
+    /// Extracts the local policy for upload: per visited state, the argmax
+    /// action, average reward and visit count.
+    pub fn upload(&self) -> HashMap<StateKey, PolicyEntry> {
+        self.agent
+            .table()
+            .iter()
+            .map(|(key, stats)| {
+                let mut best = 0;
+                for (i, &q) in stats.q.iter().enumerate() {
+                    if q > stats.q[best] {
+                        best = i;
+                    }
+                }
+                (
+                    *key,
+                    PolicyEntry {
+                        best_action: best,
+                        mean_reward: stats.mean_reward,
+                        visits: stats.n,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Installs a new global policy.
+    pub fn download(&mut self, global: HashMap<StateKey, PolicyEntry>) {
+        self.global = global;
+    }
+}
+
+/// Orchestrates CollabPolicy devices through training rounds — the
+/// *Profit+CollabPolicy* system the paper compares against.
+#[derive(Debug)]
+pub struct CollabFederation {
+    server: CollabServer,
+    devices: Vec<CollabDevice>,
+    steps_per_round: u64,
+}
+
+#[derive(Debug)]
+struct CollabDevice {
+    client: CollabClient,
+    env: DeviceEnv,
+    last: PerfCounters,
+}
+
+impl CollabFederation {
+    /// Creates a federation of CollabPolicy devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs` is empty or `steps_per_round` is zero.
+    pub fn new(
+        profit: ProfitConfig,
+        envs: Vec<DeviceEnvConfig>,
+        steps_per_round: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!envs.is_empty(), "need at least one device");
+        assert!(steps_per_round > 0, "steps per round must be nonzero");
+        let devices = envs
+            .into_iter()
+            .enumerate()
+            .map(|(i, env_config)| {
+                let mut env = DeviceEnv::new(env_config, derive_seed(seed, 400 + i as u64));
+                let boot = env.bootstrap();
+                CollabDevice {
+                    client: CollabClient::new(profit, derive_seed(seed, 500 + i as u64)),
+                    last: boot.counters,
+                    env,
+                }
+            })
+            .collect();
+        CollabFederation {
+            server: CollabServer::new(),
+            devices,
+            steps_per_round,
+        }
+    }
+
+    /// Number of participating devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Read access to device `i`'s client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client(&self, i: usize) -> &CollabClient {
+        &self.devices[i].client
+    }
+
+    /// The server's global policy.
+    pub fn global(&self) -> &HashMap<StateKey, PolicyEntry> {
+        self.server.global()
+    }
+
+    /// One round: local optimization on every device, then merge and
+    /// redistribute.
+    pub fn run_round(&mut self) {
+        for device in &mut self.devices {
+            for _ in 0..self.steps_per_round {
+                let action = device.client.select_action(&device.last);
+                let obs = device.env.execute(action);
+                let reward = device.client.reward_for(&obs.counters);
+                // Q(s_t, a_t) ← r_t: the update keys on the state the action
+                // was chosen in, not the state it produced.
+                device.client.observe(&device.last, action, reward);
+                device.last = obs.counters;
+            }
+        }
+        let uploads: Vec<_> = self.devices.iter().map(|d| d.client.upload()).collect();
+        self.server.merge(&uploads);
+        for device in &mut self.devices {
+            device.client.download(self.server.global().clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpower_workloads::AppId;
+
+    fn counters(f: f64, p: f64, ips: f64) -> PerfCounters {
+        PerfCounters {
+            freq_mhz: f,
+            power_w: p,
+            ipc: 1.0,
+            mpki: 3.0,
+            ips,
+            ..PerfCounters::default()
+        }
+    }
+
+    fn entry(action: usize, reward: f64, visits: u64) -> PolicyEntry {
+        PolicyEntry {
+            best_action: action,
+            mean_reward: reward,
+            visits,
+        }
+    }
+
+    #[test]
+    fn server_merges_by_visit_count() {
+        let mut server = CollabServer::new();
+        let key = StateKey {
+            f_bin: 1,
+            p_bin: 2,
+            ipc_bin: 3,
+            mpki_bin: 0,
+        };
+        let a = HashMap::from([(key, entry(4, 1.0, 100))]);
+        let b = HashMap::from([(key, entry(9, 2.0, 300))]);
+        server.merge(&[a, b]);
+        let merged = server.global()[&key];
+        assert!((merged.mean_reward - 1.75).abs() < 1e-12, "visit-weighted");
+        assert_eq!(merged.visits, 400);
+        assert_eq!(merged.best_action, 9, "higher-reward contributor wins");
+    }
+
+    #[test]
+    fn server_skips_zero_visit_entries() {
+        let mut server = CollabServer::new();
+        let key = StateKey {
+            f_bin: 0,
+            p_bin: 0,
+            ipc_bin: 0,
+            mpki_bin: 0,
+        };
+        server.merge(&[HashMap::from([(key, entry(3, 9.9, 0))])]);
+        assert!(server.global().is_empty());
+    }
+
+    #[test]
+    fn client_follows_global_when_it_promises_more() {
+        let mut client = CollabClient::new(ProfitConfig::paper(), 0);
+        let c = counters(500.0, 0.4, 1e9);
+        // Local table: modest reward from action 2.
+        for _ in 0..20 {
+            client.observe(&c, FreqLevel(2), 0.5);
+        }
+        // Global policy: promises better via action 11.
+        let key = client.agent().config().discretizer.key(&c);
+        client.download(HashMap::from([(key, entry(11, 2.0, 1000))]));
+        assert_eq!(client.greedy_action(&c), FreqLevel(11));
+    }
+
+    #[test]
+    fn client_keeps_local_policy_when_it_is_better() {
+        let mut client = CollabClient::new(ProfitConfig::paper(), 0);
+        let c = counters(500.0, 0.4, 1e9);
+        for _ in 0..20 {
+            client.observe(&c, FreqLevel(2), 3.0);
+        }
+        let key = client.agent().config().discretizer.key(&c);
+        client.download(HashMap::from([(key, entry(11, 1.0, 1000))]));
+        assert_eq!(client.greedy_action(&c), FreqLevel(2));
+    }
+
+    #[test]
+    fn upload_reports_argmax_and_visits() {
+        let mut client = CollabClient::new(ProfitConfig::paper(), 0);
+        let c = counters(500.0, 0.4, 1e9);
+        client.observe(&c, FreqLevel(5), 2.0);
+        client.observe(&c, FreqLevel(1), 0.1);
+        let up = client.upload();
+        assert_eq!(up.len(), 1);
+        let e = up.values().next().unwrap();
+        assert_eq!(e.best_action, 5);
+        assert_eq!(e.visits, 2);
+        assert!((e.mean_reward - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn federation_round_shares_knowledge_between_devices() {
+        let mut fed = CollabFederation::new(
+            ProfitConfig::paper(),
+            vec![
+                DeviceEnvConfig::new(&[AppId::Lu]),
+                DeviceEnvConfig::new(&[AppId::Ocean]),
+            ],
+            50,
+            1,
+        );
+        fed.run_round();
+        assert!(!fed.global().is_empty(), "global policy populated");
+        assert_eq!(fed.num_devices(), 2);
+        // Each device trained 50 steps.
+        assert_eq!(fed.client(0).agent().steps(), 50);
+        assert_eq!(fed.client(1).agent().steps(), 50);
+    }
+}

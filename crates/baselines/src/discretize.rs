@@ -1,0 +1,153 @@
+use fedpower_sim::PerfCounters;
+use serde::{Deserialize, Serialize};
+
+/// A discretized tabular state: binned `(f, P, IPC, MPKI)` — the *Profit*
+/// state of §IV-B.
+///
+/// Tabular RL "only supports small solution spaces as there is no
+/// generalization across states and features need to be discretized" — this
+/// type is exactly that discretization, and its coarseness is the paper's
+/// argument for neural policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateKey {
+    /// Frequency bin (V/f level index).
+    pub f_bin: u8,
+    /// Power bin.
+    pub p_bin: u8,
+    /// IPC bin.
+    pub ipc_bin: u8,
+    /// MPKI bin.
+    pub mpki_bin: u8,
+}
+
+/// Maps raw counters to [`StateKey`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Discretizer {
+    /// Maximum frequency in MHz (bins map the 15 Nano levels).
+    pub f_max_mhz: f64,
+    /// Number of frequency bins.
+    pub f_bins: u8,
+    /// Power bin width in watts.
+    pub p_bin_width_w: f64,
+    /// Number of power bins (last bin catches everything above).
+    pub p_bins: u8,
+    /// IPC bin width.
+    pub ipc_bin_width: f64,
+    /// Number of IPC bins.
+    pub ipc_bins: u8,
+    /// MPKI bin edges (ascending); values above the last edge share the
+    /// final bin.
+    pub mpki_edges: [f64; 5],
+}
+
+impl Discretizer {
+    /// Jetson-Nano-scale discretization: 15 × 15 × 8 × 6 = 10 800 states.
+    pub fn jetson_nano() -> Self {
+        Discretizer {
+            f_max_mhz: 1479.0,
+            f_bins: 15,
+            p_bin_width_w: 0.1,
+            p_bins: 15,
+            ipc_bin_width: 0.25,
+            ipc_bins: 8,
+            mpki_edges: [2.0, 5.0, 10.0, 20.0, 30.0],
+        }
+    }
+
+    /// Total number of distinct keys this discretizer can produce.
+    pub fn num_states(&self) -> usize {
+        self.f_bins as usize
+            * self.p_bins as usize
+            * self.ipc_bins as usize
+            * (self.mpki_edges.len() + 1)
+    }
+
+    /// Discretizes raw counters.
+    pub fn key(&self, c: &PerfCounters) -> StateKey {
+        let f_bin = (((c.freq_mhz / self.f_max_mhz) * self.f_bins as f64).floor() as i64)
+            .clamp(0, self.f_bins as i64 - 1) as u8;
+        let p_bin = ((c.power_w / self.p_bin_width_w).floor() as i64)
+            .clamp(0, self.p_bins as i64 - 1) as u8;
+        let ipc_bin = ((c.ipc / self.ipc_bin_width).floor() as i64)
+            .clamp(0, self.ipc_bins as i64 - 1) as u8;
+        let mpki_bin = self
+            .mpki_edges
+            .iter()
+            .position(|&edge| c.mpki < edge)
+            .unwrap_or(self.mpki_edges.len()) as u8;
+        StateKey {
+            f_bin,
+            p_bin,
+            ipc_bin,
+            mpki_bin,
+        }
+    }
+}
+
+impl Default for Discretizer {
+    fn default() -> Self {
+        Discretizer::jetson_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(f: f64, p: f64, ipc: f64, mpki: f64) -> PerfCounters {
+        PerfCounters {
+            freq_mhz: f,
+            power_w: p,
+            ipc,
+            mpki,
+            ..PerfCounters::default()
+        }
+    }
+
+    #[test]
+    fn nano_discretizer_has_paper_scale_state_space() {
+        let d = Discretizer::jetson_nano();
+        assert_eq!(d.num_states(), 15 * 15 * 8 * 6);
+    }
+
+    #[test]
+    fn bins_partition_the_input_space() {
+        let d = Discretizer::jetson_nano();
+        let low = d.key(&counters(102.0, 0.15, 0.3, 1.0));
+        let high = d.key(&counters(1479.0, 1.2, 1.9, 40.0));
+        assert_ne!(low, high);
+        assert_eq!(low.mpki_bin, 0);
+        assert_eq!(high.mpki_bin, 5, "above last edge lands in final bin");
+        assert_eq!(high.f_bin, 14);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let d = Discretizer::jetson_nano();
+        let extreme = d.key(&counters(1e6, 100.0, 50.0, 1e6));
+        assert_eq!(extreme.f_bin, 14);
+        assert_eq!(extreme.p_bin, 14);
+        assert_eq!(extreme.ipc_bin, 7);
+        assert_eq!(extreme.mpki_bin, 5);
+        let negative = d.key(&counters(0.0, -1.0, -1.0, 0.0));
+        assert_eq!(negative.p_bin, 0);
+        assert_eq!(negative.ipc_bin, 0);
+    }
+
+    #[test]
+    fn nearby_values_share_a_bin() {
+        let d = Discretizer::jetson_nano();
+        let a = d.key(&counters(825.6, 0.51, 1.21, 3.0));
+        let b = d.key(&counters(825.6, 0.55, 1.24, 3.5));
+        assert_eq!(a, b, "tabular aliasing: close states collapse");
+    }
+
+    #[test]
+    fn boundary_values_fall_into_upper_bin() {
+        let d = Discretizer::jetson_nano();
+        // mpki exactly at an edge belongs to the bin above it.
+        let at_edge = d.key(&counters(500.0, 0.3, 1.0, 5.0));
+        let below = d.key(&counters(500.0, 0.3, 1.0, 4.9));
+        assert_eq!(at_edge.mpki_bin, below.mpki_bin + 1);
+    }
+}

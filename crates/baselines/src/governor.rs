@@ -1,0 +1,204 @@
+use fedpower_sim::{FreqLevel, PerfCounters, VfTable};
+
+/// A non-learning frequency governor — the class of controllers implemented
+/// in modern operating systems that "mostly ignore application-specific
+/// characteristics" (§I). Used as reference points in the examples and
+/// benches.
+pub trait Governor {
+    /// Chooses the next V/f level given the last interval's counters.
+    fn next_level(
+        &mut self,
+        counters: &PerfCounters,
+        current: FreqLevel,
+        table: &VfTable,
+    ) -> FreqLevel;
+
+    /// A short human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// Always selects the maximum frequency (Linux `performance`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerformanceGovernor;
+
+impl Governor for PerformanceGovernor {
+    fn next_level(
+        &mut self,
+        _counters: &PerfCounters,
+        _current: FreqLevel,
+        table: &VfTable,
+    ) -> FreqLevel {
+        table.max_level()
+    }
+
+    fn name(&self) -> &'static str {
+        "performance"
+    }
+}
+
+/// Always selects the minimum frequency (Linux `powersave`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowersaveGovernor;
+
+impl Governor for PowersaveGovernor {
+    fn next_level(
+        &mut self,
+        _counters: &PerfCounters,
+        _current: FreqLevel,
+        _table: &VfTable,
+    ) -> FreqLevel {
+        FreqLevel(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "powersave"
+    }
+}
+
+/// A reactive power-capping governor: step down when measured power
+/// approaches the cap, step up when there is headroom. Application-blind —
+/// it reacts to power alone, one level at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCapGovernor {
+    /// The power cap in watts.
+    pub p_crit_w: f64,
+    /// Fraction of the cap below which the governor steps up.
+    pub headroom: f64,
+}
+
+impl PowerCapGovernor {
+    /// Creates a capping governor targeting `p_crit_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_crit_w > 0` and `headroom ∈ (0, 1)`.
+    pub fn new(p_crit_w: f64, headroom: f64) -> Self {
+        assert!(p_crit_w > 0.0, "power cap must be positive");
+        assert!(
+            headroom > 0.0 && headroom < 1.0,
+            "headroom must be a fraction in (0, 1)"
+        );
+        PowerCapGovernor { p_crit_w, headroom }
+    }
+}
+
+impl Default for PowerCapGovernor {
+    fn default() -> Self {
+        PowerCapGovernor::new(0.6, 0.9)
+    }
+}
+
+impl Governor for PowerCapGovernor {
+    fn next_level(
+        &mut self,
+        counters: &PerfCounters,
+        current: FreqLevel,
+        table: &VfTable,
+    ) -> FreqLevel {
+        if counters.power_w > self.p_crit_w {
+            FreqLevel(current.index().saturating_sub(1))
+        } else if counters.power_w < self.p_crit_w * self.headroom
+            && current.index() + 1 < table.len()
+        {
+            FreqLevel(current.index() + 1)
+        } else {
+            current
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "powercap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(power: f64) -> PerfCounters {
+        PerfCounters {
+            power_w: power,
+            ..PerfCounters::default()
+        }
+    }
+
+    #[test]
+    fn performance_pins_max_powersave_pins_min() {
+        let table = VfTable::jetson_nano();
+        let mut perf = PerformanceGovernor;
+        let mut save = PowersaveGovernor;
+        assert_eq!(
+            perf.next_level(&counters(0.1), FreqLevel(3), &table),
+            FreqLevel(14)
+        );
+        assert_eq!(
+            save.next_level(&counters(0.1), FreqLevel(3), &table),
+            FreqLevel(0)
+        );
+    }
+
+    #[test]
+    fn powercap_steps_down_on_violation() {
+        let table = VfTable::jetson_nano();
+        let mut gov = PowerCapGovernor::default();
+        assert_eq!(
+            gov.next_level(&counters(0.7), FreqLevel(10), &table),
+            FreqLevel(9)
+        );
+    }
+
+    #[test]
+    fn powercap_steps_up_with_headroom() {
+        let table = VfTable::jetson_nano();
+        let mut gov = PowerCapGovernor::default();
+        assert_eq!(
+            gov.next_level(&counters(0.3), FreqLevel(5), &table),
+            FreqLevel(6)
+        );
+    }
+
+    #[test]
+    fn powercap_holds_in_the_target_band() {
+        let table = VfTable::jetson_nano();
+        let mut gov = PowerCapGovernor::default();
+        // 0.55 W is above 0.9·0.6 = 0.54 W but below the 0.6 W cap.
+        assert_eq!(
+            gov.next_level(&counters(0.55), FreqLevel(8), &table),
+            FreqLevel(8)
+        );
+    }
+
+    #[test]
+    fn powercap_respects_table_bounds() {
+        let table = VfTable::jetson_nano();
+        let mut gov = PowerCapGovernor::default();
+        assert_eq!(
+            gov.next_level(&counters(5.0), FreqLevel(0), &table),
+            FreqLevel(0)
+        );
+        assert_eq!(
+            gov.next_level(&counters(0.0), FreqLevel(14), &table),
+            FreqLevel(14)
+        );
+    }
+
+    #[test]
+    fn governors_are_object_safe() {
+        let mut governors: Vec<Box<dyn Governor>> = vec![
+            Box::new(PerformanceGovernor),
+            Box::new(PowersaveGovernor),
+            Box::new(PowerCapGovernor::default()),
+        ];
+        let table = VfTable::jetson_nano();
+        for g in &mut governors {
+            let _ = g.next_level(&counters(0.5), FreqLevel(7), &table);
+            assert!(!g.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn invalid_headroom_panics() {
+        let _ = PowerCapGovernor::new(0.6, 1.5);
+    }
+}

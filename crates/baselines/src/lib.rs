@@ -1,0 +1,53 @@
+//! # fedpower-baselines
+//!
+//! The comparison systems of the paper's evaluation (§IV-B), reimplemented
+//! from their descriptions:
+//!
+//! * [`ProfitAgent`] — a table-based RL power controller modelled on
+//!   *Profit* (Chen et al., TCAD 2018): state `(f, P, IPC, MPKI)`
+//!   discretized into bins, reward = IPS below the power constraint and
+//!   `−5·|P_crit − P|` above it, ε-greedy exploration with exponential
+//!   decay (floor 0.01) and learning rate 0.1.
+//! * [`CollabServer`] / [`CollabClient`] — *CollabPolicy*, the
+//!   privacy-preserving collaborative extension modelled on Tian et al.
+//!   (TCAD 2019): each device keeps a local value table plus a copy of a
+//!   global policy of per-state tuples `(π*(s), r̄(s), n(s))`; it follows
+//!   whichever policy predicts the higher average reward, and the server
+//!   merges local policies by visit count.
+//! * [`LinUcbAgent`] — a linear contextual bandit (LinUCB, Li et al.
+//!   2010), the middle ground between tabular and neural policies, used to
+//!   test whether the paper's MLP earns its nonlinearity.
+//! * [`Governor`] implementations — `performance`, `powersave` and a
+//!   power-capping heuristic, as non-learning reference points.
+//!
+//! # Example
+//!
+//! ```
+//! use fedpower_baselines::{ProfitAgent, ProfitConfig};
+//! use fedpower_sim::{FreqLevel, PerfCounters};
+//!
+//! let mut agent = ProfitAgent::new(ProfitConfig::default(), 1);
+//! let counters = PerfCounters { freq_mhz: 825.6, power_w: 0.5, ipc: 1.2, mpki: 3.0,
+//!                               ips: 1.0e9, ..PerfCounters::default() };
+//! let action = agent.select_action(&counters);
+//! let reward = agent.reward_for(&counters);
+//! agent.observe(&counters, action, reward);
+//! assert!(reward > 0.0, "below the cap the reward is the IPS");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collab;
+mod discretize;
+pub mod fed_linucb;
+mod governor;
+mod linucb;
+mod profit;
+
+pub use collab::{CollabClient, CollabFederation, CollabServer, PolicyEntry};
+pub use discretize::{Discretizer, StateKey};
+pub use governor::{Governor, PerformanceGovernor, PowerCapGovernor, PowersaveGovernor};
+pub use fed_linucb::{train_fed_linucb, ArmUpdate, FedLinUcbServer};
+pub use linucb::{LinUcbAgent, LinUcbConfig};
+pub use profit::{ProfitAgent, ProfitConfig};

@@ -1,0 +1,409 @@
+use fedpower_agent::{RewardConfig, State, StateNorm};
+use fedpower_sim::{FreqLevel, PerfCounters};
+use serde::{Deserialize, Serialize};
+
+/// Feature dimension (the paper's five-feature state).
+const D: usize = 5;
+
+/// Configuration of the [`LinUcbAgent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinUcbConfig {
+    /// Exploration width α of the confidence bonus.
+    pub alpha: f64,
+    /// Ridge regularization λ of the per-action regressions.
+    pub ridge: f64,
+    /// Number of V/f levels (actions).
+    pub num_actions: usize,
+    /// Reward definition (shared with the neural agent for fairness).
+    pub reward: RewardConfig,
+    /// State normalization (shared with the neural agent).
+    pub norm: StateNorm,
+}
+
+impl LinUcbConfig {
+    /// Defaults matched to the paper's setup.
+    pub fn paper() -> Self {
+        LinUcbConfig {
+            alpha: 0.5,
+            ridge: 1.0,
+            num_actions: 15,
+            reward: RewardConfig::paper(),
+            norm: StateNorm::jetson_nano(),
+        }
+    }
+}
+
+impl Default for LinUcbConfig {
+    fn default() -> Self {
+        LinUcbConfig::paper()
+    }
+}
+
+/// Per-action ridge-regression state, maintained incrementally via
+/// Sherman–Morrison so updates are O(d²).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ArmState {
+    /// A⁻¹ where A = λI + Σ x xᵀ (kept incrementally via Sherman–Morrison).
+    a_inv: [[f64; D]; D],
+    /// Σ x xᵀ — the additive data part of A, exported for exact federation.
+    gram: [[f64; D]; D],
+    /// b = Σ r·x.
+    b: [f64; D],
+    /// Visit count.
+    n: u64,
+}
+
+impl ArmState {
+    fn new(ridge: f64) -> Self {
+        let mut a_inv = [[0.0; D]; D];
+        for (i, row) in a_inv.iter_mut().enumerate() {
+            row[i] = 1.0 / ridge;
+        }
+        ArmState {
+            a_inv,
+            gram: [[0.0; D]; D],
+            b: [0.0; D],
+            n: 0,
+        }
+    }
+
+    /// Inverts a symmetric positive-definite d×d matrix by Gauss–Jordan
+    /// elimination (used when installing merged federation statistics).
+    fn invert(mut a: [[f64; D]; D]) -> [[f64; D]; D] {
+        let mut inv = [[0.0; D]; D];
+        for (i, row) in inv.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        for col in 0..D {
+            // Partial pivot.
+            let mut pivot = col;
+            for row in col + 1..D {
+                if a[row][col].abs() > a[pivot][col].abs() {
+                    pivot = row;
+                }
+            }
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            let diag = a[col][col];
+            assert!(diag.abs() > 1e-12, "singular matrix in LinUCB install");
+            for j in 0..D {
+                a[col][j] /= diag;
+                inv[col][j] /= diag;
+            }
+            for row in 0..D {
+                if row != col {
+                    let factor = a[row][col];
+                    for j in 0..D {
+                        a[row][j] -= factor * a[col][j];
+                        inv[row][j] -= factor * inv[col][j];
+                    }
+                }
+            }
+        }
+        inv
+    }
+
+    #[allow(clippy::needless_range_loop)] // index couples theta, a_inv and b
+    fn theta(&self) -> [f64; D] {
+        let mut theta = [0.0; D];
+        for i in 0..D {
+            for j in 0..D {
+                theta[i] += self.a_inv[i][j] * self.b[j];
+            }
+        }
+        theta
+    }
+
+    /// Predicted mean reward for features `x`.
+    fn mean(&self, x: &[f64; D]) -> f64 {
+        self.theta().iter().zip(x).map(|(t, xi)| t * xi).sum()
+    }
+
+    /// Confidence width `√(xᵀ A⁻¹ x)`.
+    fn width(&self, x: &[f64; D]) -> f64 {
+        let mut q = 0.0;
+        for i in 0..D {
+            for j in 0..D {
+                q += x[i] * self.a_inv[i][j] * x[j];
+            }
+        }
+        q.max(0.0).sqrt()
+    }
+
+    /// Rank-1 Sherman–Morrison update with the new observation.
+    #[allow(clippy::needless_range_loop)] // index couples v, x, a_inv and gram
+    fn update(&mut self, x: &[f64; D], reward: f64) {
+        // v = A⁻¹ x
+        let mut v = [0.0; D];
+        for i in 0..D {
+            for j in 0..D {
+                v[i] += self.a_inv[i][j] * x[j];
+            }
+        }
+        let denom = 1.0 + x.iter().zip(&v).map(|(xi, vi)| xi * vi).sum::<f64>();
+        for i in 0..D {
+            for j in 0..D {
+                self.a_inv[i][j] -= v[i] * v[j] / denom;
+                self.gram[i][j] += x[i] * x[j];
+            }
+        }
+        for i in 0..D {
+            self.b[i] += reward * x[i];
+        }
+        self.n += 1;
+    }
+}
+
+/// A disjoint LinUCB contextual bandit (Li et al., 2010) over V/f levels —
+/// the *linear* middle ground between the tabular Profit baseline and the
+/// paper's neural agent.
+///
+/// Each action keeps its own ridge regression from the five state features
+/// to the observed reward; action selection maximizes the upper confidence
+/// bound `θ_aᵀx + α·√(xᵀA_a⁻¹x)`. If a linear model sufficed, the paper's
+/// MLP would be over-engineering — `ablation_model_class` measures this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinUcbAgent {
+    config: LinUcbConfig,
+    arms: Vec<ArmState>,
+    steps: u64,
+}
+
+impl LinUcbAgent {
+    /// Creates an agent with untrained arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate.
+    pub fn new(config: LinUcbConfig) -> Self {
+        assert!(config.num_actions > 0, "need at least one action");
+        assert!(config.ridge > 0.0, "ridge must be positive");
+        assert!(config.alpha >= 0.0, "alpha must be nonnegative");
+        LinUcbAgent {
+            arms: (0..config.num_actions)
+                .map(|_| ArmState::new(config.ridge))
+                .collect(),
+            steps: 0,
+            config,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &LinUcbConfig {
+        &self.config
+    }
+
+    /// Environment steps observed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn features(&self, c: &PerfCounters) -> [f64; D] {
+        let state = State::from_counters(c, &self.config.norm);
+        let f = state.features();
+        [f[0] as f64, f[1] as f64, f[2] as f64, f[3] as f64, f[4] as f64]
+    }
+
+    /// The Eq. (4) reward (shared with the neural agent).
+    pub fn reward_for(&self, c: &PerfCounters) -> f64 {
+        self.config
+            .reward
+            .reward(c.freq_mhz / self.config.norm.f_max_mhz, c.power_w)
+    }
+
+    /// UCB action selection (exploration built into the bonus — no
+    /// external ε or temperature needed).
+    pub fn select_action(&mut self, c: &PerfCounters) -> FreqLevel {
+        let x = self.features(c);
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (a, arm) in self.arms.iter().enumerate() {
+            let score = arm.mean(&x) + self.config.alpha * arm.width(&x);
+            if score > best_score {
+                best_score = score;
+                best = a;
+            }
+        }
+        FreqLevel(best)
+    }
+
+    /// Greedy action — mean estimate only, for evaluation.
+    pub fn greedy_action(&self, c: &PerfCounters) -> FreqLevel {
+        let x = self.features(c);
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (a, arm) in self.arms.iter().enumerate() {
+            let score = arm.mean(&x);
+            if score > best_score {
+                best_score = score;
+                best = a;
+            }
+        }
+        FreqLevel(best)
+    }
+
+    /// Updates the executed arm's regression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn observe(&mut self, c: &PerfCounters, action: FreqLevel, reward: f64) {
+        assert!(
+            action.index() < self.config.num_actions,
+            "action {} out of range",
+            action.index()
+        );
+        let x = self.features(c);
+        self.arms[action.index()].update(&x, reward);
+        self.steps += 1;
+    }
+
+    /// Exports every arm's additive statistics (`Σxxᵀ`, `Σr·x`, n) for the
+    /// exact federated merge (see [`crate::FedLinUcbServer`]).
+    pub fn export_arms(&self) -> Vec<crate::fed_linucb::ArmUpdate> {
+        self.arms
+            .iter()
+            .map(|arm| crate::fed_linucb::ArmUpdate {
+                gram: arm.gram.iter().flatten().copied().collect(),
+                moment: arm.b.to_vec(),
+                n: arm.n,
+            })
+            .collect()
+    }
+
+    /// Installs merged federation statistics into arm `index`:
+    /// `A = λI + gram`, recomputing `A⁻¹` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the buffers have the wrong
+    /// size.
+    pub fn install_arm(&mut self, index: usize, gram: &[f64], moment: &[f64], n: u64) {
+        assert!(index < self.arms.len(), "arm index out of range");
+        assert_eq!(gram.len(), D * D, "gram must be d*d");
+        assert_eq!(moment.len(), D, "moment must be length d");
+        let mut a = [[0.0; D]; D];
+        let mut g = [[0.0; D]; D];
+        for i in 0..D {
+            for j in 0..D {
+                g[i][j] = gram[i * D + j];
+                a[i][j] = gram[i * D + j];
+            }
+            a[i][i] += self.config.ridge;
+        }
+        let arm = &mut self.arms[index];
+        arm.gram = g;
+        arm.a_inv = ArmState::invert(a);
+        arm.b.copy_from_slice(moment);
+        arm.n = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(f: f64, p: f64) -> PerfCounters {
+        PerfCounters {
+            freq_mhz: f,
+            power_w: p,
+            ipc: 1.0,
+            miss_rate: 0.1,
+            mpki: 3.0,
+            ..PerfCounters::default()
+        }
+    }
+
+    #[test]
+    fn arm_regression_recovers_a_linear_reward() {
+        // Reward = 2·feature0 − 1: the arm's prediction should converge.
+        let mut arm = ArmState::new(1.0);
+        for i in 0..500 {
+            let f0 = (i % 10) as f64 / 10.0;
+            let x = [f0, 0.5, 0.2, 0.1, 0.3];
+            arm.update(&x, 2.0 * f0 - 1.0);
+        }
+        let x = [0.8, 0.5, 0.2, 0.1, 0.3];
+        assert!(
+            (arm.mean(&x) - 0.6).abs() < 0.05,
+            "predicted {}, want 0.6",
+            arm.mean(&x)
+        );
+    }
+
+    #[test]
+    fn confidence_width_shrinks_with_data() {
+        let mut arm = ArmState::new(1.0);
+        let x = [0.5, 0.4, 0.3, 0.2, 0.1];
+        let before = arm.width(&x);
+        for _ in 0..100 {
+            arm.update(&x, 0.5);
+        }
+        assert!(arm.width(&x) < before / 3.0);
+    }
+
+    #[test]
+    fn untrained_agent_explores_via_the_bonus() {
+        let mut agent = LinUcbAgent::new(LinUcbConfig::paper());
+        let mut chosen = std::collections::HashSet::new();
+        // Identical context, zero reward: with nothing to exploit, the
+        // shrinking confidence width forces UCB to cycle through the arms.
+        let c = counters(500.0, 0.4);
+        for _ in 0..120 {
+            let a = agent.select_action(&c);
+            chosen.insert(a.index());
+            agent.observe(&c, a, 0.0);
+        }
+        assert!(chosen.len() >= 10, "UCB should try most arms: {chosen:?}");
+    }
+
+    #[test]
+    fn agent_learns_the_best_action_in_a_fixed_context() {
+        let mut agent = LinUcbAgent::new(LinUcbConfig::paper());
+        let c = counters(500.0, 0.4);
+        for _ in 0..200 {
+            let a = agent.select_action(&c);
+            let r = if a.index() == 6 { 0.9 } else { 0.2 };
+            agent.observe(&c, a, r);
+        }
+        assert_eq!(agent.greedy_action(&c), FreqLevel(6));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index couples a and x
+    fn sherman_morrison_matches_definition_on_small_case() {
+        // After one update with x, A = λI + xxᵀ; verify A·A⁻¹ ≈ I.
+        let mut arm = ArmState::new(2.0);
+        let x = [1.0, 0.5, -0.3, 0.2, 0.8];
+        arm.update(&x, 1.0);
+        // Build A explicitly.
+        let mut a = [[0.0_f64; D]; D];
+        for i in 0..D {
+            a[i][i] = 2.0;
+            for j in 0..D {
+                a[i][j] += x[i] * x[j];
+            }
+        }
+        // Product A · A_inv should be identity.
+        for i in 0..D {
+            for j in 0..D {
+                let mut prod = 0.0;
+                for (k, a_row) in arm.a_inv.iter().enumerate() {
+                    prod += a[i][k] * a_row[j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (prod - expect).abs() < 1e-9,
+                    "A·A⁻¹[{i}][{j}] = {prod}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_action_panics() {
+        let mut agent = LinUcbAgent::new(LinUcbConfig::paper());
+        agent.observe(&counters(500.0, 0.4), FreqLevel(15), 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+use crate::discretize::{Discretizer, StateKey};
+use fedpower_sim::rng::{derive_rng, streams};
+use fedpower_sim::{FreqLevel, PerfCounters};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the *Profit*-style tabular agent (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfitConfig {
+    /// Learning rate (paper: 0.1, "a typical value for table-based
+    /// approaches").
+    pub learning_rate: f64,
+    /// Initial exploration probability.
+    pub epsilon_max: f64,
+    /// Exploration floor (paper: 0.01).
+    pub epsilon_min: f64,
+    /// Exponential decay rate of ε per step.
+    pub epsilon_decay: f64,
+    /// Number of V/f levels (actions).
+    pub num_actions: usize,
+    /// The power constraint in watts.
+    pub p_crit_w: f64,
+    /// Penalty slope for constraint violations (paper: 5).
+    pub penalty_slope: f64,
+    /// State discretization.
+    pub discretizer: Discretizer,
+}
+
+impl ProfitConfig {
+    /// The configuration described in §IV-B, scaled to the Nano testbed.
+    pub fn paper() -> Self {
+        ProfitConfig {
+            learning_rate: 0.1,
+            epsilon_max: 1.0,
+            epsilon_min: 0.01,
+            // Matches the neural agent's exploration horizon (~10k steps).
+            epsilon_decay: 0.0005,
+            num_actions: 15,
+            p_crit_w: 0.6,
+            penalty_slope: 5.0,
+            discretizer: Discretizer::jetson_nano(),
+        }
+    }
+}
+
+impl Default for ProfitConfig {
+    fn default() -> Self {
+        ProfitConfig::paper()
+    }
+}
+
+/// Per-state statistics tracked by the tabular agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct StateStats {
+    /// Q-value per action.
+    pub q: Vec<f64>,
+    /// Visit count per action.
+    pub visits: Vec<u64>,
+    /// Running mean reward observed in this state (any action).
+    pub mean_reward: f64,
+    /// Total visits to this state.
+    pub n: u64,
+}
+
+impl StateStats {
+    fn new(num_actions: usize) -> Self {
+        StateStats {
+            q: vec![0.0; num_actions],
+            visits: vec![0; num_actions],
+            mean_reward: 0.0,
+            n: 0,
+        }
+    }
+}
+
+/// A table-based RL power controller modelled on *Profit*.
+///
+/// Q-values estimate the immediate reward per discretized state and action
+/// (the same contextual-bandit structure as the neural agent):
+/// `Q(s,a) ← Q(s,a) + α · (r − Q(s,a))`.
+///
+/// The reward is the achieved instructions-per-second while the power stays
+/// under `P_crit`, and `−penalty_slope · |P_crit − P|` on violation. IPS is
+/// expressed in giga-instructions per second so the performance term and
+/// the penalty term share a comparable scale in the table.
+#[derive(Debug, Clone)]
+pub struct ProfitAgent {
+    config: ProfitConfig,
+    table: HashMap<StateKey, StateStats>,
+    rng: StdRng,
+    steps: u64,
+}
+
+impl ProfitAgent {
+    /// Creates an agent with an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero actions, learning rate
+    /// outside `(0, 1]`, ε bounds out of order).
+    pub fn new(config: ProfitConfig, seed: u64) -> Self {
+        assert!(config.num_actions > 0, "need at least one action");
+        assert!(
+            config.learning_rate > 0.0 && config.learning_rate <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
+        assert!(
+            config.epsilon_min > 0.0 && config.epsilon_min <= config.epsilon_max,
+            "need 0 < epsilon_min <= epsilon_max"
+        );
+        ProfitAgent {
+            config,
+            table: HashMap::new(),
+            rng: derive_rng(seed, streams::EXPLORATION),
+            steps: 0,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &ProfitConfig {
+        &self.config
+    }
+
+    /// Environment steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of discretized states visited so far.
+    pub fn states_visited(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Current exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        (self.config.epsilon_max * (-self.config.epsilon_decay * self.steps as f64).exp())
+            .max(self.config.epsilon_min)
+    }
+
+    /// The *Profit* reward: GIPS below the constraint, scaled negative
+    /// distance above it.
+    pub fn reward_for(&self, c: &PerfCounters) -> f64 {
+        if c.power_w <= self.config.p_crit_w {
+            c.ips / 1e9
+        } else {
+            -self.config.penalty_slope * (c.power_w - self.config.p_crit_w).abs()
+        }
+    }
+
+    /// Q-values for the discretized state of `c` (zeros when unvisited).
+    pub fn q_values(&self, c: &PerfCounters) -> Vec<f64> {
+        let key = self.config.discretizer.key(c);
+        self.table
+            .get(&key)
+            .map(|s| s.q.clone())
+            .unwrap_or_else(|| vec![0.0; self.config.num_actions])
+    }
+
+    /// ε-greedy action selection.
+    pub fn select_action(&mut self, c: &PerfCounters) -> FreqLevel {
+        let eps = self.epsilon();
+        if self.rng.random_range(0.0..1.0) < eps {
+            FreqLevel(self.rng.random_range(0..self.config.num_actions))
+        } else {
+            self.greedy_action(c)
+        }
+    }
+
+    /// Greedy action (evaluation mode).
+    ///
+    /// In a state the table has never visited there is no Q information at
+    /// all; the agent holds its current frequency (approximated by the
+    /// state's frequency bin, which aligns with the V/f level on the
+    /// 15-level Nano table) rather than defaulting to an arbitrary level.
+    pub fn greedy_action(&self, c: &PerfCounters) -> FreqLevel {
+        let key = self.config.discretizer.key(c);
+        match self.table.get(&key) {
+            Some(stats) => {
+                let mut best = 0;
+                for (i, &v) in stats.q.iter().enumerate() {
+                    if v > stats.q[best] {
+                        best = i;
+                    }
+                }
+                FreqLevel(best)
+            }
+            None => FreqLevel((key.f_bin as usize).min(self.config.num_actions - 1)),
+        }
+    }
+
+    /// Records an observed transition and updates the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    pub fn observe(&mut self, c: &PerfCounters, action: FreqLevel, reward: f64) {
+        assert!(
+            action.index() < self.config.num_actions,
+            "action {} out of range",
+            action.index()
+        );
+        let key = self.config.discretizer.key(c);
+        let num_actions = self.config.num_actions;
+        let stats = self
+            .table
+            .entry(key)
+            .or_insert_with(|| StateStats::new(num_actions));
+        let a = action.index();
+        stats.q[a] += self.config.learning_rate * (reward - stats.q[a]);
+        stats.visits[a] += 1;
+        stats.n += 1;
+        stats.mean_reward += (reward - stats.mean_reward) / stats.n as f64;
+        self.steps += 1;
+    }
+
+    /// Internal table access for the CollabPolicy server merge.
+    pub(crate) fn table(&self) -> &HashMap<StateKey, StateStats> {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(f: f64, p: f64, ips: f64) -> PerfCounters {
+        PerfCounters {
+            freq_mhz: f,
+            power_w: p,
+            ipc: 1.0,
+            mpki: 3.0,
+            ips,
+            ..PerfCounters::default()
+        }
+    }
+
+    #[test]
+    fn reward_is_gips_below_cap_and_penalty_above() {
+        let agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        let below = counters(800.0, 0.5, 1.2e9);
+        assert!((agent.reward_for(&below) - 1.2).abs() < 1e-12);
+        let above = counters(1479.0, 0.8, 2.0e9);
+        assert!((agent.reward_for(&above) + 5.0 * 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_decays_to_floor() {
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        assert_eq!(agent.epsilon(), 1.0);
+        let c = counters(500.0, 0.4, 1e9);
+        for _ in 0..20_000 {
+            agent.observe(&c, FreqLevel(0), 0.5);
+        }
+        assert_eq!(agent.epsilon(), 0.01);
+    }
+
+    #[test]
+    fn q_update_converges_to_reward_mean() {
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        let c = counters(500.0, 0.4, 1e9);
+        for _ in 0..200 {
+            agent.observe(&c, FreqLevel(3), 1.0);
+        }
+        let q = agent.q_values(&c);
+        assert!((q[3] - 1.0).abs() < 1e-6, "q[3]={}", q[3]);
+        assert_eq!(q[0], 0.0, "other actions untouched");
+    }
+
+    #[test]
+    fn greedy_prefers_trained_action() {
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        let c = counters(500.0, 0.4, 1e9);
+        for _ in 0..50 {
+            agent.observe(&c, FreqLevel(9), 1.5);
+            agent.observe(&c, FreqLevel(2), 0.2);
+        }
+        assert_eq!(agent.greedy_action(&c), FreqLevel(9));
+    }
+
+    #[test]
+    fn unvisited_state_holds_current_frequency() {
+        let agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        // Running at f_max with an empty table: stay near f_max.
+        assert_eq!(
+            agent.greedy_action(&counters(1479.0, 1.0, 1e9)),
+            FreqLevel(14)
+        );
+        // Running at a low level: stay low.
+        let low = agent.greedy_action(&counters(204.0, 0.2, 1e8));
+        assert!(low.index() <= 3, "got {low}");
+    }
+
+    #[test]
+    fn exploration_visits_many_actions() {
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 1);
+        let c = counters(500.0, 0.4, 1e9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(agent.select_action(&c).index());
+            agent.observe(&c, FreqLevel(0), 0.0);
+        }
+        assert!(seen.len() >= 12, "ε=1 initially should cover most actions");
+    }
+
+    #[test]
+    fn state_count_grows_with_distinct_states() {
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        agent.observe(&counters(102.0, 0.2, 1e8), FreqLevel(0), 0.1);
+        agent.observe(&counters(1479.0, 1.2, 2e9), FreqLevel(1), 0.2);
+        assert_eq!(agent.states_visited(), 2);
+    }
+
+    #[test]
+    fn tabular_aliasing_is_real() {
+        // Two physically different situations that share a bin share a
+        // Q-row — the expressiveness limitation §IV-B attributes to
+        // table-based RL.
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        let a = counters(825.6, 0.51, 1.0e9);
+        let b = counters(825.6, 0.57, 1.1e9);
+        agent.observe(&a, FreqLevel(5), 2.0);
+        let q_b = agent.q_values(&b);
+        assert_eq!(q_b[5], 0.2, "update through a leaks into b");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_action_panics() {
+        let mut agent = ProfitAgent::new(ProfitConfig::paper(), 0);
+        agent.observe(&counters(500.0, 0.4, 1e9), FreqLevel(15), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benchmark of an entire federated round — the end-to-end cost
+//! a deployment pays every `T · Δ_DVFS` seconds of wall-clock operation
+//! (communication excluded; see `TransportStats` for bytes).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+use fedpower_workloads::AppId;
+
+fn make_federation(clients: usize) -> Federation<AgentClient> {
+    let apps = [
+        &[AppId::Fft, AppId::Lu][..],
+        &[AppId::Ocean, AppId::Radix][..],
+        &[AppId::Barnes, AppId::Cholesky][..],
+        &[AppId::Fmm, AppId::Radiosity][..],
+    ];
+    let clients: Vec<AgentClient> = (0..clients)
+        .map(|i| {
+            AgentClient::new(
+                i,
+                ControllerConfig::paper(),
+                DeviceEnvConfig::new(apps[i % apps.len()]),
+                i as u64 + 1,
+            )
+        })
+        .collect();
+    let mut cfg = FedAvgConfig::paper();
+    cfg.steps_per_round = 100;
+    Federation::new(clients, cfg, 42)
+}
+
+fn bench_round(c: &mut Criterion) {
+    for n in [2usize, 4] {
+        c.bench_function(&format!("federation/round_{n}clients_100steps"), |b| {
+            b.iter_batched(
+                || make_federation(n),
+                |mut fed| black_box(fed.run_round()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

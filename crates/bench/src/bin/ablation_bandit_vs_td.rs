@@ -1,0 +1,85 @@
+//! **Ablation: contextual bandit vs. temporal difference.** The paper
+//! treats frequency selection as a contextual bandit (footnote 2): the
+//! effect of the action is fully visible in the next measurement, so no
+//! bootstrapping is needed. This binary trains the same network with
+//! DQN-style TD targets at several discount factors and compares.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin ablation_bandit_vs_td [--quick]
+//! ```
+
+use fedpower_agent::{DeviceEnvConfig, TdConfig};
+use fedpower_bench::BenchArgs;
+use fedpower_core::eval::{evaluate_on_app, EvalOptions};
+use fedpower_core::report::markdown_table;
+use fedpower_core::scenario::table2_scenarios;
+use fedpower_core::ExperimentConfig;
+use fedpower_federated::{FedAvgConfig, Federation, TdClient};
+use fedpower_sim::rng::derive_seed;
+use fedpower_workloads::AppId;
+
+fn train_td(gamma: f64, cfg: &ExperimentConfig, fedavg: FedAvgConfig) -> fedpower_agent::TdController {
+    let scenario = &table2_scenarios()[1];
+    let clients: Vec<TdClient> = scenario
+        .devices()
+        .into_iter()
+        .enumerate()
+        .map(|(d, apps)| {
+            let mut env = DeviceEnvConfig::new(apps);
+            env.control_interval_s = cfg.control_interval_s;
+            TdClient::new(
+                d,
+                TdConfig::paper_with_gamma(gamma),
+                env,
+                derive_seed(cfg.seed, 20 + d as u64),
+            )
+        })
+        .collect();
+    let mut fed = Federation::new(clients, fedavg, derive_seed(cfg.seed, 30));
+    fed.run();
+    fed.clients()[0].agent().clone()
+}
+
+fn main() {
+    let mut cfg = BenchArgs::from_env().config();
+    cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
+    eprintln!(
+        "bandit vs TD on scenario 2 ({} rounds per gamma)...",
+        cfg.fedavg.rounds
+    );
+    let opts = EvalOptions::from_config(&cfg);
+    let eval_apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Cholesky];
+
+    let mut rows = Vec::new();
+    for gamma in [0.0, 0.5, 0.9, 0.99] {
+        let policy = train_td(gamma, &cfg, cfg.fedavg);
+        let mut reward = 0.0;
+        let mut levels = 0.0;
+        for (i, &app) in eval_apps.iter().enumerate() {
+            let mut p = policy.clone();
+            let ep = evaluate_on_app(&mut p, app, &opts, 60 + i as u64);
+            reward += ep.mean_reward;
+            levels += ep.trace.mean_level().unwrap_or(0.0);
+        }
+        let n = eval_apps.len() as f64;
+        let label = if gamma == 0.0 {
+            "gamma 0.0 (bandit, paper)".to_string()
+        } else {
+            format!("gamma {gamma}")
+        };
+        rows.push(vec![
+            label,
+            format!("{:.3}", reward / n),
+            format!("{:.1}", levels / n),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["objective", "mean eval reward", "mean level"], &rows)
+    );
+    println!(
+        "expected: gamma has little upside here — the reward is immediate by design — \
+         while large discounts inflate targets (values ≈ r/(1−γ)) and slow convergence, \
+         supporting the paper's contextual-bandit formulation."
+    );
+}

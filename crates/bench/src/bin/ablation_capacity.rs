@@ -1,0 +1,54 @@
+//! **Ablation: model & replay capacity.** Sweeps the replay-buffer size,
+//! batch size and hidden width around the paper's Table I values
+//! (C = 4000, C_B = 128, 32 neurons), measuring converged evaluation
+//! reward on scenario 2.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin ablation_capacity [--quick]
+//! ```
+
+use fedpower_bench::BenchArgs;
+use fedpower_core::experiment::run_federated;
+use fedpower_core::report::markdown_table;
+use fedpower_core::scenario::table2_scenarios;
+
+fn main() {
+    let base = BenchArgs::from_env().config();
+    let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2");
+    eprintln!("ablating capacity on {} (R={})...", scenario.name, base.fedavg.rounds);
+
+    let mut rows = Vec::new();
+    let mut run = |name: String, cfg: fedpower_core::ExperimentConfig| {
+        let out = run_federated(&scenario, &cfg);
+        let tail: f64 = out
+            .series
+            .iter()
+            .map(|s| s.tail_mean_reward(20))
+            .sum::<f64>()
+            / out.series.len() as f64;
+        rows.push(vec![name, format!("{tail:.3}")]);
+    };
+
+    run("paper (C=4000, B=128, 32 neurons)".into(), base);
+
+    for capacity in [500, 1000, 8000] {
+        let mut cfg = base;
+        cfg.controller.replay_capacity = capacity;
+        run(format!("replay capacity {capacity}"), cfg);
+    }
+    for batch in [32, 256] {
+        let mut cfg = base;
+        cfg.controller.batch_size = batch;
+        run(format!("batch size {batch}"), cfg);
+    }
+    for neurons in [8, 64, 128] {
+        let mut cfg = base;
+        cfg.controller.hidden_neurons = neurons;
+        run(format!("{neurons} hidden neurons"), cfg);
+    }
+
+    println!(
+        "{}",
+        markdown_table(&["configuration", "final-20 eval reward"], &rows)
+    );
+}

@@ -1,0 +1,105 @@
+//! **Ablation: workload drift.** The paper's policies are evaluated on the
+//! same twelve application models used (somewhere) in training. Real
+//! deployments drift: input sets grow (more cache misses), code changes
+//! (different power density). This binary evaluates a trained federated
+//! policy on systematically drifted variants of the catalog.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin ablation_drift [--quick]
+//! ```
+
+use fedpower_agent::{DeviceEnv, DeviceEnvConfig, PowerController};
+use fedpower_bench::BenchArgs;
+use fedpower_core::eval::EvalOptions;
+use fedpower_core::experiment::run_federated_training_only;
+use fedpower_core::policy::DvfsPolicy;
+use fedpower_core::report::markdown_table;
+use fedpower_core::scenario::six_six_split;
+use fedpower_workloads::{catalog, AppId, SequenceMode};
+
+/// Greedy evaluation on a drifted model: returns (mean reward, mean power,
+/// violation rate).
+fn eval_drifted(
+    policy: &PowerController,
+    app: AppId,
+    mpki_scale: f64,
+    activity_scale: f64,
+    opts: &EvalOptions,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let model = catalog::perturbed(app, mpki_scale, activity_scale);
+    let mut env_config = DeviceEnvConfig::from_models(vec![model]);
+    env_config.control_interval_s = opts.control_interval_s;
+    env_config.mode = SequenceMode::RoundRobin;
+    let mut env = DeviceEnv::new(env_config, seed);
+    let mut policy = policy.clone();
+    let mut last = env.bootstrap().counters;
+    let f_max = env.vf_table().max_freq_mhz();
+
+    let mut reward_sum = 0.0;
+    let mut power_sum = 0.0;
+    let mut violations = 0u64;
+    for _ in 0..opts.steps {
+        let level = policy.decide(&last);
+        let obs = env.execute(level);
+        reward_sum += opts.reward.reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
+        power_sum += obs.clean.power_w;
+        if obs.clean.power_w > opts.reward.p_crit_w {
+            violations += 1;
+        }
+        last = obs.counters;
+    }
+    let n = opts.steps as f64;
+    (reward_sum / n, power_sum / n, violations as f64 / n)
+}
+
+fn main() {
+    let mut cfg = BenchArgs::from_env().config();
+    cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
+    eprintln!("training on the pristine catalog ({} rounds)...", cfg.fedavg.rounds);
+    let policy = run_federated_training_only(&six_six_split(), &cfg);
+    let opts = EvalOptions::from_config(&cfg);
+
+    let drift_grid = [
+        ("pristine", 1.0, 1.0),
+        ("+50 % MPKI", 1.5, 1.0),
+        ("-50 % MPKI", 0.5, 1.0),
+        ("+15 % activity", 1.0, 1.15),
+        ("-15 % activity", 1.0, 0.85),
+        ("hostile (+50 % MPKI, +15 % act)", 1.5, 1.15),
+    ];
+    let apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Barnes];
+
+    let mut rows = Vec::new();
+    for (name, mpki_scale, act_scale) in drift_grid {
+        let mut reward = 0.0;
+        let mut power = 0.0;
+        let mut viol = 0.0;
+        for (i, &app) in apps.iter().enumerate() {
+            let (r, p, v) =
+                eval_drifted(&policy, app, mpki_scale, act_scale, &opts, 500 + i as u64);
+            reward += r;
+            power += p;
+            viol += v;
+        }
+        let n = apps.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", reward / n),
+            format!("{:.3}", power / n),
+            format!("{:.1} %", viol / n * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["deployment drift", "mean reward", "mean power [W]", "violations"],
+            &rows,
+        )
+    );
+    println!(
+        "expected: the policy conditions on live counters, so mild drift shifts it to \
+         adjacent V/f levels gracefully; only hostile activity growth pushes power \
+         excursions up."
+    );
+}

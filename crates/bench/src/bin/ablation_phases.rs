@@ -1,0 +1,106 @@
+//! **Ablation: phase structure.** The catalog's default models traverse
+//! their phases once per run; real iterative codes (ocean's solver sweeps,
+//! water's timesteps, barnes' tree rebuilds) re-enter their phases every
+//! iteration, so a deployed policy faces phase *transitions* continuously.
+//! This binary evaluates the trained policy on looping variants and
+//! measures what phase churn costs.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin ablation_phases [--quick]
+//! ```
+
+use fedpower_agent::{DeviceEnv, DeviceEnvConfig, PowerController};
+use fedpower_bench::BenchArgs;
+use fedpower_core::eval::EvalOptions;
+use fedpower_core::experiment::run_federated_training_only;
+use fedpower_core::policy::DvfsPolicy;
+use fedpower_core::report::markdown_table;
+use fedpower_core::scenario::six_six_split;
+use fedpower_workloads::{catalog, AppId, SequenceMode};
+
+/// Greedy evaluation on a custom model; returns (mean reward, level
+/// switches per interval).
+fn eval_model(
+    policy: &PowerController,
+    model: fedpower_workloads::AppModel,
+    opts: &EvalOptions,
+    seed: u64,
+) -> (f64, f64) {
+    let mut env_config = DeviceEnvConfig::from_models(vec![model]);
+    env_config.control_interval_s = opts.control_interval_s;
+    env_config.mode = SequenceMode::RoundRobin;
+    let mut env = DeviceEnv::new(env_config, seed);
+    let mut policy = policy.clone();
+    let mut last = env.bootstrap().counters;
+    let f_max = env.vf_table().max_freq_mhz();
+
+    let mut reward = 0.0;
+    let mut switches = 0u64;
+    let mut prev_level = None;
+    let steps = opts.steps.max(60);
+    for _ in 0..steps {
+        let level = policy.decide(&last);
+        if prev_level.is_some_and(|p| p != level) {
+            switches += 1;
+        }
+        prev_level = Some(level);
+        let obs = env.execute(level);
+        reward += opts.reward.reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
+        last = obs.counters;
+    }
+    (reward / steps as f64, switches as f64 / steps as f64)
+}
+
+fn main() {
+    let mut cfg = BenchArgs::from_env().config();
+    cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
+    eprintln!("training on the sequential catalog ({} rounds)...", cfg.fedavg.rounds);
+    let policy = run_federated_training_only(&six_six_split(), &cfg);
+    let opts = EvalOptions::from_config(&cfg);
+
+    // Iterative codes and how many solver iterations a run spans.
+    let apps = [
+        (AppId::Ocean, 20u32),
+        (AppId::WaterNs, 10),
+        (AppId::Barnes, 15),
+        (AppId::Fft, 8),
+    ];
+    let mut rows = Vec::new();
+    for (i, &(app, iterations)) in apps.iter().enumerate() {
+        let seed = 700 + i as u64;
+        let (seq_reward, seq_switch) =
+            eval_model(&policy, catalog::model(app), &opts, seed);
+        let (loop_reward, loop_switch) = eval_model(
+            &policy,
+            catalog::model(app).with_iterations(iterations),
+            &opts,
+            seed,
+        );
+        rows.push(vec![
+            format!("{app} (x{iterations})"),
+            format!("{seq_reward:.3}"),
+            format!("{loop_reward:.3}"),
+            format!("{seq_switch:.2}"),
+            format!("{loop_switch:.2}"),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "app",
+                "reward sequential",
+                "reward looping",
+                "switches/step seq",
+                "switches/step loop",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "reading the table: looping structure multiplies phase boundaries, and the \
+         reactive policy pays one interval of lag per boundary — apps with slow phase \
+         churn (ocean, water) lose almost nothing, while short-phase apps (fft) lose \
+         noticeably. That lag, not model capacity, is the cost of per-interval control."
+    );
+}

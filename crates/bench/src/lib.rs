@@ -1,0 +1,133 @@
+//! # fedpower-bench
+//!
+//! The benchmark harness regenerating every table and figure of the paper:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig2_reward` | Fig. 2 — reward distribution vs. power per V/f level |
+//! | `fig3_local_vs_federated` | Fig. 3 — eval reward per round, local vs. federated, 3 scenarios |
+//! | `fig4_frequency_selection` | Fig. 4 — mean ± std of selected frequency, scenario 2 |
+//! | `table3_sota_comparison` | Table III — exec time / IPS / power vs. Profit+CollabPolicy |
+//! | `fig5_per_app` | Fig. 5 — per-application comparison, six training apps per device |
+//! | `overhead` | §IV-C — controller latency, transfer size, replay footprint |
+//! | `ablation_*` | design-choice ablations listed in DESIGN.md |
+//! | `oracle_regret` | learned policy vs. perfect-knowledge upper bound |
+//! | `reward_model_quality` | μ(s,a) prediction error per application |
+//! | `table_edp` | energy-delay product vs. the EDP literature |
+//!
+//! Each binary accepts `--rounds N`, `--seed S` and `--quick` (a scaled-down
+//! run for smoke testing) and prints CSV/markdown to stdout.
+//!
+//! Criterion micro-benchmarks (`cargo bench -p fedpower-bench`) measure the
+//! per-step controller latency and FedAvg aggregation cost backing the
+//! §IV-C overhead discussion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fedpower_core::ExperimentConfig;
+
+/// Command-line options shared by all bench binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Number of federated rounds (`--rounds N`).
+    pub rounds: Option<u64>,
+    /// Master seed (`--seed S`).
+    pub seed: Option<u64>,
+    /// Scaled-down smoke run (`--quick`).
+    pub quick: bool,
+}
+
+impl BenchArgs {
+    /// Parses recognized flags from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`). Unrecognized arguments are an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown flags or malformed
+    /// numbers.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = BenchArgs {
+            rounds: None,
+            seed: None,
+            quick: false,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--rounds" => {
+                    let v = iter.next().ok_or("--rounds needs a value")?;
+                    out.rounds = Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?);
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = Some(v.parse().map_err(|e| format!("bad --seed: {e}"))?);
+                }
+                "--quick" => out.quick = true,
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process arguments, exiting with a usage message on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: [--rounds N] [--seed S] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Materializes the experiment configuration these arguments select.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg = if self.quick {
+            ExperimentConfig::smoke()
+        } else {
+            ExperimentConfig::paper()
+        };
+        if let Some(rounds) = self.rounds {
+            cfg.fedavg.rounds = rounds;
+        }
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_args_give_paper_config() {
+        let args = parse(&[]).unwrap();
+        assert!(!args.quick);
+        assert_eq!(args.config().fedavg.rounds, 100);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let args = parse(&["--rounds", "7", "--seed", "9", "--quick"]).unwrap();
+        let cfg = args.config();
+        assert_eq!(cfg.fedavg.rounds, 7);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.eval_steps < ExperimentConfig::paper().eval_steps);
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        assert!(parse(&["--what"]).is_err());
+        assert!(parse(&["--rounds"]).is_err());
+        assert!(parse(&["--rounds", "x"]).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Command implementations for the `fedpower` CLI.
+
+use crate::{Command, Invocation};
+use fedpower_agent::RewardConfig;
+use fedpower_core::eval::{run_to_completion, EvalOptions};
+use fedpower_core::experiment::{
+    run_federated, run_federated_training_only, run_fig5, run_local_only, run_table3,
+};
+use fedpower_core::metrics::relative;
+use fedpower_core::report::{markdown_table, series_to_csv};
+use fedpower_core::scenario::{six_six_split, table2_scenarios};
+use fedpower_core::ExperimentConfig;
+use fedpower_workloads::{catalog, AppId};
+use std::error::Error;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Executes the invocation, printing to stdout and (optionally) writing
+/// CSV artifacts under `--out DIR`.
+///
+/// # Errors
+///
+/// Returns I/O errors from artifact writing.
+pub fn run(inv: &Invocation) -> Result<(), Box<dyn Error>> {
+    let cfg = inv.config();
+    match inv.command {
+        Command::Fig3 => fig3(&cfg, inv.out.as_deref()),
+        Command::Fig4 => fig4(&cfg, inv.out.as_deref()),
+        Command::Table3 => table3(&cfg),
+        Command::Fig5 => fig5(&cfg),
+        Command::Pcrit => pcrit(&cfg),
+        Command::Oracle => oracle(&cfg),
+        Command::List => {
+            list_catalog();
+            Ok(())
+        }
+    }
+}
+
+fn write_artifact(out: Option<&Path>, name: &str, content: &str) -> Result<(), Box<dyn Error>> {
+    if let Some(dir) = out {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(content.as_bytes())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn fig3(cfg: &ExperimentConfig, out: Option<&Path>) -> Result<(), Box<dyn Error>> {
+    for scenario in table2_scenarios() {
+        eprintln!("running {}...", scenario.name);
+        let local = run_local_only(&scenario, cfg);
+        let fed = run_federated(&scenario, cfg);
+        let mut all = local.series;
+        all.extend(fed.series);
+        let csv = series_to_csv(&all);
+        println!("# {}\n{}", scenario.name, csv);
+        write_artifact(out, &format!("fig3_{}.csv", scenario.name), &csv)?;
+    }
+    Ok(())
+}
+
+fn fig4(cfg: &ExperimentConfig, out: Option<&Path>) -> Result<(), Box<dyn Error>> {
+    let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2");
+    let local = run_local_only(&scenario, cfg);
+    let fed = run_federated(&scenario, cfg);
+    let mut csv = String::from("round,local_a_level,local_b_level,federated_level\n");
+    for i in 0..fed.series[0].points.len() {
+        csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3}\n",
+            local.series[0].points[i].round,
+            local.series[0].points[i].mean_level,
+            local.series[1].points[i].mean_level,
+            fed.series[0].points[i].mean_level,
+        ));
+    }
+    println!("{csv}");
+    write_artifact(out, "fig4_levels.csv", &csv)?;
+    Ok(())
+}
+
+fn table3(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
+    let cmp = run_table3(cfg);
+    println!(
+        "{}",
+        markdown_table(
+            &["Category", "Ours", "Profit+CollabPolicy"],
+            &[
+                vec![
+                    "Exec. Time [s]".into(),
+                    format!("{:.2}", cmp.ours.exec_time_s),
+                    format!("{:.2}", cmp.baseline.exec_time_s),
+                ],
+                vec![
+                    "IPS [x10^9]".into(),
+                    format!("{:.3}", cmp.ours.ips / 1e9),
+                    format!("{:.3}", cmp.baseline.ips / 1e9),
+                ],
+                vec![
+                    "Power [W]".into(),
+                    format!("{:.3}", cmp.ours.power_w),
+                    format!("{:.3}", cmp.baseline.power_w),
+                ],
+            ],
+        )
+    );
+    println!(
+        "exec time {:+.0} %, IPS {:+.0} % vs baseline",
+        relative::reduction_pct(cmp.ours.exec_time_s, cmp.baseline.exec_time_s),
+        relative::increase_pct(cmp.ours.ips, cmp.baseline.ips),
+    );
+    Ok(())
+}
+
+fn fig5(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
+    let rows = run_fig5(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.to_string(),
+                format!("{:.1}", r.ours.exec_time_s),
+                format!("{:.1}", r.baseline.exec_time_s),
+                format!("{:.2}", r.ours.mean_power_w),
+                format!("{:.2}", r.baseline.mean_power_w),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["app", "exec ours [s]", "exec base [s]", "P ours [W]", "P base [W]"],
+            &table,
+        )
+    );
+    Ok(())
+}
+
+/// Sweeps the power constraint: the controller must track arbitrary
+/// budgets, not just the paper's 0.6 W.
+fn pcrit(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
+    let scenario = six_six_split();
+    let mut rows = Vec::new();
+    for p_crit in [0.4, 0.5, 0.6, 0.7, 0.8] {
+        let mut sweep_cfg = *cfg;
+        sweep_cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
+        sweep_cfg.controller.reward = RewardConfig::new(p_crit, 0.05);
+        eprintln!("training at P_crit = {p_crit} W...");
+        let policy = run_federated_training_only(&scenario, &sweep_cfg);
+        let opts = EvalOptions::from_config(&sweep_cfg);
+        let apps = [AppId::Fft, AppId::Lu, AppId::Ocean];
+        let mut time = 0.0;
+        let mut power = 0.0;
+        for (i, &app) in apps.iter().enumerate() {
+            let mut p = policy.clone();
+            let m = run_to_completion(&mut p, app, &opts, 30 + i as u64);
+            time += m.exec_time_s;
+            power += m.mean_power_w;
+        }
+        let n = apps.len() as f64;
+        rows.push(vec![
+            format!("{p_crit:.1}"),
+            format!("{:.3}", power / n),
+            format!("{:.1}", time / n),
+            format!("{}", power / n <= p_crit + 0.02),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["P_crit [W]", "mean power [W]", "mean exec time [s]", "under budget"],
+            &rows,
+        )
+    );
+    println!("a working controller tracks the budget: power rises and exec time falls with P_crit");
+    Ok(())
+}
+
+/// Regret of the trained federated policy against the perfect-knowledge
+/// oracle, per application.
+fn oracle(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
+    use fedpower_core::eval::evaluate_on_app;
+    use fedpower_core::oracle::Oracle;
+    let mut sweep_cfg = *cfg;
+    sweep_cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
+    eprintln!("training ({} rounds)...", sweep_cfg.fedavg.rounds);
+    let policy = run_federated_training_only(&six_six_split(), &sweep_cfg);
+    let bound = Oracle::new(sweep_cfg.controller.reward);
+    let opts = EvalOptions::from_config(&sweep_cfg);
+    let mut rows = Vec::new();
+    for (i, &app) in AppId::ALL.iter().enumerate() {
+        let mut p = policy.clone();
+        let learned = evaluate_on_app(&mut p, app, &opts, 300 + i as u64).mean_reward;
+        let upper = bound.app_reward(app);
+        rows.push(vec![
+            app.to_string(),
+            format!("{learned:.3}"),
+            format!("{upper:.3}"),
+            format!("{:.0} %", learned / upper * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["app", "learned", "oracle", "captured"], &rows)
+    );
+    Ok(())
+}
+
+fn list_catalog() {
+    let rows: Vec<Vec<String>> = catalog::all_models()
+        .iter()
+        .map(|m| {
+            vec![
+                m.id().to_string(),
+                format!("{}", m.phases().len()),
+                format!("{:.1}", m.mean_mpki()),
+                format!("{:.2}", m.mean_activity()),
+                format!("{:.1e}", m.total_instructions()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &["app", "phases", "mean MPKI", "mean activity", "instructions"],
+            &rows,
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Invocation;
+
+    fn quick_inv(cmd: &str, extra: &[&str]) -> Invocation {
+        let mut args = vec![cmd.to_string(), "--quick".into(), "--rounds".into(), "2".into()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        Invocation::parse(args).expect("valid test invocation")
+    }
+
+    #[test]
+    fn list_command_runs() {
+        run(&quick_inv("list", &[])).unwrap();
+    }
+
+    #[test]
+    fn fig4_quick_runs_end_to_end() {
+        run(&quick_inv("fig4", &[])).unwrap();
+    }
+
+    #[test]
+    fn fig3_writes_artifacts_when_out_given() {
+        let dir = std::env::temp_dir().join(format!("fedpower-cli-test-{}", std::process::id()));
+        let inv = quick_inv("fig3", &["--out", dir.to_str().expect("utf-8 temp path")]);
+        run(&inv).unwrap();
+        for scenario in table2_scenarios() {
+            let path = dir.join(format!("fig3_{}.csv", scenario.name));
+            let contents = fs::read_to_string(&path).expect("artifact exists");
+            assert!(contents.starts_with("round,"), "CSV header present");
+            assert!(contents.lines().count() >= 3);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

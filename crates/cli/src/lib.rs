@@ -1,0 +1,222 @@
+//! # fedpower-cli
+//!
+//! Library backing the `fedpower` command-line tool: argument parsing and
+//! experiment dispatch, separated from `main.rs` so they are unit-testable.
+//!
+//! ```text
+//! fedpower <command> [--rounds N] [--seed S] [--quick] [--out DIR]
+//!
+//! commands:
+//!   fig3        local-only vs federated reward curves (3 scenarios)
+//!   fig4        frequency-selection statistics (scenario 2)
+//!   table3      state-of-the-art comparison (exec time / IPS / power)
+//!   fig5        per-application comparison (six/six split)
+//!   pcrit       sweep the power constraint from 0.4 W to 0.8 W
+//!   oracle      regret of the trained policy vs a perfect-knowledge oracle
+//!   list        list the application catalog with model characteristics
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+
+use fedpower_core::ExperimentConfig;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The selected command.
+    pub command: Command,
+    /// `--rounds N` override.
+    pub rounds: Option<u64>,
+    /// `--seed S` override.
+    pub seed: Option<u64>,
+    /// `--quick` scaled-down run.
+    pub quick: bool,
+    /// `--out DIR` — write CSV artifacts there instead of stdout only.
+    pub out: Option<PathBuf>,
+}
+
+/// The available subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Command {
+    Fig3,
+    Fig4,
+    Table3,
+    Fig5,
+    Pcrit,
+    Oracle,
+    List,
+}
+
+impl Command {
+    fn parse(s: &str) -> Option<Command> {
+        match s {
+            "fig3" => Some(Command::Fig3),
+            "fig4" => Some(Command::Fig4),
+            "table3" => Some(Command::Table3),
+            "fig5" => Some(Command::Fig5),
+            "pcrit" => Some(Command::Pcrit),
+            "oracle" => Some(Command::Oracle),
+            "list" => Some(Command::List),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Command::Fig3 => "fig3",
+            Command::Fig4 => "fig4",
+            Command::Table3 => "table3",
+            Command::Fig5 => "fig5",
+            Command::Pcrit => "pcrit",
+            Command::Oracle => "oracle",
+            Command::List => "list",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error produced by [`Invocation::parse`]; its `Display` is the message
+/// shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInvocationError(String);
+
+impl fmt::Display for ParseInvocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseInvocationError {}
+
+impl Invocation {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for direct display on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseInvocationError> {
+        let mut iter = args.into_iter();
+        let command = match iter.next() {
+            Some(c) => Command::parse(&c)
+                .ok_or_else(|| ParseInvocationError(format!("unknown command: {c}")))?,
+            None => return Err(ParseInvocationError("missing command".into())),
+        };
+        let mut inv = Invocation {
+            command,
+            rounds: None,
+            seed: None,
+            quick: false,
+            out: None,
+        };
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--rounds" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--rounds needs a value".into()))?;
+                    inv.rounds = Some(
+                        v.parse()
+                            .map_err(|e| ParseInvocationError(format!("bad --rounds: {e}")))?,
+                    );
+                }
+                "--seed" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--seed needs a value".into()))?;
+                    inv.seed = Some(
+                        v.parse()
+                            .map_err(|e| ParseInvocationError(format!("bad --seed: {e}")))?,
+                    );
+                }
+                "--quick" => inv.quick = true,
+                "--out" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--out needs a directory".into()))?;
+                    inv.out = Some(PathBuf::from(v));
+                }
+                other => {
+                    return Err(ParseInvocationError(format!("unknown argument: {other}")))
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// The experiment configuration this invocation selects.
+    pub fn config(&self) -> ExperimentConfig {
+        let mut cfg = if self.quick {
+            ExperimentConfig::smoke()
+        } else {
+            ExperimentConfig::paper()
+        };
+        if let Some(rounds) = self.rounds {
+            cfg.fedavg.rounds = rounds;
+        }
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        cfg
+    }
+}
+
+/// The usage text shown on parse errors.
+pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|list> \
+[--rounds N] [--seed S] [--quick] [--out DIR]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Invocation, ParseInvocationError> {
+        Invocation::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let inv = parse(&["fig3", "--rounds", "12", "--seed", "3", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(inv.command, Command::Fig3);
+        assert_eq!(inv.rounds, Some(12));
+        assert_eq!(inv.seed, Some(3));
+        assert_eq!(inv.out, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(inv.config().fedavg.rounds, 12);
+    }
+
+    #[test]
+    fn quick_selects_smoke_config() {
+        let inv = parse(&["table3", "--quick"]).unwrap();
+        assert!(inv.config().eval_steps < ExperimentConfig::paper().eval_steps);
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["fig3", "--rounds"]).is_err());
+        assert!(parse(&["fig3", "--rounds", "abc"]).is_err());
+        assert!(parse(&["fig3", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn all_commands_roundtrip_through_display() {
+        for cmd in [
+            Command::Fig3,
+            Command::Fig4,
+            Command::Table3,
+            Command::Fig5,
+            Command::Pcrit,
+            Command::Oracle,
+            Command::List,
+        ] {
+            assert_eq!(Command::parse(&cmd.to_string()), Some(cmd));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The `fedpower` command-line tool.
+
+use fedpower_cli::{commands, Invocation, USAGE};
+
+fn main() {
+    let inv = match Invocation::parse(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::run(&inv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

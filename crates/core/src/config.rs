@@ -1,0 +1,129 @@
+//! The experiment configuration (Table I of the paper).
+
+use fedpower_agent::ControllerConfig;
+use fedpower_baselines::ProfitConfig;
+use fedpower_federated::FedAvgConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which applications each post-round evaluation covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvalProtocol {
+    /// One application per round, rotating through all twelve — §IV-A's
+    /// "using one of the twelve evaluation applications". Curves are
+    /// noisier (each round reflects a single app), matching the paper's
+    /// plots.
+    #[default]
+    RoundRobin,
+    /// Every application every round, averaged — smoother curves at 12×
+    /// the evaluation cost.
+    AllApps,
+}
+
+/// All hyperparameters of a reproduction run, defaulting to Table I.
+///
+/// | Parameter | Value | Parameter | Value |
+/// |---|---|---|---|
+/// | Learning rate α | 0.005 | Hidden layers | 1 |
+/// | Max temp τ_max | 0.9 | Neurons/layer | 32 |
+/// | Temp decay | 0.0005 | P_crit | 0.6 W |
+/// | Min temp τ_min | 0.01 | k_offset | 0.05 W |
+/// | Replay capacity C | 4000 | Δ_DVFS | 500 ms |
+/// | Batch size C_B | 128 | Rounds R | 100 |
+/// | Optim interval H | 20 | Steps/round T | 100 |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Neural power-controller hyperparameters.
+    pub controller: ControllerConfig,
+    /// Federated-averaging schedule.
+    pub fedavg: FedAvgConfig,
+    /// Baseline (Profit) hyperparameters.
+    pub profit: ProfitConfig,
+    /// DVFS control interval Δ_DVFS in seconds.
+    pub control_interval_s: f64,
+    /// Control intervals per evaluation episode (Fig. 3 reward curves).
+    pub eval_steps: u64,
+    /// Safety cap on control intervals for to-completion runs
+    /// (Table III / Fig. 5 exec-time accounting).
+    pub eval_max_steps: u64,
+    /// Which applications each post-round evaluation covers.
+    pub eval_protocol: EvalProtocol,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            controller: ControllerConfig::paper(),
+            fedavg: FedAvgConfig::paper(),
+            profit: ProfitConfig::paper(),
+            control_interval_s: 0.5,
+            eval_steps: 30,
+            eval_max_steps: 1200,
+            eval_protocol: EvalProtocol::RoundRobin,
+            seed: 42,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests and smoke runs: fewer
+    /// rounds and shorter evaluations, same per-step semantics.
+    pub fn smoke() -> Self {
+        let mut cfg = ExperimentConfig::paper();
+        cfg.fedavg.rounds = 10;
+        cfg.eval_steps = 10;
+        cfg.eval_max_steps = 400;
+        cfg
+    }
+
+    /// Returns a copy with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.controller.learning_rate, 0.005);
+        assert_eq!(cfg.controller.temperature.tau_max, 0.9);
+        assert_eq!(cfg.controller.temperature.decay, 0.0005);
+        assert_eq!(cfg.controller.temperature.tau_min, 0.01);
+        assert_eq!(cfg.controller.replay_capacity, 4000);
+        assert_eq!(cfg.controller.batch_size, 128);
+        assert_eq!(cfg.controller.optim_interval, 20);
+        assert_eq!(cfg.controller.hidden_layers, 1);
+        assert_eq!(cfg.controller.hidden_neurons, 32);
+        assert_eq!(cfg.controller.reward.p_crit_w, 0.6);
+        assert_eq!(cfg.controller.reward.k_offset_w, 0.05);
+        assert_eq!(cfg.control_interval_s, 0.5);
+        assert_eq!(cfg.fedavg.rounds, 100);
+        assert_eq!(cfg.fedavg.steps_per_round, 100);
+    }
+
+    #[test]
+    fn smoke_is_smaller_but_same_semantics() {
+        let cfg = ExperimentConfig::smoke();
+        assert!(cfg.fedavg.rounds < 100);
+        assert_eq!(cfg.controller, ControllerConfig::paper());
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = ExperimentConfig::paper();
+        let b = ExperimentConfig::paper().with_seed(7);
+        assert_eq!(a.controller, b.controller);
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,268 @@
+//! The paper's evaluation protocol (§IV-A): greedy policies, no updates.
+
+use crate::config::ExperimentConfig;
+use crate::policy::DvfsPolicy;
+use fedpower_agent::{DeviceEnvConfig, RewardConfig};
+use fedpower_sim::{Trace, TraceRecord};
+use fedpower_workloads::{AppId, SequenceMode};
+use serde::{Deserialize, Serialize};
+
+/// Options governing an evaluation episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// Control intervals per reward-evaluation episode.
+    pub steps: u64,
+    /// Safety cap on intervals for to-completion runs.
+    pub max_steps: u64,
+    /// Control interval length in seconds.
+    pub control_interval_s: f64,
+    /// Reward definition used for reporting (Eq. (4)).
+    pub reward: RewardConfig,
+}
+
+impl EvalOptions {
+    /// Derives evaluation options from an experiment configuration.
+    pub fn from_config(cfg: &ExperimentConfig) -> Self {
+        EvalOptions {
+            steps: cfg.eval_steps,
+            max_steps: cfg.eval_max_steps,
+            control_interval_s: cfg.control_interval_s,
+            reward: cfg.controller.reward,
+        }
+    }
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions::from_config(&ExperimentConfig::paper())
+    }
+}
+
+/// The outcome of one fixed-length evaluation episode.
+#[derive(Debug, Clone)]
+pub struct EvalEpisode {
+    /// The evaluated application.
+    pub app: AppId,
+    /// Mean Eq. (4) reward over the episode, computed from ground-truth
+    /// power (the policy still only sees noisy counters).
+    pub mean_reward: f64,
+    /// Full per-interval trace (levels, counters, rewards).
+    pub trace: Trace,
+}
+
+/// Runs `policy` greedily on `app` for `opts.steps` control intervals.
+///
+/// The policy is *not* updated — this mirrors the paper's evaluation
+/// rounds, which "provide an accurate estimate of performance on unseen
+/// applications".
+pub fn evaluate_on_app(
+    policy: &mut dyn DvfsPolicy,
+    app: AppId,
+    opts: &EvalOptions,
+    seed: u64,
+) -> EvalEpisode {
+    let mut env_config = DeviceEnvConfig::new(&[app]);
+    env_config.control_interval_s = opts.control_interval_s;
+    env_config.mode = SequenceMode::RoundRobin;
+    let mut env = fedpower_agent::DeviceEnv::new(env_config, seed);
+    let mut last = env.bootstrap().counters;
+
+    let f_max = env.vf_table().max_freq_mhz();
+    let mut trace = Trace::new();
+    for step in 0..opts.steps {
+        let level = policy.decide(&last);
+        let obs = env.execute(level);
+        let reward = opts.reward.reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
+        trace.push(TraceRecord {
+            step,
+            level,
+            counters: obs.clean,
+            reward,
+        });
+        last = obs.counters;
+    }
+    EvalEpisode {
+        app,
+        mean_reward: trace.mean_reward().unwrap_or(0.0),
+        trace,
+    }
+}
+
+/// Physical metrics of one full application execution under a policy —
+/// the quantities Table III and Fig. 5 report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletionMetrics {
+    /// The executed application.
+    pub app: AppId,
+    /// Wall-clock execution time in seconds.
+    pub exec_time_s: f64,
+    /// Mean instructions per second over the run.
+    pub ips: f64,
+    /// Mean power in watts over the run.
+    pub mean_power_w: f64,
+    /// Fraction of intervals whose true power exceeded the constraint.
+    pub violation_rate: f64,
+    /// Total energy consumed over the run in joules.
+    pub energy_j: f64,
+    /// False if the `max_steps` cap was hit before completion.
+    pub completed: bool,
+}
+
+impl CompletionMetrics {
+    /// Energy-delay product in J·s — the metric minimized by several
+    /// related works (e.g. Chen et al., DATE 2022). Lower is better.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.exec_time_s
+    }
+}
+
+/// Runs `app` to completion under a greedy `policy`, measuring execution
+/// time, throughput and power from ground-truth counters.
+pub fn run_to_completion(
+    policy: &mut dyn DvfsPolicy,
+    app: AppId,
+    opts: &EvalOptions,
+    seed: u64,
+) -> CompletionMetrics {
+    let mut env_config = DeviceEnvConfig::new(&[app]);
+    env_config.control_interval_s = opts.control_interval_s;
+    env_config.mode = SequenceMode::RoundRobin;
+    let mut env = fedpower_agent::DeviceEnv::new(env_config, seed);
+    let mut last = env.bootstrap().counters;
+
+    let mut steps = 0u64;
+    let mut instructions = 0.0;
+    let mut power_sum = 0.0;
+    let mut violations = 0u64;
+    let mut completed = false;
+    while steps < opts.max_steps {
+        let level = policy.decide(&last);
+        let obs = env.execute(level);
+        steps += 1;
+        instructions += obs.instructions_retired;
+        power_sum += obs.clean.power_w;
+        if obs.clean.power_w > opts.reward.p_crit_w {
+            violations += 1;
+        }
+        last = obs.counters;
+        if obs.completed_app == Some(app) {
+            completed = true;
+            break;
+        }
+    }
+    let exec_time_s = steps as f64 * opts.control_interval_s;
+    CompletionMetrics {
+        app,
+        exec_time_s,
+        ips: instructions / exec_time_s,
+        mean_power_w: power_sum / steps as f64,
+        violation_rate: violations as f64 / steps as f64,
+        energy_j: power_sum * opts.control_interval_s,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::GovernorPolicy;
+    use fedpower_baselines::{PerformanceGovernor, PowerCapGovernor, PowersaveGovernor};
+    use fedpower_sim::VfTable;
+
+    fn perf_policy() -> GovernorPolicy<PerformanceGovernor> {
+        GovernorPolicy::new(PerformanceGovernor, VfTable::jetson_nano())
+    }
+
+    #[test]
+    fn evaluation_respects_episode_length() {
+        let mut p = perf_policy();
+        let ep = evaluate_on_app(&mut p, AppId::Fft, &EvalOptions::default(), 1);
+        assert_eq!(ep.trace.len(), 30);
+        assert_eq!(ep.app, AppId::Fft);
+    }
+
+    #[test]
+    fn performance_governor_on_compute_app_violates_constraint() {
+        // lu at 1479 MHz draws ~1.2 W >> 0.6 W: the reward must crater.
+        let mut p = perf_policy();
+        let ep = evaluate_on_app(&mut p, AppId::Lu, &EvalOptions::default(), 2);
+        assert!(
+            ep.mean_reward < -0.9,
+            "expected saturated penalty, got {}",
+            ep.mean_reward
+        );
+    }
+
+    #[test]
+    fn powersave_governor_is_safe_but_slow() {
+        let mut p = GovernorPolicy::new(PowersaveGovernor, VfTable::jetson_nano());
+        let ep = evaluate_on_app(&mut p, AppId::Lu, &EvalOptions::default(), 3);
+        // Never violates: reward equals f_min/f_max ≈ 0.069.
+        assert!(
+            (ep.mean_reward - 102.0 / 1479.0).abs() < 0.01,
+            "got {}",
+            ep.mean_reward
+        );
+        assert_eq!(ep.trace.violation_rate(0.6), Some(0.0));
+    }
+
+    #[test]
+    fn powercap_governor_scores_between_extremes() {
+        let opts = EvalOptions::default();
+        let mut cap = GovernorPolicy::new(PowerCapGovernor::default(), VfTable::jetson_nano());
+        let capped = evaluate_on_app(&mut cap, AppId::Fft, &opts, 4).mean_reward;
+        let mut save = GovernorPolicy::new(PowersaveGovernor, VfTable::jetson_nano());
+        let slow = evaluate_on_app(&mut save, AppId::Fft, &opts, 4).mean_reward;
+        assert!(
+            capped > slow,
+            "power-capping ({capped}) should beat powersave ({slow})"
+        );
+    }
+
+    #[test]
+    fn completion_run_terminates_and_measures() {
+        let mut p = perf_policy();
+        let m = run_to_completion(&mut p, AppId::Radix, &EvalOptions::default(), 5);
+        assert!(m.completed, "radix at f_max finishes well under the cap");
+        assert!(m.exec_time_s > 1.0 && m.exec_time_s < 600.0);
+        assert!(m.ips > 1e8);
+        assert!(m.mean_power_w > 0.3);
+    }
+
+    #[test]
+    fn faster_policy_finishes_sooner() {
+        let opts = EvalOptions::default();
+        let mut fast = perf_policy();
+        let hi = run_to_completion(&mut fast, AppId::Fft, &opts, 6);
+        let mut slow = GovernorPolicy::new(PowersaveGovernor, VfTable::jetson_nano());
+        let lo = run_to_completion(&mut slow, AppId::Fft, &opts, 6);
+        assert!(hi.completed);
+        assert!(
+            hi.exec_time_s < lo.exec_time_s,
+            "f_max ({}) must beat f_min ({})",
+            hi.exec_time_s,
+            lo.exec_time_s
+        );
+        assert!(hi.ips > lo.ips);
+    }
+
+    #[test]
+    fn max_steps_cap_is_honored() {
+        let opts = EvalOptions {
+            max_steps: 5,
+            ..EvalOptions::default()
+        };
+        let mut p = GovernorPolicy::new(PowersaveGovernor, VfTable::jetson_nano());
+        let m = run_to_completion(&mut p, AppId::Lu, &opts, 7);
+        assert!(!m.completed);
+        assert_eq!(m.exec_time_s, 2.5);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_seed() {
+        let opts = EvalOptions::default();
+        let a = evaluate_on_app(&mut perf_policy(), AppId::Ocean, &opts, 9).mean_reward;
+        let b = evaluate_on_app(&mut perf_policy(), AppId::Ocean, &opts, 9).mean_reward;
+        assert_eq!(a, b);
+    }
+}

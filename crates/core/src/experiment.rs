@@ -1,0 +1,428 @@
+//! End-to-end experiment drivers for the paper's evaluation section.
+
+use crate::config::{EvalProtocol, ExperimentConfig};
+use crate::eval::{evaluate_on_app, run_to_completion, CompletionMetrics, EvalOptions};
+use crate::metrics::{EvalPoint, EvalSeries, MethodSummary};
+use crate::policy::DvfsPolicy;
+use crate::scenario::{table2_scenarios, six_six_split, Scenario};
+use fedpower_agent::{DeviceEnvConfig, PowerController};
+use fedpower_baselines::CollabFederation;
+use fedpower_federated::{AgentClient, FederatedClient, Federation, TransportStats};
+use fedpower_sim::rng::derive_seed;
+use fedpower_workloads::AppId;
+use serde::{Deserialize, Serialize};
+
+/// Builds the device environment config for one device of a scenario.
+fn device_env(apps: &[AppId], cfg: &ExperimentConfig) -> DeviceEnvConfig {
+    let mut env = DeviceEnvConfig::new(apps);
+    env.control_interval_s = cfg.control_interval_s;
+    env.norm = cfg.controller.norm;
+    env
+}
+
+/// Evaluates a policy snapshot after a training round, producing one point
+/// of a Fig. 3 curve.
+///
+/// Matching §IV-A, each round evaluates on *one* of the twelve applications
+/// (rotating round-robin so that 100 rounds cover every app several times);
+/// the policy is greedy and frozen.
+fn eval_point(
+    policy: &mut dyn DvfsPolicy,
+    round: u64,
+    device: usize,
+    cfg: &ExperimentConfig,
+) -> EvalPoint {
+    let opts = EvalOptions::from_config(cfg);
+    let apps: Vec<AppId> = match cfg.eval_protocol {
+        EvalProtocol::RoundRobin => {
+            vec![AppId::ALL[((round - 1) % AppId::ALL.len() as u64) as usize]]
+        }
+        EvalProtocol::AllApps => AppId::ALL.to_vec(),
+    };
+    let mut reward = 0.0;
+    let mut mean_level = 0.0;
+    let mut std_level = 0.0;
+    for (i, &app) in apps.iter().enumerate() {
+        let seed = derive_seed(cfg.seed, 9_000 + round * 17 + device as u64 + i as u64 * 131);
+        let episode = evaluate_on_app(policy, app, &opts, seed);
+        reward += episode.mean_reward;
+        mean_level += episode.trace.mean_level().unwrap_or(0.0);
+        std_level += episode.trace.std_level().unwrap_or(0.0);
+    }
+    let n = apps.len() as f64;
+    EvalPoint {
+        round,
+        reward: reward / n,
+        mean_level: mean_level / n,
+        std_level: std_level / n,
+    }
+}
+
+/// Result of the local-only training runs (left column of Fig. 3).
+#[derive(Debug, Clone)]
+pub struct LocalOnlyOutcome {
+    /// One evaluation series per device (`local-A`, `local-B`).
+    pub series: Vec<EvalSeries>,
+    /// The final trained controllers, one per device.
+    pub agents: Vec<PowerController>,
+}
+
+/// Trains one isolated controller per device — no collaboration — and
+/// evaluates after every round (§IV-A's local-only setting).
+pub fn run_local_only(scenario: &Scenario, cfg: &ExperimentConfig) -> LocalOnlyOutcome {
+    let labels = ["local-A", "local-B"];
+    let mut series = Vec::new();
+    let mut agents = Vec::new();
+    for (d, apps) in scenario.devices().into_iter().enumerate() {
+        // A local-only device is simply a federation client that never
+        // synchronizes: reuse AgentClient for identical training dynamics.
+        let mut client = AgentClient::new(
+            d,
+            cfg.controller,
+            device_env(apps, cfg),
+            derive_seed(cfg.seed, 10 + d as u64),
+        );
+        let mut s = EvalSeries::new(labels[d.min(1)]);
+        for round in 1..=cfg.fedavg.rounds {
+            client.train_round(cfg.fedavg.steps_per_round);
+            let mut snapshot = client.agent().clone();
+            s.points.push(eval_point(&mut snapshot, round, d, cfg));
+        }
+        series.push(s);
+        agents.push(client.agent().clone());
+    }
+    LocalOnlyOutcome { series, agents }
+}
+
+/// Result of a federated training run (right column of Fig. 3).
+#[derive(Debug, Clone)]
+pub struct FederatedOutcome {
+    /// One evaluation series per device (the shared policy evaluated with
+    /// per-device seeds — "the reward is similar on both devices").
+    pub series: Vec<EvalSeries>,
+    /// Communication accounting.
+    pub transport: TransportStats,
+    /// The final (global) controllers, one per device.
+    pub agents: Vec<PowerController>,
+}
+
+/// Trains one shared policy across the scenario's devices with federated
+/// averaging, evaluating the global policy after every round.
+pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOutcome {
+    let clients: Vec<AgentClient> = scenario
+        .devices()
+        .into_iter()
+        .enumerate()
+        .map(|(d, apps)| {
+            AgentClient::new(
+                d,
+                cfg.controller,
+                device_env(apps, cfg),
+                derive_seed(cfg.seed, 20 + d as u64),
+            )
+        })
+        .collect();
+    let num_devices = clients.len();
+    let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
+
+    let mut series: Vec<EvalSeries> = (0..num_devices)
+        .map(|d| EvalSeries::new(format!("federated-{}", (b'A' + d as u8) as char)))
+        .collect();
+    for round in 1..=cfg.fedavg.rounds {
+        federation.run_round();
+        for (d, device_series) in series.iter_mut().enumerate() {
+            // Post-round clients hold the freshly downloaded global model.
+            let mut snapshot = federation.clients()[d].agent().clone();
+            device_series
+                .points
+                .push(eval_point(&mut snapshot, round, d, cfg));
+        }
+    }
+    let transport = *federation.transport();
+    let agents = federation
+        .clients()
+        .iter()
+        .map(|c| c.agent().clone())
+        .collect();
+    FederatedOutcome {
+        series,
+        transport,
+        agents,
+    }
+}
+
+/// Trains the *Profit+CollabPolicy* baseline on a scenario and returns the
+/// trained federation (clients hold local tables + the merged global
+/// policy).
+pub fn train_profit_collab(scenario: &Scenario, cfg: &ExperimentConfig) -> CollabFederation {
+    let envs = scenario
+        .devices()
+        .into_iter()
+        .map(|apps| device_env(apps, cfg))
+        .collect();
+    let mut fed = CollabFederation::new(
+        cfg.profit,
+        envs,
+        cfg.fedavg.steps_per_round,
+        derive_seed(cfg.seed, 40),
+    );
+    for _ in 0..cfg.fedavg.rounds {
+        fed.run_round();
+    }
+    fed
+}
+
+/// One side-by-side row of the state-of-the-art comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodComparison {
+    /// Our federated neural controller.
+    pub ours: MethodSummary,
+    /// Profit+CollabPolicy.
+    pub baseline: MethodSummary,
+}
+
+/// Runs the Table III experiment: train both methods on every Table II
+/// scenario, then measure exec time / IPS / power over all twelve
+/// applications, averaged across scenarios.
+pub fn run_table3(cfg: &ExperimentConfig) -> MethodComparison {
+    let opts = EvalOptions::from_config(cfg);
+    let mut ours_runs = Vec::new();
+    let mut base_runs = Vec::new();
+    for (si, scenario) in table2_scenarios().iter().enumerate() {
+        let scenario_cfg = cfg.with_seed(derive_seed(cfg.seed, 50 + si as u64));
+        let fed = run_federated_training_only(scenario, &scenario_cfg);
+        let collab = train_profit_collab(scenario, &scenario_cfg);
+        for (ai, &app) in AppId::ALL.iter().enumerate() {
+            let seed = derive_seed(scenario_cfg.seed, 7_000 + ai as u64);
+            let mut ours = fed.clone();
+            ours_runs.push(run_to_completion(&mut ours, app, &opts, seed));
+            let mut base = collab.client(0).clone();
+            base_runs.push(run_to_completion(&mut base, app, &opts, seed));
+        }
+    }
+    MethodComparison {
+        ours: MethodSummary::from_runs(&ours_runs),
+        baseline: MethodSummary::from_runs(&base_runs),
+    }
+}
+
+/// Trains a federated policy without per-round evaluation (used where only
+/// the final policy matters) and returns the global controller.
+pub fn run_federated_training_only(
+    scenario: &Scenario,
+    cfg: &ExperimentConfig,
+) -> PowerController {
+    let clients: Vec<AgentClient> = scenario
+        .devices()
+        .into_iter()
+        .enumerate()
+        .map(|(d, apps)| {
+            AgentClient::new(
+                d,
+                cfg.controller,
+                device_env(apps, cfg),
+                derive_seed(cfg.seed, 20 + d as u64),
+            )
+        })
+        .collect();
+    let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
+    federation.run();
+    federation.clients()[0].agent().clone()
+}
+
+/// Outcome of the personalization extension: the shared global policy vs.
+/// per-device fine-tuned copies.
+#[derive(Debug, Clone)]
+pub struct PersonalizedOutcome {
+    /// The global policy after federated training.
+    pub global: PowerController,
+    /// Per-device policies after `fine_tune_rounds` additional local
+    /// rounds on their own workloads (no further aggregation).
+    pub personalized: Vec<PowerController>,
+}
+
+/// Personalization (the paper's future-work direction): federate first,
+/// then let each device fine-tune the global policy locally for
+/// `fine_tune_rounds` rounds without further aggregation.
+///
+/// The returned policies let callers compare global vs. personalized
+/// performance on each device's own applications and on foreign ones.
+pub fn run_personalized(
+    scenario: &Scenario,
+    cfg: &ExperimentConfig,
+    fine_tune_rounds: u64,
+) -> PersonalizedOutcome {
+    let clients: Vec<AgentClient> = scenario
+        .devices()
+        .into_iter()
+        .enumerate()
+        .map(|(d, apps)| {
+            AgentClient::new(
+                d,
+                cfg.controller,
+                device_env(apps, cfg),
+                derive_seed(cfg.seed, 20 + d as u64),
+            )
+        })
+        .collect();
+    let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
+    federation.run();
+    let global = federation.clients()[0].agent().clone();
+
+    let mut personalized = Vec::new();
+    for client in federation.clients_mut() {
+        for _ in 0..fine_tune_rounds {
+            client.train_round(cfg.fedavg.steps_per_round);
+        }
+        personalized.push(client.agent().clone());
+    }
+    PersonalizedOutcome {
+        global,
+        personalized,
+    }
+}
+
+/// One application's Fig. 5 comparison row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// The evaluated application.
+    pub app: AppId,
+    /// Our method's full-run metrics.
+    pub ours: CompletionMetrics,
+    /// Profit+CollabPolicy's full-run metrics.
+    pub baseline: CompletionMetrics,
+}
+
+/// Runs the Fig. 5 experiment: six training applications per device (so
+/// every evaluation app was seen by one device), then per-application
+/// exec time / IPS / power under both methods.
+pub fn run_fig5(cfg: &ExperimentConfig) -> Vec<Fig5Row> {
+    let scenario = six_six_split();
+    let opts = EvalOptions::from_config(cfg);
+    let fed = run_federated_training_only(&scenario, cfg);
+    let collab = train_profit_collab(&scenario, cfg);
+    AppId::ALL
+        .iter()
+        .enumerate()
+        .map(|(ai, &app)| {
+            let seed = derive_seed(cfg.seed, 8_000 + ai as u64);
+            let mut ours_policy = fed.clone();
+            let mut base_policy = collab.client(0).clone();
+            Fig5Row {
+                app,
+                ours: run_to_completion(&mut ours_policy, app, &opts, seed),
+                baseline: run_to_completion(&mut base_policy, app, &opts, seed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.fedavg.rounds = 3;
+        cfg.fedavg.steps_per_round = 40;
+        cfg.eval_steps = 6;
+        cfg.eval_max_steps = 200;
+        cfg
+    }
+
+    #[test]
+    fn local_only_produces_one_series_per_device() {
+        let scenario = &table2_scenarios()[0];
+        let out = run_local_only(scenario, &tiny_cfg());
+        assert_eq!(out.series.len(), 2);
+        assert_eq!(out.series[0].points.len(), 3);
+        assert_eq!(out.series[0].label, "local-A");
+        assert_eq!(out.agents.len(), 2);
+        // Two isolated devices with different workloads diverge.
+        assert_ne!(out.agents[0].params(), out.agents[1].params());
+    }
+
+    #[test]
+    fn federated_produces_identical_policies_on_both_devices() {
+        let scenario = &table2_scenarios()[0];
+        let out = run_federated(scenario, &tiny_cfg());
+        assert_eq!(out.series.len(), 2);
+        assert_eq!(out.series[0].points.len(), 3);
+        assert_eq!(
+            out.agents[0].params(),
+            out.agents[1].params(),
+            "after the final download both devices hold the global policy"
+        );
+        assert!(out.transport.uploads > 0 && out.transport.downloads > 0);
+    }
+
+    #[test]
+    fn federated_transport_volume_matches_round_structure() {
+        let cfg = tiny_cfg();
+        let scenario = &table2_scenarios()[0];
+        let out = run_federated(scenario, &cfg);
+        // Uploads: 2 per round (seeding θ₁ at construction is not a
+        // network transfer — the server initializes the global model).
+        assert_eq!(out.transport.uploads, 2 * cfg.fedavg.rounds);
+        // Downloads: 2 initial + 2 per round.
+        assert_eq!(out.transport.downloads, 2 + 2 * cfg.fedavg.rounds);
+    }
+
+    #[test]
+    fn collab_training_builds_a_global_policy() {
+        let scenario = &table2_scenarios()[1];
+        let fed = train_profit_collab(scenario, &tiny_cfg());
+        assert!(!fed.global().is_empty());
+        assert_eq!(fed.num_devices(), 2);
+    }
+
+    #[test]
+    fn fig5_covers_all_twelve_apps() {
+        let rows = run_fig5(&tiny_cfg());
+        assert_eq!(rows.len(), 12);
+        let apps: Vec<AppId> = rows.iter().map(|r| r.app).collect();
+        assert_eq!(apps, AppId::ALL.to_vec());
+        for row in &rows {
+            assert!(row.ours.exec_time_s > 0.0);
+            assert!(row.baseline.exec_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn personalization_diverges_devices_from_the_global_policy() {
+        let scenario = &table2_scenarios()[1];
+        let out = run_personalized(scenario, &tiny_cfg(), 2);
+        assert_eq!(out.personalized.len(), 2);
+        for p in &out.personalized {
+            assert_ne!(
+                p.params(),
+                out.global.params(),
+                "fine-tuning must move the policy"
+            );
+        }
+        assert_ne!(
+            out.personalized[0].params(),
+            out.personalized[1].params(),
+            "devices fine-tune toward their own workloads"
+        );
+    }
+
+    #[test]
+    fn zero_fine_tune_rounds_returns_the_global_policy() {
+        let scenario = &table2_scenarios()[0];
+        let out = run_personalized(scenario, &tiny_cfg(), 0);
+        for p in &out.personalized {
+            assert_eq!(p.params(), out.global.params());
+        }
+    }
+
+    #[test]
+    fn experiments_are_seed_deterministic() {
+        let cfg = tiny_cfg();
+        let scenario = &table2_scenarios()[0];
+        let a = run_federated(scenario, &cfg);
+        let b = run_federated(scenario, &cfg);
+        assert_eq!(a.agents[0].params(), b.agents[0].params());
+        assert_eq!(a.series[0].points, b.series[0].points);
+    }
+}

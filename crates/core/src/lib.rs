@@ -1,0 +1,47 @@
+//! # fedpower-core
+//!
+//! The experiment harness of the `fedpower` reproduction: everything needed
+//! to regenerate the tables and figures of *"Federated Reinforcement
+//! Learning for Optimizing the Power Efficiency of Edge Devices"*
+//! (DATE 2025).
+//!
+//! * [`config::ExperimentConfig`] — all Table I hyperparameters in one
+//!   place,
+//! * [`scenario`] — the Table II device/application assignments and the
+//!   six-apps-per-device split of Fig. 5,
+//! * [`policy::DvfsPolicy`] — a uniform evaluation interface over neural
+//!   controllers, tabular baselines and OS-style governors,
+//! * [`eval`] — the paper's evaluation protocol (greedy policy, no
+//!   updates, §IV-A) plus to-completion runs for exec-time/IPS accounting,
+//! * [`experiment`] — end-to-end drivers for the local-vs-federated
+//!   comparison (Fig. 3/4), the state-of-the-art comparison (Table III)
+//!   and the per-application comparison (Fig. 5),
+//! * [`metrics`] / [`report`] — series/summary types and CSV/markdown
+//!   emitters used by the bench binaries,
+//! * [`oracle`] — a perfect-knowledge upper bound for regret analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fedpower_core::config::ExperimentConfig;
+//! use fedpower_core::scenario;
+//!
+//! let cfg = ExperimentConfig::default();
+//! assert_eq!(cfg.fedavg.rounds, 100);
+//! assert_eq!(scenario::table2_scenarios().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod eval;
+pub mod experiment;
+pub mod metrics;
+pub mod oracle;
+pub mod policy;
+pub mod report;
+pub mod scenario;
+
+pub use config::{EvalProtocol, ExperimentConfig};
+pub use scenario::Scenario;

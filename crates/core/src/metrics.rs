@@ -1,0 +1,195 @@
+//! Result series and summary types shared by the experiment drivers and
+//! the bench binaries.
+
+use crate::eval::CompletionMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One point of an evaluation-reward curve (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// One-based federated round.
+    pub round: u64,
+    /// Mean evaluation reward after that round.
+    pub reward: f64,
+    /// Mean selected V/f level index during evaluation (Fig. 4).
+    pub mean_level: f64,
+    /// Standard deviation of the selected level (Fig. 4's shaded band).
+    pub std_level: f64,
+}
+
+/// A labelled evaluation curve across training rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalSeries {
+    /// Label, e.g. `"federated"`, `"local-A"`, `"local-B"`.
+    pub label: String,
+    /// Points in round order.
+    pub points: Vec<EvalPoint>,
+}
+
+impl EvalSeries {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        EvalSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Mean reward over all rounds.
+    pub fn mean_reward(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.reward).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Minimum reward over all rounds (captures collapses like L2 in
+    /// Fig. 3).
+    pub fn min_reward(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.reward)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean reward over the last `n` rounds (converged performance).
+    pub fn tail_mean_reward(&self, n: usize) -> f64 {
+        let tail: Vec<f64> = self
+            .points
+            .iter()
+            .rev()
+            .take(n)
+            .map(|p| p.reward)
+            .collect();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Aggregate physical metrics of one method over a set of applications
+/// (a row group of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodSummary {
+    /// Mean execution time per application in seconds.
+    pub exec_time_s: f64,
+    /// Mean instructions per second.
+    pub ips: f64,
+    /// Mean power in watts.
+    pub power_w: f64,
+    /// Mean constraint-violation rate.
+    pub violation_rate: f64,
+}
+
+impl MethodSummary {
+    /// Averages per-application completion metrics into a summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn from_runs(runs: &[CompletionMetrics]) -> Self {
+        assert!(!runs.is_empty(), "cannot summarize zero runs");
+        let n = runs.len() as f64;
+        MethodSummary {
+            exec_time_s: runs.iter().map(|r| r.exec_time_s).sum::<f64>() / n,
+            ips: runs.iter().map(|r| r.ips).sum::<f64>() / n,
+            power_w: runs.iter().map(|r| r.mean_power_w).sum::<f64>() / n,
+            violation_rate: runs.iter().map(|r| r.violation_rate).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Relative improvement helpers for the paper's headline percentages.
+pub mod relative {
+    /// Percentage reduction of `ours` against `baseline`
+    /// (positive = we are lower/faster).
+    pub fn reduction_pct(ours: f64, baseline: f64) -> f64 {
+        (baseline - ours) / baseline * 100.0
+    }
+
+    /// Percentage increase of `ours` against `baseline`
+    /// (positive = we are higher).
+    pub fn increase_pct(ours: f64, baseline: f64) -> f64 {
+        (ours - baseline) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpower_workloads::AppId;
+
+    fn point(round: u64, reward: f64) -> EvalPoint {
+        EvalPoint {
+            round,
+            reward,
+            mean_level: 7.0,
+            std_level: 1.0,
+        }
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s = EvalSeries {
+            label: "x".into(),
+            points: vec![point(1, 0.2), point(2, -0.4), point(3, 0.5)],
+        };
+        assert!((s.mean_reward() - 0.1).abs() < 1e-12);
+        assert_eq!(s.min_reward(), -0.4);
+        assert!((s.tail_mean_reward(2) - 0.05).abs() < 1e-12);
+        assert_eq!(s.tail_mean_reward(100), s.mean_reward());
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = EvalSeries::new("empty");
+        assert_eq!(s.mean_reward(), 0.0);
+        assert_eq!(s.tail_mean_reward(5), 0.0);
+    }
+
+    #[test]
+    fn method_summary_averages_runs() {
+        let runs = [
+            CompletionMetrics {
+                app: AppId::Fft,
+                exec_time_s: 20.0,
+                ips: 1e9,
+                mean_power_w: 0.5,
+                violation_rate: 0.0,
+                energy_j: 10.0,
+                completed: true,
+            },
+            CompletionMetrics {
+                app: AppId::Lu,
+                exec_time_s: 30.0,
+                ips: 2e9,
+                mean_power_w: 0.6,
+                violation_rate: 0.1,
+                energy_j: 18.0,
+                completed: true,
+            },
+        ];
+        let s = MethodSummary::from_runs(&runs);
+        assert_eq!(s.exec_time_s, 25.0);
+        assert_eq!(s.ips, 1.5e9);
+        assert!((s.power_w - 0.55).abs() < 1e-12);
+        assert!((s.violation_rate - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_percentages_match_the_papers_convention() {
+        // Paper: ours 24.24 s vs 30.38 s → "↓ 20 %".
+        let red = relative::reduction_pct(24.24, 30.38);
+        assert!((red - 20.2).abs() < 0.3, "got {red}");
+        // Paper: ours 0.92 GIPS vs 0.79 → "↑ 17 %".
+        let inc = relative::increase_pct(0.92, 0.79);
+        assert!((inc - 16.5).abs() < 0.5, "got {inc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_summary_panics() {
+        let _ = MethodSummary::from_runs(&[]);
+    }
+}

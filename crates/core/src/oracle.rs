@@ -1,0 +1,151 @@
+//! A perfect-knowledge oracle policy — the upper bound learned controllers
+//! chase.
+//!
+//! The oracle sees the *true* phase parameters of the running application
+//! (which no real controller can) and picks, per control interval, the
+//! highest V/f level whose analytically computed power stays under the
+//! constraint. The gap between a learned policy and the oracle is its
+//! *regret*; `cargo run -p fedpower-bench --bin oracle_regret` reports it.
+
+use fedpower_agent::RewardConfig;
+use fedpower_sim::{FreqLevel, PerfModel, PhaseParams, PowerModel, VfTable};
+use fedpower_workloads::AppId;
+
+/// Precomputed oracle decisions for a processor model.
+///
+/// # Example
+///
+/// ```
+/// use fedpower_agent::RewardConfig;
+/// use fedpower_core::oracle::Oracle;
+/// use fedpower_workloads::AppId;
+///
+/// let oracle = Oracle::new(RewardConfig::paper());
+/// let bound = oracle.app_reward(AppId::Ocean);
+/// assert!(bound > 0.5, "memory-bound apps clock high under the cap");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    table: VfTable,
+    perf: PerfModel,
+    power: PowerModel,
+    p_crit_w: f64,
+    temp_c: f64,
+}
+
+impl Oracle {
+    /// Creates an oracle for the standard Jetson-Nano-class models and the
+    /// given constraint.
+    pub fn new(reward: RewardConfig) -> Self {
+        Oracle {
+            table: VfTable::jetson_nano(),
+            perf: PerfModel::jetson_nano(),
+            power: PowerModel::jetson_nano(),
+            p_crit_w: reward.p_crit_w,
+            temp_c: 40.0,
+        }
+    }
+
+    /// The optimal level for a phase: the highest level whose true power
+    /// stays at or under `P_crit` (the Eq. (4) reward is monotone in `f`
+    /// below the constraint, so "highest feasible" is optimal). Falls back
+    /// to the lowest level when nothing is feasible.
+    pub fn best_level(&self, phase: &PhaseParams) -> FreqLevel {
+        let mut best = FreqLevel(0);
+        for level in self.table.levels() {
+            let f = self.table.freq_ghz(level).expect("valid level");
+            let v = self.table.voltage(level).expect("valid level");
+            let p = self
+                .power
+                .total_power(phase, self.perf.ipc(phase, f), v, f, self.temp_c);
+            if p <= self.p_crit_w {
+                best = level;
+            }
+        }
+        best
+    }
+
+    /// The oracle's expected per-interval reward for a phase (no noise).
+    pub fn best_reward(&self, phase: &PhaseParams) -> f64 {
+        let level = self.best_level(phase);
+        let f_norm = self
+            .table
+            .normalized_freq(level)
+            .expect("valid level");
+        let f = self.table.freq_ghz(level).expect("valid level");
+        let v = self.table.voltage(level).expect("valid level");
+        let p = self
+            .power
+            .total_power(phase, self.perf.ipc(phase, f), v, f, self.temp_c);
+        RewardConfig::new(self.p_crit_w, 0.05).reward(f_norm, p)
+    }
+
+    /// Instruction-weighted oracle reward for a whole application model —
+    /// the per-app upper bound on achievable mean reward.
+    pub fn app_reward(&self, app: AppId) -> f64 {
+        let model = fedpower_workloads::catalog::model(app);
+        model
+            .phases()
+            .iter()
+            .map(|ph| ph.weight * self.best_reward(&ph.params))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> Oracle {
+        Oracle::new(RewardConfig::paper())
+    }
+
+    #[test]
+    fn oracle_levels_are_feasible_and_maximal() {
+        let o = oracle();
+        let phase = PhaseParams::new(0.7, 3.0, 25.0, 1.0);
+        let best = o.best_level(&phase);
+        let power_at = |level: FreqLevel| {
+            let f = o.table.freq_ghz(level).unwrap();
+            let v = o.table.voltage(level).unwrap();
+            o.power
+                .total_power(&phase, o.perf.ipc(&phase, f), v, f, 40.0)
+        };
+        assert!(power_at(best) <= 0.6, "oracle choice must be feasible");
+        if best.index() + 1 < 15 {
+            assert!(
+                power_at(FreqLevel(best.index() + 1)) > 0.6,
+                "one level higher must violate"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_phases_get_higher_oracle_levels() {
+        let o = oracle();
+        let compute = PhaseParams::new(0.6, 1.0, 20.0, 1.12);
+        let memory = PhaseParams::new(1.1, 25.0, 60.0, 0.8);
+        assert!(o.best_level(&memory) > o.best_level(&compute));
+    }
+
+    #[test]
+    fn oracle_rewards_are_positive_and_bounded_for_all_apps() {
+        let o = oracle();
+        for app in AppId::ALL {
+            let r = o.app_reward(app);
+            assert!(
+                (0.2..=1.0).contains(&r),
+                "{app}: oracle reward {r} out of plausible band"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_reward_is_the_feasible_frequency_ratio() {
+        let o = oracle();
+        let phase = PhaseParams::new(0.7, 3.0, 25.0, 1.0);
+        let level = o.best_level(&phase);
+        let expected = o.table.normalized_freq(level).unwrap();
+        assert!((o.best_reward(&phase) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! A uniform decision interface over every controller in the workspace.
+
+use fedpower_agent::{PowerController, TdController};
+use fedpower_baselines::{CollabClient, Governor, LinUcbAgent, ProfitAgent};
+use fedpower_sim::{FreqLevel, PerfCounters, VfTable};
+
+/// Anything that can pick a V/f level from observed counters.
+///
+/// Evaluation drivers accept `&mut dyn DvfsPolicy`, so neural controllers,
+/// tabular baselines and OS-style governors are measured by one code path.
+/// Decisions during evaluation are greedy — "the agents consistently
+/// exploit the action with the highest predicted reward" (§IV-A).
+pub trait DvfsPolicy {
+    /// Chooses the next V/f level.
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel;
+
+    /// A short label for reports.
+    fn label(&self) -> &str;
+}
+
+impl DvfsPolicy for PowerController {
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
+        let state = self.featurize(counters);
+        self.greedy_action(&state)
+    }
+
+    fn label(&self) -> &str {
+        "neural"
+    }
+}
+
+impl DvfsPolicy for TdController {
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
+        let state = self.featurize(counters);
+        self.greedy_action(&state)
+    }
+
+    fn label(&self) -> &str {
+        "neural-td"
+    }
+}
+
+impl DvfsPolicy for ProfitAgent {
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
+        self.greedy_action(counters)
+    }
+
+    fn label(&self) -> &str {
+        "profit"
+    }
+}
+
+impl DvfsPolicy for LinUcbAgent {
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
+        self.greedy_action(counters)
+    }
+
+    fn label(&self) -> &str {
+        "linucb"
+    }
+}
+
+impl DvfsPolicy for CollabClient {
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
+        self.greedy_action(counters)
+    }
+
+    fn label(&self) -> &str {
+        "profit+collabpolicy"
+    }
+}
+
+/// Adapts a [`Governor`] (which tracks its current level against a V/f
+/// table) to the [`DvfsPolicy`] interface.
+#[derive(Debug, Clone)]
+pub struct GovernorPolicy<G> {
+    governor: G,
+    table: VfTable,
+    current: FreqLevel,
+}
+
+impl<G: Governor> GovernorPolicy<G> {
+    /// Wraps `governor` operating against `table`, starting at the lowest
+    /// level.
+    pub fn new(governor: G, table: VfTable) -> Self {
+        GovernorPolicy {
+            governor,
+            table,
+            current: FreqLevel(0),
+        }
+    }
+}
+
+impl<G: Governor> DvfsPolicy for GovernorPolicy<G> {
+    fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
+        self.current = self.governor.next_level(counters, self.current, &self.table);
+        self.current
+    }
+
+    fn label(&self) -> &str {
+        self.governor.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpower_agent::ControllerConfig;
+    use fedpower_baselines::{PerformanceGovernor, PowerCapGovernor, ProfitConfig};
+
+    fn counters(power: f64) -> PerfCounters {
+        PerfCounters {
+            freq_mhz: 825.6,
+            power_w: power,
+            ipc: 1.0,
+            mpki: 5.0,
+            ips: 8e8,
+            ..PerfCounters::default()
+        }
+    }
+
+    #[test]
+    fn all_policies_are_object_safe_and_decide() {
+        let mut policies: Vec<Box<dyn DvfsPolicy>> = vec![
+            Box::new(PowerController::new(ControllerConfig::paper(), 0)),
+            Box::new(ProfitAgent::new(ProfitConfig::paper(), 0)),
+            Box::new(CollabClient::new(ProfitConfig::paper(), 0)),
+            Box::new(GovernorPolicy::new(
+                PerformanceGovernor,
+                VfTable::jetson_nano(),
+            )),
+        ];
+        for p in &mut policies {
+            let level = p.decide(&counters(0.5));
+            assert!(level.index() < 15, "{} chose {level}", p.label());
+            assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn governor_policy_tracks_its_level_across_calls() {
+        let mut p = GovernorPolicy::new(PowerCapGovernor::default(), VfTable::jetson_nano());
+        // Plenty of headroom: the governor climbs one level per decision.
+        let l1 = p.decide(&counters(0.2));
+        let l2 = p.decide(&counters(0.2));
+        let l3 = p.decide(&counters(0.2));
+        assert_eq!(l1, FreqLevel(1));
+        assert_eq!(l2, FreqLevel(2));
+        assert_eq!(l3, FreqLevel(3));
+    }
+
+    #[test]
+    fn neural_policy_decision_matches_greedy_action() {
+        let mut agent = PowerController::new(ControllerConfig::paper(), 3);
+        let c = counters(0.5);
+        let expected = agent.greedy_action(&agent.featurize(&c));
+        assert_eq!(agent.decide(&c), expected);
+    }
+}

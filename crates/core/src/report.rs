@@ -1,0 +1,159 @@
+//! Plain-text table and CSV emitters for the bench binaries.
+
+use crate::metrics::EvalSeries;
+use std::fmt::Write as _;
+
+/// Renders a GitHub-flavoured markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(
+            row.len(),
+            headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            let _ = write!(line, " {cell:w$} |");
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        let _ = write!(sep, "{}|", "-".repeat(w + 2));
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders evaluation series as CSV: `round,<label1>,<label2>,...` with one
+/// row per round. Series must share a round axis; shorter series pad with
+/// empty cells.
+pub fn series_to_csv(series: &[EvalSeries]) -> String {
+    let mut out = String::from("round");
+    for s in series {
+        let _ = write!(out, ",{}", s.label);
+    }
+    out.push('\n');
+    let max_len = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..max_len {
+        let round = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.round))
+            .unwrap_or(i as u64 + 1);
+        let _ = write!(out, "{round}");
+        for s in series {
+            match s.points.get(i) {
+                Some(p) => {
+                    let _ = write!(out, ",{:.4}", p.reward);
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with engineering-friendly precision for report cells.
+pub fn fmt_val(v: f64) -> String {
+    if v.abs() >= 1e8 {
+        format!("{:.3e}", v)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EvalPoint;
+
+    #[test]
+    fn markdown_table_is_well_formed() {
+        let t = markdown_table(
+            &["app", "time"],
+            &[
+                vec!["fft".into(), "20.0".into()],
+                vec!["lu".into(), "30.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("app") && lines[0].contains("time"));
+        assert!(lines[1].starts_with("|-") || lines[1].starts_with("| -") || lines[1].contains("--"));
+        assert!(lines[2].contains("fft"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let _ = markdown_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn csv_emits_one_row_per_round() {
+        let s1 = EvalSeries {
+            label: "fed".into(),
+            points: vec![
+                EvalPoint {
+                    round: 1,
+                    reward: 0.5,
+                    mean_level: 7.0,
+                    std_level: 0.5,
+                },
+                EvalPoint {
+                    round: 2,
+                    reward: 0.6,
+                    mean_level: 7.0,
+                    std_level: 0.5,
+                },
+            ],
+        };
+        let s2 = EvalSeries {
+            label: "local".into(),
+            points: vec![EvalPoint {
+                round: 1,
+                reward: -0.2,
+                mean_level: 9.0,
+                std_level: 2.0,
+            }],
+        };
+        let csv = series_to_csv(&[s1, s2]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "round,fed,local");
+        assert_eq!(lines[1], "1,0.5000,-0.2000");
+        assert_eq!(lines[2], "2,0.6000,");
+    }
+
+    #[test]
+    fn fmt_val_scales_sensibly() {
+        assert_eq!(fmt_val(0.92), "0.920");
+        assert_eq!(fmt_val(124.3), "124.3");
+        assert!(fmt_val(1.5e9).contains('e'));
+    }
+}

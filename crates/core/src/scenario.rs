@@ -1,0 +1,158 @@
+//! Device/application assignments for the evaluation.
+
+use fedpower_workloads::AppId;
+use serde::{Deserialize, Serialize};
+
+/// A two-device training assignment: which applications each device sees
+/// during training. Evaluation always covers all twelve applications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Device A's training applications.
+    pub device_a: Vec<AppId>,
+    /// Device B's training applications.
+    pub device_b: Vec<AppId>,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device's application list is empty.
+    pub fn new(name: &str, device_a: &[AppId], device_b: &[AppId]) -> Self {
+        assert!(
+            !device_a.is_empty() && !device_b.is_empty(),
+            "both devices need at least one training application"
+        );
+        Scenario {
+            name: name.to_string(),
+            device_a: device_a.to_vec(),
+            device_b: device_b.to_vec(),
+        }
+    }
+
+    /// The per-device application lists in device order.
+    pub fn devices(&self) -> [&[AppId]; 2] {
+        [&self.device_a, &self.device_b]
+    }
+
+    /// The union of both devices' training sets.
+    pub fn training_apps(&self) -> Vec<AppId> {
+        let mut apps = self.device_a.clone();
+        for &app in &self.device_b {
+            if !apps.contains(&app) {
+                apps.push(app);
+            }
+        }
+        apps
+    }
+}
+
+/// The three disjoint-training-set scenarios of Table II.
+///
+/// | Scenario | Device A | Device B |
+/// |---|---|---|
+/// | 1 | fft, lu | raytrace, volrend |
+/// | 2 | water-ns, water-sp | ocean, radix |
+/// | 3 | fmm, radiosity | barnes, cholesky |
+pub fn table2_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "scenario-1",
+            &[AppId::Fft, AppId::Lu],
+            &[AppId::Raytrace, AppId::Volrend],
+        ),
+        Scenario::new(
+            "scenario-2",
+            &[AppId::WaterNs, AppId::WaterSp],
+            &[AppId::Ocean, AppId::Radix],
+        ),
+        Scenario::new(
+            "scenario-3",
+            &[AppId::Fmm, AppId::Radiosity],
+            &[AppId::Barnes, AppId::Cholesky],
+        ),
+    ]
+}
+
+/// The six-applications-per-device split used for Fig. 5: "every
+/// application used in the evaluation has been seen during training by one
+/// of the two devices" (§IV-B).
+pub fn six_six_split() -> Scenario {
+    Scenario::new(
+        "six-six",
+        &[
+            AppId::Fft,
+            AppId::Lu,
+            AppId::Raytrace,
+            AppId::Volrend,
+            AppId::WaterNs,
+            AppId::WaterSp,
+        ],
+        &[
+            AppId::Ocean,
+            AppId::Radix,
+            AppId::Fmm,
+            AppId::Radiosity,
+            AppId::Barnes,
+            AppId::Cholesky,
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let scenarios = table2_scenarios();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].device_a, vec![AppId::Fft, AppId::Lu]);
+        assert_eq!(
+            scenarios[1].device_b,
+            vec![AppId::Ocean, AppId::Radix],
+            "scenario 2 device B is the pathological ocean/radix pair"
+        );
+        assert_eq!(
+            scenarios[2].device_a,
+            vec![AppId::Fmm, AppId::Radiosity]
+        );
+    }
+
+    #[test]
+    fn table2_training_sets_are_disjoint_within_each_scenario() {
+        for s in table2_scenarios() {
+            for a in &s.device_a {
+                assert!(!s.device_b.contains(a), "{a} on both devices in {}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_scenarios_cover_all_twelve_apps() {
+        let mut all: Vec<AppId> = table2_scenarios()
+            .iter()
+            .flat_map(|s| s.training_apps())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn six_six_split_partitions_all_apps() {
+        let s = six_six_split();
+        assert_eq!(s.device_a.len(), 6);
+        assert_eq!(s.device_b.len(), 6);
+        assert_eq!(s.training_apps().len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training application")]
+    fn empty_device_panics() {
+        let _ = Scenario::new("bad", &[], &[AppId::Fft]);
+    }
+}

@@ -1,0 +1,183 @@
+use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State};
+use fedpower_sim::rng::derive_seed;
+
+/// A locally optimized model uploaded to the server at the end of a round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelUpdate {
+    /// The uploading client's identity.
+    pub client_id: usize,
+    /// The client's flat model parameters θ_r^n.
+    pub params: Vec<f32>,
+    /// Environment samples the client collected this round (used by the
+    /// sample-weighted aggregation extension).
+    pub num_samples: u64,
+}
+
+/// A device participating in federated optimization.
+///
+/// The trait is object-safe so heterogeneous client implementations (e.g.
+/// fault-injecting test doubles) can share a [`crate::Federation`].
+pub trait FederatedClient: Send {
+    /// The client's stable identity.
+    fn id(&self) -> usize;
+
+    /// Performs `steps` local environment interactions, training the local
+    /// model per Algorithm 1.
+    fn train_round(&mut self, steps: u64);
+
+    /// Produces the model update to upload.
+    fn upload(&mut self) -> ModelUpdate;
+
+    /// Installs the new global model.
+    fn download(&mut self, global: &[f32]);
+
+    /// Serialized size of one upload in bytes (for transport accounting).
+    fn transfer_bytes(&self) -> usize;
+}
+
+/// The standard client: a [`PowerController`] attached to a simulated
+/// device ([`DeviceEnv`]).
+#[derive(Debug, Clone)]
+pub struct AgentClient {
+    id: usize,
+    agent: PowerController,
+    env: DeviceEnv,
+    state: State,
+    samples_this_round: u64,
+}
+
+impl AgentClient {
+    /// Creates a client; the device's first state observation is taken
+    /// immediately.
+    pub fn new(
+        id: usize,
+        controller: ControllerConfig,
+        env_config: DeviceEnvConfig,
+        seed: u64,
+    ) -> Self {
+        let mut env = DeviceEnv::new(env_config, derive_seed(seed, 200 + id as u64));
+        let agent = PowerController::new(controller, derive_seed(seed, 300 + id as u64));
+        let state = env.bootstrap().state;
+        AgentClient {
+            id,
+            agent,
+            env,
+            state,
+            samples_this_round: 0,
+        }
+    }
+
+    /// Read access to the local power controller.
+    pub fn agent(&self) -> &PowerController {
+        &self.agent
+    }
+
+    /// Mutable access to the local power controller (used by evaluation
+    /// harnesses to clone the policy).
+    pub fn agent_mut(&mut self) -> &mut PowerController {
+        &mut self.agent
+    }
+
+    /// Read access to the device environment.
+    pub fn env(&self) -> &DeviceEnv {
+        &self.env
+    }
+}
+
+impl FederatedClient for AgentClient {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn train_round(&mut self, steps: u64) {
+        self.samples_this_round = 0;
+        for _ in 0..steps {
+            let action = self.agent.select_action(&self.state);
+            let obs = self.env.execute(action);
+            let reward = self.agent.reward_for(&obs.counters);
+            self.agent.observe(&self.state, action, reward);
+            self.state = obs.state;
+            self.samples_this_round += 1;
+        }
+    }
+
+    fn upload(&mut self) -> ModelUpdate {
+        ModelUpdate {
+            client_id: self.id,
+            params: self.agent.params(),
+            num_samples: self.samples_this_round,
+        }
+    }
+
+    fn download(&mut self, global: &[f32]) {
+        self.agent
+            .set_params(global)
+            .expect("all federation clients share one architecture");
+    }
+
+    fn transfer_bytes(&self) -> usize {
+        self.agent.transfer_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpower_workloads::AppId;
+
+    fn client(id: usize, seed: u64) -> AgentClient {
+        AgentClient::new(
+            id,
+            ControllerConfig::paper(),
+            DeviceEnvConfig::new(&[AppId::Fft, AppId::Lu]),
+            seed,
+        )
+    }
+
+    #[test]
+    fn train_round_collects_samples_and_steps() {
+        let mut c = client(0, 1);
+        c.train_round(100);
+        assert_eq!(c.agent().steps(), 100);
+        assert_eq!(c.upload().num_samples, 100);
+        // T=100 steps with H=20 → 5 local updates, as stated in §III-C.
+        assert_eq!(c.agent().updates(), 5);
+    }
+
+    #[test]
+    fn upload_carries_current_params() {
+        let mut c = client(0, 2);
+        c.train_round(20);
+        let update = c.upload();
+        assert_eq!(update.params, c.agent().params());
+        assert_eq!(update.client_id, 0);
+    }
+
+    #[test]
+    fn download_overwrites_model_only() {
+        let mut c = client(0, 3);
+        c.train_round(40);
+        let replay_len = c.agent().replay().len();
+        let steps = c.agent().steps();
+        let fresh = PowerController::new(ControllerConfig::paper(), 99);
+        c.download(&fresh.params());
+        assert_eq!(c.agent().params(), fresh.params());
+        assert_eq!(c.agent().replay().len(), replay_len, "replay stays local");
+        assert_eq!(c.agent().steps(), steps, "temperature schedule continues");
+    }
+
+    #[test]
+    fn distinct_clients_have_distinct_trajectories() {
+        let mut a = client(0, 4);
+        let mut b = client(1, 4);
+        a.train_round(50);
+        b.train_round(50);
+        assert_ne!(a.upload().params, b.upload().params);
+    }
+
+    #[test]
+    fn clients_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AgentClient>();
+    }
+}

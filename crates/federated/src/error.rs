@@ -1,0 +1,54 @@
+use fedpower_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for federated-learning orchestration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedError {
+    /// A round produced no model updates to aggregate.
+    EmptyRound,
+    /// Client model shapes were inconsistent.
+    Model(NnError),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::EmptyRound => write!(f, "no client updates received this round"),
+            FedError::Model(e) => write!(f, "model aggregation failed: {e}"),
+            FedError::InvalidConfig(msg) => {
+                write!(f, "invalid federation configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for FedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FedError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FedError {
+    fn from(e: NnError) -> Self {
+        FedError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_work() {
+        let e = FedError::from(NnError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("aggregation failed"));
+        assert!(e.source().is_some());
+        assert!(FedError::EmptyRound.source().is_none());
+    }
+}

@@ -1,0 +1,437 @@
+use crate::client::{FederatedClient, ModelUpdate};
+use crate::server::{AggregationStrategy, FedAvgServer};
+use crate::transport::TransportStats;
+use fedpower_sim::rng::{derive_rng, streams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the federated optimization (Algorithm 2 + extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgConfig {
+    /// Number of federated rounds `R` (paper: 100).
+    pub rounds: u64,
+    /// Local environment steps per round `T` (paper: 100).
+    pub steps_per_round: u64,
+    /// Server aggregation strategy (paper: unweighted).
+    pub strategy: AggregationStrategy,
+    /// Fraction of clients participating each round (paper: 1.0 — "each
+    /// client participates in all R rounds").
+    pub participation: f64,
+    /// Standard deviation of Gaussian noise added to uploaded parameters —
+    /// a differential-privacy-style knob (0 disables it; paper: 0).
+    pub update_noise_sigma: f32,
+    /// Train participating clients on worker threads instead of serially.
+    pub parallel: bool,
+    /// FedAvgM server momentum β (0 disables it; paper: 0).
+    pub server_momentum: f32,
+}
+
+impl FedAvgConfig {
+    /// The paper's configuration (Table I): R = 100, T = 100, unweighted
+    /// synchronous aggregation, full participation, no update noise.
+    pub fn paper() -> Self {
+        FedAvgConfig {
+            rounds: 100,
+            steps_per_round: 100,
+            strategy: AggregationStrategy::Uniform,
+            participation: 1.0,
+            update_noise_sigma: 0.0,
+            parallel: false,
+            server_momentum: 0.0,
+        }
+    }
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        FedAvgConfig::paper()
+    }
+}
+
+/// Summary of one federated round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// One-based round number.
+    pub round: u64,
+    /// Number of clients that trained and uploaded this round.
+    pub participants: usize,
+    /// Client drift: the mean L2 distance of the uploaded models from
+    /// their coordinate-wise mean. Large values signal heterogeneous
+    /// local objectives — exactly the non-IID-ness federated averaging
+    /// must absorb (and the quantity FedProx bounds).
+    pub client_divergence: f32,
+}
+
+/// Orchestrates `N` clients and one [`FedAvgServer`] through federated
+/// rounds (Fig. 1 of the paper).
+///
+/// Construction broadcasts an initial global model θ₁ so every client
+/// starts from identical parameters; each [`Federation::run_round`] then
+/// performs: broadcast → parallel local optimization → synchronous
+/// aggregation.
+#[derive(Debug)]
+pub struct Federation<C> {
+    config: FedAvgConfig,
+    server: FedAvgServer,
+    clients: Vec<C>,
+    transport: TransportStats,
+    rng: StdRng,
+    rounds_run: u64,
+}
+
+impl<C: FederatedClient> Federation<C> {
+    /// Creates a federation over `clients`.
+    ///
+    /// The initial global model is taken from the first client (all clients
+    /// share one architecture) and broadcast to everyone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty or `participation` is outside `(0, 1]`.
+    pub fn new(mut clients: Vec<C>, config: FedAvgConfig, seed: u64) -> Self {
+        assert!(!clients.is_empty(), "federation needs at least one client");
+        assert!(
+            config.participation > 0.0 && config.participation <= 1.0,
+            "participation must be in (0, 1], got {}",
+            config.participation
+        );
+        let initial = clients[0].upload().params;
+        let server = FedAvgServer::with_momentum(initial, config.strategy, config.server_momentum);
+        let mut transport = TransportStats::new();
+        for client in &mut clients {
+            client.download(server.global());
+            transport.record_download(client.transfer_bytes());
+        }
+        Federation {
+            config,
+            server,
+            clients,
+            transport,
+            rng: derive_rng(seed, streams::FEDERATION),
+            rounds_run: 0,
+        }
+    }
+
+    /// The federation's configuration.
+    pub fn config(&self) -> &FedAvgConfig {
+        &self.config
+    }
+
+    /// Read access to the clients.
+    pub fn clients(&self) -> &[C] {
+        &self.clients
+    }
+
+    /// Mutable access to the clients (used by evaluation harnesses).
+    pub fn clients_mut(&mut self) -> &mut [C] {
+        &mut self.clients
+    }
+
+    /// The current global model parameters.
+    pub fn global_params(&self) -> &[f32] {
+        self.server.global()
+    }
+
+    /// Communication statistics so far.
+    pub fn transport(&self) -> &TransportStats {
+        &self.transport
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Executes one federated round: select participants, local training,
+    /// upload, aggregate, broadcast.
+    pub fn run_round(&mut self) -> RoundReport {
+        let participant_ids = self.select_participants();
+        let steps = self.config.steps_per_round;
+
+        if self.config.parallel {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, client) in self.clients.iter_mut().enumerate() {
+                    if participant_ids.contains(&i) {
+                        handles.push(scope.spawn(move || client.train_round(steps)));
+                    }
+                }
+                for h in handles {
+                    h.join().expect("client training panicked");
+                }
+            });
+        } else {
+            for &i in &participant_ids {
+                self.clients[i].train_round(steps);
+            }
+        }
+
+        let mut updates: Vec<ModelUpdate> = Vec::with_capacity(participant_ids.len());
+        for &i in &participant_ids {
+            let mut update = self.clients[i].upload();
+            if self.config.update_noise_sigma > 0.0 {
+                let sigma = self.config.update_noise_sigma;
+                for p in &mut update.params {
+                    *p += sigma * gaussian(&mut self.rng);
+                }
+            }
+            self.transport.record_upload(self.clients[i].transfer_bytes());
+            updates.push(update);
+        }
+
+        let client_divergence = Self::divergence(&updates);
+        self.server
+            .aggregate(&updates)
+            .expect("participant set is nonempty and shapes are uniform");
+
+        for client in &mut self.clients {
+            client.download(self.server.global());
+            self.transport.record_download(client.transfer_bytes());
+        }
+
+        self.rounds_run += 1;
+        RoundReport {
+            round: self.rounds_run,
+            participants: participant_ids.len(),
+            client_divergence,
+        }
+    }
+
+    /// Mean L2 distance of the updates from their coordinate-wise mean.
+    fn divergence(updates: &[ModelUpdate]) -> f32 {
+        if updates.len() < 2 {
+            return 0.0;
+        }
+        let len = updates[0].params.len();
+        let mut mean = vec![0.0_f32; len];
+        for u in updates {
+            for (m, &p) in mean.iter_mut().zip(&u.params) {
+                *m += p;
+            }
+        }
+        let n = updates.len() as f32;
+        for m in &mut mean {
+            *m /= n;
+        }
+        updates
+            .iter()
+            .map(|u| {
+                u.params
+                    .iter()
+                    .zip(&mean)
+                    .map(|(p, m)| (p - m) * (p - m))
+                    .sum::<f32>()
+                    .sqrt()
+            })
+            .sum::<f32>()
+            / n
+    }
+
+    /// Runs all `config.rounds` rounds, returning one report per round.
+    pub fn run(&mut self) -> Vec<RoundReport> {
+        (0..self.config.rounds).map(|_| self.run_round()).collect()
+    }
+
+    fn select_participants(&mut self) -> Vec<usize> {
+        let n = self.clients.len();
+        let k = ((n as f64 * self.config.participation).ceil() as usize).clamp(1, n);
+        if k == n {
+            (0..n).collect()
+        } else {
+            let mut ids: Vec<usize> = (0..n).collect();
+            ids.shuffle(&mut self.rng);
+            ids.truncate(k);
+            ids.sort_unstable();
+            ids
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake client for orchestration tests.
+    #[derive(Debug)]
+    struct FakeClient {
+        id: usize,
+        params: Vec<f32>,
+        trained_steps: u64,
+        downloads: u64,
+    }
+
+    impl FakeClient {
+        fn new(id: usize, value: f32) -> Self {
+            FakeClient {
+                id,
+                params: vec![value; 4],
+                trained_steps: 0,
+                downloads: 0,
+            }
+        }
+    }
+
+    impl FederatedClient for FakeClient {
+        fn id(&self) -> usize {
+            self.id
+        }
+        fn train_round(&mut self, steps: u64) {
+            self.trained_steps += steps;
+            // Local training drifts each parameter by +id+1.
+            for p in &mut self.params {
+                *p += self.id as f32 + 1.0;
+            }
+        }
+        fn upload(&mut self) -> ModelUpdate {
+            ModelUpdate {
+                client_id: self.id,
+                params: self.params.clone(),
+                num_samples: self.trained_steps,
+            }
+        }
+        fn download(&mut self, global: &[f32]) {
+            self.params = global.to_vec();
+            self.downloads += 1;
+        }
+        fn transfer_bytes(&self) -> usize {
+            self.params.len() * 4
+        }
+    }
+
+    fn two_client_federation(config: FedAvgConfig) -> Federation<FakeClient> {
+        Federation::new(
+            vec![FakeClient::new(0, 0.0), FakeClient::new(1, 10.0)],
+            config,
+            7,
+        )
+    }
+
+    #[test]
+    fn construction_broadcasts_initial_model() {
+        let fed = two_client_federation(FedAvgConfig::paper());
+        // Client 0's initial params became the global model for everyone.
+        assert_eq!(fed.clients()[0].params, vec![0.0; 4]);
+        assert_eq!(fed.clients()[1].params, vec![0.0; 4]);
+        assert_eq!(fed.transport().downloads, 2);
+    }
+
+    #[test]
+    fn one_round_averages_drifted_models() {
+        let mut fed = two_client_federation(FedAvgConfig::paper());
+        let report = fed.run_round();
+        assert_eq!(report.participants, 2);
+        // Clients drifted to 1 and 2; mean is 1.5, each is 0.5 away in
+        // every one of the 4 coordinates -> distance 1.0.
+        assert!((report.client_divergence - 1.0).abs() < 1e-6);
+        // Both started at 0; client 0 drifts +1, client 1 drifts +2 → mean 1.5.
+        assert_eq!(fed.global_params(), &[1.5; 4]);
+        assert_eq!(fed.clients()[0].params, vec![1.5; 4]);
+        assert_eq!(fed.clients()[1].params, vec![1.5; 4]);
+    }
+
+    #[test]
+    fn run_executes_all_rounds() {
+        let mut config = FedAvgConfig::paper();
+        config.rounds = 5;
+        config.steps_per_round = 10;
+        let mut fed = two_client_federation(config);
+        let reports = fed.run();
+        assert_eq!(reports.len(), 5);
+        assert_eq!(fed.rounds_run(), 5);
+        assert_eq!(fed.clients()[0].trained_steps, 50);
+    }
+
+    #[test]
+    fn parallel_and_serial_rounds_agree() {
+        let serial = {
+            let mut fed = two_client_federation(FedAvgConfig::paper());
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        let parallel = {
+            let mut config = FedAvgConfig::paper();
+            config.parallel = true;
+            let mut fed = two_client_federation(config);
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn partial_participation_trains_a_subset_but_broadcasts_to_all() {
+        let mut config = FedAvgConfig::paper();
+        config.participation = 0.5;
+        let clients = (0..4).map(|i| FakeClient::new(i, 0.0)).collect();
+        let mut fed = Federation::new(clients, config, 3);
+        let report = fed.run_round();
+        assert_eq!(report.participants, 2);
+        let trained: usize = fed
+            .clients()
+            .iter()
+            .filter(|c| c.trained_steps > 0)
+            .count();
+        assert_eq!(trained, 2);
+        // Everyone still downloaded the new global model (2 initial + 4 now).
+        assert_eq!(fed.transport().downloads, 8);
+        let g = fed.global_params().to_vec();
+        for c in fed.clients() {
+            assert_eq!(c.params, g);
+        }
+    }
+
+    #[test]
+    fn update_noise_perturbs_the_global_model() {
+        let mut noisy_config = FedAvgConfig::paper();
+        noisy_config.update_noise_sigma = 0.5;
+        let clean = {
+            let mut fed = two_client_federation(FedAvgConfig::paper());
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        let noisy = {
+            let mut fed = two_client_federation(noisy_config);
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        assert_ne!(clean, noisy);
+        // Noise is zero-mean: the perturbation should be moderate.
+        for (c, n) in clean.iter().zip(&noisy) {
+            assert!((c - n).abs() < 3.0, "noise too large: {c} vs {n}");
+        }
+    }
+
+    #[test]
+    fn transport_accounting_matches_round_structure() {
+        let mut fed = two_client_federation(FedAvgConfig::paper());
+        let base_downloads = fed.transport().downloads;
+        fed.run_round();
+        let t = fed.transport();
+        assert_eq!(t.uploads, 2);
+        assert_eq!(t.downloads, base_downloads + 2);
+        assert_eq!(t.uploaded_bytes, 2 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_federation_panics() {
+        let _: Federation<FakeClient> = Federation::new(vec![], FedAvgConfig::paper(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "participation")]
+    fn invalid_participation_panics() {
+        let mut config = FedAvgConfig::paper();
+        config.participation = 0.0;
+        let _ = Federation::new(vec![FakeClient::new(0, 0.0)], config, 0);
+    }
+}

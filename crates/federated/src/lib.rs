@@ -1,0 +1,57 @@
+//! # fedpower-federated
+//!
+//! Federated averaging (Algorithm 2 of the paper / McMahan et al. 2017)
+//! over neural DVFS power controllers.
+//!
+//! The paper's setting: `N` homogeneous clients each run a local
+//! [`fedpower_agent::PowerController`]; a central server alternates between
+//! broadcasting the global model and averaging the clients' locally
+//! optimized models. Only model parameters travel — replay buffers (raw
+//! performance-counter and power traces) never leave the devices, which is
+//! the privacy property motivating the work.
+//!
+//! Components:
+//!
+//! * [`FedAvgServer`] — synchronous parameter averaging with
+//!   [`AggregationStrategy`] (the paper's unweighted mean plus a
+//!   sample-weighted extension),
+//! * [`AgentClient`] — a [`FederatedClient`] wrapping a power controller
+//!   and its simulated device,
+//! * [`Federation`] — round orchestration (`R` rounds × `T` local steps),
+//!   serial or thread-parallel, with optional partial participation and
+//!   Gaussian update noise (differential-privacy-style knob),
+//! * [`TransportStats`] — byte accounting for the §IV-C overhead numbers.
+//!
+//! # Example: two devices with disjoint workloads
+//!
+//! ```
+//! use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
+//! use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+//! use fedpower_workloads::AppId;
+//!
+//! let clients = vec![
+//!     AgentClient::new(0, ControllerConfig::default(), DeviceEnvConfig::new(&[AppId::Fft]), 1),
+//!     AgentClient::new(1, ControllerConfig::default(), DeviceEnvConfig::new(&[AppId::Ocean]), 2),
+//! ];
+//! let mut federation = Federation::new(clients, FedAvgConfig::default(), 42);
+//! let report = federation.run_round();
+//! assert_eq!(report.participants, 2);
+//! assert!(federation.transport().uploaded_bytes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+mod federation;
+mod server;
+mod td_client;
+mod transport;
+
+pub use client::{AgentClient, FederatedClient, ModelUpdate};
+pub use error::FedError;
+pub use federation::{FedAvgConfig, Federation, RoundReport};
+pub use server::{AggregationStrategy, FedAvgServer};
+pub use td_client::TdClient;
+pub use transport::TransportStats;

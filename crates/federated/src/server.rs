@@ -1,0 +1,383 @@
+use crate::client::ModelUpdate;
+use crate::error::FedError;
+use fedpower_nn::average_params;
+use serde::{Deserialize, Serialize};
+
+/// How the server combines client models into the next global model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AggregationStrategy {
+    /// Unweighted mean — "giving the same importance to each client"
+    /// (§III-B, the paper's choice).
+    #[default]
+    Uniform,
+    /// Weight each client by the number of samples it trained on this
+    /// round (the original FedAvg weighting; an ablation in this repo).
+    SampleWeighted,
+    /// Coordinate-wise trimmed mean: drop the `trim_each_side` largest and
+    /// smallest values per parameter before averaging. Robust to up to
+    /// `trim_each_side` byzantine clients (Yin et al. 2018) — an extension
+    /// hardening the paper's aggregation against malicious participants.
+    TrimmedMean {
+        /// Values dropped per side, per coordinate.
+        trim_each_side: usize,
+    },
+    /// Coordinate-wise median — maximally robust, higher variance.
+    CoordinateMedian,
+}
+
+/// The central aggregation server of Algorithm 2.
+///
+/// Aggregation is synchronous: the caller collects all participating
+/// clients' updates before invoking [`FedAvgServer::aggregate`]. An
+/// optional server momentum (FedAvgM, Hsu et al. 2019) smooths the global
+/// trajectory across rounds.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fedpower_federated::FedError> {
+/// use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate};
+/// let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+/// let global = server.aggregate(&[
+///     ModelUpdate { client_id: 0, params: vec![1.0, 2.0], num_samples: 100 },
+///     ModelUpdate { client_id: 1, params: vec![3.0, 4.0], num_samples: 100 },
+/// ])?;
+/// assert_eq!(global, &[2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedAvgServer {
+    global: Vec<f32>,
+    strategy: AggregationStrategy,
+    momentum: f32,
+    velocity: Vec<f32>,
+    rounds_completed: u64,
+}
+
+impl FedAvgServer {
+    /// Creates a server with initial global parameters θ₁ and no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty.
+    pub fn new(initial: Vec<f32>, strategy: AggregationStrategy) -> Self {
+        Self::with_momentum(initial, strategy, 0.0)
+    }
+
+    /// Creates a server applying FedAvgM server momentum: with β > 0 the
+    /// per-round model delta is accumulated as
+    /// `v ← β·v + (θ_r − aggregate)` and `θ_{r+1} = θ_r − v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `momentum ∉ [0, 1)`.
+    pub fn with_momentum(
+        initial: Vec<f32>,
+        strategy: AggregationStrategy,
+        momentum: f32,
+    ) -> Self {
+        assert!(!initial.is_empty(), "global model cannot be empty");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        let velocity = vec![0.0; initial.len()];
+        FedAvgServer {
+            global: initial,
+            strategy,
+            momentum,
+            velocity,
+            rounds_completed: 0,
+        }
+    }
+
+    /// The current global parameters θ_r.
+    pub fn global(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// The configured aggregation strategy.
+    pub fn strategy(&self) -> AggregationStrategy {
+        self.strategy
+    }
+
+    /// Rounds aggregated so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Combines client updates into the next global model and returns it.
+    ///
+    /// Mean-based strategies compute `θ_{r+1} = Σ w_n · θ_r^n`; the robust
+    /// strategies aggregate each coordinate independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::EmptyRound`] when no updates were supplied,
+    /// [`FedError::Model`] when parameter vectors disagree in shape, and
+    /// [`FedError::InvalidConfig`] when a trimmed mean would discard every
+    /// contribution.
+    pub fn aggregate(&mut self, updates: &[ModelUpdate]) -> Result<&[f32], FedError> {
+        if updates.is_empty() {
+            return Err(FedError::EmptyRound);
+        }
+        let models: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+        let next = match self.strategy {
+            AggregationStrategy::Uniform => {
+                let weights = vec![1.0 / updates.len() as f32; updates.len()];
+                average_params(&models, &weights)?
+            }
+            AggregationStrategy::SampleWeighted => {
+                let total: u64 = updates.iter().map(|u| u.num_samples).sum();
+                let weights: Vec<f32> = if total == 0 {
+                    vec![1.0 / updates.len() as f32; updates.len()]
+                } else {
+                    updates
+                        .iter()
+                        .map(|u| u.num_samples as f32 / total as f32)
+                        .collect()
+                };
+                average_params(&models, &weights)?
+            }
+            AggregationStrategy::TrimmedMean { trim_each_side } => {
+                if 2 * trim_each_side >= updates.len() {
+                    return Err(FedError::InvalidConfig(format!(
+                        "trimming {trim_each_side} per side discards all {} updates",
+                        updates.len()
+                    )));
+                }
+                Self::coordinate_wise(&models, |sorted| {
+                    let kept = &sorted[trim_each_side..sorted.len() - trim_each_side];
+                    kept.iter().sum::<f32>() / kept.len() as f32
+                })?
+            }
+            AggregationStrategy::CoordinateMedian => Self::coordinate_wise(&models, |sorted| {
+                let n = sorted.len();
+                if n % 2 == 1 {
+                    sorted[n / 2]
+                } else {
+                    (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+                }
+            })?,
+        };
+        if self.momentum > 0.0 {
+            #[allow(clippy::needless_range_loop)] // index couples global, next, velocity
+            for i in 0..self.global.len() {
+                let delta = self.global[i] - next[i];
+                self.velocity[i] = self.momentum * self.velocity[i] + delta;
+                self.global[i] -= self.velocity[i];
+            }
+        } else {
+            self.global = next;
+        }
+        self.rounds_completed += 1;
+        Ok(&self.global)
+    }
+
+    /// Applies `combine` to the sorted per-coordinate value sets.
+    fn coordinate_wise<F: Fn(&[f32]) -> f32>(
+        models: &[&[f32]],
+        combine: F,
+    ) -> Result<Vec<f32>, FedError> {
+        let len = models[0].len();
+        for (i, m) in models.iter().enumerate() {
+            if m.len() != len {
+                return Err(FedError::Model(fedpower_nn::NnError::ShapeMismatch {
+                    expected: len,
+                    actual: m.len(),
+                    context: format!("parameter vector of update {i}"),
+                }));
+            }
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut column = vec![0.0_f32; models.len()];
+        for i in 0..len {
+            for (c, m) in column.iter_mut().zip(models) {
+                *c = m[i];
+            }
+            column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
+            out.push(combine(&column));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize, params: Vec<f32>, samples: u64) -> ModelUpdate {
+        ModelUpdate {
+            client_id: id,
+            params,
+            num_samples: samples,
+        }
+    }
+
+    #[test]
+    fn uniform_aggregation_is_plain_mean() {
+        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let global = server
+            .aggregate(&[
+                update(0, vec![1.0, 2.0], 100),
+                update(1, vec![3.0, 6.0], 900),
+            ])
+            .unwrap();
+        assert_eq!(global, &[2.0, 4.0], "sample counts ignored under Uniform");
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn sample_weighted_aggregation_respects_counts() {
+        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::SampleWeighted);
+        let global = server
+            .aggregate(&[
+                update(0, vec![0.0, 0.0], 100),
+                update(1, vec![4.0, 8.0], 300),
+            ])
+            .unwrap();
+        assert_eq!(global, &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn sample_weighted_with_zero_samples_falls_back_to_uniform() {
+        let mut server = FedAvgServer::new(vec![0.0; 1], AggregationStrategy::SampleWeighted);
+        let global = server
+            .aggregate(&[update(0, vec![2.0], 0), update(1, vec![4.0], 0)])
+            .unwrap();
+        assert_eq!(global, &[3.0]);
+    }
+
+    #[test]
+    fn empty_round_errors() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        assert_eq!(server.aggregate(&[]), Err(FedError::EmptyRound));
+    }
+
+    #[test]
+    fn shape_mismatch_errors_and_preserves_global() {
+        let mut server = FedAvgServer::new(vec![0.0, 0.0], AggregationStrategy::Uniform);
+        let before = server.global().to_vec();
+        let result = server.aggregate(&[update(0, vec![1.0, 2.0], 1), update(1, vec![1.0], 1)]);
+        assert!(matches!(result, Err(FedError::Model(_))));
+        assert_eq!(server.global(), before, "failed round must not corrupt θ");
+        assert_eq!(server.rounds_completed(), 0);
+    }
+
+    #[test]
+    fn aggregating_identical_models_is_identity() {
+        let p = vec![0.5_f32, -1.5, 2.0];
+        let mut server = FedAvgServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
+        let global = server
+            .aggregate(&[update(0, p.clone(), 10), update(1, p.clone(), 10)])
+            .unwrap();
+        assert_eq!(global, p.as_slice());
+    }
+
+    #[test]
+    fn trimmed_mean_discards_a_byzantine_outlier() {
+        let mut server = FedAvgServer::new(
+            vec![0.0; 2],
+            AggregationStrategy::TrimmedMean { trim_each_side: 1 },
+        );
+        let honest1 = update(0, vec![1.0, 1.0], 1);
+        let honest2 = update(1, vec![1.2, 0.8], 1);
+        let honest3 = update(2, vec![0.8, 1.2], 1);
+        let byzantine = update(3, vec![1e9, -1e9], 1);
+        let global = server
+            .aggregate(&[honest1, honest2, honest3, byzantine])
+            .unwrap();
+        // Trimming one value per side removes the poisoned extreme; the
+        // result stays within the honest envelope.
+        for &v in global {
+            assert!((0.8..=1.2).contains(&v), "poison leaked through: {v}");
+        }
+    }
+
+    #[test]
+    fn coordinate_median_ignores_minority_poison() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let global = server
+            .aggregate(&[
+                update(0, vec![1.0], 1),
+                update(1, vec![1.1], 1),
+                update(2, vec![-1e9], 1),
+            ])
+            .unwrap();
+        assert_eq!(global, &[1.0]);
+    }
+
+    #[test]
+    fn median_of_even_count_averages_middle_pair() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let global = server
+            .aggregate(&[
+                update(0, vec![1.0], 1),
+                update(1, vec![3.0], 1),
+                update(2, vec![5.0], 1),
+                update(3, vec![100.0], 1),
+            ])
+            .unwrap();
+        assert_eq!(global, &[4.0]);
+    }
+
+    #[test]
+    fn over_trimming_errors_instead_of_panicking() {
+        let mut server = FedAvgServer::new(
+            vec![0.0],
+            AggregationStrategy::TrimmedMean { trim_each_side: 1 },
+        );
+        let result = server.aggregate(&[update(0, vec![1.0], 1), update(1, vec![2.0], 1)]);
+        assert!(matches!(result, Err(FedError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn momentum_free_first_step_matches_plain_fedavg() {
+        let updates = [update(0, vec![2.0], 1), update(1, vec![4.0], 1)];
+        let mut plain = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut momo =
+            FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.9);
+        assert_eq!(
+            plain.aggregate(&updates).unwrap(),
+            momo.aggregate(&updates).unwrap(),
+            "velocity starts at zero, so round 1 is identical"
+        );
+    }
+
+    #[test]
+    fn momentum_accelerates_a_consistent_direction() {
+        // Clients keep reporting the same target; with momentum the global
+        // model overshoots plain averaging after a few rounds.
+        let mut momo =
+            FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.5);
+        for _ in 0..3 {
+            momo.aggregate(&[update(0, vec![1.0], 1)]).unwrap();
+        }
+        assert!(
+            momo.global()[0] > 1.0,
+            "momentum should overshoot the target: {}",
+            momo.global()[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_panics() {
+        let _ = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 1.0);
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_trim_equals_uniform_mean() {
+        let updates = [update(0, vec![1.0, 5.0], 1), update(1, vec![3.0, 7.0], 1)];
+        let mut trimmed = FedAvgServer::new(
+            vec![0.0; 2],
+            AggregationStrategy::TrimmedMean { trim_each_side: 0 },
+        );
+        let mut uniform = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        assert_eq!(
+            trimmed.aggregate(&updates).unwrap(),
+            uniform.aggregate(&updates).unwrap()
+        );
+    }
+}

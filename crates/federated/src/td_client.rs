@@ -1,0 +1,108 @@
+use crate::client::{FederatedClient, ModelUpdate};
+use fedpower_agent::{DeviceEnv, DeviceEnvConfig, State, TdConfig, TdController};
+use fedpower_sim::rng::derive_seed;
+
+/// A federated client wrapping the temporal-difference controller
+/// ([`TdController`]) instead of the paper's contextual bandit — used by
+/// the bandit-vs-TD ablation.
+#[derive(Debug, Clone)]
+pub struct TdClient {
+    id: usize,
+    agent: TdController,
+    env: DeviceEnv,
+    state: State,
+    samples_this_round: u64,
+}
+
+impl TdClient {
+    /// Creates a TD client on a simulated device.
+    pub fn new(id: usize, config: TdConfig, env_config: DeviceEnvConfig, seed: u64) -> Self {
+        let mut env = DeviceEnv::new(env_config, derive_seed(seed, 200 + id as u64));
+        let agent = TdController::new(config, derive_seed(seed, 300 + id as u64));
+        let state = env.bootstrap().state;
+        TdClient {
+            id,
+            agent,
+            env,
+            state,
+            samples_this_round: 0,
+        }
+    }
+
+    /// Read access to the TD controller.
+    pub fn agent(&self) -> &TdController {
+        &self.agent
+    }
+}
+
+impl FederatedClient for TdClient {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn train_round(&mut self, steps: u64) {
+        self.samples_this_round = 0;
+        for _ in 0..steps {
+            let action = self.agent.select_action(&self.state);
+            let obs = self.env.execute(action);
+            let reward = self.agent.reward_for(&obs.counters);
+            self.agent.observe(&self.state, action, reward, &obs.state);
+            self.state = obs.state;
+            self.samples_this_round += 1;
+        }
+    }
+
+    fn upload(&mut self) -> ModelUpdate {
+        ModelUpdate {
+            client_id: self.id,
+            params: self.agent.params(),
+            num_samples: self.samples_this_round,
+        }
+    }
+
+    fn download(&mut self, global: &[f32]) {
+        self.agent
+            .set_params(global)
+            .expect("all federation clients share one architecture");
+    }
+
+    fn transfer_bytes(&self) -> usize {
+        self.agent.transfer_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FedAvgConfig, Federation};
+    use fedpower_workloads::AppId;
+
+    #[test]
+    fn td_clients_federate_like_bandit_clients() {
+        let clients = vec![
+            TdClient::new(
+                0,
+                TdConfig::paper_with_gamma(0.9),
+                DeviceEnvConfig::new(&[AppId::Fft]),
+                1,
+            ),
+            TdClient::new(
+                1,
+                TdConfig::paper_with_gamma(0.9),
+                DeviceEnvConfig::new(&[AppId::Ocean]),
+                2,
+            ),
+        ];
+        let mut cfg = FedAvgConfig::paper();
+        cfg.rounds = 2;
+        cfg.steps_per_round = 40;
+        let mut fed = Federation::new(clients, cfg, 7);
+        fed.run();
+        assert_eq!(
+            fed.clients()[0].agent().params(),
+            fed.clients()[1].agent().params(),
+            "both devices hold the global TD model after the final download"
+        );
+        assert_eq!(fed.clients()[0].agent().steps(), 80);
+    }
+}

@@ -1,0 +1,75 @@
+use serde::{Deserialize, Serialize};
+
+/// Byte-level accounting of server↔device communication.
+///
+/// The paper reports 2.8 kB per transfer (§IV-C); this counter lets the
+/// bench harness verify the reproduction's communication volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Total bytes uploaded (clients → server).
+    pub uploaded_bytes: u64,
+    /// Total bytes downloaded (server → clients).
+    pub downloaded_bytes: u64,
+    /// Number of uploads.
+    pub uploads: u64,
+    /// Number of downloads.
+    pub downloads: u64,
+}
+
+impl TransportStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        TransportStats::default()
+    }
+
+    /// Records one client upload of `bytes`.
+    pub fn record_upload(&mut self, bytes: usize) {
+        self.uploaded_bytes += bytes as u64;
+        self.uploads += 1;
+    }
+
+    /// Records one client download of `bytes`.
+    pub fn record_download(&mut self, bytes: usize) {
+        self.downloaded_bytes += bytes as u64;
+        self.downloads += 1;
+    }
+
+    /// Total traffic in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.uploaded_bytes + self.downloaded_bytes
+    }
+
+    /// Mean bytes per transfer (upload or download), if any occurred.
+    pub fn mean_transfer_bytes(&self) -> Option<f64> {
+        let transfers = self.uploads + self.downloads;
+        if transfers == 0 {
+            None
+        } else {
+            Some(self.total_bytes() as f64 / transfers as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut t = TransportStats::new();
+        t.record_upload(2800);
+        t.record_upload(2800);
+        t.record_download(2800);
+        assert_eq!(t.uploaded_bytes, 5600);
+        assert_eq!(t.downloaded_bytes, 2800);
+        assert_eq!(t.uploads, 2);
+        assert_eq!(t.downloads, 1);
+        assert_eq!(t.total_bytes(), 8400);
+        assert_eq!(t.mean_transfer_bytes(), Some(2800.0));
+    }
+
+    #[test]
+    fn empty_stats_have_no_mean() {
+        assert_eq!(TransportStats::new().mean_transfer_bytes(), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the aggregation rules' formal guarantees.
+
+use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate};
+use proptest::prelude::*;
+
+fn update(id: usize, params: Vec<f32>, samples: u64) -> ModelUpdate {
+    ModelUpdate {
+        client_id: id,
+        params,
+        num_samples: samples,
+    }
+}
+
+fn models(n_models: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0_f32..10.0, len..=len),
+        n_models..=n_models,
+    )
+}
+
+proptest! {
+    /// Every aggregation rule produces values inside the per-coordinate
+    /// envelope of the inputs (no rule can extrapolate).
+    #[test]
+    fn aggregates_stay_in_envelope(
+        params in (2_usize..6, 1_usize..20).prop_flat_map(|(n, len)| models(n, len)),
+    ) {
+        let len = params[0].len();
+        let updates: Vec<ModelUpdate> = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| update(i, p.clone(), (i as u64 + 1) * 10))
+            .collect();
+        let n = updates.len();
+        let strategies = [
+            AggregationStrategy::Uniform,
+            AggregationStrategy::SampleWeighted,
+            AggregationStrategy::CoordinateMedian,
+            AggregationStrategy::TrimmedMean { trim_each_side: (n - 1) / 2 },
+        ];
+        for strategy in strategies {
+            let mut server = FedAvgServer::new(vec![0.0; len], strategy);
+            let global = server.aggregate(&updates).expect("valid round").to_vec();
+            for i in 0..len {
+                let lo = params.iter().map(|p| p[i]).fold(f32::INFINITY, f32::min);
+                let hi = params.iter().map(|p| p[i]).fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    (lo - 1e-4..=hi + 1e-4).contains(&global[i]),
+                    "{strategy:?} escaped envelope at {i}: {} not in [{lo}, {hi}]",
+                    global[i]
+                );
+            }
+        }
+    }
+
+    /// Aggregation of identical models is the identity under every rule.
+    #[test]
+    fn identical_models_are_fixed_points(
+        p in prop::collection::vec(-5.0_f32..5.0, 1..30),
+        n in 2_usize..6,
+    ) {
+        let updates: Vec<ModelUpdate> =
+            (0..n).map(|i| update(i, p.clone(), 7)).collect();
+        for strategy in [
+            AggregationStrategy::Uniform,
+            AggregationStrategy::SampleWeighted,
+            AggregationStrategy::CoordinateMedian,
+        ] {
+            let mut server = FedAvgServer::new(vec![0.0; p.len()], strategy);
+            let global = server.aggregate(&updates).expect("valid round");
+            for (g, e) in global.iter().zip(&p) {
+                prop_assert!((g - e).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The median tolerates any minority of arbitrarily corrupted clients.
+    #[test]
+    fn median_resists_minority_poison(
+        honest in prop::collection::vec(0.9_f32..1.1, 5..=5),
+        poison in -1e6_f32..1e6,
+    ) {
+        // 3 honest, 2 byzantine — median must land in the honest range.
+        let mut updates: Vec<ModelUpdate> = honest[..3]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| update(i, vec![v], 1))
+            .collect();
+        updates.push(update(3, vec![poison], 1));
+        updates.push(update(4, vec![-poison], 1));
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let global = server.aggregate(&updates).expect("valid round");
+        prop_assert!(
+            (0.9..=1.1).contains(&global[0]),
+            "median {} escaped honest range",
+            global[0]
+        );
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in `fedpower-nn`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Two tensors/parameter vectors had incompatible sizes.
+    ShapeMismatch {
+        /// The size the operation required.
+        expected: usize,
+        /// The size it was given.
+        actual: usize,
+        /// Human-readable description of which operand mismatched.
+        context: String,
+    },
+    /// An argument was out of range or otherwise invalid.
+    InvalidArgument(String),
+    /// A serialized model blob could not be decoded.
+    Deserialize(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            NnError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NnError::Deserialize(msg) => write!(f, "failed to deserialize model: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let e = NnError::InvalidArgument("x".into());
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with("invalid argument"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_bounds<T: Send + Sync + Error + 'static>() {}
+        assert_bounds::<NnError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Finite-difference gradient verification.
+//!
+//! Used by the test suite (and available to downstream crates' tests) to
+//! confirm that [`Mlp::loss_and_gradient`] implements backpropagation
+//! correctly — the single most bug-prone piece of a from-scratch NN stack.
+
+use crate::loss::Loss;
+use crate::mlp::{Mlp, TrainBatch};
+use crate::NnError;
+
+/// Result of a gradient check: the worst relative error observed and the
+/// parameter index where it occurred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error `|analytic − numeric| / max(1, |analytic| + |numeric|)`.
+    pub max_rel_error: f32,
+    /// Flat parameter index where the maximum occurred.
+    pub worst_index: usize,
+}
+
+/// Compares the analytic gradient of `net` on `batch` against central finite
+/// differences with step `eps`.
+///
+/// # Errors
+///
+/// Propagates any shape error from the forward/backward pass.
+///
+/// # Example
+///
+/// ```
+/// use fedpower_nn::{gradcheck, Activation, Mlp, Mse, TrainBatch};
+///
+/// # fn main() -> Result<(), fedpower_nn::NnError> {
+/// let net = Mlp::new(&[3, 8, 4], Activation::Tanh, 1);
+/// let batch = TrainBatch {
+///     inputs: &[0.1, -0.4, 0.7, 0.9, 0.2, -0.3],
+///     actions: &[1, 3],
+///     targets: &[0.5, -0.25],
+/// };
+/// let report = gradcheck::check_gradient(&net, &batch, &Mse, 1e-3)?;
+/// assert!(report.max_rel_error < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_gradient<L: Loss>(
+    net: &Mlp,
+    batch: &TrainBatch<'_>,
+    loss: &L,
+    eps: f32,
+) -> Result<GradCheckReport, NnError> {
+    let (_, analytic) = net.loss_and_gradient(batch, loss)?;
+    let base_params = net.params();
+    let mut max_rel_error = 0.0_f32;
+    let mut worst_index = 0;
+    let mut probe = net.clone();
+    for i in 0..base_params.len() {
+        let mut plus = base_params.clone();
+        plus[i] += eps;
+        probe.set_params(&plus)?;
+        let (loss_plus, _) = probe.loss_and_gradient(batch, loss)?;
+
+        let mut minus = base_params.clone();
+        minus[i] -= eps;
+        probe.set_params(&minus)?;
+        let (loss_minus, _) = probe.loss_and_gradient(batch, loss)?;
+
+        let numeric = (loss_plus - loss_minus) / (2.0 * eps);
+        let denom = 1.0_f32.max(analytic[i].abs() + numeric.abs());
+        let rel = (analytic[i] - numeric).abs() / denom;
+        if rel > max_rel_error {
+            max_rel_error = rel;
+            worst_index = i;
+        }
+    }
+    Ok(GradCheckReport {
+        max_rel_error,
+        worst_index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Huber, Mse};
+
+    fn batch_for(in_dim: usize, n: usize) -> (Vec<f32>, Vec<usize>, Vec<f32>) {
+        let inputs: Vec<f32> = (0..n * in_dim).map(|i| ((i as f32) * 0.713).sin()).collect();
+        let actions: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let targets: Vec<f32> = (0..n).map(|i| ((i as f32) * 1.3).cos()).collect();
+        (inputs, actions, targets)
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences_tanh_mse() {
+        // Tanh is smooth everywhere, so finite differences are reliable.
+        let net = Mlp::new(&[4, 12, 3], Activation::Tanh, 21);
+        let (inputs, actions, targets) = batch_for(4, 6);
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &actions,
+            targets: &targets,
+        };
+        let report = check_gradient(&net, &batch, &Mse, 1e-3).unwrap();
+        assert!(
+            report.max_rel_error < 5e-3,
+            "gradient check failed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences_relu_huber() {
+        // ReLU kinks can spoil individual coordinates; the tolerance is
+        // looser but still catches systematically wrong backprop.
+        let net = Mlp::new(&[5, 16, 15], Activation::Relu, 8);
+        let (inputs, actions, targets) = batch_for(5, 8);
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &actions,
+            targets: &targets,
+        };
+        let report = check_gradient(&net, &batch, &Huber::new(1.0), 1e-3).unwrap();
+        assert!(
+            report.max_rel_error < 2e-2,
+            "gradient check failed: {report:?}"
+        );
+    }
+
+    #[test]
+    fn backprop_matches_finite_differences_deep_network() {
+        let net = Mlp::new(&[3, 10, 10, 4], Activation::Tanh, 77);
+        let (inputs, actions, targets) = batch_for(3, 5);
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &actions,
+            targets: &targets,
+        };
+        let report = check_gradient(&net, &batch, &Mse, 1e-3).unwrap();
+        assert!(
+            report.max_rel_error < 5e-3,
+            "gradient check failed: {report:?}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Initialization scheme for a linear layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Init {
+    /// He/Kaiming uniform — appropriate before ReLU activations.
+    HeUniform,
+    /// Xavier/Glorot uniform — appropriate before linear/tanh outputs.
+    XavierUniform,
+}
+
+impl Init {
+    /// Samples a weight matrix of `fan_out × fan_in` entries (row-major)
+    /// plus a zero bias vector of length `fan_out`.
+    pub(crate) fn sample(self, fan_in: usize, fan_out: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = match self {
+            Init::HeUniform => (6.0 / fan_in as f64).sqrt(),
+            Init::XavierUniform => (6.0 / (fan_in + fan_out) as f64).sqrt(),
+        };
+        let weights = (0..fan_in * fan_out)
+            .map(|_| rng.random_range(-limit..limit) as f32)
+            .collect();
+        (weights, vec![0.0; fan_out])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_uniform_is_within_bounds_and_nonconstant() {
+        let (w, b) = Init::HeUniform.sample(32, 16, 7);
+        let limit = (6.0_f64 / 32.0).sqrt() as f32;
+        assert_eq!(w.len(), 32 * 16);
+        assert!(w.iter().all(|&x| x.abs() <= limit));
+        assert!(w.iter().any(|&x| x != w[0]), "weights must vary");
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let (a, _) = Init::XavierUniform.sample(8, 4, 99);
+        let (b, _) = Init::XavierUniform.sample(8, 4, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let (a, _) = Init::HeUniform.sample(8, 4, 1);
+        let (b, _) = Init::HeUniform.sample(8, 4, 2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,224 @@
+use crate::init::Init;
+use crate::{Matrix, NnError};
+
+/// Elementwise activation function applied after a [`Linear`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)` — the paper's hidden activation.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No nonlinearity (used on the reward-regression output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation elementwise in place.
+    pub fn apply(self, xs: &mut [f32]) {
+        match self {
+            Activation::Relu => {
+                for x in xs {
+                    if *x < 0.0 {
+                        *x = 0.0;
+                    }
+                }
+            }
+            Activation::Tanh => {
+                for x in xs {
+                    *x = x.tanh();
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// Derivative of the activation, evaluated from the *pre-activation* `z`.
+    pub fn derivative(self, z: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// A fully-connected layer: `y = x·Wᵀ + b`.
+///
+/// Weights are stored row-major as `out_dim × in_dim`; this matches the flat
+/// parameter layout exchanged during federated averaging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+    /// `out_dim × in_dim`, row-major.
+    weights: Vec<f32>,
+    /// Length `out_dim`.
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with He-uniform weights (zero bias), seeded
+    /// deterministically.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let (weights, bias) = Init::HeUniform.sample(in_dim, out_dim, seed);
+        Linear {
+            in_dim,
+            out_dim,
+            weights,
+            bias,
+        }
+    }
+
+    /// Creates a layer with Xavier-uniform weights, appropriate for the
+    /// linear output layer of a regression network.
+    pub fn new_xavier(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let (weights, bias) = Init::XavierUniform.sample(in_dim, out_dim, seed);
+        Linear {
+            in_dim,
+            out_dim,
+            weights,
+            bias,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of trainable parameters (`out·in + out`).
+    pub fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Weight matrix view as a [`Matrix`] (`out_dim × in_dim`).
+    pub(crate) fn weight_matrix(&self) -> Matrix {
+        Matrix::from_rows(self.out_dim, self.in_dim, self.weights.clone())
+            .expect("weights buffer always matches out_dim*in_dim")
+    }
+
+    /// Forward pass for a batch: `X (n×in) → Z (n×out)` where
+    /// `Z = X·Wᵀ + b`. No activation is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        if x.cols() != self.in_dim {
+            return Err(NnError::ShapeMismatch {
+                expected: self.in_dim,
+                actual: x.cols(),
+                context: "Linear::forward input width".into(),
+            });
+        }
+        let w = self.weight_matrix();
+        let mut z = x.matmul_t(&w)?;
+        z.add_row_bias(&self.bias)?;
+        Ok(z)
+    }
+
+    /// Appends this layer's parameters (weights then bias) to `out`.
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.weights);
+        out.extend_from_slice(&self.bias);
+    }
+
+    /// Reads this layer's parameters from the front of `src`, returning the
+    /// remainder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `src` is too short.
+    pub fn read_params<'a>(&mut self, src: &'a [f32]) -> Result<&'a [f32], NnError> {
+        let n = self.num_params();
+        if src.len() < n {
+            return Err(NnError::ShapeMismatch {
+                expected: n,
+                actual: src.len(),
+                context: "Linear::read_params source length".into(),
+            });
+        }
+        let nw = self.weights.len();
+        let nb = self.bias.len();
+        self.weights.copy_from_slice(&src[..nw]);
+        self.bias.copy_from_slice(&src[nw..nw + nb]);
+        Ok(&src[n..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut layer = Linear::new(2, 2, 0);
+        // W = [[1, 2], [3, 4]], b = [10, 20]
+        layer
+            .read_params(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0])
+            .unwrap();
+        let x = Matrix::from_rows(1, 2, vec![5.0, 6.0]).unwrap();
+        let z = layer.forward(&x).unwrap();
+        // z = [5*1+6*2+10, 5*3+6*4+20] = [27, 59]
+        assert_eq!(z.as_slice(), &[27.0, 59.0]);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_width() {
+        let layer = Linear::new(3, 2, 0);
+        let x = Matrix::zeros(1, 2);
+        assert!(layer.forward(&x).is_err());
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let a = Linear::new(4, 3, 11);
+        let mut flat = Vec::new();
+        a.write_params(&mut flat);
+        assert_eq!(flat.len(), a.num_params());
+
+        let mut b = Linear::new(4, 3, 99);
+        let rest = b.read_params(&flat).unwrap();
+        assert!(rest.is_empty());
+        let mut flat_b = Vec::new();
+        b.write_params(&mut flat_b);
+        assert_eq!(flat, flat_b);
+    }
+
+    #[test]
+    fn read_params_too_short_errors() {
+        let mut layer = Linear::new(4, 3, 0);
+        assert!(layer.read_params(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_only() {
+        let mut xs = [-1.0, 0.0, 2.5];
+        Activation::Relu.apply(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn activation_derivatives_match_definitions() {
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Identity.derivative(-3.0), 1.0);
+        let d = Activation::Tanh.derivative(0.0);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+}

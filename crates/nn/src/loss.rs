@@ -1,0 +1,137 @@
+/// A pointwise regression loss with its derivative.
+///
+/// Implementors compute the loss `ℓ(ŷ, y)` for a single prediction/target
+/// pair and its derivative `∂ℓ/∂ŷ`. The paper trains the reward model with
+/// the [`Huber`] loss ("penalizes small errors quadratically and larger
+/// errors linearly", §III-C).
+pub trait Loss {
+    /// Loss value for prediction `pred` against target `target`.
+    fn value(&self, pred: f32, target: f32) -> f32;
+    /// Derivative of the loss with respect to the prediction.
+    fn derivative(&self, pred: f32, target: f32) -> f32;
+}
+
+/// Huber loss with transition point `delta`.
+///
+/// `ℓ = ½e²` for `|e| ≤ δ`, else `δ(|e| − ½δ)`, with `e = ŷ − y`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Huber {
+    delta: f32,
+}
+
+impl Huber {
+    /// Creates a Huber loss with the given quadratic/linear transition point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not strictly positive and finite.
+    pub fn new(delta: f32) -> Self {
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "huber delta must be positive and finite, got {delta}"
+        );
+        Huber { delta }
+    }
+
+    /// The quadratic/linear transition point.
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+}
+
+impl Default for Huber {
+    fn default() -> Self {
+        Huber::new(1.0)
+    }
+}
+
+impl Loss for Huber {
+    fn value(&self, pred: f32, target: f32) -> f32 {
+        let e = pred - target;
+        if e.abs() <= self.delta {
+            0.5 * e * e
+        } else {
+            self.delta * (e.abs() - 0.5 * self.delta)
+        }
+    }
+
+    fn derivative(&self, pred: f32, target: f32) -> f32 {
+        let e = pred - target;
+        if e.abs() <= self.delta {
+            e
+        } else {
+            self.delta * e.signum()
+        }
+    }
+}
+
+/// Mean-squared-error loss, `ℓ = ½(ŷ − y)²` per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn value(&self, pred: f32, target: f32) -> f32 {
+        let e = pred - target;
+        0.5 * e * e
+    }
+
+    fn derivative(&self, pred: f32, target: f32) -> f32 {
+        pred - target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huber_is_quadratic_inside_delta() {
+        let h = Huber::new(1.0);
+        assert!((h.value(0.5, 0.0) - 0.125).abs() < 1e-7);
+        assert!((h.derivative(0.5, 0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn huber_is_linear_outside_delta() {
+        let h = Huber::new(1.0);
+        // |e| = 3 → δ(|e| − δ/2) = 1·(3 − 0.5) = 2.5; slope = ±δ
+        assert!((h.value(3.0, 0.0) - 2.5).abs() < 1e-7);
+        assert_eq!(h.derivative(3.0, 0.0), 1.0);
+        assert_eq!(h.derivative(-3.0, 0.0), -1.0);
+    }
+
+    #[test]
+    fn huber_is_continuous_at_delta() {
+        let h = Huber::new(0.7);
+        let inside = h.value(0.7, 0.0);
+        let outside = h.value(0.7 + 1e-6, 0.0);
+        assert!((inside - outside).abs() < 1e-5);
+    }
+
+    #[test]
+    fn huber_derivative_matches_finite_difference() {
+        let h = Huber::new(1.0);
+        for &pred in &[-2.0_f32, -0.5, 0.3, 1.7] {
+            let eps = 1e-3;
+            let fd = (h.value(pred + eps, 0.0) - h.value(pred - eps, 0.0)) / (2.0 * eps);
+            assert!(
+                (fd - h.derivative(pred, 0.0)).abs() < 1e-3,
+                "pred={pred}: fd={fd} analytic={}",
+                h.derivative(pred, 0.0)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "huber delta")]
+    fn huber_rejects_nonpositive_delta() {
+        let _ = Huber::new(0.0);
+    }
+
+    #[test]
+    fn mse_value_and_derivative() {
+        assert_eq!(Mse.value(3.0, 1.0), 2.0);
+        assert_eq!(Mse.derivative(3.0, 1.0), 2.0);
+        assert_eq!(Mse.derivative(1.0, 3.0), -2.0);
+    }
+}

@@ -1,0 +1,297 @@
+use crate::NnError;
+
+/// A dense row-major `f32` matrix.
+///
+/// The networks in this workspace are tiny (the paper's policy net has 687
+/// parameters), so this type favours clarity and checked construction over
+/// raw throughput. All hot loops are simple and auto-vectorize well.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fedpower_nn::NnError> {
+/// use fedpower_nn::Matrix;
+/// let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+/// assert_eq!(m.get(1, 2), 6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, NnError> {
+        if data.len() != rows * cols {
+            return Err(NnError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                context: "Matrix::from_rows data".into(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of range");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` — standard matrix product (m×k · k×n → m×n).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                expected: self.cols,
+                actual: other.rows,
+                context: "matmul inner dimension".into(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, &b) in crow.iter_mut().zip(orow) {
+                    *c += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ · other` without materializing the transpose (k×m · k×n → m×n).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the row counts disagree.
+    pub fn t_matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.rows != other.rows {
+            return Err(NnError::ShapeMismatch {
+                expected: self.rows,
+                actual: other.rows,
+                context: "t_matmul shared row dimension".into(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.data[k * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (c, &b) in crow.iter_mut().zip(orow) {
+                    *c += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · otherᵀ` without materializing the transpose (m×k · n×k → m×n).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the column counts disagree.
+    pub fn matmul_t(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                expected: self.cols,
+                actual: other.cols,
+                context: "matmul_t shared column dimension".into(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                out.data[i * other.rows + j] = dot;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds `bias` (length = `cols`) to every row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `bias.len() != cols`.
+    pub fn add_row_bias(&mut self, bias: &[f32]) -> Result<(), NnError> {
+        if bias.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                expected: self.cols,
+                actual: bias.len(),
+                context: "add_row_bias bias length".into(),
+            });
+        }
+        for r in 0..self.rows {
+            for (v, &b) in self.data[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(bias)
+            {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums the rows into a single vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, d: &[f32]) -> Matrix {
+        Matrix::from_rows(rows, cols, d.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = m(2, 3, &[0.0; 6]);
+        let b = m(2, 2, &[0.0; 4]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose_product() {
+        let a = m(3, 2, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]); // Aᵀ is 2×3 [1 2 3; 4 5 6]
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.t_matmul(&b).unwrap();
+        // Aᵀ·B = [1 2 3; 4 5 6] · [[7,8],[9,10],[11,12]] = [[58,64],[139,154]]
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_t_equals_product_with_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(2, 3, &[7.0, 9.0, 11.0, 8.0, 10.0, 12.0]); // Bᵀ is 3×2
+        let c = a.matmul_t(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn add_row_bias_applies_to_every_row() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.add_row_bias(&[10.0, 20.0]).unwrap();
+        assert_eq!(a.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn column_sums_sums_over_rows() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.column_sums(), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Matrix::from_rows(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let a = Matrix::zeros(1, 1);
+        let _ = a.get(1, 0);
+    }
+}

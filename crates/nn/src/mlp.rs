@@ -1,0 +1,534 @@
+use crate::linear::{Activation, Linear};
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+use crate::NnError;
+
+/// Magic bytes prefixing a serialized [`Mlp`].
+const MAGIC: &[u8; 4] = b"FPNN";
+/// Serialization format version.
+const VERSION: u32 = 1;
+
+/// A batch of bandit training samples for [`Mlp::train_batch`].
+///
+/// Each sample is a state/action/reward triple `(s, a, r)` from the replay
+/// buffer: the network's output unit `a` is regressed toward the observed
+/// reward `r`, and all other output units receive zero gradient (only the
+/// executed action's reward was observed — Eq. (2) of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainBatch<'a> {
+    /// Row-major states, `n × in_dim` values.
+    pub inputs: &'a [f32],
+    /// Per-sample executed action (output-unit index), length `n`.
+    pub actions: &'a [usize],
+    /// Per-sample observed reward, length `n`.
+    pub targets: &'a [f32],
+}
+
+/// A multi-layer perceptron trained as a reward-regression model.
+///
+/// The paper's configuration is `Mlp::new(&[5, 32, K], Activation::Relu, seed)`
+/// where `K` is the number of V/f levels (15 on the Jetson Nano): one hidden
+/// layer of 32 ReLU units, linear outputs estimating `E[r(s, a)]` per action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths.
+    ///
+    /// `dims = [in, h1, ..., out]` — hidden layers use `hidden_activation`
+    /// (He init), the output layer is linear (Xavier init). The seed fully
+    /// determines the initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn new(dims: &[usize], hidden_activation: Activation, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "layer widths must be nonzero");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for (i, w) in dims.windows(2).enumerate() {
+            let layer_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            let is_output = i == dims.len() - 2;
+            layers.push(if is_output {
+                Linear::new_xavier(w[0], w[1], layer_seed)
+            } else {
+                Linear::new(w[0], w[1], layer_seed)
+            });
+        }
+        Mlp {
+            layers,
+            hidden_activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension (number of actions for the policy network).
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Layer widths `[in, h1, ..., out]`.
+    pub fn dims(&self) -> Vec<usize> {
+        let mut dims = vec![self.layers[0].in_dim()];
+        dims.extend(self.layers.iter().map(Linear::out_dim));
+        dims
+    }
+
+    /// The hidden-layer activation.
+    pub fn hidden_activation(&self) -> Activation {
+        self.hidden_activation
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Forward pass for a single input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, NnError> {
+        if x.len() != self.in_dim() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.in_dim(),
+                actual: x.len(),
+                context: "Mlp::forward input length".into(),
+            });
+        }
+        let m = Matrix::from_rows(1, x.len(), x.to_vec())?;
+        let out = self.forward_batch(&m)?;
+        Ok(out.as_slice().to_vec())
+    }
+
+    /// Forward pass for a batch of inputs (`n × in_dim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the input width is wrong.
+    pub fn forward_batch(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let (out, _, _) = self.forward_with_caches(x)?;
+        Ok(out)
+    }
+
+    /// Forward pass returning (output, per-layer activations, pre-activations)
+    /// for backprop. `activations[0]` is the input, `activations[l]` the
+    /// post-activation of layer `l`; `pre_acts[l]` the pre-activation of
+    /// layer `l+1` in `layers`.
+    fn forward_with_caches(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Matrix, Vec<Matrix>, Vec<Matrix>), NnError> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut pre_acts = Vec::with_capacity(self.layers.len());
+        activations.push(x.clone());
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&cur)?;
+            pre_acts.push(z.clone());
+            let mut a = z;
+            if i < self.layers.len() - 1 {
+                self.hidden_activation.apply(a.as_mut_slice());
+            }
+            activations.push(a.clone());
+            cur = a;
+        }
+        Ok((cur, activations, pre_acts))
+    }
+
+    /// Computes the mean loss and flat gradient for a bandit batch.
+    ///
+    /// Only the output unit matching each sample's executed action receives
+    /// loss gradient (Eq. (2)); the gradient layout matches [`Mlp::params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArgument`] if the batch is empty or field
+    /// lengths are inconsistent, [`NnError::ShapeMismatch`] on bad widths.
+    pub fn loss_and_gradient<L: Loss>(
+        &self,
+        batch: &TrainBatch<'_>,
+        loss: &L,
+    ) -> Result<(f32, Vec<f32>), NnError> {
+        let in_dim = self.in_dim();
+        let n = batch.actions.len();
+        if n == 0 {
+            return Err(NnError::InvalidArgument("empty training batch".into()));
+        }
+        if batch.inputs.len() != n * in_dim {
+            return Err(NnError::ShapeMismatch {
+                expected: n * in_dim,
+                actual: batch.inputs.len(),
+                context: "TrainBatch::inputs length".into(),
+            });
+        }
+        if batch.targets.len() != n {
+            return Err(NnError::ShapeMismatch {
+                expected: n,
+                actual: batch.targets.len(),
+                context: "TrainBatch::targets length".into(),
+            });
+        }
+        let out_dim = self.out_dim();
+        if let Some(&bad) = batch.actions.iter().find(|&&a| a >= out_dim) {
+            return Err(NnError::InvalidArgument(format!(
+                "action index {bad} out of range for {out_dim} outputs"
+            )));
+        }
+
+        let x = Matrix::from_rows(n, in_dim, batch.inputs.to_vec())?;
+        let (out, activations, pre_acts) = self.forward_with_caches(&x)?;
+
+        // Masked output delta: gradient only on the executed action's unit.
+        let mut total_loss = 0.0_f32;
+        let mut delta = Matrix::zeros(n, out_dim);
+        let inv_n = 1.0 / n as f32;
+        for i in 0..n {
+            let a = batch.actions[i];
+            let pred = out.get(i, a);
+            let target = batch.targets[i];
+            total_loss += loss.value(pred, target);
+            delta.set(i, a, loss.derivative(pred, target) * inv_n);
+        }
+        let mean_loss = total_loss * inv_n;
+
+        // Backpropagate through the layers, collecting per-layer grads.
+        let mut layer_grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.layers.len());
+        let mut cur_delta = delta;
+        for l in (0..self.layers.len()).rev() {
+            // gradW_l = deltaᵀ · a_{l} (a_{l} is the layer's input activation)
+            let grad_w = cur_delta.t_matmul(&activations[l])?;
+            let grad_b = cur_delta.column_sums();
+            layer_grads.push((grad_w, grad_b));
+            if l > 0 {
+                // delta_{l-1} = (delta_l · W_l) ⊙ act'(z_{l-1})
+                let w = self.layers[l].weight_matrix();
+                let mut prev = cur_delta.matmul(&w)?;
+                let z = &pre_acts[l - 1];
+                for (d, &zv) in prev.as_mut_slice().iter_mut().zip(z.as_slice()) {
+                    *d *= self.hidden_activation.derivative(zv);
+                }
+                cur_delta = prev;
+            }
+        }
+        layer_grads.reverse();
+
+        // Flatten in params() order: per layer, weights then bias.
+        let mut flat = Vec::with_capacity(self.num_params());
+        for (gw, gb) in &layer_grads {
+            flat.extend_from_slice(gw.as_slice());
+            flat.extend_from_slice(gb);
+        }
+        Ok((mean_loss, flat))
+    }
+
+    /// Performs one gradient step on a bandit batch, returning the mean loss
+    /// *before* the update.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mlp::loss_and_gradient`].
+    pub fn train_batch<L: Loss, O: Optimizer>(
+        &mut self,
+        batch: &TrainBatch<'_>,
+        loss: &L,
+        optimizer: &mut O,
+    ) -> f32 {
+        let (mean_loss, grads) = self
+            .loss_and_gradient(batch, loss)
+            .expect("train_batch called with malformed batch");
+        let mut params = self.params();
+        optimizer.step(&mut params, &grads);
+        self.set_params(&params)
+            .expect("params length is stable across a step");
+        mean_loss
+    }
+
+    /// Returns all parameters as a flat vector (layer order, weights then
+    /// bias per layer). This is the representation exchanged with the
+    /// federated server.
+    pub fn params(&self) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            layer.write_params(&mut flat);
+        }
+        flat
+    }
+
+    /// Overwrites all parameters from a flat vector (see [`Mlp::params`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `flat.len() != num_params`.
+    pub fn set_params(&mut self, flat: &[f32]) -> Result<(), NnError> {
+        if flat.len() != self.num_params() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.num_params(),
+                actual: flat.len(),
+                context: "Mlp::set_params flat vector".into(),
+            });
+        }
+        let mut rest = flat;
+        for layer in &mut self.layers {
+            rest = layer.read_params(rest)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the network (architecture + parameters) to bytes.
+    ///
+    /// This is the payload a device uploads per federated round; for the
+    /// paper's 5→32→15 network it is ~2.8 kB, matching §IV-C.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let dims = self.dims();
+        let mut out = Vec::with_capacity(16 + dims.len() * 4 + self.num_params() * 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(match self.hidden_activation {
+            Activation::Relu => 0,
+            Activation::Tanh => 1,
+            Activation::Identity => 2,
+        });
+        out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+        for d in &dims {
+            out.extend_from_slice(&(*d as u32).to_le_bytes());
+        }
+        for p in self.params() {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a network from [`Mlp::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] on truncated or corrupted input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, NnError> {
+        let err = |msg: &str| NnError::Deserialize(msg.into());
+        if bytes.len() < 13 {
+            return Err(err("blob shorter than header"));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("fixed slice"));
+        if version != VERSION {
+            return Err(NnError::Deserialize(format!(
+                "unsupported format version {version}"
+            )));
+        }
+        let activation = match bytes[8] {
+            0 => Activation::Relu,
+            1 => Activation::Tanh,
+            2 => Activation::Identity,
+            other => {
+                return Err(NnError::Deserialize(format!(
+                    "unknown activation tag {other}"
+                )))
+            }
+        };
+        let ndims = u32::from_le_bytes(bytes[9..13].try_into().expect("fixed slice")) as usize;
+        if !(2..=64).contains(&ndims) {
+            return Err(err("implausible layer count"));
+        }
+        let mut off = 13;
+        let mut dims = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            if off + 4 > bytes.len() {
+                return Err(err("truncated dims"));
+            }
+            let d = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("fixed slice"));
+            if d == 0 {
+                return Err(err("zero layer width"));
+            }
+            dims.push(d as usize);
+            off += 4;
+        }
+        let mut net = Mlp::new(&dims, activation, 0);
+        let expect = net.num_params();
+        if bytes.len() != off + expect * 4 {
+            return Err(NnError::Deserialize(format!(
+                "expected {} parameter bytes, found {}",
+                expect * 4,
+                bytes.len() - off
+            )));
+        }
+        let mut params = Vec::with_capacity(expect);
+        for chunk in bytes[off..].chunks_exact(4) {
+            params.push(f32::from_le_bytes(chunk.try_into().expect("fixed slice")));
+        }
+        net.set_params(&params)?;
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Huber, Mse, Sgd};
+
+    fn paper_net(seed: u64) -> Mlp {
+        Mlp::new(&[5, 32, 15], Activation::Relu, seed)
+    }
+
+    #[test]
+    fn paper_network_has_expected_parameter_count_and_transfer_size() {
+        let net = paper_net(0);
+        // 5*32 + 32 + 32*15 + 15 = 687 parameters
+        assert_eq!(net.num_params(), 687);
+        let bytes = net.to_bytes();
+        // ~2.8 kB per transfer as reported in §IV-C of the paper.
+        assert!(
+            (2700..2900).contains(&bytes.len()),
+            "transfer size {} outside the ~2.8 kB the paper reports",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn forward_output_width_matches_action_count() {
+        let net = paper_net(1);
+        let out = net.forward(&[0.5, 0.4, 0.8, 0.1, 3.0]).unwrap();
+        assert_eq!(out.len(), 15);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_length() {
+        let net = paper_net(1);
+        assert!(net.forward(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrips_exactly() {
+        let net = paper_net(7);
+        let restored = Mlp::from_bytes(&net.to_bytes()).unwrap();
+        assert_eq!(net.params(), restored.params());
+        assert_eq!(net.dims(), restored.dims());
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(net.forward(&x).unwrap(), restored.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let net = paper_net(7);
+        let mut bytes = net.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Mlp::from_bytes(&bytes),
+            Err(NnError::Deserialize(_))
+        ));
+        let bytes = net.to_bytes();
+        assert!(Mlp::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Mlp::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn params_roundtrip_via_set_params() {
+        let a = paper_net(3);
+        let mut b = paper_net(4);
+        assert_ne!(a.params(), b.params());
+        b.set_params(&a.params()).unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_length() {
+        let mut net = paper_net(0);
+        assert!(net.set_params(&[0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        let mut net = paper_net(5);
+        let mut opt = Adam::new(0.005, net.num_params());
+        let inputs: Vec<f32> = (0..8 * 5).map(|i| (i as f32 * 0.37).sin()).collect();
+        let actions = [0usize, 3, 7, 11, 14, 2, 5, 9];
+        let targets = [0.9, 0.5, -0.2, 0.7, -1.0, 0.3, 0.1, 0.6];
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &actions,
+            targets: &targets,
+        };
+        let first = net.train_batch(&batch, &Huber::new(1.0), &mut opt);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_batch(&batch, &Huber::new(1.0), &mut opt);
+        }
+        assert!(
+            last < first * 0.1,
+            "loss should drop by >10x: first={first} last={last}"
+        );
+    }
+
+    #[test]
+    fn masked_gradient_leaves_other_actions_untouched_for_linear_net() {
+        // Single linear layer: training action 0 must not change rows of W
+        // or entries of b belonging to other actions.
+        let mut net = Mlp::new(&[2, 3], Activation::Relu, 0);
+        let before = net.params();
+        let mut opt = Sgd::new(0.1);
+        let batch = TrainBatch {
+            inputs: &[1.0, -1.0],
+            actions: &[0],
+            targets: &[5.0],
+        };
+        net.train_batch(&batch, &Mse, &mut opt);
+        let after = net.params();
+        // Layout: W row0 (2), W row1 (2), W row2 (2), b (3).
+        assert_ne!(before[0..2], after[0..2], "trained action row must move");
+        assert_eq!(before[2..6], after[2..6], "untrained weight rows frozen");
+        assert_ne!(before[6], after[6], "trained action bias must move");
+        assert_eq!(before[7..9], after[7..9], "untrained biases frozen");
+    }
+
+    #[test]
+    fn loss_and_gradient_validates_batch() {
+        let net = paper_net(0);
+        let bad_action = TrainBatch {
+            inputs: &[0.0; 5],
+            actions: &[15],
+            targets: &[0.0],
+        };
+        assert!(net.loss_and_gradient(&bad_action, &Mse).is_err());
+        let empty = TrainBatch {
+            inputs: &[],
+            actions: &[],
+            targets: &[],
+        };
+        assert!(net.loss_and_gradient(&empty, &Mse).is_err());
+        let short_targets = TrainBatch {
+            inputs: &[0.0; 10],
+            actions: &[0, 1],
+            targets: &[0.0],
+        };
+        assert!(net.loss_and_gradient(&short_targets, &Mse).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = paper_net(42);
+        let b = paper_net(42);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn deeper_networks_are_supported() {
+        let net = Mlp::new(&[4, 16, 16, 8], Activation::Tanh, 9);
+        let out = net.forward(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(out.len(), 8);
+        let restored = Mlp::from_bytes(&net.to_bytes()).unwrap();
+        assert_eq!(restored.dims(), vec![4, 16, 16, 8]);
+        assert_eq!(restored.hidden_activation(), Activation::Tanh);
+    }
+}

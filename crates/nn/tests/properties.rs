@@ -1,0 +1,84 @@
+//! Property-based tests of the neural-network substrate.
+
+use fedpower_nn::{Activation, Adam, Huber, Mlp, Mse, Optimizer, Sgd, TrainBatch};
+use proptest::prelude::*;
+
+/// Strategy: a small random architecture.
+fn arch() -> impl Strategy<Value = Vec<usize>> {
+    (1_usize..8, 1_usize..24, 1_usize..16)
+        .prop_map(|(inp, hidden, out)| vec![inp, hidden, out])
+}
+
+proptest! {
+    /// Serialization round-trips bit-exactly for arbitrary architectures.
+    #[test]
+    fn serialization_roundtrips(dims in arch(), seed in 0_u64..500) {
+        let net = Mlp::new(&dims, Activation::Relu, seed);
+        let restored = Mlp::from_bytes(&net.to_bytes()).expect("own bytes are valid");
+        prop_assert_eq!(net.params(), restored.params());
+        prop_assert_eq!(net.dims(), restored.dims());
+    }
+
+    /// params/set_params round-trips for arbitrary architectures.
+    #[test]
+    fn params_roundtrip(dims in arch(), seed in 0_u64..500) {
+        let a = Mlp::new(&dims, Activation::Tanh, seed);
+        let mut b = Mlp::new(&dims, Activation::Tanh, seed.wrapping_add(1));
+        b.set_params(&a.params()).expect("same architecture");
+        prop_assert_eq!(a.params(), b.params());
+    }
+
+    /// Truncating a serialized blob anywhere never round-trips and never
+    /// panics.
+    #[test]
+    fn truncated_blobs_error_gracefully(seed in 0_u64..100, cut in 0_usize..200) {
+        let net = Mlp::new(&[3, 8, 4], Activation::Relu, seed);
+        let bytes = net.to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(Mlp::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// A gradient step with a tiny learning rate reduces loss on the batch
+    /// it was computed from (local descent property).
+    #[test]
+    fn gradient_step_descends(seed in 0_u64..200) {
+        let mut net = Mlp::new(&[4, 12, 5], Activation::Tanh, seed);
+        let inputs: Vec<f32> = (0..4 * 6).map(|i| ((i as f32) * 0.531).sin()).collect();
+        let actions: Vec<usize> = (0..6).map(|i| i % 5).collect();
+        let targets: Vec<f32> = (0..6).map(|i| ((i as f32) * 0.917).cos()).collect();
+        let batch = TrainBatch { inputs: &inputs, actions: &actions, targets: &targets };
+        let (before, _) = net.loss_and_gradient(&batch, &Mse).expect("valid batch");
+        let mut opt = Sgd::new(1e-3);
+        net.train_batch(&batch, &Mse, &mut opt);
+        let (after, _) = net.loss_and_gradient(&batch, &Mse).expect("valid batch");
+        prop_assert!(
+            after <= before + 1e-6,
+            "loss rose after a small SGD step: {} -> {}", before, after
+        );
+    }
+
+    /// Adam keeps parameters finite under adversarial-but-finite gradients.
+    #[test]
+    fn adam_stays_finite(grads in prop::collection::vec(-1e3_f32..1e3, 10)) {
+        let mut opt = Adam::new(0.01, 10);
+        let mut params = vec![0.0_f32; 10];
+        for _ in 0..50 {
+            opt.step(&mut params, &grads);
+        }
+        prop_assert!(params.iter().all(|p| p.is_finite()));
+    }
+
+    /// Huber loss is nonnegative, zero only at the target, and bounded by
+    /// the MSE loss.
+    #[test]
+    fn huber_is_sane(pred in -100.0_f32..100.0, target in -100.0_f32..100.0) {
+        use fedpower_nn::Loss;
+        let h = Huber::new(1.0);
+        let v = h.value(pred, target);
+        prop_assert!(v >= 0.0);
+        if (pred - target).abs() < 1e-6 {
+            prop_assert!(v < 1e-9);
+        }
+        prop_assert!(v <= Mse.value(pred, target) + 1e-6);
+    }
+}

@@ -1,0 +1,113 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// A simple energy store for battery-powered edge deployments.
+///
+/// The paper's power constraint is fixed at design time; a battery turns it
+/// into a *budget over time* — the motivation for adaptive constraints
+/// (§V's "varying objectives/user preferences"). See
+/// `examples/battery_mission.rs` for a supervisor that retargets the
+/// controller's `P_crit` from the remaining charge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    remaining_j: f64,
+}
+
+impl Battery {
+    /// Creates a fully charged battery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the capacity is not positive.
+    pub fn new(capacity_j: f64) -> Result<Self, SimError> {
+        if !(capacity_j > 0.0 && capacity_j.is_finite()) {
+            return Err(SimError::InvalidConfig(format!(
+                "battery capacity must be positive, got {capacity_j}"
+            )));
+        }
+        Ok(Battery {
+            capacity_j,
+            remaining_j: capacity_j,
+        })
+    }
+
+    /// Total capacity in joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining charge in joules.
+    pub fn remaining_j(&self) -> f64 {
+        self.remaining_j
+    }
+
+    /// Remaining charge as a fraction of capacity.
+    pub fn fraction(&self) -> f64 {
+        self.remaining_j / self.capacity_j
+    }
+
+    /// Whether the battery is exhausted.
+    pub fn is_depleted(&self) -> bool {
+        self.remaining_j <= 0.0
+    }
+
+    /// Drains `energy_j` (clamped at empty) and returns the remaining
+    /// charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_j` is negative.
+    pub fn drain(&mut self, energy_j: f64) -> f64 {
+        assert!(energy_j >= 0.0, "cannot drain negative energy");
+        self.remaining_j = (self.remaining_j - energy_j).max(0.0);
+        self.remaining_j
+    }
+
+    /// The sustainable mean power if the battery must last another
+    /// `seconds` — the quantity an adaptive supervisor feeds back into the
+    /// controller's power constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not strictly positive.
+    pub fn sustainable_power_w(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "horizon must be positive");
+        self.remaining_j / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_accounts_energy_and_clamps_at_empty() {
+        let mut b = Battery::new(100.0).unwrap();
+        assert_eq!(b.drain(30.0), 70.0);
+        assert!((b.fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(b.drain(1000.0), 0.0);
+        assert!(b.is_depleted());
+    }
+
+    #[test]
+    fn sustainable_power_is_remaining_over_horizon() {
+        let mut b = Battery::new(7200.0).unwrap(); // 2 Wh
+        b.drain(3600.0);
+        // 3600 J over 1 hour → 1 W sustainable.
+        assert!((b.sustainable_power_w(3600.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_capacity_errors() {
+        assert!(Battery::new(0.0).is_err());
+        assert!(Battery::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative energy")]
+    fn negative_drain_panics() {
+        let mut b = Battery::new(10.0).unwrap();
+        b.drain(-1.0);
+    }
+}

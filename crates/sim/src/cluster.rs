@@ -1,0 +1,308 @@
+use crate::counters::{NoiseConfig, PerfCounters};
+use crate::freq::{FreqLevel, VfTable};
+use crate::perf::{PerfModel, PhaseParams};
+use crate::power::PowerModel;
+use crate::processor::ProcessorConfig;
+use crate::rng::{self, streams};
+use crate::thermal::ThermalModel;
+use rand::rngs::StdRng;
+
+/// Per-core result of one cluster interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreOutcome {
+    /// Instructions the core retired this interval.
+    pub instructions_retired: f64,
+    /// The core's effective IPC.
+    pub ipc: f64,
+    /// The core's dynamic power contribution in watts.
+    pub dynamic_power_w: f64,
+}
+
+/// Result of one interval on a [`ClusterProcessor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Per-core outcomes (`None` for idle cores).
+    pub cores: Vec<Option<CoreOutcome>>,
+    /// Cluster-aggregate counters as a controller would observe them
+    /// (noisy).
+    pub counters: PerfCounters,
+    /// Ground-truth aggregate counters.
+    pub clean: PerfCounters,
+    /// Total cluster energy over the interval in joules.
+    pub energy_j: f64,
+}
+
+/// A multi-core cluster sharing a single clock domain — the Jetson Nano's
+/// four Cortex-A57 cores "with a shared clock signal" (§IV).
+///
+/// The paper runs one single-threaded application at a time, making the
+/// cluster look like one core; this type models the general case so a
+/// single DVFS decision governs several co-running applications. Dynamic
+/// power adds per active core; leakage is paid once per cluster (it scales
+/// with the shared voltage rail); idle cores draw a small clock-tree
+/// residual.
+#[derive(Debug, Clone)]
+pub struct ClusterProcessor {
+    vf_table: VfTable,
+    perf: PerfModel,
+    power: PowerModel,
+    noise: NoiseConfig,
+    thermal: Option<ThermalModel>,
+    fixed_temp_c: f64,
+    num_cores: usize,
+    /// Fraction of a busy core's base activity an idle core still burns.
+    idle_activity: f64,
+    level: FreqLevel,
+    noise_rng: StdRng,
+}
+
+impl ClusterProcessor {
+    /// Creates a cluster of `num_cores` cores from a per-core processor
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cores` is zero or the configuration is invalid.
+    pub fn new(config: ProcessorConfig, num_cores: usize, seed: u64) -> Self {
+        assert!(num_cores > 0, "a cluster needs at least one core");
+        config.validate().expect("cluster config must be valid");
+        let thermal = config
+            .thermal
+            .map(|t| ThermalModel::new(t).expect("validated above"));
+        ClusterProcessor {
+            power: PowerModel::new(config.power).expect("validated above"),
+            perf: config.perf,
+            noise: config.noise,
+            thermal,
+            fixed_temp_c: config.fixed_temp_c,
+            num_cores,
+            idle_activity: 0.08,
+            level: FreqLevel(0),
+            vf_table: config.vf_table,
+            noise_rng: rng::derive_rng(seed, streams::SENSOR_NOISE),
+        }
+    }
+
+    /// The shared V/f table.
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf_table
+    }
+
+    /// Number of cores in the cluster.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Current shared V/f level.
+    pub fn level(&self) -> FreqLevel {
+        self.level
+    }
+
+    /// Current junction temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.thermal
+            .as_ref()
+            .map_or(self.fixed_temp_c, ThermalModel::temperature_c)
+    }
+
+    /// Sets the cluster-wide V/f level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside the V/f table.
+    pub fn set_level(&mut self, level: FreqLevel) {
+        assert!(
+            level.0 < self.vf_table.len(),
+            "V/f level {} out of range for {}-level table",
+            level.0,
+            self.vf_table.len()
+        );
+        self.level = level;
+    }
+
+    /// Executes one interval: core `i` runs `workloads[i]` (idle if
+    /// `None`). All cores share the current V/f level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != num_cores` or `dt_s` is not positive.
+    pub fn run(&mut self, workloads: &[Option<PhaseParams>], dt_s: f64) -> ClusterOutcome {
+        assert_eq!(
+            workloads.len(),
+            self.num_cores,
+            "need one workload slot per core"
+        );
+        assert!(dt_s > 0.0, "interval length must be positive, got {dt_s}");
+        let f_ghz = self
+            .vf_table
+            .freq_ghz(self.level)
+            .expect("current level always valid");
+        let volts = self
+            .vf_table
+            .voltage(self.level)
+            .expect("current level always valid");
+        let temp = self.temperature_c();
+
+        let mut cores = Vec::with_capacity(self.num_cores);
+        let mut total_dyn = 0.0;
+        let mut total_instructions = 0.0;
+        let mut weighted_mpki = 0.0;
+        let mut weighted_mr = 0.0;
+        let mut active = 0usize;
+        for slot in workloads {
+            match slot {
+                Some(phase) => {
+                    let ipc = self.perf.ipc(phase, f_ghz);
+                    let instructions = ipc * f_ghz * 1e9 * dt_s;
+                    let p_dyn = self.power.dynamic_power(phase, ipc, volts, f_ghz);
+                    total_dyn += p_dyn;
+                    total_instructions += instructions;
+                    weighted_mpki += instructions * phase.mpki;
+                    weighted_mr += instructions * phase.miss_rate();
+                    active += 1;
+                    cores.push(Some(CoreOutcome {
+                        instructions_retired: instructions,
+                        ipc,
+                        dynamic_power_w: p_dyn,
+                    }));
+                }
+                None => {
+                    // Idle core: clock tree and minimal pipeline switching.
+                    let idle_phase = PhaseParams::new(1.0, 0.0, 0.0, self.idle_activity);
+                    let p_idle = self.power.dynamic_power(&idle_phase, 0.0, volts, f_ghz);
+                    total_dyn += p_idle;
+                    cores.push(None);
+                }
+            }
+        }
+
+        let leakage = self.power.leakage_power(volts, temp);
+        let total_power = total_dyn + leakage;
+        let temp_after = match &mut self.thermal {
+            Some(t) => t.step(total_power, dt_s),
+            None => self.fixed_temp_c,
+        };
+
+        let cycles = f_ghz * 1e9 * dt_s * active.max(1) as f64;
+        let clean = PerfCounters {
+            freq_mhz: f_ghz * 1000.0,
+            power_w: total_power,
+            ipc: total_instructions / cycles,
+            miss_rate: if total_instructions > 0.0 {
+                weighted_mr / total_instructions
+            } else {
+                0.0
+            },
+            mpki: if total_instructions > 0.0 {
+                weighted_mpki / total_instructions
+            } else {
+                0.0
+            },
+            ips: total_instructions / dt_s,
+            temp_c: temp_after,
+        };
+        let counters = self.noise.apply(&clean, &mut self.noise_rng);
+        ClusterOutcome {
+            cores,
+            counters,
+            clean,
+            energy_j: total_power * dt_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(cores: usize) -> ClusterProcessor {
+        ClusterProcessor::new(ProcessorConfig::jetson_nano_noiseless(), cores, 0)
+    }
+
+    fn compute_phase() -> PhaseParams {
+        PhaseParams::new(0.7, 1.5, 30.0, 1.0)
+    }
+
+    #[test]
+    fn single_busy_core_matches_single_core_processor_power_scale() {
+        let mut c = cluster(4);
+        c.set_level(FreqLevel(14));
+        let out = c.run(
+            &[Some(compute_phase()), None, None, None],
+            0.5,
+        );
+        let mut single = crate::Processor::new(ProcessorConfig::jetson_nano_noiseless(), 0);
+        single.set_level(FreqLevel(14));
+        let solo = single.run(&compute_phase(), 0.5);
+        // Cluster pays three idle cores extra, so it draws a bit more.
+        assert!(out.clean.power_w > solo.clean.power_w);
+        assert!(out.clean.power_w < solo.clean.power_w * 1.5);
+        // Retired instructions for the busy core are identical.
+        let core0 = out.cores[0].expect("core 0 busy");
+        assert!((core0.instructions_retired - solo.instructions_retired).abs() < 1.0);
+    }
+
+    #[test]
+    fn power_scales_with_active_core_count() {
+        let mut c = cluster(4);
+        c.set_level(FreqLevel(10));
+        let p: Vec<f64> = (1..=4)
+            .map(|n| {
+                let slots: Vec<Option<PhaseParams>> = (0..4)
+                    .map(|i| if i < n { Some(compute_phase()) } else { None })
+                    .collect();
+                c.run(&slots, 0.5).clean.power_w
+            })
+            .collect();
+        assert!(p[0] < p[1] && p[1] < p[2] && p[2] < p[3]);
+        // Dynamic power adds roughly linearly; leakage is shared.
+        let d1 = p[1] - p[0];
+        let d3 = p[3] - p[2];
+        assert!((d1 - d3).abs() < 0.05, "increments {d1:.3} vs {d3:.3}");
+    }
+
+    #[test]
+    fn aggregate_ips_sums_over_cores() {
+        let mut c = cluster(2);
+        c.set_level(FreqLevel(10));
+        let one = c.run(&[Some(compute_phase()), None], 0.5).clean.ips;
+        let two = c
+            .run(&[Some(compute_phase()), Some(compute_phase())], 0.5)
+            .clean
+            .ips;
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_idle_cluster_draws_only_floor_power() {
+        let mut c = cluster(4);
+        c.set_level(FreqLevel(0));
+        let out = c.run(&[None, None, None, None], 0.5);
+        assert!(out.clean.power_w < 0.2, "idle power {}", out.clean.power_w);
+        assert_eq!(out.clean.ips, 0.0);
+        assert!(out.cores.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn mixed_workloads_blend_aggregate_mpki() {
+        let mut c = cluster(2);
+        c.set_level(FreqLevel(8));
+        let memory = PhaseParams::new(1.1, 25.0, 60.0, 0.8);
+        let out = c.run(&[Some(compute_phase()), Some(memory)], 0.5);
+        assert!(out.clean.mpki > compute_phase().mpki);
+        assert!(out.clean.mpki < memory.mpki);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload slot per core")]
+    fn wrong_slot_count_panics() {
+        let mut c = cluster(4);
+        c.run(&[None, None], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = cluster(0);
+    }
+}

@@ -1,0 +1,162 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One control interval's worth of performance-counter and sensor readings —
+/// everything the paper's agent observes: `s = (f, P, ipc, mr, mpki)` plus
+/// derived quantities used by the evaluation (IPS, temperature).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Operating frequency during the interval in MHz.
+    pub freq_mhz: f64,
+    /// Measured average power in watts.
+    pub power_w: f64,
+    /// Retired instructions per cycle.
+    pub ipc: f64,
+    /// Last-level-cache miss rate (misses / accesses).
+    pub miss_rate: f64,
+    /// Last-level-cache misses per kilo-instruction.
+    pub mpki: f64,
+    /// Instructions per second over the interval.
+    pub ips: f64,
+    /// Junction temperature in °C at the end of the interval.
+    pub temp_c: f64,
+}
+
+/// Multiplicative/additive measurement-noise configuration.
+///
+/// Real counters and embedded power sensors (e.g. the Nano's INA3221) are
+/// noisy; the paper's replay-and-average machinery exists partly to cope
+/// with this, so the simulator reproduces it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Relative (multiplicative, 1+σ·ξ) noise on counter-derived metrics.
+    pub counter_rel_sigma: f64,
+    /// Absolute Gaussian noise on the power sensor in watts.
+    pub power_abs_sigma_w: f64,
+}
+
+impl NoiseConfig {
+    /// Realistic defaults: 1.5 % counter noise, 10 mW power-sensor noise.
+    pub fn realistic() -> Self {
+        NoiseConfig {
+            counter_rel_sigma: 0.015,
+            power_abs_sigma_w: 0.010,
+        }
+    }
+
+    /// Noise-free measurements (useful in unit tests).
+    pub fn none() -> Self {
+        NoiseConfig {
+            counter_rel_sigma: 0.0,
+            power_abs_sigma_w: 0.0,
+        }
+    }
+
+    /// Applies the configured noise to clean counters.
+    pub(crate) fn apply(&self, clean: &PerfCounters, rng: &mut StdRng) -> PerfCounters {
+        let rel = |v: f64, rng: &mut StdRng| {
+            if self.counter_rel_sigma == 0.0 {
+                v
+            } else {
+                (v * (1.0 + self.counter_rel_sigma * gaussian(rng))).max(0.0)
+            }
+        };
+        let power = if self.power_abs_sigma_w == 0.0 {
+            clean.power_w
+        } else {
+            (clean.power_w + self.power_abs_sigma_w * gaussian(rng)).max(0.0)
+        };
+        PerfCounters {
+            freq_mhz: clean.freq_mhz, // the set frequency is known exactly
+            power_w: power,
+            ipc: rel(clean.ipc, rng),
+            miss_rate: rel(clean.miss_rate, rng).min(1.0),
+            mpki: rel(clean.mpki, rng),
+            ips: rel(clean.ips, rng),
+            temp_c: clean.temp_c,
+        }
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::realistic()
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn clean() -> PerfCounters {
+        PerfCounters {
+            freq_mhz: 1479.0,
+            power_w: 0.6,
+            ipc: 1.2,
+            miss_rate: 0.3,
+            mpki: 10.0,
+            ips: 1.5e9,
+            temp_c: 45.0,
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = NoiseConfig::none().apply(&clean(), &mut rng);
+        assert_eq!(out, clean());
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_physical() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = NoiseConfig::realistic();
+        let mut any_changed = false;
+        for _ in 0..100 {
+            let out = cfg.apply(&clean(), &mut rng);
+            assert!(out.power_w >= 0.0);
+            assert!(out.ipc >= 0.0);
+            assert!((0.0..=1.0).contains(&out.miss_rate));
+            assert_eq!(out.freq_mhz, 1479.0, "set frequency is exact");
+            if out != clean() {
+                any_changed = true;
+            }
+        }
+        assert!(any_changed, "noise must actually perturb measurements");
+    }
+
+    #[test]
+    fn noise_is_unbiased_on_average() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = NoiseConfig::realistic();
+        let n = 5000;
+        let mean_power: f64 = (0..n)
+            .map(|_| cfg.apply(&clean(), &mut rng).power_w)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean_power - 0.6).abs() < 0.002,
+            "mean power {mean_power} drifted from 0.6"
+        );
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for `fedpower-sim` configuration and lookup failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A model configuration value was out of range.
+    InvalidConfig(String),
+    /// A frequency-level index exceeded the V/f table.
+    LevelOutOfRange {
+        /// The offending level index.
+        level: usize,
+        /// Number of levels in the table.
+        table_len: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulator configuration: {msg}"),
+            SimError::LevelOutOfRange { level, table_len } => write!(
+                f,
+                "frequency level {level} out of range for table with {table_len} levels"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_helpfully() {
+        let e = SimError::LevelOutOfRange {
+            level: 20,
+            table_len: 15,
+        };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("15"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,262 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The Jetson Nano CPU cluster's 15 frequency levels in MHz
+/// (`cpufreq` table of the Tegra X1's Cortex-A57 cluster).
+pub const JETSON_NANO_FREQS_MHZ: [f64; 15] = [
+    102.0, 204.0, 307.2, 403.2, 518.4, 614.4, 710.4, 825.6, 921.6, 1036.8, 1132.8, 1224.0, 1326.0,
+    1428.0, 1479.0,
+];
+
+/// Index of a discrete V/f level in a [`VfTable`].
+///
+/// A newtype so frequency levels, action indices and array indices cannot be
+/// silently confused; the RL action space `A = {V/f_1 … V/f_K}` is exactly
+/// the set of `FreqLevel`s of the table.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FreqLevel(pub usize);
+
+impl FreqLevel {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for FreqLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V/f{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for FreqLevel {
+    fn from(v: usize) -> Self {
+        FreqLevel(v)
+    }
+}
+
+/// A discrete voltage/frequency table.
+///
+/// Modern processors pair each frequency with an operating voltage applied
+/// automatically when the frequency is set (footnote 1 of the paper); the
+/// table therefore stores `(f, V)` pairs.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fedpower_sim::SimError> {
+/// use fedpower_sim::VfTable;
+/// let table = VfTable::jetson_nano();
+/// assert_eq!(table.len(), 15);
+/// let top = table.max_level();
+/// assert_eq!(table.freq_mhz(top)?, 1479.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfTable {
+    freqs_mhz: Vec<f64>,
+    volts: Vec<f64>,
+}
+
+impl VfTable {
+    /// Builds a table from frequencies (MHz) and a linear voltage model
+    /// `V(f) = v_min + (v_max − v_min) · f/f_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if fewer than two levels are
+    /// given, frequencies are not strictly increasing/positive, or the
+    /// voltage range is invalid.
+    pub fn with_linear_voltage(
+        freqs_mhz: &[f64],
+        v_min: f64,
+        v_max: f64,
+    ) -> Result<Self, SimError> {
+        if freqs_mhz.len() < 2 {
+            return Err(SimError::InvalidConfig(
+                "a V/f table needs at least two levels".into(),
+            ));
+        }
+        if !freqs_mhz.windows(2).all(|w| w[0] < w[1]) || freqs_mhz[0] <= 0.0 {
+            return Err(SimError::InvalidConfig(
+                "frequencies must be positive and strictly increasing".into(),
+            ));
+        }
+        if !(v_min > 0.0 && v_max >= v_min) {
+            return Err(SimError::InvalidConfig(format!(
+                "invalid voltage range [{v_min}, {v_max}]"
+            )));
+        }
+        let f_max = *freqs_mhz.last().expect("len >= 2");
+        let volts = freqs_mhz
+            .iter()
+            .map(|&f| v_min + (v_max - v_min) * f / f_max)
+            .collect();
+        Ok(VfTable {
+            freqs_mhz: freqs_mhz.to_vec(),
+            volts,
+        })
+    }
+
+    /// The Jetson Nano table used throughout the paper's evaluation:
+    /// 15 levels, 102–1479 MHz, 0.82–1.23 V.
+    pub fn jetson_nano() -> Self {
+        VfTable::with_linear_voltage(&JETSON_NANO_FREQS_MHZ, 0.82, 1.23)
+            .expect("static table is valid")
+    }
+
+    /// The index of the highest level available in the Nano's 5 W power
+    /// mode (CPU capped at 918 MHz → level 9, 921.6 MHz, is the first
+    /// level above the cap; levels 0–8 remain available).
+    pub const JETSON_NANO_5W_MAX_LEVEL: FreqLevel = FreqLevel(8);
+
+    /// Number of discrete levels `K`.
+    pub fn len(&self) -> usize {
+        self.freqs_mhz.len()
+    }
+
+    /// Always false — construction requires at least two levels.
+    pub fn is_empty(&self) -> bool {
+        self.freqs_mhz.is_empty()
+    }
+
+    /// Frequency of `level` in MHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LevelOutOfRange`] for an invalid level.
+    pub fn freq_mhz(&self, level: FreqLevel) -> Result<f64, SimError> {
+        self.freqs_mhz
+            .get(level.0)
+            .copied()
+            .ok_or(SimError::LevelOutOfRange {
+                level: level.0,
+                table_len: self.len(),
+            })
+    }
+
+    /// Frequency of `level` in GHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LevelOutOfRange`] for an invalid level.
+    pub fn freq_ghz(&self, level: FreqLevel) -> Result<f64, SimError> {
+        Ok(self.freq_mhz(level)? / 1000.0)
+    }
+
+    /// Operating voltage of `level` in volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LevelOutOfRange`] for an invalid level.
+    pub fn voltage(&self, level: FreqLevel) -> Result<f64, SimError> {
+        self.volts
+            .get(level.0)
+            .copied()
+            .ok_or(SimError::LevelOutOfRange {
+                level: level.0,
+                table_len: self.len(),
+            })
+    }
+
+    /// The lowest level.
+    pub fn min_level(&self) -> FreqLevel {
+        FreqLevel(0)
+    }
+
+    /// The highest level.
+    pub fn max_level(&self) -> FreqLevel {
+        FreqLevel(self.len() - 1)
+    }
+
+    /// Maximum frequency in MHz (`f_max` in the paper's reward, Eq. (4)).
+    pub fn max_freq_mhz(&self) -> f64 {
+        *self.freqs_mhz.last().expect("table has >= 2 levels")
+    }
+
+    /// `f/f_max` for a level — the paper's performance surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LevelOutOfRange`] for an invalid level.
+    pub fn normalized_freq(&self, level: FreqLevel) -> Result<f64, SimError> {
+        Ok(self.freq_mhz(level)? / self.max_freq_mhz())
+    }
+
+    /// Iterates over all levels from lowest to highest.
+    pub fn levels(&self) -> impl Iterator<Item = FreqLevel> + '_ {
+        (0..self.len()).map(FreqLevel)
+    }
+}
+
+impl Default for VfTable {
+    fn default() -> Self {
+        VfTable::jetson_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jetson_nano_table_matches_paper() {
+        let t = VfTable::jetson_nano();
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.freq_mhz(FreqLevel(0)).unwrap(), 102.0);
+        assert_eq!(t.max_freq_mhz(), 1479.0);
+    }
+
+    #[test]
+    fn voltage_increases_with_frequency() {
+        let t = VfTable::jetson_nano();
+        let volts: Vec<f64> = t.levels().map(|l| t.voltage(l).unwrap()).collect();
+        assert!(volts.windows(2).all(|w| w[0] < w[1]));
+        assert!((volts[0] - 0.82).abs() < 0.05);
+        assert!((volts[14] - 1.23).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_freq_spans_unit_interval() {
+        let t = VfTable::jetson_nano();
+        assert!((t.normalized_freq(t.max_level()).unwrap() - 1.0).abs() < 1e-12);
+        let low = t.normalized_freq(t.min_level()).unwrap();
+        assert!(low > 0.0 && low < 0.1);
+    }
+
+    #[test]
+    fn out_of_range_level_errors() {
+        let t = VfTable::jetson_nano();
+        assert!(matches!(
+            t.freq_mhz(FreqLevel(15)),
+            Err(SimError::LevelOutOfRange { .. })
+        ));
+        assert!(t.voltage(FreqLevel(99)).is_err());
+    }
+
+    #[test]
+    fn construction_validates_input() {
+        assert!(VfTable::with_linear_voltage(&[100.0], 0.8, 1.2).is_err());
+        assert!(VfTable::with_linear_voltage(&[200.0, 100.0], 0.8, 1.2).is_err());
+        assert!(VfTable::with_linear_voltage(&[100.0, 200.0], -0.1, 1.2).is_err());
+        assert!(VfTable::with_linear_voltage(&[100.0, 200.0], 1.2, 0.8).is_err());
+        assert!(VfTable::with_linear_voltage(&[0.0, 200.0], 0.8, 1.2).is_err());
+    }
+
+    #[test]
+    fn levels_iterates_in_order() {
+        let t = VfTable::jetson_nano();
+        let idx: Vec<usize> = t.levels().map(FreqLevel::index).collect();
+        assert_eq!(idx, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn freq_level_displays_one_based() {
+        assert_eq!(FreqLevel(0).to_string(), "V/f1");
+        assert_eq!(FreqLevel(14).to_string(), "V/f15");
+    }
+}

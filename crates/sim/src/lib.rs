@@ -1,0 +1,65 @@
+//! # fedpower-sim
+//!
+//! An analytical simulator of an edge-class microprocessor — the substrate
+//! on which the `fedpower` workspace reproduces the DATE 2025 paper
+//! *"Federated Reinforcement Learning for Optimizing the Power Efficiency of
+//! Edge Devices"*.
+//!
+//! The paper's testbed is an NVIDIA Jetson Nano (4× Cortex-A57, 15 discrete
+//! V/f levels from 102 MHz to 1479 MHz). The RL power controller only
+//! interacts with the hardware through
+//!
+//! 1. the V/f level it sets every control interval, and
+//! 2. the performance counters and power sensor it reads back
+//!    `(f, P, IPC, miss rate, MPKI)`.
+//!
+//! This crate models exactly that interface:
+//!
+//! * [`VfTable`] — the Nano's 15 frequency levels with a voltage model,
+//! * [`PowerModel`] — dynamic power `C_eff·a·V²·f` plus voltage-dependent
+//!   leakage, optionally coupled to an RC [`ThermalModel`],
+//! * [`PerfModel`] — a latency-bound memory model in which the cycle cost of
+//!   a last-level-cache miss grows with frequency, so memory-bound phases
+//!   stop scaling at high V/f levels,
+//! * [`Processor`] — ties the models together and executes abstract
+//!   instruction-stream phases ([`PhaseParams`]) for a control interval,
+//!   producing noisy [`PerfCounters`].
+//!
+//! # Example
+//!
+//! ```
+//! use fedpower_sim::{PhaseParams, Processor, ProcessorConfig};
+//!
+//! let mut cpu = Processor::new(ProcessorConfig::jetson_nano(), 42);
+//! let compute_bound = PhaseParams::new(0.7, 1.5, 30.0, 1.0);
+//! cpu.set_level(cpu.vf_table().max_level());
+//! let out = cpu.run(&compute_bound, 0.5);
+//! assert!(out.counters.power_w > 0.5, "max V/f burns real power");
+//! assert!(out.instructions_retired > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod cluster;
+mod counters;
+mod error;
+mod freq;
+mod perf;
+mod power;
+mod processor;
+pub mod rng;
+mod thermal;
+mod trace;
+
+pub use battery::Battery;
+pub use cluster::{ClusterOutcome, ClusterProcessor, CoreOutcome};
+pub use counters::{NoiseConfig, PerfCounters};
+pub use error::SimError;
+pub use freq::{FreqLevel, VfTable};
+pub use perf::{PerfModel, PhaseParams};
+pub use power::{PowerModel, PowerModelConfig};
+pub use processor::{Processor, ProcessorConfig, StepOutcome};
+pub use thermal::{ThermalModel, ThermalModelConfig};
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,201 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Abstract description of the instruction stream currently executing —
+/// the interface between the workload models and the processor.
+///
+/// A phase is characterized by microarchitecture-independent properties;
+/// the processor's [`PerfModel`] turns them into frequency-dependent
+/// IPC/power behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseParams {
+    /// Cycles per instruction if all memory accesses hit in cache
+    /// (instruction mix + pipeline utilization).
+    pub base_cpi: f64,
+    /// Last-level-cache misses per kilo-instruction.
+    pub mpki: f64,
+    /// Last-level-cache accesses per kilo-instruction (for the miss-rate
+    /// counter `mr = mpki / apki`).
+    pub apki: f64,
+    /// Switching-activity scale of the phase (FP-heavy code burns more
+    /// power per cycle than integer-dominated code). 1.0 is nominal.
+    pub activity: f64,
+}
+
+impl PhaseParams {
+    /// Creates phase parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative, `base_cpi` is zero, or
+    /// `mpki > apki` (a miss is also an access).
+    pub fn new(base_cpi: f64, mpki: f64, apki: f64, activity: f64) -> Self {
+        assert!(base_cpi > 0.0, "base CPI must be positive, got {base_cpi}");
+        assert!(mpki >= 0.0 && apki >= 0.0 && activity >= 0.0, "negative phase parameter");
+        assert!(
+            mpki <= apki,
+            "MPKI ({mpki}) cannot exceed cache accesses per kilo-instruction ({apki})"
+        );
+        PhaseParams {
+            base_cpi,
+            mpki,
+            apki,
+            activity,
+        }
+    }
+
+    /// Last-level-cache miss rate of the phase, `mpki / apki` (0 if the
+    /// phase never touches the cache).
+    pub fn miss_rate(&self) -> f64 {
+        if self.apki <= 0.0 {
+            0.0
+        } else {
+            self.mpki / self.apki
+        }
+    }
+}
+
+/// Frequency-dependent performance model.
+///
+/// The model captures the first-order DVFS effect the paper's agent must
+/// learn: DRAM latency is (approximately) constant in wall-clock time, so
+/// the *cycle* cost of a last-level-cache miss grows linearly with core
+/// frequency. Compute-bound phases scale with `f`; memory-bound phases
+/// saturate:
+///
+/// ```text
+/// CPI(f) = base_cpi + (MPKI / 1000) · t_mem · f        (f in GHz, t_mem in ns)
+/// IPC(f) = 1 / CPI(f),   IPS(f) = IPC(f) · f
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Average main-memory access latency in nanoseconds.
+    pub mem_latency_ns: f64,
+}
+
+impl PerfModel {
+    /// Creates a performance model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the latency is not positive.
+    pub fn new(mem_latency_ns: f64) -> Result<Self, SimError> {
+        if !(mem_latency_ns > 0.0 && mem_latency_ns.is_finite()) {
+            return Err(SimError::InvalidConfig(format!(
+                "memory latency must be positive, got {mem_latency_ns}"
+            )));
+        }
+        Ok(PerfModel { mem_latency_ns })
+    }
+
+    /// Jetson-Nano-class default: ~80 ns effective LPDDR4 access latency.
+    pub fn jetson_nano() -> Self {
+        PerfModel {
+            mem_latency_ns: 80.0,
+        }
+    }
+
+    /// Effective cycles per instruction for `phase` at `freq_ghz`.
+    pub fn cpi(&self, phase: &PhaseParams, freq_ghz: f64) -> f64 {
+        phase.base_cpi + phase.mpki / 1000.0 * self.mem_latency_ns * freq_ghz
+    }
+
+    /// Instructions per cycle for `phase` at `freq_ghz`.
+    pub fn ipc(&self, phase: &PhaseParams, freq_ghz: f64) -> f64 {
+        1.0 / self.cpi(phase, freq_ghz)
+    }
+
+    /// Instructions per second for `phase` at `freq_ghz`.
+    pub fn ips(&self, phase: &PhaseParams, freq_ghz: f64) -> f64 {
+        self.ipc(phase, freq_ghz) * freq_ghz * 1e9
+    }
+}
+
+impl Default for PerfModel {
+    fn default() -> Self {
+        PerfModel::jetson_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_phase() -> PhaseParams {
+        PhaseParams::new(0.7, 1.0, 20.0, 1.0)
+    }
+
+    fn memory_phase() -> PhaseParams {
+        PhaseParams::new(1.1, 25.0, 60.0, 0.8)
+    }
+
+    #[test]
+    fn compute_bound_ips_scales_nearly_linearly() {
+        let m = PerfModel::jetson_nano();
+        let p = compute_phase();
+        let low = m.ips(&p, 0.102);
+        let high = m.ips(&p, 1.479);
+        let speedup = high / low;
+        let freq_ratio = 1.479 / 0.102;
+        assert!(
+            speedup > 0.8 * freq_ratio,
+            "compute-bound speedup {speedup:.2} should track freq ratio {freq_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn memory_bound_ips_saturates() {
+        let m = PerfModel::jetson_nano();
+        let p = memory_phase();
+        let speedup = m.ips(&p, 1.479) / m.ips(&p, 0.102);
+        let freq_ratio = 1.479 / 0.102;
+        assert!(
+            speedup < 0.4 * freq_ratio,
+            "memory-bound speedup {speedup:.2} should fall well below freq ratio {freq_ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn ipc_decreases_with_frequency_for_memory_phases() {
+        let m = PerfModel::jetson_nano();
+        let p = memory_phase();
+        assert!(m.ipc(&p, 1.479) < m.ipc(&p, 0.102));
+    }
+
+    #[test]
+    fn ips_is_monotonic_in_frequency() {
+        // Even memory-bound phases never get *slower* at a higher clock in
+        // this latency-bound model — they just stop improving.
+        let m = PerfModel::jetson_nano();
+        for p in [compute_phase(), memory_phase()] {
+            let mut prev = 0.0;
+            for i in 1..=15 {
+                let f = 0.1 * i as f64;
+                let ips = m.ips(&p, f);
+                assert!(ips >= prev, "IPS must be nondecreasing in f");
+                prev = ips;
+            }
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_ratio_of_mpki_to_apki() {
+        let p = memory_phase();
+        assert!((p.miss_rate() - 25.0 / 60.0).abs() < 1e-12);
+        let no_cache = PhaseParams::new(1.0, 0.0, 0.0, 1.0);
+        assert_eq!(no_cache.miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn mpki_above_apki_panics() {
+        let _ = PhaseParams::new(1.0, 30.0, 20.0, 1.0);
+    }
+
+    #[test]
+    fn perf_model_validates_latency() {
+        assert!(PerfModel::new(0.0).is_err());
+        assert!(PerfModel::new(f64::NAN).is_err());
+        assert!(PerfModel::new(80.0).is_ok());
+    }
+}

@@ -1,0 +1,240 @@
+use crate::{PhaseParams, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`PowerModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModelConfig {
+    /// Effective switching capacitance coefficient (W / (V²·GHz) at
+    /// activity 1.0).
+    pub c_eff: f64,
+    /// Base pipeline activity independent of IPC.
+    pub activity_base: f64,
+    /// Additional activity per unit of IPC.
+    pub activity_per_ipc: f64,
+    /// Leakage coefficient (W/V at the reference temperature).
+    pub leakage_per_volt: f64,
+    /// Relative leakage increase per °C above the reference temperature.
+    pub leakage_temp_coeff: f64,
+    /// Reference temperature for the leakage model in °C.
+    pub reference_temp_c: f64,
+}
+
+impl PowerModelConfig {
+    /// Jetson-Nano-class CPU-rail calibration.
+    ///
+    /// Targets: ~1.2 W for a compute-bound single-threaded workload at
+    /// 1479 MHz, ~0.15 W idle-ish at 102 MHz — so the paper's
+    /// `P_crit = 0.6 W` lands mid-table and splits apps by their power
+    /// signature.
+    pub fn jetson_nano() -> Self {
+        PowerModelConfig {
+            c_eff: 0.47,
+            activity_base: 0.50,
+            activity_per_ipc: 0.30,
+            leakage_per_volt: 0.16,
+            leakage_temp_coeff: 0.008,
+            reference_temp_c: 25.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any coefficient is negative
+    /// or non-finite.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fields = [
+            ("c_eff", self.c_eff),
+            ("activity_base", self.activity_base),
+            ("activity_per_ipc", self.activity_per_ipc),
+            ("leakage_per_volt", self.leakage_per_volt),
+            ("leakage_temp_coeff", self.leakage_temp_coeff),
+        ];
+        for (name, v) in fields {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(SimError::InvalidConfig(format!(
+                    "{name} must be nonnegative and finite, got {v}"
+                )));
+            }
+        }
+        if !self.reference_temp_c.is_finite() {
+            return Err(SimError::InvalidConfig(
+                "reference temperature must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerModelConfig {
+    fn default() -> Self {
+        PowerModelConfig::jetson_nano()
+    }
+}
+
+/// Analytical CPU power model: `P = P_dyn + P_leak` with
+///
+/// ```text
+/// P_dyn  = C_eff · a(phase, IPC) · V² · f
+/// a      = (activity_base + activity_per_ipc · IPC) · phase.activity
+/// P_leak = leakage_per_volt · V · (1 + k_T · (T − T_ref))
+/// ```
+///
+/// The V²·f term is the textbook CMOS dynamic-power law that makes DVFS an
+/// effective power lever; the leakage term provides a floor and (optionally,
+/// via the thermal model) the temperature coupling the paper deliberately
+/// neglects in its contextual-bandit formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    config: PowerModelConfig,
+}
+
+impl PowerModel {
+    /// Creates a power model from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the config is invalid.
+    pub fn new(config: PowerModelConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(PowerModel { config })
+    }
+
+    /// Jetson-Nano-class default model.
+    pub fn jetson_nano() -> Self {
+        PowerModel {
+            config: PowerModelConfig::jetson_nano(),
+        }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &PowerModelConfig {
+        &self.config
+    }
+
+    /// Dynamic power in watts for a phase running at (`volts`, `freq_ghz`)
+    /// with effective instructions-per-cycle `ipc`.
+    pub fn dynamic_power(&self, phase: &PhaseParams, ipc: f64, volts: f64, freq_ghz: f64) -> f64 {
+        let a =
+            (self.config.activity_base + self.config.activity_per_ipc * ipc) * phase.activity;
+        self.config.c_eff * a * volts * volts * freq_ghz
+    }
+
+    /// Leakage power in watts at voltage `volts` and temperature `temp_c`.
+    pub fn leakage_power(&self, volts: f64, temp_c: f64) -> f64 {
+        let temp_factor =
+            1.0 + self.config.leakage_temp_coeff * (temp_c - self.config.reference_temp_c);
+        self.config.leakage_per_volt * volts * temp_factor.max(0.0)
+    }
+
+    /// Total power in watts.
+    pub fn total_power(
+        &self,
+        phase: &PhaseParams,
+        ipc: f64,
+        volts: f64,
+        freq_ghz: f64,
+        temp_c: f64,
+    ) -> f64 {
+        self.dynamic_power(phase, ipc, volts, freq_ghz) + self.leakage_power(volts, temp_c)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::jetson_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PerfModel, VfTable};
+
+    fn compute_phase() -> PhaseParams {
+        PhaseParams::new(0.55, 1.0, 20.0, 1.05)
+    }
+
+    #[test]
+    fn calibration_puts_p_crit_mid_table_for_compute_phase() {
+        // The agent's whole learning problem depends on P_crit = 0.6 W
+        // crossing the frequency range somewhere in the middle.
+        let table = VfTable::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        let power = PowerModel::jetson_nano();
+        let phase = compute_phase();
+        let powers: Vec<f64> = table
+            .levels()
+            .map(|l| {
+                let f = table.freq_ghz(l).unwrap();
+                let v = table.voltage(l).unwrap();
+                power.total_power(&phase, perf.ipc(&phase, f), v, f, 40.0)
+            })
+            .collect();
+        let below = powers.iter().filter(|&&p| p <= 0.6).count();
+        assert!(
+            (4..=12).contains(&below),
+            "expected 0.6 W to bisect the table, got {below} feasible levels: {powers:?}"
+        );
+        assert!(*powers.last().unwrap() > 0.9, "max level should be hot");
+        assert!(powers[0] < 0.25, "min level should be cool");
+    }
+
+    #[test]
+    fn power_is_monotonic_in_frequency() {
+        let table = VfTable::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        let power = PowerModel::jetson_nano();
+        let phase = compute_phase();
+        let mut prev = 0.0;
+        for l in table.levels() {
+            let f = table.freq_ghz(l).unwrap();
+            let v = table.voltage(l).unwrap();
+            let p = power.total_power(&phase, perf.ipc(&phase, f), v, f, 40.0);
+            assert!(p > prev, "power must grow with V/f level");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn memory_bound_phase_draws_less_power_at_same_level() {
+        let table = VfTable::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        let power = PowerModel::jetson_nano();
+        let compute = compute_phase();
+        let memory = PhaseParams::new(1.1, 25.0, 60.0, 0.8);
+        let l = table.max_level();
+        let f = table.freq_ghz(l).unwrap();
+        let v = table.voltage(l).unwrap();
+        let p_c = power.total_power(&compute, perf.ipc(&compute, f), v, f, 40.0);
+        let p_m = power.total_power(&memory, perf.ipc(&memory, f), v, f, 40.0);
+        assert!(
+            p_m < p_c,
+            "stalled memory-bound pipeline ({p_m:.2} W) must draw less than busy compute ({p_c:.2} W)"
+        );
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let power = PowerModel::jetson_nano();
+        assert!(power.leakage_power(1.0, 80.0) > power.leakage_power(1.0, 25.0));
+    }
+
+    #[test]
+    fn leakage_never_negative() {
+        let power = PowerModel::jetson_nano();
+        assert!(power.leakage_power(1.0, -500.0) >= 0.0);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        let mut cfg = PowerModelConfig::jetson_nano();
+        cfg.c_eff = -1.0;
+        assert!(PowerModel::new(cfg).is_err());
+        let mut cfg = PowerModelConfig::jetson_nano();
+        cfg.leakage_per_volt = f64::NAN;
+        assert!(PowerModel::new(cfg).is_err());
+        assert!(PowerModel::new(PowerModelConfig::jetson_nano()).is_ok());
+    }
+}

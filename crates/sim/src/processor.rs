@@ -1,0 +1,361 @@
+use crate::counters::{NoiseConfig, PerfCounters};
+use crate::freq::{FreqLevel, VfTable};
+use crate::perf::{PerfModel, PhaseParams};
+use crate::power::{PowerModel, PowerModelConfig};
+use crate::rng::{self, streams};
+use crate::thermal::{ThermalModel, ThermalModelConfig};
+use crate::SimError;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a simulated [`Processor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorConfig {
+    /// The discrete V/f table (DVFS action space).
+    pub vf_table: VfTable,
+    /// Frequency-dependent performance model.
+    pub perf: PerfModel,
+    /// Power-model coefficients.
+    pub power: PowerModelConfig,
+    /// Measurement-noise configuration.
+    pub noise: NoiseConfig,
+    /// Optional RC thermal model; `None` keeps the die at `fixed_temp_c`
+    /// (the paper's simplifying assumption, footnote 2).
+    pub thermal: Option<ThermalModelConfig>,
+    /// Die temperature used for leakage when no thermal model is attached.
+    pub fixed_temp_c: f64,
+    /// Time cost of a V/f transition in microseconds (frequency changes
+    /// take "a matter of microseconds", footnote 1).
+    pub dvfs_transition_us: f64,
+}
+
+impl ProcessorConfig {
+    /// Jetson-Nano-class defaults used throughout the reproduction.
+    pub fn jetson_nano() -> Self {
+        ProcessorConfig {
+            vf_table: VfTable::jetson_nano(),
+            perf: PerfModel::jetson_nano(),
+            power: PowerModelConfig::jetson_nano(),
+            noise: NoiseConfig::realistic(),
+            thermal: None,
+            fixed_temp_c: 40.0,
+            dvfs_transition_us: 50.0,
+        }
+    }
+
+    /// Same as [`ProcessorConfig::jetson_nano`] but with noiseless sensors —
+    /// useful for deterministic unit tests.
+    pub fn jetson_nano_noiseless() -> Self {
+        ProcessorConfig {
+            noise: NoiseConfig::none(),
+            ..ProcessorConfig::jetson_nano()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any sub-model config is
+    /// invalid or the transition cost is negative.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.power.validate()?;
+        if let Some(t) = &self.thermal {
+            t.validate()?;
+        }
+        if !(self.dvfs_transition_us >= 0.0 && self.dvfs_transition_us.is_finite()) {
+            return Err(SimError::InvalidConfig(
+                "DVFS transition cost must be nonnegative".into(),
+            ));
+        }
+        if !self.fixed_temp_c.is_finite() {
+            return Err(SimError::InvalidConfig(
+                "fixed temperature must be finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ProcessorConfig {
+    fn default() -> Self {
+        ProcessorConfig::jetson_nano()
+    }
+}
+
+/// The result of executing one control interval on a [`Processor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Noisy counters as the power controller observes them.
+    pub counters: PerfCounters,
+    /// Ground-truth counters (used by the evaluation harness for exec-time
+    /// and IPS accounting, never shown to the agent).
+    pub clean: PerfCounters,
+    /// Instructions retired during the interval.
+    pub instructions_retired: f64,
+    /// Energy consumed during the interval in joules.
+    pub energy_j: f64,
+    /// Wall-clock length of the interval in seconds.
+    pub elapsed_s: f64,
+}
+
+/// A simulated single-cluster edge processor.
+///
+/// The processor executes abstract instruction-stream phases at its current
+/// V/f level, producing the counters the paper's agent observes. See the
+/// [crate-level docs](crate) for the modelling rationale.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    vf_table: VfTable,
+    perf: PerfModel,
+    power: PowerModel,
+    noise: NoiseConfig,
+    thermal: Option<ThermalModel>,
+    fixed_temp_c: f64,
+    dvfs_transition_s: f64,
+    level: FreqLevel,
+    noise_rng: StdRng,
+}
+
+impl Processor {
+    /// Creates a processor at the lowest V/f level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ProcessorConfig::validate`]; configs are
+    /// produced by this crate's constructors, so an invalid one is a
+    /// programming error.
+    pub fn new(config: ProcessorConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .expect("processor config must be valid");
+        let thermal = config
+            .thermal
+            .map(|t| ThermalModel::new(t).expect("validated above"));
+        Processor {
+            level: FreqLevel(0),
+            power: PowerModel::new(config.power).expect("validated above"),
+            perf: config.perf,
+            noise: config.noise,
+            thermal,
+            fixed_temp_c: config.fixed_temp_c,
+            dvfs_transition_s: config.dvfs_transition_us * 1e-6,
+            vf_table: config.vf_table,
+            noise_rng: rng::derive_rng(seed, streams::SENSOR_NOISE),
+        }
+    }
+
+    /// The V/f table (and hence the DVFS action space).
+    pub fn vf_table(&self) -> &VfTable {
+        &self.vf_table
+    }
+
+    /// Current V/f level.
+    pub fn level(&self) -> FreqLevel {
+        self.level
+    }
+
+    /// Current junction temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.thermal
+            .as_ref()
+            .map_or(self.fixed_temp_c, ThermalModel::temperature_c)
+    }
+
+    /// Sets the V/f level for subsequent intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside the V/f table — the action space and the
+    /// table have the same size by construction, so this is a logic error.
+    pub fn set_level(&mut self, level: FreqLevel) {
+        assert!(
+            level.0 < self.vf_table.len(),
+            "V/f level {} out of range for {}-level table",
+            level.0,
+            self.vf_table.len()
+        );
+        self.level = level;
+    }
+
+    /// Executes `phase` for `dt_s` seconds at the current V/f level.
+    ///
+    /// Returns the observed (noisy) and ground-truth counters plus retired
+    /// instructions and energy. If the level changed since the last call the
+    /// DVFS transition cost is deducted from the compute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not strictly positive.
+    pub fn run(&mut self, phase: &PhaseParams, dt_s: f64) -> StepOutcome {
+        self.run_inner(phase, dt_s, false)
+    }
+
+    /// Like [`Processor::run`] but charges the DVFS transition penalty,
+    /// used by the environment when the level changed this interval.
+    pub fn run_after_transition(&mut self, phase: &PhaseParams, dt_s: f64) -> StepOutcome {
+        self.run_inner(phase, dt_s, true)
+    }
+
+    fn run_inner(&mut self, phase: &PhaseParams, dt_s: f64, transitioned: bool) -> StepOutcome {
+        assert!(dt_s > 0.0, "interval length must be positive, got {dt_s}");
+        let f_ghz = self
+            .vf_table
+            .freq_ghz(self.level)
+            .expect("current level always valid");
+        let volts = self
+            .vf_table
+            .voltage(self.level)
+            .expect("current level always valid");
+        let ipc = self.perf.ipc(phase, f_ghz);
+
+        let compute_s = if transitioned {
+            (dt_s - self.dvfs_transition_s).max(0.0)
+        } else {
+            dt_s
+        };
+        let instructions = ipc * f_ghz * 1e9 * compute_s;
+
+        let temp_before = self.temperature_c();
+        let power_w = self
+            .power
+            .total_power(phase, ipc, volts, f_ghz, temp_before);
+        let temp_after = match &mut self.thermal {
+            Some(t) => t.step(power_w, dt_s),
+            None => self.fixed_temp_c,
+        };
+        let energy_j = power_w * dt_s;
+
+        let clean = PerfCounters {
+            freq_mhz: f_ghz * 1000.0,
+            power_w,
+            ipc,
+            miss_rate: phase.miss_rate(),
+            mpki: phase.mpki,
+            ips: instructions / dt_s,
+            temp_c: temp_after,
+        };
+        let counters = self.noise.apply(&clean, &mut self.noise_rng);
+        StepOutcome {
+            counters,
+            clean,
+            instructions_retired: instructions,
+            energy_j,
+            elapsed_s: dt_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_phase() -> PhaseParams {
+        PhaseParams::new(0.7, 1.5, 30.0, 1.0)
+    }
+
+    fn noiseless() -> Processor {
+        Processor::new(ProcessorConfig::jetson_nano_noiseless(), 0)
+    }
+
+    #[test]
+    fn starts_at_lowest_level() {
+        let cpu = noiseless();
+        assert_eq!(cpu.level(), FreqLevel(0));
+    }
+
+    #[test]
+    fn higher_level_retires_more_instructions_and_burns_more_power() {
+        let mut cpu = noiseless();
+        let phase = compute_phase();
+        cpu.set_level(FreqLevel(2));
+        let low = cpu.run(&phase, 0.5);
+        cpu.set_level(FreqLevel(14));
+        let high = cpu.run(&phase, 0.5);
+        assert!(high.instructions_retired > 2.0 * low.instructions_retired);
+        assert!(high.counters.power_w > 2.0 * low.counters.power_w);
+    }
+
+    #[test]
+    fn clean_counters_match_analytical_models() {
+        let mut cpu = noiseless();
+        let phase = compute_phase();
+        cpu.set_level(FreqLevel(7));
+        let out = cpu.run(&phase, 0.5);
+        let f_ghz = cpu.vf_table().freq_ghz(FreqLevel(7)).unwrap();
+        let expect_ipc = PerfModel::jetson_nano().ipc(&phase, f_ghz);
+        assert!((out.clean.ipc - expect_ipc).abs() < 1e-12);
+        assert!((out.clean.freq_mhz - 825.6).abs() < 1e-9);
+        assert!((out.clean.mpki - 1.5).abs() < 1e-12);
+        assert!((out.clean.miss_rate - 0.05).abs() < 1e-12);
+        assert!((out.energy_j - out.clean.power_w * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_run_is_deterministic() {
+        let mut a = noiseless();
+        let mut b = noiseless();
+        a.set_level(FreqLevel(5));
+        b.set_level(FreqLevel(5));
+        let oa = a.run(&compute_phase(), 0.5);
+        let ob = b.run(&compute_phase(), 0.5);
+        assert_eq!(oa.counters, ob.counters);
+    }
+
+    #[test]
+    fn noisy_observation_differs_from_clean_but_stays_close() {
+        let mut cpu = Processor::new(ProcessorConfig::jetson_nano(), 3);
+        cpu.set_level(FreqLevel(10));
+        let out = cpu.run(&compute_phase(), 0.5);
+        assert_ne!(out.counters, out.clean);
+        assert!((out.counters.power_w - out.clean.power_w).abs() < 0.1);
+        assert!((out.counters.ipc - out.clean.ipc).abs() / out.clean.ipc < 0.2);
+    }
+
+    #[test]
+    fn transition_penalty_reduces_retired_instructions() {
+        let mut cpu = noiseless();
+        cpu.set_level(FreqLevel(14));
+        let plain = cpu.run(&compute_phase(), 0.5);
+        let transitioned = cpu.run_after_transition(&compute_phase(), 0.5);
+        assert!(transitioned.instructions_retired < plain.instructions_retired);
+        // 50 µs of 500 ms is 0.01 % — tiny but nonzero.
+        let ratio = transitioned.instructions_retired / plain.instructions_retired;
+        assert!(ratio > 0.999 && ratio < 1.0);
+    }
+
+    #[test]
+    fn thermal_model_heats_die_under_load() {
+        let config = ProcessorConfig {
+            thermal: Some(ThermalModelConfig::jetson_nano()),
+            noise: NoiseConfig::none(),
+            ..ProcessorConfig::jetson_nano()
+        };
+        let mut cpu = Processor::new(config, 0);
+        cpu.set_level(FreqLevel(14));
+        let t0 = cpu.temperature_c();
+        for _ in 0..100 {
+            cpu.run(&compute_phase(), 0.5);
+        }
+        assert!(
+            cpu.temperature_c() > t0 + 10.0,
+            "die should heat up: {} -> {}",
+            t0,
+            cpu.temperature_c()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_level_out_of_range_panics() {
+        let mut cpu = noiseless();
+        cpu.set_level(FreqLevel(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_panics() {
+        let mut cpu = noiseless();
+        cpu.run(&compute_phase(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the first-order RC [`ThermalModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModelConfig {
+    /// Ambient temperature in °C.
+    pub ambient_c: f64,
+    /// Thermal resistance junction→ambient in °C/W.
+    pub resistance_c_per_w: f64,
+    /// Thermal time constant in seconds.
+    pub time_constant_s: f64,
+}
+
+impl ThermalModelConfig {
+    /// Jetson-Nano-class defaults (small heatsink, no fan).
+    pub fn jetson_nano() -> Self {
+        ThermalModelConfig {
+            ambient_c: 25.0,
+            resistance_c_per_w: 25.0,
+            time_constant_s: 20.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-finite ambient or
+    /// non-positive resistance/time constant.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.ambient_c.is_finite() {
+            return Err(SimError::InvalidConfig("ambient must be finite".into()));
+        }
+        if !(self.resistance_c_per_w > 0.0 && self.resistance_c_per_w.is_finite()) {
+            return Err(SimError::InvalidConfig(
+                "thermal resistance must be positive".into(),
+            ));
+        }
+        if !(self.time_constant_s > 0.0 && self.time_constant_s.is_finite()) {
+            return Err(SimError::InvalidConfig(
+                "thermal time constant must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ThermalModelConfig {
+    fn default() -> Self {
+        ThermalModelConfig::jetson_nano()
+    }
+}
+
+/// First-order RC thermal model:
+/// `τ · dT/dt = (T_amb + P·R_th) − T`.
+///
+/// The paper explicitly neglects the power→temperature→leakage coupling to
+/// justify its contextual-bandit formulation (footnote 2). The simulator
+/// includes the model anyway — disabled by default — so the approximation
+/// can be tested rather than assumed (see the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    config: ThermalModelConfig,
+    temp_c: f64,
+}
+
+impl ThermalModel {
+    /// Creates a thermal model starting at ambient temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the config is invalid.
+    pub fn new(config: ThermalModelConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(ThermalModel {
+            config,
+            temp_c: config.ambient_c,
+        })
+    }
+
+    /// Current junction temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// The steady-state temperature for a constant power draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.config.ambient_c + power_w * self.config.resistance_c_per_w
+    }
+
+    /// Advances the model by `dt_s` seconds under power draw `power_w`,
+    /// returning the new temperature. Uses the exact exponential solution of
+    /// the linear ODE, so arbitrary `dt_s` are stable.
+    pub fn step(&mut self, power_w: f64, dt_s: f64) -> f64 {
+        let target = self.steady_state_c(power_w);
+        let alpha = (-dt_s / self.config.time_constant_s).exp();
+        self.temp_c = target + (self.temp_c - target) * alpha;
+        self.temp_c
+    }
+
+    /// Resets the junction temperature to ambient.
+    pub fn reset(&mut self) {
+        self.temp_c = self.config.ambient_c;
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel::new(ThermalModelConfig::jetson_nano()).expect("default config is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_approaches_steady_state() {
+        let mut t = ThermalModel::default();
+        let p = 1.0;
+        for _ in 0..1000 {
+            t.step(p, 0.5);
+        }
+        let ss = t.steady_state_c(p);
+        assert!(
+            (t.temperature_c() - ss).abs() < 0.1,
+            "T={} vs steady state {ss}",
+            t.temperature_c()
+        );
+    }
+
+    #[test]
+    fn heating_is_monotonic_from_ambient() {
+        let mut t = ThermalModel::default();
+        let mut prev = t.temperature_c();
+        for _ in 0..20 {
+            let now = t.step(1.0, 0.5);
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn cooling_after_load_removal() {
+        let mut t = ThermalModel::default();
+        for _ in 0..200 {
+            t.step(1.5, 0.5);
+        }
+        let hot = t.temperature_c();
+        for _ in 0..200 {
+            t.step(0.0, 0.5);
+        }
+        assert!(t.temperature_c() < hot);
+        assert!((t.temperature_c() - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn large_dt_is_stable() {
+        let mut t = ThermalModel::default();
+        let temp = t.step(1.0, 1e6);
+        assert!((temp - t.steady_state_c(1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut t = ThermalModel::default();
+        t.step(2.0, 100.0);
+        t.reset();
+        assert_eq!(t.temperature_c(), 25.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = ThermalModelConfig::jetson_nano();
+        c.resistance_c_per_w = 0.0;
+        assert!(ThermalModel::new(c).is_err());
+        let mut c = ThermalModelConfig::jetson_nano();
+        c.time_constant_s = -1.0;
+        assert!(ThermalModel::new(c).is_err());
+    }
+}

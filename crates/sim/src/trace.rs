@@ -1,0 +1,229 @@
+use crate::counters::PerfCounters;
+use crate::freq::FreqLevel;
+use serde::{Deserialize, Serialize};
+
+/// One recorded control interval: what the controller did and what the
+/// processor reported back.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Zero-based control-interval index.
+    pub step: u64,
+    /// V/f level in force during the interval.
+    pub level: FreqLevel,
+    /// Ground-truth counters for the interval.
+    pub counters: PerfCounters,
+    /// Reward the controller received (NaN when not applicable).
+    pub reward: f64,
+}
+
+/// An append-only execution trace used by the evaluation harness to compute
+/// frequency statistics (Fig. 4) and power/performance summaries
+/// (Table III, Fig. 5).
+///
+/// # Example
+///
+/// ```
+/// use fedpower_sim::{FreqLevel, PerfCounters, Trace, TraceRecord};
+/// let trace: Trace = (0..3)
+///     .map(|step| TraceRecord {
+///         step,
+///         level: FreqLevel(7),
+///         counters: PerfCounters { power_w: 0.5, ..PerfCounters::default() },
+///         reward: 0.56,
+///     })
+///     .collect();
+/// assert_eq!(trace.mean_level(), Some(7.0));
+/// assert_eq!(trace.violation_rate(0.6), Some(0.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded intervals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Mean of the selected V/f level indices (Fig. 4's y-axis).
+    pub fn mean_level(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(
+            self.records.iter().map(|r| r.level.index() as f64).sum::<f64>()
+                / self.records.len() as f64,
+        )
+    }
+
+    /// Standard deviation of the selected V/f level indices.
+    pub fn std_level(&self) -> Option<f64> {
+        let mean = self.mean_level()?;
+        let var = self
+            .records
+            .iter()
+            .map(|r| {
+                let d = r.level.index() as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.records.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Mean frequency in MHz over the trace.
+    pub fn mean_freq_mhz(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(
+            self.records.iter().map(|r| r.counters.freq_mhz).sum::<f64>()
+                / self.records.len() as f64,
+        )
+    }
+
+    /// Mean power in watts over the trace.
+    pub fn mean_power_w(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(
+            self.records.iter().map(|r| r.counters.power_w).sum::<f64>()
+                / self.records.len() as f64,
+        )
+    }
+
+    /// Mean reward over the trace (ignores NaN records).
+    pub fn mean_reward(&self) -> Option<f64> {
+        let valid: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.reward)
+            .filter(|r| !r.is_nan())
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        Some(valid.iter().sum::<f64>() / valid.len() as f64)
+    }
+
+    /// Fraction of intervals whose ground-truth power exceeded `p_crit_w`.
+    pub fn violation_rate(&self, p_crit_w: f64) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let violations = self
+            .records
+            .iter()
+            .filter(|r| r.counters.power_w > p_crit_w)
+            .count();
+        Some(violations as f64 / self.records.len() as f64)
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(step: u64, level: usize, power: f64, reward: f64) -> TraceRecord {
+        TraceRecord {
+            step,
+            level: FreqLevel(level),
+            counters: PerfCounters {
+                freq_mhz: 100.0 * (level as f64 + 1.0),
+                power_w: power,
+                ..PerfCounters::default()
+            },
+            reward,
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_none_statistics() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_level(), None);
+        assert_eq!(t.std_level(), None);
+        assert_eq!(t.mean_power_w(), None);
+        assert_eq!(t.violation_rate(0.6), None);
+    }
+
+    #[test]
+    fn statistics_match_hand_computation() {
+        let t: Trace = [
+            record(0, 4, 0.5, 0.8),
+            record(1, 6, 0.7, -0.1),
+            record(2, 8, 0.5, 0.5),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.mean_level(), Some(6.0));
+        let expected_std = (8.0_f64 / 3.0).sqrt();
+        assert!((t.std_level().unwrap() - expected_std).abs() < 1e-12);
+        assert!((t.mean_power_w().unwrap() - 17.0 / 30.0).abs() < 1e-12);
+        assert!((t.violation_rate(0.6).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.mean_reward().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_rewards_are_ignored_in_mean() {
+        let t: Trace = [record(0, 0, 0.1, f64::NAN), record(1, 0, 0.1, 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.mean_reward(), Some(1.0));
+    }
+
+    #[test]
+    fn extend_appends_records() {
+        let mut t = Trace::new();
+        t.extend([record(0, 1, 0.2, 0.0)]);
+        t.extend([record(1, 2, 0.3, 0.1)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter().count(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the processor simulator's physical invariants.
+
+use fedpower_sim::{
+    FreqLevel, NoiseConfig, PerfModel, PhaseParams, PowerModel, Processor, ProcessorConfig,
+    ThermalModel, ThermalModelConfig, VfTable,
+};
+use proptest::prelude::*;
+
+fn phase_strategy() -> impl Strategy<Value = PhaseParams> {
+    (0.3_f64..3.0, 0.0_f64..40.0, 0.5_f64..1.5).prop_map(|(cpi, mpki, act)| {
+        PhaseParams::new(cpi, mpki, mpki + 15.0, act)
+    })
+}
+
+proptest! {
+    /// Energy, instructions and power are positive and mutually consistent
+    /// for any valid phase, level and interval.
+    #[test]
+    fn outcomes_are_physical(
+        phase in phase_strategy(),
+        level in 0_usize..15,
+        dt in 0.05_f64..2.0,
+        seed in 0_u64..100,
+    ) {
+        let mut cpu = Processor::new(ProcessorConfig::jetson_nano_noiseless(), seed);
+        cpu.set_level(FreqLevel(level));
+        let out = cpu.run(&phase, dt);
+        prop_assert!(out.instructions_retired > 0.0);
+        prop_assert!(out.counters.power_w > 0.0);
+        prop_assert!((out.energy_j - out.clean.power_w * dt).abs() < 1e-9);
+        prop_assert!((out.clean.ips * dt - out.instructions_retired).abs() < 1.0);
+        prop_assert!((0.0..=1.0).contains(&out.clean.miss_rate));
+    }
+
+    /// Retired instructions are strictly monotone in the V/f level for any
+    /// phase (a higher clock never hurts in the latency-bound model).
+    #[test]
+    fn instructions_monotone_in_level(phase in phase_strategy(), seed in 0_u64..50) {
+        let mut cpu = Processor::new(ProcessorConfig::jetson_nano_noiseless(), seed);
+        let mut prev = 0.0;
+        for level in 0..15 {
+            cpu.set_level(FreqLevel(level));
+            let out = cpu.run(&phase, 0.5);
+            prop_assert!(out.instructions_retired > prev);
+            prev = out.instructions_retired;
+        }
+    }
+
+    /// Noisy counters stay within a plausible band of the clean values.
+    #[test]
+    fn noise_is_bounded_in_practice(
+        phase in phase_strategy(),
+        level in 0_usize..15,
+        seed in 0_u64..200,
+    ) {
+        let config = ProcessorConfig {
+            noise: NoiseConfig::realistic(),
+            ..ProcessorConfig::jetson_nano()
+        };
+        let mut cpu = Processor::new(config, seed);
+        cpu.set_level(FreqLevel(level));
+        let out = cpu.run(&phase, 0.5);
+        // 1.5 % relative noise: 10 sigma leaves us far below 30 %.
+        prop_assert!((out.counters.ipc - out.clean.ipc).abs() <= 0.3 * out.clean.ipc.max(0.1));
+        prop_assert!((out.counters.power_w - out.clean.power_w).abs() < 0.15);
+    }
+
+    /// The thermal model never overshoots its steady state from below, for
+    /// any power level and step size.
+    #[test]
+    fn thermal_never_overshoots(power in 0.0_f64..3.0, dt in 0.01_f64..100.0) {
+        let mut t = ThermalModel::new(ThermalModelConfig::jetson_nano()).expect("valid");
+        let steady = t.steady_state_c(power);
+        for _ in 0..50 {
+            let temp = t.step(power, dt);
+            prop_assert!(temp <= steady + 1e-9, "T={} > steady={}", temp, steady);
+        }
+    }
+
+    /// Voltage and frequency lookups agree with the normalized-frequency
+    /// helper for every level of every linear table.
+    #[test]
+    fn vf_table_consistency(levels in 2_usize..30, f_step in 10.0_f64..200.0) {
+        let freqs: Vec<f64> = (1..=levels).map(|i| i as f64 * f_step).collect();
+        let table = VfTable::with_linear_voltage(&freqs, 0.8, 1.3).expect("valid");
+        for level in table.levels() {
+            let f = table.freq_mhz(level).expect("valid level");
+            let norm = table.normalized_freq(level).expect("valid level");
+            prop_assert!((norm - f / table.max_freq_mhz()).abs() < 1e-12);
+        }
+        prop_assert!((table.normalized_freq(table.max_level()).expect("max") - 1.0).abs() < 1e-12);
+    }
+
+    /// Power decomposition: total = dynamic + leakage, everywhere.
+    #[test]
+    fn power_decomposes(
+        phase in phase_strategy(),
+        volts in 0.8_f64..1.3,
+        f_ghz in 0.1_f64..1.5,
+        temp in 0.0_f64..100.0,
+    ) {
+        let power = PowerModel::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        let ipc = perf.ipc(&phase, f_ghz);
+        let total = power.total_power(&phase, ipc, volts, f_ghz, temp);
+        let parts = power.dynamic_power(&phase, ipc, volts, f_ghz)
+            + power.leakage_power(volts, temp);
+        prop_assert!((total - parts).abs() < 1e-12);
+    }
+}

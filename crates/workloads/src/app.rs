@@ -1,0 +1,317 @@
+use fedpower_sim::PhaseParams;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// The twelve SPLASH-2 applications of the paper's evaluation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AppId {
+    Fft,
+    Lu,
+    Raytrace,
+    Volrend,
+    WaterNs,
+    WaterSp,
+    Ocean,
+    Radix,
+    Fmm,
+    Radiosity,
+    Barnes,
+    Cholesky,
+}
+
+impl AppId {
+    /// All twelve applications in the paper's listing order.
+    pub const ALL: [AppId; 12] = [
+        AppId::Fft,
+        AppId::Lu,
+        AppId::Raytrace,
+        AppId::Volrend,
+        AppId::WaterNs,
+        AppId::WaterSp,
+        AppId::Ocean,
+        AppId::Radix,
+        AppId::Fmm,
+        AppId::Radiosity,
+        AppId::Barnes,
+        AppId::Cholesky,
+    ];
+
+    /// The benchmark's conventional lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Fft => "fft",
+            AppId::Lu => "lu",
+            AppId::Raytrace => "raytrace",
+            AppId::Volrend => "volrend",
+            AppId::WaterNs => "water-ns",
+            AppId::WaterSp => "water-sp",
+            AppId::Ocean => "ocean",
+            AppId::Radix => "radix",
+            AppId::Fmm => "fmm",
+            AppId::Radiosity => "radiosity",
+            AppId::Barnes => "barnes",
+            AppId::Cholesky => "cholesky",
+        }
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown application name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseAppIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown SPLASH-2 application name: {:?}", self.input)
+    }
+}
+
+impl Error for ParseAppIdError {}
+
+impl FromStr for AppId {
+    type Err = ParseAppIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AppId::ALL
+            .iter()
+            .find(|a| a.name() == s)
+            .copied()
+            .ok_or_else(|| ParseAppIdError { input: s.into() })
+    }
+}
+
+/// One execution phase of an application: a fraction of the instruction
+/// stream with homogeneous microarchitectural behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppPhase {
+    /// Fraction of the application's instructions spent in this phase.
+    pub weight: f64,
+    /// Microarchitectural parameters of the phase.
+    pub params: PhaseParams,
+}
+
+/// A complete application model: identity, instruction budget and phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    id: AppId,
+    total_instructions: f64,
+    phases: Vec<AppPhase>,
+    /// How many times the phase pattern repeats over the run (iterative
+    /// codes like ocean/water/barnes re-enter their phases every
+    /// timestep). 1 = the pattern spans the whole run.
+    iterations: u32,
+}
+
+impl AppModel {
+    /// Builds an application model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no phases, the phase weights do not sum to ~1,
+    /// or the instruction budget is not positive — application models are
+    /// static data authored in [`crate::catalog`], so violations are bugs.
+    pub fn new(id: AppId, total_instructions: f64, phases: Vec<AppPhase>) -> Self {
+        assert!(!phases.is_empty(), "application must have at least one phase");
+        assert!(
+            total_instructions > 0.0,
+            "instruction budget must be positive"
+        );
+        let weight_sum: f64 = phases.iter().map(|p| p.weight).sum();
+        assert!(
+            (weight_sum - 1.0).abs() < 1e-9,
+            "phase weights must sum to 1, got {weight_sum} for {id}"
+        );
+        assert!(
+            phases.iter().all(|p| p.weight > 0.0),
+            "phase weights must be positive"
+        );
+        AppModel {
+            id,
+            total_instructions,
+            phases,
+            iterations: 1,
+        }
+    }
+
+    /// Returns a copy whose phase pattern repeats `iterations` times over
+    /// the run — the structure of iterative solvers, where a policy faces
+    /// every phase transition repeatedly instead of once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        assert!(iterations > 0, "iterations must be nonzero");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Number of repetitions of the phase pattern.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// The application's identity.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// Total dynamic instruction count of one run.
+    pub fn total_instructions(&self) -> f64 {
+        self.total_instructions
+    }
+
+    /// The phase list in execution order.
+    pub fn phases(&self) -> &[AppPhase] {
+        &self.phases
+    }
+
+    /// The phase active after `retired` instructions have completed.
+    ///
+    /// With `iterations > 1` the phase pattern wraps; progress past the
+    /// end clamps to the final phase.
+    pub fn phase_at(&self, retired: f64) -> &AppPhase {
+        let overall = (retired / self.total_instructions).clamp(0.0, 1.0);
+        let progress = if self.iterations == 1 || overall >= 1.0 {
+            overall
+        } else {
+            (overall * self.iterations as f64).fract()
+        };
+        let mut acc = 0.0;
+        for phase in &self.phases {
+            acc += phase.weight;
+            if progress < acc {
+                return phase;
+            }
+        }
+        self.phases.last().expect("phases nonempty")
+    }
+
+    /// Instruction-weighted average MPKI across phases — a scalar summary
+    /// of how memory-bound the application is.
+    pub fn mean_mpki(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.weight * p.params.mpki)
+            .sum()
+    }
+
+    /// Instruction-weighted average activity factor.
+    pub fn mean_activity(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.weight * p.params.activity)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(weight: f64, mpki: f64) -> AppPhase {
+        AppPhase {
+            weight,
+            params: PhaseParams::new(1.0, mpki, mpki + 10.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn all_names_roundtrip_through_fromstr() {
+        for app in AppId::ALL {
+            let parsed: AppId = app.name().parse().unwrap();
+            assert_eq!(parsed, app);
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "doom".parse::<AppId>().unwrap_err();
+        assert!(err.to_string().contains("doom"));
+    }
+
+    #[test]
+    fn all_contains_twelve_distinct_apps() {
+        let mut names: Vec<&str> = AppId::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn phase_at_walks_phases_by_progress() {
+        let m = AppModel::new(
+            AppId::Fft,
+            1000.0,
+            vec![phase(0.25, 1.0), phase(0.5, 2.0), phase(0.25, 3.0)],
+        );
+        assert_eq!(m.phase_at(0.0).params.mpki, 1.0);
+        assert_eq!(m.phase_at(200.0).params.mpki, 1.0);
+        assert_eq!(m.phase_at(300.0).params.mpki, 2.0);
+        assert_eq!(m.phase_at(800.0).params.mpki, 3.0);
+        // Past the end clamps to the last phase.
+        assert_eq!(m.phase_at(5000.0).params.mpki, 3.0);
+    }
+
+    #[test]
+    fn looping_model_revisits_phases() {
+        let m = AppModel::new(
+            AppId::Ocean,
+            1000.0,
+            vec![phase(0.5, 1.0), phase(0.5, 9.0)],
+        )
+        .with_iterations(4);
+        assert_eq!(m.iterations(), 4);
+        // One iteration spans 250 instructions: 0-124 phase A, 125-249 B.
+        assert_eq!(m.phase_at(0.0).params.mpki, 1.0);
+        assert_eq!(m.phase_at(130.0).params.mpki, 9.0);
+        // Second iteration re-enters phase A.
+        assert_eq!(m.phase_at(260.0).params.mpki, 1.0);
+        assert_eq!(m.phase_at(380.0).params.mpki, 9.0);
+        // Completion clamps to the last phase.
+        assert_eq!(m.phase_at(1000.0).params.mpki, 9.0);
+    }
+
+    #[test]
+    fn single_iteration_behaviour_is_unchanged() {
+        let base = AppModel::new(AppId::Fft, 1000.0, vec![phase(0.5, 1.0), phase(0.5, 2.0)]);
+        let looped = base.clone().with_iterations(1);
+        for probe in [0.0, 250.0, 499.0, 500.0, 900.0] {
+            assert_eq!(base.phase_at(probe), looped.phase_at(probe));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations must be nonzero")]
+    fn zero_iterations_panics() {
+        let _ = AppModel::new(AppId::Fft, 100.0, vec![phase(1.0, 1.0)]).with_iterations(0);
+    }
+
+    #[test]
+    fn mean_mpki_is_weighted() {
+        let m = AppModel::new(AppId::Lu, 100.0, vec![phase(0.5, 2.0), phase(0.5, 6.0)]);
+        assert!((m.mean_mpki() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn weights_must_sum_to_one() {
+        let _ = AppModel::new(AppId::Lu, 100.0, vec![phase(0.5, 1.0), phase(0.6, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        let _ = AppModel::new(AppId::Lu, 100.0, vec![]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The twelve calibrated application models.
+//!
+//! Calibration is qualitative but grounded in the published character of
+//! the SPLASH-2 kernels (Woo et al., ISCA '95):
+//!
+//! * `ocean`, `radix` — heavily memory-bound (high MPKI, low activity):
+//!   their IPC collapses at high frequency, and their power draw is low
+//!   enough that high V/f levels stay under the 0.6 W cap.
+//! * `lu`, `water-ns`, `water-sp` — compute-bound FP kernels (low MPKI,
+//!   high switching activity): they scale with frequency but hit the power
+//!   cap early, so their optimal V/f level is lower.
+//! * `fft`, `cholesky`, `fmm`, `volrend` — mixed, with blocked/phase
+//!   structure.
+//! * `raytrace`, `barnes`, `radiosity` — irregular pointer-chasing codes
+//!   with pronounced phase behaviour.
+//!
+//! The result is a workload population whose power-optimal frequency under
+//! `P_crit = 0.6 W` spans roughly half of the 15-level table, so a DVFS
+//! policy trained on two of them genuinely mispredicts the others — the gap
+//! federated learning closes in the paper.
+
+use crate::app::{AppId, AppModel, AppPhase};
+use fedpower_sim::PhaseParams;
+
+fn phase(weight: f64, base_cpi: f64, mpki: f64, apki: f64, activity: f64) -> AppPhase {
+    AppPhase {
+        weight,
+        params: PhaseParams::new(base_cpi, mpki, apki, activity),
+    }
+}
+
+/// Returns the calibrated model for one application.
+pub fn model(id: AppId) -> AppModel {
+    match id {
+        AppId::Fft => AppModel::new(
+            id,
+            1.6e10,
+            vec![
+                // bit-reversal / transpose phases touch memory hard,
+                // butterfly phases are FP-dense.
+                phase(0.30, 0.90, 14.0, 45.0, 0.95),
+                phase(0.55, 0.80, 5.0, 30.0, 1.05),
+                phase(0.15, 0.90, 12.0, 42.0, 0.95),
+            ],
+        ),
+        AppId::Lu => AppModel::new(
+            id,
+            2.0e10,
+            vec![
+                // blocked dense factorization: cache-friendly, FP-dense.
+                phase(0.80, 0.62, 1.8, 24.0, 1.12),
+                phase(0.20, 0.75, 4.0, 28.0, 1.02),
+            ],
+        ),
+        AppId::Raytrace => AppModel::new(
+            id,
+            1.4e10,
+            vec![
+                // BVH traversal is branchy and latency-bound, shading mixed.
+                phase(0.55, 1.05, 13.0, 48.0, 0.88),
+                phase(0.45, 0.92, 8.0, 38.0, 0.96),
+            ],
+        ),
+        AppId::Volrend => AppModel::new(
+            id,
+            1.3e10,
+            vec![
+                phase(0.60, 0.85, 5.5, 32.0, 0.98),
+                phase(0.40, 0.95, 9.0, 40.0, 0.92),
+            ],
+        ),
+        AppId::WaterNs => AppModel::new(
+            id,
+            1.8e10,
+            vec![
+                // O(n²) molecular-dynamics force loops: compute-bound.
+                phase(0.90, 0.58, 1.0, 18.0, 1.15),
+                phase(0.10, 0.70, 3.0, 24.0, 1.05),
+            ],
+        ),
+        AppId::WaterSp => AppModel::new(
+            id,
+            1.7e10,
+            vec![
+                phase(0.85, 0.60, 1.4, 20.0, 1.12),
+                phase(0.15, 0.72, 3.5, 26.0, 1.02),
+            ],
+        ),
+        AppId::Ocean => AppModel::new(
+            id,
+            1.2e10,
+            vec![
+                // grid-sweep stencils stream through memory.
+                phase(0.50, 1.10, 26.0, 62.0, 0.80),
+                phase(0.35, 1.05, 22.0, 56.0, 0.82),
+                phase(0.15, 0.95, 15.0, 46.0, 0.88),
+            ],
+        ),
+        AppId::Radix => AppModel::new(
+            id,
+            1.1e10,
+            vec![
+                // permutation phase is a pure memory shuffle.
+                phase(0.45, 0.92, 30.0, 58.0, 0.84),
+                phase(0.40, 0.98, 24.0, 52.0, 0.86),
+                phase(0.15, 0.85, 10.0, 36.0, 0.95),
+            ],
+        ),
+        AppId::Fmm => AppModel::new(
+            id,
+            1.9e10,
+            vec![
+                // multipole expansions are FP-dense; tree walks irregular.
+                phase(0.65, 0.72, 3.0, 26.0, 1.06),
+                phase(0.35, 0.95, 9.0, 38.0, 0.94),
+            ],
+        ),
+        AppId::Radiosity => AppModel::new(
+            id,
+            1.5e10,
+            vec![
+                phase(0.50, 0.88, 7.5, 38.0, 0.96),
+                phase(0.30, 1.00, 11.0, 44.0, 0.90),
+                phase(0.20, 0.80, 4.0, 30.0, 1.02),
+            ],
+        ),
+        AppId::Barnes => AppModel::new(
+            id,
+            1.6e10,
+            vec![
+                // octree walks alternate with FP force evaluation.
+                phase(0.55, 0.98, 11.0, 44.0, 0.90),
+                phase(0.45, 0.78, 4.5, 30.0, 1.04),
+            ],
+        ),
+        AppId::Cholesky => AppModel::new(
+            id,
+            1.5e10,
+            vec![
+                // supernodal factorization: dense kernels + sparse scatter.
+                phase(0.60, 0.72, 4.0, 28.0, 1.06),
+                phase(0.40, 0.95, 12.0, 42.0, 0.92),
+            ],
+        ),
+    }
+}
+
+/// Returns all twelve models in [`AppId::ALL`] order.
+pub fn all_models() -> Vec<AppModel> {
+    AppId::ALL.iter().map(|&id| model(id)).collect()
+}
+
+/// Returns a *drifted* variant of an application: every phase's MPKI is
+/// scaled by `mpki_scale` (clamped to its cache-access rate) and its
+/// switching activity by `activity_scale`.
+///
+/// Used to study how trained policies cope when deployment workloads
+/// depart from the training distribution — input-set growth (more cache
+/// misses) or code changes (different power density).
+///
+/// # Panics
+///
+/// Panics if either scale is negative or non-finite.
+pub fn perturbed(id: AppId, mpki_scale: f64, activity_scale: f64) -> AppModel {
+    assert!(
+        mpki_scale >= 0.0 && mpki_scale.is_finite(),
+        "mpki_scale must be nonnegative and finite"
+    );
+    assert!(
+        activity_scale >= 0.0 && activity_scale.is_finite(),
+        "activity_scale must be nonnegative and finite"
+    );
+    let base = model(id);
+    let phases = base
+        .phases()
+        .iter()
+        .map(|p| AppPhase {
+            weight: p.weight,
+            params: PhaseParams::new(
+                p.params.base_cpi,
+                (p.params.mpki * mpki_scale).min(p.params.apki),
+                p.params.apki,
+                p.params.activity * activity_scale,
+            ),
+        })
+        .collect();
+    AppModel::new(id, base.total_instructions(), phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpower_sim::{PerfModel, PowerModel, VfTable};
+
+    /// Power-constrained optimal level: highest level whose steady power on
+    /// the app's weighted-average phase stays under `p_crit`.
+    fn optimal_level(app: &AppModel, p_crit: f64) -> usize {
+        let table = VfTable::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        let power = PowerModel::jetson_nano();
+        let params = PhaseParams::new(
+            app.phases()
+                .iter()
+                .map(|p| p.weight * p.params.base_cpi)
+                .sum(),
+            app.mean_mpki(),
+            app.phases().iter().map(|p| p.weight * p.params.apki).sum(),
+            app.mean_activity(),
+        );
+        let mut best = 0;
+        for l in table.levels() {
+            let f = table.freq_ghz(l).unwrap();
+            let v = table.voltage(l).unwrap();
+            let p = power.total_power(&params, perf.ipc(&params, f), v, f, 40.0);
+            if p <= p_crit {
+                best = l.index();
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn catalog_has_all_twelve_apps() {
+        let models = all_models();
+        assert_eq!(models.len(), 12);
+        for (m, id) in models.iter().zip(AppId::ALL) {
+            assert_eq!(m.id(), id);
+        }
+    }
+
+    #[test]
+    fn memory_bound_apps_have_high_mpki() {
+        assert!(model(AppId::Ocean).mean_mpki() > 18.0);
+        assert!(model(AppId::Radix).mean_mpki() > 18.0);
+        assert!(model(AppId::WaterNs).mean_mpki() < 3.0);
+        assert!(model(AppId::Lu).mean_mpki() < 4.0);
+    }
+
+    #[test]
+    fn optimal_levels_are_diverse_across_apps() {
+        // The entire learning problem requires that the best V/f level
+        // under the paper's 0.6 W cap differs across applications.
+        let levels: Vec<usize> = AppId::ALL
+            .iter()
+            .map(|&id| optimal_level(&model(id), 0.6))
+            .collect();
+        let min = *levels.iter().min().unwrap();
+        let max = *levels.iter().max().unwrap();
+        assert!(
+            max - min >= 3,
+            "optimal levels must spread over the table, got {levels:?}"
+        );
+        // No app should be feasible at the very top or pinned to the bottom.
+        assert!(max < 14, "even memory-bound apps must hit the cap: {levels:?}");
+        assert!(min >= 4, "every app should run well above f_min: {levels:?}");
+    }
+
+    #[test]
+    fn compute_bound_apps_cap_lower_than_memory_bound() {
+        let lu = optimal_level(&model(AppId::Lu), 0.6);
+        let water = optimal_level(&model(AppId::WaterNs), 0.6);
+        let ocean = optimal_level(&model(AppId::Ocean), 0.6);
+        let radix = optimal_level(&model(AppId::Radix), 0.6);
+        assert!(
+            lu < ocean && water < radix,
+            "compute-bound apps must cap earlier: lu={lu} water-ns={water} ocean={ocean} radix={radix}"
+        );
+    }
+
+    #[test]
+    fn perturbed_scales_mpki_and_activity() {
+        let base = model(AppId::Fft);
+        let drifted = perturbed(AppId::Fft, 2.0, 1.1);
+        for (b, d) in base.phases().iter().zip(drifted.phases()) {
+            let expected_mpki = (b.params.mpki * 2.0).min(b.params.apki);
+            assert!((d.params.mpki - expected_mpki).abs() < 1e-12);
+            assert!((d.params.activity - b.params.activity * 1.1).abs() < 1e-12);
+            assert_eq!(d.params.base_cpi, b.params.base_cpi);
+        }
+        assert_eq!(drifted.total_instructions(), base.total_instructions());
+    }
+
+    #[test]
+    fn perturbed_identity_scales_are_identity() {
+        assert_eq!(perturbed(AppId::Lu, 1.0, 1.0), model(AppId::Lu));
+    }
+
+    #[test]
+    fn perturbed_mpki_never_exceeds_apki() {
+        let extreme = perturbed(AppId::Ocean, 100.0, 1.0);
+        for p in extreme.phases() {
+            assert!(p.params.mpki <= p.params.apki);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mpki_scale")]
+    fn perturbed_rejects_negative_scale() {
+        let _ = perturbed(AppId::Fft, -1.0, 1.0);
+    }
+
+    #[test]
+    fn instruction_budgets_give_realistic_runtimes() {
+        // Each app should complete in roughly 10-60 s at its constrained-
+        // optimal level, comparable to the paper's ~24-30 s averages.
+        let table = VfTable::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        for m in all_models() {
+            let level = optimal_level(&m, 0.6);
+            let f = table.freq_ghz(level.into()).unwrap();
+            let ips: f64 = m
+                .phases()
+                .iter()
+                .map(|p| p.weight * perf.ips(&p.params, f))
+                .sum();
+            let secs = m.total_instructions() / ips;
+            assert!(
+                (8.0..90.0).contains(&secs),
+                "{} runtime {secs:.1}s out of range",
+                m.id()
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # fedpower-workloads
+//!
+//! Synthetic single-threaded application models standing in for the twelve
+//! SPLASH-2 benchmarks of the paper's evaluation (fft, lu, raytrace,
+//! volrend, water-ns, water-sp, ocean, radix, fmm, radiosity, barnes,
+//! cholesky).
+//!
+//! Each application is a sequence of execution [phases](AppPhase) with
+//! distinct microarchitectural character (base CPI, LLC MPKI, switching
+//! activity). The models are calibrated to the published qualitative
+//! behaviour of the SPLASH-2 kernels — `ocean` and `radix` are
+//! memory-bound, the `water` codes and `lu` are compute-bound, `raytrace`
+//! and `barnes` are irregular and phase-heavy — which is the property the
+//! paper's experiments actually depend on: *different applications have
+//! different optimal V/f levels under a power cap, and policies trained on
+//! a narrow application mix mispredict the rest*.
+//!
+//! # Example
+//!
+//! ```
+//! use fedpower_workloads::{catalog, AppId, AppRun};
+//!
+//! let model = catalog::model(AppId::Ocean);
+//! let mut run = AppRun::new(model, 7);
+//! let phase = run.current_phase();
+//! assert!(phase.mpki > 15.0, "ocean is memory-bound");
+//! run.advance(1e9);
+//! assert!(run.progress() > 0.0 && !run.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+pub mod catalog;
+mod run;
+mod schedule;
+
+pub use app::{AppId, AppModel, AppPhase, ParseAppIdError};
+pub use run::AppRun;
+pub use schedule::{SequenceMode, Sequencer};

@@ -1,0 +1,187 @@
+use crate::app::{AppId, AppModel};
+use fedpower_sim::rng::{derive_rng, streams};
+use fedpower_sim::PhaseParams;
+use rand::Rng;
+
+/// An executable instance of an application.
+///
+/// A run tracks instruction progress through the model's phases and applies
+/// a small per-run jitter to the phase parameters (±5 % on MPKI and
+/// activity), emulating input-set and system-state variation between
+/// executions of the same benchmark — the reason the paper's agents keep a
+/// replay buffer instead of memorizing one trace.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    id: AppId,
+    total_instructions: f64,
+    /// Instructions per repetition of the phase pattern.
+    iteration_len: f64,
+    /// Phase boundaries as cumulative instruction counts *within one
+    /// iteration*, paired with the jittered parameters of each phase.
+    phases: Vec<(f64, PhaseParams)>,
+    retired: f64,
+}
+
+impl AppRun {
+    /// Instantiates a run of `model` with per-run jitter drawn from `seed`.
+    pub fn new(model: AppModel, seed: u64) -> Self {
+        let mut rng = derive_rng(seed, streams::WORKLOAD);
+        let total = model.total_instructions();
+        let iteration_len = total / model.iterations() as f64;
+        let mut acc = 0.0;
+        let phases = model
+            .phases()
+            .iter()
+            .map(|p| {
+                acc += p.weight * iteration_len;
+                let jitter = |rng: &mut rand::rngs::StdRng| 1.0 + rng.random_range(-0.05..0.05);
+                let mpki = (p.params.mpki * jitter(&mut rng)).max(0.0);
+                let params = PhaseParams::new(
+                    p.params.base_cpi,
+                    mpki.min(p.params.apki),
+                    p.params.apki,
+                    (p.params.activity * jitter(&mut rng)).max(0.0),
+                );
+                (acc, params)
+            })
+            .collect();
+        AppRun {
+            id: model.id(),
+            total_instructions: total,
+            iteration_len,
+            phases,
+            retired: 0.0,
+        }
+    }
+
+    /// The application this run executes.
+    pub fn id(&self) -> AppId {
+        self.id
+    }
+
+    /// Total instructions this run must retire to complete.
+    pub fn total_instructions(&self) -> f64 {
+        self.total_instructions
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> f64 {
+        self.retired
+    }
+
+    /// Completion fraction in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        (self.retired / self.total_instructions).clamp(0.0, 1.0)
+    }
+
+    /// Whether the run has retired its full instruction budget.
+    pub fn is_complete(&self) -> bool {
+        self.retired >= self.total_instructions
+    }
+
+    /// The phase parameters governing the next instructions to execute.
+    pub fn current_phase(&self) -> PhaseParams {
+        let within = if self.retired >= self.total_instructions {
+            self.iteration_len
+        } else {
+            self.retired % self.iteration_len
+        };
+        for (boundary, params) in &self.phases {
+            if within < *boundary {
+                return *params;
+            }
+        }
+        self.phases.last().expect("phases nonempty").1
+    }
+
+    /// Advances the run by `instructions`, returning the number of
+    /// instructions actually consumed (less than requested if the run
+    /// completes mid-interval).
+    pub fn advance(&mut self, instructions: f64) -> f64 {
+        assert!(instructions >= 0.0, "cannot retire negative instructions");
+        let remaining = (self.total_instructions - self.retired).max(0.0);
+        let consumed = instructions.min(remaining);
+        self.retired += consumed;
+        consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn run_walks_to_completion() {
+        let mut run = AppRun::new(catalog::model(AppId::Fft), 1);
+        let total = run.total_instructions();
+        assert!(!run.is_complete());
+        run.advance(total / 2.0);
+        assert!((run.progress() - 0.5).abs() < 1e-12);
+        run.advance(total);
+        assert!(run.is_complete());
+        assert!((run.progress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_reports_consumed_instructions() {
+        let mut run = AppRun::new(catalog::model(AppId::Radix), 2);
+        let total = run.total_instructions();
+        assert_eq!(run.advance(1000.0), 1000.0);
+        let consumed = run.advance(total * 2.0);
+        assert!((consumed - (total - 1000.0)).abs() < 1.0);
+        assert_eq!(run.advance(1e9), 0.0, "completed run consumes nothing");
+    }
+
+    #[test]
+    fn phases_change_with_progress() {
+        let mut run = AppRun::new(catalog::model(AppId::Ocean), 3);
+        let first = run.current_phase();
+        run.advance(run.total_instructions() * 0.95);
+        let last = run.current_phase();
+        assert_ne!(first, last, "ocean has multiple distinct phases");
+    }
+
+    #[test]
+    fn looping_run_revisits_phases() {
+        let model = catalog::model(AppId::Ocean).with_iterations(10);
+        let mut run = AppRun::new(model, 4);
+        let first = run.current_phase();
+        // Advance past the first iteration's phases and into the second.
+        let iter_len = run.total_instructions() / 10.0;
+        run.advance(iter_len * 1.02);
+        let again = run.current_phase();
+        assert_eq!(
+            first.base_cpi, again.base_cpi,
+            "second iteration re-enters the first phase"
+        );
+    }
+
+    #[test]
+    fn jitter_differs_across_seeds_but_is_bounded() {
+        let a = AppRun::new(catalog::model(AppId::Lu), 10);
+        let b = AppRun::new(catalog::model(AppId::Lu), 11);
+        let nominal = catalog::model(AppId::Lu).phases()[0].params;
+        assert_ne!(a.current_phase(), b.current_phase());
+        for run in [&a, &b] {
+            let p = run.current_phase();
+            assert!((p.mpki / nominal.mpki - 1.0).abs() <= 0.06);
+            assert!((p.activity / nominal.activity - 1.0).abs() <= 0.06);
+            assert_eq!(p.base_cpi, nominal.base_cpi);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let a = AppRun::new(catalog::model(AppId::Barnes), 42);
+        let b = AppRun::new(catalog::model(AppId::Barnes), 42);
+        assert_eq!(a.current_phase(), b.current_phase());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative instructions")]
+    fn negative_advance_panics() {
+        let mut run = AppRun::new(catalog::model(AppId::Fft), 0);
+        run.advance(-1.0);
+    }
+}

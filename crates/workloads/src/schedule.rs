@@ -1,0 +1,152 @@
+use crate::app::{AppId, AppModel};
+use crate::catalog;
+use crate::run::AppRun;
+use fedpower_sim::rng::{derive_rng, streams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a [`Sequencer`] orders the applications it launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SequenceMode {
+    /// Uniform random choice per launch (the paper's training assumption).
+    #[default]
+    UniformRandom,
+    /// Deterministic cycle through the set (used for reproducible eval).
+    RoundRobin,
+}
+
+/// Produces an endless stream of [`AppRun`]s from a device's application
+/// set — the "sequence of single-threaded applications" of §III, with
+/// "applications and execution order unknown at design time".
+#[derive(Debug, Clone)]
+pub struct Sequencer {
+    models: Vec<AppModel>,
+    mode: SequenceMode,
+    rng: StdRng,
+    launches: u64,
+    next_round_robin: usize,
+    seed: u64,
+}
+
+impl Sequencer {
+    /// Creates a sequencer over the catalog models of `apps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn new(apps: &[AppId], mode: SequenceMode, seed: u64) -> Self {
+        let models = apps.iter().map(|&id| catalog::model(id)).collect();
+        Sequencer::from_models(models, mode, seed)
+    }
+
+    /// Creates a sequencer over custom application models (e.g. the
+    /// drifted variants from [`catalog::perturbed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn from_models(models: Vec<AppModel>, mode: SequenceMode, seed: u64) -> Self {
+        assert!(!models.is_empty(), "a device needs at least one application");
+        Sequencer {
+            models,
+            mode,
+            rng: derive_rng(seed, streams::WORKLOAD),
+            launches: 0,
+            next_round_robin: 0,
+            seed,
+        }
+    }
+
+    /// The application identities this sequencer draws from.
+    pub fn apps(&self) -> Vec<AppId> {
+        self.models.iter().map(AppModel::id).collect()
+    }
+
+    /// Number of runs launched so far.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Launches the next application run.
+    pub fn next_run(&mut self) -> AppRun {
+        let index = match self.mode {
+            SequenceMode::UniformRandom => self.rng.random_range(0..self.models.len()),
+            SequenceMode::RoundRobin => {
+                let i = self.next_round_robin;
+                self.next_round_robin = (self.next_round_robin + 1) % self.models.len();
+                i
+            }
+        };
+        self.launches += 1;
+        // Each launch gets a distinct jitter seed derived from the
+        // sequencer's seed and the launch ordinal.
+        AppRun::new(
+            self.models[index].clone(),
+            self.seed.wrapping_add(self.launches),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let apps = [AppId::Fft, AppId::Lu, AppId::Ocean];
+        let mut s = Sequencer::new(&apps, SequenceMode::RoundRobin, 0);
+        let order: Vec<AppId> = (0..6).map(|_| s.next_run().id()).collect();
+        assert_eq!(
+            order,
+            vec![AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Fft, AppId::Lu, AppId::Ocean]
+        );
+    }
+
+    #[test]
+    fn uniform_random_covers_all_apps() {
+        let apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Radix];
+        let mut s = Sequencer::new(&apps, SequenceMode::UniformRandom, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.next_run().id());
+        }
+        assert_eq!(seen.len(), 4, "all apps should appear in 200 draws");
+    }
+
+    #[test]
+    fn uniform_random_is_roughly_uniform() {
+        let apps = [AppId::Fft, AppId::Lu];
+        let mut s = Sequencer::new(&apps, SequenceMode::UniformRandom, 3);
+        let fft_count = (0..1000).filter(|_| s.next_run().id() == AppId::Fft).count();
+        assert!(
+            (350..650).contains(&fft_count),
+            "binomial(1000, 0.5) far tail: {fft_count}"
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_sequence() {
+        let apps = [AppId::Fft, AppId::Lu, AppId::Ocean];
+        let mut a = Sequencer::new(&apps, SequenceMode::UniformRandom, 42);
+        let mut b = Sequencer::new(&apps, SequenceMode::UniformRandom, 42);
+        for _ in 0..20 {
+            assert_eq!(a.next_run().id(), b.next_run().id());
+        }
+    }
+
+    #[test]
+    fn launch_counter_increments() {
+        let mut s = Sequencer::new(&[AppId::Fft], SequenceMode::RoundRobin, 0);
+        assert_eq!(s.launches(), 0);
+        let _ = s.next_run();
+        let _ = s.next_run();
+        assert_eq!(s.launches(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_app_set_panics() {
+        let _ = Sequencer::new(&[], SequenceMode::UniformRandom, 0);
+    }
+}

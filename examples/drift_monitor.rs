@@ -1,0 +1,95 @@
+//! Operational monitoring: detect when a deployed policy's workload has
+//! drifted enough that retraining (another federated phase) is warranted.
+//!
+//! A deployed controller keeps an exponential moving average of its own
+//! reward; a sustained drop below a reference band flags drift. This
+//! example deploys a trained policy, lets the workload drift mid-stream
+//! (input sets grow: +60 % MPKI, +20 % activity), and shows the monitor
+//! firing.
+//!
+//! ```text
+//! cargo run --release --example drift_monitor
+//! ```
+
+use fedpower::agent::{DeviceEnv, DeviceEnvConfig};
+use fedpower::analysis::{ema, Summary};
+use fedpower::core::experiment::run_federated_training_only;
+use fedpower::core::policy::DvfsPolicy;
+use fedpower::core::scenario::six_six_split;
+use fedpower::core::ExperimentConfig;
+use fedpower::workloads::{catalog, AppId};
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.fedavg.rounds = 30;
+    eprintln!("training the deployed policy ({} rounds)...", cfg.fedavg.rounds);
+    let mut policy = run_federated_training_only(&six_six_split(), &cfg);
+
+    // Phase 1: pristine workload — establish the reference reward band.
+    let pristine = DeviceEnvConfig::new(&[AppId::Fft, AppId::Barnes]);
+    let mut env = DeviceEnv::new(pristine, 11);
+    let mut last = env.bootstrap().counters;
+    let mut rewards = Vec::new();
+    for _ in 0..400 {
+        let level = policy.decide(&last);
+        let obs = env.execute(level);
+        rewards.push(
+            cfg.controller
+                .reward
+                .reward(obs.clean.freq_mhz / 1479.0, obs.clean.power_w),
+        );
+        last = obs.counters;
+    }
+    let reference = Summary::from_samples(&rewards);
+    let alert_threshold = reference.mean - 3.0 * reference.std;
+    println!(
+        "reference band: mean {:.3} ± {:.3} → alert below {:.3}",
+        reference.mean, reference.std, alert_threshold
+    );
+
+    // Phase 2: the workload drifts under the same policy.
+    let drifted = DeviceEnvConfig::from_models(vec![
+        catalog::perturbed(AppId::Fft, 1.6, 1.2),
+        catalog::perturbed(AppId::Barnes, 1.6, 1.2),
+    ]);
+    let mut env = DeviceEnv::new(drifted, 12);
+    let mut last = env.bootstrap().counters;
+    let mut drift_rewards = Vec::new();
+    for _ in 0..400 {
+        let level = policy.decide(&last);
+        let obs = env.execute(level);
+        drift_rewards.push(
+            cfg.controller
+                .reward
+                .reward(obs.clean.freq_mhz / 1479.0, obs.clean.power_w),
+        );
+        last = obs.counters;
+    }
+
+    // The monitor: EMA of the live reward vs the reference band.
+    let mut stream = rewards.clone();
+    stream.extend(&drift_rewards);
+    let smoothed = ema(&stream, 0.05);
+    let alert_step = smoothed
+        .iter()
+        .enumerate()
+        .skip(400)
+        .find(|(_, &r)| r < alert_threshold)
+        .map(|(i, _)| i);
+
+    let drift_summary = Summary::from_samples(&drift_rewards);
+    println!(
+        "after drift: mean reward {:.3} (reference {:.3})",
+        drift_summary.mean, reference.mean
+    );
+    match alert_step {
+        Some(step) => println!(
+            "drift alert fired at step {step} (drift began at step 400) → schedule a \
+             federated retraining round"
+        ),
+        None => println!(
+            "no alert — the policy absorbed this drift level (counters generalize); \
+             increase the drift scales to see the monitor fire"
+        ),
+    }
+}

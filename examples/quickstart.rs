@@ -1,0 +1,64 @@
+//! Quickstart: train a single neural power controller online on one
+//! simulated edge device and watch it learn the power-optimal frequency.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedpower::agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController};
+use fedpower::workloads::AppId;
+
+fn main() {
+    // A device running the memory-bound `ocean` and the compute-bound `lu`.
+    let mut env = DeviceEnv::new(DeviceEnvConfig::new(&[AppId::Ocean, AppId::Lu]), 1);
+    let mut agent = PowerController::new(ControllerConfig::paper(), 1);
+
+    println!("training a local power controller (P_crit = 0.6 W)...");
+    println!("{:>6} {:>8} {:>10} {:>10} {:>8}", "step", "tau", "reward", "power[W]", "level");
+
+    let mut state = env.bootstrap().state;
+    let mut window_reward = 0.0;
+    let mut window_power = 0.0;
+    let mut window_level = 0.0;
+    let window = 250;
+
+    for step in 1..=5000u64 {
+        let action = agent.select_action(&state);
+        let obs = env.execute(action);
+        let reward = agent.reward_for(&obs.counters);
+        agent.observe(&state, action, reward);
+        state = obs.state;
+
+        window_reward += reward;
+        window_power += obs.clean.power_w;
+        window_level += action.index() as f64;
+        if step % window == 0 {
+            println!(
+                "{:>6} {:>8.3} {:>10.3} {:>10.3} {:>8.1}",
+                step,
+                agent.temperature(),
+                window_reward / window as f64,
+                window_power / window as f64,
+                window_level / window as f64,
+            );
+            window_reward = 0.0;
+            window_power = 0.0;
+            window_level = 0.0;
+        }
+    }
+
+    // After training: greedy decisions should run just under the cap.
+    let obs = env.execute(agent.greedy_action(&state));
+    println!(
+        "\nfinal greedy decision: {} at {:.0} MHz, drawing {:.2} W (cap 0.6 W)",
+        env.current_app(),
+        obs.clean.freq_mhz,
+        obs.clean.power_w
+    );
+    println!(
+        "apps completed during training: {}, replay buffer: {} samples, model: {} bytes",
+        env.completed_apps(),
+        agent.replay().len(),
+        agent.transfer_bytes()
+    );
+}

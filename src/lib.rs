@@ -1,0 +1,37 @@
+//! # fedpower
+//!
+//! Umbrella crate for the `fedpower` workspace — a from-scratch Rust
+//! reproduction of *"Federated Reinforcement Learning for Optimizing the
+//! Power Efficiency of Edge Devices"* (Dietrich, Müller-Both, Khdr, Henkel —
+//! DATE 2025).
+//!
+//! This crate re-exports the workspace's public API so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`nn`] — minimal dense neural-network stack (MLP, Adam, Huber).
+//! * [`sim`] — analytical edge-processor simulator (V/f table, power and
+//!   performance models, counters).
+//! * [`workloads`] — twelve SPLASH-2-like synthetic application models.
+//! * [`agent`] — the paper's local RL power controller (Algorithm 1).
+//! * [`analysis`] — replication statistics, bootstrap CIs, Pareto fronts.
+//! * [`federated`] — FedAvg orchestration (Algorithm 2).
+//! * [`baselines`] — Profit + CollabPolicy and OS-governor baselines.
+//! * [`core`] — experiment harness reproducing every table and figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fedpower::core::{scenario, ExperimentConfig};
+//! let cfg = ExperimentConfig::default();
+//! assert_eq!(cfg.fedavg.rounds, 100);
+//! assert_eq!(scenario::table2_scenarios().len(), 3);
+//! ```
+
+pub use fedpower_agent as agent;
+pub use fedpower_analysis as analysis;
+pub use fedpower_baselines as baselines;
+pub use fedpower_core as core;
+pub use fedpower_federated as federated;
+pub use fedpower_nn as nn;
+pub use fedpower_sim as sim;
+pub use fedpower_workloads as workloads;

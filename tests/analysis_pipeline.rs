@@ -1,0 +1,127 @@
+//! End-to-end statistical pipeline: run real (smoke-scale) experiments
+//! across seeds and push the outcomes through the analysis crate — the
+//! workflow EXPERIMENTS.md's replication claims rest on.
+
+use fedpower::analysis::{
+    bootstrap_mean_ci, ema, paired_permutation_test, pareto_front, replicate,
+};
+use fedpower::core::eval::{run_to_completion, EvalOptions};
+use fedpower::core::experiment::{run_federated, run_federated_training_only, run_local_only};
+use fedpower::core::policy::GovernorPolicy;
+use fedpower::core::scenario::table2_scenarios;
+use fedpower::core::{EvalProtocol, ExperimentConfig};
+use fedpower::baselines::{PerformanceGovernor, PowersaveGovernor};
+use fedpower::sim::VfTable;
+use fedpower::workloads::AppId;
+
+fn tiny() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.fedavg.rounds = 10;
+    cfg.fedavg.steps_per_round = 60;
+    cfg.eval_steps = 6;
+    // Average over all twelve apps per round: smoother series, so the
+    // small-scale statistics below are meaningful.
+    cfg.eval_protocol = EvalProtocol::AllApps;
+    cfg
+}
+
+#[test]
+fn replicated_gap_is_positive_with_sane_statistics() {
+    let scenario = &table2_scenarios()[1];
+    let cfg = tiny();
+    let seeds = [101, 202, 303];
+
+    let fed = replicate(&seeds, |seed| {
+        let out = run_federated(scenario, &cfg.with_seed(seed));
+        out.series.iter().map(|s| s.mean_reward()).sum::<f64>() / out.series.len() as f64
+    });
+    let local = replicate(&seeds, |seed| {
+        let out = run_local_only(scenario, &cfg.with_seed(seed));
+        out.series.iter().map(|s| s.mean_reward()).sum::<f64>() / out.series.len() as f64
+    });
+
+    // The aggregate gap favours federation even at this tiny scale.
+    assert!(
+        fed.summary.mean > local.summary.mean,
+        "federated {:.3} <= local {:.3}",
+        fed.summary.mean,
+        local.summary.mean
+    );
+    let positive_pairs = fed
+        .per_seed
+        .iter()
+        .zip(&local.per_seed)
+        .filter(|(f, l)| f > l)
+        .count();
+    assert!(
+        positive_pairs >= 2,
+        "at most one of three seeds favoured federation: fed {:?} vs local {:?}",
+        fed.per_seed,
+        local.per_seed
+    );
+    // Summary statistics are internally consistent.
+    assert!(fed.summary.ci95_lo <= fed.summary.mean);
+    assert!(fed.summary.mean <= fed.summary.ci95_hi);
+
+    // The bootstrap CI is ordered and brackets the observed mean gap.
+    let gaps: Vec<f64> = fed
+        .per_seed
+        .iter()
+        .zip(&local.per_seed)
+        .map(|(f, l)| f - l)
+        .collect();
+    let ci = bootstrap_mean_ci(&gaps, 2000, 0.95, 5);
+    assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+
+    // Permutation p-value exists and is bounded (3 pairs → p >= 1/8).
+    let p = paired_permutation_test(&fed.per_seed, &local.per_seed, 4000, 7);
+    assert!(p.mean_difference > 0.0);
+    assert!(p.p_value >= 0.1 && p.p_value <= 1.0);
+}
+
+#[test]
+fn smoothing_a_reward_curve_preserves_its_mean_scale() {
+    let scenario = &table2_scenarios()[0];
+    let out = run_federated(scenario, &tiny());
+    let rewards: Vec<f64> = out.series[0].points.iter().map(|p| p.reward).collect();
+    let smoothed = ema(&rewards, 0.3);
+    assert_eq!(smoothed.len(), rewards.len());
+    let raw_mean: f64 = rewards.iter().sum::<f64>() / rewards.len() as f64;
+    let smooth_mean: f64 = smoothed.iter().sum::<f64>() / smoothed.len() as f64;
+    assert!(
+        (raw_mean - smooth_mean).abs() < 0.25,
+        "smoothing should not relocate the curve: {raw_mean:.3} vs {smooth_mean:.3}"
+    );
+}
+
+#[test]
+fn learned_policy_is_on_the_time_energy_pareto_front() {
+    let cfg = {
+        let mut c = tiny();
+        c.fedavg.rounds = 15;
+        c
+    };
+    let learned = run_federated_training_only(&fedpower::core::scenario::six_six_split(), &cfg);
+    let opts = EvalOptions::from_config(&cfg);
+    let app = AppId::Fft;
+
+    // Candidate points: (exec time, energy) for several controllers.
+    let mut candidates: Vec<(String, f64, f64)> = Vec::new();
+    let mut learned_policy = learned.clone();
+    let m = run_to_completion(&mut learned_policy, app, &opts, 1);
+    candidates.push(("learned".into(), m.exec_time_s, m.energy_j));
+    let mut perf = GovernorPolicy::new(PerformanceGovernor, VfTable::jetson_nano());
+    let m = run_to_completion(&mut perf, app, &opts, 1);
+    candidates.push(("performance".into(), m.exec_time_s, m.energy_j));
+    let mut save = GovernorPolicy::new(PowersaveGovernor, VfTable::jetson_nano());
+    let m = run_to_completion(&mut save, app, &opts, 1);
+    candidates.push(("powersave".into(), m.exec_time_s, m.energy_j));
+
+    let points: Vec<(f64, f64)> = candidates.iter().map(|(_, t, e)| (*t, *e)).collect();
+    let front = pareto_front(&points);
+    let learned_on_front = front.iter().any(|&i| candidates[i].0 == "learned");
+    assert!(
+        learned_on_front,
+        "learned policy dominated by a static governor: {candidates:?}, front {front:?}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration of the multi-core cluster extension with the neural
+//! controller: one DVFS decision governing several co-running applications.
+
+use fedpower::agent::{ControllerConfig, PowerController, RewardConfig, State, StateNorm};
+use fedpower::sim::{ClusterProcessor, FreqLevel, ProcessorConfig};
+use fedpower::workloads::{catalog, AppId, AppRun};
+
+fn cluster_config() -> ControllerConfig {
+    let mut cfg = ControllerConfig::paper();
+    // Cluster-level budget: scaled up from the single-core 0.6 W.
+    cfg.reward = RewardConfig::new(1.2, 0.1);
+    cfg.norm = StateNorm {
+        power_scale_w: 3.0,
+        ..StateNorm::jetson_nano()
+    };
+    cfg
+}
+
+/// One training step on the cluster; returns the clean power.
+fn step(
+    agent: &mut PowerController,
+    cluster: &mut ClusterProcessor,
+    runs: &mut [AppRun],
+    state: &mut State,
+) -> f64 {
+    let action = agent.select_action(state);
+    cluster.set_level(action);
+    let phases: Vec<_> = runs.iter().map(|r| Some(r.current_phase())).collect();
+    let out = cluster.run(&phases, 0.5);
+    for (run, core) in runs.iter_mut().zip(&out.cores) {
+        if let Some(core) = core {
+            run.advance(core.instructions_retired);
+        }
+    }
+    let reward = agent.reward_for(&out.counters);
+    let next = State::from_counters(&out.counters, &agent.config().norm);
+    agent.observe(state, action, reward);
+    *state = next;
+    out.clean.power_w
+}
+
+#[test]
+fn cluster_controller_learns_to_respect_the_cluster_budget() {
+    let mut agent = PowerController::new(cluster_config(), 3);
+    let mut cluster = ClusterProcessor::new(ProcessorConfig::jetson_nano(), 4, 3);
+    let mut runs = vec![
+        AppRun::new(catalog::model(AppId::Lu), 1),
+        AppRun::new(catalog::model(AppId::Ocean), 2),
+        AppRun::new(catalog::model(AppId::Barnes), 3),
+        AppRun::new(catalog::model(AppId::Fft), 4),
+    ];
+    let mut state = State::from_features([0.0; 5]);
+
+    let mut early_power = 0.0;
+    let mut late_power = 0.0;
+    let mut late_violations = 0u64;
+    for s in 0..3000u64 {
+        // Restart any finished run so four cores stay busy.
+        for (i, run) in runs.iter_mut().enumerate() {
+            if run.is_complete() {
+                *run = AppRun::new(catalog::model(AppId::ALL[(s as usize + i) % 12]), s + 10);
+            }
+        }
+        let power = step(&mut agent, &mut cluster, &mut runs, &mut state);
+        if s < 500 {
+            early_power += power;
+        }
+        if s >= 2500 {
+            late_power += power;
+            if power > 1.2 {
+                late_violations += 1;
+            }
+        }
+    }
+    let late_mean = late_power / 500.0;
+    assert!(
+        late_mean < 1.25,
+        "converged cluster power {late_mean:.2} W must hover at/below the 1.2 W budget"
+    );
+    assert!(
+        late_violations < 150,
+        "too many late violations: {late_violations}/500"
+    );
+    // And it should not be sandbagging at the floor either.
+    assert!(
+        late_mean > 0.6,
+        "converged cluster power {late_mean:.2} W suspiciously low — not exploiting budget"
+    );
+    let _ = early_power;
+}
+
+#[test]
+fn cluster_with_one_busy_core_wants_higher_levels_than_four_busy_cores() {
+    // Four busy cores hit a 1.2 W budget earlier than one busy core, so
+    // the feasible (power <= budget) level set shrinks with occupancy.
+    let mut cluster = ClusterProcessor::new(ProcessorConfig::jetson_nano_noiseless(), 4, 0);
+    let phase = catalog::model(AppId::Lu).phases()[0].params;
+    let feasible = |cluster: &mut ClusterProcessor, busy: usize| -> usize {
+        let mut best = 0;
+        for level in 0..15usize {
+            cluster.set_level(FreqLevel(level));
+            let slots: Vec<_> = (0..4)
+                .map(|i| if i < busy { Some(phase) } else { None })
+                .collect();
+            let out = cluster.run(&slots, 0.5);
+            if out.clean.power_w <= 1.2 {
+                best = level;
+            }
+        }
+        best
+    };
+    let one = feasible(&mut cluster, 1);
+    let four = feasible(&mut cluster, 4);
+    assert!(
+        one > four + 2,
+        "one busy core should allow much higher levels: one={one} four={four}"
+    );
+}

@@ -1,0 +1,94 @@
+//! End-to-end behaviour of the Profit+CollabPolicy baseline: it must be a
+//! *credible* opponent (it learns, and collaboration helps it), or the
+//! Table III comparison is a strawman.
+
+use fedpower::baselines::{ProfitAgent, ProfitConfig};
+use fedpower::core::eval::{evaluate_on_app, run_to_completion, EvalOptions};
+use fedpower::core::experiment::train_profit_collab;
+use fedpower::core::scenario::table2_scenarios;
+use fedpower::core::ExperimentConfig;
+use fedpower::workloads::AppId;
+
+fn cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.fedavg.rounds = 30;
+    cfg
+}
+
+#[test]
+fn trained_collab_beats_untrained_profit() {
+    let cfg = cfg();
+    let scenario = &table2_scenarios()[0];
+    let fed = train_profit_collab(scenario, &cfg);
+    let opts = EvalOptions::from_config(&cfg);
+
+    let mut trained_total = 0.0;
+    let mut fresh_total = 0.0;
+    for (i, &app) in [AppId::Fft, AppId::Lu, AppId::Raytrace].iter().enumerate() {
+        let seed = 900 + i as u64;
+        let mut trained = fed.client(0).clone();
+        trained_total += evaluate_on_app(&mut trained, app, &opts, seed).mean_reward;
+        let mut fresh = ProfitAgent::new(ProfitConfig::paper(), 0);
+        fresh_total += evaluate_on_app(&mut fresh, app, &opts, seed).mean_reward;
+    }
+    assert!(
+        trained_total > fresh_total,
+        "training must help: trained {trained_total:.3} vs fresh {fresh_total:.3}"
+    );
+}
+
+#[test]
+fn collab_keeps_power_under_constraint_on_trained_apps() {
+    let cfg = cfg();
+    let scenario = &table2_scenarios()[0];
+    let fed = train_profit_collab(scenario, &cfg);
+    let opts = EvalOptions::from_config(&cfg);
+    // Apps that device 0 itself trained on.
+    for (i, &app) in scenario.device_a.iter().enumerate() {
+        let mut policy = fed.client(0).clone();
+        let m = run_to_completion(&mut policy, app, &opts, 700 + i as u64);
+        assert!(
+            m.mean_power_w <= cfg.controller.reward.p_crit_w + 0.05,
+            "{app}: baseline mean power {:.3} W far above cap",
+            m.mean_power_w
+        );
+    }
+}
+
+#[test]
+fn global_policy_transfers_knowledge_across_devices() {
+    // Device 0 trains on compute apps, device 1 on memory apps. Thanks to
+    // the shared global policy, device 0's greedy decisions on device 1's
+    // apps should beat a profit agent trained on device 0's apps alone.
+    let cfg = cfg();
+    let scenario = &table2_scenarios()[1]; // water vs ocean/radix
+    let collab = train_profit_collab(scenario, &cfg);
+    let opts = EvalOptions::from_config(&cfg);
+
+    // A local-only Profit trained like device 0 but without collaboration.
+    use fedpower::agent::{DeviceEnv, DeviceEnvConfig};
+    let mut solo = ProfitAgent::new(cfg.profit, 123);
+    let mut env = DeviceEnv::new(DeviceEnvConfig::new(&scenario.device_a), 123);
+    let mut last = env.bootstrap().counters;
+    for _ in 0..(cfg.fedavg.rounds * cfg.fedavg.steps_per_round) {
+        let a = solo.select_action(&last);
+        let obs = env.execute(a);
+        let r = solo.reward_for(&obs.counters);
+        solo.observe(&last, a, r);
+        last = obs.counters;
+    }
+
+    let mut collab_reward = 0.0;
+    let mut solo_reward = 0.0;
+    for (i, &app) in scenario.device_b.iter().enumerate() {
+        let seed = 800 + i as u64;
+        let mut c = collab.client(0).clone();
+        collab_reward += evaluate_on_app(&mut c, app, &opts, seed).mean_reward;
+        let mut s = solo.clone();
+        solo_reward += evaluate_on_app(&mut s, app, &opts, seed).mean_reward;
+    }
+    assert!(
+        collab_reward >= solo_reward - 0.05,
+        "collaboration should not hurt on foreign apps: collab {collab_reward:.3} vs solo {solo_reward:.3}"
+    );
+}

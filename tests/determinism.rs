@@ -1,0 +1,71 @@
+//! Workspace-wide determinism: the same master seed reproduces every
+//! experiment bit-for-bit; different seeds genuinely differ.
+
+use fedpower::core::experiment::{run_federated, run_fig5, train_profit_collab};
+use fedpower::core::scenario::{six_six_split, table2_scenarios};
+use fedpower::core::ExperimentConfig;
+
+fn tiny() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.fedavg.rounds = 4;
+    cfg.fedavg.steps_per_round = 50;
+    cfg.eval_steps = 5;
+    cfg.eval_max_steps = 150;
+    cfg
+}
+
+#[test]
+fn federated_run_is_bit_reproducible() {
+    let scenario = &table2_scenarios()[0];
+    let cfg = tiny();
+    let a = run_federated(scenario, &cfg);
+    let b = run_federated(scenario, &cfg);
+    assert_eq!(a.agents[0].params(), b.agents[0].params());
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.transport, b.transport);
+}
+
+#[test]
+fn different_seeds_give_different_policies() {
+    let scenario = &table2_scenarios()[0];
+    let a = run_federated(scenario, &tiny());
+    let b = run_federated(scenario, &tiny().with_seed(1234));
+    assert_ne!(a.agents[0].params(), b.agents[0].params());
+}
+
+#[test]
+fn collab_baseline_is_reproducible() {
+    let scenario = &table2_scenarios()[2];
+    let cfg = tiny();
+    let a = train_profit_collab(scenario, &cfg);
+    let b = train_profit_collab(scenario, &cfg);
+    // Compare via the merged global policies.
+    let ga = a.global();
+    let gb = b.global();
+    assert_eq!(ga.len(), gb.len());
+    for (key, entry) in ga {
+        let other = gb.get(key).expect("same states visited");
+        assert_eq!(entry.best_action, other.best_action);
+        assert_eq!(entry.visits, other.visits);
+        assert!((entry.mean_reward - other.mean_reward).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fig5_rows_are_reproducible() {
+    let cfg = {
+        let mut c = tiny();
+        c.fedavg.rounds = 3;
+        c
+    };
+    let a = run_fig5(&cfg);
+    let b = run_fig5(&cfg);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.app, rb.app);
+        assert_eq!(ra.ours.exec_time_s, rb.ours.exec_time_s);
+        assert_eq!(ra.baseline.exec_time_s, rb.baseline.exec_time_s);
+    }
+    // Sanity: the six/six scenario really feeds the experiment.
+    assert_eq!(six_six_split().training_apps().len(), 12);
+}

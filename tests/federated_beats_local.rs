@@ -1,0 +1,116 @@
+//! End-to-end check of the paper's central claim: with disjoint per-device
+//! workloads, federated training yields a policy that generalizes across
+//! applications better than local-only training (Fig. 3).
+//!
+//! Runs at reduced scale (fewer rounds than the paper's 100) to stay fast;
+//! the full-scale numbers live in EXPERIMENTS.md.
+
+use fedpower::core::experiment::{run_federated, run_local_only};
+use fedpower::core::scenario::table2_scenarios;
+use fedpower::core::ExperimentConfig;
+
+fn test_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.fedavg.rounds = 25;
+    cfg.eval_steps = 10;
+    cfg
+}
+
+#[test]
+fn federated_outperforms_local_on_scenario_2() {
+    // Scenario 2 (water-ns/water-sp vs ocean/radix) is the paper's most
+    // dramatic case: maximally different power signatures per device.
+    let scenario = &table2_scenarios()[1];
+    let cfg = test_cfg();
+    let local = run_local_only(scenario, &cfg);
+    let fed = run_federated(scenario, &cfg);
+
+    let fed_mean = fed
+        .series
+        .iter()
+        .map(|s| s.mean_reward())
+        .sum::<f64>()
+        / fed.series.len() as f64;
+    let local_mean = local
+        .series
+        .iter()
+        .map(|s| s.mean_reward())
+        .sum::<f64>()
+        / local.series.len() as f64;
+
+    assert!(
+        fed_mean > local_mean,
+        "federated ({fed_mean:.3}) must beat local-only ({local_mean:.3})"
+    );
+    assert!(
+        fed_mean > 0.3,
+        "federated policy should reach a solid reward, got {fed_mean:.3}"
+    );
+}
+
+#[test]
+fn at_least_one_local_policy_struggles_in_every_scenario() {
+    // "In each of the three scenarios, there is always one local-only
+    // policy that stands out negatively" (§IV-A).
+    let cfg = test_cfg();
+    for scenario in table2_scenarios() {
+        let local = run_local_only(&scenario, &cfg);
+        let fed = run_federated(&scenario, &cfg);
+        let worst_local = local
+            .series
+            .iter()
+            .map(|s| s.mean_reward())
+            .fold(f64::INFINITY, f64::min);
+        let fed_mean = fed
+            .series
+            .iter()
+            .map(|s| s.mean_reward())
+            .sum::<f64>()
+            / fed.series.len() as f64;
+        assert!(
+            worst_local < fed_mean - 0.05,
+            "{}: worst local {worst_local:.3} should clearly trail federated {fed_mean:.3}",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn local_policy_violates_constraint_on_foreign_apps() {
+    // The mechanism behind the collapse: a policy trained on low-power apps
+    // picks too-high frequencies on unseen apps, driving the reward
+    // negative (power violations). Check that the worst local dip is much
+    // deeper than anything the federated policy shows.
+    let scenario = &table2_scenarios()[1];
+    let cfg = test_cfg();
+    let local = run_local_only(scenario, &cfg);
+    let fed = run_federated(scenario, &cfg);
+    let worst_local_dip = local
+        .series
+        .iter()
+        .map(|s| s.min_reward())
+        .fold(f64::INFINITY, f64::min);
+    let worst_fed_dip = fed
+        .series
+        .iter()
+        .map(|s| s.min_reward())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst_local_dip < worst_fed_dip,
+        "local dips ({worst_local_dip:.3}) should undercut federated ({worst_fed_dip:.3})"
+    );
+    assert!(
+        worst_local_dip < 0.0,
+        "some local eval round must show constraint violations, got {worst_local_dip:.3}"
+    );
+}
+
+#[test]
+fn federated_policy_is_identical_across_devices_but_local_is_not() {
+    let scenario = &table2_scenarios()[0];
+    let cfg = test_cfg();
+    let fed = run_federated(scenario, &cfg);
+    assert_eq!(fed.agents[0].params(), fed.agents[1].params());
+    let local = run_local_only(scenario, &cfg);
+    assert_ne!(local.agents[0].params(), local.agents[1].params());
+}

@@ -1,0 +1,79 @@
+//! The point of the whole system: trained policies must respect the power
+//! constraint while extracting performance.
+
+use fedpower::core::eval::{run_to_completion, EvalOptions};
+use fedpower::core::experiment::run_federated_training_only;
+use fedpower::core::policy::GovernorPolicy;
+use fedpower::core::scenario::six_six_split;
+use fedpower::core::ExperimentConfig;
+use fedpower::baselines::PowersaveGovernor;
+use fedpower::sim::VfTable;
+use fedpower::workloads::AppId;
+
+fn trained_policy(cfg: &ExperimentConfig) -> fedpower::agent::PowerController {
+    run_federated_training_only(&six_six_split(), cfg)
+}
+
+fn cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper();
+    cfg.fedavg.rounds = 30;
+    cfg
+}
+
+#[test]
+fn trained_policy_keeps_mean_power_under_constraint_on_all_apps() {
+    let cfg = cfg();
+    let policy = trained_policy(&cfg);
+    let opts = EvalOptions::from_config(&cfg);
+    for (i, &app) in AppId::ALL.iter().enumerate() {
+        let mut p = policy.clone();
+        let m = run_to_completion(&mut p, app, &opts, 600 + i as u64);
+        assert!(
+            m.mean_power_w <= cfg.controller.reward.p_crit_w + 0.03,
+            "{app}: mean power {:.3} W busts the 0.6 W cap",
+            m.mean_power_w
+        );
+        assert!(m.completed, "{app} must finish within the step cap");
+    }
+}
+
+#[test]
+fn trained_policy_extracts_real_performance() {
+    // Staying under the cap is trivial at f_min; the policy must also beat
+    // the powersave governor by a wide margin on compute-heavy apps.
+    let cfg = cfg();
+    let policy = trained_policy(&cfg);
+    let opts = EvalOptions::from_config(&cfg);
+    for &app in &[AppId::Lu, AppId::WaterNs, AppId::Fft] {
+        let mut ours = policy.clone();
+        let fast = run_to_completion(&mut ours, app, &opts, 42);
+        let mut slow = GovernorPolicy::new(PowersaveGovernor, VfTable::jetson_nano());
+        let safe = run_to_completion(&mut slow, app, &opts, 42);
+        let speedup = safe.exec_time_s / fast.exec_time_s;
+        assert!(
+            speedup > 2.0,
+            "{app}: learned policy only {speedup:.2}x faster than powersave"
+        );
+    }
+}
+
+#[test]
+fn trained_policy_adapts_frequency_to_application_character() {
+    // Memory-bound apps draw less power per cycle, so the constrained-
+    // optimal level is higher: the learned policy should clock ocean/radix
+    // above lu/water-ns.
+    let cfg = cfg();
+    let policy = trained_policy(&cfg);
+    let opts = EvalOptions::from_config(&cfg);
+    let mean_level = |app: AppId| {
+        let mut p = policy.clone();
+        let ep = fedpower::core::eval::evaluate_on_app(&mut p, app, &opts, 77);
+        ep.trace.mean_level().expect("nonempty trace")
+    };
+    let compute = (mean_level(AppId::Lu) + mean_level(AppId::WaterNs)) / 2.0;
+    let memory = (mean_level(AppId::Ocean) + mean_level(AppId::Radix)) / 2.0;
+    assert!(
+        memory > compute + 1.0,
+        "memory-bound apps should clock higher: memory {memory:.1} vs compute {compute:.1}"
+    );
+}

@@ -1,0 +1,77 @@
+//! Federating across heterogeneous power modes — a step toward the paper's
+//! future-work item on devices of different architecture.
+//!
+//! Device A runs the Nano's full 10 W profile; device B is locked to the
+//! 5 W mode (CPU capped at ~918 MHz, level 8). The action space stays
+//! identical (required by FedAvg), but device B's environment clamps
+//! high-level actions to its cap — like the real `cpufreq` limit.
+
+use fedpower::agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower::core::eval::{evaluate_on_app, EvalOptions};
+use fedpower::federated::{AgentClient, FedAvgConfig, FederatedClient, Federation};
+use fedpower::sim::{FreqLevel, NoiseConfig, VfTable};
+use fedpower::workloads::AppId;
+
+fn federation_with_5w_device(rounds: u64) -> Federation<AgentClient> {
+    let full = DeviceEnvConfig::new(&[AppId::Lu, AppId::Fft]);
+    let mut capped = DeviceEnvConfig::new(&[AppId::Ocean, AppId::Radix]);
+    capped.level_cap = Some(VfTable::JETSON_NANO_5W_MAX_LEVEL);
+    let clients = vec![
+        AgentClient::new(0, ControllerConfig::paper(), full, 1),
+        AgentClient::new(1, ControllerConfig::paper(), capped, 2),
+    ];
+    let mut cfg = FedAvgConfig::paper();
+    cfg.rounds = rounds;
+    Federation::new(clients, cfg, 77)
+}
+
+#[test]
+fn capped_device_never_exceeds_its_power_mode() {
+    let mut env = {
+        let mut cfg = DeviceEnvConfig::new(&[AppId::Ocean]);
+        cfg.level_cap = Some(VfTable::JETSON_NANO_5W_MAX_LEVEL);
+        cfg.processor.noise = NoiseConfig::none();
+        fedpower::agent::DeviceEnv::new(cfg, 5)
+    };
+    for level in 0..15 {
+        let obs = env.execute(FreqLevel(level));
+        assert!(
+            obs.clean.freq_mhz <= 921.6 + 1e-9,
+            "level {level} escaped the 5 W cap: {} MHz",
+            obs.clean.freq_mhz
+        );
+    }
+}
+
+#[test]
+fn mixed_mode_federation_still_learns_a_usable_policy() {
+    let mut fed = federation_with_5w_device(20);
+    fed.run();
+    // Evaluate the shared policy on an uncapped device over unseen apps.
+    let mut policy = fed.clients()[0].agent().clone();
+    let opts = EvalOptions::default();
+    let mut total = 0.0;
+    for (i, app) in [AppId::Barnes, AppId::Cholesky].into_iter().enumerate() {
+        total += evaluate_on_app(&mut policy, app, &opts, 40 + i as u64).mean_reward;
+    }
+    let mean = total / 2.0;
+    assert!(
+        mean > 0.3,
+        "mixed-mode federation should still produce a working policy, got {mean:.3}"
+    );
+}
+
+#[test]
+fn both_devices_hold_identical_models_despite_different_caps() {
+    let mut fed = federation_with_5w_device(3);
+    fed.run();
+    assert_eq!(
+        fed.clients()[0].agent().params(),
+        fed.clients()[1].agent().params(),
+        "the cap lives in the environment, not the model — FedAvg still applies"
+    );
+    // Both trained the full schedule.
+    assert_eq!(fed.clients()[0].agent().steps(), 300);
+    assert_eq!(fed.clients()[1].agent().steps(), 300);
+    let _ = fed.clients_mut()[0].upload();
+}

@@ -1,0 +1,156 @@
+//! Property-based tests over the workspace's core invariants.
+
+use fedpower::agent::{ReplayBuffer, RewardConfig, SoftmaxPolicy, State, Transition};
+use fedpower::baselines::Discretizer;
+use fedpower::nn::{average_params, Activation, Mlp};
+use fedpower::sim::{PerfCounters, PerfModel, PhaseParams, PowerModel, VfTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq. (4) stays within [-1, 1] for any physical input and never
+    /// increases with power.
+    #[test]
+    fn reward_is_bounded_and_monotone(
+        f_norm in 0.0_f64..=1.0,
+        power in 0.0_f64..5.0,
+        delta in 0.0_f64..1.0,
+    ) {
+        let r = RewardConfig::paper();
+        let a = r.reward(f_norm, power);
+        prop_assert!((-1.0..=1.0).contains(&a));
+        let b = r.reward(f_norm, power + delta);
+        prop_assert!(b <= a + 1e-12, "reward rose with power: {a} -> {b}");
+    }
+
+    /// Softmax probabilities are a distribution for any finite logits and
+    /// positive temperature.
+    #[test]
+    fn softmax_is_a_distribution(
+        mu in prop::collection::vec(-10.0_f32..10.0, 1..20),
+        tau in 0.001_f64..50.0,
+    ) {
+        let p = SoftmaxPolicy::probabilities(&mu, tau);
+        prop_assert_eq!(p.len(), mu.len());
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    /// The greedy action always carries maximal predicted reward.
+    #[test]
+    fn greedy_is_argmax(mu in prop::collection::vec(-5.0_f32..5.0, 1..16)) {
+        let g = SoftmaxPolicy::greedy(&mu);
+        let max = mu.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(mu[g], max);
+    }
+
+    /// A replay buffer never exceeds capacity and keeps the most recent
+    /// item, for any push sequence.
+    #[test]
+    fn replay_buffer_respects_capacity(
+        capacity in 1_usize..64,
+        rewards in prop::collection::vec(-1.0_f32..1.0, 1..200),
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for (i, &r) in rewards.iter().enumerate() {
+            buf.push(Transition {
+                state: State::from_features([r; 5]),
+                action: i % 15,
+                reward: r,
+            });
+            prop_assert!(buf.len() <= capacity);
+        }
+        let last = *rewards.last().expect("nonempty");
+        prop_assert!(
+            buf.iter().any(|t| t.reward == last),
+            "most recent sample must be retained"
+        );
+    }
+
+    /// Parameter averaging is coordinate-wise bounded by the inputs.
+    #[test]
+    fn fedavg_mean_is_within_input_envelope(
+        a in prop::collection::vec(-10.0_f32..10.0, 1..100),
+        offsets in prop::collection::vec(-10.0_f32..10.0, 1..100),
+    ) {
+        let n = a.len().min(offsets.len());
+        let a = &a[..n];
+        let b: Vec<f32> = a.iter().zip(&offsets[..n]).map(|(x, o)| x + o).collect();
+        let avg = average_params(&[a, &b], &[0.5, 0.5]).expect("same shape");
+        for i in 0..n {
+            let lo = a[i].min(b[i]) - 1e-4;
+            let hi = a[i].max(b[i]) + 1e-4;
+            prop_assert!((lo..=hi).contains(&avg[i]));
+        }
+    }
+
+    /// The MLP forward pass is finite for any bounded input.
+    #[test]
+    fn mlp_forward_is_finite(
+        x in prop::collection::vec(-10.0_f32..10.0, 5),
+        seed in 0_u64..1000,
+    ) {
+        let net = Mlp::new(&[5, 32, 15], Activation::Relu, seed);
+        let y = net.forward(&x).expect("correct width");
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+    }
+
+    /// The performance model's IPS is nondecreasing in frequency for any
+    /// valid phase.
+    #[test]
+    fn ips_monotone_in_frequency(
+        base_cpi in 0.3_f64..3.0,
+        mpki in 0.0_f64..40.0,
+        f_lo in 0.1_f64..1.0,
+        df in 0.01_f64..0.5,
+    ) {
+        let phase = PhaseParams::new(base_cpi, mpki, mpki + 10.0, 1.0);
+        let m = PerfModel::jetson_nano();
+        prop_assert!(m.ips(&phase, f_lo + df) >= m.ips(&phase, f_lo));
+    }
+
+    /// Total power is positive and increases with the V/f level for any
+    /// valid phase.
+    #[test]
+    fn power_monotone_in_level(
+        base_cpi in 0.3_f64..3.0,
+        mpki in 0.0_f64..40.0,
+        activity in 0.5_f64..1.5,
+    ) {
+        let phase = PhaseParams::new(base_cpi, mpki, mpki + 10.0, activity);
+        let table = VfTable::jetson_nano();
+        let perf = PerfModel::jetson_nano();
+        let power = PowerModel::jetson_nano();
+        let mut prev = 0.0;
+        for level in table.levels() {
+            let f = table.freq_ghz(level).expect("valid");
+            let v = table.voltage(level).expect("valid");
+            let p = power.total_power(&phase, perf.ipc(&phase, f), v, f, 40.0);
+            prop_assert!(p > prev);
+            prev = p;
+        }
+    }
+
+    /// Discretization is total: any finite counter sample maps to a key
+    /// within the declared state space.
+    #[test]
+    fn discretizer_is_total(
+        freq in 0.0_f64..3000.0,
+        power in 0.0_f64..10.0,
+        ipc in 0.0_f64..5.0,
+        mpki in 0.0_f64..200.0,
+    ) {
+        let d = Discretizer::jetson_nano();
+        let key = d.key(&PerfCounters {
+            freq_mhz: freq,
+            power_w: power,
+            ipc,
+            mpki,
+            ..PerfCounters::default()
+        });
+        prop_assert!(key.f_bin < 15);
+        prop_assert!(key.p_bin < 15);
+        prop_assert!(key.ipc_bin < 8);
+        prop_assert!(key.mpki_bin < 6);
+    }
+}

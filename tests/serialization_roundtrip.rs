@@ -1,0 +1,72 @@
+//! Model-exchange integrity: what a device uploads is exactly what the
+//! server averages, and serialized policies behave identically after a
+//! round trip.
+
+use fedpower::agent::{ControllerConfig, PowerController, State};
+use fedpower::nn::{average_params_uniform, Mlp};
+use fedpower::sim::FreqLevel;
+
+#[test]
+fn serialized_policy_makes_identical_decisions() {
+    let mut agent = PowerController::new(ControllerConfig::paper(), 11);
+    // Train a little so the weights are non-trivial.
+    let s = State::from_features([0.4, 0.3, 0.6, 0.2, 0.1]);
+    for i in 0..500u64 {
+        agent.observe(&s, FreqLevel((i % 15) as usize), (i % 7) as f64 / 7.0);
+    }
+    let restored = Mlp::from_bytes(&agent.network().to_bytes()).expect("roundtrip");
+    for probe in 0..20 {
+        let f = probe as f32 / 20.0;
+        let state = [f, 0.5 - f / 2.0, 0.3, 0.1, f / 3.0];
+        assert_eq!(
+            agent.network().forward(&state).expect("valid input"),
+            restored.forward(&state).expect("valid input"),
+            "diverged on probe {probe}"
+        );
+    }
+}
+
+#[test]
+fn transfer_size_is_constant_and_paper_scale() {
+    let a = PowerController::new(ControllerConfig::paper(), 0);
+    let mut b = PowerController::new(ControllerConfig::paper(), 1);
+    assert_eq!(a.transfer_bytes(), b.transfer_bytes());
+    // ~2.8 kB per §IV-C.
+    let kb = a.transfer_bytes() as f64 / 1024.0;
+    assert!((2.5..3.0).contains(&kb), "{kb:.2} kB");
+    // Training does not change the payload size.
+    let s = State::from_features([0.5; 5]);
+    for _ in 0..100 {
+        b.observe(&s, FreqLevel(3), 0.5);
+    }
+    assert_eq!(a.transfer_bytes(), b.transfer_bytes());
+}
+
+#[test]
+fn averaging_uploaded_params_equals_manual_mean() {
+    let a = PowerController::new(ControllerConfig::paper(), 3);
+    let b = PowerController::new(ControllerConfig::paper(), 4);
+    let pa = a.params();
+    let pb = b.params();
+    let avg = average_params_uniform(&[&pa, &pb]).expect("same shape");
+    for i in 0..avg.len() {
+        let manual = (pa[i] + pb[i]) / 2.0;
+        assert!((avg[i] - manual).abs() < 1e-7, "index {i}");
+    }
+    // Installing the average into a third controller works.
+    let mut c = PowerController::new(ControllerConfig::paper(), 5);
+    c.set_params(&avg).expect("same architecture");
+    assert_eq!(c.params(), avg);
+}
+
+#[test]
+fn corrupted_uploads_are_rejected_not_absorbed() {
+    let agent = PowerController::new(ControllerConfig::paper(), 0);
+    let mut bytes = agent.network().to_bytes();
+    // Truncate mid-parameter.
+    bytes.truncate(bytes.len() - 2);
+    assert!(Mlp::from_bytes(&bytes).is_err());
+
+    let mut short = PowerController::new(ControllerConfig::paper(), 1);
+    assert!(short.set_params(&agent.params()[..100]).is_err());
+}
