@@ -99,7 +99,11 @@ impl ClusterEnv {
             })
             .collect();
         ClusterEnv {
-            cluster: ClusterProcessor::new(config.processor, config.num_cores, derive_seed(seed, 111)),
+            cluster: ClusterProcessor::new(
+                config.processor,
+                config.num_cores,
+                derive_seed(seed, 111),
+            ),
             sequencer,
             slots,
             interval_s: config.control_interval_s,

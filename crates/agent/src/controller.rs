@@ -119,7 +119,10 @@ impl PowerController {
     pub fn new(config: ControllerConfig, seed: u64) -> Self {
         assert!(config.num_actions > 0, "need at least one action");
         assert!(config.batch_size > 0, "batch size must be nonzero");
-        assert!(config.optim_interval > 0, "optimization interval must be nonzero");
+        assert!(
+            config.optim_interval > 0,
+            "optimization interval must be nonzero"
+        );
         let net = Mlp::new(
             &config.network_dims(),
             Activation::Relu,
@@ -191,9 +194,10 @@ impl PowerController {
 
     /// Computes the Eq. (4) reward for an observed counter sample.
     pub fn reward_for(&self, counters: &PerfCounters) -> f64 {
-        self.config
-            .reward
-            .reward(counters.freq_mhz / self.config.norm.f_max_mhz, counters.power_w)
+        self.config.reward.reward(
+            counters.freq_mhz / self.config.norm.f_max_mhz,
+            counters.power_w,
+        )
     }
 
     /// Featurizes raw counters with this controller's normalization.

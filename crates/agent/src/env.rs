@@ -52,7 +52,10 @@ impl DeviceEnvConfig {
     ///
     /// Panics if `models` is empty.
     pub fn from_models(models: Vec<AppModel>) -> Self {
-        assert!(!models.is_empty(), "a device needs at least one application");
+        assert!(
+            !models.is_empty(),
+            "a device needs at least one application"
+        );
         let apps = models.iter().map(AppModel::id).collect();
         DeviceEnvConfig {
             apps,
@@ -237,7 +240,11 @@ mod tests {
             "radix at max frequency should finish within 100 s"
         );
         assert_eq!(e.completed_apps(), completions);
-        assert_eq!(e.current_app(), AppId::Radix, "single-app device relaunches");
+        assert_eq!(
+            e.current_app(),
+            AppId::Radix,
+            "single-app device relaunches"
+        );
     }
 
     #[test]

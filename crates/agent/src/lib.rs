@@ -56,5 +56,5 @@ pub use env::{DeviceEnv, DeviceEnvConfig, StepObservation};
 pub use policy::{SoftmaxPolicy, TemperatureSchedule};
 pub use replay::{ReplayBuffer, Transition};
 pub use reward::RewardConfig;
-pub use td::{TdConfig, TdController, TdTransition};
 pub use state::{State, StateNorm};
+pub use td::{TdConfig, TdController, TdTransition};

@@ -74,10 +74,7 @@ impl SoftmaxPolicy {
         assert!(!mu.is_empty(), "need at least one action");
         assert!(tau > 0.0, "temperature must be positive, got {tau}");
         let max = mu.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
-        let exps: Vec<f64> = mu
-            .iter()
-            .map(|&m| ((m as f64 - max) / tau).exp())
-            .collect();
+        let exps: Vec<f64> = mu.iter().map(|&m| ((m as f64 - max) / tau).exp()).collect();
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
     }

@@ -149,7 +149,9 @@ mod tests {
     fn bootstrap_brackets_the_true_mean() {
         // 200 samples from a known distribution.
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<f64> = (0..200).map(|_| 3.0 + rng.random_range(-1.0..1.0)).collect();
+        let samples: Vec<f64> = (0..200)
+            .map(|_| 3.0 + rng.random_range(-1.0..1.0))
+            .collect();
         let ci = bootstrap_mean_ci(&samples, 2000, 0.95, 9);
         assert!(ci.lo < 3.0 && 3.0 < ci.hi, "CI [{}, {}]", ci.lo, ci.hi);
         assert!(ci.hi - ci.lo < 0.5, "CI should be tight for n=200");

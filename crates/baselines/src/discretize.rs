@@ -68,8 +68,8 @@ impl Discretizer {
             .clamp(0, self.f_bins as i64 - 1) as u8;
         let p_bin = ((c.power_w / self.p_bin_width_w).floor() as i64)
             .clamp(0, self.p_bins as i64 - 1) as u8;
-        let ipc_bin = ((c.ipc / self.ipc_bin_width).floor() as i64)
-            .clamp(0, self.ipc_bins as i64 - 1) as u8;
+        let ipc_bin =
+            ((c.ipc / self.ipc_bin_width).floor() as i64).clamp(0, self.ipc_bins as i64 - 1) as u8;
         let mpki_bin = self
             .mpki_edges
             .iter()

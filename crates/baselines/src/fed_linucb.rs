@@ -79,8 +79,10 @@ pub fn train_fed_linucb(
         .enumerate()
         .map(|(d, apps)| {
             let mut agent = LinUcbAgent::new(config);
-            let mut env =
-                DeviceEnv::new(DeviceEnvConfig::new(apps), derive_seed(seed, 600 + d as u64));
+            let mut env = DeviceEnv::new(
+                DeviceEnvConfig::new(apps),
+                derive_seed(seed, 600 + d as u64),
+            );
             let mut last: PerfCounters = env.bootstrap().counters;
             for _ in 0..steps_per_device {
                 let action = agent.select_action(&last);

@@ -47,7 +47,7 @@ mod profit;
 
 pub use collab::{CollabClient, CollabFederation, CollabServer, PolicyEntry};
 pub use discretize::{Discretizer, StateKey};
-pub use governor::{Governor, PerformanceGovernor, PowerCapGovernor, PowersaveGovernor};
 pub use fed_linucb::{train_fed_linucb, ArmUpdate, FedLinUcbServer};
+pub use governor::{Governor, PerformanceGovernor, PowerCapGovernor, PowersaveGovernor};
 pub use linucb::{LinUcbAgent, LinUcbConfig};
 pub use profit::{ProfitAgent, ProfitConfig};

@@ -201,7 +201,13 @@ impl LinUcbAgent {
     fn features(&self, c: &PerfCounters) -> [f64; D] {
         let state = State::from_counters(c, &self.config.norm);
         let f = state.features();
-        [f[0] as f64, f[1] as f64, f[2] as f64, f[3] as f64, f[4] as f64]
+        [
+            f[0] as f64,
+            f[1] as f64,
+            f[2] as f64,
+            f[3] as f64,
+            f[4] as f64,
+        ]
     }
 
     /// The Eq. (4) reward (shared with the neural agent).
@@ -392,10 +398,7 @@ mod tests {
                     prod += a[i][k] * a_row[j];
                 }
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (prod - expect).abs() < 1e-9,
-                    "A·A⁻¹[{i}][{j}] = {prod}"
-                );
+                assert!((prod - expect).abs() < 1e-9, "A·A⁻¹[{i}][{j}] = {prod}");
             }
         }
     }

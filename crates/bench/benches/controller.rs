@@ -47,7 +47,11 @@ fn bench_fedavg(c: &mut Criterion) {
     let mut server = FedAvgServer::new(net.params(), AggregationStrategy::Uniform);
     c.bench_function("server/fedavg_aggregate_8clients", |b| {
         b.iter(|| {
-            black_box(server.aggregate(black_box(&updates)).expect("valid updates"));
+            black_box(
+                server
+                    .aggregate(black_box(&updates))
+                    .expect("valid updates"),
+            );
         })
     });
 }

@@ -15,7 +15,10 @@ use fedpower_federated::AggregationStrategy;
 fn main() {
     let base = BenchArgs::from_env().config();
     let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2");
-    eprintln!("ablating aggregation on {} (R={})...", scenario.name, base.fedavg.rounds);
+    eprintln!(
+        "ablating aggregation on {} (R={})...",
+        scenario.name, base.fedavg.rounds
+    );
 
     type Tweak = Box<dyn Fn(&mut fedpower_core::ExperimentConfig)>;
     let variants: Vec<(&str, Tweak)> = vec![
@@ -65,7 +68,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["aggregation", "mean eval reward", "final-20 reward", "total traffic"],
+            &[
+                "aggregation",
+                "mean eval reward",
+                "final-20 reward",
+                "total traffic"
+            ],
             &rows,
         )
     );

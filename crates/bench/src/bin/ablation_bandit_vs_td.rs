@@ -18,7 +18,11 @@ use fedpower_federated::{FedAvgConfig, Federation, TdClient};
 use fedpower_sim::rng::derive_seed;
 use fedpower_workloads::AppId;
 
-fn train_td(gamma: f64, cfg: &ExperimentConfig, fedavg: FedAvgConfig) -> fedpower_agent::TdController {
+fn train_td(
+    gamma: f64,
+    cfg: &ExperimentConfig,
+    fedavg: FedAvgConfig,
+) -> fedpower_agent::TdController {
     let scenario = &table2_scenarios()[1];
     let clients: Vec<TdClient> = scenario
         .devices()

@@ -1,8 +1,10 @@
 //! **Ablation: byzantine robustness.** The paper's unweighted FedAvg
 //! averages whatever clients upload; a single malicious participant can
 //! poison the global DVFS policy (and with it, every device's power
-//! behaviour). This binary injects a model-poisoning client and compares
-//! plain averaging against the robust aggregation rules.
+//! behaviour). This binary injects a model-poisoning client — via the
+//! federation's fault layer ([`FaultPlan::poison`] driving a
+//! [`FaultyClient`]) — and compares plain averaging against the robust
+//! aggregation rules.
 //!
 //! ```text
 //! cargo run --release -p fedpower-bench --bin ablation_byzantine [--quick]
@@ -13,77 +15,14 @@ use fedpower_bench::BenchArgs;
 use fedpower_core::eval::{evaluate_on_app, EvalOptions};
 use fedpower_core::report::markdown_table;
 use fedpower_federated::{
-    AgentClient, AggregationStrategy, FedAvgConfig, FederatedClient, Federation, ModelUpdate,
+    AgentClient, AggregationStrategy, FaultPlan, FaultyClient, FedAvgConfig, Federation,
 };
 use fedpower_workloads::AppId;
 
-/// A client that trains honestly but uploads amplified garbage — the
-/// classic model-poisoning attack.
-struct PoisonClient {
-    inner: AgentClient,
-    amplification: f32,
-}
-
-impl FederatedClient for PoisonClient {
-    fn id(&self) -> usize {
-        self.inner.id()
-    }
-    fn train_round(&mut self, steps: u64) {
-        self.inner.train_round(steps);
-    }
-    fn upload(&mut self) -> ModelUpdate {
-        let mut update = self.inner.upload();
-        for p in &mut update.params {
-            *p = -*p * self.amplification;
-        }
-        update
-    }
-    fn download(&mut self, global: &[f32]) {
-        self.inner.download(global);
-    }
-    fn transfer_bytes(&self) -> usize {
-        self.inner.transfer_bytes()
-    }
-}
-
-/// Honest client or attacker, so one federation can mix both.
-enum Client {
-    Honest(AgentClient),
-    Poison(PoisonClient),
-}
-
-impl FederatedClient for Client {
-    fn id(&self) -> usize {
-        match self {
-            Client::Honest(c) => c.id(),
-            Client::Poison(c) => c.id(),
-        }
-    }
-    fn train_round(&mut self, steps: u64) {
-        match self {
-            Client::Honest(c) => c.train_round(steps),
-            Client::Poison(c) => c.train_round(steps),
-        }
-    }
-    fn upload(&mut self) -> ModelUpdate {
-        match self {
-            Client::Honest(c) => c.upload(),
-            Client::Poison(c) => c.upload(),
-        }
-    }
-    fn download(&mut self, global: &[f32]) {
-        match self {
-            Client::Honest(c) => c.download(global),
-            Client::Poison(c) => c.download(global),
-        }
-    }
-    fn transfer_bytes(&self) -> usize {
-        match self {
-            Client::Honest(c) => c.transfer_bytes(),
-            Client::Poison(c) => c.transfer_bytes(),
-        }
-    }
-}
+/// The classic model-poisoning attack: the update's direction is flipped
+/// and amplified (`θ ← −10·θ`), expressed as an `Amplify(−10)` corruption
+/// scheduled for every round.
+const POISON_FACTOR: f32 = -10.0;
 
 fn run(strategy: AggregationStrategy, with_attacker: bool, rounds: u64) -> f64 {
     let apps: [&[AppId]; 4] = [
@@ -92,29 +31,33 @@ fn run(strategy: AggregationStrategy, with_attacker: bool, rounds: u64) -> f64 {
         &[AppId::Barnes, AppId::Cholesky],
         &[AppId::WaterNs, AppId::Volrend],
     ];
-    let mut clients: Vec<Client> = apps
+    let mut agents: Vec<AgentClient> = apps
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            Client::Honest(AgentClient::new(
+            AgentClient::new(
                 i,
                 ControllerConfig::paper(),
                 DeviceEnvConfig::new(a),
                 i as u64 + 1,
-            ))
+            )
         })
         .collect();
-    if with_attacker {
-        clients.push(Client::Poison(PoisonClient {
-            inner: AgentClient::new(
-                4,
-                ControllerConfig::paper(),
-                DeviceEnvConfig::new(&[AppId::Fmm]),
-                5,
-            ),
-            amplification: 10.0,
-        }));
-    }
+    let plan = if with_attacker {
+        agents.push(AgentClient::new(
+            4,
+            ControllerConfig::paper(),
+            DeviceEnvConfig::new(&[AppId::Fmm]),
+            5,
+        ));
+        FaultPlan::poison(4, rounds, POISON_FACTOR)
+    } else {
+        FaultPlan::none()
+    };
+    let clients: Vec<FaultyClient<AgentClient>> = agents
+        .into_iter()
+        .map(|a| FaultyClient::new(a, &plan))
+        .collect();
     let mut cfg = FedAvgConfig::paper();
     cfg.strategy = strategy;
     cfg.rounds = rounds;
@@ -122,10 +65,7 @@ fn run(strategy: AggregationStrategy, with_attacker: bool, rounds: u64) -> f64 {
     fed.run();
 
     // Evaluate the resulting global policy from an honest client's view.
-    let policy = match &fed.clients()[0] {
-        Client::Honest(c) => c.agent().clone(),
-        Client::Poison(_) => unreachable!("client 0 is honest"),
-    };
+    let policy = fed.clients()[0].inner().agent().clone();
     let opts = EvalOptions::default();
     [AppId::Fft, AppId::Ocean, AppId::Cholesky]
         .iter()

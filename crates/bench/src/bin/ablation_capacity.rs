@@ -15,7 +15,10 @@ use fedpower_core::scenario::table2_scenarios;
 fn main() {
     let base = BenchArgs::from_env().config();
     let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2");
-    eprintln!("ablating capacity on {} (R={})...", scenario.name, base.fedavg.rounds);
+    eprintln!(
+        "ablating capacity on {} (R={})...",
+        scenario.name, base.fedavg.rounds
+    );
 
     let mut rows = Vec::new();
     let mut run = |name: String, cfg: fedpower_core::ExperimentConfig| {

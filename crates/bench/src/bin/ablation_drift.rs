@@ -42,7 +42,9 @@ fn eval_drifted(
     for _ in 0..opts.steps {
         let level = policy.decide(&last);
         let obs = env.execute(level);
-        reward_sum += opts.reward.reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
+        reward_sum += opts
+            .reward
+            .reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
         power_sum += obs.clean.power_w;
         if obs.clean.power_w > opts.reward.p_crit_w {
             violations += 1;
@@ -56,7 +58,10 @@ fn eval_drifted(
 fn main() {
     let mut cfg = BenchArgs::from_env().config();
     cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
-    eprintln!("training on the pristine catalog ({} rounds)...", cfg.fedavg.rounds);
+    eprintln!(
+        "training on the pristine catalog ({} rounds)...",
+        cfg.fedavg.rounds
+    );
     let policy = run_federated_training_only(&six_six_split(), &cfg);
     let opts = EvalOptions::from_config(&cfg);
 
@@ -93,7 +98,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["deployment drift", "mean reward", "mean power [W]", "violations"],
+            &[
+                "deployment drift",
+                "mean reward",
+                "mean power [W]",
+                "violations"
+            ],
             &rows,
         )
     );

@@ -22,11 +22,26 @@ fn main() {
     );
 
     let schedules = [
-        ("paper (0.9 -> 0.01, decay 5e-4)", TemperatureSchedule::paper()),
-        ("fast decay (5e-3)", TemperatureSchedule::new(0.9, 0.01, 5e-3)),
-        ("slow decay (5e-5)", TemperatureSchedule::new(0.9, 0.01, 5e-5)),
-        ("fixed hot (tau = 0.9)", TemperatureSchedule::new(0.9, 0.9, 0.0)),
-        ("fixed cold (tau = 0.05)", TemperatureSchedule::new(0.05, 0.05, 0.0)),
+        (
+            "paper (0.9 -> 0.01, decay 5e-4)",
+            TemperatureSchedule::paper(),
+        ),
+        (
+            "fast decay (5e-3)",
+            TemperatureSchedule::new(0.9, 0.01, 5e-3),
+        ),
+        (
+            "slow decay (5e-5)",
+            TemperatureSchedule::new(0.9, 0.01, 5e-5),
+        ),
+        (
+            "fixed hot (tau = 0.9)",
+            TemperatureSchedule::new(0.9, 0.9, 0.0),
+        ),
+        (
+            "fixed cold (tau = 0.05)",
+            TemperatureSchedule::new(0.05, 0.05, 0.0),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -50,10 +65,7 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(
-            &["schedule", "mean eval reward", "final-20 reward"],
-            &rows
-        )
+        markdown_table(&["schedule", "mean eval reward", "final-20 reward"], &rows)
     );
     println!(
         "expected: annealed schedules dominate; a permanently hot policy keeps paying \

@@ -64,7 +64,13 @@ fn main() {
     }
 
     let opts = EvalOptions::from_config(&cfg);
-    let eval_apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Raytrace, AppId::Cholesky];
+    let eval_apps = [
+        AppId::Fft,
+        AppId::Lu,
+        AppId::Ocean,
+        AppId::Raytrace,
+        AppId::Cholesky,
+    ];
     let mut rows = Vec::new();
     let mut measure = |label: &str, policy: &mut dyn DvfsPolicy, params: String| {
         let mut reward = 0.0;
@@ -85,14 +91,19 @@ fn main() {
 
     // Federated linear: two devices with disjoint halves, merged *exactly*
     // via summed sufficient statistics (no averaging heuristic).
-    let halves: Vec<Vec<AppId>> = vec![
-        AppId::ALL[..6].to_vec(),
-        AppId::ALL[6..].to_vec(),
-    ];
+    let halves: Vec<Vec<AppId>> = vec![AppId::ALL[..6].to_vec(), AppId::ALL[6..].to_vec()];
     let fed_linear = train_fed_linucb(LinUcbConfig::paper(), &halves, steps / 2, 11);
 
-    measure("neural MLP (paper)", &mut neural.clone(), "687 weights".into());
-    measure("linear (LinUCB)", &mut linear.clone(), format!("{} weights", 15 * 5));
+    measure(
+        "neural MLP (paper)",
+        &mut neural.clone(),
+        "687 weights".into(),
+    );
+    measure(
+        "linear (LinUCB)",
+        &mut linear.clone(),
+        format!("{} weights", 15 * 5),
+    );
     measure(
         "federated linear (exact merge)",
         &mut fed_linear.clone(),

@@ -15,7 +15,10 @@ use fedpower_core::scenario::table2_scenarios;
 fn main() {
     let base = BenchArgs::from_env().config();
     let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2");
-    eprintln!("ablating update noise on {} (R={})...", scenario.name, base.fedavg.rounds);
+    eprintln!(
+        "ablating update noise on {} (R={})...",
+        scenario.name, base.fedavg.rounds
+    );
 
     let mut rows = Vec::new();
     for sigma in [0.0_f32, 0.001, 0.01, 0.05, 0.2] {

@@ -24,9 +24,7 @@ fn mean_reward(
 ) -> f64 {
     apps.iter()
         .enumerate()
-        .map(|(i, &app)| {
-            evaluate_on_app(policy, app, opts, seed_base + i as u64).mean_reward
-        })
+        .map(|(i, &app)| evaluate_on_app(policy, app, opts, seed_base + i as u64).mean_reward)
         .sum::<f64>()
         / apps.len() as f64
 }

@@ -45,7 +45,9 @@ fn eval_model(
         }
         prev_level = Some(level);
         let obs = env.execute(level);
-        reward += opts.reward.reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
+        reward += opts
+            .reward
+            .reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
         last = obs.counters;
     }
     (reward / steps as f64, switches as f64 / steps as f64)
@@ -54,7 +56,10 @@ fn eval_model(
 fn main() {
     let mut cfg = BenchArgs::from_env().config();
     cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
-    eprintln!("training on the sequential catalog ({} rounds)...", cfg.fedavg.rounds);
+    eprintln!(
+        "training on the sequential catalog ({} rounds)...",
+        cfg.fedavg.rounds
+    );
     let policy = run_federated_training_only(&six_six_split(), &cfg);
     let opts = EvalOptions::from_config(&cfg);
 
@@ -68,8 +73,7 @@ fn main() {
     let mut rows = Vec::new();
     for (i, &(app, iterations)) in apps.iter().enumerate() {
         let seed = 700 + i as u64;
-        let (seq_reward, seq_switch) =
-            eval_model(&policy, catalog::model(app), &opts, seed);
+        let (seq_reward, seq_switch) = eval_model(&policy, catalog::model(app), &opts, seed);
         let (loop_reward, loop_switch) = eval_model(
             &policy,
             catalog::model(app).with_iterations(iterations),

@@ -60,7 +60,10 @@ fn main() {
                     "local-only".into(),
                     format!("{:.3}", local.summary.mean),
                     format!("{:.3}", local.summary.std),
-                    format!("[{:.3}, {:.3}]", local.summary.ci95_lo, local.summary.ci95_hi),
+                    format!(
+                        "[{:.3}, {:.3}]",
+                        local.summary.ci95_lo, local.summary.ci95_hi
+                    ),
                 ],
             ],
         )

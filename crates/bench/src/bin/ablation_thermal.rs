@@ -114,7 +114,10 @@ fn run_completion_thermal(
 fn main() {
     let mut cfg = BenchArgs::from_env().config();
     cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
-    eprintln!("thermal ablation ({} rounds per variant)...", cfg.fedavg.rounds);
+    eprintln!(
+        "thermal ablation ({} rounds per variant)...",
+        cfg.fedavg.rounds
+    );
 
     let mut rows = Vec::new();
     for (name, train_thermal, eval_thermal) in [
@@ -134,7 +137,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["variant", "mean exec time [s]", "mean power [W]", "violations"],
+            &[
+                "variant",
+                "mean exec time [s]",
+                "mean power [W]",
+                "violations"
+            ],
             &rows,
         )
     );

@@ -40,7 +40,15 @@ fn main() {
     eprintln!("shape checks (cf. Fig. 2):");
     let r_max_low = reward.reward(1.0, 0.55);
     let r_min_low = reward.reward(102.0 / f_max, 0.55);
-    eprintln!("  below P_crit, reward ranks by frequency: f_max={r_max_low:.2} > f_min={r_min_low:.2}");
-    eprintln!("  zero crossing at P_crit+k_offset: r(1.0, 0.65) = {:.4}", reward.reward(1.0, 0.65));
-    eprintln!("  saturation at P_crit+2k: r(1.0, 0.70) = {:.2}", reward.reward(1.0, 0.70));
+    eprintln!(
+        "  below P_crit, reward ranks by frequency: f_max={r_max_low:.2} > f_min={r_min_low:.2}"
+    );
+    eprintln!(
+        "  zero crossing at P_crit+k_offset: r(1.0, 0.65) = {:.4}",
+        reward.reward(1.0, 0.65)
+    );
+    eprintln!(
+        "  saturation at P_crit+2k: r(1.0, 0.70) = {:.2}",
+        reward.reward(1.0, 0.70)
+    );
 }

@@ -45,10 +45,10 @@ fn main() {
                 format!("{:.3}", s.tail_mean_reward(20)),
             ]);
         }
-        let fed_mean = fed.series.iter().map(|s| s.mean_reward()).sum::<f64>()
-            / fed.series.len() as f64;
-        let local_mean = local.series.iter().map(|s| s.mean_reward()).sum::<f64>()
-            / local.series.len() as f64;
+        let fed_mean =
+            fed.series.iter().map(|s| s.mean_reward()).sum::<f64>() / fed.series.len() as f64;
+        let local_mean =
+            local.series.iter().map(|s| s.mean_reward()).sum::<f64>() / local.series.len() as f64;
         fed_mean_total += fed_mean;
         local_mean_total += local_mean;
         n += 1.0;
@@ -57,7 +57,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["scenario", "policy", "mean reward", "min reward", "final-20 mean"],
+            &[
+                "scenario",
+                "policy",
+                "mean reward",
+                "min reward",
+                "final-20 mean"
+            ],
             &summary_rows,
         )
     );

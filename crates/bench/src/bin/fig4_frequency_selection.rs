@@ -22,14 +22,19 @@ use fedpower_core::scenario::table2_scenarios;
 
 fn main() {
     let cfg = BenchArgs::from_env().config();
-    let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2 exists");
+    let scenario = table2_scenarios()
+        .into_iter()
+        .nth(1)
+        .expect("scenario 2 exists");
     eprintln!("running {} (R={})...", scenario.name, cfg.fedavg.rounds);
 
     let local = run_local_only(&scenario, &cfg);
     let fed = run_federated(&scenario, &cfg);
 
     println!("# mean V/f level index (0-14) selected during evaluation, per round");
-    println!("round,local-A_mean,local-A_std,local-B_mean,local-B_std,federated_mean,federated_std");
+    println!(
+        "round,local-A_mean,local-A_std,local-B_mean,local-B_std,federated_mean,federated_std"
+    );
     let rounds = fed.series[0].points.len();
     for i in 0..rounds {
         let la = &local.series[0].points[i];
@@ -37,7 +42,13 @@ fn main() {
         let f = &fed.series[0].points[i];
         println!(
             "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
-            la.round, la.mean_level, la.std_level, lb.mean_level, lb.std_level, f.mean_level, f.std_level
+            la.round,
+            la.mean_level,
+            la.std_level,
+            lb.mean_level,
+            lb.std_level,
+            f.mean_level,
+            f.std_level
         );
     }
 

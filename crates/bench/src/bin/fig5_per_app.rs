@@ -76,6 +76,8 @@ fn main() {
     );
     let p_crit = cfg.controller.reward.p_crit_w;
     let ours_ok = rows.iter().all(|r| r.ours.mean_power_w <= p_crit + 0.02);
-    let base_ok = rows.iter().all(|r| r.baseline.mean_power_w <= p_crit + 0.02);
+    let base_ok = rows
+        .iter()
+        .all(|r| r.baseline.mean_power_w <= p_crit + 0.02);
     println!("average power under constraint: ours {ours_ok}, baseline {base_ok}");
 }

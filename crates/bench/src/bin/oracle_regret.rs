@@ -47,7 +47,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["app", "learned reward", "oracle bound", "regret", "captured"],
+            &[
+                "app",
+                "learned reward",
+                "oracle bound",
+                "regret",
+                "captured"
+            ],
             &rows,
         )
     );

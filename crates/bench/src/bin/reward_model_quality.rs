@@ -53,7 +53,12 @@ fn main() {
         let m = RegressionMetrics::from_pairs(&predictions, &realized);
         rows.push(vec![
             app.to_string(),
-            if trained_apps.contains(&app) { "yes" } else { "no" }.into(),
+            if trained_apps.contains(&app) {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
             format!("{:.3}", m.mae),
             format!("{:.3}", m.rmse),
             format!(

@@ -65,8 +65,7 @@ fn main() {
                 .iter()
                 .enumerate()
                 .map(|(i, &app)| {
-                    evaluate_on_app(&mut policy, app, &opts, 50 + round * 7 + i as u64)
-                        .mean_reward
+                    evaluate_on_app(&mut policy, app, &opts, 50 + round * 7 + i as u64).mean_reward
                 })
                 .fold(f64::INFINITY, f64::min);
             if first_good_round.is_none() && reward > 0.35 {

@@ -57,10 +57,7 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(
-            &["Δ_DVFS [ms]", "mean eval reward", "violations"],
-            &rows
-        )
+        markdown_table(&["Δ_DVFS [ms]", "mean eval reward", "violations"], &rows)
     );
     println!(
         "note: per-step sample count is held at T = 100/round, so shorter intervals see \

@@ -17,24 +17,56 @@ fn main() {
     let c = cfg.controller;
 
     let rows = vec![
-        ("Learning Rate (alpha)", format!("{}", c.learning_rate), "0.005"),
-        ("Max. Temp. (tau_max)", format!("{}", c.temperature.tau_max), "0.9"),
-        ("Temp. Decay (tau_decay)", format!("{}", c.temperature.decay), "0.0005"),
-        ("Min. Temp. (tau_min)", format!("{}", c.temperature.tau_min), "0.01"),
-        ("Replay Capacity (C)", format!("{}", c.replay_capacity), "4000"),
+        (
+            "Learning Rate (alpha)",
+            format!("{}", c.learning_rate),
+            "0.005",
+        ),
+        (
+            "Max. Temp. (tau_max)",
+            format!("{}", c.temperature.tau_max),
+            "0.9",
+        ),
+        (
+            "Temp. Decay (tau_decay)",
+            format!("{}", c.temperature.decay),
+            "0.0005",
+        ),
+        (
+            "Min. Temp. (tau_min)",
+            format!("{}", c.temperature.tau_min),
+            "0.01",
+        ),
+        (
+            "Replay Capacity (C)",
+            format!("{}", c.replay_capacity),
+            "4000",
+        ),
         ("Batch Size (C_B)", format!("{}", c.batch_size), "128"),
         ("Optim. Intv. (H)", format!("{}", c.optim_interval), "20"),
         ("#Hidden Layers", format!("{}", c.hidden_layers), "1"),
         ("#Neurons/Layer", format!("{}", c.hidden_neurons), "32"),
-        ("Pow. Constr. [W] (P_crit)", format!("{}", c.reward.p_crit_w), "0.6"),
-        ("Pow. Offs. [W] (k_offset)", format!("{}", c.reward.k_offset_w), "0.05"),
+        (
+            "Pow. Constr. [W] (P_crit)",
+            format!("{}", c.reward.p_crit_w),
+            "0.6",
+        ),
+        (
+            "Pow. Offs. [W] (k_offset)",
+            format!("{}", c.reward.k_offset_w),
+            "0.05",
+        ),
         (
             "Ctrl. Intv. [ms] (Delta_DVFS)",
             format!("{}", cfg.control_interval_s * 1000.0),
             "500",
         ),
         ("#Rounds (R)", format!("{}", cfg.fedavg.rounds), "100"),
-        ("#Steps/Round (T)", format!("{}", cfg.fedavg.steps_per_round), "100"),
+        (
+            "#Steps/Round (T)",
+            format!("{}", cfg.fedavg.steps_per_round),
+            "100",
+        ),
     ];
 
     let mut all_match = true;
@@ -53,7 +85,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        markdown_table(&["Parameter", "default", "paper (Table I)", "check"], &table)
+        markdown_table(
+            &["Parameter", "default", "paper (Table I)", "check"],
+            &table
+        )
     );
     if all_match {
         println!("all {} parameters match Table I", rows.len());

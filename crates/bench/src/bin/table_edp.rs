@@ -21,14 +21,23 @@ use fedpower_workloads::AppId;
 fn main() {
     let mut cfg = BenchArgs::from_env().config();
     cfg.fedavg.rounds = cfg.fedavg.rounds.min(60);
-    eprintln!("training both learned methods ({} rounds)...", cfg.fedavg.rounds);
+    eprintln!(
+        "training both learned methods ({} rounds)...",
+        cfg.fedavg.rounds
+    );
     let scenario = six_six_split();
     let fed = run_federated_training_only(&scenario, &cfg);
     let collab = train_profit_collab(&scenario, &cfg);
     let opts = EvalOptions::from_config(&cfg);
     let table = VfTable::jetson_nano();
 
-    let apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Raytrace, AppId::Cholesky];
+    let apps = [
+        AppId::Fft,
+        AppId::Lu,
+        AppId::Ocean,
+        AppId::Raytrace,
+        AppId::Cholesky,
+    ];
     let mut rows = Vec::new();
     let mut measure = |label: &str, policy: &mut dyn DvfsPolicy| {
         let mut edp = 0.0;
@@ -67,7 +76,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["controller", "mean time [s]", "mean energy [J]", "mean EDP [J.s]"],
+            &[
+                "controller",
+                "mean time [s]",
+                "mean energy [J]",
+                "mean EDP [J.s]"
+            ],
             &rows,
         )
     );

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 use fedpower_core::ExperimentConfig;
+use fedpower_federated::FaultScenario;
 
 /// Command-line options shared by all bench binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,8 @@ pub struct BenchArgs {
     pub seed: Option<u64>,
     /// Scaled-down smoke run (`--quick`).
     pub quick: bool,
+    /// Fault scenario injected into federated runs (`--faults NAME`).
+    pub faults: Option<FaultScenario>,
 }
 
 impl BenchArgs {
@@ -51,6 +54,7 @@ impl BenchArgs {
             rounds: None,
             seed: None,
             quick: false,
+            faults: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -64,6 +68,15 @@ impl BenchArgs {
                     out.seed = Some(v.parse().map_err(|e| format!("bad --seed: {e}"))?);
                 }
                 "--quick" => out.quick = true,
+                "--faults" => {
+                    let v = iter.next().ok_or("--faults needs a value")?;
+                    out.faults = Some(FaultScenario::parse(&v).ok_or_else(|| {
+                        format!(
+                            "bad --faults: {v:?} (expected none, lossy-network, stragglers, \
+                             flaky-fleet, or chaos)"
+                        )
+                    })?);
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
@@ -77,7 +90,7 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: [--rounds N] [--seed S] [--quick]");
+                eprintln!("usage: [--rounds N] [--seed S] [--quick] [--faults SCENARIO]");
                 std::process::exit(2);
             }
         }
@@ -95,6 +108,9 @@ impl BenchArgs {
         }
         if let Some(seed) = self.seed {
             cfg.seed = seed;
+        }
+        if let Some(faults) = self.faults {
+            cfg.fault_scenario = faults;
         }
         cfg
     }
@@ -129,5 +145,19 @@ mod tests {
         assert!(parse(&["--what"]).is_err());
         assert!(parse(&["--rounds"]).is_err());
         assert!(parse(&["--rounds", "x"]).is_err());
+    }
+
+    #[test]
+    fn faults_flag_selects_a_scenario() {
+        let args = parse(&["--faults", "lossy-network"]).unwrap();
+        assert_eq!(args.faults, Some(FaultScenario::LossyNetwork));
+        assert_eq!(args.config().fault_scenario, FaultScenario::LossyNetwork);
+        assert_eq!(
+            parse(&[]).unwrap().config().fault_scenario,
+            FaultScenario::None,
+            "default stays fault-free"
+        );
+        assert!(parse(&["--faults", "tsunami"]).is_err());
+        assert!(parse(&["--faults"]).is_err());
     }
 }

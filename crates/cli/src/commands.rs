@@ -132,7 +132,13 @@ fn fig5(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
     println!(
         "{}",
         markdown_table(
-            &["app", "exec ours [s]", "exec base [s]", "P ours [W]", "P base [W]"],
+            &[
+                "app",
+                "exec ours [s]",
+                "exec base [s]",
+                "P ours [W]",
+                "P base [W]"
+            ],
             &table,
         )
     );
@@ -171,7 +177,12 @@ fn pcrit(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
     println!(
         "{}",
         markdown_table(
-            &["P_crit [W]", "mean power [W]", "mean exec time [s]", "under budget"],
+            &[
+                "P_crit [W]",
+                "mean power [W]",
+                "mean exec time [s]",
+                "under budget"
+            ],
             &rows,
         )
     );
@@ -225,7 +236,13 @@ fn list_catalog() {
     println!(
         "{}",
         markdown_table(
-            &["app", "phases", "mean MPKI", "mean activity", "instructions"],
+            &[
+                "app",
+                "phases",
+                "mean MPKI",
+                "mean activity",
+                "instructions"
+            ],
             &rows,
         )
     );
@@ -237,7 +254,12 @@ mod tests {
     use crate::Invocation;
 
     fn quick_inv(cmd: &str, extra: &[&str]) -> Invocation {
-        let mut args = vec![cmd.to_string(), "--quick".into(), "--rounds".into(), "2".into()];
+        let mut args = vec![
+            cmd.to_string(),
+            "--quick".into(),
+            "--rounds".into(),
+            "2".into(),
+        ];
         args.extend(extra.iter().map(|s| s.to_string()));
         Invocation::parse(args).expect("valid test invocation")
     }

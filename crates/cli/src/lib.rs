@@ -143,9 +143,7 @@ impl Invocation {
                         .ok_or_else(|| ParseInvocationError("--out needs a directory".into()))?;
                     inv.out = Some(PathBuf::from(v));
                 }
-                other => {
-                    return Err(ParseInvocationError(format!("unknown argument: {other}")))
-                }
+                other => return Err(ParseInvocationError(format!("unknown argument: {other}"))),
             }
         }
         Ok(inv)

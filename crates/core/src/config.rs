@@ -2,7 +2,7 @@
 
 use fedpower_agent::ControllerConfig;
 use fedpower_baselines::ProfitConfig;
-use fedpower_federated::FedAvgConfig;
+use fedpower_federated::{FaultScenario, FedAvgConfig};
 use serde::{Deserialize, Serialize};
 
 /// Which applications each post-round evaluation covers.
@@ -47,6 +47,9 @@ pub struct ExperimentConfig {
     pub eval_max_steps: u64,
     /// Which applications each post-round evaluation covers.
     pub eval_protocol: EvalProtocol,
+    /// Fault model injected into [`crate::experiment::run_federated`]
+    /// (`None` reproduces the paper's reliable synchronous setting).
+    pub fault_scenario: FaultScenario,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
 }
@@ -62,6 +65,7 @@ impl ExperimentConfig {
             eval_steps: 30,
             eval_max_steps: 1200,
             eval_protocol: EvalProtocol::RoundRobin,
+            fault_scenario: FaultScenario::None,
             seed: 42,
         }
     }
@@ -125,5 +129,17 @@ mod tests {
         let b = ExperimentConfig::paper().with_seed(7);
         assert_eq!(a.controller, b.controller);
         assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn paper_setting_is_fault_free() {
+        assert_eq!(
+            ExperimentConfig::paper().fault_scenario,
+            FaultScenario::None
+        );
+        assert_eq!(
+            ExperimentConfig::smoke().fault_scenario,
+            FaultScenario::None
+        );
     }
 }

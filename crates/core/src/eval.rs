@@ -72,7 +72,9 @@ pub fn evaluate_on_app(
     for step in 0..opts.steps {
         let level = policy.decide(&last);
         let obs = env.execute(level);
-        let reward = opts.reward.reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
+        let reward = opts
+            .reward
+            .reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
         trace.push(TraceRecord {
             step,
             level,

@@ -4,11 +4,14 @@ use crate::config::{EvalProtocol, ExperimentConfig};
 use crate::eval::{evaluate_on_app, run_to_completion, CompletionMetrics, EvalOptions};
 use crate::metrics::{EvalPoint, EvalSeries, MethodSummary};
 use crate::policy::DvfsPolicy;
-use crate::scenario::{table2_scenarios, six_six_split, Scenario};
+use crate::scenario::{six_six_split, table2_scenarios, Scenario};
 use fedpower_agent::{DeviceEnvConfig, PowerController};
 use fedpower_baselines::CollabFederation;
-use fedpower_federated::{AgentClient, FederatedClient, Federation, TransportStats};
-use fedpower_sim::rng::derive_seed;
+use fedpower_federated::{
+    AgentClient, FaultPlan, FaultScenario, FaultSummary, FaultyClient, FederatedClient, Federation,
+    RoundReport, TransportStats,
+};
+use fedpower_sim::rng::{derive_seed, streams};
 use fedpower_workloads::AppId;
 use serde::{Deserialize, Serialize};
 
@@ -43,7 +46,10 @@ fn eval_point(
     let mut mean_level = 0.0;
     let mut std_level = 0.0;
     for (i, &app) in apps.iter().enumerate() {
-        let seed = derive_seed(cfg.seed, 9_000 + round * 17 + device as u64 + i as u64 * 131);
+        let seed = derive_seed(
+            cfg.seed,
+            9_000 + round * 17 + device as u64 + i as u64 * 131,
+        );
         let episode = evaluate_on_app(policy, app, &opts, seed);
         reward += episode.mean_reward;
         mean_level += episode.trace.mean_level().unwrap_or(0.0);
@@ -104,10 +110,44 @@ pub struct FederatedOutcome {
     pub transport: TransportStats,
     /// The final (global) controllers, one per device.
     pub agents: Vec<PowerController>,
+    /// Per-round orchestration reports (participation, fault accounting).
+    pub reports: Vec<RoundReport>,
+    /// Fault/resilience totals over the run (all zero when
+    /// [`ExperimentConfig::fault_scenario`] is `None`).
+    pub fault_summary: FaultSummary,
+}
+
+/// Runs the per-round train/evaluate loop shared by the reliable and
+/// fault-injected federated paths.
+fn federation_loop<C: FederatedClient>(
+    federation: &mut Federation<C>,
+    cfg: &ExperimentConfig,
+    series: &mut [EvalSeries],
+    agent_of: impl Fn(&C) -> &PowerController,
+) -> Vec<RoundReport> {
+    let mut reports = Vec::with_capacity(cfg.fedavg.rounds as usize);
+    for round in 1..=cfg.fedavg.rounds {
+        reports.push(federation.run_round());
+        for (d, device_series) in series.iter_mut().enumerate() {
+            // Post-round clients hold the freshly downloaded global model
+            // (or, under an injected download drop, their stale copy).
+            let mut snapshot = agent_of(&federation.clients()[d]).clone();
+            device_series
+                .points
+                .push(eval_point(&mut snapshot, round, d, cfg));
+        }
+    }
+    reports
 }
 
 /// Trains one shared policy across the scenario's devices with federated
 /// averaging, evaluating the global policy after every round.
+///
+/// When [`ExperimentConfig::fault_scenario`] is not `None`, every client
+/// is wrapped in a [`FaultyClient`] driven by a seed-deterministic
+/// [`FaultPlan`]; with `FaultScenario::None` the reliable code path is
+/// used unchanged, so fault-free runs are bit-identical to the paper
+/// reproduction.
 pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOutcome {
     let clients: Vec<AgentClient> = scenario
         .devices()
@@ -123,31 +163,47 @@ pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOu
         })
         .collect();
     let num_devices = clients.len();
-    let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
-
     let mut series: Vec<EvalSeries> = (0..num_devices)
         .map(|d| EvalSeries::new(format!("federated-{}", (b'A' + d as u8) as char)))
         .collect();
-    for round in 1..=cfg.fedavg.rounds {
-        federation.run_round();
-        for (d, device_series) in series.iter_mut().enumerate() {
-            // Post-round clients hold the freshly downloaded global model.
-            let mut snapshot = federation.clients()[d].agent().clone();
-            device_series
-                .points
-                .push(eval_point(&mut snapshot, round, d, cfg));
-        }
-    }
-    let transport = *federation.transport();
-    let agents = federation
-        .clients()
-        .iter()
-        .map(|c| c.agent().clone())
-        .collect();
+
+    let (reports, transport, agents) = if cfg.fault_scenario == FaultScenario::None {
+        let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
+        let reports = federation_loop(&mut federation, cfg, &mut series, |c| c.agent());
+        let agents = federation
+            .clients()
+            .iter()
+            .map(|c| c.agent().clone())
+            .collect();
+        (reports, *federation.transport(), agents)
+    } else {
+        let plan = FaultPlan::generate(
+            &cfg.fault_scenario.config(),
+            num_devices,
+            cfg.fedavg.rounds,
+            derive_seed(cfg.seed, streams::FAULTS),
+        );
+        let faulty: Vec<FaultyClient<AgentClient>> = clients
+            .into_iter()
+            .map(|c| FaultyClient::new(c, &plan))
+            .collect();
+        let mut federation = Federation::new(faulty, cfg.fedavg, derive_seed(cfg.seed, 30));
+        let reports = federation_loop(&mut federation, cfg, &mut series, |c| c.inner().agent());
+        let agents = federation
+            .clients()
+            .iter()
+            .map(|c| c.inner().agent().clone())
+            .collect();
+        (reports, *federation.transport(), agents)
+    };
+
+    let fault_summary = FaultSummary::from_reports(&reports);
     FederatedOutcome {
         series,
         transport,
         agents,
+        reports,
+        fault_summary,
     }
 }
 
@@ -208,10 +264,7 @@ pub fn run_table3(cfg: &ExperimentConfig) -> MethodComparison {
 
 /// Trains a federated policy without per-round evaluation (used where only
 /// the final policy matters) and returns the global controller.
-pub fn run_federated_training_only(
-    scenario: &Scenario,
-    cfg: &ExperimentConfig,
-) -> PowerController {
+pub fn run_federated_training_only(scenario: &Scenario, cfg: &ExperimentConfig) -> PowerController {
     let clients: Vec<AgentClient> = scenario
         .devices()
         .into_iter()
@@ -414,6 +467,34 @@ mod tests {
         for p in &out.personalized {
             assert_eq!(p.params(), out.global.params());
         }
+    }
+
+    #[test]
+    fn fault_free_runs_report_clean_rounds() {
+        let cfg = tiny_cfg();
+        let out = run_federated(&table2_scenarios()[0], &cfg);
+        assert_eq!(out.reports.len(), 3);
+        assert_eq!(out.fault_summary.rounds, 3);
+        assert_eq!(out.fault_summary.aggregated_rounds, 3);
+        assert_eq!(out.fault_summary.uploads_ok, 6);
+        assert_eq!(out.fault_summary.uploads_dropped, 0);
+        assert_eq!(out.fault_summary.updates_rejected, 0);
+    }
+
+    #[test]
+    fn chaotic_fault_scenario_still_completes_with_finite_policies() {
+        let mut cfg = tiny_cfg();
+        cfg.fedavg.rounds = 6;
+        cfg.fault_scenario = fedpower_federated::FaultScenario::Chaos;
+        let out = run_federated(&table2_scenarios()[0], &cfg);
+        assert_eq!(out.reports.len(), 6);
+        for agent in &out.agents {
+            assert!(
+                agent.params().iter().all(|p| p.is_finite()),
+                "faults must never leak NaN into a policy"
+            );
+        }
+        assert_eq!(out.series[0].points.len(), 6, "every round evaluates");
     }
 
     #[test]

@@ -54,13 +54,7 @@ impl EvalSeries {
 
     /// Mean reward over the last `n` rounds (converged performance).
     pub fn tail_mean_reward(&self, n: usize) -> f64 {
-        let tail: Vec<f64> = self
-            .points
-            .iter()
-            .rev()
-            .take(n)
-            .map(|p| p.reward)
-            .collect();
+        let tail: Vec<f64> = self.points.iter().rev().take(n).map(|p| p.reward).collect();
         if tail.is_empty() {
             return 0.0;
         }

@@ -68,10 +68,7 @@ impl Oracle {
     /// The oracle's expected per-interval reward for a phase (no noise).
     pub fn best_reward(&self, phase: &PhaseParams) -> f64 {
         let level = self.best_level(phase);
-        let f_norm = self
-            .table
-            .normalized_freq(level)
-            .expect("valid level");
+        let f_norm = self.table.normalized_freq(level).expect("valid level");
         let f = self.table.freq_ghz(level).expect("valid level");
         let v = self.table.voltage(level).expect("valid level");
         let p = self

@@ -93,7 +93,9 @@ impl<G: Governor> GovernorPolicy<G> {
 
 impl<G: Governor> DvfsPolicy for GovernorPolicy<G> {
     fn decide(&mut self, counters: &PerfCounters) -> FreqLevel {
-        self.current = self.governor.next_level(counters, self.current, &self.table);
+        self.current = self
+            .governor
+            .next_level(counters, self.current, &self.table);
         self.current
     }
 

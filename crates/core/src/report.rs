@@ -105,7 +105,9 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("app") && lines[0].contains("time"));
-        assert!(lines[1].starts_with("|-") || lines[1].starts_with("| -") || lines[1].contains("--"));
+        assert!(
+            lines[1].starts_with("|-") || lines[1].starts_with("| -") || lines[1].contains("--")
+        );
         assert!(lines[2].contains("fft"));
     }
 

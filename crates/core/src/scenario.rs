@@ -116,10 +116,7 @@ mod tests {
             vec![AppId::Ocean, AppId::Radix],
             "scenario 2 device B is the pathological ocean/radix pair"
         );
-        assert_eq!(
-            scenarios[2].device_a,
-            vec![AppId::Fmm, AppId::Radiosity]
-        );
+        assert_eq!(scenarios[2].device_a, vec![AppId::Fmm, AppId::Radiosity]);
     }
 
     #[test]

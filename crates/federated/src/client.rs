@@ -1,3 +1,4 @@
+use crate::error::FedError;
 use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State};
 use fedpower_sim::rng::derive_seed;
 
@@ -13,10 +14,25 @@ pub struct ModelUpdate {
     pub num_samples: u64,
 }
 
+/// A straggler's update that arrived one or more rounds after the round it
+/// was trained in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaleUpdate {
+    /// The late model update.
+    pub update: ModelUpdate,
+    /// The round the update was trained in (staleness = current − origin).
+    pub origin_round: u64,
+}
+
 /// A device participating in federated optimization.
 ///
 /// The trait is object-safe so heterogeneous client implementations (e.g.
 /// fault-injecting test doubles) can share a [`crate::Federation`].
+///
+/// The fallible/fault-aware methods (`begin_round`, `is_online`,
+/// `try_upload`, `try_download`, `take_stale`) have pass-through default
+/// implementations, so reliable clients only implement the original five
+/// methods; [`crate::FaultyClient`] overrides them to inject faults.
 pub trait FederatedClient: Send {
     /// The client's stable identity.
     fn id(&self) -> usize;
@@ -33,6 +49,43 @@ pub trait FederatedClient: Send {
 
     /// Serialized size of one upload in bytes (for transport accounting).
     fn transfer_bytes(&self) -> usize;
+
+    /// Notifies the client that federated round `round` (1-based) begins.
+    /// Fault-injecting clients use this to advance their fault schedule.
+    fn begin_round(&mut self, _round: u64) {}
+
+    /// Whether the device is reachable this round. Offline (crashed)
+    /// clients are skipped entirely: no training, uploads, or downloads.
+    fn is_online(&self) -> bool {
+        true
+    }
+
+    /// Attempts to upload this round's model update.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail with [`FedError::UploadDropped`] (lost in
+    /// transit, worth retrying), [`FedError::Straggling`] (will arrive late
+    /// via [`FederatedClient::take_stale`]), or [`FedError::ClientOffline`].
+    fn try_upload(&mut self) -> Result<ModelUpdate, FedError> {
+        Ok(self.upload())
+    }
+
+    /// Attempts to install the new global model.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail with [`FedError::DownloadDropped`] (the
+    /// client keeps its previous parameters) or [`FedError::ClientOffline`].
+    fn try_download(&mut self, global: &[f32]) -> Result<(), FedError> {
+        self.download(global);
+        Ok(())
+    }
+
+    /// Hands over a straggler update whose delay has elapsed, if any.
+    fn take_stale(&mut self) -> Option<StaleUpdate> {
+        None
+    }
 }
 
 /// The standard client: a [`PowerController`] attached to a simulated

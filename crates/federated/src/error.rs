@@ -11,6 +11,43 @@ pub enum FedError {
     Model(NnError),
     /// A configuration value was invalid.
     InvalidConfig(String),
+    /// A client's upload was lost in transit (retryable).
+    UploadDropped {
+        /// The affected client.
+        client_id: usize,
+    },
+    /// The broadcast to a client was lost; it keeps its previous model.
+    DownloadDropped {
+        /// The affected client.
+        client_id: usize,
+    },
+    /// A client is straggling: its update will arrive in a later round.
+    Straggling {
+        /// The affected client.
+        client_id: usize,
+        /// First round the late update can be collected.
+        ready_round: u64,
+    },
+    /// A client is offline (crashed) and unreachable this round.
+    ClientOffline {
+        /// The affected client.
+        client_id: usize,
+    },
+    /// An uploaded update failed admission checks (non-finite values or a
+    /// shape mismatch) and was excluded from aggregation.
+    CorruptUpdate {
+        /// The offending client.
+        client_id: usize,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// Too few updates arrived to aggregate safely; θ is kept unchanged.
+    QuorumNotMet {
+        /// Updates that actually arrived and passed admission.
+        received: usize,
+        /// The configured minimum quorum.
+        required: usize,
+    },
 }
 
 impl fmt::Display for FedError {
@@ -21,6 +58,29 @@ impl fmt::Display for FedError {
             FedError::InvalidConfig(msg) => {
                 write!(f, "invalid federation configuration: {msg}")
             }
+            FedError::UploadDropped { client_id } => {
+                write!(f, "client {client_id}: upload dropped in transit")
+            }
+            FedError::DownloadDropped { client_id } => {
+                write!(f, "client {client_id}: global-model download dropped")
+            }
+            FedError::Straggling {
+                client_id,
+                ready_round,
+            } => write!(
+                f,
+                "client {client_id}: straggling, update arrives in round {ready_round}"
+            ),
+            FedError::ClientOffline { client_id } => {
+                write!(f, "client {client_id}: offline (crashed)")
+            }
+            FedError::CorruptUpdate { client_id, reason } => {
+                write!(f, "client {client_id}: corrupt update rejected ({reason})")
+            }
+            FedError::QuorumNotMet { received, required } => write!(
+                f,
+                "quorum not met: {received} update(s) received, {required} required"
+            ),
         }
     }
 }
@@ -50,5 +110,50 @@ mod tests {
         assert!(e.to_string().contains("aggregation failed"));
         assert!(e.source().is_some());
         assert!(FedError::EmptyRound.source().is_none());
+    }
+
+    #[test]
+    fn fault_variants_render_their_context() {
+        let cases = [
+            (
+                FedError::UploadDropped { client_id: 3 }.to_string(),
+                "client 3",
+            ),
+            (
+                FedError::DownloadDropped { client_id: 1 }.to_string(),
+                "download dropped",
+            ),
+            (
+                FedError::Straggling {
+                    client_id: 2,
+                    ready_round: 9,
+                }
+                .to_string(),
+                "round 9",
+            ),
+            (
+                FedError::ClientOffline { client_id: 0 }.to_string(),
+                "offline",
+            ),
+            (
+                FedError::CorruptUpdate {
+                    client_id: 4,
+                    reason: "NaN at index 7".into(),
+                }
+                .to_string(),
+                "NaN at index 7",
+            ),
+            (
+                FedError::QuorumNotMet {
+                    received: 1,
+                    required: 3,
+                }
+                .to_string(),
+                "3 required",
+            ),
+        ];
+        for (rendered, needle) in cases {
+            assert!(rendered.contains(needle), "{rendered:?} missing {needle:?}");
+        }
     }
 }

@@ -1,0 +1,789 @@
+//! Fault injection for the federation: seed-deterministic fault plans and
+//! a decorator that makes any [`FederatedClient`] unreliable on schedule.
+//!
+//! Real edge fleets are not the paper's idealized synchronous ring: uploads
+//! are lost, devices straggle behind the round cadence, sensors glitch
+//! parameters into NaN, and nodes crash and rejoin. This module injects
+//! exactly those failures — reproducibly — so the orchestration layer's
+//! resilience (quorum, retries, staleness discounting, admission checks)
+//! can be tested instead of assumed.
+//!
+//! Design:
+//!
+//! * [`FaultPlan`] decides *ahead of time* which fault (if any) hits each
+//!   `(client, round)` cell. Plans are pure functions of
+//!   `(FaultConfig, clients, rounds, seed)`, so a run with faults is as
+//!   reproducible as one without. At most one fault occupies a cell, and a
+//!   crash occupies its whole outage exclusively — plan totals therefore
+//!   reconcile exactly against [`crate::RoundReport`] accounting.
+//! * [`FaultyClient`] wraps a reliable client and overrides the
+//!   fault-aware trait methods ([`FederatedClient::try_upload`] & co.) to
+//!   realize the plan. The inner client never knows.
+
+use crate::client::{FederatedClient, ModelUpdate, StaleUpdate};
+use crate::error::FedError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a corrupt update mangles its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Overwrites one parameter with NaN (a glitched sensor/serializer).
+    NaN,
+    /// Multiplies every parameter by a factor (a byzantine amplifier;
+    /// negative factors flip the update's direction).
+    Amplify(f32),
+}
+
+impl CorruptionKind {
+    /// Applies the corruption to a parameter vector in place.
+    pub fn apply(self, params: &mut [f32]) {
+        match self {
+            CorruptionKind::NaN => {
+                if let Some(p) = params.first_mut() {
+                    *p = f32::NAN;
+                }
+            }
+            CorruptionKind::Amplify(factor) => {
+                for p in params {
+                    *p *= factor;
+                }
+            }
+        }
+    }
+}
+
+/// One scheduled fault in a `(client, round)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The upload is lost in transit `attempts` times before succeeding
+    /// (whether it ever succeeds depends on the orchestrator's retry
+    /// budget).
+    UploadDrop {
+        /// Transmissions lost before one can succeed.
+        attempts: u64,
+    },
+    /// The global-model broadcast to this client is lost; it trains the
+    /// next round from its stale parameters.
+    DownloadDrop,
+    /// The client trains but its upload arrives `delay_rounds` rounds
+    /// late, to be applied with a staleness-discounted weight.
+    Straggle {
+        /// Rounds until the update surfaces.
+        delay_rounds: u64,
+    },
+    /// The upload arrives on time but mangled; server admission should
+    /// reject it.
+    Corrupt(CorruptionKind),
+    /// The device goes dark for `down_rounds` rounds (this one included),
+    /// then rejoins and receives the current global model.
+    Crash {
+        /// Rounds offline, starting with the faulted round.
+        down_rounds: u64,
+    },
+}
+
+/// Per-round fault probabilities and magnitude bounds.
+///
+/// Each `(client, round)` cell draws **one** categorical outcome, so the
+/// probabilities must sum to at most 1. Crash outages additionally block
+/// the affected client's following `down_rounds − 1` cells from drawing
+/// further faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability an upload is dropped in transit.
+    pub p_upload_drop: f64,
+    /// Probability the broadcast to a client is dropped.
+    pub p_download_drop: f64,
+    /// Probability a client straggles (its update arrives late).
+    pub p_straggle: f64,
+    /// Probability an upload arrives corrupted (NaN injection).
+    pub p_corrupt: f64,
+    /// Probability a client crashes (goes offline for several rounds).
+    pub p_crash: f64,
+    /// Most transmissions a dropped upload loses before one can succeed.
+    pub max_drop_attempts: u64,
+    /// Longest straggler delay in rounds.
+    pub max_straggle_rounds: u64,
+    /// Longest crash outage in rounds.
+    pub max_crash_rounds: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultConfig {
+            p_upload_drop: 0.0,
+            p_download_drop: 0.0,
+            p_straggle: 0.0,
+            p_corrupt: 0.0,
+            p_crash: 0.0,
+            max_drop_attempts: 1,
+            max_straggle_rounds: 1,
+            max_crash_rounds: 1,
+        }
+    }
+
+    /// A congested network: uploads and broadcasts get lost, nothing else.
+    pub fn lossy_network() -> Self {
+        FaultConfig {
+            p_upload_drop: 0.2,
+            p_download_drop: 0.1,
+            max_drop_attempts: 2,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Heterogeneous hardware: some clients run behind the round cadence.
+    pub fn stragglers() -> Self {
+        FaultConfig {
+            p_straggle: 0.25,
+            max_straggle_rounds: 2,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Devices crash and rejoin; occasional transit loss.
+    pub fn flaky_fleet() -> Self {
+        FaultConfig {
+            p_crash: 0.1,
+            max_crash_rounds: 2,
+            p_upload_drop: 0.1,
+            max_drop_attempts: 1,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Everything at once, at moderate rates.
+    pub fn chaos() -> Self {
+        FaultConfig {
+            p_upload_drop: 0.15,
+            p_download_drop: 0.1,
+            p_straggle: 0.1,
+            p_corrupt: 0.05,
+            p_crash: 0.05,
+            max_drop_attempts: 3,
+            max_straggle_rounds: 2,
+            max_crash_rounds: 2,
+        }
+    }
+
+    /// Sum of all fault probabilities.
+    pub fn total_probability(&self) -> f64 {
+        self.p_upload_drop + self.p_download_drop + self.p_straggle + self.p_corrupt + self.p_crash
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Named fault profiles, so experiment configs and CLI flags can select a
+/// fault model without spelling out probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// Fault-free (the paper's setting).
+    #[default]
+    None,
+    /// [`FaultConfig::lossy_network`].
+    LossyNetwork,
+    /// [`FaultConfig::stragglers`].
+    Stragglers,
+    /// [`FaultConfig::flaky_fleet`].
+    FlakyFleet,
+    /// [`FaultConfig::chaos`].
+    Chaos,
+}
+
+impl FaultScenario {
+    /// Every scenario, for iteration in benches and docs.
+    pub const ALL: [FaultScenario; 5] = [
+        FaultScenario::None,
+        FaultScenario::LossyNetwork,
+        FaultScenario::Stragglers,
+        FaultScenario::FlakyFleet,
+        FaultScenario::Chaos,
+    ];
+
+    /// The scenario's fault probabilities.
+    pub fn config(self) -> FaultConfig {
+        match self {
+            FaultScenario::None => FaultConfig::none(),
+            FaultScenario::LossyNetwork => FaultConfig::lossy_network(),
+            FaultScenario::Stragglers => FaultConfig::stragglers(),
+            FaultScenario::FlakyFleet => FaultConfig::flaky_fleet(),
+            FaultScenario::Chaos => FaultConfig::chaos(),
+        }
+    }
+
+    /// The scenario's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::None => "none",
+            FaultScenario::LossyNetwork => "lossy-network",
+            FaultScenario::Stragglers => "stragglers",
+            FaultScenario::FlakyFleet => "flaky-fleet",
+            FaultScenario::Chaos => "chaos",
+        }
+    }
+
+    /// Parses a CLI name (`none`, `lossy-network`, `stragglers`,
+    /// `flaky-fleet`, `chaos`).
+    pub fn parse(s: &str) -> Option<Self> {
+        FaultScenario::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// Totals of a [`FaultPlan`], for reconciling against round reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlanCounts {
+    /// Scheduled upload-drop faults.
+    pub upload_drops: usize,
+    /// Scheduled broadcast drops.
+    pub download_drops: usize,
+    /// Scheduled straggler episodes.
+    pub straggles: usize,
+    /// Scheduled corruptions.
+    pub corruptions: usize,
+    /// Scheduled crash episodes.
+    pub crashes: usize,
+    /// Total client-rounds spent offline across all crashes.
+    pub crash_rounds: u64,
+}
+
+/// A deterministic schedule of faults: at most one per `(client, round)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    cells: BTreeMap<(usize, u64), Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (fault-free run).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generates a plan for `num_clients` clients over rounds `1..=rounds`.
+    ///
+    /// The plan is a pure function of its arguments: the same seed always
+    /// yields the same schedule, independent of the federation's own RNG
+    /// streams. Each cell draws one categorical outcome; a crash blocks the
+    /// client's remaining outage rounds from drawing further faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config`'s probabilities sum above 1 or a magnitude bound
+    /// is zero.
+    pub fn generate(config: &FaultConfig, num_clients: usize, rounds: u64, seed: u64) -> Self {
+        assert!(
+            config.total_probability() <= 1.0,
+            "fault probabilities sum to {} > 1",
+            config.total_probability()
+        );
+        assert!(
+            config.max_drop_attempts > 0
+                && config.max_straggle_rounds > 0
+                && config.max_crash_rounds > 0,
+            "fault magnitude bounds must be at least 1"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cells = BTreeMap::new();
+        for client in 0..num_clients {
+            let mut round = 1;
+            while round <= rounds {
+                let draw: f64 = rng.random();
+                let mut threshold = config.p_crash;
+                if draw < threshold {
+                    let down_rounds = rng.random_range(1..=config.max_crash_rounds);
+                    cells.insert((client, round), Fault::Crash { down_rounds });
+                    round += down_rounds;
+                    continue;
+                }
+                threshold += config.p_straggle;
+                if draw < threshold {
+                    let delay_rounds = rng.random_range(1..=config.max_straggle_rounds);
+                    cells.insert((client, round), Fault::Straggle { delay_rounds });
+                } else {
+                    threshold += config.p_upload_drop;
+                    if draw < threshold {
+                        let attempts = rng.random_range(1..=config.max_drop_attempts);
+                        cells.insert((client, round), Fault::UploadDrop { attempts });
+                    } else {
+                        threshold += config.p_download_drop;
+                        if draw < threshold {
+                            cells.insert((client, round), Fault::DownloadDrop);
+                        } else if draw < threshold + config.p_corrupt {
+                            cells.insert((client, round), Fault::Corrupt(CorruptionKind::NaN));
+                        }
+                    }
+                }
+                round += 1;
+            }
+        }
+        FaultPlan { cells }
+    }
+
+    /// A byzantine plan: `client` uploads an `Amplify(factor)`-corrupted
+    /// update every round of `1..=rounds` (the poisoning ablation).
+    pub fn poison(client: usize, rounds: u64, factor: f32) -> Self {
+        let mut plan = FaultPlan::none();
+        for round in 1..=rounds {
+            plan.insert(
+                client,
+                round,
+                Fault::Corrupt(CorruptionKind::Amplify(factor)),
+            );
+        }
+        plan
+    }
+
+    /// Schedules `fault` for `client` in `round` (replacing any previous
+    /// fault in that cell).
+    pub fn insert(&mut self, client: usize, round: u64, fault: Fault) {
+        self.cells.insert((client, round), fault);
+    }
+
+    /// The fault scheduled for `client` in `round`, if any.
+    pub fn fault_at(&self, client: usize, round: u64) -> Option<Fault> {
+        self.cells.get(&(client, round)).copied()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over `((client, round), fault)` cells in deterministic
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, Fault)> + '_ {
+        self.cells.iter().map(|(&(c, r), &f)| (c, r, f))
+    }
+
+    /// Tallies the plan per fault kind.
+    pub fn counts(&self) -> PlanCounts {
+        let mut counts = PlanCounts::default();
+        for fault in self.cells.values() {
+            match fault {
+                Fault::UploadDrop { .. } => counts.upload_drops += 1,
+                Fault::DownloadDrop => counts.download_drops += 1,
+                Fault::Straggle { .. } => counts.straggles += 1,
+                Fault::Corrupt(_) => counts.corruptions += 1,
+                Fault::Crash { down_rounds } => {
+                    counts.crashes += 1;
+                    counts.crash_rounds += down_rounds;
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Wraps any [`FederatedClient`] and makes it fail on a [`FaultPlan`]'s
+/// schedule.
+///
+/// The wrapper realizes faults through the trait's fault-aware methods:
+/// the orchestrator sees dropped uploads, straggler errors, corrupt
+/// parameters, and offline rounds, while the inner client's training
+/// dynamics stay untouched.
+#[derive(Debug)]
+pub struct FaultyClient<C> {
+    inner: C,
+    faults: BTreeMap<u64, Fault>,
+    round: u64,
+    rejoin_round: u64,
+    pending_drop_attempts: u64,
+    stash: Option<(StaleUpdate, u64)>,
+}
+
+impl<C: FederatedClient> FaultyClient<C> {
+    /// Wraps `inner`, extracting its fault schedule from `plan` by client
+    /// id.
+    pub fn new(inner: C, plan: &FaultPlan) -> Self {
+        let id = inner.id();
+        let faults = plan
+            .cells
+            .iter()
+            .filter(|((c, _), _)| *c == id)
+            .map(|(&(_, r), &f)| (r, f))
+            .collect();
+        FaultyClient {
+            inner,
+            faults,
+            round: 0,
+            rejoin_round: 0,
+            pending_drop_attempts: 0,
+            stash: None,
+        }
+    }
+
+    /// Read access to the wrapped client.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped client.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner client.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
+    fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    fn train_round(&mut self, steps: u64) {
+        if self.is_online() {
+            self.inner.train_round(steps);
+        }
+    }
+
+    fn upload(&mut self) -> ModelUpdate {
+        self.inner.upload()
+    }
+
+    fn download(&mut self, global: &[f32]) {
+        self.inner.download(global);
+    }
+
+    fn transfer_bytes(&self) -> usize {
+        self.inner.transfer_bytes()
+    }
+
+    fn begin_round(&mut self, round: u64) {
+        self.round = round;
+        self.pending_drop_attempts = 0;
+        match self.faults.get(&round) {
+            Some(Fault::Crash { down_rounds }) => {
+                self.rejoin_round = round + down_rounds;
+            }
+            Some(Fault::UploadDrop { attempts }) => {
+                self.pending_drop_attempts = *attempts;
+            }
+            _ => {}
+        }
+        self.inner.begin_round(round);
+    }
+
+    fn is_online(&self) -> bool {
+        self.round >= self.rejoin_round
+    }
+
+    fn try_upload(&mut self) -> Result<ModelUpdate, FedError> {
+        let client_id = self.inner.id();
+        if !self.is_online() {
+            return Err(FedError::ClientOffline { client_id });
+        }
+        match self.faults.get(&self.round).copied() {
+            Some(Fault::Straggle { delay_rounds }) => {
+                let ready_round = self.round + delay_rounds;
+                if self.stash.is_none() {
+                    let update = self.inner.upload();
+                    self.stash = Some((
+                        StaleUpdate {
+                            update,
+                            origin_round: self.round,
+                        },
+                        ready_round,
+                    ));
+                }
+                Err(FedError::Straggling {
+                    client_id,
+                    ready_round,
+                })
+            }
+            Some(Fault::UploadDrop { .. }) if self.pending_drop_attempts > 0 => {
+                self.pending_drop_attempts -= 1;
+                Err(FedError::UploadDropped { client_id })
+            }
+            Some(Fault::Corrupt(kind)) => {
+                let mut update = self.inner.upload();
+                kind.apply(&mut update.params);
+                Ok(update)
+            }
+            _ => Ok(self.inner.upload()),
+        }
+    }
+
+    fn try_download(&mut self, global: &[f32]) -> Result<(), FedError> {
+        let client_id = self.inner.id();
+        if !self.is_online() {
+            return Err(FedError::ClientOffline { client_id });
+        }
+        if matches!(self.faults.get(&self.round), Some(Fault::DownloadDrop)) {
+            return Err(FedError::DownloadDropped { client_id });
+        }
+        self.inner.try_download(global)
+    }
+
+    fn take_stale(&mut self) -> Option<StaleUpdate> {
+        if !self.is_online() {
+            return None;
+        }
+        match &self.stash {
+            Some((_, ready_round)) if self.round >= *ready_round => {
+                self.stash.take().map(|(stale, _)| stale)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal deterministic client for decorator tests.
+    #[derive(Debug)]
+    struct Probe {
+        id: usize,
+        params: Vec<f32>,
+        trained: u64,
+    }
+
+    impl Probe {
+        fn new(id: usize) -> Self {
+            Probe {
+                id,
+                params: vec![1.0; 3],
+                trained: 0,
+            }
+        }
+    }
+
+    impl FederatedClient for Probe {
+        fn id(&self) -> usize {
+            self.id
+        }
+        fn train_round(&mut self, steps: u64) {
+            self.trained += steps;
+            for p in &mut self.params {
+                *p += 1.0;
+            }
+        }
+        fn upload(&mut self) -> ModelUpdate {
+            ModelUpdate {
+                client_id: self.id,
+                params: self.params.clone(),
+                num_samples: self.trained,
+            }
+        }
+        fn download(&mut self, global: &[f32]) {
+            self.params = global.to_vec();
+        }
+        fn transfer_bytes(&self) -> usize {
+            12
+        }
+    }
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let cfg = FaultConfig::chaos();
+        let a = FaultPlan::generate(&cfg, 8, 50, 7);
+        let b = FaultPlan::generate(&cfg, 8, 50, 7);
+        let c = FaultPlan::generate(&cfg, 8, 50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ at chaos rates");
+    }
+
+    #[test]
+    fn zero_probability_plan_is_empty() {
+        let plan = FaultPlan::generate(&FaultConfig::none(), 8, 100, 3);
+        assert!(plan.is_empty());
+        assert_eq!(plan.counts(), PlanCounts::default());
+    }
+
+    #[test]
+    fn chaos_plan_schedules_every_fault_kind() {
+        let plan = FaultPlan::generate(&FaultConfig::chaos(), 16, 200, 11);
+        let counts = plan.counts();
+        assert!(counts.upload_drops > 0, "{counts:?}");
+        assert!(counts.download_drops > 0, "{counts:?}");
+        assert!(counts.straggles > 0, "{counts:?}");
+        assert!(counts.corruptions > 0, "{counts:?}");
+        assert!(counts.crashes > 0, "{counts:?}");
+        assert!(counts.crash_rounds >= counts.crashes as u64);
+    }
+
+    #[test]
+    fn crash_outages_occupy_their_cells_exclusively() {
+        let plan = FaultPlan::generate(&FaultConfig::chaos(), 16, 200, 5);
+        for (client, round, fault) in plan.iter() {
+            if let Fault::Crash { down_rounds } = fault {
+                for later in round + 1..round + down_rounds {
+                    assert_eq!(
+                        plan.fault_at(client, later),
+                        None,
+                        "client {client} has a fault inside its outage"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rates_track_probabilities() {
+        let cfg = FaultConfig::lossy_network();
+        let plan = FaultPlan::generate(&cfg, 10, 1000, 13);
+        let counts = plan.counts();
+        let cells = 10.0 * 1000.0;
+        let drop_rate = counts.upload_drops as f64 / cells;
+        assert!(
+            (drop_rate - cfg.p_upload_drop).abs() < 0.03,
+            "upload-drop rate {drop_rate} far from {}",
+            cfg.p_upload_drop
+        );
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for scenario in FaultScenario::ALL {
+            assert_eq!(FaultScenario::parse(scenario.name()), Some(scenario));
+        }
+        assert_eq!(FaultScenario::parse("bogus"), None);
+        assert!(FaultScenario::None.config().total_probability() == 0.0);
+    }
+
+    #[test]
+    fn upload_drop_fails_exactly_attempts_times() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::UploadDrop { attempts: 2 });
+        let mut client = FaultyClient::new(Probe::new(0), &plan);
+        client.begin_round(1);
+        assert!(matches!(
+            client.try_upload(),
+            Err(FedError::UploadDropped { client_id: 0 })
+        ));
+        assert!(client.try_upload().is_err());
+        assert!(client.try_upload().is_ok(), "third attempt succeeds");
+        client.begin_round(2);
+        assert!(client.try_upload().is_ok(), "next round is clean");
+    }
+
+    #[test]
+    fn straggler_stashes_then_surfaces_its_update() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::Straggle { delay_rounds: 2 });
+        let mut client = FaultyClient::new(Probe::new(0), &plan);
+        client.begin_round(1);
+        client.train_round(10);
+        let err = client.try_upload().unwrap_err();
+        assert_eq!(
+            err,
+            FedError::Straggling {
+                client_id: 0,
+                ready_round: 3
+            }
+        );
+        client.begin_round(2);
+        assert_eq!(client.take_stale(), None, "not ready yet");
+        client.begin_round(3);
+        let stale = client.take_stale().expect("delay elapsed");
+        assert_eq!(stale.origin_round, 1);
+        assert_eq!(stale.update.params, vec![2.0; 3], "params as of round 1");
+        assert_eq!(client.take_stale(), None, "stash drains once");
+    }
+
+    #[test]
+    fn corruption_mangles_the_upload_not_the_client() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::Corrupt(CorruptionKind::NaN));
+        let mut client = FaultyClient::new(Probe::new(0), &plan);
+        client.begin_round(1);
+        let update = client.try_upload().unwrap();
+        assert!(update.params[0].is_nan());
+        assert!(
+            client.inner().params.iter().all(|p| p.is_finite()),
+            "inner client params stay clean"
+        );
+    }
+
+    #[test]
+    fn amplify_corruption_scales_parameters() {
+        let mut params = vec![1.0, -2.0];
+        CorruptionKind::Amplify(-10.0).apply(&mut params);
+        assert_eq!(params, vec![-10.0, 20.0]);
+    }
+
+    #[test]
+    fn crashed_client_is_offline_then_rejoins() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 2, Fault::Crash { down_rounds: 2 });
+        let mut client = FaultyClient::new(Probe::new(0), &plan);
+        client.begin_round(1);
+        assert!(client.is_online());
+        client.begin_round(2);
+        assert!(!client.is_online());
+        client.train_round(10);
+        assert_eq!(client.inner().trained, 0, "offline client does not train");
+        assert!(matches!(
+            client.try_upload(),
+            Err(FedError::ClientOffline { .. })
+        ));
+        assert!(client.try_download(&[5.0; 3]).is_err());
+        client.begin_round(3);
+        assert!(!client.is_online(), "outage lasts two rounds");
+        client.begin_round(4);
+        assert!(client.is_online(), "rejoined");
+        client.try_download(&[5.0; 3]).unwrap();
+        assert_eq!(client.inner().params, vec![5.0; 3]);
+    }
+
+    #[test]
+    fn download_drop_leaves_the_client_stale() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::DownloadDrop);
+        let mut client = FaultyClient::new(Probe::new(0), &plan);
+        client.begin_round(1);
+        let before = client.inner().params.clone();
+        assert!(matches!(
+            client.try_download(&[9.0; 3]),
+            Err(FedError::DownloadDropped { client_id: 0 })
+        ));
+        assert_eq!(client.inner().params, before);
+    }
+
+    #[test]
+    fn poison_plan_corrupts_one_client_every_round() {
+        let plan = FaultPlan::poison(4, 10, -10.0);
+        assert_eq!(plan.len(), 10);
+        for round in 1..=10 {
+            assert_eq!(
+                plan.fault_at(4, round),
+                Some(Fault::Corrupt(CorruptionKind::Amplify(-10.0)))
+            );
+            assert_eq!(plan.fault_at(0, round), None);
+        }
+    }
+
+    #[test]
+    fn plan_only_applies_to_matching_client_id() {
+        let mut plan = FaultPlan::none();
+        plan.insert(1, 1, Fault::DownloadDrop);
+        let mut unaffected = FaultyClient::new(Probe::new(0), &plan);
+        unaffected.begin_round(1);
+        assert!(unaffected.try_download(&[2.0; 3]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn overfull_probabilities_panic() {
+        let mut cfg = FaultConfig::chaos();
+        cfg.p_upload_drop = 0.9;
+        let _ = FaultPlan::generate(&cfg, 2, 2, 0);
+    }
+}

@@ -1,4 +1,5 @@
 use crate::client::{FederatedClient, ModelUpdate};
+use crate::error::FedError;
 use crate::server::{AggregationStrategy, FedAvgServer};
 use crate::transport::TransportStats;
 use fedpower_sim::rng::{derive_rng, streams};
@@ -6,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of the federated optimization (Algorithm 2 + extensions).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,11 +28,24 @@ pub struct FedAvgConfig {
     pub parallel: bool,
     /// FedAvgM server momentum β (0 disables it; paper: 0).
     pub server_momentum: f32,
+    /// Fewest admitted updates required to aggregate a round. When unmet,
+    /// the round is skipped: θ stays unchanged and clients resume from the
+    /// previous global model. Clamped to at least 1.
+    pub min_quorum: usize,
+    /// Retries the server grants a client whose upload was dropped in
+    /// transit before abandoning it for the round.
+    pub max_upload_retries: u64,
+    /// Per-round decay applied to straggler updates: an update arriving
+    /// `a` rounds late is weighted `staleness_decay^a` relative to fresh
+    /// ones. Must be in (0, 1].
+    pub staleness_decay: f32,
 }
 
 impl FedAvgConfig {
     /// The paper's configuration (Table I): R = 100, T = 100, unweighted
-    /// synchronous aggregation, full participation, no update noise.
+    /// synchronous aggregation, full participation, no update noise, and
+    /// default resilience settings (quorum 1, two upload retries, stale
+    /// updates at half weight per round of age).
     pub fn paper() -> Self {
         FedAvgConfig {
             rounds: 100,
@@ -40,6 +55,9 @@ impl FedAvgConfig {
             update_noise_sigma: 0.0,
             parallel: false,
             server_momentum: 0.0,
+            min_quorum: 1,
+            max_upload_retries: 2,
+            staleness_decay: 0.5,
         }
     }
 }
@@ -50,18 +68,93 @@ impl Default for FedAvgConfig {
     }
 }
 
-/// Summary of one federated round.
+/// Summary of one federated round, including full fault accounting: every
+/// selected client ends the round in exactly one disposition
+/// (`uploads_ok`, `updates_rejected`, `uploads_dropped`,
+/// `stragglers_started`, `offline`, or `train_panics`), so the counters
+/// reconcile against an injected [`crate::FaultPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// One-based round number.
     pub round: u64,
-    /// Number of clients that trained and uploaded this round.
+    /// Number of clients that completed local training this round.
     pub participants: usize,
-    /// Client drift: the mean L2 distance of the uploaded models from
+    /// Client drift: the mean L2 distance of the admitted models from
     /// their coordinate-wise mean. Large values signal heterogeneous
     /// local objectives — exactly the non-IID-ness federated averaging
     /// must absorb (and the quantity FedProx bounds).
     pub client_divergence: f32,
+    /// Fresh updates that arrived and passed admission.
+    pub uploads_ok: usize,
+    /// Straggler updates from earlier rounds applied (discounted) now.
+    pub stale_applied: usize,
+    /// Retry transmissions spent on dropped uploads.
+    pub upload_retries: u64,
+    /// Uploads abandoned after the retry budget ran out.
+    pub uploads_dropped: usize,
+    /// Broadcasts lost in transit (those clients keep their stale model).
+    pub download_drops: usize,
+    /// Arrived updates rejected by admission (non-finite or misshapen).
+    pub updates_rejected: usize,
+    /// Clients that started straggling: trained, but their update arrives
+    /// in a later round.
+    pub stragglers_started: usize,
+    /// Selected clients that were offline (crashed) this round.
+    pub offline: usize,
+    /// Clients whose local training panicked (excluded for the round).
+    pub train_panics: usize,
+    /// Whether the round aggregated (false ⇒ quorum unmet, θ unchanged).
+    pub aggregated: bool,
+}
+
+/// Fault/resilience totals over a whole federated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Rounds that met quorum and aggregated.
+    pub aggregated_rounds: usize,
+    /// Fresh updates admitted.
+    pub uploads_ok: usize,
+    /// Straggler updates applied with discounted weight.
+    pub stale_applied: usize,
+    /// Retry transmissions spent on dropped uploads.
+    pub upload_retries: u64,
+    /// Uploads abandoned after exhausting retries.
+    pub uploads_dropped: usize,
+    /// Broadcasts lost in transit.
+    pub download_drops: usize,
+    /// Updates rejected by admission.
+    pub updates_rejected: usize,
+    /// Straggler episodes started.
+    pub stragglers_started: usize,
+    /// Client-rounds spent offline.
+    pub offline: usize,
+    /// Local-training panics contained.
+    pub train_panics: usize,
+}
+
+impl FaultSummary {
+    /// Tallies the reports of a run.
+    pub fn from_reports(reports: &[RoundReport]) -> Self {
+        let mut s = FaultSummary {
+            rounds: reports.len(),
+            ..FaultSummary::default()
+        };
+        for r in reports {
+            s.aggregated_rounds += r.aggregated as usize;
+            s.uploads_ok += r.uploads_ok;
+            s.stale_applied += r.stale_applied;
+            s.upload_retries += r.upload_retries;
+            s.uploads_dropped += r.uploads_dropped;
+            s.download_drops += r.download_drops;
+            s.updates_rejected += r.updates_rejected;
+            s.stragglers_started += r.stragglers_started;
+            s.offline += r.offline;
+            s.train_panics += r.train_panics;
+        }
+        s
+    }
 }
 
 /// Orchestrates `N` clients and one [`FedAvgServer`] through federated
@@ -96,6 +189,11 @@ impl<C: FederatedClient> Federation<C> {
             config.participation > 0.0 && config.participation <= 1.0,
             "participation must be in (0, 1], got {}",
             config.participation
+        );
+        assert!(
+            config.staleness_decay > 0.0 && config.staleness_decay <= 1.0,
+            "staleness_decay must be in (0, 1], got {}",
+            config.staleness_decay
         );
         let initial = clients[0].upload().params;
         let server = FedAvgServer::with_momentum(initial, config.strategy, config.server_momentum);
@@ -145,58 +243,188 @@ impl<C: FederatedClient> Federation<C> {
     }
 
     /// Executes one federated round: select participants, local training,
-    /// upload, aggregate, broadcast.
+    /// upload (with bounded retries), admission-checked aggregation,
+    /// broadcast.
+    ///
+    /// The round survives every client-side fault: dropped transfers and
+    /// corrupt updates are counted and excluded, straggler updates are
+    /// applied late at a staleness-discounted weight, offline clients are
+    /// skipped, and a panicking client loses only its own round. When
+    /// fewer than `min_quorum` updates pass admission the round is skipped
+    /// — θ stays unchanged and `RoundReport::aggregated` is `false` — but
+    /// `run_round` itself never panics over client behavior.
     pub fn run_round(&mut self) -> RoundReport {
         let participant_ids = self.select_participants();
-        let steps = self.config.steps_per_round;
+        let round = self.rounds_run + 1;
+        for client in &mut self.clients {
+            client.begin_round(round);
+        }
 
+        let mut report = RoundReport {
+            round,
+            participants: 0,
+            client_divergence: 0.0,
+            uploads_ok: 0,
+            stale_applied: 0,
+            upload_retries: 0,
+            uploads_dropped: 0,
+            download_drops: 0,
+            updates_rejected: 0,
+            stragglers_started: 0,
+            offline: 0,
+            train_panics: 0,
+            aggregated: false,
+        };
+
+        let mut active: Vec<usize> = Vec::with_capacity(participant_ids.len());
+        for &i in &participant_ids {
+            if self.clients[i].is_online() {
+                active.push(i);
+            } else {
+                report.offline += 1;
+            }
+        }
+
+        let panicked = self.train_active(&active);
+        report.train_panics = panicked.len();
+        report.participants = active.len() - panicked.len();
+
+        let mut updates: Vec<ModelUpdate> = Vec::with_capacity(active.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(active.len());
+        for &i in &active {
+            if panicked.contains(&i) {
+                continue;
+            }
+            let mut outcome = self.clients[i].try_upload();
+            let mut retries = 0;
+            while retries < self.config.max_upload_retries
+                && matches!(outcome, Err(FedError::UploadDropped { .. }))
+            {
+                retries += 1;
+                self.transport.record_upload_retry();
+                outcome = self.clients[i].try_upload();
+            }
+            report.upload_retries += retries;
+            match outcome {
+                Ok(mut update) => {
+                    if self.config.update_noise_sigma > 0.0 {
+                        let sigma = self.config.update_noise_sigma;
+                        for p in &mut update.params {
+                            *p += sigma * gaussian(&mut self.rng);
+                        }
+                    }
+                    self.transport
+                        .record_upload(self.clients[i].transfer_bytes());
+                    match self.server.validate_update(&update) {
+                        Ok(()) => {
+                            updates.push(update);
+                            weights.push(1.0);
+                            report.uploads_ok += 1;
+                        }
+                        Err(_) => {
+                            report.updates_rejected += 1;
+                            self.transport.record_update_rejected();
+                        }
+                    }
+                }
+                Err(FedError::UploadDropped { .. }) => {
+                    report.uploads_dropped += 1;
+                    self.transport.record_upload_dropped();
+                }
+                Err(FedError::Straggling { .. }) => {
+                    report.stragglers_started += 1;
+                }
+                Err(_) => {
+                    // Went offline mid-round (e.g. crash between training
+                    // and upload); treated like an offline participant.
+                    report.offline += 1;
+                }
+            }
+        }
+
+        // Straggler updates whose delay elapsed surface now, discounted by
+        // staleness. Every online client is polled: a straggler need not be
+        // in this round's participant set to deliver its late update.
+        for client in &mut self.clients {
+            if let Some(stale) = client.take_stale() {
+                let age = round.saturating_sub(stale.origin_round).max(1);
+                self.transport.record_upload(client.transfer_bytes());
+                match self.server.validate_update(&stale.update) {
+                    Ok(()) => {
+                        updates.push(stale.update);
+                        weights.push(self.config.staleness_decay.powi(age as i32));
+                        report.stale_applied += 1;
+                    }
+                    Err(_) => {
+                        report.updates_rejected += 1;
+                        self.transport.record_update_rejected();
+                    }
+                }
+            }
+        }
+
+        report.client_divergence = Self::divergence(&updates);
+
+        if updates.len() >= self.config.min_quorum.max(1) {
+            // Fresh-only rounds keep the exact historical aggregation path
+            // (bit-identical fault-free runs); staleness discounting needs
+            // the explicitly weighted mean.
+            let result = if weights.iter().all(|&w| w == 1.0) {
+                self.server.aggregate(&updates).map(|_| ())
+            } else {
+                self.server
+                    .aggregate_weighted(&updates, &weights)
+                    .map(|_| ())
+            };
+            report.aggregated = result.is_ok();
+        }
+
+        for client in &mut self.clients {
+            if !client.is_online() {
+                continue;
+            }
+            match client.try_download(self.server.global()) {
+                Ok(()) => self.transport.record_download(client.transfer_bytes()),
+                Err(_) => {
+                    report.download_drops += 1;
+                    self.transport.record_download_dropped();
+                }
+            }
+        }
+
+        self.rounds_run += 1;
+        report
+    }
+
+    /// Trains the active participants, containing panics; returns the ids
+    /// whose training panicked (their state is suspect, so they are
+    /// excluded from this round's upload).
+    fn train_active(&mut self, active: &[usize]) -> Vec<usize> {
+        let steps = self.config.steps_per_round;
+        let mut panicked = Vec::new();
         if self.config.parallel {
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (i, client) in self.clients.iter_mut().enumerate() {
-                    if participant_ids.contains(&i) {
-                        handles.push(scope.spawn(move || client.train_round(steps)));
+                    if active.contains(&i) {
+                        handles.push((i, scope.spawn(move || client.train_round(steps))));
                     }
                 }
-                for h in handles {
-                    h.join().expect("client training panicked");
+                for (i, h) in handles {
+                    if h.join().is_err() {
+                        panicked.push(i);
+                    }
                 }
             });
         } else {
-            for &i in &participant_ids {
-                self.clients[i].train_round(steps);
-            }
-        }
-
-        let mut updates: Vec<ModelUpdate> = Vec::with_capacity(participant_ids.len());
-        for &i in &participant_ids {
-            let mut update = self.clients[i].upload();
-            if self.config.update_noise_sigma > 0.0 {
-                let sigma = self.config.update_noise_sigma;
-                for p in &mut update.params {
-                    *p += sigma * gaussian(&mut self.rng);
+            for &i in active {
+                let client = &mut self.clients[i];
+                if catch_unwind(AssertUnwindSafe(|| client.train_round(steps))).is_err() {
+                    panicked.push(i);
                 }
             }
-            self.transport.record_upload(self.clients[i].transfer_bytes());
-            updates.push(update);
         }
-
-        let client_divergence = Self::divergence(&updates);
-        self.server
-            .aggregate(&updates)
-            .expect("participant set is nonempty and shapes are uniform");
-
-        for client in &mut self.clients {
-            client.download(self.server.global());
-            self.transport.record_download(client.transfer_bytes());
-        }
-
-        self.rounds_run += 1;
-        RoundReport {
-            round: self.rounds_run,
-            participants: participant_ids.len(),
-            client_divergence,
-        }
+        panicked
     }
 
     /// Mean L2 distance of the updates from their coordinate-wise mean.
@@ -375,11 +603,7 @@ mod tests {
         let mut fed = Federation::new(clients, config, 3);
         let report = fed.run_round();
         assert_eq!(report.participants, 2);
-        let trained: usize = fed
-            .clients()
-            .iter()
-            .filter(|c| c.trained_steps > 0)
-            .count();
+        let trained: usize = fed.clients().iter().filter(|c| c.trained_steps > 0).count();
         assert_eq!(trained, 2);
         // Everyone still downloaded the new global model (2 initial + 4 now).
         assert_eq!(fed.transport().downloads, 8);
@@ -419,6 +643,98 @@ mod tests {
         assert_eq!(t.uploads, 2);
         assert_eq!(t.downloads, base_downloads + 2);
         assert_eq!(t.uploaded_bytes, 2 * 16);
+    }
+
+    #[test]
+    fn panicking_client_loses_only_its_own_round() {
+        /// Panics during training in round 2, healthy otherwise.
+        #[derive(Debug)]
+        struct Flaky {
+            inner: FakeClient,
+            round: u64,
+        }
+        impl FederatedClient for Flaky {
+            fn id(&self) -> usize {
+                self.inner.id()
+            }
+            fn train_round(&mut self, steps: u64) {
+                assert!(self.round != 2, "injected training panic");
+                self.inner.train_round(steps);
+            }
+            fn upload(&mut self) -> ModelUpdate {
+                self.inner.upload()
+            }
+            fn download(&mut self, global: &[f32]) {
+                self.inner.download(global);
+            }
+            fn transfer_bytes(&self) -> usize {
+                self.inner.transfer_bytes()
+            }
+            fn begin_round(&mut self, round: u64) {
+                self.round = round;
+            }
+        }
+
+        for parallel in [false, true] {
+            let mut config = FedAvgConfig::paper();
+            config.parallel = parallel;
+            let clients = vec![
+                Flaky {
+                    inner: FakeClient::new(0, 0.0),
+                    round: 0,
+                },
+                Flaky {
+                    inner: FakeClient::new(1, 0.0),
+                    round: 0,
+                },
+            ];
+            let mut fed = Federation::new(clients, config, 7);
+            let r1 = fed.run_round();
+            assert_eq!(r1.train_panics, 0);
+            let r2 = fed.run_round();
+            assert_eq!(r2.train_panics, 2, "both clients panic in round 2");
+            assert!(!r2.aggregated, "no survivors, so quorum is unmet");
+            let theta_after_r1 = fed.global_params().to_vec();
+            assert_eq!(fed.global_params(), theta_after_r1.as_slice());
+            let r3 = fed.run_round();
+            assert_eq!(r3.train_panics, 0, "clients recover in round 3");
+            assert!(r3.aggregated);
+        }
+    }
+
+    #[test]
+    fn unmet_quorum_skips_the_round_and_keeps_theta() {
+        let mut config = FedAvgConfig::paper();
+        config.min_quorum = 3;
+        let mut fed = two_client_federation(config);
+        let before = fed.global_params().to_vec();
+        let report = fed.run_round();
+        assert!(!report.aggregated);
+        assert_eq!(report.uploads_ok, 2, "uploads arrive, quorum still unmet");
+        assert_eq!(fed.global_params(), before.as_slice());
+        assert_eq!(fed.rounds_run(), 1, "the round still counts as run");
+    }
+
+    #[test]
+    fn fault_summary_tallies_reports() {
+        let mut config = FedAvgConfig::paper();
+        config.rounds = 4;
+        let mut fed = two_client_federation(config);
+        let reports = fed.run();
+        let summary = FaultSummary::from_reports(&reports);
+        assert_eq!(summary.rounds, 4);
+        assert_eq!(summary.aggregated_rounds, 4);
+        assert_eq!(summary.uploads_ok, 8);
+        assert_eq!(summary.uploads_dropped, 0);
+        assert_eq!(summary.train_panics, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness_decay")]
+    fn invalid_staleness_decay_panics() {
+        let mut config = FedAvgConfig::paper();
+        config.staleness_decay = 0.0;
+        let _ = Federation::new(vec![FakeClient::new(0, 0.0)], config, 0);
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   and its simulated device,
 //! * [`Federation`] — round orchestration (`R` rounds × `T` local steps),
 //!   serial or thread-parallel, with optional partial participation and
-//!   Gaussian update noise (differential-privacy-style knob),
+//!   Gaussian update noise (differential-privacy-style knob); resilient to
+//!   client faults via minimum-quorum aggregation, bounded upload retries,
+//!   staleness-discounted straggler updates, and NaN/shape admission,
+//! * [`FaultPlan`] / [`FaultyClient`] — seed-deterministic fault injection
+//!   (drops, stragglers, corruption, crash-and-rejoin) for resilience
+//!   testing,
 //! * [`TransportStats`] — byte accounting for the §IV-C overhead numbers.
 //!
 //! # Example: two devices with disjoint workloads
@@ -44,14 +49,18 @@
 
 mod client;
 mod error;
+mod fault;
 mod federation;
 mod server;
 mod td_client;
 mod transport;
 
-pub use client::{AgentClient, FederatedClient, ModelUpdate};
+pub use client::{AgentClient, FederatedClient, ModelUpdate, StaleUpdate};
 pub use error::FedError;
-pub use federation::{FedAvgConfig, Federation, RoundReport};
+pub use fault::{
+    CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyClient, PlanCounts,
+};
+pub use federation::{FaultSummary, FedAvgConfig, Federation, RoundReport};
 pub use server::{AggregationStrategy, FedAvgServer};
 pub use td_client::TdClient;
 pub use transport::TransportStats;

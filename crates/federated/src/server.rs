@@ -72,11 +72,7 @@ impl FedAvgServer {
     /// # Panics
     ///
     /// Panics if `initial` is empty or `momentum ∉ [0, 1)`.
-    pub fn with_momentum(
-        initial: Vec<f32>,
-        strategy: AggregationStrategy,
-        momentum: f32,
-    ) -> Self {
+    pub fn with_momentum(initial: Vec<f32>, strategy: AggregationStrategy, momentum: f32) -> Self {
         assert!(!initial.is_empty(), "global model cannot be empty");
         assert!(
             (0.0..1.0).contains(&momentum),
@@ -161,6 +157,82 @@ impl FedAvgServer {
                 }
             })?,
         };
+        self.commit(next);
+        Ok(&self.global)
+    }
+
+    /// Combines client updates under explicit per-update weights (used to
+    /// discount straggler updates by staleness). Weights are normalized to
+    /// sum to 1; the strategy's own weighting is bypassed.
+    ///
+    /// Note: `aggregate_weighted` with unit weights is *not* guaranteed to
+    /// be bit-identical to [`FedAvgServer::aggregate`] (normalization
+    /// arithmetic differs); callers keep the fault-free path on
+    /// `aggregate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::EmptyRound`] when no updates were supplied,
+    /// [`FedError::InvalidConfig`] when `weights` mismatches `updates` in
+    /// length or has a non-positive/non-finite sum, and [`FedError::Model`]
+    /// when parameter vectors disagree in shape.
+    pub fn aggregate_weighted(
+        &mut self,
+        updates: &[ModelUpdate],
+        weights: &[f32],
+    ) -> Result<&[f32], FedError> {
+        if updates.is_empty() {
+            return Err(FedError::EmptyRound);
+        }
+        if weights.len() != updates.len() {
+            return Err(FedError::InvalidConfig(format!(
+                "{} weights for {} updates",
+                weights.len(),
+                updates.len()
+            )));
+        }
+        let total: f32 = weights.iter().sum();
+        if !(total.is_finite() && total > 0.0) {
+            return Err(FedError::InvalidConfig(format!(
+                "weights must sum to a positive finite value, got {total}"
+            )));
+        }
+        let models: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+        let normalized: Vec<f32> = weights.iter().map(|w| w / total).collect();
+        let next = average_params(&models, &normalized)?;
+        self.commit(next);
+        Ok(&self.global)
+    }
+
+    /// Admission check for an arriving update: every parameter finite and
+    /// the shape matching the global model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::CorruptUpdate`] naming the offending client and
+    /// the first violation found.
+    pub fn validate_update(&self, update: &ModelUpdate) -> Result<(), FedError> {
+        if update.params.len() != self.global.len() {
+            return Err(FedError::CorruptUpdate {
+                client_id: update.client_id,
+                reason: format!(
+                    "shape mismatch: {} parameters, global has {}",
+                    update.params.len(),
+                    self.global.len()
+                ),
+            });
+        }
+        if let Some(i) = update.params.iter().position(|p| !p.is_finite()) {
+            return Err(FedError::CorruptUpdate {
+                client_id: update.client_id,
+                reason: format!("non-finite value {} at index {i}", update.params[i]),
+            });
+        }
+        Ok(())
+    }
+
+    /// Installs an aggregated model, applying server momentum if enabled.
+    fn commit(&mut self, next: Vec<f32>) {
         if self.momentum > 0.0 {
             #[allow(clippy::needless_range_loop)] // index couples global, next, velocity
             for i in 0..self.global.len() {
@@ -172,7 +244,6 @@ impl FedAvgServer {
             self.global = next;
         }
         self.rounds_completed += 1;
-        Ok(&self.global)
     }
 
     /// Applies `combine` to the sorted per-coordinate value sets.
@@ -196,7 +267,9 @@ impl FedAvgServer {
             for (c, m) in column.iter_mut().zip(models) {
                 *c = m[i];
             }
-            column.sort_by(|a, b| a.partial_cmp(b).expect("finite parameters"));
+            // total_cmp never panics; admission normally keeps NaN out, but
+            // robust aggregation must not be the thing that crashes.
+            column.sort_by(|a, b| a.total_cmp(b));
             out.push(combine(&column));
         }
         Ok(out)
@@ -336,8 +409,7 @@ mod tests {
     fn momentum_free_first_step_matches_plain_fedavg() {
         let updates = [update(0, vec![2.0], 1), update(1, vec![4.0], 1)];
         let mut plain = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
-        let mut momo =
-            FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.9);
+        let mut momo = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.9);
         assert_eq!(
             plain.aggregate(&updates).unwrap(),
             momo.aggregate(&updates).unwrap(),
@@ -349,8 +421,7 @@ mod tests {
     fn momentum_accelerates_a_consistent_direction() {
         // Clients keep reporting the same target; with momentum the global
         // model overshoots plain averaging after a few rounds.
-        let mut momo =
-            FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.5);
+        let mut momo = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.5);
         for _ in 0..3 {
             momo.aggregate(&[update(0, vec![1.0], 1)]).unwrap();
         }
@@ -365,6 +436,67 @@ mod tests {
     #[should_panic(expected = "momentum")]
     fn invalid_momentum_panics() {
         let _ = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 1.0);
+    }
+
+    #[test]
+    fn weighted_aggregation_discounts_low_weight_updates() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let updates = [update(0, vec![0.0], 1), update(1, vec![4.0], 1)];
+        // Weights 3:1 → (3·0 + 1·4)/4 = 1.
+        let global = server.aggregate_weighted(&updates, &[3.0, 1.0]).unwrap();
+        assert_eq!(global, &[1.0]);
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn weighted_aggregation_rejects_bad_weights() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let updates = [update(0, vec![1.0], 1)];
+        assert!(matches!(
+            server.aggregate_weighted(&updates, &[]),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            server.aggregate_weighted(&updates, &[0.0]),
+            Err(FedError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            server.aggregate_weighted(&[], &[]),
+            Err(FedError::EmptyRound)
+        ));
+        assert_eq!(server.global(), &[0.0], "failed rounds leave θ intact");
+    }
+
+    #[test]
+    fn validate_update_flags_nan_and_shape() {
+        let server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        assert!(server
+            .validate_update(&update(0, vec![1.0, 2.0], 1))
+            .is_ok());
+        let nan = server.validate_update(&update(3, vec![1.0, f32::NAN], 1));
+        assert!(
+            matches!(&nan, Err(FedError::CorruptUpdate { client_id: 3, reason }) if reason.contains("index 1")),
+            "{nan:?}"
+        );
+        let inf = server.validate_update(&update(1, vec![f32::INFINITY, 0.0], 1));
+        assert!(matches!(inf, Err(FedError::CorruptUpdate { .. })));
+        let shape = server.validate_update(&update(2, vec![1.0], 1));
+        assert!(
+            matches!(&shape, Err(FedError::CorruptUpdate { client_id: 2, reason }) if reason.contains("shape")),
+            "{shape:?}"
+        );
+    }
+
+    #[test]
+    fn robust_strategies_survive_nan_without_panicking() {
+        // Admission normally filters NaN, but the sort itself must not panic.
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let result = server.aggregate(&[
+            update(0, vec![1.0], 1),
+            update(1, vec![f32::NAN], 1),
+            update(2, vec![2.0], 1),
+        ]);
+        assert!(result.is_ok());
     }
 
     #[test]

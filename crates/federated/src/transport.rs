@@ -10,10 +10,20 @@ pub struct TransportStats {
     pub uploaded_bytes: u64,
     /// Total bytes downloaded (server → clients).
     pub downloaded_bytes: u64,
-    /// Number of uploads.
+    /// Number of uploads that arrived at the server (whether or not they
+    /// later passed admission checks).
     pub uploads: u64,
-    /// Number of downloads.
+    /// Number of downloads delivered to clients.
     pub downloads: u64,
+    /// Retry attempts spent re-sending dropped uploads.
+    pub upload_retries: u64,
+    /// Uploads abandoned after exhausting the retry budget.
+    pub uploads_dropped: u64,
+    /// Broadcasts lost in transit (the client kept its stale model).
+    pub downloads_dropped: u64,
+    /// Arrived uploads rejected by server-side admission (non-finite
+    /// values or shape mismatch).
+    pub updates_rejected: u64,
 }
 
 impl TransportStats {
@@ -32,6 +42,26 @@ impl TransportStats {
     pub fn record_download(&mut self, bytes: usize) {
         self.downloaded_bytes += bytes as u64;
         self.downloads += 1;
+    }
+
+    /// Records a retry attempt spent on a previously dropped upload.
+    pub fn record_upload_retry(&mut self) {
+        self.upload_retries += 1;
+    }
+
+    /// Records an upload abandoned after its retry budget ran out.
+    pub fn record_upload_dropped(&mut self) {
+        self.uploads_dropped += 1;
+    }
+
+    /// Records a broadcast lost in transit.
+    pub fn record_download_dropped(&mut self) {
+        self.downloads_dropped += 1;
+    }
+
+    /// Records an arrived update rejected by server-side admission.
+    pub fn record_update_rejected(&mut self) {
+        self.updates_rejected += 1;
     }
 
     /// Total traffic in both directions.
@@ -71,5 +101,21 @@ mod tests {
     #[test]
     fn empty_stats_have_no_mean() {
         assert_eq!(TransportStats::new().mean_transfer_bytes(), None);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_independently_of_byte_counters() {
+        let mut t = TransportStats::new();
+        t.record_upload_retry();
+        t.record_upload_retry();
+        t.record_upload_dropped();
+        t.record_download_dropped();
+        t.record_update_rejected();
+        assert_eq!(t.upload_retries, 2);
+        assert_eq!(t.uploads_dropped, 1);
+        assert_eq!(t.downloads_dropped, 1);
+        assert_eq!(t.updates_rejected, 1);
+        assert_eq!(t.total_bytes(), 0, "fault events move no bytes");
+        assert_eq!(t.uploads, 0);
     }
 }

@@ -84,7 +84,9 @@ mod tests {
     use crate::{Activation, Huber, Mse};
 
     fn batch_for(in_dim: usize, n: usize) -> (Vec<f32>, Vec<usize>, Vec<f32>) {
-        let inputs: Vec<f32> = (0..n * in_dim).map(|i| ((i as f32) * 0.713).sin()).collect();
+        let inputs: Vec<f32> = (0..n * in_dim)
+            .map(|i| ((i as f32) * 0.713).sin())
+            .collect();
         let actions: Vec<usize> = (0..n).map(|i| i % 3).collect();
         let targets: Vec<f32> = (0..n).map(|i| ((i as f32) * 1.3).cos()).collect();
         (inputs, actions, targets)

@@ -47,11 +47,16 @@ impl Mlp {
     ///
     /// Panics if fewer than two dims are given or any dim is zero.
     pub fn new(dims: &[usize], hidden_activation: Activation, seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         assert!(dims.iter().all(|&d| d > 0), "layer widths must be nonzero");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for (i, w) in dims.windows(2).enumerate() {
-            let layer_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            let layer_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
             let is_output = i == dims.len() - 2;
             layers.push(if is_output {
                 Linear::new_xavier(w[0], w[1], layer_seed)

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy: a small random architecture.
 fn arch() -> impl Strategy<Value = Vec<usize>> {
-    (1_usize..8, 1_usize..24, 1_usize..16)
-        .prop_map(|(inp, hidden, out)| vec![inp, hidden, out])
+    (1_usize..8, 1_usize..24, 1_usize..16).prop_map(|(inp, hidden, out)| vec![inp, hidden, out])
 }
 
 proptest! {

@@ -227,10 +227,7 @@ mod tests {
     fn single_busy_core_matches_single_core_processor_power_scale() {
         let mut c = cluster(4);
         c.set_level(FreqLevel(14));
-        let out = c.run(
-            &[Some(compute_phase()), None, None, None],
-            0.5,
-        );
+        let out = c.run(&[Some(compute_phase()), None, None, None], 0.5);
         let mut single = crate::Processor::new(ProcessorConfig::jetson_nano_noiseless(), 0);
         single.set_level(FreqLevel(14));
         let solo = single.run(&compute_phase(), 0.5);

@@ -31,7 +31,10 @@ impl PhaseParams {
     /// `mpki > apki` (a miss is also an access).
     pub fn new(base_cpi: f64, mpki: f64, apki: f64, activity: f64) -> Self {
         assert!(base_cpi > 0.0, "base CPI must be positive, got {base_cpi}");
-        assert!(mpki >= 0.0 && apki >= 0.0 && activity >= 0.0, "negative phase parameter");
+        assert!(
+            mpki >= 0.0 && apki >= 0.0 && activity >= 0.0,
+            "negative phase parameter"
+        );
         assert!(
             mpki <= apki,
             "MPKI ({mpki}) cannot exceed cache accesses per kilo-instruction ({apki})"

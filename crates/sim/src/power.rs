@@ -116,8 +116,7 @@ impl PowerModel {
     /// Dynamic power in watts for a phase running at (`volts`, `freq_ghz`)
     /// with effective instructions-per-cycle `ipc`.
     pub fn dynamic_power(&self, phase: &PhaseParams, ipc: f64, volts: f64, freq_ghz: f64) -> f64 {
-        let a =
-            (self.config.activity_base + self.config.activity_per_ipc * ipc) * phase.activity;
+        let a = (self.config.activity_base + self.config.activity_per_ipc * ipc) * phase.activity;
         self.config.c_eff * a * volts * volts * freq_ghz
     }
 

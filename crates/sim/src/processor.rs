@@ -126,9 +126,7 @@ impl Processor {
     /// produced by this crate's constructors, so an invalid one is a
     /// programming error.
     pub fn new(config: ProcessorConfig, seed: u64) -> Self {
-        config
-            .validate()
-            .expect("processor config must be valid");
+        config.validate().expect("processor config must be valid");
         let thermal = config
             .thermal
             .map(|t| ThermalModel::new(t).expect("validated above"));

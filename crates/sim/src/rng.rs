@@ -51,6 +51,8 @@ pub mod streams {
     pub const WORKLOAD: u64 = 5;
     /// Federated client sub-sampling and update noise.
     pub const FEDERATION: u64 = 6;
+    /// Fault-plan generation (drops, stragglers, crashes, corruption).
+    pub const FAULTS: u64 = 7;
 }
 
 #[cfg(test)]

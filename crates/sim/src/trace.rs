@@ -72,7 +72,10 @@ impl Trace {
             return None;
         }
         Some(
-            self.records.iter().map(|r| r.level.index() as f64).sum::<f64>()
+            self.records
+                .iter()
+                .map(|r| r.level.index() as f64)
+                .sum::<f64>()
                 / self.records.len() as f64,
         )
     }
@@ -98,7 +101,10 @@ impl Trace {
             return None;
         }
         Some(
-            self.records.iter().map(|r| r.counters.freq_mhz).sum::<f64>()
+            self.records
+                .iter()
+                .map(|r| r.counters.freq_mhz)
+                .sum::<f64>()
                 / self.records.len() as f64,
         )
     }

@@ -7,9 +7,8 @@ use fedpower_sim::{
 use proptest::prelude::*;
 
 fn phase_strategy() -> impl Strategy<Value = PhaseParams> {
-    (0.3_f64..3.0, 0.0_f64..40.0, 0.5_f64..1.5).prop_map(|(cpi, mpki, act)| {
-        PhaseParams::new(cpi, mpki, mpki + 15.0, act)
-    })
+    (0.3_f64..3.0, 0.0_f64..40.0, 0.5_f64..1.5)
+        .prop_map(|(cpi, mpki, act)| PhaseParams::new(cpi, mpki, mpki + 15.0, act))
 }
 
 proptest! {

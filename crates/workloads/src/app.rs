@@ -121,7 +121,10 @@ impl AppModel {
     /// or the instruction budget is not positive — application models are
     /// static data authored in [`crate::catalog`], so violations are bugs.
     pub fn new(id: AppId, total_instructions: f64, phases: Vec<AppPhase>) -> Self {
-        assert!(!phases.is_empty(), "application must have at least one phase");
+        assert!(
+            !phases.is_empty(),
+            "application must have at least one phase"
+        );
         assert!(
             total_instructions > 0.0,
             "instruction budget must be positive"
@@ -200,10 +203,7 @@ impl AppModel {
     /// Instruction-weighted average MPKI across phases — a scalar summary
     /// of how memory-bound the application is.
     pub fn mean_mpki(&self) -> f64 {
-        self.phases
-            .iter()
-            .map(|p| p.weight * p.params.mpki)
-            .sum()
+        self.phases.iter().map(|p| p.weight * p.params.mpki).sum()
     }
 
     /// Instruction-weighted average activity factor.
@@ -265,12 +265,8 @@ mod tests {
 
     #[test]
     fn looping_model_revisits_phases() {
-        let m = AppModel::new(
-            AppId::Ocean,
-            1000.0,
-            vec![phase(0.5, 1.0), phase(0.5, 9.0)],
-        )
-        .with_iterations(4);
+        let m = AppModel::new(AppId::Ocean, 1000.0, vec![phase(0.5, 1.0), phase(0.5, 9.0)])
+            .with_iterations(4);
         assert_eq!(m.iterations(), 4);
         // One iteration spans 250 instructions: 0-124 phase A, 125-249 B.
         assert_eq!(m.phase_at(0.0).params.mpki, 1.0);

@@ -251,8 +251,14 @@ mod tests {
             "optimal levels must spread over the table, got {levels:?}"
         );
         // No app should be feasible at the very top or pinned to the bottom.
-        assert!(max < 14, "even memory-bound apps must hit the cap: {levels:?}");
-        assert!(min >= 4, "every app should run well above f_min: {levels:?}");
+        assert!(
+            max < 14,
+            "even memory-bound apps must hit the cap: {levels:?}"
+        );
+        assert!(
+            min >= 4,
+            "every app should run well above f_min: {levels:?}"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Sequencer {
     ///
     /// Panics if `models` is empty.
     pub fn from_models(models: Vec<AppModel>, mode: SequenceMode, seed: u64) -> Self {
-        assert!(!models.is_empty(), "a device needs at least one application");
+        assert!(
+            !models.is_empty(),
+            "a device needs at least one application"
+        );
         Sequencer {
             models,
             mode,
@@ -99,7 +102,14 @@ mod tests {
         let order: Vec<AppId> = (0..6).map(|_| s.next_run().id()).collect();
         assert_eq!(
             order,
-            vec![AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Fft, AppId::Lu, AppId::Ocean]
+            vec![
+                AppId::Fft,
+                AppId::Lu,
+                AppId::Ocean,
+                AppId::Fft,
+                AppId::Lu,
+                AppId::Ocean
+            ]
         );
     }
 
@@ -118,7 +128,9 @@ mod tests {
     fn uniform_random_is_roughly_uniform() {
         let apps = [AppId::Fft, AppId::Lu];
         let mut s = Sequencer::new(&apps, SequenceMode::UniformRandom, 3);
-        let fft_count = (0..1000).filter(|_| s.next_run().id() == AppId::Fft).count();
+        let fft_count = (0..1000)
+            .filter(|_| s.next_run().id() == AppId::Fft)
+            .count();
         assert!(
             (350..650).contains(&fft_count),
             "binomial(1000, 0.5) far tail: {fft_count}"

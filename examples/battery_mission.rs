@@ -11,7 +11,9 @@
 //! cargo run --release --example battery_mission
 //! ```
 
-use fedpower::agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, RewardConfig, PowerController};
+use fedpower::agent::{
+    ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, RewardConfig,
+};
 use fedpower::sim::Battery;
 use fedpower::workloads::AppId;
 
@@ -41,7 +43,10 @@ fn main() {
     );
     for step in 0..steps {
         if battery.is_depleted() {
-            println!("battery depleted at t = {:.0} s — mission failed", step as f64 * interval);
+            println!(
+                "battery depleted at t = {:.0} s — mission failed",
+                step as f64 * interval
+            );
             return;
         }
         // Supervisor: retarget the budget from the remaining charge.

@@ -22,7 +22,10 @@ use fedpower::workloads::{catalog, AppId};
 fn main() {
     let mut cfg = ExperimentConfig::paper();
     cfg.fedavg.rounds = 30;
-    eprintln!("training the deployed policy ({} rounds)...", cfg.fedavg.rounds);
+    eprintln!(
+        "training the deployed policy ({} rounds)...",
+        cfg.fedavg.rounds
+    );
     let mut policy = run_federated_training_only(&six_six_split(), &cfg);
 
     // Phase 1: pristine workload — establish the reference reward band.

@@ -20,7 +20,10 @@ use fedpower::workloads::AppId;
 fn main() {
     let mut cfg = ExperimentConfig::paper();
     cfg.fedavg.rounds = 40; // enough for a stable policy in this example
-    eprintln!("training the federated policy ({} rounds)...", cfg.fedavg.rounds);
+    eprintln!(
+        "training the federated policy ({} rounds)...",
+        cfg.fedavg.rounds
+    );
     let learned = run_federated_training_only(&six_six_split(), &cfg);
 
     let opts = EvalOptions::from_config(&cfg);
@@ -64,7 +67,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["controller", "mean exec time [s]", "mean power [W]", "violations"],
+            &[
+                "controller",
+                "mean exec time [s]",
+                "mean power [W]",
+                "violations"
+            ],
             &rows,
         )
     );

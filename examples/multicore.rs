@@ -28,7 +28,13 @@ fn main() {
     let mut agent = PowerController::new(controller_cfg, 1);
 
     let mut env_cfg = ClusterEnvConfig::new(
-        &[AppId::Lu, AppId::Ocean, AppId::Raytrace, AppId::Fft, AppId::Barnes],
+        &[
+            AppId::Lu,
+            AppId::Ocean,
+            AppId::Raytrace,
+            AppId::Fft,
+            AppId::Barnes,
+        ],
         3,
     );
     env_cfg.norm = controller_cfg.norm;

@@ -14,7 +14,10 @@ fn main() {
     let mut agent = PowerController::new(ControllerConfig::paper(), 1);
 
     println!("training a local power controller (P_crit = 0.6 W)...");
-    println!("{:>6} {:>8} {:>10} {:>10} {:>8}", "step", "tau", "reward", "power[W]", "level");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>8}",
+        "step", "tau", "reward", "power[W]", "level"
+    );
 
     let mut state = env.bootstrap().state;
     let mut window_reward = 0.0;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_aggregation-6664c44873aee012.d: crates/bench/src/bin/ablation_aggregation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_aggregation-6664c44873aee012.rmeta: crates/bench/src/bin/ablation_aggregation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aggregation-6d1c0fcc27f58009.d: crates/bench/src/bin/ablation_aggregation.rs
+
+/root/repo/target/debug/deps/ablation_aggregation-6d1c0fcc27f58009: crates/bench/src/bin/ablation_aggregation.rs
+
+crates/bench/src/bin/ablation_aggregation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aggregation-6f683848317e25ab.d: crates/bench/src/bin/ablation_aggregation.rs
+
+/root/repo/target/debug/deps/ablation_aggregation-6f683848317e25ab: crates/bench/src/bin/ablation_aggregation.rs
+
+crates/bench/src/bin/ablation_aggregation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_aggregation-d62feb10feffab93.d: crates/bench/src/bin/ablation_aggregation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_aggregation-d62feb10feffab93.rmeta: crates/bench/src/bin/ablation_aggregation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

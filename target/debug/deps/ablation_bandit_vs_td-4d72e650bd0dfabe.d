@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bandit_vs_td-4d72e650bd0dfabe.d: crates/bench/src/bin/ablation_bandit_vs_td.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bandit_vs_td-4d72e650bd0dfabe.rmeta: crates/bench/src/bin/ablation_bandit_vs_td.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bandit_vs_td.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

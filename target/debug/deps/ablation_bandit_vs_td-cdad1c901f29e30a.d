@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandit_vs_td-cdad1c901f29e30a.d: crates/bench/src/bin/ablation_bandit_vs_td.rs
+
+/root/repo/target/debug/deps/ablation_bandit_vs_td-cdad1c901f29e30a: crates/bench/src/bin/ablation_bandit_vs_td.rs
+
+crates/bench/src/bin/ablation_bandit_vs_td.rs:

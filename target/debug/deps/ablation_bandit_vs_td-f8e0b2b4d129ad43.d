@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandit_vs_td-f8e0b2b4d129ad43.d: crates/bench/src/bin/ablation_bandit_vs_td.rs
+
+/root/repo/target/debug/deps/ablation_bandit_vs_td-f8e0b2b4d129ad43: crates/bench/src/bin/ablation_bandit_vs_td.rs
+
+crates/bench/src/bin/ablation_bandit_vs_td.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_byzantine-11fc61283cc56439.d: crates/bench/src/bin/ablation_byzantine.rs
+
+/root/repo/target/debug/deps/ablation_byzantine-11fc61283cc56439: crates/bench/src/bin/ablation_byzantine.rs
+
+crates/bench/src/bin/ablation_byzantine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_byzantine-55d0ad0bb93f4d7a.d: crates/bench/src/bin/ablation_byzantine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_byzantine-55d0ad0bb93f4d7a.rmeta: crates/bench/src/bin/ablation_byzantine.rs Cargo.toml
+
+crates/bench/src/bin/ablation_byzantine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

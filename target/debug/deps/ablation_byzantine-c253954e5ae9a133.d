@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_byzantine-c253954e5ae9a133.d: crates/bench/src/bin/ablation_byzantine.rs
+
+/root/repo/target/debug/deps/ablation_byzantine-c253954e5ae9a133: crates/bench/src/bin/ablation_byzantine.rs
+
+crates/bench/src/bin/ablation_byzantine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_byzantine-c84c63a890e34cd1.d: crates/bench/src/bin/ablation_byzantine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_byzantine-c84c63a890e34cd1.rmeta: crates/bench/src/bin/ablation_byzantine.rs Cargo.toml
+
+crates/bench/src/bin/ablation_byzantine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

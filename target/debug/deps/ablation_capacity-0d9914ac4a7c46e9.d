@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_capacity-0d9914ac4a7c46e9.d: crates/bench/src/bin/ablation_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_capacity-0d9914ac4a7c46e9.rmeta: crates/bench/src/bin/ablation_capacity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_capacity-35536c32c2de6906.d: crates/bench/src/bin/ablation_capacity.rs
+
+/root/repo/target/debug/deps/ablation_capacity-35536c32c2de6906: crates/bench/src/bin/ablation_capacity.rs
+
+crates/bench/src/bin/ablation_capacity.rs:

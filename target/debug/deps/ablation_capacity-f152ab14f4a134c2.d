@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_capacity-f152ab14f4a134c2.d: crates/bench/src/bin/ablation_capacity.rs
+
+/root/repo/target/debug/deps/ablation_capacity-f152ab14f4a134c2: crates/bench/src/bin/ablation_capacity.rs
+
+crates/bench/src/bin/ablation_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_drift-3ceb7714a31fd585.d: crates/bench/src/bin/ablation_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_drift-3ceb7714a31fd585.rmeta: crates/bench/src/bin/ablation_drift.rs Cargo.toml
+
+crates/bench/src/bin/ablation_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

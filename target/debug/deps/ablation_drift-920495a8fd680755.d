@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_drift-920495a8fd680755.d: crates/bench/src/bin/ablation_drift.rs
+
+/root/repo/target/debug/deps/ablation_drift-920495a8fd680755: crates/bench/src/bin/ablation_drift.rs
+
+crates/bench/src/bin/ablation_drift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_drift-b7aa09bb3bf1b0e4.d: crates/bench/src/bin/ablation_drift.rs
+
+/root/repo/target/debug/deps/ablation_drift-b7aa09bb3bf1b0e4: crates/bench/src/bin/ablation_drift.rs
+
+crates/bench/src/bin/ablation_drift.rs:

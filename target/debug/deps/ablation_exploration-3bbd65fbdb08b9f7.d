@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_exploration-3bbd65fbdb08b9f7.d: crates/bench/src/bin/ablation_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_exploration-3bbd65fbdb08b9f7.rmeta: crates/bench/src/bin/ablation_exploration.rs Cargo.toml
+
+crates/bench/src/bin/ablation_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_exploration-75efcf30e690d112.d: crates/bench/src/bin/ablation_exploration.rs
+
+/root/repo/target/debug/deps/ablation_exploration-75efcf30e690d112: crates/bench/src/bin/ablation_exploration.rs
+
+crates/bench/src/bin/ablation_exploration.rs:

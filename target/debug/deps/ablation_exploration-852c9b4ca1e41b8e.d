@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_exploration-852c9b4ca1e41b8e.d: crates/bench/src/bin/ablation_exploration.rs
+
+/root/repo/target/debug/deps/ablation_exploration-852c9b4ca1e41b8e: crates/bench/src/bin/ablation_exploration.rs
+
+crates/bench/src/bin/ablation_exploration.rs:

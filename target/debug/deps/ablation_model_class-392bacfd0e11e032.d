@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_model_class-392bacfd0e11e032.d: crates/bench/src/bin/ablation_model_class.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_model_class-392bacfd0e11e032.rmeta: crates/bench/src/bin/ablation_model_class.rs Cargo.toml
+
+crates/bench/src/bin/ablation_model_class.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

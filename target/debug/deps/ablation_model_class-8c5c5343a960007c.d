@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_model_class-8c5c5343a960007c.d: crates/bench/src/bin/ablation_model_class.rs
+
+/root/repo/target/debug/deps/ablation_model_class-8c5c5343a960007c: crates/bench/src/bin/ablation_model_class.rs
+
+crates/bench/src/bin/ablation_model_class.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_model_class-ddda7e90532c21ff.d: crates/bench/src/bin/ablation_model_class.rs
+
+/root/repo/target/debug/deps/ablation_model_class-ddda7e90532c21ff: crates/bench/src/bin/ablation_model_class.rs
+
+crates/bench/src/bin/ablation_model_class.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noise-232d9648ddb01d68.d: crates/bench/src/bin/ablation_noise.rs
+
+/root/repo/target/debug/deps/ablation_noise-232d9648ddb01d68: crates/bench/src/bin/ablation_noise.rs
+
+crates/bench/src/bin/ablation_noise.rs:

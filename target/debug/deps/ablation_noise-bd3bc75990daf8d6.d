@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_noise-bd3bc75990daf8d6.d: crates/bench/src/bin/ablation_noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_noise-bd3bc75990daf8d6.rmeta: crates/bench/src/bin/ablation_noise.rs Cargo.toml
+
+crates/bench/src/bin/ablation_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_noise-c2606787d7cbde8d.d: crates/bench/src/bin/ablation_noise.rs
+
+/root/repo/target/debug/deps/ablation_noise-c2606787d7cbde8d: crates/bench/src/bin/ablation_noise.rs
+
+crates/bench/src/bin/ablation_noise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_personalization-4315a03d37281360.d: crates/bench/src/bin/ablation_personalization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_personalization-4315a03d37281360.rmeta: crates/bench/src/bin/ablation_personalization.rs Cargo.toml
+
+crates/bench/src/bin/ablation_personalization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_personalization-b15da310be08b43c.d: crates/bench/src/bin/ablation_personalization.rs
+
+/root/repo/target/debug/deps/ablation_personalization-b15da310be08b43c: crates/bench/src/bin/ablation_personalization.rs
+
+crates/bench/src/bin/ablation_personalization.rs:

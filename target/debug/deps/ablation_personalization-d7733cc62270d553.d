@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_personalization-d7733cc62270d553.d: crates/bench/src/bin/ablation_personalization.rs
+
+/root/repo/target/debug/deps/ablation_personalization-d7733cc62270d553: crates/bench/src/bin/ablation_personalization.rs
+
+crates/bench/src/bin/ablation_personalization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_phases-73ed295cc2df0f15.d: crates/bench/src/bin/ablation_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_phases-73ed295cc2df0f15.rmeta: crates/bench/src/bin/ablation_phases.rs Cargo.toml
+
+crates/bench/src/bin/ablation_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

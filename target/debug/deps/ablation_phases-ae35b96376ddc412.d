@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_phases-ae35b96376ddc412.d: crates/bench/src/bin/ablation_phases.rs
+
+/root/repo/target/debug/deps/ablation_phases-ae35b96376ddc412: crates/bench/src/bin/ablation_phases.rs
+
+crates/bench/src/bin/ablation_phases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_phases-d49478f9a1e7a8c0.d: crates/bench/src/bin/ablation_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_phases-d49478f9a1e7a8c0.rmeta: crates/bench/src/bin/ablation_phases.rs Cargo.toml
+
+crates/bench/src/bin/ablation_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_phases-f365eb238bf9fc4e.d: crates/bench/src/bin/ablation_phases.rs
+
+/root/repo/target/debug/deps/ablation_phases-f365eb238bf9fc4e: crates/bench/src/bin/ablation_phases.rs
+
+crates/bench/src/bin/ablation_phases.rs:

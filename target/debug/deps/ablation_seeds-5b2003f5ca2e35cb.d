@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seeds-5b2003f5ca2e35cb.d: crates/bench/src/bin/ablation_seeds.rs
+
+/root/repo/target/debug/deps/ablation_seeds-5b2003f5ca2e35cb: crates/bench/src/bin/ablation_seeds.rs
+
+crates/bench/src/bin/ablation_seeds.rs:

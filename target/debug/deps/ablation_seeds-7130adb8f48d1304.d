@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_seeds-7130adb8f48d1304.d: crates/bench/src/bin/ablation_seeds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_seeds-7130adb8f48d1304.rmeta: crates/bench/src/bin/ablation_seeds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_seeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_seeds-8135b38e3069c1b6.d: crates/bench/src/bin/ablation_seeds.rs
+
+/root/repo/target/debug/deps/ablation_seeds-8135b38e3069c1b6: crates/bench/src/bin/ablation_seeds.rs
+
+crates/bench/src/bin/ablation_seeds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_seeds-9ce1e69337d14cdf.d: crates/bench/src/bin/ablation_seeds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_seeds-9ce1e69337d14cdf.rmeta: crates/bench/src/bin/ablation_seeds.rs Cargo.toml
+
+crates/bench/src/bin/ablation_seeds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thermal-03a161ae20cdbe87.d: crates/bench/src/bin/ablation_thermal.rs
+
+/root/repo/target/debug/deps/ablation_thermal-03a161ae20cdbe87: crates/bench/src/bin/ablation_thermal.rs
+
+crates/bench/src/bin/ablation_thermal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_thermal-24ef99b1b17d1d0c.d: crates/bench/src/bin/ablation_thermal.rs
+
+/root/repo/target/debug/deps/ablation_thermal-24ef99b1b17d1d0c: crates/bench/src/bin/ablation_thermal.rs
+
+crates/bench/src/bin/ablation_thermal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aggregation_properties-01394568b8db7b87.d: crates/federated/tests/aggregation_properties.rs
+
+/root/repo/target/debug/deps/aggregation_properties-01394568b8db7b87: crates/federated/tests/aggregation_properties.rs
+
+crates/federated/tests/aggregation_properties.rs:

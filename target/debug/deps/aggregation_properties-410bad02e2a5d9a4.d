@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregation_properties-410bad02e2a5d9a4.d: crates/federated/tests/aggregation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregation_properties-410bad02e2a5d9a4.rmeta: crates/federated/tests/aggregation_properties.rs Cargo.toml
+
+crates/federated/tests/aggregation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

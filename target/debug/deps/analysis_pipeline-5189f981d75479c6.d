@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_pipeline-5189f981d75479c6.d: tests/analysis_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_pipeline-5189f981d75479c6.rmeta: tests/analysis_pipeline.rs Cargo.toml
+
+tests/analysis_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

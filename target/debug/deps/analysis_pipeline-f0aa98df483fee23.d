@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_pipeline-f0aa98df483fee23.d: tests/analysis_pipeline.rs
+
+/root/repo/target/debug/deps/analysis_pipeline-f0aa98df483fee23: tests/analysis_pipeline.rs
+
+tests/analysis_pipeline.rs:

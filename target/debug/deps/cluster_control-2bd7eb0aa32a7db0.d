@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_control-2bd7eb0aa32a7db0.d: tests/cluster_control.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_control-2bd7eb0aa32a7db0.rmeta: tests/cluster_control.rs Cargo.toml
+
+tests/cluster_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_control-899c3b2ebfe53ba2.d: tests/cluster_control.rs
+
+/root/repo/target/debug/deps/cluster_control-899c3b2ebfe53ba2: tests/cluster_control.rs
+
+tests/cluster_control.rs:

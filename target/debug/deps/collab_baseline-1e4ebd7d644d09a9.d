@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collab_baseline-1e4ebd7d644d09a9.d: tests/collab_baseline.rs
+
+/root/repo/target/debug/deps/collab_baseline-1e4ebd7d644d09a9: tests/collab_baseline.rs
+
+tests/collab_baseline.rs:

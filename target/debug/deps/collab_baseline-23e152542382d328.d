@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collab_baseline-23e152542382d328.d: tests/collab_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollab_baseline-23e152542382d328.rmeta: tests/collab_baseline.rs Cargo.toml
+
+tests/collab_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller-2a714c2d9e62a7b4.d: crates/bench/benches/controller.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller-2a714c2d9e62a7b4.rmeta: crates/bench/benches/controller.rs Cargo.toml
+
+crates/bench/benches/controller.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

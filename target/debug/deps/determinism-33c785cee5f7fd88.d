@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-33c785cee5f7fd88.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-33c785cee5f7fd88: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fault_tolerance-57e2112cb4372678.d: tests/fault_tolerance.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-57e2112cb4372678.rmeta: tests/fault_tolerance.rs tests/common/mod.rs Cargo.toml
+
+tests/fault_tolerance.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fault_tolerance-79877f7e21ac85a7.d: tests/fault_tolerance.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/fault_tolerance-79877f7e21ac85a7: tests/fault_tolerance.rs tests/common/mod.rs
+
+tests/fault_tolerance.rs:
+tests/common/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federated_beats_local-441e8fbc446066a4.d: tests/federated_beats_local.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederated_beats_local-441e8fbc446066a4.rmeta: tests/federated_beats_local.rs Cargo.toml
+
+tests/federated_beats_local.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/federated_beats_local-7fd7e218700afa55.d: tests/federated_beats_local.rs
+
+/root/repo/target/debug/deps/federated_beats_local-7fd7e218700afa55: tests/federated_beats_local.rs
+
+tests/federated_beats_local.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/federation-0131689e66cf653d.d: crates/bench/benches/federation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfederation-0131689e66cf653d.rmeta: crates/bench/benches/federation.rs Cargo.toml
+
+crates/bench/benches/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

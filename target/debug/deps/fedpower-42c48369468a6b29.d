@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedpower-42c48369468a6b29.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/fedpower-42c48369468a6b29: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedpower-ca2ef9f6f28252f7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower-ca2ef9f6f28252f7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedpower-d570c24fc8c06c24.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfedpower-d570c24fc8c06c24.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfedpower-d570c24fc8c06c24.rmeta: src/lib.rs
+
+src/lib.rs:

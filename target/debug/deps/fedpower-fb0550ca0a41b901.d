@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedpower-fb0550ca0a41b901.d: src/lib.rs
+
+/root/repo/target/debug/deps/fedpower-fb0550ca0a41b901: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedpower_agent-4fa79248b306cdb3.d: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+/root/repo/target/debug/deps/fedpower_agent-4fa79248b306cdb3: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+crates/agent/src/lib.rs:
+crates/agent/src/cluster_env.rs:
+crates/agent/src/controller.rs:
+crates/agent/src/env.rs:
+crates/agent/src/policy.rs:
+crates/agent/src/replay.rs:
+crates/agent/src/reward.rs:
+crates/agent/src/state.rs:
+crates/agent/src/td.rs:

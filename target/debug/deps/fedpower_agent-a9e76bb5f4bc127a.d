@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedpower_agent-a9e76bb5f4bc127a.d: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+/root/repo/target/debug/deps/libfedpower_agent-a9e76bb5f4bc127a.rlib: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+/root/repo/target/debug/deps/libfedpower_agent-a9e76bb5f4bc127a.rmeta: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+crates/agent/src/lib.rs:
+crates/agent/src/cluster_env.rs:
+crates/agent/src/controller.rs:
+crates/agent/src/env.rs:
+crates/agent/src/policy.rs:
+crates/agent/src/replay.rs:
+crates/agent/src/reward.rs:
+crates/agent/src/state.rs:
+crates/agent/src/td.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedpower_agent-aa240f2873e7afff.d: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_agent-aa240f2873e7afff.rmeta: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs Cargo.toml
+
+crates/agent/src/lib.rs:
+crates/agent/src/cluster_env.rs:
+crates/agent/src/controller.rs:
+crates/agent/src/env.rs:
+crates/agent/src/policy.rs:
+crates/agent/src/replay.rs:
+crates/agent/src/reward.rs:
+crates/agent/src/state.rs:
+crates/agent/src/td.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

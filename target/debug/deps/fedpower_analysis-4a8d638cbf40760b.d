@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedpower_analysis-4a8d638cbf40760b.d: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libfedpower_analysis-4a8d638cbf40760b.rlib: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/libfedpower_analysis-4a8d638cbf40760b.rmeta: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/pareto.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/significance.rs:
+crates/analysis/src/smooth.rs:
+crates/analysis/src/stats.rs:

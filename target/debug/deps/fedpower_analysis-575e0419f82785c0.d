@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedpower_analysis-575e0419f82785c0.d: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_analysis-575e0419f82785c0.rmeta: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/pareto.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/significance.rs:
+crates/analysis/src/smooth.rs:
+crates/analysis/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

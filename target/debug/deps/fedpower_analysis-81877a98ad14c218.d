@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedpower_analysis-81877a98ad14c218.d: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/fedpower_analysis-81877a98ad14c218: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/pareto.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/significance.rs:
+crates/analysis/src/smooth.rs:
+crates/analysis/src/stats.rs:

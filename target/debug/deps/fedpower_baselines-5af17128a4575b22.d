@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedpower_baselines-5af17128a4575b22.d: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_baselines-5af17128a4575b22.rmeta: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/collab.rs:
+crates/baselines/src/discretize.rs:
+crates/baselines/src/fed_linucb.rs:
+crates/baselines/src/governor.rs:
+crates/baselines/src/linucb.rs:
+crates/baselines/src/profit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

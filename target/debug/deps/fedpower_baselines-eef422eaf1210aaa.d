@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedpower_baselines-eef422eaf1210aaa.d: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+/root/repo/target/debug/deps/fedpower_baselines-eef422eaf1210aaa: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/collab.rs:
+crates/baselines/src/discretize.rs:
+crates/baselines/src/fed_linucb.rs:
+crates/baselines/src/governor.rs:
+crates/baselines/src/linucb.rs:
+crates/baselines/src/profit.rs:

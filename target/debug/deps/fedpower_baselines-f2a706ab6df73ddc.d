@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedpower_baselines-f2a706ab6df73ddc.d: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+/root/repo/target/debug/deps/libfedpower_baselines-f2a706ab6df73ddc.rlib: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+/root/repo/target/debug/deps/libfedpower_baselines-f2a706ab6df73ddc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/collab.rs:
+crates/baselines/src/discretize.rs:
+crates/baselines/src/fed_linucb.rs:
+crates/baselines/src/governor.rs:
+crates/baselines/src/linucb.rs:
+crates/baselines/src/profit.rs:

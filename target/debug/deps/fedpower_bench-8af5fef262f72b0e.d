@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedpower_bench-8af5fef262f72b0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fedpower_bench-8af5fef262f72b0e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

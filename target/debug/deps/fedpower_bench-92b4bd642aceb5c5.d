@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedpower_bench-92b4bd642aceb5c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfedpower_bench-92b4bd642aceb5c5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfedpower_bench-92b4bd642aceb5c5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

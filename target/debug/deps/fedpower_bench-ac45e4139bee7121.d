@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedpower_bench-ac45e4139bee7121.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_bench-ac45e4139bee7121.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

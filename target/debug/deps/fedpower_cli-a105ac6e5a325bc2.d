@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fedpower_cli-a105ac6e5a325bc2.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libfedpower_cli-a105ac6e5a325bc2.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libfedpower_cli-a105ac6e5a325bc2.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

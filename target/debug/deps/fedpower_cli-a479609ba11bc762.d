@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fedpower_cli-a479609ba11bc762.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/fedpower_cli-a479609ba11bc762: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedpower_cli-bb9f2bbecef442b2.d: crates/cli/src/lib.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_cli-bb9f2bbecef442b2.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

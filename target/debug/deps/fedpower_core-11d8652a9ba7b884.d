@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedpower_core-11d8652a9ba7b884.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/fedpower_core-11d8652a9ba7b884: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiment.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oracle.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:

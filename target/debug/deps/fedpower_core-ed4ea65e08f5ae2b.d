@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedpower_core-ed4ea65e08f5ae2b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libfedpower_core-ed4ea65e08f5ae2b.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libfedpower_core-ed4ea65e08f5ae2b.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiment.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oracle.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedpower_core-f74b07a9dfe9a95b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_core-f74b07a9dfe9a95b.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiment.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oracle.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedpower_federated-aef9ed412a0e251a.d: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+/root/repo/target/debug/deps/fedpower_federated-aef9ed412a0e251a: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+crates/federated/src/lib.rs:
+crates/federated/src/client.rs:
+crates/federated/src/error.rs:
+crates/federated/src/fault.rs:
+crates/federated/src/federation.rs:
+crates/federated/src/server.rs:
+crates/federated/src/td_client.rs:
+crates/federated/src/transport.rs:

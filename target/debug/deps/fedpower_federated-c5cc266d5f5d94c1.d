@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedpower_federated-c5cc266d5f5d94c1.d: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_federated-c5cc266d5f5d94c1.rmeta: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs Cargo.toml
+
+crates/federated/src/lib.rs:
+crates/federated/src/client.rs:
+crates/federated/src/error.rs:
+crates/federated/src/fault.rs:
+crates/federated/src/federation.rs:
+crates/federated/src/server.rs:
+crates/federated/src/td_client.rs:
+crates/federated/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

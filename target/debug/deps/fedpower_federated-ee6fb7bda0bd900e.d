@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedpower_federated-ee6fb7bda0bd900e.d: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+/root/repo/target/debug/deps/libfedpower_federated-ee6fb7bda0bd900e.rlib: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+/root/repo/target/debug/deps/libfedpower_federated-ee6fb7bda0bd900e.rmeta: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+crates/federated/src/lib.rs:
+crates/federated/src/client.rs:
+crates/federated/src/error.rs:
+crates/federated/src/fault.rs:
+crates/federated/src/federation.rs:
+crates/federated/src/server.rs:
+crates/federated/src/td_client.rs:
+crates/federated/src/transport.rs:

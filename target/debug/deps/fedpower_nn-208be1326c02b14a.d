@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedpower_nn-208be1326c02b14a.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libfedpower_nn-208be1326c02b14a.rlib: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libfedpower_nn-208be1326c02b14a.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

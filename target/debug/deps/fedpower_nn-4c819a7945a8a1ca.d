@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedpower_nn-4c819a7945a8a1ca.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_nn-4c819a7945a8a1ca.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

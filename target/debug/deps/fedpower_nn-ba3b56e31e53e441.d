@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedpower_nn-ba3b56e31e53e441.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_nn-ba3b56e31e53e441.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fedpower_sim-37e0c09debe1e513.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_sim-37e0c09debe1e513.rmeta: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/error.rs:
+crates/sim/src/freq.rs:
+crates/sim/src/perf.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/thermal.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

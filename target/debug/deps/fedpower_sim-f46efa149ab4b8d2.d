@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedpower_sim-f46efa149ab4b8d2.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/fedpower_sim-f46efa149ab4b8d2: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/error.rs:
+crates/sim/src/freq.rs:
+crates/sim/src/perf.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/thermal.rs:
+crates/sim/src/trace.rs:

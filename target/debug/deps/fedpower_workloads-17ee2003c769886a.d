@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedpower_workloads-17ee2003c769886a.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+/root/repo/target/debug/deps/libfedpower_workloads-17ee2003c769886a.rlib: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+/root/repo/target/debug/deps/libfedpower_workloads-17ee2003c769886a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/run.rs:
+crates/workloads/src/schedule.rs:

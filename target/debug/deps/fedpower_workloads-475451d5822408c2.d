@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedpower_workloads-475451d5822408c2.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+/root/repo/target/debug/deps/fedpower_workloads-475451d5822408c2: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/run.rs:
+crates/workloads/src/schedule.rs:

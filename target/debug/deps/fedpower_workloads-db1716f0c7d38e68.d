@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedpower_workloads-db1716f0c7d38e68.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedpower_workloads-db1716f0c7d38e68.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/run.rs:
+crates/workloads/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

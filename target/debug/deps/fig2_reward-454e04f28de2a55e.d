@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reward-454e04f28de2a55e.d: crates/bench/src/bin/fig2_reward.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reward-454e04f28de2a55e.rmeta: crates/bench/src/bin/fig2_reward.rs Cargo.toml
+
+crates/bench/src/bin/fig2_reward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

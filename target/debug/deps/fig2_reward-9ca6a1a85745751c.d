@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_reward-9ca6a1a85745751c.d: crates/bench/src/bin/fig2_reward.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_reward-9ca6a1a85745751c.rmeta: crates/bench/src/bin/fig2_reward.rs Cargo.toml
+
+crates/bench/src/bin/fig2_reward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

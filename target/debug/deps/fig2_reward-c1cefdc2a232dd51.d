@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_reward-c1cefdc2a232dd51.d: crates/bench/src/bin/fig2_reward.rs
+
+/root/repo/target/debug/deps/fig2_reward-c1cefdc2a232dd51: crates/bench/src/bin/fig2_reward.rs
+
+crates/bench/src/bin/fig2_reward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_reward-c5307e49045f6dd7.d: crates/bench/src/bin/fig2_reward.rs
+
+/root/repo/target/debug/deps/fig2_reward-c5307e49045f6dd7: crates/bench/src/bin/fig2_reward.rs
+
+crates/bench/src/bin/fig2_reward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_local_vs_federated-869a8b24222e6dbb.d: crates/bench/src/bin/fig3_local_vs_federated.rs
+
+/root/repo/target/debug/deps/fig3_local_vs_federated-869a8b24222e6dbb: crates/bench/src/bin/fig3_local_vs_federated.rs
+
+crates/bench/src/bin/fig3_local_vs_federated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_local_vs_federated-acd8f79e8e649931.d: crates/bench/src/bin/fig3_local_vs_federated.rs
+
+/root/repo/target/debug/deps/fig3_local_vs_federated-acd8f79e8e649931: crates/bench/src/bin/fig3_local_vs_federated.rs
+
+crates/bench/src/bin/fig3_local_vs_federated.rs:

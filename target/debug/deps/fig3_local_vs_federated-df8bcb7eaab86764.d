@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_local_vs_federated-df8bcb7eaab86764.d: crates/bench/src/bin/fig3_local_vs_federated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_local_vs_federated-df8bcb7eaab86764.rmeta: crates/bench/src/bin/fig3_local_vs_federated.rs Cargo.toml
+
+crates/bench/src/bin/fig3_local_vs_federated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_frequency_selection-2db94d0b2d1fb135.d: crates/bench/src/bin/fig4_frequency_selection.rs
+
+/root/repo/target/debug/deps/fig4_frequency_selection-2db94d0b2d1fb135: crates/bench/src/bin/fig4_frequency_selection.rs
+
+crates/bench/src/bin/fig4_frequency_selection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_frequency_selection-478954d37618c9b6.d: crates/bench/src/bin/fig4_frequency_selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_frequency_selection-478954d37618c9b6.rmeta: crates/bench/src/bin/fig4_frequency_selection.rs Cargo.toml
+
+crates/bench/src/bin/fig4_frequency_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_frequency_selection-656adaf6d74531fe.d: crates/bench/src/bin/fig4_frequency_selection.rs
+
+/root/repo/target/debug/deps/fig4_frequency_selection-656adaf6d74531fe: crates/bench/src/bin/fig4_frequency_selection.rs
+
+crates/bench/src/bin/fig4_frequency_selection.rs:

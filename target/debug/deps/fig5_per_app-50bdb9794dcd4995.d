@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_per_app-50bdb9794dcd4995.d: crates/bench/src/bin/fig5_per_app.rs
+
+/root/repo/target/debug/deps/fig5_per_app-50bdb9794dcd4995: crates/bench/src/bin/fig5_per_app.rs
+
+crates/bench/src/bin/fig5_per_app.rs:

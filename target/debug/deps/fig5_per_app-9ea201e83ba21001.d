@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_per_app-9ea201e83ba21001.d: crates/bench/src/bin/fig5_per_app.rs
+
+/root/repo/target/debug/deps/fig5_per_app-9ea201e83ba21001: crates/bench/src/bin/fig5_per_app.rs
+
+crates/bench/src/bin/fig5_per_app.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_regret-08ec0999a8555235.d: crates/bench/src/bin/oracle_regret.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_regret-08ec0999a8555235.rmeta: crates/bench/src/bin/oracle_regret.rs Cargo.toml
+
+crates/bench/src/bin/oracle_regret.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_regret-19d27068df752caa.d: crates/bench/src/bin/oracle_regret.rs
+
+/root/repo/target/debug/deps/oracle_regret-19d27068df752caa: crates/bench/src/bin/oracle_regret.rs
+
+crates/bench/src/bin/oracle_regret.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_regret-1a8fa5b32b0176c8.d: crates/bench/src/bin/oracle_regret.rs
+
+/root/repo/target/debug/deps/oracle_regret-1a8fa5b32b0176c8: crates/bench/src/bin/oracle_regret.rs
+
+crates/bench/src/bin/oracle_regret.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-00fd952cbcba17a2.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-00fd952cbcba17a2: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-4aa25142e99b9f84.d: crates/bench/src/bin/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-4aa25142e99b9f84.rmeta: crates/bench/src/bin/overhead.rs Cargo.toml
+
+crates/bench/src/bin/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-d2a282c61ede139b.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-d2a282c61ede139b: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

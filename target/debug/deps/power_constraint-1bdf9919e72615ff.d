@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_constraint-1bdf9919e72615ff.d: tests/power_constraint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_constraint-1bdf9919e72615ff.rmeta: tests/power_constraint.rs Cargo.toml
+
+tests/power_constraint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

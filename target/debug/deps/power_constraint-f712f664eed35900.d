@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_constraint-f712f664eed35900.d: tests/power_constraint.rs
+
+/root/repo/target/debug/deps/power_constraint-f712f664eed35900: tests/power_constraint.rs
+
+tests/power_constraint.rs:

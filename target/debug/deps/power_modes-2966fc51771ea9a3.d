@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_modes-2966fc51771ea9a3.d: tests/power_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_modes-2966fc51771ea9a3.rmeta: tests/power_modes.rs Cargo.toml
+
+tests/power_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

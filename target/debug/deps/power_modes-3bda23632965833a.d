@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_modes-3bda23632965833a.d: tests/power_modes.rs
+
+/root/repo/target/debug/deps/power_modes-3bda23632965833a: tests/power_modes.rs
+
+tests/power_modes.rs:

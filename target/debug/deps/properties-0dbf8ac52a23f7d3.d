@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0dbf8ac52a23f7d3.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0dbf8ac52a23f7d3: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-24df34157ee65e1a.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-24df34157ee65e1a: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-e26744ec599a561d.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties-e26744ec599a561d: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-054319bc36ee27fb.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-054319bc36ee27fb: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ccbd8a8377dc6d27.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ccbd8a8377dc6d27.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ccbd8a8377dc6d27.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

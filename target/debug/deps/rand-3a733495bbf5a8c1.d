@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-3a733495bbf5a8c1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3a733495bbf5a8c1.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3a733495bbf5a8c1.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

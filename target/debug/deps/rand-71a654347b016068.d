@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-71a654347b016068.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-71a654347b016068: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reward_model_quality-73b2b74ec3cad038.d: crates/bench/src/bin/reward_model_quality.rs
+
+/root/repo/target/debug/deps/reward_model_quality-73b2b74ec3cad038: crates/bench/src/bin/reward_model_quality.rs
+
+crates/bench/src/bin/reward_model_quality.rs:

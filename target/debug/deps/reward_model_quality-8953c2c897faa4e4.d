@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reward_model_quality-8953c2c897faa4e4.d: crates/bench/src/bin/reward_model_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreward_model_quality-8953c2c897faa4e4.rmeta: crates/bench/src/bin/reward_model_quality.rs Cargo.toml
+
+crates/bench/src/bin/reward_model_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reward_model_quality-ae8f01895097db1c.d: crates/bench/src/bin/reward_model_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreward_model_quality-ae8f01895097db1c.rmeta: crates/bench/src/bin/reward_model_quality.rs Cargo.toml
+
+crates/bench/src/bin/reward_model_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reward_model_quality-fc30abfa8f4d399c.d: crates/bench/src/bin/reward_model_quality.rs
+
+/root/repo/target/debug/deps/reward_model_quality-fc30abfa8f4d399c: crates/bench/src/bin/reward_model_quality.rs
+
+crates/bench/src/bin/reward_model_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization_roundtrip-c582c8d4fac25e32.d: tests/serialization_roundtrip.rs
+
+/root/repo/target/debug/deps/serialization_roundtrip-c582c8d4fac25e32: tests/serialization_roundtrip.rs
+
+tests/serialization_roundtrip.rs:

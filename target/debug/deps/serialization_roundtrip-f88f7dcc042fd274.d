@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serialization_roundtrip-f88f7dcc042fd274.d: tests/serialization_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserialization_roundtrip-f88f7dcc042fd274.rmeta: tests/serialization_roundtrip.rs Cargo.toml
+
+tests/serialization_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

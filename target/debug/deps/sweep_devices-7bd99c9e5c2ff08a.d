@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_devices-7bd99c9e5c2ff08a.d: crates/bench/src/bin/sweep_devices.rs
+
+/root/repo/target/debug/deps/sweep_devices-7bd99c9e5c2ff08a: crates/bench/src/bin/sweep_devices.rs
+
+crates/bench/src/bin/sweep_devices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_devices-afa867e1aa56cf0b.d: crates/bench/src/bin/sweep_devices.rs
+
+/root/repo/target/debug/deps/sweep_devices-afa867e1aa56cf0b: crates/bench/src/bin/sweep_devices.rs
+
+crates/bench/src/bin/sweep_devices.rs:

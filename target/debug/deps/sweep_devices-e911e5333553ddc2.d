@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_devices-e911e5333553ddc2.d: crates/bench/src/bin/sweep_devices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_devices-e911e5333553ddc2.rmeta: crates/bench/src/bin/sweep_devices.rs Cargo.toml
+
+crates/bench/src/bin/sweep_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

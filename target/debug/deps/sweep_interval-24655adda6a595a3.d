@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_interval-24655adda6a595a3.d: crates/bench/src/bin/sweep_interval.rs
+
+/root/repo/target/debug/deps/sweep_interval-24655adda6a595a3: crates/bench/src/bin/sweep_interval.rs
+
+crates/bench/src/bin/sweep_interval.rs:

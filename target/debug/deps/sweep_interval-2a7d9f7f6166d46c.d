@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_interval-2a7d9f7f6166d46c.d: crates/bench/src/bin/sweep_interval.rs
+
+/root/repo/target/debug/deps/sweep_interval-2a7d9f7f6166d46c: crates/bench/src/bin/sweep_interval.rs
+
+crates/bench/src/bin/sweep_interval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_interval-b96709c5ffce8d2e.d: crates/bench/src/bin/sweep_interval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_interval-b96709c5ffce8d2e.rmeta: crates/bench/src/bin/sweep_interval.rs Cargo.toml
+
+crates/bench/src/bin/sweep_interval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_interval-ca505c80443c7845.d: crates/bench/src/bin/sweep_interval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_interval-ca505c80443c7845.rmeta: crates/bench/src/bin/sweep_interval.rs Cargo.toml
+
+crates/bench/src/bin/sweep_interval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

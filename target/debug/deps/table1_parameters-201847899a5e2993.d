@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_parameters-201847899a5e2993.d: crates/bench/src/bin/table1_parameters.rs
+
+/root/repo/target/debug/deps/table1_parameters-201847899a5e2993: crates/bench/src/bin/table1_parameters.rs
+
+crates/bench/src/bin/table1_parameters.rs:

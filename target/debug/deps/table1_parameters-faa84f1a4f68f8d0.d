@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_parameters-faa84f1a4f68f8d0.d: crates/bench/src/bin/table1_parameters.rs
+
+/root/repo/target/debug/deps/table1_parameters-faa84f1a4f68f8d0: crates/bench/src/bin/table1_parameters.rs
+
+crates/bench/src/bin/table1_parameters.rs:

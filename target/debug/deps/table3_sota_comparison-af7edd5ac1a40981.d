@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_sota_comparison-af7edd5ac1a40981.d: crates/bench/src/bin/table3_sota_comparison.rs
+
+/root/repo/target/debug/deps/table3_sota_comparison-af7edd5ac1a40981: crates/bench/src/bin/table3_sota_comparison.rs
+
+crates/bench/src/bin/table3_sota_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_sota_comparison-b5b7a3cf21f431f4.d: crates/bench/src/bin/table3_sota_comparison.rs
+
+/root/repo/target/debug/deps/table3_sota_comparison-b5b7a3cf21f431f4: crates/bench/src/bin/table3_sota_comparison.rs
+
+crates/bench/src/bin/table3_sota_comparison.rs:

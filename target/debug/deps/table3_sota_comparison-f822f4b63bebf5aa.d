@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_sota_comparison-f822f4b63bebf5aa.d: crates/bench/src/bin/table3_sota_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_sota_comparison-f822f4b63bebf5aa.rmeta: crates/bench/src/bin/table3_sota_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table3_sota_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_edp-18b72f1343d7819f.d: crates/bench/src/bin/table_edp.rs
+
+/root/repo/target/debug/deps/table_edp-18b72f1343d7819f: crates/bench/src/bin/table_edp.rs
+
+crates/bench/src/bin/table_edp.rs:

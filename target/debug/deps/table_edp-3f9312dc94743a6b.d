@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_edp-3f9312dc94743a6b.d: crates/bench/src/bin/table_edp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_edp-3f9312dc94743a6b.rmeta: crates/bench/src/bin/table_edp.rs Cargo.toml
+
+crates/bench/src/bin/table_edp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

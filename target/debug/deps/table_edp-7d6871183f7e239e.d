@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_edp-7d6871183f7e239e.d: crates/bench/src/bin/table_edp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_edp-7d6871183f7e239e.rmeta: crates/bench/src/bin/table_edp.rs Cargo.toml
+
+crates/bench/src/bin/table_edp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_edp-9c68a0270e9bd63f.d: crates/bench/src/bin/table_edp.rs
+
+/root/repo/target/debug/deps/table_edp-9c68a0270e9bd63f: crates/bench/src/bin/table_edp.rs
+
+crates/bench/src/bin/table_edp.rs:

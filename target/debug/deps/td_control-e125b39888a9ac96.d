@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/td_control-e125b39888a9ac96.d: tests/td_control.rs
+
+/root/repo/target/debug/deps/td_control-e125b39888a9ac96: tests/td_control.rs
+
+tests/td_control.rs:

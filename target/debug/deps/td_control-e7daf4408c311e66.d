@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/td_control-e7daf4408c311e66.d: tests/td_control.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtd_control-e7daf4408c311e66.rmeta: tests/td_control.rs Cargo.toml
+
+tests/td_control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/battery_mission-42a43531e0efb4c3.d: examples/battery_mission.rs
+
+/root/repo/target/debug/examples/battery_mission-42a43531e0efb4c3: examples/battery_mission.rs
+
+examples/battery_mission.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/battery_mission-516293e7c9fc44cb.d: examples/battery_mission.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbattery_mission-516293e7c9fc44cb.rmeta: examples/battery_mission.rs Cargo.toml
+
+examples/battery_mission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

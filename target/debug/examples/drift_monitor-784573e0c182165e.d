@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drift_monitor-784573e0c182165e.d: examples/drift_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrift_monitor-784573e0c182165e.rmeta: examples/drift_monitor.rs Cargo.toml
+
+examples/drift_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

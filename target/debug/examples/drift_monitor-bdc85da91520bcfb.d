@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_monitor-bdc85da91520bcfb.d: examples/drift_monitor.rs
+
+/root/repo/target/debug/examples/drift_monitor-bdc85da91520bcfb: examples/drift_monitor.rs
+
+examples/drift_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federated_training-0626be46a39d72cd.d: examples/federated_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederated_training-0626be46a39d72cd.rmeta: examples/federated_training.rs Cargo.toml
+
+examples/federated_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

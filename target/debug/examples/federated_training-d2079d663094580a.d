@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_training-d2079d663094580a.d: examples/federated_training.rs
+
+/root/repo/target/debug/examples/federated_training-d2079d663094580a: examples/federated_training.rs
+
+examples/federated_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/governor_comparison-49b63af960d9ab71.d: examples/governor_comparison.rs
+
+/root/repo/target/debug/examples/governor_comparison-49b63af960d9ab71: examples/governor_comparison.rs
+
+examples/governor_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/governor_comparison-609cf44a2838dc19.d: examples/governor_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgovernor_comparison-609cf44a2838dc19.rmeta: examples/governor_comparison.rs Cargo.toml
+
+examples/governor_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-7a7621e1c56b4070.d: examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-7a7621e1c56b4070: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

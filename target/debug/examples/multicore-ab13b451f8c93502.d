@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multicore-ab13b451f8c93502.d: examples/multicore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulticore-ab13b451f8c93502.rmeta: examples/multicore.rs Cargo.toml
+
+examples/multicore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

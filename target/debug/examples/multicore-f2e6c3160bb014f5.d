@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multicore-f2e6c3160bb014f5.d: examples/multicore.rs
+
+/root/repo/target/debug/examples/multicore-f2e6c3160bb014f5: examples/multicore.rs
+
+examples/multicore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-596e058e0f6612e5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-596e058e0f6612e5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_aggregation-a604ca58ec29603c.d: crates/bench/src/bin/ablation_aggregation.rs
+
+/root/repo/target/release/deps/ablation_aggregation-a604ca58ec29603c: crates/bench/src/bin/ablation_aggregation.rs
+
+crates/bench/src/bin/ablation_aggregation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bandit_vs_td-03167123fe6843b1.d: crates/bench/src/bin/ablation_bandit_vs_td.rs
+
+/root/repo/target/release/deps/ablation_bandit_vs_td-03167123fe6843b1: crates/bench/src/bin/ablation_bandit_vs_td.rs
+
+crates/bench/src/bin/ablation_bandit_vs_td.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_byzantine-59b0bc8e04356f06.d: crates/bench/src/bin/ablation_byzantine.rs
+
+/root/repo/target/release/deps/ablation_byzantine-59b0bc8e04356f06: crates/bench/src/bin/ablation_byzantine.rs
+
+crates/bench/src/bin/ablation_byzantine.rs:

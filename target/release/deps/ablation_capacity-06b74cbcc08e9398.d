@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_capacity-06b74cbcc08e9398.d: crates/bench/src/bin/ablation_capacity.rs
+
+/root/repo/target/release/deps/ablation_capacity-06b74cbcc08e9398: crates/bench/src/bin/ablation_capacity.rs
+
+crates/bench/src/bin/ablation_capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_drift-0e3baf3c08469cbb.d: crates/bench/src/bin/ablation_drift.rs
+
+/root/repo/target/release/deps/ablation_drift-0e3baf3c08469cbb: crates/bench/src/bin/ablation_drift.rs
+
+crates/bench/src/bin/ablation_drift.rs:

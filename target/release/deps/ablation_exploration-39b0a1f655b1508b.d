@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_exploration-39b0a1f655b1508b.d: crates/bench/src/bin/ablation_exploration.rs
+
+/root/repo/target/release/deps/ablation_exploration-39b0a1f655b1508b: crates/bench/src/bin/ablation_exploration.rs
+
+crates/bench/src/bin/ablation_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_model_class-f547b67e4ed6fa5d.d: crates/bench/src/bin/ablation_model_class.rs
+
+/root/repo/target/release/deps/ablation_model_class-f547b67e4ed6fa5d: crates/bench/src/bin/ablation_model_class.rs
+
+crates/bench/src/bin/ablation_model_class.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_noise-d59dd1bd93ad7ed3.d: crates/bench/src/bin/ablation_noise.rs
+
+/root/repo/target/release/deps/ablation_noise-d59dd1bd93ad7ed3: crates/bench/src/bin/ablation_noise.rs
+
+crates/bench/src/bin/ablation_noise.rs:

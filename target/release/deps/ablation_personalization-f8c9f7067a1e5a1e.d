@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_personalization-f8c9f7067a1e5a1e.d: crates/bench/src/bin/ablation_personalization.rs
+
+/root/repo/target/release/deps/ablation_personalization-f8c9f7067a1e5a1e: crates/bench/src/bin/ablation_personalization.rs
+
+crates/bench/src/bin/ablation_personalization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_phases-6ca77e85e4a8f513.d: crates/bench/src/bin/ablation_phases.rs
+
+/root/repo/target/release/deps/ablation_phases-6ca77e85e4a8f513: crates/bench/src/bin/ablation_phases.rs
+
+crates/bench/src/bin/ablation_phases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_seeds-25c75495fc1e784f.d: crates/bench/src/bin/ablation_seeds.rs
+
+/root/repo/target/release/deps/ablation_seeds-25c75495fc1e784f: crates/bench/src/bin/ablation_seeds.rs
+
+crates/bench/src/bin/ablation_seeds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_thermal-9199a4d9ebf3f80a.d: crates/bench/src/bin/ablation_thermal.rs
+
+/root/repo/target/release/deps/ablation_thermal-9199a4d9ebf3f80a: crates/bench/src/bin/ablation_thermal.rs
+
+crates/bench/src/bin/ablation_thermal.rs:

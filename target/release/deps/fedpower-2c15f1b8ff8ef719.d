@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedpower-2c15f1b8ff8ef719.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/fedpower-2c15f1b8ff8ef719: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fedpower-57253cc7a9559b27.d: src/lib.rs
+
+/root/repo/target/release/deps/libfedpower-57253cc7a9559b27.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfedpower-57253cc7a9559b27.rmeta: src/lib.rs
+
+src/lib.rs:

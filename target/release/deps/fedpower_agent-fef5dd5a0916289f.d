@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedpower_agent-fef5dd5a0916289f.d: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+/root/repo/target/release/deps/libfedpower_agent-fef5dd5a0916289f.rlib: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+/root/repo/target/release/deps/libfedpower_agent-fef5dd5a0916289f.rmeta: crates/agent/src/lib.rs crates/agent/src/cluster_env.rs crates/agent/src/controller.rs crates/agent/src/env.rs crates/agent/src/policy.rs crates/agent/src/replay.rs crates/agent/src/reward.rs crates/agent/src/state.rs crates/agent/src/td.rs
+
+crates/agent/src/lib.rs:
+crates/agent/src/cluster_env.rs:
+crates/agent/src/controller.rs:
+crates/agent/src/env.rs:
+crates/agent/src/policy.rs:
+crates/agent/src/replay.rs:
+crates/agent/src/reward.rs:
+crates/agent/src/state.rs:
+crates/agent/src/td.rs:

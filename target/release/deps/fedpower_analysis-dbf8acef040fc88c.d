@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedpower_analysis-dbf8acef040fc88c.d: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+/root/repo/target/release/deps/libfedpower_analysis-dbf8acef040fc88c.rlib: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+/root/repo/target/release/deps/libfedpower_analysis-dbf8acef040fc88c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/pareto.rs crates/analysis/src/regression.rs crates/analysis/src/significance.rs crates/analysis/src/smooth.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/pareto.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/significance.rs:
+crates/analysis/src/smooth.rs:
+crates/analysis/src/stats.rs:

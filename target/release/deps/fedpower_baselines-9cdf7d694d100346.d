@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedpower_baselines-9cdf7d694d100346.d: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+/root/repo/target/release/deps/libfedpower_baselines-9cdf7d694d100346.rlib: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+/root/repo/target/release/deps/libfedpower_baselines-9cdf7d694d100346.rmeta: crates/baselines/src/lib.rs crates/baselines/src/collab.rs crates/baselines/src/discretize.rs crates/baselines/src/fed_linucb.rs crates/baselines/src/governor.rs crates/baselines/src/linucb.rs crates/baselines/src/profit.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/collab.rs:
+crates/baselines/src/discretize.rs:
+crates/baselines/src/fed_linucb.rs:
+crates/baselines/src/governor.rs:
+crates/baselines/src/linucb.rs:
+crates/baselines/src/profit.rs:

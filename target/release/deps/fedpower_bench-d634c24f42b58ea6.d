@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fedpower_bench-d634c24f42b58ea6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfedpower_bench-d634c24f42b58ea6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfedpower_bench-d634c24f42b58ea6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fedpower_cli-da82f7004267e94b.d: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libfedpower_cli-da82f7004267e94b.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libfedpower_cli-da82f7004267e94b.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:

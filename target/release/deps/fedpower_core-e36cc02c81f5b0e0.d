@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedpower_core-e36cc02c81f5b0e0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libfedpower_core-e36cc02c81f5b0e0.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libfedpower_core-e36cc02c81f5b0e0.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/eval.rs crates/core/src/experiment.rs crates/core/src/metrics.rs crates/core/src/oracle.rs crates/core/src/policy.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiment.rs:
+crates/core/src/metrics.rs:
+crates/core/src/oracle.rs:
+crates/core/src/policy.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedpower_federated-8d63a483e995ed9b.d: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+/root/repo/target/release/deps/libfedpower_federated-8d63a483e995ed9b.rlib: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+/root/repo/target/release/deps/libfedpower_federated-8d63a483e995ed9b.rmeta: crates/federated/src/lib.rs crates/federated/src/client.rs crates/federated/src/error.rs crates/federated/src/fault.rs crates/federated/src/federation.rs crates/federated/src/server.rs crates/federated/src/td_client.rs crates/federated/src/transport.rs
+
+crates/federated/src/lib.rs:
+crates/federated/src/client.rs:
+crates/federated/src/error.rs:
+crates/federated/src/fault.rs:
+crates/federated/src/federation.rs:
+crates/federated/src/server.rs:
+crates/federated/src/td_client.rs:
+crates/federated/src/transport.rs:

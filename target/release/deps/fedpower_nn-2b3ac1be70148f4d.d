@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedpower_nn-2b3ac1be70148f4d.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libfedpower_nn-2b3ac1be70148f4d.rlib: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libfedpower_nn-2b3ac1be70148f4d.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/matrix.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:

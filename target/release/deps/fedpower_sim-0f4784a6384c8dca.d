@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fedpower_sim-0f4784a6384c8dca.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libfedpower_sim-0f4784a6384c8dca.rlib: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libfedpower_sim-0f4784a6384c8dca.rmeta: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/cluster.rs crates/sim/src/counters.rs crates/sim/src/error.rs crates/sim/src/freq.rs crates/sim/src/perf.rs crates/sim/src/power.rs crates/sim/src/processor.rs crates/sim/src/rng.rs crates/sim/src/thermal.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/error.rs:
+crates/sim/src/freq.rs:
+crates/sim/src/perf.rs:
+crates/sim/src/power.rs:
+crates/sim/src/processor.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/thermal.rs:
+crates/sim/src/trace.rs:

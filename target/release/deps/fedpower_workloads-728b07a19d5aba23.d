@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedpower_workloads-728b07a19d5aba23.d: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+/root/repo/target/release/deps/libfedpower_workloads-728b07a19d5aba23.rlib: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+/root/repo/target/release/deps/libfedpower_workloads-728b07a19d5aba23.rmeta: crates/workloads/src/lib.rs crates/workloads/src/app.rs crates/workloads/src/catalog.rs crates/workloads/src/run.rs crates/workloads/src/schedule.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/app.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/run.rs:
+crates/workloads/src/schedule.rs:

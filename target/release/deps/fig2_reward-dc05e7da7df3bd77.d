@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_reward-dc05e7da7df3bd77.d: crates/bench/src/bin/fig2_reward.rs
+
+/root/repo/target/release/deps/fig2_reward-dc05e7da7df3bd77: crates/bench/src/bin/fig2_reward.rs
+
+crates/bench/src/bin/fig2_reward.rs:

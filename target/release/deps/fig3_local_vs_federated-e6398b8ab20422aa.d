@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_local_vs_federated-e6398b8ab20422aa.d: crates/bench/src/bin/fig3_local_vs_federated.rs
+
+/root/repo/target/release/deps/fig3_local_vs_federated-e6398b8ab20422aa: crates/bench/src/bin/fig3_local_vs_federated.rs
+
+crates/bench/src/bin/fig3_local_vs_federated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_frequency_selection-0331ea0047496b7c.d: crates/bench/src/bin/fig4_frequency_selection.rs
+
+/root/repo/target/release/deps/fig4_frequency_selection-0331ea0047496b7c: crates/bench/src/bin/fig4_frequency_selection.rs
+
+crates/bench/src/bin/fig4_frequency_selection.rs:

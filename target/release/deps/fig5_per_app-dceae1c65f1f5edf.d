@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_per_app-dceae1c65f1f5edf.d: crates/bench/src/bin/fig5_per_app.rs
+
+/root/repo/target/release/deps/fig5_per_app-dceae1c65f1f5edf: crates/bench/src/bin/fig5_per_app.rs
+
+crates/bench/src/bin/fig5_per_app.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_regret-133f3fdbe69d16c2.d: crates/bench/src/bin/oracle_regret.rs
+
+/root/repo/target/release/deps/oracle_regret-133f3fdbe69d16c2: crates/bench/src/bin/oracle_regret.rs
+
+crates/bench/src/bin/oracle_regret.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-7cbe8789748fcd67.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-7cbe8789748fcd67: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-26a9e7b6c60d6dd3.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-26a9e7b6c60d6dd3.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-26a9e7b6c60d6dd3.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

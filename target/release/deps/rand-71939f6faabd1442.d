@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-71939f6faabd1442.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-71939f6faabd1442.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-71939f6faabd1442.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

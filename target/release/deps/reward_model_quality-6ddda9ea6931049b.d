@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reward_model_quality-6ddda9ea6931049b.d: crates/bench/src/bin/reward_model_quality.rs
+
+/root/repo/target/release/deps/reward_model_quality-6ddda9ea6931049b: crates/bench/src/bin/reward_model_quality.rs
+
+crates/bench/src/bin/reward_model_quality.rs:

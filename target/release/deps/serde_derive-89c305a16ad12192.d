@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-89c305a16ad12192.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-89c305a16ad12192.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

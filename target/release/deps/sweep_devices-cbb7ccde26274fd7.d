@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_devices-cbb7ccde26274fd7.d: crates/bench/src/bin/sweep_devices.rs
+
+/root/repo/target/release/deps/sweep_devices-cbb7ccde26274fd7: crates/bench/src/bin/sweep_devices.rs
+
+crates/bench/src/bin/sweep_devices.rs:

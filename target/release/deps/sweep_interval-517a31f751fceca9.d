@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_interval-517a31f751fceca9.d: crates/bench/src/bin/sweep_interval.rs
+
+/root/repo/target/release/deps/sweep_interval-517a31f751fceca9: crates/bench/src/bin/sweep_interval.rs
+
+crates/bench/src/bin/sweep_interval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_parameters-36290f0c2947b5d7.d: crates/bench/src/bin/table1_parameters.rs
+
+/root/repo/target/release/deps/table1_parameters-36290f0c2947b5d7: crates/bench/src/bin/table1_parameters.rs
+
+crates/bench/src/bin/table1_parameters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_sota_comparison-ab45b1e63985f2f2.d: crates/bench/src/bin/table3_sota_comparison.rs
+
+/root/repo/target/release/deps/table3_sota_comparison-ab45b1e63985f2f2: crates/bench/src/bin/table3_sota_comparison.rs
+
+crates/bench/src/bin/table3_sota_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_edp-e36c147778f75bcf.d: crates/bench/src/bin/table_edp.rs
+
+/root/repo/target/release/deps/table_edp-e36c147778f75bcf: crates/bench/src/bin/table_edp.rs
+
+crates/bench/src/bin/table_edp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__gapscan-2e2c81b65d1c08ec.d: examples/__gapscan.rs
+
+/root/repo/target/release/examples/__gapscan-2e2c81b65d1c08ec: examples/__gapscan.rs
+
+examples/__gapscan.rs:

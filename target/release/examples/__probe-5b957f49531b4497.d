@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__probe-5b957f49531b4497.d: examples/__probe.rs
+
+/root/repo/target/release/examples/__probe-5b957f49531b4497: examples/__probe.rs
+
+examples/__probe.rs:

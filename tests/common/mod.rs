@@ -1,0 +1,66 @@
+//! Shared fixtures for the workspace integration tests.
+
+use fedpower::federated::{FederatedClient, ModelUpdate};
+
+/// A tiny deterministic federated client with analytically tractable
+/// dynamics: each local round pulls every parameter halfway toward the
+/// client's own target, so a federation of `MathClient`s converges to the
+/// mean of the targets and every intermediate global is easy to reason
+/// about.
+#[derive(Debug, Clone)]
+pub struct MathClient {
+    id: usize,
+    /// Current local parameters.
+    pub params: Vec<f32>,
+    /// The client's local optimum.
+    pub target: f32,
+    /// Global models installed so far.
+    pub downloads: u64,
+}
+
+#[allow(dead_code)]
+impl MathClient {
+    /// A client whose target is `id + 1` (so four clients average to 2.5).
+    pub fn new(id: usize) -> Self {
+        MathClient::with_target(id, (id + 1) as f32)
+    }
+
+    /// A client pulling toward an explicit `target`.
+    pub fn with_target(id: usize, target: f32) -> Self {
+        MathClient {
+            id,
+            params: vec![0.0; 4],
+            target,
+            downloads: 0,
+        }
+    }
+}
+
+impl FederatedClient for MathClient {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn train_round(&mut self, _steps: u64) {
+        for p in &mut self.params {
+            *p += 0.5 * (self.target - *p);
+        }
+    }
+
+    fn upload(&mut self) -> ModelUpdate {
+        ModelUpdate {
+            client_id: self.id,
+            params: self.params.clone(),
+            num_samples: 10,
+        }
+    }
+
+    fn download(&mut self, global: &[f32]) {
+        self.params = global.to_vec();
+        self.downloads += 1;
+    }
+
+    fn transfer_bytes(&self) -> usize {
+        self.params.len() * 4
+    }
+}

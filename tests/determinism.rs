@@ -1,9 +1,14 @@
 //! Workspace-wide determinism: the same master seed reproduces every
 //! experiment bit-for-bit; different seeds genuinely differ.
 
+use fedpower::agent::{ControllerConfig, DeviceEnvConfig};
 use fedpower::core::experiment::{run_federated, run_fig5, train_profit_collab};
 use fedpower::core::scenario::{six_six_split, table2_scenarios};
 use fedpower::core::ExperimentConfig;
+use fedpower::federated::{
+    AgentClient, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FedAvgConfig, Federation,
+};
+use fedpower::workloads::AppId;
 
 fn tiny() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::smoke();
@@ -31,6 +36,77 @@ fn different_seeds_give_different_policies() {
     let a = run_federated(scenario, &tiny());
     let b = run_federated(scenario, &tiny().with_seed(1234));
     assert_ne!(a.agents[0].params(), b.agents[0].params());
+}
+
+#[test]
+fn faulty_federated_run_is_bit_reproducible() {
+    let scenario = &table2_scenarios()[0];
+    let mut cfg = tiny();
+    cfg.fault_scenario = FaultScenario::Chaos;
+    let a = run_federated(scenario, &cfg);
+    let b = run_federated(scenario, &cfg);
+    assert_eq!(a.agents[0].params(), b.agents[0].params());
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.transport, b.transport);
+    assert_eq!(
+        a.reports, b.reports,
+        "identical faults hit identical rounds"
+    );
+    assert_eq!(a.fault_summary, b.fault_summary);
+}
+
+/// With every fault probability at zero the generated plan is empty, and
+/// a fault-wrapped federation reproduces the unwrapped one bit-for-bit —
+/// the fault layer costs nothing when turned off.
+#[test]
+fn zero_probability_faults_equal_the_fault_free_run() {
+    fn agent_clients() -> Vec<AgentClient> {
+        vec![
+            AgentClient::new(
+                0,
+                ControllerConfig::paper(),
+                DeviceEnvConfig::new(&[AppId::Fft, AppId::Lu]),
+                3,
+            ),
+            AgentClient::new(
+                1,
+                ControllerConfig::paper(),
+                DeviceEnvConfig::new(&[AppId::Ocean, AppId::Radix]),
+                4,
+            ),
+        ]
+    }
+    let mut fed_cfg = FedAvgConfig::paper();
+    fed_cfg.rounds = 3;
+    fed_cfg.steps_per_round = 30;
+
+    let plain = {
+        let mut fed = Federation::new(agent_clients(), fed_cfg, 5);
+        fed.run();
+        (
+            fed.global_params().to_vec(),
+            *fed.transport(),
+            fed.clients()[0].agent().params(),
+        )
+    };
+    let wrapped = {
+        let plan = FaultPlan::generate(&FaultConfig::none(), 2, 3, 77);
+        assert!(plan.is_empty(), "zero probabilities must yield no faults");
+        let clients: Vec<FaultyClient<AgentClient>> = agent_clients()
+            .into_iter()
+            .map(|c| FaultyClient::new(c, &plan))
+            .collect();
+        let mut fed = Federation::new(clients, fed_cfg, 5);
+        fed.run();
+        (
+            fed.global_params().to_vec(),
+            *fed.transport(),
+            fed.clients()[0].inner().agent().params(),
+        )
+    };
+    assert_eq!(plain.0, wrapped.0, "global θ must be bit-identical");
+    assert_eq!(plain.1, wrapped.1, "transport accounting must match");
+    assert_eq!(plain.2, wrapped.2, "client-side policies must match");
 }
 
 #[test]

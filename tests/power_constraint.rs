@@ -1,12 +1,12 @@
 //! The point of the whole system: trained policies must respect the power
 //! constraint while extracting performance.
 
+use fedpower::baselines::PowersaveGovernor;
 use fedpower::core::eval::{run_to_completion, EvalOptions};
 use fedpower::core::experiment::run_federated_training_only;
 use fedpower::core::policy::GovernorPolicy;
 use fedpower::core::scenario::six_six_split;
 use fedpower::core::ExperimentConfig;
-use fedpower::baselines::PowersaveGovernor;
 use fedpower::sim::VfTable;
 use fedpower::workloads::AppId;
 

@@ -1,7 +1,13 @@
 //! Property-based tests over the workspace's core invariants.
 
+mod common;
+
+use common::MathClient;
 use fedpower::agent::{ReplayBuffer, RewardConfig, SoftmaxPolicy, State, Transition};
 use fedpower::baselines::Discretizer;
+use fedpower::federated::{
+    FaultConfig, FaultPlan, FaultSummary, FaultyClient, FedAvgConfig, Federation,
+};
 use fedpower::nn::{average_params, Activation, Mlp};
 use fedpower::sim::{PerfCounters, PerfModel, PhaseParams, PowerModel, VfTable};
 use proptest::prelude::*;
@@ -129,6 +135,79 @@ proptest! {
             prop_assert!(p > prev);
             prev = p;
         }
+    }
+
+    /// Under *any* fault plan — drops, stragglers, corruption, crashes at
+    /// arbitrary rates — the aggregated global model never contains a
+    /// NaN/Inf, every round's client dispositions add up, and the
+    /// transport counters reconcile with the round reports.
+    #[test]
+    fn faulty_federation_never_yields_non_finite_globals(
+        plan_seed in 0_u64..10_000,
+        p_upload_drop in 0.0_f64..0.25,
+        p_download_drop in 0.0_f64..0.15,
+        p_straggle in 0.0_f64..0.2,
+        p_corrupt in 0.0_f64..0.15,
+        p_crash in 0.0_f64..0.1,
+    ) {
+        let faults = FaultConfig {
+            p_upload_drop,
+            p_download_drop,
+            p_straggle,
+            p_corrupt,
+            p_crash,
+            max_drop_attempts: 4,
+            max_straggle_rounds: 2,
+            max_crash_rounds: 2,
+        };
+        let rounds = 8_u64;
+        let plan = FaultPlan::generate(&faults, 4, rounds, plan_seed);
+        let clients: Vec<FaultyClient<MathClient>> = (0..4)
+            .map(|i| FaultyClient::new(MathClient::new(i), &plan))
+            .collect();
+        let mut cfg = FedAvgConfig::paper();
+        cfg.rounds = rounds;
+        cfg.steps_per_round = 1;
+        let mut fed = Federation::new(clients, cfg, plan_seed);
+
+        let mut reports = Vec::new();
+        for _ in 0..rounds {
+            let report = fed.run_round();
+            prop_assert!(
+                fed.global_params().iter().all(|p| p.is_finite()),
+                "non-finite global after round {} under plan {:?}",
+                report.round,
+                plan.counts()
+            );
+            // Every trained client lands in exactly one disposition
+            // (MathClient parameters are always finite, so only injected
+            // corruption can be rejected — and stale updates never are).
+            prop_assert_eq!(
+                report.uploads_ok
+                    + report.uploads_dropped
+                    + report.stragglers_started
+                    + report.updates_rejected,
+                report.participants,
+                "round {} dispositions don't add up: {:?}",
+                report.round,
+                report
+            );
+            reports.push(report);
+        }
+
+        let summary = FaultSummary::from_reports(&reports);
+        let t = *fed.transport();
+        // Arrivals = admitted fresh + admitted stale + rejected.
+        prop_assert_eq!(
+            t.uploads,
+            (summary.uploads_ok + summary.stale_applied + summary.updates_rejected) as u64
+        );
+        prop_assert_eq!(t.upload_retries, summary.upload_retries);
+        prop_assert_eq!(t.uploads_dropped, summary.uploads_dropped as u64);
+        prop_assert_eq!(t.downloads_dropped, summary.download_drops as u64);
+        prop_assert_eq!(t.updates_rejected, summary.updates_rejected as u64);
+        // A straggler's update can be superseded but never invented.
+        prop_assert!(summary.stale_applied <= summary.stragglers_started);
     }
 
     /// Discretization is total: any finite counter sample maps to a key

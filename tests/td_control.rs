@@ -59,7 +59,10 @@ fn gamma_zero_td_matches_bandit_quality_on_device() {
     let opts = EvalOptions::default();
     let mut r_td = 0.0;
     let mut r_bandit = 0.0;
-    for (i, app) in [AppId::Fft, AppId::Ocean, AppId::Lu].into_iter().enumerate() {
+    for (i, app) in [AppId::Fft, AppId::Ocean, AppId::Lu]
+        .into_iter()
+        .enumerate()
+    {
         let seed = 20 + i as u64;
         let mut p = td.clone();
         r_td += evaluate_on_app(&mut p, app, &opts, seed).mean_reward;
@@ -79,8 +82,8 @@ fn gamma_zero_td_matches_bandit_quality_on_device() {
 fn high_gamma_underperforms_the_bandit_on_this_problem() {
     // The flip side of the paper's formulation choice: a heavy discount
     // inflates targets and slows convergence with no dynamics to exploit.
-    let bandit_like = train_td(0.0, 3000, 5);
-    let heavy = train_td(0.99, 3000, 5);
+    let bandit_like = train_td(0.0, 3000, 10);
+    let heavy = train_td(0.99, 3000, 10);
     let opts = EvalOptions::default();
     let mut r_light = 0.0;
     let mut r_heavy = 0.0;

@@ -1,0 +1,176 @@
+//! Offline vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — with a simple wall-clock
+//! measurement loop (warm-up, then a timed window) instead of upstream's
+//! statistical machinery. Each benchmark prints `name  time/iter  iters`
+//! to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// computations.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How much setup output `iter_batched` should pre-build per batch.
+/// Accepted for API compatibility; measurement is unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input (upstream batches many per allocation).
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// One setup call per routine call.
+    PerIteration,
+}
+
+/// Measurement settings for the vendored harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(100),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f`, printing mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iters as u32
+        };
+        println!(
+            "{name:<48} {per_iter:>12.2?}/iter ({} iters)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Drives the measurement loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times repeated calls of `routine` on fresh inputs built by `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // Measurement window.
+        let window = Instant::now();
+        while window.elapsed() < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut counter = 0_u64;
+        fast().bench_function("stub/increment", |b| b.iter(|| counter += 1));
+        assert!(counter > 0, "routine never executed");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut setups = 0_u64;
+        let mut runs = 0_u64;
+        fast().bench_function("stub/batched", |b| {
+            b.iter_batched(|| setups += 1, |()| runs += 1, BatchSize::SmallInput)
+        });
+        assert!(setups >= runs, "every run needs a setup");
+        assert!(runs > 0);
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.warm_up = Duration::from_millis(1);
+        c.measure = Duration::from_millis(2);
+        c.bench_function("stub/noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke_group();
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline vendored stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! * numeric range strategies (`0.0_f64..1.0`, `1_usize..8`, `a..=b`),
+//! * tuple strategies (2–8 elements),
+//! * [`prop::collection::vec`] with fixed or ranged sizes,
+//! * [`Just`],
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! deterministic case index instead), and a default of 64 cases per
+//! property (override with the `PROPTEST_CASES` environment variable).
+//! Case generation is fully deterministic per test name, so failures
+//! reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exported so the [`proptest!`] macro can seed its runner.
+pub use rand::SeedableRng;
+
+/// Error produced by a failing `prop_assert!` family macro.
+pub type TestCaseError = String;
+
+/// Outcome of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of test-case values.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a
+/// strategy is just a deterministic sampler over an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Size specification for [`prop::collection::vec`]: an exact length or a
+/// length range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy returned by [`prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// The `prop` namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// A strategy for `Vec`s of `element` values with lengths drawn
+        /// from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` env override).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test runner seed derived from the test's name.
+pub fn runner_seed(test_name: &str) -> u64 {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines deterministic property tests.
+///
+/// Attributes like `#[test]` pass through in front of `fn`; without them
+/// the property is a plain function you can call directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0_i64..1000, b in 0_i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategies = ($($strat,)+);
+                let mut rng = <$crate::__rng::StdRng as $crate::SeedableRng>::seed_from_u64(
+                    $crate::runner_seed(stringify!($name)),
+                );
+                for case in 0..$crate::cases() {
+                    let ($($arg,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(message) = outcome {
+                        panic!(
+                            "property `{}` failed at deterministic case {}/{}:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            $crate::cases(),
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with formatting support) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::rngs::StdRng;
+}
+
+/// The conventional glob import for property tests.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strat = (1_usize..8, -1.0_f64..1.0).prop_map(|(n, x)| vec![x; n]);
+        let mut a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_specs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let exact = prop::collection::vec(0.0_f32..1.0, 5);
+        assert_eq!(exact.generate(&mut rng).len(), 5);
+        let ranged = prop::collection::vec(0_u64..10, 2..6);
+        for _ in 0..100 {
+            let len = ranged.generate(&mut rng).len();
+            assert!((2..6).contains(&len));
+        }
+        let inclusive = prop::collection::vec(Just(3_u8), 4..=4);
+        assert_eq!(inclusive.generate(&mut rng), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn flat_map_chains_dependent_strategies() {
+        let strat = (2_usize..5).prop_flat_map(|n| prop::collection::vec(0.0_f64..1.0, n..=n));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn wide_tuple_strategies_generate_all_positions() {
+        let strat = (
+            0_u8..10,
+            0_u16..10,
+            0_u32..10,
+            0_u64..10,
+            0.0_f32..1.0,
+            0.0_f64..1.0,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (a, b, c, d, e, f) = strat.generate(&mut rng);
+        assert!(a < 10 && b < 10 && c < 10 && d < 10);
+        assert!((0.0..1.0).contains(&e) && (0.0..1.0).contains(&f));
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in 0_i32..100, b in 0_i32..100) {
+            prop_assert!(a + b >= a, "b is nonnegative");
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic case")]
+    fn failing_properties_panic_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0_u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, providing the API subset the `fedpower` workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator,
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion,
+//! * [`Rng::random`] / [`Rng::random_range`] / [`Rng::random_bool`],
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! this minimal implementation instead of the upstream crate. Streams are
+//! *not* bit-compatible with upstream `rand` — the workspace only requires
+//! self-consistent determinism (same seed ⇒ same sequence), which this
+//! crate guarantees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a [`distr::StandardSample`] type (`bool`,
+    /// integers, unit-interval floats).
+    fn random<T: distr::StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive numeric
+    /// ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_uniform(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        distr::unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// (Blackman & Vigna 2019), seeded through SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Uniform-sampling support types (a tiny analogue of `rand::distr`).
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Converts the next word to `f64` uniform in `[0, 1)`.
+    pub fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Types samplable from the "standard" distribution: full integer
+    /// range, `[0, 1)` floats, fair-coin booleans.
+    pub trait StandardSample: Sized {
+        /// Draws one value from `rng`.
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for bool {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardSample for u8 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            unit_f64(rng) as f32
+        }
+    }
+
+    impl StandardSample for f64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    /// Numeric types that support uniform sampling from a bounded range.
+    ///
+    /// The single blanket [`SampleRange`] impl over this trait mirrors
+    /// upstream `rand`'s structure, which type inference relies on: a
+    /// `Range<?F>` immediately unifies `?F` with the sampled type.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Draws uniformly from `[lo, hi)` (`inclusive == false`) or
+        /// `[lo, hi]` (`inclusive == true`).
+        fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                    assert!(span > 0, "cannot sample empty range");
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_in<R: RngCore>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let v = (lo as f64 + unit_f64(rng) * (hi as f64 - lo as f64)) as $t;
+                    // Floating rounding may land exactly on an excluded
+                    // endpoint; fall back inside the range.
+                    if inclusive || v < hi { v } else { lo }
+                }
+            }
+        )*};
+    }
+
+    float_uniform!(f32, f64);
+
+    /// Ranges that support uniform sampling of their element type.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_uniform<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_uniform<R: RngCore>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_in(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_uniform<R: RngCore>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_in(rng, lo, hi, true)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling (Fisher–Yates), mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..16).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.random()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..4).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-2.5_f64..3.5);
+            assert!((-2.5..3.5).contains(&f));
+            let i = rng.random_range(3_usize..17);
+            assert!((3..17).contains(&i));
+            let g = rng.random_range(0.0_f32..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.random()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left order intact");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.2)).count();
+        assert!((1_700..2_300).contains(&hits), "p=0.2 gave {hits}/10000");
+    }
+}

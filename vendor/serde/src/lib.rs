@@ -1,0 +1,23 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Provides marker traits plus the no-op derive macros from the vendored
+//! `serde_derive`, so `#[derive(Serialize, Deserialize)]` across the
+//! workspace compiles without registry access. No serialization happens at
+//! runtime anywhere in the workspace (model exchange uses the hand-rolled
+//! `Mlp::to_bytes`/`from_bytes` codec), so empty traits are sufficient.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,23 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! structs for documentation and future interop, but nothing serializes at
+//! runtime (there is no `serde_json` dependency). With no registry access
+//! in the build environment, these derives expand to nothing: the types
+//! simply don't implement the (empty) vendored traits.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
