@@ -302,9 +302,11 @@ impl PowerController {
         Ok(())
     }
 
-    /// Serialized size in bytes of one model upload (§IV-C reports 2.8 kB).
+    /// Size in bytes of one model upload on the wire (§IV-C reports
+    /// 2.8 kB): the encoded [`fedpower_wire`] upload frame for this
+    /// network's parameter count, not an estimate.
     pub fn transfer_bytes(&self) -> usize {
-        self.net.to_bytes().len()
+        fedpower_wire::upload_frame_len(self.net.num_params())
     }
 
     /// Serializes the policy network for persistence across device

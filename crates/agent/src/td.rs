@@ -244,9 +244,10 @@ impl TdController {
         Ok(())
     }
 
-    /// Serialized upload size in bytes.
+    /// Size in bytes of one model upload on the wire: the encoded
+    /// [`fedpower_wire`] upload frame for this network's parameter count.
     pub fn transfer_bytes(&self) -> usize {
-        self.net.to_bytes().len()
+        fedpower_wire::upload_frame_len(self.net.num_params())
     }
 }
 

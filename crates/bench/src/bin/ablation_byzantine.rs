@@ -3,7 +3,8 @@
 //! poison the global DVFS policy (and with it, every device's power
 //! behaviour). This binary injects a model-poisoning client — via the
 //! federation's fault layer ([`FaultPlan::poison`] driving a
-//! [`FaultyClient`]) — and compares plain averaging against the robust
+//! [`fedpower_federated::FaultyTransport`] that rewrites the upload frame
+//! in flight) — and compares plain averaging against the robust
 //! aggregation rules.
 //!
 //! ```text
@@ -15,7 +16,7 @@ use fedpower_bench::BenchArgs;
 use fedpower_core::eval::{evaluate_on_app, EvalOptions};
 use fedpower_core::report::markdown_table;
 use fedpower_federated::{
-    AgentClient, AggregationStrategy, FaultPlan, FaultyClient, FedAvgConfig, Federation,
+    AgentClient, AggregationStrategy, FaultPlan, FedAvgConfig, Federation, TransportKind,
 };
 use fedpower_workloads::AppId;
 
@@ -24,7 +25,12 @@ use fedpower_workloads::AppId;
 /// scheduled for every round.
 const POISON_FACTOR: f32 = -10.0;
 
-fn run(strategy: AggregationStrategy, with_attacker: bool, rounds: u64) -> f64 {
+fn run(
+    strategy: AggregationStrategy,
+    with_attacker: bool,
+    rounds: u64,
+    transport: TransportKind,
+) -> f64 {
     let apps: [&[AppId]; 4] = [
         &[AppId::Fft, AppId::Lu],
         &[AppId::Ocean, AppId::Radix],
@@ -54,18 +60,15 @@ fn run(strategy: AggregationStrategy, with_attacker: bool, rounds: u64) -> f64 {
     } else {
         FaultPlan::none()
     };
-    let clients: Vec<FaultyClient<AgentClient>> = agents
-        .into_iter()
-        .map(|a| FaultyClient::new(a, &plan))
-        .collect();
     let mut cfg = FedAvgConfig::paper();
     cfg.strategy = strategy;
     cfg.rounds = rounds;
-    let mut fed = Federation::new(clients, cfg, 7);
+    let mut fed = Federation::with_transport_and_plan(agents, cfg, 7, transport, &plan)
+        .expect("transport links");
     fed.run();
 
     // Evaluate the resulting global policy from an honest client's view.
-    let policy = fed.clients()[0].inner().agent().clone();
+    let policy = fed.clients()[0].agent().clone();
     let opts = EvalOptions::default();
     [AppId::Fft, AppId::Ocean, AppId::Cholesky]
         .iter()
@@ -93,8 +96,8 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (name, strategy) in strategies {
-        let clean = run(strategy, false, rounds);
-        let attacked = run(strategy, true, rounds);
+        let clean = run(strategy, false, rounds, cfg.transport);
+        let attacked = run(strategy, true, rounds, cfg.transport);
         rows.push(vec![
             name.to_string(),
             format!("{clean:.3}"),

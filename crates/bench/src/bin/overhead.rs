@@ -11,11 +11,32 @@
 //! running an unoptimized stack; the interesting quantity is the overhead
 //! *fraction*, which must stay well below the control interval.)
 
-use fedpower_agent::{PowerController, State};
+use fedpower_agent::{DeviceEnvConfig, PowerController, State};
 use fedpower_bench::BenchArgs;
 use fedpower_core::report::markdown_table;
+use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
 use fedpower_sim::FreqLevel;
+use fedpower_workloads::AppId;
 use std::time::Instant;
+
+/// Runs one short federated round over the configured transport and
+/// returns the measured mean upload size in bytes — counted from the
+/// encoded frames that actually crossed the link, not estimated.
+fn measured_transfer_bytes(cfg: &fedpower_core::ExperimentConfig) -> f64 {
+    let clients: Vec<AgentClient> = [&[AppId::Fft][..], &[AppId::Ocean][..]]
+        .iter()
+        .enumerate()
+        .map(|(d, apps)| AgentClient::new(d, cfg.controller, DeviceEnvConfig::new(apps), cfg.seed))
+        .collect();
+    let mut fed_cfg = FedAvgConfig::paper();
+    fed_cfg.rounds = 1;
+    fed_cfg.steps_per_round = 20;
+    let mut fed = Federation::with_transport(clients, fed_cfg, cfg.seed, cfg.transport)
+        .expect("transport links");
+    fed.run_round();
+    let stats = fed.transport();
+    stats.uploaded_bytes as f64 / stats.uploads as f64
+}
 
 fn main() {
     let cfg = BenchArgs::from_env().config();
@@ -50,6 +71,13 @@ fn main() {
     let overhead_pct = per_step_us / interval_us * 100.0;
 
     let transfer = agent.transfer_bytes();
+    let measured = measured_transfer_bytes(&cfg);
+    // §IV-C reports 2.8 kB per transfer; the encoded frame for the paper's
+    // 5→32→15 network must land in that ballpark.
+    assert!(
+        (2000.0..=3500.0).contains(&measured),
+        "measured wire transfer {measured:.0} B is outside the paper's ~2.8 kB ballpark"
+    );
     let replay_kb = agent.replay().memory_bytes() as f64 / 1024.0;
 
     println!(
@@ -78,8 +106,13 @@ fn main() {
                     "5.9 %".into(),
                 ],
                 vec![
-                    "model transfer size".into(),
+                    "model transfer size (frame)".into(),
                     format!("{:.2} kB", transfer as f64 / 1024.0),
+                    "2.8 kB".into(),
+                ],
+                vec![
+                    format!("measured on the wire ({})", cfg.transport),
+                    format!("{:.2} kB", measured / 1024.0),
                     "2.8 kB".into(),
                 ],
                 vec![

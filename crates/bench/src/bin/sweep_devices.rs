@@ -46,7 +46,13 @@ fn main() {
             .collect();
         let mut fed_cfg = FedAvgConfig::paper();
         fed_cfg.rounds = rounds;
-        let mut fed = Federation::new(clients, fed_cfg, derive_seed(cfg.seed, 900 + n as u64));
+        let mut fed = Federation::with_transport(
+            clients,
+            fed_cfg,
+            derive_seed(cfg.seed, 900 + n as u64),
+            cfg.transport,
+        )
+        .expect("transport links");
 
         // Track how early the policy becomes "good" on unseen apps, and
         // its converged worst-case quality (tail mean denoises the

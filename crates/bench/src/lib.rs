@@ -26,7 +26,7 @@
 #![warn(missing_docs)]
 
 use fedpower_core::ExperimentConfig;
-use fedpower_federated::FaultScenario;
+use fedpower_federated::{FaultScenario, TransportKind};
 
 /// Command-line options shared by all bench binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Fault scenario injected into federated runs (`--faults NAME`).
     pub faults: Option<FaultScenario>,
+    /// Transport backend for federated runs (`--transport channel|tcp`).
+    pub transport: Option<TransportKind>,
 }
 
 impl BenchArgs {
@@ -55,6 +57,7 @@ impl BenchArgs {
             seed: None,
             quick: false,
             faults: None,
+            transport: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -77,6 +80,12 @@ impl BenchArgs {
                         )
                     })?);
                 }
+                "--transport" => {
+                    let v = iter.next().ok_or("--transport needs a value")?;
+                    out.transport = Some(TransportKind::parse(&v).ok_or_else(|| {
+                        format!("bad --transport: {v:?} (expected channel or tcp)")
+                    })?);
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
@@ -90,7 +99,10 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: [--rounds N] [--seed S] [--quick] [--faults SCENARIO]");
+                eprintln!(
+                    "usage: [--rounds N] [--seed S] [--quick] [--faults SCENARIO] \
+                     [--transport channel|tcp]"
+                );
                 std::process::exit(2);
             }
         }
@@ -111,6 +123,9 @@ impl BenchArgs {
         }
         if let Some(faults) = self.faults {
             cfg.fault_scenario = faults;
+        }
+        if let Some(transport) = self.transport {
+            cfg.transport = transport;
         }
         cfg
     }
@@ -159,5 +174,19 @@ mod tests {
         );
         assert!(parse(&["--faults", "tsunami"]).is_err());
         assert!(parse(&["--faults"]).is_err());
+    }
+
+    #[test]
+    fn transport_flag_selects_a_backend() {
+        let args = parse(&["--transport", "tcp"]).unwrap();
+        assert_eq!(args.transport, Some(TransportKind::Tcp));
+        assert_eq!(args.config().transport, TransportKind::Tcp);
+        assert_eq!(
+            parse(&[]).unwrap().config().transport,
+            TransportKind::Channel,
+            "default stays in-process"
+        );
+        assert!(parse(&["--transport", "carrier-pigeon"]).is_err());
+        assert!(parse(&["--transport"]).is_err());
     }
 }

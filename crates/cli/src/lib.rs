@@ -4,7 +4,7 @@
 //! experiment dispatch, separated from `main.rs` so they are unit-testable.
 //!
 //! ```text
-//! fedpower <command> [--rounds N] [--seed S] [--quick] [--out DIR]
+//! fedpower <command> [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp]
 //!
 //! commands:
 //!   fig3        local-only vs federated reward curves (3 scenarios)
@@ -22,6 +22,7 @@
 pub mod commands;
 
 use fedpower_core::ExperimentConfig;
+use fedpower_federated::TransportKind;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -38,6 +39,8 @@ pub struct Invocation {
     pub quick: bool,
     /// `--out DIR` — write CSV artifacts there instead of stdout only.
     pub out: Option<PathBuf>,
+    /// `--transport channel|tcp` — federation transport backend.
+    pub transport: Option<TransportKind>,
 }
 
 /// The available subcommands.
@@ -115,6 +118,7 @@ impl Invocation {
             seed: None,
             quick: false,
             out: None,
+            transport: None,
         };
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -143,6 +147,16 @@ impl Invocation {
                         .ok_or_else(|| ParseInvocationError("--out needs a directory".into()))?;
                     inv.out = Some(PathBuf::from(v));
                 }
+                "--transport" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--transport needs a value".into()))?;
+                    inv.transport = Some(TransportKind::parse(&v).ok_or_else(|| {
+                        ParseInvocationError(format!(
+                            "bad --transport: {v:?} (expected channel or tcp)"
+                        ))
+                    })?);
+                }
                 other => return Err(ParseInvocationError(format!("unknown argument: {other}"))),
             }
         }
@@ -162,13 +176,16 @@ impl Invocation {
         if let Some(seed) = self.seed {
             cfg.seed = seed;
         }
+        if let Some(transport) = self.transport {
+            cfg.transport = transport;
+        }
         cfg
     }
 }
 
 /// The usage text shown on parse errors.
 pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|list> \
-[--rounds N] [--seed S] [--quick] [--out DIR]";
+[--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp]";
 
 #[cfg(test)]
 mod tests {
@@ -192,6 +209,19 @@ mod tests {
     fn quick_selects_smoke_config() {
         let inv = parse(&["table3", "--quick"]).unwrap();
         assert!(inv.config().eval_steps < ExperimentConfig::paper().eval_steps);
+    }
+
+    #[test]
+    fn transport_flag_selects_a_backend() {
+        let inv = parse(&["fig3", "--transport", "tcp"]).unwrap();
+        assert_eq!(inv.transport, Some(TransportKind::Tcp));
+        assert_eq!(inv.config().transport, TransportKind::Tcp);
+        assert_eq!(
+            parse(&["fig3"]).unwrap().config().transport,
+            TransportKind::Channel
+        );
+        assert!(parse(&["fig3", "--transport", "smoke-signals"]).is_err());
+        assert!(parse(&["fig3", "--transport"]).is_err());
     }
 
     #[test]

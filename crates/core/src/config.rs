@@ -2,7 +2,7 @@
 
 use fedpower_agent::ControllerConfig;
 use fedpower_baselines::ProfitConfig;
-use fedpower_federated::{FaultScenario, FedAvgConfig};
+use fedpower_federated::{FaultScenario, FedAvgConfig, TransportKind};
 use serde::{Deserialize, Serialize};
 
 /// Which applications each post-round evaluation covers.
@@ -50,6 +50,10 @@ pub struct ExperimentConfig {
     /// Fault model injected into [`crate::experiment::run_federated`]
     /// (`None` reproduces the paper's reliable synchronous setting).
     pub fault_scenario: FaultScenario,
+    /// Transport backend carrying the federation's wire frames
+    /// (in-process channels by default; loopback TCP exercises real
+    /// sockets with identical results).
+    pub transport: TransportKind,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
 }
@@ -66,6 +70,7 @@ impl ExperimentConfig {
             eval_max_steps: 1200,
             eval_protocol: EvalProtocol::RoundRobin,
             fault_scenario: FaultScenario::None,
+            transport: TransportKind::Channel,
             seed: 42,
         }
     }
@@ -129,6 +134,12 @@ mod tests {
         let b = ExperimentConfig::paper().with_seed(7);
         assert_eq!(a.controller, b.controller);
         assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn paper_setting_uses_in_process_channels() {
+        assert_eq!(ExperimentConfig::paper().transport, TransportKind::Channel);
+        assert_eq!(ExperimentConfig::smoke().transport, TransportKind::Channel);
     }
 
     #[test]

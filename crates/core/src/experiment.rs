@@ -8,8 +8,8 @@ use crate::scenario::{six_six_split, table2_scenarios, Scenario};
 use fedpower_agent::{DeviceEnvConfig, PowerController};
 use fedpower_baselines::CollabFederation;
 use fedpower_federated::{
-    AgentClient, FaultPlan, FaultScenario, FaultSummary, FaultyClient, FederatedClient, Federation,
-    RoundReport, TransportStats,
+    AgentClient, FaultPlan, FaultScenario, FaultSummary, FederatedClient, Federation, RoundReport,
+    TransportStats,
 };
 use fedpower_sim::rng::{derive_seed, streams};
 use fedpower_workloads::AppId;
@@ -119,11 +119,10 @@ pub struct FederatedOutcome {
 
 /// Runs the per-round train/evaluate loop shared by the reliable and
 /// fault-injected federated paths.
-fn federation_loop<C: FederatedClient>(
-    federation: &mut Federation<C>,
+fn federation_loop(
+    federation: &mut Federation<AgentClient>,
     cfg: &ExperimentConfig,
     series: &mut [EvalSeries],
-    agent_of: impl Fn(&C) -> &PowerController,
 ) -> Vec<RoundReport> {
     let mut reports = Vec::with_capacity(cfg.fedavg.rounds as usize);
     for round in 1..=cfg.fedavg.rounds {
@@ -131,7 +130,7 @@ fn federation_loop<C: FederatedClient>(
         for (d, device_series) in series.iter_mut().enumerate() {
             // Post-round clients hold the freshly downloaded global model
             // (or, under an injected download drop, their stale copy).
-            let mut snapshot = agent_of(&federation.clients()[d]).clone();
+            let mut snapshot = federation.clients()[d].agent().clone();
             device_series
                 .points
                 .push(eval_point(&mut snapshot, round, d, cfg));
@@ -140,14 +139,36 @@ fn federation_loop<C: FederatedClient>(
     reports
 }
 
+/// Builds the scenario's federation over the configured transport,
+/// injecting a seed-deterministic [`FaultPlan`] into the links when the
+/// fault scenario asks for one.
+fn build_federation(clients: Vec<AgentClient>, cfg: &ExperimentConfig) -> Federation<AgentClient> {
+    let rounds = cfg.fedavg.rounds;
+    let num_devices = clients.len();
+    let seed = derive_seed(cfg.seed, 30);
+    if cfg.fault_scenario == FaultScenario::None {
+        Federation::with_transport(clients, cfg.fedavg, seed, cfg.transport)
+            .expect("transport links")
+    } else {
+        let plan = FaultPlan::generate(
+            &cfg.fault_scenario.config(),
+            num_devices,
+            rounds,
+            derive_seed(cfg.seed, streams::FAULTS),
+        );
+        Federation::with_transport_and_plan(clients, cfg.fedavg, seed, cfg.transport, &plan)
+            .expect("transport links")
+    }
+}
+
 /// Trains one shared policy across the scenario's devices with federated
 /// averaging, evaluating the global policy after every round.
 ///
-/// When [`ExperimentConfig::fault_scenario`] is not `None`, every client
-/// is wrapped in a [`FaultyClient`] driven by a seed-deterministic
-/// [`FaultPlan`]; with `FaultScenario::None` the reliable code path is
-/// used unchanged, so fault-free runs are bit-identical to the paper
-/// reproduction.
+/// When [`ExperimentConfig::fault_scenario`] is not `None`, every
+/// transport link is wrapped in a [`fedpower_federated::FaultyTransport`]
+/// driven by a seed-deterministic [`FaultPlan`], so faults strike the
+/// bytes in flight; with `FaultScenario::None` the plain links are used
+/// unchanged, so fault-free runs are bit-identical across backends.
 pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOutcome {
     let clients: Vec<AgentClient> = scenario
         .devices()
@@ -167,35 +188,14 @@ pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOu
         .map(|d| EvalSeries::new(format!("federated-{}", (b'A' + d as u8) as char)))
         .collect();
 
-    let (reports, transport, agents) = if cfg.fault_scenario == FaultScenario::None {
-        let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
-        let reports = federation_loop(&mut federation, cfg, &mut series, |c| c.agent());
-        let agents = federation
-            .clients()
-            .iter()
-            .map(|c| c.agent().clone())
-            .collect();
-        (reports, *federation.transport(), agents)
-    } else {
-        let plan = FaultPlan::generate(
-            &cfg.fault_scenario.config(),
-            num_devices,
-            cfg.fedavg.rounds,
-            derive_seed(cfg.seed, streams::FAULTS),
-        );
-        let faulty: Vec<FaultyClient<AgentClient>> = clients
-            .into_iter()
-            .map(|c| FaultyClient::new(c, &plan))
-            .collect();
-        let mut federation = Federation::new(faulty, cfg.fedavg, derive_seed(cfg.seed, 30));
-        let reports = federation_loop(&mut federation, cfg, &mut series, |c| c.inner().agent());
-        let agents = federation
-            .clients()
-            .iter()
-            .map(|c| c.inner().agent().clone())
-            .collect();
-        (reports, *federation.transport(), agents)
-    };
+    let mut federation = build_federation(clients, cfg);
+    let reports = federation_loop(&mut federation, cfg, &mut series);
+    let agents = federation
+        .clients()
+        .iter()
+        .map(|c| c.agent().clone())
+        .collect();
+    let transport = *federation.transport();
 
     let fault_summary = FaultSummary::from_reports(&reports);
     FederatedOutcome {
@@ -278,7 +278,13 @@ pub fn run_federated_training_only(scenario: &Scenario, cfg: &ExperimentConfig) 
             )
         })
         .collect();
-    let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
+    let mut federation = Federation::with_transport(
+        clients,
+        cfg.fedavg,
+        derive_seed(cfg.seed, 30),
+        cfg.transport,
+    )
+    .expect("transport links");
     federation.run();
     federation.clients()[0].agent().clone()
 }
@@ -318,7 +324,13 @@ pub fn run_personalized(
             )
         })
         .collect();
-    let mut federation = Federation::new(clients, cfg.fedavg, derive_seed(cfg.seed, 30));
+    let mut federation = Federation::with_transport(
+        clients,
+        cfg.fedavg,
+        derive_seed(cfg.seed, 30),
+        cfg.transport,
+    )
+    .expect("transport links");
     federation.run();
     let global = federation.clients()[0].agent().clone();
 

@@ -1,5 +1,6 @@
 use crate::error::FedError;
 use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State};
+use fedpower_nn::NnError;
 use fedpower_sim::rng::derive_seed;
 
 /// A locally optimized model uploaded to the server at the end of a round.
@@ -163,13 +164,35 @@ impl FederatedClient for AgentClient {
     }
 
     fn download(&mut self, global: &[f32]) {
+        // Kept infallible for the trait: a misshapen global model leaves
+        // the previous parameters installed. Callers that need the error
+        // use `try_download`, which surfaces it as `FedError::ShapeMismatch`.
+        let _ = self.agent.set_params(global);
+    }
+
+    fn try_download(&mut self, global: &[f32]) -> Result<(), FedError> {
         self.agent
             .set_params(global)
-            .expect("all federation clients share one architecture");
+            .map_err(|e| shape_mismatch_error(self.id, e))
     }
 
     fn transfer_bytes(&self) -> usize {
         self.agent.transfer_bytes()
+    }
+}
+
+/// Maps a model-install failure onto [`FedError::ShapeMismatch`] (keeping
+/// other model errors as [`FedError::Model`]).
+pub(crate) fn shape_mismatch_error(client_id: usize, e: NnError) -> FedError {
+    match e {
+        NnError::ShapeMismatch {
+            expected, actual, ..
+        } => FedError::ShapeMismatch {
+            client_id,
+            expected,
+            actual,
+        },
+        other => FedError::Model(other),
     }
 }
 
@@ -232,5 +255,27 @@ mod tests {
     fn clients_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<AgentClient>();
+    }
+
+    #[test]
+    fn mismatched_download_errors_instead_of_panicking() {
+        let mut c = client(0, 5);
+        c.train_round(10);
+        let before = c.agent().params();
+        let err = c.try_download(&[1.0, 2.0]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FedError::ShapeMismatch {
+                    client_id: 0,
+                    actual: 2,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        c.download(&[1.0, 2.0]); // infallible path: silently keeps θ
+        assert_eq!(c.agent().params(), before, "previous model survives");
+        assert!(c.try_download(&before.clone()).is_ok());
     }
 }

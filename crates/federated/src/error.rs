@@ -1,4 +1,5 @@
 use fedpower_nn::NnError;
+use fedpower_wire::WireError;
 use std::error::Error;
 use std::fmt;
 
@@ -48,6 +49,19 @@ pub enum FedError {
         /// The configured minimum quorum.
         required: usize,
     },
+    /// A frame failed wire-level decoding (bad magic, version, CRC, or
+    /// truncation) and was rejected before admission.
+    Wire(WireError),
+    /// A downloaded global model does not fit this client's architecture;
+    /// the client keeps its previous model.
+    ShapeMismatch {
+        /// The affected client.
+        client_id: usize,
+        /// Parameter count the client's model expects.
+        expected: usize,
+        /// Parameter count the global model carried.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for FedError {
@@ -81,6 +95,15 @@ impl fmt::Display for FedError {
                 f,
                 "quorum not met: {received} update(s) received, {required} required"
             ),
+            FedError::Wire(e) => write!(f, "wire protocol violation: {e}"),
+            FedError::ShapeMismatch {
+                client_id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "client {client_id}: architecture mismatch (expects {expected} params, global model has {actual})"
+            ),
         }
     }
 }
@@ -89,6 +112,7 @@ impl Error for FedError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FedError::Model(e) => Some(e),
+            FedError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -97,6 +121,12 @@ impl Error for FedError {
 impl From<NnError> for FedError {
     fn from(e: NnError) -> Self {
         FedError::Model(e)
+    }
+}
+
+impl From<WireError> for FedError {
+    fn from(e: WireError) -> Self {
+        FedError::Wire(e)
     }
 }
 
@@ -150,6 +180,19 @@ mod tests {
                 }
                 .to_string(),
                 "3 required",
+            ),
+            (
+                FedError::from(WireError::UnsupportedVersion(7)).to_string(),
+                "wire protocol violation",
+            ),
+            (
+                FedError::ShapeMismatch {
+                    client_id: 5,
+                    expected: 687,
+                    actual: 4,
+                }
+                .to_string(),
+                "687 params",
             ),
         ];
         for (rendered, needle) in cases {

@@ -16,12 +16,21 @@
 //!   reproducible as one without. At most one fault occupies a cell, and a
 //!   crash occupies its whole outage exclusively — plan totals therefore
 //!   reconcile exactly against [`crate::RoundReport`] accounting.
+//! * [`FaultyTransport`] wraps any [`Transport`] and realizes the plan on
+//!   *bytes in flight* — drops, stragglers, and corruption happen where
+//!   they physically occur, between the encoded frame leaving one end and
+//!   arriving at the other. This is the federation's primary fault path.
 //! * [`FaultyClient`] wraps a reliable client and overrides the
 //!   fault-aware trait methods ([`FederatedClient::try_upload`] & co.) to
-//!   realize the plan. The inner client never knows.
+//!   realize the plan at the client boundary instead. It remains as a thin
+//!   shim over the same per-client fault state machine so client-level
+//!   fault injection (and the test suite built on it) keeps working; the
+//!   inner client never knows either way.
 
 use crate::client::{FederatedClient, ModelUpdate, StaleUpdate};
 use crate::error::FedError;
+use crate::transport::Transport;
+use crate::wire;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -387,20 +396,217 @@ impl FaultPlan {
     }
 }
 
+/// One client's fault schedule unfolding over rounds: the state machine
+/// shared by [`FaultyTransport`] (byte-level actuation) and
+/// [`FaultyClient`] (client-level actuation).
+///
+/// Tracks the current round, any crash outage in progress, and the
+/// remaining transmissions an [`Fault::UploadDrop`] still has to lose.
+#[derive(Debug)]
+struct FaultState {
+    faults: BTreeMap<u64, Fault>,
+    round: u64,
+    rejoin_round: u64,
+    pending_drop_attempts: u64,
+}
+
+impl FaultState {
+    /// Extracts `client_id`'s schedule from `plan`.
+    fn from_plan(client_id: usize, plan: &FaultPlan) -> Self {
+        let faults = plan
+            .cells
+            .iter()
+            .filter(|((c, _), _)| *c == client_id)
+            .map(|(&(_, r), &f)| (r, f))
+            .collect();
+        FaultState {
+            faults,
+            round: 0,
+            rejoin_round: 0,
+            pending_drop_attempts: 0,
+        }
+    }
+
+    /// Advances to `round`, arming any crash or upload-drop scheduled
+    /// there.
+    fn begin_round(&mut self, round: u64) {
+        self.round = round;
+        self.pending_drop_attempts = 0;
+        match self.faults.get(&round) {
+            Some(Fault::Crash { down_rounds }) => {
+                self.rejoin_round = round + down_rounds;
+            }
+            Some(Fault::UploadDrop { attempts }) => {
+                self.pending_drop_attempts = *attempts;
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the client is inside a crash outage.
+    fn is_online(&self) -> bool {
+        self.round >= self.rejoin_round
+    }
+
+    /// The fault scheduled for the current round, if any.
+    fn fault_now(&self) -> Option<Fault> {
+        self.faults.get(&self.round).copied()
+    }
+
+    /// Consumes one pending upload-drop transmission; `true` while the
+    /// drop budget still swallows this attempt.
+    fn consume_drop_attempt(&mut self) -> bool {
+        if self.pending_drop_attempts > 0 {
+            self.pending_drop_attempts -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Wraps any [`Transport`] and makes frames fail *in flight* on a
+/// [`FaultPlan`]'s schedule.
+///
+/// This is where the federation's faults physically belong: an upload
+/// drop swallows the encoded frame before the server's end receives it, a
+/// straggler's frame sits buffered inside the link until its delay
+/// elapses, corruption mangles the payload bytes mid-hop (re-framed so
+/// the CRC passes and server *admission* — not the codec — is what
+/// rejects it), and a crash makes the whole link unreachable. The inner
+/// transport and both endpoints stay byte-faithful.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    state: FaultState,
+    /// A straggler's buffered frame and the first round it may surface.
+    stash: Option<(Vec<u8>, u64)>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, extracting its fault schedule from `plan` by the
+    /// link's client id.
+    pub fn new(inner: T, plan: &FaultPlan) -> Self {
+        let state = FaultState::from_plan(inner.client_id(), plan);
+        FaultyTransport {
+            inner,
+            state,
+            stash: None,
+        }
+    }
+
+    /// Read access to the wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Re-frames an upload with its parameters mangled by `kind`; frames
+    /// that do not decode as uploads pass through untouched (the wire
+    /// layer will reject them anyway).
+    fn corrupt_frame(kind: CorruptionKind, frame: &[u8]) -> Vec<u8> {
+        match wire::decode_upload(frame) {
+            Ok((round, mut update)) => {
+                kind.apply(&mut update.params);
+                wire::encode_upload(round, &update)
+            }
+            Err(_) => frame.to_vec(),
+        }
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn client_id(&self) -> usize {
+        self.inner.client_id()
+    }
+
+    fn begin_round(&mut self, round: u64) {
+        self.state.begin_round(round);
+        self.inner.begin_round(round);
+    }
+
+    fn is_online(&self) -> bool {
+        self.state.is_online() && self.inner.is_online()
+    }
+
+    fn upload(&mut self, frame: &[u8]) -> Result<Vec<u8>, FedError> {
+        let client_id = self.client_id();
+        if !self.is_online() {
+            return Err(FedError::ClientOffline { client_id });
+        }
+        match self.state.fault_now() {
+            Some(Fault::Straggle { delay_rounds }) => {
+                let ready_round = self.state.round + delay_rounds;
+                if self.stash.is_none() {
+                    self.stash = Some((frame.to_vec(), ready_round));
+                }
+                Err(FedError::Straggling {
+                    client_id,
+                    ready_round,
+                })
+            }
+            Some(Fault::UploadDrop { .. }) if self.state.consume_drop_attempt() => {
+                Err(FedError::UploadDropped { client_id })
+            }
+            Some(Fault::Corrupt(kind)) => {
+                let mangled = FaultyTransport::<T>::corrupt_frame(kind, frame);
+                self.inner.upload(&mangled)
+            }
+            _ => self.inner.upload(frame),
+        }
+    }
+
+    fn broadcast(&mut self, frame: &[u8]) -> Result<Vec<u8>, FedError> {
+        let client_id = self.client_id();
+        if !self.is_online() {
+            return Err(FedError::ClientOffline { client_id });
+        }
+        if matches!(self.state.fault_now(), Some(Fault::DownloadDrop)) {
+            return Err(FedError::DownloadDropped { client_id });
+        }
+        self.inner.broadcast(frame)
+    }
+
+    fn take_stale(&mut self) -> Option<Vec<u8>> {
+        if !self.is_online() {
+            return None;
+        }
+        match &self.stash {
+            Some((_, ready_round)) if self.state.round >= *ready_round => {
+                let (frame, ready_round) = self.stash.take().expect("stash checked above");
+                // The buffered frame still has to cross the link; if the
+                // hop itself fails, keep buffering and retry next poll.
+                match self.inner.upload(&frame) {
+                    Ok(bytes) => Some(bytes),
+                    Err(_) => {
+                        self.stash = Some((frame, ready_round));
+                        None
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Wraps any [`FederatedClient`] and makes it fail on a [`FaultPlan`]'s
 /// schedule.
 ///
 /// The wrapper realizes faults through the trait's fault-aware methods:
 /// the orchestrator sees dropped uploads, straggler errors, corrupt
 /// parameters, and offline rounds, while the inner client's training
-/// dynamics stay untouched.
+/// dynamics stay untouched. Since the transport refactor,
+/// [`FaultyTransport`] is the primary fault path (bytes in flight); this
+/// decorator remains a thin shim over the same per-client state machine
+/// for injecting faults at the client boundary.
 #[derive(Debug)]
 pub struct FaultyClient<C> {
     inner: C,
-    faults: BTreeMap<u64, Fault>,
-    round: u64,
-    rejoin_round: u64,
-    pending_drop_attempts: u64,
+    state: FaultState,
     stash: Option<(StaleUpdate, u64)>,
 }
 
@@ -408,19 +614,10 @@ impl<C: FederatedClient> FaultyClient<C> {
     /// Wraps `inner`, extracting its fault schedule from `plan` by client
     /// id.
     pub fn new(inner: C, plan: &FaultPlan) -> Self {
-        let id = inner.id();
-        let faults = plan
-            .cells
-            .iter()
-            .filter(|((c, _), _)| *c == id)
-            .map(|(&(_, r), &f)| (r, f))
-            .collect();
+        let state = FaultState::from_plan(inner.id(), plan);
         FaultyClient {
             inner,
-            faults,
-            round: 0,
-            rejoin_round: 0,
-            pending_drop_attempts: 0,
+            state,
             stash: None,
         }
     }
@@ -465,22 +662,12 @@ impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
     }
 
     fn begin_round(&mut self, round: u64) {
-        self.round = round;
-        self.pending_drop_attempts = 0;
-        match self.faults.get(&round) {
-            Some(Fault::Crash { down_rounds }) => {
-                self.rejoin_round = round + down_rounds;
-            }
-            Some(Fault::UploadDrop { attempts }) => {
-                self.pending_drop_attempts = *attempts;
-            }
-            _ => {}
-        }
+        self.state.begin_round(round);
         self.inner.begin_round(round);
     }
 
     fn is_online(&self) -> bool {
-        self.round >= self.rejoin_round
+        self.state.is_online()
     }
 
     fn try_upload(&mut self) -> Result<ModelUpdate, FedError> {
@@ -488,15 +675,15 @@ impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
         if !self.is_online() {
             return Err(FedError::ClientOffline { client_id });
         }
-        match self.faults.get(&self.round).copied() {
+        match self.state.fault_now() {
             Some(Fault::Straggle { delay_rounds }) => {
-                let ready_round = self.round + delay_rounds;
+                let ready_round = self.state.round + delay_rounds;
                 if self.stash.is_none() {
                     let update = self.inner.upload();
                     self.stash = Some((
                         StaleUpdate {
                             update,
-                            origin_round: self.round,
+                            origin_round: self.state.round,
                         },
                         ready_round,
                     ));
@@ -506,8 +693,7 @@ impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
                     ready_round,
                 })
             }
-            Some(Fault::UploadDrop { .. }) if self.pending_drop_attempts > 0 => {
-                self.pending_drop_attempts -= 1;
+            Some(Fault::UploadDrop { .. }) if self.state.consume_drop_attempt() => {
                 Err(FedError::UploadDropped { client_id })
             }
             Some(Fault::Corrupt(kind)) => {
@@ -524,7 +710,7 @@ impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
         if !self.is_online() {
             return Err(FedError::ClientOffline { client_id });
         }
-        if matches!(self.faults.get(&self.round), Some(Fault::DownloadDrop)) {
+        if matches!(self.state.fault_now(), Some(Fault::DownloadDrop)) {
             return Err(FedError::DownloadDropped { client_id });
         }
         self.inner.try_download(global)
@@ -535,7 +721,7 @@ impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
             return None;
         }
         match &self.stash {
-            Some((_, ready_round)) if self.round >= *ready_round => {
+            Some((_, ready_round)) if self.state.round >= *ready_round => {
                 self.stash.take().map(|(stale, _)| stale)
             }
             _ => None,
@@ -785,5 +971,128 @@ mod tests {
         let mut cfg = FaultConfig::chaos();
         cfg.p_upload_drop = 0.9;
         let _ = FaultPlan::generate(&cfg, 2, 2, 0);
+    }
+
+    use crate::transport::ChannelTransport;
+
+    fn upload_frame(round: u64, client_id: usize) -> Vec<u8> {
+        wire::encode_upload(
+            round,
+            &ModelUpdate {
+                client_id,
+                params: vec![1.0, 2.0, 3.0],
+                num_samples: 10,
+            },
+        )
+    }
+
+    fn faulty_link(client_id: usize, plan: &FaultPlan) -> FaultyTransport<ChannelTransport> {
+        FaultyTransport::new(ChannelTransport::connect(client_id), plan)
+    }
+
+    #[test]
+    fn transport_upload_drop_fails_exactly_attempts_times() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::UploadDrop { attempts: 2 });
+        let mut link = faulty_link(0, &plan);
+        link.begin_round(1);
+        let frame = upload_frame(1, 0);
+        assert!(matches!(
+            link.upload(&frame),
+            Err(FedError::UploadDropped { client_id: 0 })
+        ));
+        assert!(link.upload(&frame).is_err());
+        assert_eq!(link.upload(&frame).unwrap(), frame, "third attempt lands");
+        link.begin_round(2);
+        assert!(link.upload(&upload_frame(2, 0)).is_ok(), "next round clean");
+    }
+
+    #[test]
+    fn transport_straggler_buffers_the_frame_in_flight() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::Straggle { delay_rounds: 2 });
+        let mut link = faulty_link(0, &plan);
+        link.begin_round(1);
+        let frame = upload_frame(1, 0);
+        assert_eq!(
+            link.upload(&frame).unwrap_err(),
+            FedError::Straggling {
+                client_id: 0,
+                ready_round: 3
+            }
+        );
+        link.begin_round(2);
+        assert_eq!(link.take_stale(), None, "not ready yet");
+        link.begin_round(3);
+        let delivered = link.take_stale().expect("delay elapsed");
+        assert_eq!(delivered, frame, "the round-1 frame surfaces verbatim");
+        let (origin, update) = wire::decode_upload(&delivered).unwrap();
+        assert_eq!(origin, 1, "origin round rides inside the frame");
+        assert_eq!(update.params, vec![1.0, 2.0, 3.0]);
+        assert_eq!(link.take_stale(), None, "stash drains once");
+    }
+
+    #[test]
+    fn transport_corruption_mangles_bytes_but_keeps_the_frame_decodable() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::Corrupt(CorruptionKind::NaN));
+        let mut link = faulty_link(0, &plan);
+        link.begin_round(1);
+        let delivered = link.upload(&upload_frame(1, 0)).unwrap();
+        // The frame is re-sealed: the CRC passes, so the rejection must
+        // come from server admission, exactly like a glitched-but-framed
+        // sensor value would.
+        let (_, update) = wire::decode_upload(&delivered).expect("CRC still valid");
+        assert!(update.params[0].is_nan());
+        assert!(update.params[1..].iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn transport_crash_takes_the_link_offline_then_rejoins() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 2, Fault::Crash { down_rounds: 2 });
+        let mut link = faulty_link(0, &plan);
+        link.begin_round(1);
+        assert!(link.is_online());
+        link.begin_round(2);
+        assert!(!link.is_online());
+        assert!(matches!(
+            link.upload(&upload_frame(2, 0)),
+            Err(FedError::ClientOffline { .. })
+        ));
+        assert!(link.broadcast(&[0u8; 8]).is_err());
+        link.begin_round(3);
+        assert!(!link.is_online(), "outage lasts two rounds");
+        link.begin_round(4);
+        assert!(link.is_online(), "rejoined");
+        assert!(link.broadcast(&upload_frame(4, 0)).is_ok());
+    }
+
+    #[test]
+    fn transport_download_drop_swallows_the_broadcast() {
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::DownloadDrop);
+        let mut link = faulty_link(0, &plan);
+        link.begin_round(1);
+        assert!(matches!(
+            link.broadcast(&[1, 2, 3]),
+            Err(FedError::DownloadDropped { client_id: 0 })
+        ));
+        link.begin_round(2);
+        assert!(link.broadcast(&[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_transport_is_transparent() {
+        let mut link = faulty_link(3, &FaultPlan::none());
+        assert_eq!(link.client_id(), 3);
+        for round in 1..=5 {
+            link.begin_round(round);
+            let frame = upload_frame(round, 3);
+            assert_eq!(link.upload(&frame).unwrap(), frame);
+            assert_eq!(link.broadcast(&frame).unwrap(), frame);
+            assert_eq!(link.take_stale(), None);
+        }
+        assert_eq!(link.into_inner().client_id(), 3);
     }
 }

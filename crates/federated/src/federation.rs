@@ -1,7 +1,9 @@
-use crate::client::{FederatedClient, ModelUpdate};
+use crate::client::FederatedClient;
 use crate::error::FedError;
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::server::{AggregationStrategy, FedAvgServer};
-use crate::transport::TransportStats;
+use crate::transport::{Transport, TransportKind, TransportStats};
+use crate::wire;
 use fedpower_sim::rng::{derive_rng, streams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -79,10 +81,11 @@ pub struct RoundReport {
     pub round: u64,
     /// Number of clients that completed local training this round.
     pub participants: usize,
-    /// Client drift: the mean L2 distance of the admitted models from
-    /// their coordinate-wise mean. Large values signal heterogeneous
-    /// local objectives — exactly the non-IID-ness federated averaging
-    /// must absorb (and the quantity FedProx bounds).
+    /// Client drift: the root-mean-square L2 distance of the admitted
+    /// models from their coordinate-wise mean (computed from streaming
+    /// moments, so the server never buffers the models). Large values
+    /// signal heterogeneous local objectives — exactly the non-IID-ness
+    /// federated averaging must absorb (and the quantity FedProx bounds).
     pub client_divergence: f32,
     /// Fresh updates that arrived and passed admission.
     pub uploads_ok: usize,
@@ -160,22 +163,27 @@ impl FaultSummary {
 /// Orchestrates `N` clients and one [`FedAvgServer`] through federated
 /// rounds (Fig. 1 of the paper).
 ///
-/// Construction broadcasts an initial global model θ₁ so every client
-/// starts from identical parameters; each [`Federation::run_round`] then
-/// performs: broadcast → parallel local optimization → synchronous
-/// aggregation.
+/// Every model exchange crosses a per-client [`Transport`] link as an
+/// encoded [`wire::Envelope`] frame — the server and clients communicate
+/// only through bytes. Construction sends each client a join-ack frame
+/// carrying the initial global model θ₁ so everyone starts from identical
+/// parameters; each [`Federation::run_round`] then performs: local
+/// optimization (scoped worker pool when `parallel`) → framed uploads
+/// with admission → streaming aggregation → framed broadcast.
 #[derive(Debug)]
 pub struct Federation<C> {
     config: FedAvgConfig,
     server: FedAvgServer,
     clients: Vec<C>,
+    links: Vec<Box<dyn Transport>>,
     transport: TransportStats,
     rng: StdRng,
     rounds_run: u64,
 }
 
 impl<C: FederatedClient> Federation<C> {
-    /// Creates a federation over `clients`.
+    /// Creates a federation over `clients` with default in-process
+    /// [`crate::ChannelTransport`] links.
     ///
     /// The initial global model is taken from the first client (all clients
     /// share one architecture) and broadcast to everyone.
@@ -183,8 +191,85 @@ impl<C: FederatedClient> Federation<C> {
     /// # Panics
     ///
     /// Panics if `clients` is empty or `participation` is outside `(0, 1]`.
-    pub fn new(mut clients: Vec<C>, config: FedAvgConfig, seed: u64) -> Self {
+    pub fn new(clients: Vec<C>, config: FedAvgConfig, seed: u64) -> Self {
+        let links = clients
+            .iter()
+            .map(|c| {
+                TransportKind::Channel
+                    .connect(c.id())
+                    .expect("channel links are infallible")
+            })
+            .collect();
+        Self::with_links(clients, links, config, seed)
+    }
+
+    /// Creates a federation whose links all use the `kind` backend.
+    ///
+    /// # Errors
+    ///
+    /// [`FedError::InvalidConfig`] when a link cannot be established (e.g.
+    /// no loopback networking for [`TransportKind::Tcp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Federation::new`] on invalid configuration.
+    pub fn with_transport(
+        clients: Vec<C>,
+        config: FedAvgConfig,
+        seed: u64,
+        kind: TransportKind,
+    ) -> Result<Self, FedError> {
+        let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(clients.len());
+        for c in &clients {
+            links.push(kind.connect(c.id())?);
+        }
+        Ok(Self::with_links(clients, links, config, seed))
+    }
+
+    /// Creates a federation over `kind` links, each wrapped in a
+    /// [`FaultyTransport`] actuating `plan` on the bytes in flight — the
+    /// transport-level fault-injection path.
+    ///
+    /// # Errors
+    ///
+    /// [`FedError::InvalidConfig`] when a link cannot be established.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Federation::new`] on invalid configuration.
+    pub fn with_transport_and_plan(
+        clients: Vec<C>,
+        config: FedAvgConfig,
+        seed: u64,
+        kind: TransportKind,
+        plan: &FaultPlan,
+    ) -> Result<Self, FedError> {
+        let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(clients.len());
+        for c in &clients {
+            links.push(Box::new(FaultyTransport::new(kind.connect(c.id())?, plan)));
+        }
+        Ok(Self::with_links(clients, links, config, seed))
+    }
+
+    /// Creates a federation over explicitly supplied links (one per
+    /// client, same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty, `links` and `clients` disagree in
+    /// length, or `participation`/`staleness_decay` are out of range.
+    pub fn with_links(
+        mut clients: Vec<C>,
+        mut links: Vec<Box<dyn Transport>>,
+        config: FedAvgConfig,
+        seed: u64,
+    ) -> Self {
         assert!(!clients.is_empty(), "federation needs at least one client");
+        assert_eq!(
+            clients.len(),
+            links.len(),
+            "federation needs exactly one transport link per client"
+        );
         assert!(
             config.participation > 0.0 && config.participation <= 1.0,
             "participation must be in (0, 1], got {}",
@@ -198,18 +283,36 @@ impl<C: FederatedClient> Federation<C> {
         let initial = clients[0].upload().params;
         let server = FedAvgServer::with_momentum(initial, config.strategy, config.server_momentum);
         let mut transport = TransportStats::new();
-        for client in &mut clients {
-            client.download(server.global());
-            transport.record_download(client.transfer_bytes());
+        for (client, link) in clients.iter_mut().zip(&mut links) {
+            Self::join(client, link.as_mut(), server.global(), &mut transport);
         }
         Federation {
             config,
             server,
             clients,
+            links,
             transport,
             rng: derive_rng(seed, streams::FEDERATION),
             rounds_run: 0,
         }
+    }
+
+    /// Delivers the join acknowledgement (initial model) to one client.
+    ///
+    /// The handshake is control-plane traffic and treated as reliable:
+    /// round-based fault plans only start at round 1, and should a link
+    /// fail anyway the model is installed directly.
+    fn join(client: &mut C, link: &mut dyn Transport, global: &[f32], stats: &mut TransportStats) {
+        let frame = wire::encode_join_ack(client.id(), global);
+        let delivered = link
+            .broadcast(&frame)
+            .ok()
+            .and_then(|bytes| wire::decode_params(&bytes).ok());
+        match delivered {
+            Some(params) => client.download(&params),
+            None => client.download(global),
+        }
+        stats.record_download(frame.len());
     }
 
     /// The federation's configuration.
@@ -259,6 +362,9 @@ impl<C: FederatedClient> Federation<C> {
         for client in &mut self.clients {
             client.begin_round(round);
         }
+        for link in &mut self.links {
+            link.begin_round(round);
+        }
 
         let mut report = RoundReport {
             round,
@@ -278,7 +384,7 @@ impl<C: FederatedClient> Federation<C> {
 
         let mut active: Vec<usize> = Vec::with_capacity(participant_ids.len());
         for &i in &participant_ids {
-            if self.clients[i].is_online() {
+            if self.clients[i].is_online() && self.links[i].is_online() {
                 active.push(i);
             } else {
                 report.offline += 1;
@@ -289,12 +395,14 @@ impl<C: FederatedClient> Federation<C> {
         report.train_panics = panicked.len();
         report.participants = active.len() - panicked.len();
 
-        let mut updates: Vec<ModelUpdate> = Vec::with_capacity(active.len());
-        let mut weights: Vec<f32> = Vec::with_capacity(active.len());
+        let mut acc = self.server.accumulator();
         for &i in &active {
             if panicked.contains(&i) {
                 continue;
             }
+            // The retry budget is shared across both layers: client-side
+            // drops (legacy fault path) and in-flight frame drops draw from
+            // the same `max_upload_retries` allowance.
             let mut outcome = self.clients[i].try_upload();
             let mut retries = 0;
             while retries < self.config.max_upload_retries
@@ -304,8 +412,8 @@ impl<C: FederatedClient> Federation<C> {
                 self.transport.record_upload_retry();
                 outcome = self.clients[i].try_upload();
             }
-            report.upload_retries += retries;
-            match outcome {
+            let mut frame_len = 0;
+            let delivered = match outcome {
                 Ok(mut update) => {
                     if self.config.update_noise_sigma > 0.0 {
                         let sigma = self.config.update_noise_sigma;
@@ -313,14 +421,32 @@ impl<C: FederatedClient> Federation<C> {
                             *p += sigma * gaussian(&mut self.rng);
                         }
                     }
-                    self.transport
-                        .record_upload(self.clients[i].transfer_bytes());
-                    match self.server.validate_update(&update) {
-                        Ok(()) => {
-                            updates.push(update);
-                            weights.push(1.0);
-                            report.uploads_ok += 1;
-                        }
+                    let frame = wire::encode_upload(round, &update);
+                    frame_len = frame.len();
+                    let mut sent = self.links[i].upload(&frame);
+                    while retries < self.config.max_upload_retries
+                        && matches!(sent, Err(FedError::UploadDropped { .. }))
+                    {
+                        retries += 1;
+                        self.transport.record_upload_retry();
+                        sent = self.links[i].upload(&frame);
+                    }
+                    sent
+                }
+                Err(e) => Err(e),
+            };
+            report.upload_retries += retries;
+            match delivered {
+                Ok(bytes) => {
+                    self.transport.record_upload(frame_len);
+                    match wire::decode_upload(&bytes) {
+                        Ok((_, received)) => match acc.admit(received, 1.0) {
+                            Ok(()) => report.uploads_ok += 1,
+                            Err(_) => {
+                                report.updates_rejected += 1;
+                                self.transport.record_update_rejected();
+                            }
+                        },
                         Err(_) => {
                             report.updates_rejected += 1;
                             self.transport.record_update_rejected();
@@ -343,17 +469,37 @@ impl<C: FederatedClient> Federation<C> {
         }
 
         // Straggler updates whose delay elapsed surface now, discounted by
-        // staleness. Every online client is polled: a straggler need not be
-        // in this round's participant set to deliver its late update.
-        for client in &mut self.clients {
-            if let Some(stale) = client.take_stale() {
+        // staleness. Every client and link is polled: a straggler need not
+        // be in this round's participant set to deliver its late update.
+        // Client-level stragglers (legacy fault path) hand over a decoded
+        // update; transport-level stragglers hand over the buffered frame.
+        for i in 0..self.clients.len() {
+            if let Some(stale) = self.clients[i].take_stale() {
                 let age = round.saturating_sub(stale.origin_round).max(1);
-                self.transport.record_upload(client.transfer_bytes());
-                match self.server.validate_update(&stale.update) {
-                    Ok(()) => {
-                        updates.push(stale.update);
-                        weights.push(self.config.staleness_decay.powi(age as i32));
-                        report.stale_applied += 1;
+                self.transport
+                    .record_upload(wire::upload_frame_len(stale.update.params.len()));
+                let weight = self.config.staleness_decay.powi(age as i32);
+                match acc.admit(stale.update, weight) {
+                    Ok(()) => report.stale_applied += 1,
+                    Err(_) => {
+                        report.updates_rejected += 1;
+                        self.transport.record_update_rejected();
+                    }
+                }
+            }
+            if let Some(bytes) = self.links[i].take_stale() {
+                self.transport.record_upload(bytes.len());
+                match wire::decode_upload(&bytes) {
+                    Ok((origin_round, update)) => {
+                        let age = round.saturating_sub(origin_round).max(1);
+                        let weight = self.config.staleness_decay.powi(age as i32);
+                        match acc.admit(update, weight) {
+                            Ok(()) => report.stale_applied += 1,
+                            Err(_) => {
+                                report.updates_rejected += 1;
+                                self.transport.record_update_rejected();
+                            }
+                        }
                     }
                     Err(_) => {
                         report.updates_rejected += 1;
@@ -363,28 +509,29 @@ impl<C: FederatedClient> Federation<C> {
             }
         }
 
-        report.client_divergence = Self::divergence(&updates);
+        report.client_divergence = acc.divergence();
 
-        if updates.len() >= self.config.min_quorum.max(1) {
-            // Fresh-only rounds keep the exact historical aggregation path
-            // (bit-identical fault-free runs); staleness discounting needs
-            // the explicitly weighted mean.
-            let result = if weights.iter().all(|&w| w == 1.0) {
-                self.server.aggregate(&updates).map(|_| ())
-            } else {
-                self.server
-                    .aggregate_weighted(&updates, &weights)
-                    .map(|_| ())
-            };
-            report.aggregated = result.is_ok();
+        if acc.admitted() >= self.config.min_quorum.max(1) {
+            report.aggregated = self.server.commit_round(acc).is_ok();
         }
 
-        for client in &mut self.clients {
-            if !client.is_online() {
+        for (client, link) in self.clients.iter_mut().zip(&mut self.links) {
+            if !(client.is_online() && link.is_online()) {
                 continue;
             }
-            match client.try_download(self.server.global()) {
-                Ok(()) => self.transport.record_download(client.transfer_bytes()),
+            let frame = wire::encode_broadcast(round, client.id(), self.server.global());
+            let outcome = link
+                .broadcast(&frame)
+                .and_then(|bytes| wire::decode_params(&bytes))
+                .and_then(|params| client.try_download(&params));
+            match outcome {
+                Ok(()) => self.transport.record_download(frame.len()),
+                Err(FedError::ShapeMismatch { .. }) => {
+                    // The model arrived intact but does not fit the client's
+                    // architecture: an admission failure, not a network one.
+                    report.updates_rejected += 1;
+                    self.transport.record_update_rejected();
+                }
                 Err(_) => {
                     report.download_drops += 1;
                     self.transport.record_download_dropped();
@@ -399,23 +546,48 @@ impl<C: FederatedClient> Federation<C> {
     /// Trains the active participants, containing panics; returns the ids
     /// whose training panicked (their state is suspect, so they are
     /// excluded from this round's upload).
+    ///
+    /// With `parallel` enabled the active clients are split into contiguous
+    /// chunks, one per available core, and trained on a scoped worker pool —
+    /// bounded thread count regardless of federation size.
     fn train_active(&mut self, active: &[usize]) -> Vec<usize> {
         let steps = self.config.steps_per_round;
         let mut panicked = Vec::new();
         if self.config.parallel {
-            std::thread::scope(|scope| {
+            let mut is_active = vec![false; self.clients.len()];
+            for &i in active {
+                is_active[i] = true;
+            }
+            let mut work: Vec<(usize, &mut C)> = self
+                .clients
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| is_active[*i])
+                .collect();
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let chunk_size = work.len().div_ceil(workers).max(1);
+            panicked = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (i, client) in self.clients.iter_mut().enumerate() {
-                    if active.contains(&i) {
-                        handles.push((i, scope.spawn(move || client.train_round(steps))));
-                    }
+                for chunk in work.chunks_mut(chunk_size) {
+                    handles.push(scope.spawn(move || {
+                        let mut failed = Vec::new();
+                        for (i, client) in chunk {
+                            if catch_unwind(AssertUnwindSafe(|| client.train_round(steps))).is_err()
+                            {
+                                failed.push(*i);
+                            }
+                        }
+                        failed
+                    }));
                 }
-                for (i, h) in handles {
-                    if h.join().is_err() {
-                        panicked.push(i);
-                    }
-                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("workers contain client panics"))
+                    .collect()
             });
+            panicked.sort_unstable();
         } else {
             for &i in active {
                 let client = &mut self.clients[i];
@@ -425,36 +597,6 @@ impl<C: FederatedClient> Federation<C> {
             }
         }
         panicked
-    }
-
-    /// Mean L2 distance of the updates from their coordinate-wise mean.
-    fn divergence(updates: &[ModelUpdate]) -> f32 {
-        if updates.len() < 2 {
-            return 0.0;
-        }
-        let len = updates[0].params.len();
-        let mut mean = vec![0.0_f32; len];
-        for u in updates {
-            for (m, &p) in mean.iter_mut().zip(&u.params) {
-                *m += p;
-            }
-        }
-        let n = updates.len() as f32;
-        for m in &mut mean {
-            *m /= n;
-        }
-        updates
-            .iter()
-            .map(|u| {
-                u.params
-                    .iter()
-                    .zip(&mean)
-                    .map(|(p, m)| (p - m) * (p - m))
-                    .sum::<f32>()
-                    .sqrt()
-            })
-            .sum::<f32>()
-            / n
     }
 
     /// Runs all `config.rounds` rounds, returning one report per round.
@@ -487,6 +629,7 @@ fn gaussian(rng: &mut StdRng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::ModelUpdate;
 
     /// A deterministic fake client for orchestration tests.
     #[derive(Debug)]
@@ -642,7 +785,57 @@ mod tests {
         let t = fed.transport();
         assert_eq!(t.uploads, 2);
         assert_eq!(t.downloads, base_downloads + 2);
-        assert_eq!(t.uploaded_bytes, 2 * 16);
+        // Uploaded bytes are the measured size of the encoded frames, not a
+        // client-side estimate: 4-parameter models frame to 60 bytes each.
+        assert_eq!(t.uploaded_bytes, 2 * wire::upload_frame_len(4) as u64);
+        assert_eq!(
+            t.downloaded_bytes,
+            (base_downloads + 2) * wire::broadcast_frame_len(4) as u64
+        );
+    }
+
+    #[test]
+    fn tcp_links_reproduce_the_channel_round_exactly() {
+        let channel = {
+            let mut fed = two_client_federation(FedAvgConfig::paper());
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        let tcp = {
+            let clients = vec![FakeClient::new(0, 0.0), FakeClient::new(1, 10.0)];
+            let mut fed =
+                Federation::with_transport(clients, FedAvgConfig::paper(), 7, TransportKind::Tcp)
+                    .expect("loopback TCP links");
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        assert_eq!(channel, tcp, "backends must be bit-identical");
+    }
+
+    #[test]
+    fn empty_fault_plan_on_the_link_is_transparent() {
+        let plain = {
+            let mut fed = two_client_federation(FedAvgConfig::paper());
+            fed.run_round();
+            fed.global_params().to_vec()
+        };
+        let wrapped = {
+            let clients = vec![FakeClient::new(0, 0.0), FakeClient::new(1, 10.0)];
+            let plan = FaultPlan::default();
+            let mut fed = Federation::with_transport_and_plan(
+                clients,
+                FedAvgConfig::paper(),
+                7,
+                TransportKind::Channel,
+                &plan,
+            )
+            .expect("channel links are infallible");
+            let report = fed.run_round();
+            assert_eq!(report.uploads_ok, 2);
+            assert_eq!(report.uploads_dropped, 0);
+            fed.global_params().to_vec()
+        };
+        assert_eq!(plain, wrapped);
     }
 
     #[test]

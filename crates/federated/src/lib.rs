@@ -54,13 +54,16 @@ mod federation;
 mod server;
 mod td_client;
 mod transport;
+pub mod wire;
 
 pub use client::{AgentClient, FederatedClient, ModelUpdate, StaleUpdate};
 pub use error::FedError;
 pub use fault::{
-    CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyClient, PlanCounts,
+    CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FaultyTransport,
+    PlanCounts,
 };
 pub use federation::{FaultSummary, FedAvgConfig, Federation, RoundReport};
-pub use server::{AggregationStrategy, FedAvgServer};
+pub use server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
 pub use td_client::TdClient;
-pub use transport::TransportStats;
+pub use transport::{ChannelTransport, TcpTransport, Transport, TransportKind, TransportStats};
+pub use wire::{Envelope, WireError};

@@ -212,23 +212,79 @@ impl FedAvgServer {
     /// Returns [`FedError::CorruptUpdate`] naming the offending client and
     /// the first violation found.
     pub fn validate_update(&self, update: &ModelUpdate) -> Result<(), FedError> {
-        if update.params.len() != self.global.len() {
-            return Err(FedError::CorruptUpdate {
-                client_id: update.client_id,
-                reason: format!(
-                    "shape mismatch: {} parameters, global has {}",
-                    update.params.len(),
-                    self.global.len()
-                ),
-            });
+        validate_against(self.global.len(), update)
+    }
+
+    /// Opens a streaming accumulator for one round of updates.
+    ///
+    /// Updates admitted into the accumulator are folded incrementally —
+    /// for the mean-based strategies the server's memory stays O(1) in the
+    /// number of clients, which is what lets `sweep_devices` scale; the
+    /// robust strategies ([`AggregationStrategy::TrimmedMean`],
+    /// [`AggregationStrategy::CoordinateMedian`]) inherently need every
+    /// update and fall back to buffering. Finish the round with
+    /// [`FedAvgServer::commit_round`].
+    pub fn accumulator(&self) -> RoundAccumulator {
+        RoundAccumulator::new(self.strategy, self.global.len())
+    }
+
+    /// Aggregates an accumulated round into the next global model.
+    ///
+    /// Semantics match the per-`Vec` paths: a round whose admitted updates
+    /// all carry unit weight aggregates under the configured strategy
+    /// (like [`FedAvgServer::aggregate`]); as soon as any update was
+    /// staleness-discounted the explicit weights take over and the
+    /// strategy is bypassed (like [`FedAvgServer::aggregate_weighted`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::EmptyRound`] when nothing was admitted, and the
+    /// robust strategies' [`FedError::InvalidConfig`] /
+    /// [`FedError::Model`] errors unchanged. A failed round leaves θ
+    /// intact.
+    pub fn commit_round(&mut self, acc: RoundAccumulator) -> Result<&[f32], FedError> {
+        if acc.admitted == 0 {
+            return Err(FedError::EmptyRound);
         }
-        if let Some(i) = update.params.iter().position(|p| !p.is_finite()) {
-            return Err(FedError::CorruptUpdate {
-                client_id: update.client_id,
-                reason: format!("non-finite value {} at index {i}", update.params[i]),
-            });
+        match acc.mode {
+            AccMode::Buffered { updates, weights } => {
+                if acc.all_unit {
+                    self.aggregate(&updates)
+                } else {
+                    self.aggregate_weighted(&updates, &weights)
+                }
+            }
+            AccMode::Streaming {
+                weighted_sum,
+                total_weight,
+                samples_sum,
+                total_samples,
+            } => {
+                let next: Vec<f32> = if !acc.all_unit {
+                    if !(total_weight.is_finite() && total_weight > 0.0) {
+                        return Err(FedError::InvalidConfig(format!(
+                            "weights must sum to a positive finite value, got {total_weight}"
+                        )));
+                    }
+                    weighted_sum.iter().map(|s| s / total_weight).collect()
+                } else {
+                    match (self.strategy, total_samples) {
+                        (AggregationStrategy::SampleWeighted, 1..) => samples_sum
+                            .expect("SampleWeighted streams a sample-weighted sum")
+                            .iter()
+                            .map(|s| s / total_samples as f32)
+                            .collect(),
+                        // Uniform, or SampleWeighted's zero-sample fallback.
+                        _ => {
+                            let n = acc.admitted as f32;
+                            weighted_sum.iter().map(|s| s / n).collect()
+                        }
+                    }
+                };
+                self.commit(next);
+                Ok(&self.global)
+            }
         }
-        Ok(())
     }
 
     /// Installs an aggregated model, applying server momentum if enabled.
@@ -273,6 +329,180 @@ impl FedAvgServer {
             out.push(combine(&column));
         }
         Ok(out)
+    }
+}
+
+/// The admission check shared by [`FedAvgServer::validate_update`] and
+/// [`RoundAccumulator::admit`].
+fn validate_against(expected_len: usize, update: &ModelUpdate) -> Result<(), FedError> {
+    if update.params.len() != expected_len {
+        return Err(FedError::CorruptUpdate {
+            client_id: update.client_id,
+            reason: format!(
+                "shape mismatch: {} parameters, global has {}",
+                update.params.len(),
+                expected_len
+            ),
+        });
+    }
+    if let Some(i) = update.params.iter().position(|p| !p.is_finite()) {
+        return Err(FedError::CorruptUpdate {
+            client_id: update.client_id,
+            reason: format!("non-finite value {} at index {i}", update.params[i]),
+        });
+    }
+    Ok(())
+}
+
+/// How an accumulator folds its admitted updates.
+#[derive(Debug, Clone, PartialEq)]
+enum AccMode {
+    /// Mean-based strategies: running sums, O(1) memory in client count.
+    Streaming {
+        /// `Σ wᵢ·θᵢ` over admitted updates, with `wᵢ` the explicit
+        /// (staleness) weight.
+        weighted_sum: Vec<f32>,
+        /// `Σ wᵢ`.
+        total_weight: f32,
+        /// `Σ nᵢ·θᵢ` (sample-weighted sum), kept only under
+        /// [`AggregationStrategy::SampleWeighted`].
+        samples_sum: Option<Vec<f32>>,
+        /// `Σ nᵢ`.
+        total_samples: u64,
+    },
+    /// Robust strategies need every update's coordinates; buffer them.
+    Buffered {
+        updates: Vec<ModelUpdate>,
+        weights: Vec<f32>,
+    },
+}
+
+/// A server-side round in progress: updates are admission-checked and
+/// folded into running aggregates as they arrive off the wire.
+///
+/// Create with [`FedAvgServer::accumulator`], feed with
+/// [`RoundAccumulator::admit`], finish with [`FedAvgServer::commit_round`].
+/// Besides the aggregate itself the accumulator tracks the per-coordinate
+/// first and second moments of the admitted models, from which
+/// [`RoundAccumulator::divergence`] derives the round's client-drift
+/// metric without buffering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundAccumulator {
+    mode: AccMode,
+    /// Whether every admitted update carried weight exactly 1.0 (the
+    /// fault-free case; selects the strategy path on commit).
+    all_unit: bool,
+    admitted: usize,
+    expected_len: usize,
+    /// Per-coordinate `Σ θᵢⱼ` (unweighted, for the divergence metric).
+    div_sum: Vec<f32>,
+    /// Per-coordinate `Σ θᵢⱼ²`.
+    div_sumsq: Vec<f32>,
+}
+
+impl RoundAccumulator {
+    fn new(strategy: AggregationStrategy, expected_len: usize) -> Self {
+        let mode = match strategy {
+            AggregationStrategy::Uniform => AccMode::Streaming {
+                weighted_sum: vec![0.0; expected_len],
+                total_weight: 0.0,
+                samples_sum: None,
+                total_samples: 0,
+            },
+            AggregationStrategy::SampleWeighted => AccMode::Streaming {
+                weighted_sum: vec![0.0; expected_len],
+                total_weight: 0.0,
+                samples_sum: Some(vec![0.0; expected_len]),
+                total_samples: 0,
+            },
+            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian => {
+                AccMode::Buffered {
+                    updates: Vec::new(),
+                    weights: Vec::new(),
+                }
+            }
+        };
+        RoundAccumulator {
+            mode,
+            all_unit: true,
+            admitted: 0,
+            expected_len,
+            div_sum: vec![0.0; expected_len],
+            div_sumsq: vec![0.0; expected_len],
+        }
+    }
+
+    /// Admission-checks `update` and folds it in under explicit `weight`
+    /// (1.0 for a fresh update; the staleness discount for a late one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::CorruptUpdate`] — same check and message as
+    /// [`FedAvgServer::validate_update`] — and leaves the accumulator
+    /// untouched.
+    pub fn admit(&mut self, update: ModelUpdate, weight: f32) -> Result<(), FedError> {
+        validate_against(self.expected_len, &update)?;
+        for ((s, q), &p) in self
+            .div_sum
+            .iter_mut()
+            .zip(&mut self.div_sumsq)
+            .zip(&update.params)
+        {
+            *s += p;
+            *q += p * p;
+        }
+        self.all_unit &= weight == 1.0;
+        self.admitted += 1;
+        match &mut self.mode {
+            AccMode::Streaming {
+                weighted_sum,
+                total_weight,
+                samples_sum,
+                total_samples,
+            } => {
+                for (acc, &p) in weighted_sum.iter_mut().zip(&update.params) {
+                    *acc += weight * p;
+                }
+                *total_weight += weight;
+                if let Some(sample_acc) = samples_sum {
+                    let n = update.num_samples as f32;
+                    for (acc, &p) in sample_acc.iter_mut().zip(&update.params) {
+                        *acc += n * p;
+                    }
+                    *total_samples += update.num_samples;
+                }
+            }
+            AccMode::Buffered { updates, weights } => {
+                updates.push(update);
+                weights.push(weight);
+            }
+        }
+        Ok(())
+    }
+
+    /// Updates admitted so far (fresh and stale alike) — the round's
+    /// quorum count.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Client drift of the admitted models: the root-mean-square L2
+    /// distance from their coordinate-wise mean, derived from the running
+    /// moments (`√(Σⱼ(Σᵢθᵢⱼ² − m·μⱼ²)/m)`). Zero with fewer than two
+    /// updates.
+    pub fn divergence(&self) -> f32 {
+        if self.admitted < 2 {
+            return 0.0;
+        }
+        let m = self.admitted as f32;
+        let mut total = 0.0_f32;
+        for (&s, &q) in self.div_sum.iter().zip(&self.div_sumsq) {
+            let mean = s / m;
+            // Catastrophic cancellation can take the variance a hair
+            // negative; clamp rather than emit NaN.
+            total += (q - m * mean * mean).max(0.0);
+        }
+        (total / m).sqrt()
     }
 }
 
@@ -510,6 +740,107 @@ mod tests {
         assert_eq!(
             trimmed.aggregate(&updates).unwrap(),
             uniform.aggregate(&updates).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_uniform_round_matches_the_plain_mean() {
+        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let mut acc = server.accumulator();
+        acc.admit(update(0, vec![1.0, 2.0], 100), 1.0).unwrap();
+        acc.admit(update(1, vec![3.0, 6.0], 900), 1.0).unwrap();
+        assert_eq!(acc.admitted(), 2);
+        let global = server.commit_round(acc).unwrap();
+        assert_eq!(global, &[2.0, 4.0]);
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn streaming_sample_weighted_round_respects_counts() {
+        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::SampleWeighted);
+        let mut acc = server.accumulator();
+        acc.admit(update(0, vec![0.0, 0.0], 100), 1.0).unwrap();
+        acc.admit(update(1, vec![4.0, 8.0], 300), 1.0).unwrap();
+        assert_eq!(server.commit_round(acc).unwrap(), &[3.0, 6.0]);
+
+        // Zero samples everywhere → uniform fallback, like `aggregate`.
+        let mut acc = server.accumulator();
+        acc.admit(update(0, vec![2.0, 2.0], 0), 1.0).unwrap();
+        acc.admit(update(1, vec![4.0, 4.0], 0), 1.0).unwrap();
+        assert_eq!(server.commit_round(acc).unwrap(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn stale_weights_switch_the_accumulator_to_the_weighted_mean() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut acc = server.accumulator();
+        // Weights 3:1 → (3·0 + 1·4)/4 = 1, the aggregate_weighted case.
+        acc.admit(update(0, vec![0.0], 1), 3.0).unwrap();
+        acc.admit(update(1, vec![4.0], 1), 1.0).unwrap();
+        let global = server.commit_round(acc).unwrap();
+        assert!((global[0] - 1.0).abs() < 1e-6, "{global:?}");
+    }
+
+    #[test]
+    fn buffered_robust_strategies_go_through_the_legacy_path() {
+        let mut streamed = FedAvgServer::new(
+            vec![0.0; 2],
+            AggregationStrategy::TrimmedMean { trim_each_side: 1 },
+        );
+        let mut direct = streamed.clone();
+        let updates = [
+            update(0, vec![1.0, 1.0], 1),
+            update(1, vec![1.2, 0.8], 1),
+            update(2, vec![0.8, 1.2], 1),
+            update(3, vec![1e9, -1e9], 1),
+        ];
+        let mut acc = streamed.accumulator();
+        for u in &updates {
+            acc.admit(u.clone(), 1.0).unwrap();
+        }
+        let via_acc = streamed.commit_round(acc).unwrap().to_vec();
+        let via_direct = direct.aggregate(&updates).unwrap().to_vec();
+        assert_eq!(via_acc, via_direct, "bit-identical to aggregate()");
+    }
+
+    #[test]
+    fn accumulator_admission_rejects_like_validate_update() {
+        let server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let mut acc = server.accumulator();
+        let nan = acc.admit(update(3, vec![1.0, f32::NAN], 1), 1.0);
+        assert_eq!(
+            nan.unwrap_err().to_string(),
+            server
+                .validate_update(&update(3, vec![1.0, f32::NAN], 1))
+                .unwrap_err()
+                .to_string(),
+            "same rejection message as validate_update"
+        );
+        assert!(acc.admit(update(2, vec![1.0], 1), 1.0).is_err());
+        assert_eq!(acc.admitted(), 0, "rejected updates leave no trace");
+    }
+
+    #[test]
+    fn empty_accumulator_commit_errors() {
+        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let acc = server.accumulator();
+        assert_eq!(server.commit_round(acc), Err(FedError::EmptyRound));
+        assert_eq!(server.rounds_completed(), 0);
+    }
+
+    #[test]
+    fn accumulator_divergence_matches_the_two_client_geometry() {
+        let server = FedAvgServer::new(vec![0.0; 4], AggregationStrategy::Uniform);
+        let mut acc = server.accumulator();
+        assert_eq!(acc.divergence(), 0.0, "empty round has no drift");
+        acc.admit(update(0, vec![1.0; 4], 1), 1.0).unwrap();
+        assert_eq!(acc.divergence(), 0.0, "a single model has no drift");
+        acc.admit(update(1, vec![2.0; 4], 1), 1.0).unwrap();
+        // Mean 1.5, each model 0.5 away in all 4 coordinates → distance 1.
+        assert!(
+            (acc.divergence() - 1.0).abs() < 1e-6,
+            "{}",
+            acc.divergence()
         );
     }
 }

@@ -1,4 +1,5 @@
-use crate::client::{FederatedClient, ModelUpdate};
+use crate::client::{shape_mismatch_error, FederatedClient, ModelUpdate};
+use crate::error::FedError;
 use fedpower_agent::{DeviceEnv, DeviceEnvConfig, State, TdConfig, TdController};
 use fedpower_sim::rng::derive_seed;
 
@@ -61,9 +62,15 @@ impl FederatedClient for TdClient {
     }
 
     fn download(&mut self, global: &[f32]) {
+        // Infallible for the trait: a misshapen global model leaves the
+        // previous parameters installed (see `try_download`).
+        let _ = self.agent.set_params(global);
+    }
+
+    fn try_download(&mut self, global: &[f32]) -> Result<(), FedError> {
         self.agent
             .set_params(global)
-            .expect("all federation clients share one architecture");
+            .map_err(|e| shape_mismatch_error(self.id, e))
     }
 
     fn transfer_bytes(&self) -> usize {
@@ -104,5 +111,26 @@ mod tests {
             "both devices hold the global TD model after the final download"
         );
         assert_eq!(fed.clients()[0].agent().steps(), 80);
+    }
+
+    #[test]
+    fn mismatched_download_errors_instead_of_panicking() {
+        let mut c = TdClient::new(
+            0,
+            TdConfig::paper_with_gamma(0.9),
+            DeviceEnvConfig::new(&[AppId::Fft]),
+            1,
+        );
+        let before = c.agent().params();
+        assert!(matches!(
+            c.try_download(&[0.0; 3]),
+            Err(FedError::ShapeMismatch {
+                client_id: 0,
+                actual: 3,
+                ..
+            })
+        ));
+        c.download(&[0.0; 3]);
+        assert_eq!(c.agent().params(), before, "previous model survives");
     }
 }

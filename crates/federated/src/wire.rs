@@ -1,0 +1,143 @@
+//! Wire-protocol glue between the federation and [`fedpower_wire`].
+//!
+//! The codec itself lives in the dependency-free [`fedpower_wire`] crate
+//! (re-exported here in full) so the agent crate can report real frame
+//! sizes without depending on the federation. This module adds the
+//! federation-side conveniences: encoding a [`ModelUpdate`] into an
+//! upload frame and decoding frames back into federation types with
+//! wire violations surfaced as [`FedError::Wire`].
+
+pub use fedpower_wire::{
+    broadcast_frame_len, crc32, upload_frame_len, Envelope, MsgKind, Payload, WireError,
+    FRAME_OVERHEAD, HEADER_LEN, MAGIC, MAX_PAYLOAD_LEN, VERSION,
+};
+
+use crate::client::ModelUpdate;
+use crate::error::FedError;
+
+/// Encodes a client's model update as an upload frame for `round`.
+pub fn encode_upload(round: u64, update: &ModelUpdate) -> Vec<u8> {
+    Envelope::model_upload(
+        round,
+        update.client_id as u64,
+        update.num_samples,
+        update.params.clone(),
+    )
+    .encode()
+}
+
+/// Decodes an upload frame back into `(origin_round, ModelUpdate)`.
+///
+/// # Errors
+///
+/// Returns [`FedError::Wire`] on any framing violation, or
+/// [`FedError::CorruptUpdate`] if the frame decodes cleanly but is not a
+/// [`MsgKind::ModelUpload`] message.
+pub fn decode_upload(frame: &[u8]) -> Result<(u64, ModelUpdate), FedError> {
+    let env = Envelope::decode(frame)?;
+    match env.payload {
+        Payload::ModelUpload {
+            num_samples,
+            params,
+        } => Ok((
+            env.round,
+            ModelUpdate {
+                client_id: env.client_id as usize,
+                params,
+                num_samples,
+            },
+        )),
+        other => Err(FedError::CorruptUpdate {
+            client_id: env.client_id as usize,
+            reason: format!("expected a model upload, got {:?}", other.kind()),
+        }),
+    }
+}
+
+/// Encodes the server's global model as a broadcast frame to `client_id`.
+pub fn encode_broadcast(round: u64, client_id: usize, params: &[f32]) -> Vec<u8> {
+    Envelope::broadcast(round, client_id as u64, params.to_vec()).encode()
+}
+
+/// Encodes the join acknowledgement (initial model) for `client_id`.
+pub fn encode_join_ack(client_id: usize, params: &[f32]) -> Vec<u8> {
+    Envelope::join_ack(client_id as u64, params.to_vec()).encode()
+}
+
+/// Decodes a server→client frame (broadcast or join-ack) into the carried
+/// global parameters.
+///
+/// # Errors
+///
+/// Returns [`FedError::Wire`] on framing violations, or
+/// [`FedError::CorruptUpdate`] if the frame is an upload rather than a
+/// downstream message.
+pub fn decode_params(frame: &[u8]) -> Result<Vec<f32>, FedError> {
+    let env = Envelope::decode(frame)?;
+    match env.payload {
+        Payload::Broadcast { params } | Payload::JoinAck { params } => Ok(params),
+        Payload::ModelUpload { .. } => Err(FedError::CorruptUpdate {
+            client_id: env.client_id as usize,
+            reason: "expected a broadcast, got a model upload".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update() -> ModelUpdate {
+        ModelUpdate {
+            client_id: 3,
+            params: vec![1.0, -0.5, 2.25],
+            num_samples: 40,
+        }
+    }
+
+    #[test]
+    fn upload_round_trips_through_the_federation_types() {
+        let frame = encode_upload(12, &update());
+        assert_eq!(frame.len(), upload_frame_len(3));
+        let (round, back) = decode_upload(&frame).unwrap();
+        assert_eq!(round, 12);
+        assert_eq!(back, update());
+    }
+
+    #[test]
+    fn broadcast_and_join_round_trip() {
+        let params = vec![0.25, 0.5];
+        for frame in [encode_broadcast(4, 1, &params), encode_join_ack(1, &params)] {
+            assert_eq!(decode_params(&frame).unwrap(), params);
+        }
+    }
+
+    #[test]
+    fn framing_violations_surface_as_fed_errors() {
+        let mut frame = encode_upload(1, &update());
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        assert!(matches!(
+            decode_upload(&frame),
+            Err(FedError::Wire(WireError::CrcMismatch { .. }))
+        ));
+        assert!(matches!(
+            decode_upload(&frame[..10]),
+            Err(FedError::Wire(WireError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn kind_confusion_is_a_corrupt_update() {
+        let broadcast = encode_broadcast(1, 2, &[1.0]);
+        assert!(matches!(
+            decode_upload(&broadcast),
+            Err(FedError::CorruptUpdate { client_id: 2, .. })
+        ));
+        let upload = encode_upload(1, &update());
+        assert!(matches!(
+            decode_params(&upload),
+            Err(FedError::CorruptUpdate { client_id: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,594 @@
+//! # fedpower-wire
+//!
+//! The versioned binary wire protocol carrying every server↔device model
+//! exchange of the federation. The paper treats the transfer as a real
+//! network operation (§IV-C measures 2.8 kB per model), so the
+//! reproduction frames model payloads the way a deployment would: an
+//! [`Envelope`] with a magic number, protocol version, message kind,
+//! round/identity addressing, an explicit payload length, and a CRC32
+//! trailer that rejects any in-flight corruption.
+//!
+//! Everything is hand-rolled little-endian encode/decode — the hot path
+//! carries no serde (or any other) dependency, and the crate itself is
+//! dependency-free so both the agent crate (which reports per-upload
+//! sizes) and the federated crate (which moves the bytes) can share it
+//! without a dependency cycle.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"FPWR"
+//!      4     2  version (little-endian u16, currently 1)
+//!      6     1  message kind (0 upload, 1 broadcast, 2 join-ack)
+//!      7     1  reserved (0)
+//!      8     8  round (little-endian u64)
+//!     16     8  client id (little-endian u64)
+//!     24     4  payload length n (little-endian u32)
+//!     28     n  payload (kind-specific, see [`Payload`])
+//! 28 + n     4  CRC32 (IEEE) over bytes [0, 28 + n)
+//! ```
+//!
+//! [`Envelope::decode`] fails with a typed [`WireError`] on truncation,
+//! bad magic, unsupported version, unknown kind, length inconsistency, or
+//! CRC mismatch — a single flipped bit anywhere in a frame is rejected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"FPWR";
+
+/// The protocol version this crate encodes and accepts.
+pub const VERSION: u16 = 1;
+
+/// Fixed header size in bytes (everything before the payload).
+pub const HEADER_LEN: usize = 28;
+
+/// Total framing overhead in bytes: header plus CRC32 trailer.
+pub const FRAME_OVERHEAD: usize = HEADER_LEN + 4;
+
+/// Largest payload a decoder will accept (a defensive bound far above any
+/// real model in this workspace).
+pub const MAX_PAYLOAD_LEN: usize = 64 * 1024 * 1024;
+
+/// The kind of message a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A client's locally optimized model, uploaded to the server.
+    ModelUpload,
+    /// The server's new global model, broadcast to one client.
+    Broadcast,
+    /// The server's reply when a client joins: its admission plus the
+    /// initial global model θ₁.
+    JoinAck,
+}
+
+impl MsgKind {
+    fn code(self) -> u8 {
+        match self {
+            MsgKind::ModelUpload => 0,
+            MsgKind::Broadcast => 1,
+            MsgKind::JoinAck => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(MsgKind::ModelUpload),
+            1 => Some(MsgKind::Broadcast),
+            2 => Some(MsgKind::JoinAck),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded, kind-specific frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Client → server: the locally trained parameters plus the number of
+    /// environment samples behind them (used by sample-weighted
+    /// aggregation).
+    ModelUpload {
+        /// Environment samples collected this round.
+        num_samples: u64,
+        /// Flat model parameters θ_r^n.
+        params: Vec<f32>,
+    },
+    /// Server → client: the new global parameters.
+    Broadcast {
+        /// Flat global parameters θ_{r+1}.
+        params: Vec<f32>,
+    },
+    /// Server → client at federation construction: the initial global
+    /// model.
+    JoinAck {
+        /// Flat initial parameters θ₁.
+        params: Vec<f32>,
+    },
+}
+
+impl Payload {
+    /// The message kind this payload encodes as.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Payload::ModelUpload { .. } => MsgKind::ModelUpload,
+            Payload::Broadcast { .. } => MsgKind::Broadcast,
+            Payload::JoinAck { .. } => MsgKind::JoinAck,
+        }
+    }
+
+    /// The carried parameter vector, whatever the kind.
+    pub fn params(&self) -> &[f32] {
+        match self {
+            Payload::ModelUpload { params, .. }
+            | Payload::Broadcast { params }
+            | Payload::JoinAck { params } => params,
+        }
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Payload::ModelUpload { params, .. } => 12 + 4 * params.len(),
+            Payload::Broadcast { params } | Payload::JoinAck { params } => 4 + 4 * params.len(),
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::ModelUpload {
+                num_samples,
+                params,
+            } => {
+                out.extend_from_slice(&num_samples.to_le_bytes());
+                encode_params(params, out);
+            }
+            Payload::Broadcast { params } | Payload::JoinAck { params } => {
+                encode_params(params, out);
+            }
+        }
+    }
+
+    fn decode(kind: MsgKind, bytes: &[u8]) -> Result<Self, WireError> {
+        match kind {
+            MsgKind::ModelUpload => {
+                if bytes.len() < 8 {
+                    return Err(WireError::Truncated {
+                        expected: 8,
+                        actual: bytes.len(),
+                    });
+                }
+                let num_samples = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+                let params = decode_params(&bytes[8..])?;
+                Ok(Payload::ModelUpload {
+                    num_samples,
+                    params,
+                })
+            }
+            MsgKind::Broadcast => Ok(Payload::Broadcast {
+                params: decode_params(bytes)?,
+            }),
+            MsgKind::JoinAck => Ok(Payload::JoinAck {
+                params: decode_params(bytes)?,
+            }),
+        }
+    }
+}
+
+/// One framed message: addressing plus a typed [`Payload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The federated round the message belongs to (0 for join handshakes).
+    pub round: u64,
+    /// The client the message is from (uploads) or to (broadcasts).
+    pub client_id: u64,
+    /// The message body.
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// A client's model upload for `round`.
+    pub fn model_upload(round: u64, client_id: u64, num_samples: u64, params: Vec<f32>) -> Self {
+        Envelope {
+            round,
+            client_id,
+            payload: Payload::ModelUpload {
+                num_samples,
+                params,
+            },
+        }
+    }
+
+    /// The server's broadcast of the new global model to `client_id`.
+    pub fn broadcast(round: u64, client_id: u64, params: Vec<f32>) -> Self {
+        Envelope {
+            round,
+            client_id,
+            payload: Payload::Broadcast { params },
+        }
+    }
+
+    /// The server's join acknowledgement carrying the initial model.
+    pub fn join_ack(client_id: u64, params: Vec<f32>) -> Self {
+        Envelope {
+            round: 0,
+            client_id,
+            payload: Payload::JoinAck { params },
+        }
+    }
+
+    /// The message kind.
+    pub fn kind(&self) -> MsgKind {
+        self.payload.kind()
+    }
+
+    /// Total encoded frame size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload.encoded_len()
+    }
+
+    /// Encodes the envelope into a self-delimiting byte frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = self.payload.encoded_len();
+        let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.kind().code());
+        out.push(0); // reserved
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        self.payload.encode_into(&mut out);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a frame produced by [`Envelope::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the first framing violation
+    /// found: truncation, bad magic, unsupported version, unknown kind, a
+    /// payload length disagreeing with the frame, or a CRC mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < FRAME_OVERHEAD {
+            return Err(WireError::Truncated {
+                expected: FRAME_OVERHEAD,
+                actual: bytes.len(),
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(WireError::BadMagic(bytes[..4].try_into().expect("4 bytes")));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let kind = MsgKind::from_code(bytes[6]).ok_or(WireError::UnknownKind(bytes[6]))?;
+        let round = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let client_id = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let payload_len = u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")) as usize;
+        if payload_len > MAX_PAYLOAD_LEN {
+            return Err(WireError::LengthMismatch {
+                declared: payload_len,
+                actual: bytes.len().saturating_sub(FRAME_OVERHEAD),
+            });
+        }
+        if bytes.len() != FRAME_OVERHEAD + payload_len {
+            return Err(WireError::LengthMismatch {
+                declared: payload_len,
+                actual: bytes.len().saturating_sub(FRAME_OVERHEAD),
+            });
+        }
+        let body_end = HEADER_LEN + payload_len;
+        let expected = crc32(&bytes[..body_end]);
+        let actual = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+        if expected != actual {
+            return Err(WireError::CrcMismatch { expected, actual });
+        }
+        let payload = Payload::decode(kind, &bytes[HEADER_LEN..body_end])?;
+        Ok(Envelope {
+            round,
+            client_id,
+            payload,
+        })
+    }
+}
+
+/// Encoded size in bytes of a model-upload frame carrying `num_params`
+/// parameters (the per-transfer size §IV-C reports as 2.8 kB for the
+/// paper's 687-parameter network).
+pub fn upload_frame_len(num_params: usize) -> usize {
+    FRAME_OVERHEAD + 12 + 4 * num_params
+}
+
+/// Encoded size in bytes of a broadcast (or join-ack) frame carrying
+/// `num_params` parameters.
+pub fn broadcast_frame_len(num_params: usize) -> usize {
+    FRAME_OVERHEAD + 4 + 4 * num_params
+}
+
+fn encode_params(params: &[f32], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+}
+
+fn decode_params(bytes: &[u8]) -> Result<Vec<f32>, WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError::Truncated {
+            expected: 4,
+            actual: bytes.len(),
+        });
+    }
+    let count = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let body = &bytes[4..];
+    if body.len() != 4 * count {
+        return Err(WireError::LengthMismatch {
+            declared: 4 * count,
+            actual: body.len(),
+        });
+    }
+    Ok(body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+/// A framing violation found while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before a complete field.
+    Truncated {
+        /// Bytes the decoder needed.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's protocol version is not [`VERSION`].
+    UnsupportedVersion(u16),
+    /// The message-kind byte names no known kind.
+    UnknownKind(u8),
+    /// A declared length disagrees with the bytes present.
+    LengthMismatch {
+        /// Length the frame declared.
+        declared: usize,
+        /// Length actually present.
+        actual: usize,
+    },
+    /// The CRC32 trailer does not match the frame contents.
+    CrcMismatch {
+        /// CRC computed over the received bytes.
+        expected: u32,
+        /// CRC carried in the trailer.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { expected, actual } => {
+                write!(f, "frame truncated: needed {expected} bytes, got {actual}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::LengthMismatch { declared, actual } => {
+                write!(f, "length mismatch: declared {declared}, got {actual}")
+            }
+            WireError::CrcMismatch { expected, actual } => write!(
+                f,
+                "CRC mismatch: computed {expected:#010x}, trailer {actual:#010x}"
+            ),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// CRC32 (IEEE 802.3, the zlib polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        // The canonical IEEE CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn upload_round_trips() {
+        let env = Envelope::model_upload(7, 3, 100, vec![1.0, -2.5, 0.0, f32::MIN_POSITIVE]);
+        let bytes = env.encode();
+        assert_eq!(bytes.len(), env.encoded_len());
+        assert_eq!(bytes.len(), upload_frame_len(4));
+        let back = Envelope::decode(&bytes).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.kind(), MsgKind::ModelUpload);
+    }
+
+    #[test]
+    fn broadcast_and_join_ack_round_trip() {
+        for env in [
+            Envelope::broadcast(9, 1, vec![0.5; 7]),
+            Envelope::join_ack(2, vec![-1.0; 3]),
+        ] {
+            let bytes = env.encode();
+            assert_eq!(Envelope::decode(&bytes).unwrap(), env);
+        }
+        assert_eq!(
+            Envelope::broadcast(9, 1, vec![0.5; 7]).encoded_len(),
+            broadcast_frame_len(7)
+        );
+    }
+
+    #[test]
+    fn nan_payloads_survive_the_wire_bitwise() {
+        // Corrupt updates must arrive as-is so server admission (not the
+        // codec) is what rejects them.
+        let env = Envelope::model_upload(1, 0, 5, vec![f32::NAN, f32::INFINITY, 1.0]);
+        let back = Envelope::decode(&env.encode()).unwrap();
+        let sent = env.payload.params();
+        let got = back.payload.params();
+        assert_eq!(sent.len(), got.len());
+        for (a, b) in sent.iter().zip(got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_param_vectors_are_legal() {
+        let env = Envelope::broadcast(1, 0, vec![]);
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = Envelope::model_upload(1, 0, 5, vec![1.0, 2.0]).encode();
+        for cut in [0, 1, FRAME_OVERHEAD - 1, bytes.len() - 1] {
+            assert!(
+                Envelope::decode(&bytes[..cut]).is_err(),
+                "accepted a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_kind_are_rejected() {
+        let good = Envelope::broadcast(1, 0, vec![1.0]).encode();
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Envelope::decode(&bad),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Envelope::decode(&bad),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+
+        let mut bad = good.clone();
+        bad[6] = 42;
+        // The CRC guard sees the mutation first unless we re-seal the
+        // frame; either error is a rejection, but re-sealing proves the
+        // kind check itself fires.
+        let body_end = bad.len() - 4;
+        let crc = crc32(&bad[..body_end]).to_le_bytes();
+        bad[body_end..].copy_from_slice(&crc);
+        assert!(matches!(
+            Envelope::decode(&bad),
+            Err(WireError::UnknownKind(42))
+        ));
+    }
+
+    #[test]
+    fn any_corrupted_byte_is_rejected() {
+        let bytes = Envelope::model_upload(3, 1, 50, vec![0.25, -0.75, 1.5]).encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Envelope::decode(&bad).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn declared_length_must_match_the_frame() {
+        let mut bytes = Envelope::broadcast(1, 0, vec![1.0, 2.0]).encode();
+        // Claim a shorter payload than present (and re-seal the CRC so the
+        // length check is what fires).
+        bytes[24..28].copy_from_slice(&4u32.to_le_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_end]).to_le_bytes();
+        bytes[body_end..].copy_from_slice(&crc);
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_len_helpers_match_encoding() {
+        for n in [0, 1, 687, 4096] {
+            let up = Envelope::model_upload(1, 0, 9, vec![0.0; n]);
+            assert_eq!(up.encode().len(), upload_frame_len(n));
+            let down = Envelope::broadcast(1, 0, vec![0.0; n]);
+            assert_eq!(down.encode().len(), broadcast_frame_len(n));
+        }
+        // The paper's 5→32→15 network has 687 parameters: ~2.8 kB framed.
+        let kb = upload_frame_len(687) as f64 / 1024.0;
+        assert!((2.5..3.0).contains(&kb), "{kb:.2} kB");
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let cases: [(WireError, &str); 4] = [
+            (
+                WireError::Truncated {
+                    expected: 32,
+                    actual: 3,
+                },
+                "truncated",
+            ),
+            (WireError::BadMagic(*b"XXXX"), "magic"),
+            (WireError::UnsupportedVersion(9), "version 9"),
+            (
+                WireError::CrcMismatch {
+                    expected: 1,
+                    actual: 2,
+                },
+                "CRC",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

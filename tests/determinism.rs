@@ -7,6 +7,7 @@ use fedpower::core::scenario::{six_six_split, table2_scenarios};
 use fedpower::core::ExperimentConfig;
 use fedpower::federated::{
     AgentClient, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FedAvgConfig, Federation,
+    TransportKind,
 };
 use fedpower::workloads::AppId;
 
@@ -55,27 +56,61 @@ fn faulty_federated_run_is_bit_reproducible() {
     assert_eq!(a.fault_summary, b.fault_summary);
 }
 
+fn agent_clients() -> Vec<AgentClient> {
+    vec![
+        AgentClient::new(
+            0,
+            ControllerConfig::paper(),
+            DeviceEnvConfig::new(&[AppId::Fft, AppId::Lu]),
+            3,
+        ),
+        AgentClient::new(
+            1,
+            ControllerConfig::paper(),
+            DeviceEnvConfig::new(&[AppId::Ocean, AppId::Radix]),
+            4,
+        ),
+    ]
+}
+
+/// The reward series, transport accounting, and final policy are
+/// bit-identical across (serial, parallel) × (channel, TCP): the worker
+/// pool and both byte transports are pure plumbing around the same math.
+#[test]
+fn engine_variants_are_bit_identical() {
+    let scenario = &table2_scenarios()[0];
+    let mut baseline = None;
+    for parallel in [false, true] {
+        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+            let mut cfg = tiny();
+            cfg.fedavg.parallel = parallel;
+            cfg.transport = transport;
+            let out = run_federated(scenario, &cfg);
+            match &baseline {
+                None => baseline = Some(out),
+                Some(base) => {
+                    assert_eq!(
+                        base.agents[0].params(),
+                        out.agents[0].params(),
+                        "parallel={parallel} transport={transport} diverged"
+                    );
+                    assert_eq!(
+                        base.series, out.series,
+                        "reward series must be bit-identical"
+                    );
+                    assert_eq!(base.transport, out.transport);
+                    assert_eq!(base.reports, out.reports);
+                }
+            }
+        }
+    }
+}
+
 /// With every fault probability at zero the generated plan is empty, and
 /// a fault-wrapped federation reproduces the unwrapped one bit-for-bit —
 /// the fault layer costs nothing when turned off.
 #[test]
 fn zero_probability_faults_equal_the_fault_free_run() {
-    fn agent_clients() -> Vec<AgentClient> {
-        vec![
-            AgentClient::new(
-                0,
-                ControllerConfig::paper(),
-                DeviceEnvConfig::new(&[AppId::Fft, AppId::Lu]),
-                3,
-            ),
-            AgentClient::new(
-                1,
-                ControllerConfig::paper(),
-                DeviceEnvConfig::new(&[AppId::Ocean, AppId::Radix]),
-                4,
-            ),
-        ]
-    }
     let mut fed_cfg = FedAvgConfig::paper();
     fed_cfg.rounds = 3;
     fed_cfg.steps_per_round = 30;
@@ -107,6 +142,37 @@ fn zero_probability_faults_equal_the_fault_free_run() {
     assert_eq!(plain.0, wrapped.0, "global θ must be bit-identical");
     assert_eq!(plain.1, wrapped.1, "transport accounting must match");
     assert_eq!(plain.2, wrapped.2, "client-side policies must match");
+}
+
+/// The transport-level twin of the test above: a zero-probability plan on
+/// the links is byte-transparent on both backends.
+#[test]
+fn zero_probability_link_faults_equal_the_fault_free_run() {
+    let mut fed_cfg = FedAvgConfig::paper();
+    fed_cfg.rounds = 3;
+    fed_cfg.steps_per_round = 30;
+    for kind in [TransportKind::Channel, TransportKind::Tcp] {
+        let plain = {
+            let mut fed = Federation::with_transport(agent_clients(), fed_cfg, 5, kind)
+                .expect("transport links");
+            fed.run();
+            (fed.global_params().to_vec(), *fed.transport())
+        };
+        let wrapped = {
+            let plan = FaultPlan::generate(&FaultConfig::none(), 2, 3, 77);
+            assert!(plan.is_empty(), "zero probabilities must yield no faults");
+            let mut fed =
+                Federation::with_transport_and_plan(agent_clients(), fed_cfg, 5, kind, &plan)
+                    .expect("transport links");
+            fed.run();
+            (fed.global_params().to_vec(), *fed.transport())
+        };
+        assert_eq!(plain.0, wrapped.0, "{kind}: global θ must be bit-identical");
+        assert_eq!(
+            plain.1, wrapped.1,
+            "{kind}: transport accounting must match"
+        );
+    }
 }
 
 #[test]

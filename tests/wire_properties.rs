@@ -1,0 +1,60 @@
+//! Property-based tests for the federation wire protocol: envelopes
+//! roundtrip losslessly and any single-bit corruption is rejected.
+
+use fedpower::wire::{broadcast_frame_len, upload_frame_len, Envelope};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any finite parameter vector survives encode → decode bit-for-bit,
+    /// and the frame is exactly as long as the length helpers promise.
+    #[test]
+    fn envelopes_roundtrip_losslessly(
+        round in 0_u64..1_000_000,
+        client in 0_u64..10_000,
+        samples in 0_u64..1_000_000,
+        params in prop::collection::vec(-1.0e30_f32..1.0e30, 0..256),
+    ) {
+        let upload = Envelope::model_upload(round, client, samples, params.clone());
+        let bytes = upload.encode();
+        prop_assert_eq!(bytes.len(), upload_frame_len(params.len()));
+        prop_assert_eq!(Envelope::decode(&bytes).expect("valid frame"), upload);
+
+        let broadcast = Envelope::broadcast(round, client, params.clone());
+        let bytes = broadcast.encode();
+        prop_assert_eq!(bytes.len(), broadcast_frame_len(params.len()));
+        prop_assert_eq!(Envelope::decode(&bytes).expect("valid frame"), broadcast);
+
+        let ack = Envelope::join_ack(client, params);
+        prop_assert_eq!(Envelope::decode(&ack.encode()).expect("valid frame"), ack);
+    }
+
+    /// Flipping any single bit anywhere in a frame makes decoding fail:
+    /// either a header check or the CRC-32 trailer catches it.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        round in 0_u64..1_000,
+        params in prop::collection::vec(-100.0_f32..100.0, 1..64),
+        flip in 0_usize..1_000_000,
+    ) {
+        let mut bytes = Envelope::broadcast(round, 3, params).encode();
+        let bit = flip % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            Envelope::decode(&bytes).is_err(),
+            "flipped bit {} went undetected",
+            bit
+        );
+    }
+
+    /// Truncating a frame at any point short of its full length fails to
+    /// decode — no partial reads ever produce a model.
+    #[test]
+    fn truncated_frames_are_rejected(
+        params in prop::collection::vec(-10.0_f32..10.0, 0..32),
+        cut in 0_usize..1_000_000,
+    ) {
+        let bytes = Envelope::model_upload(1, 0, 5, params).encode();
+        let keep = cut % bytes.len();
+        prop_assert!(Envelope::decode(&bytes[..keep]).is_err());
+    }
+}
