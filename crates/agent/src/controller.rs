@@ -2,6 +2,7 @@ use crate::policy::{SoftmaxPolicy, TemperatureSchedule};
 use crate::replay::{ReplayBuffer, Transition};
 use crate::reward::RewardConfig;
 use crate::state::{State, StateNorm, STATE_DIM};
+use crate::workspace::AgentWorkspace;
 use fedpower_nn::{Activation, Adam, Huber, Mlp, NnError, Optimizer, TrainBatch};
 use fedpower_sim::rng::{derive_rng, streams};
 use fedpower_sim::{FreqLevel, PerfCounters};
@@ -174,22 +175,63 @@ impl PowerController {
     }
 
     /// Predicted expected reward `μ(s, a, θ)` for every action (Eq. (1)).
+    ///
+    /// Allocates a fresh output; steady-state callers should prefer
+    /// [`PowerController::predict_rewards_with`].
     pub fn predict_rewards(&self, state: &State) -> Vec<f32> {
         self.net
             .forward(state.features())
             .expect("state dim matches network input by construction")
     }
 
+    /// [`PowerController::predict_rewards`] into caller-owned scratch —
+    /// zero heap allocations once the workspace is warm. The returned
+    /// slice lives in the workspace until its next use.
+    pub fn predict_rewards_with<'ws>(
+        &self,
+        state: &State,
+        ws: &'ws mut AgentWorkspace,
+    ) -> &'ws [f32] {
+        self.net
+            .forward_with(state.features(), &mut ws.forward)
+            .expect("state dim matches network input by construction")
+    }
+
     /// Samples the next V/f level from the softmax policy (exploration).
+    ///
+    /// Allocates temporaries; steady-state callers should prefer
+    /// [`PowerController::select_action_with`].
     pub fn select_action(&mut self, state: &State) -> FreqLevel {
-        let mu = self.predict_rewards(state);
+        let mut ws = AgentWorkspace::default();
+        self.select_action_with(state, &mut ws)
+    }
+
+    /// [`PowerController::select_action`] borrowing caller-owned scratch —
+    /// zero heap allocations once the workspace is warm. Consumes exactly
+    /// the same RNG draws as the allocating variant.
+    pub fn select_action_with(&mut self, state: &State, ws: &mut AgentWorkspace) -> FreqLevel {
         let tau = self.temperature();
-        FreqLevel(SoftmaxPolicy::sample(&mu, tau, &mut self.explore_rng))
+        let mu = self
+            .net
+            .forward_with(state.features(), &mut ws.forward)
+            .expect("state dim matches network input by construction");
+        FreqLevel(SoftmaxPolicy::sample_with(
+            mu,
+            tau,
+            &mut self.explore_rng,
+            &mut ws.probs,
+        ))
     }
 
     /// The greedy V/f level — used during evaluation rounds.
     pub fn greedy_action(&self, state: &State) -> FreqLevel {
         FreqLevel(SoftmaxPolicy::greedy(&self.predict_rewards(state)))
+    }
+
+    /// [`PowerController::greedy_action`] borrowing caller-owned scratch —
+    /// zero heap allocations once the workspace is warm.
+    pub fn greedy_action_with(&self, state: &State, ws: &mut AgentWorkspace) -> FreqLevel {
+        FreqLevel(SoftmaxPolicy::greedy(self.predict_rewards_with(state, ws)))
     }
 
     /// Computes the Eq. (4) reward for an observed counter sample.
@@ -221,6 +263,24 @@ impl PowerController {
     ///
     /// Panics if `action` is outside the action space.
     pub fn observe(&mut self, state: &State, action: FreqLevel, reward: f64) {
+        let mut ws = AgentWorkspace::default();
+        self.observe_with(state, action, reward, &mut ws);
+    }
+
+    /// [`PowerController::observe`] borrowing caller-owned scratch — the
+    /// whole step (replay push, and every `H` steps a full sample + SGD
+    /// update) performs zero heap allocations once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is outside the action space.
+    pub fn observe_with(
+        &mut self,
+        state: &State,
+        action: FreqLevel,
+        reward: f64,
+        ws: &mut AgentWorkspace,
+    ) {
         assert!(
             action.index() < self.config.num_actions,
             "action {} out of range for {} levels",
@@ -234,7 +294,7 @@ impl PowerController {
         });
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.optim_interval) {
-            self.train_once();
+            self.train_once_with(ws);
         }
     }
 
@@ -242,39 +302,50 @@ impl PowerController {
     /// buffer, returning the pre-update mean loss. No-op (returns `None`)
     /// while the buffer is empty.
     pub fn train_once(&mut self) -> Option<f32> {
-        let (inputs, actions, targets) = self
-            .replay
-            .sample_batch(self.config.batch_size, &mut self.replay_rng)?;
+        let mut ws = AgentWorkspace::default();
+        self.train_once_with(&mut ws)
+    }
+
+    /// [`PowerController::train_once`] borrowing caller-owned scratch —
+    /// replay sampling, backprop and the optimizer step all reuse the
+    /// workspace buffers. Consumes exactly the same RNG draws and computes
+    /// bit-identical updates to the allocating variant.
+    pub fn train_once_with(&mut self, ws: &mut AgentWorkspace) -> Option<f32> {
+        if !self.replay.sample_batch_into(
+            self.config.batch_size,
+            &mut self.replay_rng,
+            &mut ws.replay,
+        ) {
+            return None;
+        }
+        let huber = Huber::new(self.config.huber_delta);
+        let use_prox = self.config.prox_mu > 0.0 && self.prox_reference.is_some();
         let batch = TrainBatch {
-            inputs: &inputs,
-            actions: &actions,
-            targets: &targets,
+            inputs: &ws.replay.inputs,
+            actions: &ws.replay.actions,
+            targets: &ws.replay.targets,
         };
-        let prox_anchor = if self.config.prox_mu > 0.0 {
-            self.prox_reference.as_ref()
-        } else {
-            None
-        };
-        let loss = if let Some(anchor) = prox_anchor {
-            let (loss, mut grads) = self
+        let loss = if use_prox {
+            let loss = self
                 .net
-                .loss_and_gradient(&batch, &Huber::new(self.config.huber_delta))
+                .loss_and_gradient_into(&batch, &huber, &mut ws.train)
                 .expect("batch sampled from replay is well formed");
-            let mut params = self.net.params();
-            for ((g, p), a) in grads.iter_mut().zip(&params).zip(anchor) {
+            let anchor = self
+                .prox_reference
+                .as_ref()
+                .expect("use_prox checked the anchor exists");
+            self.net.params_into(&mut ws.params);
+            for ((g, p), a) in ws.train.grad_mut().iter_mut().zip(&ws.params).zip(anchor) {
                 *g += self.config.prox_mu * (p - a);
             }
-            self.optimizer.step(&mut params, &grads);
+            self.optimizer.step(&mut ws.params, ws.train.grad());
             self.net
-                .set_params(&params)
+                .set_params(&ws.params)
                 .expect("params length is stable across a step");
             loss
         } else {
-            self.net.train_batch(
-                &batch,
-                &Huber::new(self.config.huber_delta),
-                &mut self.optimizer,
-            )
+            self.net
+                .train_batch_with(&batch, &huber, &mut self.optimizer, &mut ws.train)
         };
         self.updates += 1;
         self.last_loss = Some(loss);

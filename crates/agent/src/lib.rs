@@ -49,12 +49,14 @@ mod replay;
 mod reward;
 mod state;
 mod td;
+mod workspace;
 
 pub use cluster_env::{ClusterEnv, ClusterEnvConfig, ClusterObservation};
 pub use controller::{ControllerConfig, PowerController};
 pub use env::{DeviceEnv, DeviceEnvConfig, StepObservation};
 pub use policy::{SoftmaxPolicy, TemperatureSchedule};
-pub use replay::{ReplayBuffer, Transition};
+pub use replay::{ReplayBuffer, ReplayScratch, Transition};
 pub use reward::RewardConfig;
 pub use state::{State, StateNorm};
 pub use td::{TdConfig, TdController, TdTransition};
+pub use workspace::AgentWorkspace;

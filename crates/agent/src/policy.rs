@@ -71,12 +71,28 @@ impl SoftmaxPolicy {
     ///
     /// Panics if `mu` is empty or `tau` is not strictly positive.
     pub fn probabilities(mu: &[f32], tau: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        Self::probabilities_into(mu, tau, &mut out);
+        out
+    }
+
+    /// [`SoftmaxPolicy::probabilities`] into a caller-owned buffer — `out`
+    /// is cleared and refilled, reusing its allocation. Bit-identical to
+    /// the allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SoftmaxPolicy::probabilities`].
+    pub fn probabilities_into(mu: &[f32], tau: f64, out: &mut Vec<f64>) {
         assert!(!mu.is_empty(), "need at least one action");
         assert!(tau > 0.0, "temperature must be positive, got {tau}");
         let max = mu.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
-        let exps: Vec<f64> = mu.iter().map(|&m| ((m as f64 - max) / tau).exp()).collect();
-        let sum: f64 = exps.iter().sum();
-        exps.into_iter().map(|e| e / sum).collect()
+        out.clear();
+        out.extend(mu.iter().map(|&m| ((m as f64 - max) / tau).exp()));
+        let sum: f64 = out.iter().sum();
+        for e in out.iter_mut() {
+            *e /= sum;
+        }
     }
 
     /// Samples an action index from the softmax distribution.
@@ -85,7 +101,19 @@ impl SoftmaxPolicy {
     ///
     /// Same as [`SoftmaxPolicy::probabilities`].
     pub fn sample(mu: &[f32], tau: f64, rng: &mut StdRng) -> usize {
-        let probs = Self::probabilities(mu, tau);
+        let mut probs = Vec::new();
+        Self::sample_with(mu, tau, rng, &mut probs)
+    }
+
+    /// [`SoftmaxPolicy::sample`] using a caller-owned probability buffer,
+    /// so steady-state action selection allocates nothing. Consumes exactly
+    /// the same RNG draws as the allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`SoftmaxPolicy::probabilities`].
+    pub fn sample_with(mu: &[f32], tau: f64, rng: &mut StdRng, probs: &mut Vec<f64>) -> usize {
+        Self::probabilities_into(mu, tau, probs);
         let u: f64 = rng.random_range(0.0..1.0);
         let mut acc = 0.0;
         for (i, p) in probs.iter().enumerate() {

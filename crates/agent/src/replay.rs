@@ -1,4 +1,4 @@
-use crate::state::{State, STATE_DIM};
+use crate::state::State;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -85,25 +85,46 @@ impl ReplayBuffer {
     /// Samples `batch_size` transitions uniformly with replacement into
     /// flat buffers ready for [`fedpower_nn::TrainBatch`].
     ///
-    /// Returns `None` if the buffer is empty.
+    /// Returns `None` if the buffer is empty. Allocates fresh buffers;
+    /// steady-state callers should prefer [`ReplayBuffer::sample_batch_into`]
+    /// with a reused [`ReplayScratch`].
     pub fn sample_batch(
         &self,
         batch_size: usize,
         rng: &mut StdRng,
     ) -> Option<(Vec<f32>, Vec<usize>, Vec<f32>)> {
-        if self.items.is_empty() || batch_size == 0 {
-            return None;
+        let mut scratch = ReplayScratch::default();
+        if self.sample_batch_into(batch_size, rng, &mut scratch) {
+            Some((scratch.inputs, scratch.actions, scratch.targets))
+        } else {
+            None
         }
-        let mut inputs = Vec::with_capacity(batch_size * STATE_DIM);
-        let mut actions = Vec::with_capacity(batch_size);
-        let mut targets = Vec::with_capacity(batch_size);
+    }
+
+    /// [`ReplayBuffer::sample_batch`] into caller-owned scratch: the flat
+    /// buffers are cleared and refilled, reusing their allocations, so
+    /// steady-state sampling allocates nothing. Returns `false` (leaving
+    /// the scratch empty) when the buffer is empty or `batch_size` is zero.
+    /// Consumes exactly the same RNG draws as the allocating variant.
+    pub fn sample_batch_into(
+        &self,
+        batch_size: usize,
+        rng: &mut StdRng,
+        scratch: &mut ReplayScratch,
+    ) -> bool {
+        scratch.inputs.clear();
+        scratch.actions.clear();
+        scratch.targets.clear();
+        if self.items.is_empty() || batch_size == 0 {
+            return false;
+        }
         for _ in 0..batch_size {
             let t = &self.items[rng.random_range(0..self.items.len())];
-            inputs.extend_from_slice(t.state.features());
-            actions.push(t.action);
-            targets.push(t.reward);
+            scratch.inputs.extend_from_slice(t.state.features());
+            scratch.actions.push(t.action);
+            scratch.targets.push(t.reward);
         }
-        Some((inputs, actions, targets))
+        true
     }
 
     /// Iterates over stored transitions in unspecified order.
@@ -118,9 +139,29 @@ impl ReplayBuffer {
     }
 }
 
+/// Reusable flat sample buffers for [`ReplayBuffer::sample_batch_into`] —
+/// laid out exactly as [`fedpower_nn::TrainBatch`] expects.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayScratch {
+    /// Row-major sampled states, `batch × STATE_DIM`.
+    pub inputs: Vec<f32>,
+    /// Sampled executed actions.
+    pub actions: Vec<usize>,
+    /// Sampled observed rewards.
+    pub targets: Vec<f32>,
+}
+
+impl ReplayScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ReplayScratch::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::STATE_DIM;
     use rand::SeedableRng;
 
     fn t(action: usize, reward: f32) -> Transition {
@@ -190,6 +231,29 @@ mod tests {
         let (_, actions, _) = buf.sample_batch(2000, &mut rng).unwrap();
         let unique: std::collections::HashSet<usize> = actions.into_iter().collect();
         assert!(unique.len() > 45, "uniform sampling should hit most slots");
+    }
+
+    #[test]
+    fn scratch_sampling_matches_allocating_and_reuses_capacity() {
+        let mut buf = ReplayBuffer::new(100);
+        for i in 0..40 {
+            buf.push(t(i % 15, 0.05 * i as f32));
+        }
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut scratch = ReplayScratch::new();
+        assert!(buf.sample_batch_into(16, &mut rng_b, &mut scratch));
+        let ptr = scratch.inputs.as_ptr();
+        let (inputs, actions, targets) = buf.sample_batch(16, &mut rng_a).unwrap();
+        assert_eq!(inputs, scratch.inputs);
+        assert_eq!(actions, scratch.actions);
+        assert_eq!(targets, scratch.targets);
+
+        // Second draw reuses the scratch allocation and stays in lockstep.
+        assert!(buf.sample_batch_into(16, &mut rng_b, &mut scratch));
+        let (inputs, _, _) = buf.sample_batch(16, &mut rng_a).unwrap();
+        assert_eq!(inputs, scratch.inputs);
+        assert_eq!(ptr, scratch.inputs.as_ptr(), "scratch must not reallocate");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 
 use crate::controller::ControllerConfig;
 use crate::policy::SoftmaxPolicy;
-use crate::state::{State, STATE_DIM};
-use fedpower_nn::{Activation, Adam, Huber, Mlp, NnError, Optimizer, TrainBatch};
+use crate::state::State;
+use crate::workspace::AgentWorkspace;
+use fedpower_nn::{Activation, Adam, Huber, Mlp, NnError, TrainBatch};
 use fedpower_sim::rng::{derive_rng, derive_seed, streams};
 use fedpower_sim::{FreqLevel, PerfCounters};
 use rand::rngs::StdRng;
@@ -140,16 +141,50 @@ impl TdController {
             .expect("state dim matches network input by construction")
     }
 
+    /// [`TdController::predict_values`] into caller-owned scratch — zero
+    /// heap allocations once the workspace is warm.
+    pub fn predict_values_with<'ws>(
+        &self,
+        state: &State,
+        ws: &'ws mut AgentWorkspace,
+    ) -> &'ws [f32] {
+        self.net
+            .forward_with(state.features(), &mut ws.forward)
+            .expect("state dim matches network input by construction")
+    }
+
     /// Samples the next V/f level from the softmax policy over Q-values.
     pub fn select_action(&mut self, state: &State) -> FreqLevel {
-        let q = self.predict_values(state);
+        let mut ws = AgentWorkspace::default();
+        self.select_action_with(state, &mut ws)
+    }
+
+    /// [`TdController::select_action`] borrowing caller-owned scratch —
+    /// zero heap allocations once the workspace is warm. Consumes exactly
+    /// the same RNG draws as the allocating variant.
+    pub fn select_action_with(&mut self, state: &State, ws: &mut AgentWorkspace) -> FreqLevel {
         let tau = self.config.base.temperature.temperature(self.steps);
-        FreqLevel(SoftmaxPolicy::sample(&q, tau, &mut self.explore_rng))
+        let q = self
+            .net
+            .forward_with(state.features(), &mut ws.forward)
+            .expect("state dim matches network input by construction");
+        FreqLevel(SoftmaxPolicy::sample_with(
+            q,
+            tau,
+            &mut self.explore_rng,
+            &mut ws.probs,
+        ))
     }
 
     /// The greedy V/f level.
     pub fn greedy_action(&self, state: &State) -> FreqLevel {
         FreqLevel(SoftmaxPolicy::greedy(&self.predict_values(state)))
+    }
+
+    /// [`TdController::greedy_action`] borrowing caller-owned scratch —
+    /// zero heap allocations once the workspace is warm.
+    pub fn greedy_action_with(&self, state: &State, ws: &mut AgentWorkspace) -> FreqLevel {
+        FreqLevel(SoftmaxPolicy::greedy(self.predict_values_with(state, ws)))
     }
 
     /// Records a TD transition and trains every `H` steps.
@@ -158,6 +193,24 @@ impl TdController {
     ///
     /// Panics if `action` is outside the action space.
     pub fn observe(&mut self, state: &State, action: FreqLevel, reward: f64, next_state: &State) {
+        let mut ws = AgentWorkspace::default();
+        self.observe_with(state, action, reward, next_state, &mut ws);
+    }
+
+    /// [`TdController::observe`] borrowing caller-owned scratch — the whole
+    /// step performs zero heap allocations once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is outside the action space.
+    pub fn observe_with(
+        &mut self,
+        state: &State,
+        action: FreqLevel,
+        reward: f64,
+        next_state: &State,
+        ws: &mut AgentWorkspace,
+    ) {
         assert!(
             action.index() < self.config.base.num_actions,
             "action {} out of range",
@@ -177,53 +230,68 @@ impl TdController {
         }
         self.steps += 1;
         if self.steps.is_multiple_of(self.config.base.optim_interval) {
-            self.train_once();
+            self.train_once_with(ws);
         }
     }
 
     /// One gradient update with bootstrapped targets; `None` while the
     /// replay buffer is empty.
     pub fn train_once(&mut self) -> Option<f32> {
+        let mut ws = AgentWorkspace::default();
+        self.train_once_with(&mut ws)
+    }
+
+    /// [`TdController::train_once`] borrowing caller-owned scratch —
+    /// sampling, target bootstrap, backprop and the optimizer step all
+    /// reuse the workspace buffers. Consumes exactly the same RNG draws and
+    /// computes bit-identical updates to the allocating variant.
+    pub fn train_once_with(&mut self, ws: &mut AgentWorkspace) -> Option<f32> {
         if self.replay.is_empty() {
             return None;
         }
         let batch_size = self.config.base.batch_size;
-        let mut inputs = Vec::with_capacity(batch_size * STATE_DIM);
-        let mut actions = Vec::with_capacity(batch_size);
-        let mut targets = Vec::with_capacity(batch_size);
+        ws.replay.inputs.clear();
+        ws.replay.actions.clear();
+        ws.replay.targets.clear();
         for _ in 0..batch_size {
-            let t = &self.replay[self.replay_rng.random_range(0..self.replay.len())];
-            inputs.extend_from_slice(t.state.features());
-            actions.push(t.action);
+            let t = self.replay[self.replay_rng.random_range(0..self.replay.len())];
+            ws.replay.inputs.extend_from_slice(t.state.features());
+            ws.replay.actions.push(t.action);
             let bootstrap = if self.config.gamma > 0.0 {
                 let next_q = self
                     .target_net
-                    .forward(t.next_state.features())
+                    .forward_with(t.next_state.features(), &mut ws.forward)
                     .expect("state dim matches network input");
                 let max_next = next_q.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
                 self.config.gamma as f32 * max_next
             } else {
                 0.0
             };
-            targets.push(t.reward + bootstrap);
+            ws.replay.targets.push(t.reward + bootstrap);
         }
         let batch = TrainBatch {
-            inputs: &inputs,
-            actions: &actions,
-            targets: &targets,
+            inputs: &ws.replay.inputs,
+            actions: &ws.replay.actions,
+            targets: &ws.replay.targets,
         };
-        let (loss, grads) = self
+        let loss = self
             .net
-            .loss_and_gradient(&batch, &Huber::new(self.config.base.huber_delta))
+            .loss_and_gradient_into(
+                &batch,
+                &Huber::new(self.config.base.huber_delta),
+                &mut ws.train,
+            )
             .expect("batch assembled from replay is well formed");
-        let mut params = self.net.params();
-        self.optimizer.step(&mut params, &grads);
         self.net
-            .set_params(&params)
-            .expect("params length is stable across a step");
+            .apply_gradient_step(&mut self.optimizer, &mut ws.train);
         self.updates += 1;
         if self.updates.is_multiple_of(self.config.target_sync_updates) {
-            self.target_net = self.net.clone();
+            // Parameter copy instead of a full clone: the architectures are
+            // identical, so this syncs the target without allocating.
+            self.net.params_into(&mut ws.params);
+            self.target_net
+                .set_params(&ws.params)
+                .expect("target net shares the online architecture");
         }
         Some(loss)
     }

@@ -1,0 +1,256 @@
+//! **Hot-path benchmark.** Measures the zero-allocation training/inference
+//! hot path end to end and emits a machine-readable `BENCH_hotpath.json`:
+//!
+//! * `ns_per_forward` — one controller-network inference through
+//!   [`Mlp::forward_with`] on warm scratch,
+//! * `train_steps_per_sec` — full SGD steps (batch 128, Huber + Adam)
+//!   through [`Mlp::train_batch_with`],
+//! * `round_steps_per_sec` — environment steps per second of a full quick
+//!   Fig. 3 federated round ([`Federation::run_round`], two devices),
+//! * `allocs_per_step` — heap allocations per warm training step, counted
+//!   by a wrapping global allocator (the zero-allocation contract says 0).
+//!
+//! ```text
+//! cargo bench -p fedpower-bench --bench hotpath -- [--quick] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! With `--baseline PATH` the run compares its `train_steps_per_sec` and
+//! `round_steps_per_sec` against the baseline JSON and exits nonzero on a
+//! regression of more than 30 % — the CI smoke gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+use fedpower_nn::{Activation, Adam, ForwardScratch, Huber, Mlp, TrainBatch, TrainScratch};
+use fedpower_workloads::AppId;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `step` repeatedly for at least `window`, returning (iterations,
+/// elapsed seconds).
+fn measure(window: Duration, mut step: impl FnMut()) -> (u64, f64) {
+    let start = Instant::now();
+    let mut iters = 0_u64;
+    while start.elapsed() < window {
+        step();
+        iters += 1;
+    }
+    (iters, start.elapsed().as_secs_f64())
+}
+
+struct Results {
+    ns_per_forward: f64,
+    train_steps_per_sec: f64,
+    round_steps_per_sec: f64,
+    allocs_per_step: f64,
+    quick: bool,
+}
+
+impl Results {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"ns_per_forward\": {:.1},\n  \"train_steps_per_sec\": {:.1},\n  \
+             \"round_steps_per_sec\": {:.1},\n  \"allocs_per_step\": {:.3},\n  \
+             \"quick\": {}\n}}\n",
+            self.ns_per_forward,
+            self.train_steps_per_sec,
+            self.round_steps_per_sec,
+            self.allocs_per_step,
+            self.quick
+        )
+    }
+}
+
+/// Pulls `"key": <number>` out of our own JSON format — no JSON crate in
+/// the dependency set, and we only ever parse files this bench wrote.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // Cargo runs benches with the package directory as cwd; resolve
+    // relative paths against the workspace root so
+    // `--baseline BENCH_hotpath.json` means the committed baseline.
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf();
+    let resolve = |p: String| {
+        let path = std::path::PathBuf::from(&p);
+        if path.is_absolute() {
+            path
+        } else {
+            workspace_root.join(path)
+        }
+    };
+    let out_path = resolve(arg_value("--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string()));
+    let baseline_path = arg_value("--baseline").map(resolve);
+
+    let window = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(1000)
+    };
+
+    // The paper's controller network: 5 → 32 → 15, batch 128, Huber+Adam.
+    let dims = [5_usize, 32, 15];
+    let mut net = Mlp::new(&dims, Activation::Relu, 42);
+    let mut opt = Adam::new(1e-3, net.num_params());
+    let huber = Huber::new(1.0);
+    let batch_size = 128;
+    let x: Vec<f32> = (0..dims[0]).map(|i| (i as f32 * 0.37).sin()).collect();
+    let inputs: Vec<f32> = (0..batch_size * dims[0])
+        .map(|i| (i as f32 * 0.111).cos())
+        .collect();
+    let actions: Vec<usize> = (0..batch_size).map(|i| i % dims[2]).collect();
+    let targets: Vec<f32> = (0..batch_size).map(|i| (i as f32 * 0.53).sin()).collect();
+
+    let mut fwd = ForwardScratch::new();
+    let mut train = TrainScratch::new();
+    // Warm the scratch buffers once; everything after this is steady state.
+    net.forward_with(&x, &mut fwd).expect("valid input");
+    let warm_batch = TrainBatch {
+        inputs: &inputs,
+        actions: &actions,
+        targets: &targets,
+    };
+    net.train_batch_with(&warm_batch, &huber, &mut opt, &mut train);
+
+    eprintln!("measuring forward_with ({window:?} window)...");
+    let (fwd_iters, fwd_secs) = measure(window, || {
+        let q = net.forward_with(&x, &mut fwd).expect("valid input");
+        std::hint::black_box(q[0]);
+    });
+    let ns_per_forward = fwd_secs * 1e9 / fwd_iters as f64;
+
+    eprintln!("measuring train_batch_with (batch {batch_size})...");
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let (train_iters, train_secs) = measure(window, || {
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &actions,
+            targets: &targets,
+        };
+        std::hint::black_box(net.train_batch_with(&batch, &huber, &mut opt, &mut train));
+    });
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs_per_step = ALLOCS.load(Ordering::SeqCst) as f64 / train_iters as f64;
+    let train_steps_per_sec = train_iters as f64 / train_secs;
+
+    eprintln!("measuring a quick Fig. 3 federated round (2 devices)...");
+    let clients = vec![
+        AgentClient::new(
+            0,
+            ControllerConfig::paper(),
+            DeviceEnvConfig::new(&[AppId::Fft, AppId::Lu]),
+            3,
+        ),
+        AgentClient::new(
+            1,
+            ControllerConfig::paper(),
+            DeviceEnvConfig::new(&[AppId::Ocean, AppId::Radix]),
+            4,
+        ),
+    ];
+    let fed_cfg = FedAvgConfig::paper();
+    let steps_per_round = fed_cfg.steps_per_round;
+    let n_clients = clients.len() as u64;
+    let mut fed = Federation::new(clients, fed_cfg, 7);
+    fed.run_round(); // warm the per-worker workspaces
+    let rounds = if quick { 3 } else { 10 };
+    let round_start = Instant::now();
+    for _ in 0..rounds {
+        std::hint::black_box(fed.run_round());
+    }
+    let round_secs = round_start.elapsed().as_secs_f64();
+    let round_steps_per_sec = (rounds * steps_per_round * n_clients) as f64 / round_secs;
+
+    let results = Results {
+        ns_per_forward,
+        train_steps_per_sec,
+        round_steps_per_sec,
+        allocs_per_step,
+        quick,
+    };
+    let json = results.to_json();
+    print!("{json}");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {}", out_path.display());
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        let mut failed = false;
+        for key in ["train_steps_per_sec", "round_steps_per_sec"] {
+            let Some(base) = json_number(&baseline, key) else {
+                eprintln!("baseline {} has no {key}; skipping", path.display());
+                continue;
+            };
+            let now = json_number(&json, key).expect("own JSON is well-formed");
+            let ratio = now / base;
+            eprintln!(
+                "{key}: {now:.1} vs baseline {base:.1} ({:.0} %)",
+                ratio * 100.0
+            );
+            if ratio < 0.7 {
+                eprintln!("REGRESSION: {key} fell more than 30 % below the baseline");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

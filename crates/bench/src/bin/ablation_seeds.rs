@@ -7,11 +7,12 @@
 //! cargo run --release -p fedpower-bench --bin ablation_seeds [--rounds N]
 //! ```
 
-use fedpower_analysis::{bootstrap_mean_ci, paired_permutation_test, replicate};
+use fedpower_analysis::{bootstrap_mean_ci, paired_permutation_test, Replication, Summary};
 use fedpower_bench::BenchArgs;
 use fedpower_core::experiment::{run_federated, run_local_only};
 use fedpower_core::report::markdown_table;
 use fedpower_core::scenario::table2_scenarios;
+use fedpower_federated::WorkerPool;
 
 fn main() {
     let base = BenchArgs::from_env().config();
@@ -28,14 +29,35 @@ fn main() {
     let mut cfg = base;
     cfg.fedavg.rounds = rounds;
 
-    let fed = replicate(&seeds, |seed| {
-        let out = run_federated(&scenario, &cfg.with_seed(seed));
-        out.series.iter().map(|s| s.mean_reward()).sum::<f64>() / out.series.len() as f64
+    // Each seed's pair of runs is independent, so the replication fans out
+    // over a worker pool; results come back in seed order, keeping the
+    // summaries bit-identical to the serial sweep.
+    let workers = WorkerPool::with_available_parallelism();
+    let outcomes: Vec<(f64, f64)> = workers.map(seeds.clone(), |seed| {
+        let fed_out = run_federated(&scenario, &cfg.with_seed(seed));
+        let fed_mean = fed_out.series.iter().map(|s| s.mean_reward()).sum::<f64>()
+            / fed_out.series.len() as f64;
+        let local_out = run_local_only(&scenario, &cfg.with_seed(seed));
+        let local_mean = local_out
+            .series
+            .iter()
+            .map(|s| s.mean_reward())
+            .sum::<f64>()
+            / local_out.series.len() as f64;
+        (fed_mean, local_mean)
     });
-    let local = replicate(&seeds, |seed| {
-        let out = run_local_only(&scenario, &cfg.with_seed(seed));
-        out.series.iter().map(|s| s.mean_reward()).sum::<f64>() / out.series.len() as f64
-    });
+    let fed_per_seed: Vec<f64> = outcomes.iter().map(|(f, _)| *f).collect();
+    let local_per_seed: Vec<f64> = outcomes.iter().map(|(_, l)| *l).collect();
+    let fed = Replication {
+        seeds: seeds.clone(),
+        summary: Summary::from_samples(&fed_per_seed),
+        per_seed: fed_per_seed,
+    };
+    let local = Replication {
+        seeds: seeds.clone(),
+        summary: Summary::from_samples(&local_per_seed),
+        per_seed: local_per_seed,
+    };
 
     let gaps: Vec<f64> = fed
         .per_seed

@@ -45,6 +45,23 @@ fn main() {
                 format!("{:.3}", s.tail_mean_reward(20)),
             ]);
         }
+        let split = fed
+            .reports
+            .iter()
+            .fold((0.0_f64, 0.0_f64, 0.0_f64), |acc, r| {
+                (
+                    acc.0 + r.timing.train_s,
+                    acc.1 + r.timing.transport_s,
+                    acc.2 + r.timing.aggregate_s,
+                )
+            });
+        eprintln!(
+            "  phase split over {} rounds: train {:.3} s, transport {:.3} s, aggregate {:.3} s",
+            fed.reports.len(),
+            split.0,
+            split.1,
+            split.2
+        );
         let fed_mean =
             fed.series.iter().map(|s| s.mean_reward()).sum::<f64>() / fed.series.len() as f64;
         let local_mean =

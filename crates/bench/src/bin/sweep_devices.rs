@@ -12,7 +12,7 @@ use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
 use fedpower_bench::BenchArgs;
 use fedpower_core::eval::{evaluate_on_app, EvalOptions};
 use fedpower_core::report::markdown_table;
-use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+use fedpower_federated::{AgentClient, FedAvgConfig, Federation, WorkerPool};
 use fedpower_sim::rng::derive_seed;
 use fedpower_workloads::AppId;
 
@@ -29,8 +29,11 @@ fn main() {
         .filter(|a| !probes.contains(a))
         .collect();
 
-    let mut rows = Vec::new();
-    for n in [1usize, 2, 4, 8, 12] {
+    // Each fleet size is fully determined by its own derived seeds, so the
+    // sweep parallelizes over a worker pool with bit-identical, ordered
+    // results.
+    let workers = WorkerPool::with_available_parallelism();
+    let rows: Vec<Vec<String>> = workers.map(vec![1usize, 2, 4, 8, 12], |n| {
         eprintln!("training a {n}-device fleet ({rounds} rounds)...");
         let clients: Vec<AgentClient> = (0..n)
             .map(|d| {
@@ -82,15 +85,15 @@ fn main() {
             }
         }
         let tail_mean = tail_rewards.iter().sum::<f64>() / tail_rewards.len().max(1) as f64;
-        rows.push(vec![
+        vec![
             format!("{n}"),
             format!("{tail_mean:.3}"),
             first_good_round
                 .map(|r| r.to_string())
                 .unwrap_or_else(|| format!(">{rounds}")),
             format!("{:.2}", divergence_sum / rounds as f64),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         markdown_table(

@@ -14,6 +14,7 @@ use fedpower_core::eval::{evaluate_on_app, EvalOptions};
 use fedpower_core::experiment::run_federated_training_only;
 use fedpower_core::report::markdown_table;
 use fedpower_core::scenario::six_six_split;
+use fedpower_federated::WorkerPool;
 use fedpower_workloads::AppId;
 
 fn main() {
@@ -21,8 +22,11 @@ fn main() {
     let scenario = six_six_split();
     let eval_apps = [AppId::Fft, AppId::Lu, AppId::Ocean, AppId::Cholesky];
 
-    let mut rows = Vec::new();
-    for interval_ms in [100.0_f64, 250.0, 500.0, 1000.0, 2000.0] {
+    // Every interval's run derives from its own config alone, so the sweep
+    // parallelizes with bit-identical, ordered results.
+    let workers = WorkerPool::with_available_parallelism();
+    let intervals = vec![100.0_f64, 250.0, 500.0, 1000.0, 2000.0];
+    let rows: Vec<Vec<String>> = workers.map(intervals, |interval_ms| {
         let mut cfg = base;
         cfg.fedavg.rounds = base.fedavg.rounds.min(40);
         cfg.control_interval_s = interval_ms / 1000.0;
@@ -49,12 +53,12 @@ fn main() {
         } else {
             format!("{interval_ms:.0}")
         };
-        rows.push(vec![
+        vec![
             label,
             format!("{:.3}", reward / n),
             format!("{:.1} %", violations / n * 100.0),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         markdown_table(&["Δ_DVFS [ms]", "mean eval reward", "violations"], &rows)

@@ -5,7 +5,7 @@ use crate::eval::{evaluate_on_app, run_to_completion, CompletionMetrics, EvalOpt
 use crate::metrics::{EvalPoint, EvalSeries, MethodSummary};
 use crate::policy::DvfsPolicy;
 use crate::scenario::{six_six_split, table2_scenarios, Scenario};
-use fedpower_agent::{DeviceEnvConfig, PowerController};
+use fedpower_agent::{AgentWorkspace, DeviceEnvConfig, PowerController};
 use fedpower_baselines::CollabFederation;
 use fedpower_federated::{
     AgentClient, FaultPlan, FaultScenario, FaultSummary, FederatedClient, Federation, RoundReport,
@@ -79,6 +79,9 @@ pub fn run_local_only(scenario: &Scenario, cfg: &ExperimentConfig) -> LocalOnlyO
     let labels = ["local-A", "local-B"];
     let mut series = Vec::new();
     let mut agents = Vec::new();
+    // One workspace reused across all devices and rounds keeps the
+    // training loop allocation-free once the buffers are warm.
+    let mut ws = AgentWorkspace::new();
     for (d, apps) in scenario.devices().into_iter().enumerate() {
         // A local-only device is simply a federation client that never
         // synchronizes: reuse AgentClient for identical training dynamics.
@@ -90,7 +93,7 @@ pub fn run_local_only(scenario: &Scenario, cfg: &ExperimentConfig) -> LocalOnlyO
         );
         let mut s = EvalSeries::new(labels[d.min(1)]);
         for round in 1..=cfg.fedavg.rounds {
-            client.train_round(cfg.fedavg.steps_per_round);
+            client.train_round_with(cfg.fedavg.steps_per_round, &mut ws);
             let mut snapshot = client.agent().clone();
             s.points.push(eval_point(&mut snapshot, round, d, cfg));
         }
@@ -335,9 +338,10 @@ pub fn run_personalized(
     let global = federation.clients()[0].agent().clone();
 
     let mut personalized = Vec::new();
+    let mut ws = AgentWorkspace::new();
     for client in federation.clients_mut() {
         for _ in 0..fine_tune_rounds {
-            client.train_round(cfg.fedavg.steps_per_round);
+            client.train_round_with(cfg.fedavg.steps_per_round, &mut ws);
         }
         personalized.push(client.agent().clone());
     }

@@ -1,5 +1,7 @@
 use crate::error::FedError;
-use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State};
+use fedpower_agent::{
+    AgentWorkspace, ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State,
+};
 use fedpower_nn::NnError;
 use fedpower_sim::rng::derive_seed;
 
@@ -27,20 +29,33 @@ pub struct StaleUpdate {
 
 /// A device participating in federated optimization.
 ///
-/// The trait is object-safe so heterogeneous client implementations (e.g.
-/// fault-injecting test doubles) can share a [`crate::Federation`].
-///
 /// The fallible/fault-aware methods (`begin_round`, `is_online`,
 /// `try_upload`, `try_download`, `take_stale`) have pass-through default
-/// implementations, so reliable clients only implement the original five
-/// methods; [`crate::FaultyClient`] overrides them to inject faults.
+/// implementations, so reliable clients only implement the core methods;
+/// [`crate::FaultyClient`] overrides them to inject faults.
+///
+/// Training goes through [`FederatedClient::train_round_with`], which
+/// borrows a per-worker [`FederatedClient::Workspace`] so the steady-state
+/// hot path performs zero heap allocations. The [`crate::Federation`] owns
+/// one workspace per worker thread and reuses it across clients and rounds;
+/// [`FederatedClient::train_round`] is a convenience wrapper with throwaway
+/// scratch.
 pub trait FederatedClient: Send {
+    /// Reusable scratch borrowed during training. Clients whose training
+    /// loop has no reusable buffers use `()`.
+    type Workspace: Default + Send + std::fmt::Debug;
+
     /// The client's stable identity.
     fn id(&self) -> usize;
 
     /// Performs `steps` local environment interactions, training the local
-    /// model per Algorithm 1.
-    fn train_round(&mut self, steps: u64);
+    /// model per Algorithm 1, reusing the caller-owned workspace.
+    fn train_round_with(&mut self, steps: u64, ws: &mut Self::Workspace);
+
+    /// [`FederatedClient::train_round_with`] with throwaway scratch.
+    fn train_round(&mut self, steps: u64) {
+        self.train_round_with(steps, &mut Self::Workspace::default());
+    }
 
     /// Produces the model update to upload.
     fn upload(&mut self) -> ModelUpdate;
@@ -139,17 +154,19 @@ impl AgentClient {
 }
 
 impl FederatedClient for AgentClient {
+    type Workspace = AgentWorkspace;
+
     fn id(&self) -> usize {
         self.id
     }
 
-    fn train_round(&mut self, steps: u64) {
+    fn train_round_with(&mut self, steps: u64, ws: &mut AgentWorkspace) {
         self.samples_this_round = 0;
         for _ in 0..steps {
-            let action = self.agent.select_action(&self.state);
+            let action = self.agent.select_action_with(&self.state, ws);
             let obs = self.env.execute(action);
             let reward = self.agent.reward_for(&obs.counters);
-            self.agent.observe(&self.state, action, reward);
+            self.agent.observe_with(&self.state, action, reward, ws);
             self.state = obs.state;
             self.samples_this_round += 1;
         }

@@ -639,13 +639,15 @@ impl<C: FederatedClient> FaultyClient<C> {
 }
 
 impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
+    type Workspace = C::Workspace;
+
     fn id(&self) -> usize {
         self.inner.id()
     }
 
-    fn train_round(&mut self, steps: u64) {
+    fn train_round_with(&mut self, steps: u64, ws: &mut C::Workspace) {
         if self.is_online() {
-            self.inner.train_round(steps);
+            self.inner.train_round_with(steps, ws);
         }
     }
 
@@ -752,10 +754,12 @@ mod tests {
     }
 
     impl FederatedClient for Probe {
+        type Workspace = ();
+
         fn id(&self) -> usize {
             self.id
         }
-        fn train_round(&mut self, steps: u64) {
+        fn train_round_with(&mut self, steps: u64, _ws: &mut ()) {
             self.trained += steps;
             for p in &mut self.params {
                 *p += 1.0;

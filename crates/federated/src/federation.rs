@@ -1,6 +1,7 @@
 use crate::client::FederatedClient;
 use crate::error::FedError;
 use crate::fault::{FaultPlan, FaultyTransport};
+use crate::pool::WorkerPool;
 use crate::server::{AggregationStrategy, FedAvgServer};
 use crate::transport::{Transport, TransportKind, TransportStats};
 use crate::wire;
@@ -10,6 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Configuration of the federated optimization (Algorithm 2 + extensions).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,6 +72,36 @@ impl Default for FedAvgConfig {
     }
 }
 
+/// Wall-clock split of one federated round across its phases, so sweeps
+/// can print where the time goes.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Seconds spent in local training (all participants).
+    pub train_s: f64,
+    /// Seconds spent encoding, transmitting and decoding uploads and
+    /// broadcasts (including client-side install).
+    pub transport_s: f64,
+    /// Seconds spent on staleness handling, admission bookkeeping and
+    /// server-side aggregation.
+    pub aggregate_s: f64,
+}
+
+impl PhaseTimings {
+    /// Total measured wall-clock seconds of the round.
+    pub fn total_s(&self) -> f64 {
+        self.train_s + self.transport_s + self.aggregate_s
+    }
+}
+
+/// Timings are measurements, not outcomes: two bit-identical runs take
+/// different wall-clock times, so all `PhaseTimings` compare equal and
+/// exact determinism assertions over [`RoundReport`]s keep holding.
+impl PartialEq for PhaseTimings {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
 /// Summary of one federated round, including full fault accounting: every
 /// selected client ends the round in exactly one disposition
 /// (`uploads_ok`, `updates_rejected`, `uploads_dropped`,
@@ -108,6 +140,9 @@ pub struct RoundReport {
     pub train_panics: usize,
     /// Whether the round aggregated (false ⇒ quorum unmet, θ unchanged).
     pub aggregated: bool,
+    /// Wall-clock split of the round (train / transport / aggregate).
+    /// Compares equal regardless of values — see [`PhaseTimings`].
+    pub timing: PhaseTimings,
 }
 
 /// Fault/resilience totals over a whole federated run.
@@ -171,7 +206,7 @@ impl FaultSummary {
 /// optimization (scoped worker pool when `parallel`) → framed uploads
 /// with admission → streaming aggregation → framed broadcast.
 #[derive(Debug)]
-pub struct Federation<C> {
+pub struct Federation<C: FederatedClient> {
     config: FedAvgConfig,
     server: FedAvgServer,
     clients: Vec<C>,
@@ -179,6 +214,8 @@ pub struct Federation<C> {
     transport: TransportStats,
     rng: StdRng,
     rounds_run: u64,
+    pool: WorkerPool,
+    workspaces: Vec<C::Workspace>,
 }
 
 impl<C: FederatedClient> Federation<C> {
@@ -294,6 +331,8 @@ impl<C: FederatedClient> Federation<C> {
             transport,
             rng: derive_rng(seed, streams::FEDERATION),
             rounds_run: 0,
+            pool: WorkerPool::default(),
+            workspaces: Vec::new(),
         }
     }
 
@@ -380,6 +419,7 @@ impl<C: FederatedClient> Federation<C> {
             offline: 0,
             train_panics: 0,
             aggregated: false,
+            timing: PhaseTimings::default(),
         };
 
         let mut active: Vec<usize> = Vec::with_capacity(participant_ids.len());
@@ -391,10 +431,13 @@ impl<C: FederatedClient> Federation<C> {
             }
         }
 
+        let train_start = Instant::now();
         let panicked = self.train_active(&active);
+        report.timing.train_s = train_start.elapsed().as_secs_f64();
         report.train_panics = panicked.len();
         report.participants = active.len() - panicked.len();
 
+        let upload_start = Instant::now();
         let mut acc = self.server.accumulator();
         for &i in &active {
             if panicked.contains(&i) {
@@ -467,7 +510,9 @@ impl<C: FederatedClient> Federation<C> {
                 }
             }
         }
+        report.timing.transport_s += upload_start.elapsed().as_secs_f64();
 
+        let aggregate_start = Instant::now();
         // Straggler updates whose delay elapsed surface now, discounted by
         // staleness. Every client and link is polled: a straggler need not
         // be in this round's participant set to deliver its late update.
@@ -514,7 +559,9 @@ impl<C: FederatedClient> Federation<C> {
         if acc.admitted() >= self.config.min_quorum.max(1) {
             report.aggregated = self.server.commit_round(acc).is_ok();
         }
+        report.timing.aggregate_s = aggregate_start.elapsed().as_secs_f64();
 
+        let broadcast_start = Instant::now();
         for (client, link) in self.clients.iter_mut().zip(&mut self.links) {
             if !(client.is_online() && link.is_online()) {
                 continue;
@@ -538,6 +585,7 @@ impl<C: FederatedClient> Federation<C> {
                 }
             }
         }
+        report.timing.transport_s += broadcast_start.elapsed().as_secs_f64();
 
         self.rounds_run += 1;
         report
@@ -547,9 +595,14 @@ impl<C: FederatedClient> Federation<C> {
     /// whose training panicked (their state is suspect, so they are
     /// excluded from this round's upload).
     ///
-    /// With `parallel` enabled the active clients are split into contiguous
-    /// chunks, one per available core, and trained on a scoped worker pool —
-    /// bounded thread count regardless of federation size.
+    /// With `parallel` enabled the active clients are trained on the
+    /// federation's [`WorkerPool`] — bounded thread count regardless of
+    /// federation size. Each worker slot owns one persistent
+    /// `C::Workspace`, reused across clients and rounds so the steady-state
+    /// training loop performs zero heap allocations; the serial path
+    /// reuses the first workspace the same way. Results are independent of
+    /// the worker count (the pool chunks deterministically and returns
+    /// outcomes in input order).
     fn train_active(&mut self, active: &[usize]) -> Vec<usize> {
         let steps = self.config.steps_per_round;
         let mut panicked = Vec::new();
@@ -558,40 +611,29 @@ impl<C: FederatedClient> Federation<C> {
             for &i in active {
                 is_active[i] = true;
             }
-            let mut work: Vec<(usize, &mut C)> = self
+            let work: Vec<(usize, &mut C)> = self
                 .clients
                 .iter_mut()
                 .enumerate()
                 .filter(|(i, _)| is_active[*i])
                 .collect();
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            let chunk_size = work.len().div_ceil(workers).max(1);
-            panicked = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in work.chunks_mut(chunk_size) {
-                    handles.push(scope.spawn(move || {
-                        let mut failed = Vec::new();
-                        for (i, client) in chunk {
-                            if catch_unwind(AssertUnwindSafe(|| client.train_round(steps))).is_err()
-                            {
-                                failed.push(*i);
-                            }
-                        }
-                        failed
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("workers contain client panics"))
-                    .collect()
-            });
+            let outcomes = self
+                .pool
+                .map_with(work, &mut self.workspaces, |(i, client), ws| {
+                    catch_unwind(AssertUnwindSafe(|| client.train_round_with(steps, ws)))
+                        .is_err()
+                        .then_some(i)
+                });
+            panicked = outcomes.into_iter().flatten().collect();
             panicked.sort_unstable();
         } else {
+            if self.workspaces.is_empty() {
+                self.workspaces.push(C::Workspace::default());
+            }
+            let ws = &mut self.workspaces[0];
             for &i in active {
                 let client = &mut self.clients[i];
-                if catch_unwind(AssertUnwindSafe(|| client.train_round(steps))).is_err() {
+                if catch_unwind(AssertUnwindSafe(|| client.train_round_with(steps, ws))).is_err() {
                     panicked.push(i);
                 }
             }
@@ -652,10 +694,12 @@ mod tests {
     }
 
     impl FederatedClient for FakeClient {
+        type Workspace = ();
+
         fn id(&self) -> usize {
             self.id
         }
-        fn train_round(&mut self, steps: u64) {
+        fn train_round_with(&mut self, steps: u64, _ws: &mut ()) {
             self.trained_steps += steps;
             // Local training drifts each parameter by +id+1.
             for p in &mut self.params {
@@ -847,12 +891,14 @@ mod tests {
             round: u64,
         }
         impl FederatedClient for Flaky {
+            type Workspace = ();
+
             fn id(&self) -> usize {
                 self.inner.id()
             }
-            fn train_round(&mut self, steps: u64) {
+            fn train_round_with(&mut self, steps: u64, ws: &mut ()) {
                 assert!(self.round != 2, "injected training panic");
-                self.inner.train_round(steps);
+                self.inner.train_round_with(steps, ws);
             }
             fn upload(&mut self) -> ModelUpdate {
                 self.inner.upload()

@@ -51,6 +51,7 @@ mod client;
 mod error;
 mod fault;
 mod federation;
+mod pool;
 mod server;
 mod td_client;
 mod transport;
@@ -62,7 +63,8 @@ pub use fault::{
     CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FaultyTransport,
     PlanCounts,
 };
-pub use federation::{FaultSummary, FedAvgConfig, Federation, RoundReport};
+pub use federation::{FaultSummary, FedAvgConfig, Federation, PhaseTimings, RoundReport};
+pub use pool::WorkerPool;
 pub use server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
 pub use td_client::TdClient;
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportKind, TransportStats};

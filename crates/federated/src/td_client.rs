@@ -1,6 +1,6 @@
 use crate::client::{shape_mismatch_error, FederatedClient, ModelUpdate};
 use crate::error::FedError;
-use fedpower_agent::{DeviceEnv, DeviceEnvConfig, State, TdConfig, TdController};
+use fedpower_agent::{AgentWorkspace, DeviceEnv, DeviceEnvConfig, State, TdConfig, TdController};
 use fedpower_sim::rng::derive_seed;
 
 /// A federated client wrapping the temporal-difference controller
@@ -37,17 +37,20 @@ impl TdClient {
 }
 
 impl FederatedClient for TdClient {
+    type Workspace = AgentWorkspace;
+
     fn id(&self) -> usize {
         self.id
     }
 
-    fn train_round(&mut self, steps: u64) {
+    fn train_round_with(&mut self, steps: u64, ws: &mut AgentWorkspace) {
         self.samples_this_round = 0;
         for _ in 0..steps {
-            let action = self.agent.select_action(&self.state);
+            let action = self.agent.select_action_with(&self.state, ws);
             let obs = self.env.execute(action);
             let reward = self.agent.reward_for(&obs.counters);
-            self.agent.observe(&self.state, action, reward, &obs.state);
+            self.agent
+                .observe_with(&self.state, action, reward, &obs.state, ws);
             self.state = obs.state;
             self.samples_this_round += 1;
         }

@@ -51,6 +51,7 @@ mod loss;
 mod matrix;
 mod mlp;
 mod optim;
+mod workspace;
 
 pub use error::NnError;
 pub use linear::{Activation, Linear};
@@ -58,6 +59,7 @@ pub use loss::{Huber, Loss, Mse};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, TrainBatch};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use workspace::{ForwardScratch, TrainScratch};
 
 /// Averages the flat parameter vectors of several models into a new vector.
 ///

@@ -60,8 +60,9 @@ impl Activation {
 pub struct Linear {
     in_dim: usize,
     out_dim: usize,
-    /// `out_dim × in_dim`, row-major.
-    weights: Vec<f32>,
+    /// `out_dim × in_dim` weight matrix. Stored as a [`Matrix`] so the
+    /// forward pass never re-materializes it from a flat buffer.
+    weights: Matrix,
     /// Length `out_dim`.
     bias: Vec<f32>,
 }
@@ -74,7 +75,8 @@ impl Linear {
         Linear {
             in_dim,
             out_dim,
-            weights,
+            weights: Matrix::from_rows(out_dim, in_dim, weights)
+                .expect("init sample matches out_dim*in_dim"),
             bias,
         }
     }
@@ -86,7 +88,8 @@ impl Linear {
         Linear {
             in_dim,
             out_dim,
-            weights,
+            weights: Matrix::from_rows(out_dim, in_dim, weights)
+                .expect("init sample matches out_dim*in_dim"),
             bias,
         }
     }
@@ -103,13 +106,12 @@ impl Linear {
 
     /// Number of trainable parameters (`out·in + out`).
     pub fn num_params(&self) -> usize {
-        self.weights.len() + self.bias.len()
+        self.weights.as_slice().len() + self.bias.len()
     }
 
-    /// Weight matrix view as a [`Matrix`] (`out_dim × in_dim`).
-    pub(crate) fn weight_matrix(&self) -> Matrix {
-        Matrix::from_rows(self.out_dim, self.in_dim, self.weights.clone())
-            .expect("weights buffer always matches out_dim*in_dim")
+    /// Borrow of the weight matrix (`out_dim × in_dim`).
+    pub(crate) fn weight_matrix(&self) -> &Matrix {
+        &self.weights
     }
 
     /// Forward pass for a batch: `X (n×in) → Z (n×out)` where
@@ -119,6 +121,18 @@ impl Linear {
     ///
     /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        let mut z = Matrix::default();
+        self.forward_into(x, &mut z)?;
+        Ok(z)
+    }
+
+    /// [`Linear::forward`] writing into caller-owned scratch; `z` is
+    /// reshaped (reusing its allocation) and fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.cols() != in_dim`.
+    pub fn forward_into(&self, x: &Matrix, z: &mut Matrix) -> Result<(), NnError> {
         if x.cols() != self.in_dim {
             return Err(NnError::ShapeMismatch {
                 expected: self.in_dim,
@@ -126,15 +140,14 @@ impl Linear {
                 context: "Linear::forward input width".into(),
             });
         }
-        let w = self.weight_matrix();
-        let mut z = x.matmul_t(&w)?;
+        x.matmul_t_into(&self.weights, z)?;
         z.add_row_bias(&self.bias)?;
-        Ok(z)
+        Ok(())
     }
 
     /// Appends this layer's parameters (weights then bias) to `out`.
     pub fn write_params(&self, out: &mut Vec<f32>) {
-        out.extend_from_slice(&self.weights);
+        out.extend_from_slice(self.weights.as_slice());
         out.extend_from_slice(&self.bias);
     }
 
@@ -153,9 +166,9 @@ impl Linear {
                 context: "Linear::read_params source length".into(),
             });
         }
-        let nw = self.weights.len();
+        let nw = self.weights.as_slice().len();
         let nb = self.bias.len();
-        self.weights.copy_from_slice(&src[..nw]);
+        self.weights.as_mut_slice().copy_from_slice(&src[..nw]);
         self.bias.copy_from_slice(&src[nw..nw + nb]);
         Ok(&src[n..])
     }

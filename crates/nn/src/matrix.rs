@@ -16,7 +16,7 @@ use crate::NnError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -109,12 +109,47 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes to `rows × cols` with all elements zeroed, reusing the
+    /// existing allocation whenever capacity allows. This is the reset
+    /// entry point for scratch matrices on the zero-allocation hot path.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation
+    /// whenever capacity allows.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+        self.rows = other.rows;
+        self.cols = other.cols;
+    }
+
     /// `self · other` — standard matrix product (m×k · k×n → m×n).
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul`] writing into caller-owned scratch; `out` is
+    /// reshaped (reusing its allocation) and fully overwritten.
+    ///
+    /// The inner loop intentionally has no `a == 0.0` skip: the branch
+    /// blocked autovectorization and silently turned `0 · NaN` into `0`
+    /// instead of propagating the NaN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 expected: self.cols,
@@ -122,13 +157,10 @@ impl Matrix {
                 context: "matmul inner dimension".into(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let orow = &other.data[k * other.cols..(k + 1) * other.cols];
                 let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (c, &b) in crow.iter_mut().zip(orow) {
@@ -136,7 +168,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `selfᵀ · other` without materializing the transpose (k×m · k×n → m×n).
@@ -145,6 +177,19 @@ impl Matrix {
     ///
     /// Returns [`NnError::ShapeMismatch`] if the row counts disagree.
     pub fn t_matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::default();
+        self.t_matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::t_matmul`] writing into caller-owned scratch; `out` is
+    /// reshaped (reusing its allocation) and fully overwritten. Like
+    /// [`Matrix::matmul_into`] there is deliberately no zero-skip branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the row counts disagree.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.rows != other.rows {
             return Err(NnError::ShapeMismatch {
                 expected: self.rows,
@@ -152,13 +197,10 @@ impl Matrix {
                 context: "t_matmul shared row dimension".into(),
             });
         }
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.reset(self.cols, other.cols);
         for k in 0..self.rows {
             for i in 0..self.cols {
                 let a = self.data[k * self.cols + i];
-                if a == 0.0 {
-                    continue;
-                }
                 let orow = &other.data[k * other.cols..(k + 1) * other.cols];
                 let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (c, &b) in crow.iter_mut().zip(orow) {
@@ -166,7 +208,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self · otherᵀ` without materializing the transpose (m×k · n×k → m×n).
@@ -175,6 +217,18 @@ impl Matrix {
     ///
     /// Returns [`NnError::ShapeMismatch`] if the column counts disagree.
     pub fn matmul_t(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::default();
+        self.matmul_t_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_t`] writing into caller-owned scratch; `out` is
+    /// reshaped (reusing its allocation) and fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the column counts disagree.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.cols != other.cols {
             return Err(NnError::ShapeMismatch {
                 expected: self.cols,
@@ -182,16 +236,16 @@ impl Matrix {
                 context: "matmul_t shared column dimension".into(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.reset(self.rows, other.rows);
         for i in 0..self.rows {
-            let arow = self.row(i);
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..other.rows {
                 let brow = &other.data[j * other.cols..(j + 1) * other.cols];
                 let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
                 out.data[i * other.rows + j] = dot;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Adds `bias` (length = `cols`) to every row in place.
@@ -220,13 +274,22 @@ impl Matrix {
 
     /// Sums the rows into a single vector of length `cols`.
     pub fn column_sums(&self) -> Vec<f32> {
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::column_sums`] writing into caller-owned scratch; `out` is
+    /// cleared and refilled, reusing its allocation whenever capacity
+    /// allows.
+    pub fn column_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 }
 
@@ -286,6 +349,64 @@ mod tests {
     #[test]
     fn from_rows_validates_length() {
         assert!(Matrix::from_rows(2, 2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_coefficients() {
+        // Regression: the old `a == 0.0 { continue }` skip silently turned
+        // 0 · NaN into 0; IEEE-754 requires the NaN to propagate.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(2, 1, &[f32::NAN, 1.0]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "0 · NaN must stay NaN");
+
+        let a = m(2, 1, &[0.0, 1.0]); // aᵀ = [0, 1]
+        let b = m(2, 1, &[f32::NAN, 1.0]);
+        let c = a.t_matmul(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "t_matmul: 0 · NaN must stay NaN");
+
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(1, 2, &[f32::INFINITY, 1.0]);
+        let c = a.matmul_t(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "0 · ∞ must be NaN");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops_and_reuse_scratch() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // Deliberately mis-shaped, pre-filled scratch: reset must erase it.
+        let mut out = Matrix::zeros(5, 7);
+        out.set(0, 0, 99.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+
+        let at = m(3, 2, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        at.t_matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, at.t_matmul(&b).unwrap());
+
+        let bt = m(2, 3, &[7.0, 9.0, 11.0, 8.0, 10.0, 12.0]);
+        a.matmul_t_into(&bt, &mut out).unwrap();
+        assert_eq!(out, a.matmul_t(&bt).unwrap());
+
+        let mut sums = vec![99.0; 9];
+        a.column_sums_into(&mut sums);
+        assert_eq!(sums, a.column_sums());
+    }
+
+    #[test]
+    fn reset_and_copy_from_reuse_capacity() {
+        let mut s = Matrix::zeros(4, 4);
+        let cap_ptr = s.as_slice().as_ptr();
+        s.reset(2, 3);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 3);
+        assert!(s.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(s.as_slice().as_ptr(), cap_ptr, "no reallocation");
+        let src = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        s.copy_from(&src);
+        assert_eq!(s, src);
+        assert_eq!(s.as_slice().as_ptr(), cap_ptr, "no reallocation");
     }
 
     #[test]

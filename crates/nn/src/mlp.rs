@@ -2,6 +2,7 @@ use crate::linear::{Activation, Linear};
 use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::optim::Optimizer;
+use crate::workspace::{ForwardScratch, TrainScratch};
 use crate::NnError;
 
 /// Magic bytes prefixing a serialized [`Mlp`].
@@ -34,6 +35,11 @@ pub struct TrainBatch<'a> {
 pub struct Mlp {
     layers: Vec<Linear>,
     hidden_activation: Activation,
+    /// Cached layer widths `[in, h1, ..., out]` — the architecture is fixed
+    /// at construction, so [`Mlp::dims`] never rebuilds this.
+    dims: Vec<usize>,
+    /// Cached total parameter count.
+    n_params: usize,
 }
 
 impl Mlp {
@@ -64,9 +70,12 @@ impl Mlp {
                 Linear::new(w[0], w[1], layer_seed)
             });
         }
+        let n_params = layers.iter().map(Linear::num_params).sum();
         Mlp {
             layers,
             hidden_activation,
+            dims: dims.to_vec(),
+            n_params,
         }
     }
 
@@ -80,11 +89,9 @@ impl Mlp {
         self.layers[self.layers.len() - 1].out_dim()
     }
 
-    /// Layer widths `[in, h1, ..., out]`.
-    pub fn dims(&self) -> Vec<usize> {
-        let mut dims = vec![self.layers[0].in_dim()];
-        dims.extend(self.layers.iter().map(Linear::out_dim));
-        dims
+    /// Layer widths `[in, h1, ..., out]` (cached at construction).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
     }
 
     /// The hidden-layer activation.
@@ -92,17 +99,37 @@ impl Mlp {
         self.hidden_activation
     }
 
-    /// Total number of trainable parameters.
+    /// Total number of trainable parameters (cached at construction).
     pub fn num_params(&self) -> usize {
-        self.layers.iter().map(Linear::num_params).sum()
+        self.n_params
     }
 
     /// Forward pass for a single input vector.
+    ///
+    /// Allocates a fresh output; steady-state callers should prefer
+    /// [`Mlp::forward_with`] with a reused [`ForwardScratch`].
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if `x.len() != in_dim`.
     pub fn forward(&self, x: &[f32]) -> Result<Vec<f32>, NnError> {
+        let mut ws = ForwardScratch::default();
+        Ok(self.forward_with(x, &mut ws)?.to_vec())
+    }
+
+    /// Forward pass for a single input vector, borrowing caller-owned
+    /// scratch. After the first call has sized the buffers, this performs
+    /// zero heap allocations. The returned slice (length `out_dim`) lives
+    /// in the scratch and is valid until its next use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `x.len() != in_dim`.
+    pub fn forward_with<'ws>(
+        &self,
+        x: &[f32],
+        ws: &'ws mut ForwardScratch,
+    ) -> Result<&'ws [f32], NnError> {
         if x.len() != self.in_dim() {
             return Err(NnError::ShapeMismatch {
                 expected: self.in_dim(),
@@ -110,44 +137,59 @@ impl Mlp {
                 context: "Mlp::forward input length".into(),
             });
         }
-        let m = Matrix::from_rows(1, x.len(), x.to_vec())?;
-        let out = self.forward_batch(&m)?;
-        Ok(out.as_slice().to_vec())
+        ws.input.reset(1, x.len());
+        ws.input.as_mut_slice().copy_from_slice(x);
+        self.run_forward(&ws.input, &mut ws.acts)?;
+        Ok(ws.acts[self.layers.len() - 1].as_slice())
     }
 
     /// Forward pass for a batch of inputs (`n × in_dim`).
+    ///
+    /// Allocates a fresh output; steady-state callers should prefer
+    /// [`Mlp::forward_batch_with`] with a reused [`ForwardScratch`].
     ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if the input width is wrong.
     pub fn forward_batch(&self, x: &Matrix) -> Result<Matrix, NnError> {
-        let (out, _, _) = self.forward_with_caches(x)?;
-        Ok(out)
+        let mut ws = ForwardScratch::default();
+        self.run_forward(x, &mut ws.acts)?;
+        Ok(ws.acts.pop().expect("an MLP has at least one layer"))
     }
 
-    /// Forward pass returning (output, per-layer activations, pre-activations)
-    /// for backprop. `activations[0]` is the input, `activations[l]` the
-    /// post-activation of layer `l`; `pre_acts[l]` the pre-activation of
-    /// layer `l+1` in `layers`.
-    fn forward_with_caches(
+    /// Forward pass for a batch of inputs, borrowing caller-owned scratch.
+    /// After the first call has sized the buffers, this performs zero heap
+    /// allocations. The returned matrix (`n × out_dim`) lives in the
+    /// scratch and is valid until its next use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the input width is wrong.
+    pub fn forward_batch_with<'ws>(
         &self,
         x: &Matrix,
-    ) -> Result<(Matrix, Vec<Matrix>, Vec<Matrix>), NnError> {
-        let mut activations = Vec::with_capacity(self.layers.len() + 1);
-        let mut pre_acts = Vec::with_capacity(self.layers.len());
-        activations.push(x.clone());
-        let mut cur = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(&cur)?;
-            pre_acts.push(z.clone());
-            let mut a = z;
-            if i < self.layers.len() - 1 {
-                self.hidden_activation.apply(a.as_mut_slice());
-            }
-            activations.push(a.clone());
-            cur = a;
+        ws: &'ws mut ForwardScratch,
+    ) -> Result<&'ws Matrix, NnError> {
+        self.run_forward(x, &mut ws.acts)?;
+        Ok(&ws.acts[self.layers.len() - 1])
+    }
+
+    /// Runs the layer stack over `input`, leaving the post-activation of
+    /// layer `l` in `acts[l]` (so `acts[layers.len() - 1]` is the output).
+    /// Buffers in `acts` are reshaped in place, reusing their allocations.
+    fn run_forward(&self, input: &Matrix, acts: &mut Vec<Matrix>) -> Result<(), NnError> {
+        while acts.len() < self.layers.len() {
+            acts.push(Matrix::default());
         }
-        Ok((cur, activations, pre_acts))
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = acts.split_at_mut(l);
+            let cur = if l == 0 { input } else { &prev[l - 1] };
+            layer.forward_into(cur, &mut rest[0])?;
+            if l < self.layers.len() - 1 {
+                self.hidden_activation.apply(rest[0].as_mut_slice());
+            }
+        }
+        Ok(())
     }
 
     /// Computes the mean loss and flat gradient for a bandit batch.
@@ -164,6 +206,25 @@ impl Mlp {
         batch: &TrainBatch<'_>,
         loss: &L,
     ) -> Result<(f32, Vec<f32>), NnError> {
+        let mut ws = TrainScratch::default();
+        let mean_loss = self.loss_and_gradient_into(batch, loss, &mut ws)?;
+        Ok((mean_loss, std::mem::take(&mut ws.grad)))
+    }
+
+    /// [`Mlp::loss_and_gradient`] into caller-owned scratch: the flat
+    /// gradient is left in `ws` ([`TrainScratch::grad`]) and only the mean
+    /// loss is returned. After the first call has sized the buffers, this
+    /// performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mlp::loss_and_gradient`].
+    pub fn loss_and_gradient_into<L: Loss>(
+        &self,
+        batch: &TrainBatch<'_>,
+        loss: &L,
+        ws: &mut TrainScratch,
+    ) -> Result<f32, NnError> {
         let in_dim = self.in_dim();
         let n = batch.actions.len();
         if n == 0 {
@@ -190,54 +251,147 @@ impl Mlp {
             )));
         }
 
-        let x = Matrix::from_rows(n, in_dim, batch.inputs.to_vec())?;
-        let (out, activations, pre_acts) = self.forward_with_caches(&x)?;
+        let nl = self.layers.len();
+        ws.ensure_layers(nl);
+        ws.input.reset(n, in_dim);
+        ws.input.as_mut_slice().copy_from_slice(batch.inputs);
+
+        // Forward pass caching both pre- and post-activations per layer.
+        for l in 0..nl {
+            {
+                let cur = if l == 0 { &ws.input } else { &ws.acts[l - 1] };
+                self.layers[l].forward_into(cur, &mut ws.pre_acts[l])?;
+            }
+            ws.acts[l].copy_from(&ws.pre_acts[l]);
+            if l < nl - 1 {
+                self.hidden_activation.apply(ws.acts[l].as_mut_slice());
+            }
+        }
 
         // Masked output delta: gradient only on the executed action's unit.
+        let out_idx = nl - 1;
         let mut total_loss = 0.0_f32;
-        let mut delta = Matrix::zeros(n, out_dim);
+        ws.deltas[out_idx].reset(n, out_dim);
         let inv_n = 1.0 / n as f32;
         for i in 0..n {
             let a = batch.actions[i];
-            let pred = out.get(i, a);
+            let pred = ws.acts[out_idx].get(i, a);
             let target = batch.targets[i];
             total_loss += loss.value(pred, target);
-            delta.set(i, a, loss.derivative(pred, target) * inv_n);
+            ws.deltas[out_idx].set(i, a, loss.derivative(pred, target) * inv_n);
         }
         let mean_loss = total_loss * inv_n;
 
-        // Backpropagate through the layers, collecting per-layer grads.
-        let mut layer_grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.layers.len());
-        let mut cur_delta = delta;
-        for l in (0..self.layers.len()).rev() {
-            // gradW_l = deltaᵀ · a_{l} (a_{l} is the layer's input activation)
-            let grad_w = cur_delta.t_matmul(&activations[l])?;
-            let grad_b = cur_delta.column_sums();
-            layer_grads.push((grad_w, grad_b));
-            if l > 0 {
-                // delta_{l-1} = (delta_l · W_l) ⊙ act'(z_{l-1})
-                let w = self.layers[l].weight_matrix();
-                let mut prev = cur_delta.matmul(&w)?;
-                let z = &pre_acts[l - 1];
-                for (d, &zv) in prev.as_mut_slice().iter_mut().zip(z.as_slice()) {
-                    *d *= self.hidden_activation.derivative(zv);
+        // Output layer: the masked delta has exactly one nonzero per row
+        // (the executed action), so its grads and back-propagated delta use
+        // that structural mask directly instead of dense matmuls — ~out_dim
+        // times less work for the batch sizes of Algorithm 1. The mask is
+        // index-based, never a value test, so IEEE semantics hold: a NaN
+        // prediction poisons its own delta and propagates from there.
+        {
+            let input_act = if out_idx == 0 {
+                &ws.input
+            } else {
+                &ws.acts[out_idx - 1]
+            };
+            ws.grad_w[out_idx].reset(out_dim, input_act.cols());
+            ws.grad_b[out_idx].clear();
+            ws.grad_b[out_idx].resize(out_dim, 0.0);
+            for i in 0..n {
+                let a = batch.actions[i];
+                let d = ws.deltas[out_idx].get(i, a);
+                for (g, &v) in ws.grad_w[out_idx]
+                    .row_mut(a)
+                    .iter_mut()
+                    .zip(input_act.row(i))
+                {
+                    *g += d * v;
                 }
-                cur_delta = prev;
+                ws.grad_b[out_idx][a] += d;
+            }
+            if out_idx > 0 {
+                // delta_{out-1} = (delta_out · W_out) ⊙ act'(z_{out-1}),
+                // where row i of delta_out · W_out is d_i · W_out[a_i].
+                let w = self.layers[out_idx].weight_matrix();
+                let (head, tail) = ws.deltas.split_at_mut(out_idx);
+                let prev = &mut head[out_idx - 1];
+                prev.reset(n, w.cols());
+                for i in 0..n {
+                    let a = batch.actions[i];
+                    let d = tail[0].get(i, a);
+                    for (o, &wv) in prev.row_mut(i).iter_mut().zip(w.row(a)) {
+                        *o = d * wv;
+                    }
+                }
+                let z = &ws.pre_acts[out_idx - 1];
+                for (dv, &zv) in prev.as_mut_slice().iter_mut().zip(z.as_slice()) {
+                    *dv *= self.hidden_activation.derivative(zv);
+                }
             }
         }
-        layer_grads.reverse();
+
+        // Hidden layers: dense backprop, collecting per-layer grads.
+        for l in (0..out_idx).rev() {
+            // gradW_l = deltaᵀ · a_l (a_l is the layer's input activation).
+            // Accumulated transposed (a_lᵀ · delta, `in × out`) so the inner
+            // loop runs over the wide output dimension, then copied into the
+            // `out × in` weight layout. Per-element accumulation order over
+            // the batch is unchanged, so the result is bit-identical to the
+            // direct `deltaᵀ · a_l` product.
+            {
+                let input_act = if l == 0 { &ws.input } else { &ws.acts[l - 1] };
+                input_act.t_matmul_into(&ws.deltas[l], &mut ws.grad_wt)?;
+            }
+            let (w_out, w_in) = (ws.grad_wt.cols(), ws.grad_wt.rows());
+            ws.grad_w[l].reset(w_out, w_in);
+            for j in 0..w_in {
+                let src = ws.grad_wt.row(j);
+                for (i, &v) in src.iter().enumerate() {
+                    ws.grad_w[l].set(i, j, v);
+                }
+            }
+            ws.deltas[l].column_sums_into(&mut ws.grad_b[l]);
+            if l > 0 {
+                // delta_{l-1} = (delta_l · W_l) ⊙ act'(z_{l-1})
+                let (head, tail) = ws.deltas.split_at_mut(l);
+                tail[0].matmul_into(self.layers[l].weight_matrix(), &mut head[l - 1])?;
+                let z = &ws.pre_acts[l - 1];
+                for (d, &zv) in head[l - 1].as_mut_slice().iter_mut().zip(z.as_slice()) {
+                    *d *= self.hidden_activation.derivative(zv);
+                }
+            }
+        }
 
         // Flatten in params() order: per layer, weights then bias.
-        let mut flat = Vec::with_capacity(self.num_params());
-        for (gw, gb) in &layer_grads {
-            flat.extend_from_slice(gw.as_slice());
-            flat.extend_from_slice(gb);
+        ws.grad.clear();
+        for l in 0..nl {
+            ws.grad.extend_from_slice(ws.grad_w[l].as_slice());
+            ws.grad.extend_from_slice(&ws.grad_b[l]);
         }
-        Ok((mean_loss, flat))
+        Ok(mean_loss)
+    }
+
+    /// Applies one optimizer step using the gradient left in `ws` by the
+    /// last [`Mlp::loss_and_gradient_into`] call. Parameters are staged in
+    /// the scratch, so the step allocates nothing once buffers are warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch gradient length does not match
+    /// [`Mlp::num_params`] (i.e. the gradient came from a different
+    /// architecture).
+    pub fn apply_gradient_step<O: Optimizer>(&mut self, optimizer: &mut O, ws: &mut TrainScratch) {
+        self.params_into(&mut ws.params);
+        optimizer.step(&mut ws.params, &ws.grad);
+        self.set_params(&ws.params)
+            .expect("params length is stable across a step");
     }
 
     /// Performs one gradient step on a bandit batch, returning the mean loss
     /// *before* the update.
+    ///
+    /// Allocates temporary buffers; steady-state callers should prefer
+    /// [`Mlp::train_batch_with`] with a reused [`TrainScratch`].
     ///
     /// # Errors
     ///
@@ -248,13 +402,28 @@ impl Mlp {
         loss: &L,
         optimizer: &mut O,
     ) -> f32 {
-        let (mean_loss, grads) = self
-            .loss_and_gradient(batch, loss)
+        let mut ws = TrainScratch::default();
+        self.train_batch_with(batch, loss, optimizer, &mut ws)
+    }
+
+    /// [`Mlp::train_batch`] borrowing caller-owned scratch. After the first
+    /// call has sized the buffers, a full SGD step performs zero heap
+    /// allocations (proved by the `alloc_discipline` integration test).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed batch, like [`Mlp::train_batch`].
+    pub fn train_batch_with<L: Loss, O: Optimizer>(
+        &mut self,
+        batch: &TrainBatch<'_>,
+        loss: &L,
+        optimizer: &mut O,
+        ws: &mut TrainScratch,
+    ) -> f32 {
+        let mean_loss = self
+            .loss_and_gradient_into(batch, loss, ws)
             .expect("train_batch called with malformed batch");
-        let mut params = self.params();
-        optimizer.step(&mut params, &grads);
-        self.set_params(&params)
-            .expect("params length is stable across a step");
+        self.apply_gradient_step(optimizer, ws);
         mean_loss
     }
 
@@ -263,10 +432,17 @@ impl Mlp {
     /// federated server.
     pub fn params(&self) -> Vec<f32> {
         let mut flat = Vec::with_capacity(self.num_params());
-        for layer in &self.layers {
-            layer.write_params(&mut flat);
-        }
+        self.params_into(&mut flat);
         flat
+    }
+
+    /// Writes all parameters into `out` (cleared first), reusing its
+    /// allocation — the zero-allocation counterpart of [`Mlp::params`].
+    pub fn params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for layer in &self.layers {
+            layer.write_params(out);
+        }
     }
 
     /// Overwrites all parameters from a flat vector (see [`Mlp::params`]).
@@ -304,7 +480,7 @@ impl Mlp {
             Activation::Identity => 2,
         });
         out.extend_from_slice(&(dims.len() as u32).to_le_bytes());
-        for d in &dims {
+        for d in dims {
             out.extend_from_slice(&(*d as u32).to_le_bytes());
         }
         for p in self.params() {
@@ -518,6 +694,39 @@ mod tests {
             targets: &[0.0],
         };
         assert!(net.loss_and_gradient(&short_targets, &Mse).is_err());
+    }
+
+    #[test]
+    fn scratch_paths_match_allocating_paths_bitwise() {
+        let mut a = paper_net(11);
+        let mut b = paper_net(11);
+        let mut fwd = ForwardScratch::new();
+        let mut train = TrainScratch::new();
+        let x = [0.3, -0.1, 0.7, 0.2, 1.5];
+        assert_eq!(
+            a.forward(&x).unwrap(),
+            b.forward_with(&x, &mut fwd).unwrap()
+        );
+
+        let mut opt_a = Adam::new(0.01, a.num_params());
+        let mut opt_b = Adam::new(0.01, b.num_params());
+        let inputs: Vec<f32> = (0..4 * 5).map(|i| (i as f32 * 0.21).cos()).collect();
+        let batch = TrainBatch {
+            inputs: &inputs,
+            actions: &[1, 4, 9, 14],
+            targets: &[0.2, -0.4, 0.8, 0.0],
+        };
+        for _ in 0..5 {
+            let la = a.train_batch(&batch, &Huber::new(1.0), &mut opt_a);
+            let lb = b.train_batch_with(&batch, &Huber::new(1.0), &mut opt_b, &mut train);
+            assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        assert_eq!(a.params(), b.params());
+
+        let (loss_alloc, grad_alloc) = a.loss_and_gradient(&batch, &Mse).unwrap();
+        let loss_scratch = b.loss_and_gradient_into(&batch, &Mse, &mut train).unwrap();
+        assert_eq!(loss_alloc.to_bits(), loss_scratch.to_bits());
+        assert_eq!(grad_alloc, train.grad());
     }
 
     #[test]

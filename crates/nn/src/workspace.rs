@@ -1,0 +1,107 @@
+//! Reusable scratch buffers for the allocation-free training/inference
+//! hot path.
+//!
+//! Every step of the paper's control loop runs [`crate::Mlp::forward`] and
+//! every optimization interval runs [`crate::Mlp::train_batch`]; with the
+//! allocating entry points each call builds fresh [`Matrix`] buffers. The
+//! `*_with` variants instead borrow a caller-owned workspace: after the
+//! first call has grown the buffers to the network's shapes, steady-state
+//! forward and SGD steps perform **zero heap allocations** (proved by the
+//! `alloc_discipline` integration test).
+//!
+//! Ownership rules:
+//!
+//! * The *caller* owns the workspace and decides its lifetime — typically
+//!   one workspace per worker thread, reused across federated rounds.
+//! * The network only ever *borrows* it; a workspace is valid for any
+//!   network and any batch size (buffers are reshaped, reusing capacity).
+//! * Both scratch types are `Default`, `Clone` and `Send`, so they travel
+//!   with their worker into `std::thread::scope` pools.
+
+use crate::matrix::Matrix;
+
+/// Scratch for [`crate::Mlp::forward_with`] /
+/// [`crate::Mlp::forward_batch_with`]: one staging matrix for the input
+/// row plus one activation matrix per layer.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// Staging matrix for single-row inputs.
+    pub(crate) input: Matrix,
+    /// `acts[l]` is the post-activation output of layer `l`.
+    pub(crate) acts: Vec<Matrix>,
+}
+
+impl ForwardScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ForwardScratch::default()
+    }
+}
+
+/// Scratch for [`crate::Mlp::loss_and_gradient_into`] /
+/// [`crate::Mlp::train_batch_with`]: the full set of forward caches,
+/// per-layer deltas and gradients, plus flat gradient/parameter staging
+/// for the optimizer step.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    /// Staging matrix for the batch inputs (`n × in_dim`).
+    pub(crate) input: Matrix,
+    /// `acts[l]` is the post-activation output of layer `l`.
+    pub(crate) acts: Vec<Matrix>,
+    /// `pre_acts[l]` is the pre-activation of layer `l`.
+    pub(crate) pre_acts: Vec<Matrix>,
+    /// `deltas[l]` is the backpropagated error at layer `l`'s output.
+    pub(crate) deltas: Vec<Matrix>,
+    /// Per-layer weight gradients.
+    pub(crate) grad_w: Vec<Matrix>,
+    /// Transposed weight-gradient accumulator (`in × out`). Hidden-layer
+    /// gradients are accumulated transposed so the inner loop runs over
+    /// the (wide) output dimension, then copied into `grad_w` layout.
+    pub(crate) grad_wt: Matrix,
+    /// Per-layer bias gradients.
+    pub(crate) grad_b: Vec<Vec<f32>>,
+    /// Flat gradient in [`crate::Mlp::params`] layout.
+    pub(crate) grad: Vec<f32>,
+    /// Flat parameter staging for the optimizer step.
+    pub(crate) params: Vec<f32>,
+}
+
+impl TrainScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        TrainScratch::default()
+    }
+
+    /// The flat gradient left behind by the last
+    /// [`crate::Mlp::loss_and_gradient_into`] call ([`crate::Mlp::params`]
+    /// layout).
+    pub fn grad(&self) -> &[f32] {
+        &self.grad
+    }
+
+    /// Mutable access to the flat gradient — lets callers fold extra terms
+    /// (e.g. a FedProx proximal pull) into the gradient before
+    /// [`crate::Mlp::apply_gradient_step`].
+    pub fn grad_mut(&mut self) -> &mut [f32] {
+        &mut self.grad
+    }
+
+    /// Grows the per-layer buffer vectors to hold `n` layers.
+    pub(crate) fn ensure_layers(&mut self, n: usize) {
+        while self.acts.len() < n {
+            self.acts.push(Matrix::default());
+        }
+        while self.pre_acts.len() < n {
+            self.pre_acts.push(Matrix::default());
+        }
+        while self.deltas.len() < n {
+            self.deltas.push(Matrix::default());
+        }
+        while self.grad_w.len() < n {
+            self.grad_w.push(Matrix::default());
+        }
+        while self.grad_b.len() < n {
+            self.grad_b.push(Vec::new());
+        }
+    }
+}

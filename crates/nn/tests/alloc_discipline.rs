@@ -1,0 +1,126 @@
+//! Proof of the hot path's zero-allocation contract.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up pass (which is allowed to size the scratch buffers), repeated
+//! inference and training steps through the `*_with` APIs must perform
+//! exactly zero heap allocations.
+//!
+//! Everything lives in a single `#[test]` so concurrent test threads
+//! cannot pollute the counter while it is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fedpower_nn::{Activation, Adam, ForwardScratch, Huber, Mlp, TrainBatch, TrainScratch};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed while running `f`.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCS.load(Ordering::SeqCst), out)
+}
+
+#[test]
+fn steady_state_forward_and_train_allocate_nothing() {
+    // The paper's controller network: 5 → 32 → 15.
+    let dims = [5_usize, 32, 15];
+    let mut net = Mlp::new(&dims, Activation::Relu, 42);
+    let mut opt = Adam::new(1e-3, net.num_params());
+    let huber = Huber::new(1.0);
+
+    let batch_size = 128;
+    let x: Vec<f32> = (0..dims[0]).map(|i| (i as f32 * 0.37).sin()).collect();
+    let inputs: Vec<f32> = (0..batch_size * dims[0])
+        .map(|i| (i as f32 * 0.111).cos())
+        .collect();
+    let actions: Vec<usize> = (0..batch_size).map(|i| i % dims[2]).collect();
+    let targets: Vec<f32> = (0..batch_size).map(|i| (i as f32 * 0.53).sin()).collect();
+
+    let mut fwd = ForwardScratch::new();
+    let mut train = TrainScratch::new();
+
+    // Warm-up: scratch buffers size themselves once here.
+    net.forward_with(&x, &mut fwd).expect("valid input");
+    let batch = TrainBatch {
+        inputs: &inputs,
+        actions: &actions,
+        targets: &targets,
+    };
+    net.train_batch_with(&batch, &huber, &mut opt, &mut train);
+
+    // Steady-state inference: zero heap traffic.
+    let (forward_allocs, _) = allocations_during(|| {
+        let mut acc = 0.0_f32;
+        for _ in 0..100 {
+            let q = net.forward_with(&x, &mut fwd).expect("valid input");
+            acc += q[0];
+        }
+        acc
+    });
+    assert_eq!(
+        forward_allocs, 0,
+        "forward_with allocated {forward_allocs} times over 100 warm steps"
+    );
+
+    // Steady-state training: zero heap traffic.
+    let (train_allocs, _) = allocations_during(|| {
+        let mut loss = 0.0_f32;
+        for _ in 0..50 {
+            let batch = TrainBatch {
+                inputs: &inputs,
+                actions: &actions,
+                targets: &targets,
+            };
+            loss = net.train_batch_with(&batch, &huber, &mut opt, &mut train);
+        }
+        loss
+    });
+    assert_eq!(
+        train_allocs, 0,
+        "train_batch_with allocated {train_allocs} times over 50 warm steps"
+    );
+
+    // Sanity: the allocating wrappers DO allocate — the counter works.
+    let (wrapper_allocs, _) = allocations_during(|| net.forward(&x).expect("valid input"));
+    assert!(
+        wrapper_allocs > 0,
+        "counter must observe the allocating wrapper's heap traffic"
+    );
+}

@@ -1,6 +1,9 @@
 //! Property-based tests of the neural-network substrate.
 
-use fedpower_nn::{Activation, Adam, Huber, Mlp, Mse, Optimizer, Sgd, TrainBatch};
+use fedpower_nn::{
+    Activation, Adam, ForwardScratch, Huber, Matrix, Mlp, Mse, Optimizer, Sgd, TrainBatch,
+    TrainScratch,
+};
 use proptest::prelude::*;
 
 /// Strategy: a small random architecture.
@@ -65,6 +68,76 @@ proptest! {
             opt.step(&mut params, &grads);
         }
         prop_assert!(params.iter().all(|p| p.is_finite()));
+    }
+
+    /// A batch forward equals row-by-row single forwards bitwise: the
+    /// batched matmul must not reorder or refactor any row's arithmetic.
+    #[test]
+    fn batch_forward_matches_single_rows_bitwise(
+        dims in arch(),
+        seed in 0_u64..500,
+        rows in 1_usize..7,
+    ) {
+        let net = Mlp::new(&dims, Activation::Relu, seed);
+        let inputs: Vec<f32> = (0..rows * dims[0])
+            .map(|i| ((i as f32) * 0.713 + seed as f32 * 0.01).sin())
+            .collect();
+        let x = Matrix::from_rows(rows, dims[0], inputs.clone()).expect("well-shaped");
+        let batched = net.forward_batch(&x).expect("valid batch");
+        for r in 0..rows {
+            let row = &inputs[r * dims[0]..(r + 1) * dims[0]];
+            let single = net.forward(row).expect("valid row");
+            prop_assert_eq!(
+                batched.row(r).to_vec(),
+                single,
+                "row {} diverges from its single-row forward", r
+            );
+        }
+    }
+
+    /// The scratch-based (zero-allocation) paths are bit-identical to the
+    /// allocating wrappers across random shapes: forward, loss/gradient,
+    /// and a full optimizer step.
+    #[test]
+    fn scratch_paths_match_allocating_paths(
+        dims in arch(),
+        seed in 0_u64..500,
+        rows in 1_usize..6,
+    ) {
+        let mut alloc_net = Mlp::new(&dims, Activation::Tanh, seed);
+        let mut scratch_net = Mlp::new(&dims, Activation::Tanh, seed);
+        let mut fwd = ForwardScratch::new();
+        let mut train = TrainScratch::new();
+
+        let x: Vec<f32> = (0..dims[0]).map(|i| ((i as f32) * 0.39).cos()).collect();
+        prop_assert_eq!(
+            alloc_net.forward(&x).expect("valid input"),
+            scratch_net.forward_with(&x, &mut fwd).expect("valid input").to_vec()
+        );
+
+        let inputs: Vec<f32> = (0..rows * dims[0])
+            .map(|i| ((i as f32) * 0.157).sin())
+            .collect();
+        let actions: Vec<usize> = (0..rows).map(|i| i % dims[2]).collect();
+        let targets: Vec<f32> = (0..rows).map(|i| ((i as f32) * 0.731).cos()).collect();
+        let batch = TrainBatch { inputs: &inputs, actions: &actions, targets: &targets };
+        let huber = Huber::new(1.0);
+
+        let (loss_a, grad_a) = alloc_net.loss_and_gradient(&batch, &huber).expect("valid");
+        let loss_b = scratch_net
+            .loss_and_gradient_into(&batch, &huber, &mut train)
+            .expect("valid");
+        prop_assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        prop_assert_eq!(&grad_a, train.grad());
+
+        let mut opt_a = Adam::new(1e-3, alloc_net.num_params());
+        let mut opt_b = Adam::new(1e-3, scratch_net.num_params());
+        for _ in 0..3 {
+            let la = alloc_net.train_batch(&batch, &huber, &mut opt_a);
+            let lb = scratch_net.train_batch_with(&batch, &huber, &mut opt_b, &mut train);
+            prop_assert_eq!(la.to_bits(), lb.to_bits());
+        }
+        prop_assert_eq!(alloc_net.params(), scratch_net.params());
     }
 
     /// Huber loss is nonnegative, zero only at the target, and bounded by

@@ -37,11 +37,13 @@ impl MathClient {
 }
 
 impl FederatedClient for MathClient {
+    type Workspace = ();
+
     fn id(&self) -> usize {
         self.id
     }
 
-    fn train_round(&mut self, _steps: u64) {
+    fn train_round_with(&mut self, _steps: u64, _ws: &mut ()) {
         for p in &mut self.params {
             *p += 0.5 * (self.target - *p);
         }

@@ -1,13 +1,13 @@
 //! Workspace-wide determinism: the same master seed reproduces every
 //! experiment bit-for-bit; different seeds genuinely differ.
 
-use fedpower::agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower::agent::{AgentWorkspace, ControllerConfig, DeviceEnvConfig};
 use fedpower::core::experiment::{run_federated, run_fig5, train_profit_collab};
 use fedpower::core::scenario::{six_six_split, table2_scenarios};
 use fedpower::core::ExperimentConfig;
 use fedpower::federated::{
-    AgentClient, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FedAvgConfig, Federation,
-    TransportKind,
+    AgentClient, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FedAvgConfig,
+    FederatedClient, Federation, TransportKind,
 };
 use fedpower::workloads::AppId;
 
@@ -173,6 +173,53 @@ fn zero_probability_link_faults_equal_the_fault_free_run() {
             "{kind}: transport accounting must match"
         );
     }
+}
+
+/// Training through one persistent workspace — dirty from other clients
+/// and earlier rounds — is bit-identical to the allocating `train_round`
+/// wrapper with throwaway scratch: scratch contents never leak into
+/// results.
+#[test]
+fn persistent_workspace_training_matches_throwaway_scratch() {
+    let mut plain = agent_clients();
+    let mut reused = agent_clients();
+    let mut ws = AgentWorkspace::new();
+    for _ in 0..3 {
+        for c in &mut plain {
+            c.train_round(40);
+        }
+        for c in &mut reused {
+            c.train_round_with(40, &mut ws);
+        }
+    }
+    for (a, b) in plain.iter_mut().zip(&mut reused) {
+        assert_eq!(
+            a.upload().params,
+            b.upload().params,
+            "workspace reuse must not change the trained policy"
+        );
+    }
+}
+
+/// Per-phase timings are populated by every round but never participate
+/// in report identity — they are measurements, not outcomes.
+#[test]
+fn phase_timings_are_populated_but_ignored_by_equality() {
+    let mut fed_cfg = FedAvgConfig::paper();
+    fed_cfg.rounds = 1;
+    fed_cfg.steps_per_round = 30;
+    let mut fed = Federation::new(agent_clients(), fed_cfg, 5);
+    let report = fed.run_round();
+    assert!(report.timing.train_s > 0.0, "training time was measured");
+    assert!(
+        report.timing.transport_s > 0.0,
+        "transport time was measured"
+    );
+    assert!(report.timing.total_s() >= report.timing.train_s);
+    let mut other = report;
+    other.timing.train_s += 100.0;
+    other.timing.aggregate_s += 100.0;
+    assert_eq!(report, other, "wall-clock never affects report identity");
 }
 
 #[test]

@@ -163,10 +163,12 @@ struct ScriptClient {
 }
 
 impl FederatedClient for ScriptClient {
+    type Workspace = ();
+
     fn id(&self) -> usize {
         self.id
     }
-    fn train_round(&mut self, _steps: u64) {
+    fn train_round_with(&mut self, _steps: u64, _ws: &mut ()) {
         self.round += 1.0;
     }
     fn upload(&mut self) -> ModelUpdate {
