@@ -84,6 +84,23 @@ pub struct StepObservation {
     pub completed_app: Option<AppId>,
 }
 
+/// A per-step controller driving [`DeviceEnv::run_steps`].
+///
+/// One object owns both halves of the control loop — picking the next V/f
+/// level from the latest observation and consuming the resulting step — so
+/// callers that need `&mut` state in both (an agent selecting actions *and*
+/// recording transitions) implement a single trait instead of fighting the
+/// borrow checker with two closures.
+pub trait StepDriver {
+    /// Chooses the V/f level for the next control interval.
+    fn decide(&mut self, obs: &StepObservation) -> FreqLevel;
+
+    /// Consumes the observation produced by executing `action` at
+    /// zero-based step index `step`. Returns `false` to stop the batch
+    /// early (e.g. when a target application completes).
+    fn observe(&mut self, step: u64, action: FreqLevel, obs: &StepObservation) -> bool;
+}
+
 /// A simulated edge device: processor + endless application stream.
 ///
 /// Implements the environment half of Fig. 1: the power controller
@@ -166,6 +183,49 @@ impl DeviceEnv {
         let transitioned = action != self.cpu.level();
         self.cpu.set_level(action);
         self.step_at(action, transitioned)
+    }
+
+    /// Runs up to `max_steps` control intervals in one tight loop,
+    /// starting from `initial` (the observation the driver's first
+    /// decision is based on — typically from [`DeviceEnv::bootstrap`]).
+    ///
+    /// Each iteration is exactly `decide` → [`DeviceEnv::execute`] →
+    /// `observe`, so a `run_steps` batch is step-for-step identical to the
+    /// equivalent caller-side loop — it just keeps the hot path in one
+    /// monomorphized, allocation-free function. Stops early when `observe`
+    /// returns `false`.
+    ///
+    /// Returns the last observation and the number of steps executed.
+    pub fn run_steps<D: StepDriver>(
+        &mut self,
+        max_steps: u64,
+        initial: StepObservation,
+        driver: &mut D,
+    ) -> (StepObservation, u64) {
+        let mut obs = initial;
+        let mut executed = 0;
+        for step in 0..max_steps {
+            let action = driver.decide(&obs);
+            obs = self.execute(action);
+            executed = step + 1;
+            if !driver.observe(step, action, &obs) {
+                break;
+            }
+        }
+        (obs, executed)
+    }
+
+    /// Whether the processor's operating-point fast path is active
+    /// (fixed-temperature configs; see `fedpower_sim`'s table docs).
+    pub fn uses_fast_path(&self) -> bool {
+        self.cpu.uses_fast_path()
+    }
+
+    /// Forces every subsequent step through the analytical models.
+    /// Results are bit-identical either way; equivalence tests use this to
+    /// obtain the oracle trajectory.
+    pub fn force_analytical(&mut self) {
+        self.cpu.force_analytical();
     }
 
     fn step_at(&mut self, _level: FreqLevel, transitioned: bool) -> StepObservation {
@@ -289,6 +349,72 @@ mod tests {
         // Requests at/below the cap pass through unchanged.
         let obs = e.execute(FreqLevel(3));
         assert!((obs.counters.freq_mhz - 403.2).abs() < 1e-9);
+    }
+
+    struct CyclingDriver {
+        steps_seen: u64,
+        stop_after: u64,
+    }
+
+    impl StepDriver for CyclingDriver {
+        fn decide(&mut self, _obs: &StepObservation) -> FreqLevel {
+            FreqLevel((self.steps_seen % 15) as usize)
+        }
+
+        fn observe(&mut self, step: u64, action: FreqLevel, _obs: &StepObservation) -> bool {
+            assert_eq!(step, self.steps_seen);
+            assert_eq!(action, FreqLevel((step % 15) as usize));
+            self.steps_seen += 1;
+            self.steps_seen < self.stop_after
+        }
+    }
+
+    #[test]
+    fn run_steps_matches_manual_execute_loop_bitwise() {
+        let mut batched = env(&[AppId::Fft, AppId::Ocean], 7);
+        let mut manual = env(&[AppId::Fft, AppId::Ocean], 7);
+        let initial = batched.bootstrap();
+        manual.bootstrap();
+        let mut driver = CyclingDriver {
+            steps_seen: 0,
+            stop_after: u64::MAX,
+        };
+        let (last, executed) = batched.run_steps(40, initial, &mut driver);
+        assert_eq!(executed, 40);
+        let mut manual_last = None;
+        for i in 0..40u64 {
+            manual_last = Some(manual.execute(FreqLevel((i % 15) as usize)));
+        }
+        let manual_last = manual_last.unwrap();
+        assert_eq!(last.counters, manual_last.counters);
+        assert_eq!(last.clean, manual_last.clean);
+        assert_eq!(
+            last.instructions_retired.to_bits(),
+            manual_last.instructions_retired.to_bits()
+        );
+        assert_eq!(batched.steps(), manual.steps());
+        assert_eq!(batched.completed_apps(), manual.completed_apps());
+    }
+
+    #[test]
+    fn run_steps_stops_when_driver_says_so() {
+        let mut e = env(&[AppId::Fft], 8);
+        let initial = e.bootstrap();
+        let mut driver = CyclingDriver {
+            steps_seen: 0,
+            stop_after: 5,
+        };
+        let (_, executed) = e.run_steps(100, initial, &mut driver);
+        assert_eq!(executed, 5);
+        assert_eq!(e.steps(), 6, "bootstrap + 5 driven steps");
+    }
+
+    #[test]
+    fn fast_path_is_active_by_default_and_can_be_forced_off() {
+        let mut e = env(&[AppId::Fft], 9);
+        assert!(e.uses_fast_path());
+        e.force_analytical();
+        assert!(!e.uses_fast_path());
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod workspace;
 
 pub use cluster_env::{ClusterEnv, ClusterEnvConfig, ClusterObservation};
 pub use controller::{ControllerConfig, PowerController};
-pub use env::{DeviceEnv, DeviceEnvConfig, StepObservation};
+pub use env::{DeviceEnv, DeviceEnvConfig, StepDriver, StepObservation};
 pub use policy::{SoftmaxPolicy, TemperatureSchedule};
 pub use replay::{ReplayBuffer, ReplayScratch, Transition};
 pub use reward::RewardConfig;

@@ -1,0 +1,139 @@
+//! Property tests proving the operating-point fast path is bit-identical
+//! to the analytical models it memoizes.
+//!
+//! The fast path is not allowed to be "close" — it must replay the exact
+//! f64s the analytical path computes, for every V/f level, every catalog
+//! application (whose per-run ±5 % jitter exercises off-nominal
+//! `PhaseParams`), and with sensor noise both on and off (noise draws
+//! consume RNG state, so a single skipped or reordered draw would diverge
+//! the trajectories immediately).
+
+use fedpower_agent::{DeviceEnv, DeviceEnvConfig};
+use fedpower_sim::{
+    FreqLevel, NoiseConfig, PerfCounters, PhaseParams, Processor, ProcessorConfig,
+    ThermalModelConfig,
+};
+use fedpower_workloads::AppId;
+
+/// Asserts two counter sets are equal bit for bit, field by field.
+fn assert_counters_identical(a: &PerfCounters, b: &PerfCounters, context: &str) {
+    for (name, x, y) in [
+        ("freq_mhz", a.freq_mhz, b.freq_mhz),
+        ("power_w", a.power_w, b.power_w),
+        ("ipc", a.ipc, b.ipc),
+        ("miss_rate", a.miss_rate, b.miss_rate),
+        ("mpki", a.mpki, b.mpki),
+        ("ips", a.ips, b.ips),
+        ("temp_c", a.temp_c, b.temp_c),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: {name} diverged ({x} vs {y})"
+        );
+    }
+}
+
+/// Runs the same level schedule through a fast-path and a forced-analytical
+/// environment and demands bitwise-identical trajectories.
+fn assert_env_equivalence(app: AppId, noise: NoiseConfig, seed: u64) {
+    let mut config = DeviceEnvConfig::new(&[app]);
+    config.processor.noise = noise;
+    let mut fast = DeviceEnv::new(config.clone(), seed);
+    let mut oracle = DeviceEnv::new(config, seed);
+    oracle.force_analytical();
+    assert!(
+        fast.uses_fast_path(),
+        "fixed-temp config must use the table"
+    );
+    assert!(!oracle.uses_fast_path());
+
+    let context = format!("app={app:?} seed={seed}");
+    let a = fast.bootstrap();
+    let b = oracle.bootstrap();
+    assert_counters_identical(&a.counters, &b.counters, &context);
+
+    // 60 steps cycle every level four times and cross phase boundaries
+    // (and, for short apps, a jittered relaunch).
+    for step in 0..60u64 {
+        let level = FreqLevel((step % 15) as usize);
+        let oa = fast.execute(level);
+        let ob = oracle.execute(level);
+        let ctx = format!("{context} step={step} level={level:?}");
+        assert_counters_identical(&oa.counters, &ob.counters, &ctx);
+        assert_counters_identical(&oa.clean, &ob.clean, &ctx);
+        assert_eq!(
+            oa.instructions_retired.to_bits(),
+            ob.instructions_retired.to_bits(),
+            "{ctx}: instructions diverged"
+        );
+        assert_eq!(oa.completed_app, ob.completed_app, "{ctx}");
+    }
+    assert_eq!(fast.completed_apps(), oracle.completed_apps(), "{context}");
+}
+
+#[test]
+fn fast_path_is_bitwise_identical_across_catalog_with_noise() {
+    for (i, app) in AppId::ALL.into_iter().enumerate() {
+        assert_env_equivalence(app, NoiseConfig::realistic(), 1000 + i as u64);
+    }
+}
+
+#[test]
+fn fast_path_is_bitwise_identical_across_catalog_noiseless() {
+    for (i, app) in AppId::ALL.into_iter().enumerate() {
+        assert_env_equivalence(app, NoiseConfig::none(), 2000 + i as u64);
+    }
+}
+
+#[test]
+fn raw_processor_sweep_matches_oracle_on_every_level() {
+    // Off-nominal phases (not in any catalog row) hit the lazy-population
+    // path; the transition penalty variant must also match.
+    let phases = [
+        PhaseParams::new(0.7, 1.5, 30.0, 1.0),
+        PhaseParams::new(1.1, 18.0, 45.0, 0.85),
+        PhaseParams::new(0.93, 7.77, 21.3, 0.61),
+    ];
+    for (pi, phase) in phases.iter().enumerate() {
+        let mut fast = Processor::new(ProcessorConfig::jetson_nano(), 31 + pi as u64);
+        let mut oracle = Processor::new(ProcessorConfig::jetson_nano(), 31 + pi as u64);
+        oracle.force_analytical();
+        for level in 0..15usize {
+            for transitioned in [false, true] {
+                fast.set_level(FreqLevel(level));
+                oracle.set_level(FreqLevel(level));
+                let (a, b) = if transitioned {
+                    (
+                        fast.run_after_transition(phase, 0.5),
+                        oracle.run_after_transition(phase, 0.5),
+                    )
+                } else {
+                    (fast.run(phase, 0.5), oracle.run(phase, 0.5))
+                };
+                let ctx = format!("phase={pi} level={level} transitioned={transitioned}");
+                assert_counters_identical(&a.counters, &b.counters, &ctx);
+                assert_counters_identical(&a.clean, &b.clean, &ctx);
+                assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "{ctx}");
+                assert_eq!(
+                    a.instructions_retired.to_bits(),
+                    b.instructions_retired.to_bits(),
+                    "{ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thermal_configs_stay_on_the_analytical_path() {
+    let config = ProcessorConfig {
+        thermal: Some(ThermalModelConfig::jetson_nano()),
+        ..ProcessorConfig::jetson_nano()
+    };
+    let cpu = Processor::new(config, 0);
+    assert!(
+        !cpu.uses_fast_path(),
+        "temperature-dependent power must not be table-driven"
+    );
+}

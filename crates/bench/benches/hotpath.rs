@@ -7,6 +7,10 @@
 //!   through [`Mlp::train_batch_with`],
 //! * `round_steps_per_sec` — environment steps per second of a full quick
 //!   Fig. 3 federated round ([`Federation::run_round`], two devices),
+//! * `env_steps_per_sec` — raw simulator stepping through
+//!   [`DeviceEnv::run_steps`] with a trivial driver (no agent in the loop),
+//! * `eval_steps_per_sec` — greedy evaluation episodes through
+//!   `evaluate_on_app_with_mode` with the trace off,
 //! * `allocs_per_step` — heap allocations per warm training step, counted
 //!   by a wrapping global allocator (the zero-allocation contract says 0).
 //!
@@ -14,17 +18,22 @@
 //! cargo bench -p fedpower-bench --bench hotpath -- [--quick] [--out PATH] [--baseline PATH]
 //! ```
 //!
-//! With `--baseline PATH` the run compares its `train_steps_per_sec` and
-//! `round_steps_per_sec` against the baseline JSON and exits nonzero on a
+//! With `--baseline PATH` the run compares its throughput metrics
+//! (`train_steps_per_sec`, `round_steps_per_sec`, `env_steps_per_sec`,
+//! `eval_steps_per_sec`) against the baseline JSON and exits nonzero on a
 //! regression of more than 30 % — the CI smoke gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, StepDriver, StepObservation};
+use fedpower_baselines::PerformanceGovernor;
+use fedpower_core::eval::{evaluate_on_app_with_mode, EvalOptions};
+use fedpower_core::policy::GovernorPolicy;
 use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
 use fedpower_nn::{Activation, Adam, ForwardScratch, Huber, Mlp, TrainBatch, TrainScratch};
+use fedpower_sim::{FreqLevel, TraceMode, VfTable};
 use fedpower_workloads::AppId;
 
 struct CountingAlloc;
@@ -78,6 +87,8 @@ struct Results {
     ns_per_forward: f64,
     train_steps_per_sec: f64,
     round_steps_per_sec: f64,
+    env_steps_per_sec: f64,
+    eval_steps_per_sec: f64,
     allocs_per_step: f64,
     quick: bool,
 }
@@ -86,14 +97,34 @@ impl Results {
     fn to_json(&self) -> String {
         format!(
             "{{\n  \"ns_per_forward\": {:.1},\n  \"train_steps_per_sec\": {:.1},\n  \
-             \"round_steps_per_sec\": {:.1},\n  \"allocs_per_step\": {:.3},\n  \
+             \"round_steps_per_sec\": {:.1},\n  \"env_steps_per_sec\": {:.1},\n  \
+             \"eval_steps_per_sec\": {:.1},\n  \"allocs_per_step\": {:.3},\n  \
              \"quick\": {}\n}}\n",
             self.ns_per_forward,
             self.train_steps_per_sec,
             self.round_steps_per_sec,
+            self.env_steps_per_sec,
+            self.eval_steps_per_sec,
             self.allocs_per_step,
             self.quick
         )
+    }
+}
+
+/// Trivial [`StepDriver`] cycling through every V/f level — measures the
+/// raw simulator step cost with no agent in the loop.
+struct CyclingDriver {
+    step: u64,
+}
+
+impl StepDriver for CyclingDriver {
+    fn decide(&mut self, _obs: &StepObservation) -> FreqLevel {
+        self.step += 1;
+        FreqLevel((self.step % 15) as usize)
+    }
+
+    fn observe(&mut self, _step: u64, _action: FreqLevel, _obs: &StepObservation) -> bool {
+        true
     }
 }
 
@@ -217,10 +248,39 @@ fn main() {
     let round_secs = round_start.elapsed().as_secs_f64();
     let round_steps_per_sec = (rounds * steps_per_round * n_clients) as f64 / round_secs;
 
+    eprintln!("measuring raw simulator stepping (DeviceEnv::run_steps)...");
+    const ENV_BATCH: u64 = 512;
+    let mut env = DeviceEnv::new(DeviceEnvConfig::new(&[AppId::Fft, AppId::Lu]), 11);
+    let mut driver = CyclingDriver { step: 0 };
+    let mut last = env.bootstrap();
+    let (env_iters, env_secs) = measure(window, || {
+        let (obs, _) = env.run_steps(ENV_BATCH, last.clone(), &mut driver);
+        last = obs;
+    });
+    let env_steps_per_sec = (env_iters * ENV_BATCH) as f64 / env_secs;
+
+    eprintln!("measuring greedy evaluation episodes (trace off)...");
+    let eval_opts = EvalOptions::default();
+    let mut policy = GovernorPolicy::new(PerformanceGovernor, VfTable::jetson_nano());
+    let mut eval_seed = 0_u64;
+    let (eval_iters, eval_secs) = measure(window, || {
+        eval_seed += 1;
+        std::hint::black_box(evaluate_on_app_with_mode(
+            &mut policy,
+            AppId::Fft,
+            &eval_opts,
+            eval_seed,
+            TraceMode::Off,
+        ));
+    });
+    let eval_steps_per_sec = (eval_iters * eval_opts.steps) as f64 / eval_secs;
+
     let results = Results {
         ns_per_forward,
         train_steps_per_sec,
         round_steps_per_sec,
+        env_steps_per_sec,
+        eval_steps_per_sec,
         allocs_per_step,
         quick,
     };
@@ -233,7 +293,12 @@ fn main() {
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
         let mut failed = false;
-        for key in ["train_steps_per_sec", "round_steps_per_sec"] {
+        for key in [
+            "train_steps_per_sec",
+            "round_steps_per_sec",
+            "env_steps_per_sec",
+            "eval_steps_per_sec",
+        ] {
             let Some(base) = json_number(&baseline, key) else {
                 eprintln!("baseline {} has no {key}; skipping", path.display());
                 continue;

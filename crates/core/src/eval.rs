@@ -2,8 +2,8 @@
 
 use crate::config::ExperimentConfig;
 use crate::policy::DvfsPolicy;
-use fedpower_agent::{DeviceEnvConfig, RewardConfig};
-use fedpower_sim::{Trace, TraceRecord};
+use fedpower_agent::{DeviceEnvConfig, RewardConfig, StepDriver, StepObservation};
+use fedpower_sim::{FreqLevel, Trace, TraceMode, TraceRecord};
 use fedpower_workloads::{AppId, SequenceMode};
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +50,47 @@ pub struct EvalEpisode {
     pub trace: Trace,
 }
 
+/// Greedy evaluation loop body shared by [`evaluate_on_app`] and
+/// [`run_to_completion`], expressed as a [`StepDriver`] so the episode
+/// runs through [`fedpower_agent::DeviceEnv::run_steps`]'s batched path.
+struct EvalDriver<'a> {
+    policy: &'a mut dyn DvfsPolicy,
+    reward: RewardConfig,
+    f_max: f64,
+    mode: TraceMode,
+    trace: Trace,
+    /// Running sum of non-NaN rewards in step order — bit-identical to
+    /// [`Trace::mean_reward`]'s collect-then-sum, which folds the same
+    /// values from 0.0 in the same order.
+    reward_sum: f64,
+    reward_count: u64,
+}
+
+impl StepDriver for EvalDriver<'_> {
+    fn decide(&mut self, obs: &StepObservation) -> FreqLevel {
+        self.policy.decide(&obs.counters)
+    }
+
+    fn observe(&mut self, step: u64, action: FreqLevel, obs: &StepObservation) -> bool {
+        let reward = self
+            .reward
+            .reward(obs.clean.freq_mhz / self.f_max, obs.clean.power_w);
+        if !reward.is_nan() {
+            self.reward_sum += reward;
+            self.reward_count += 1;
+        }
+        if self.mode.enabled() {
+            self.trace.push(TraceRecord {
+                step,
+                level: action,
+                counters: obs.clean,
+                reward,
+            });
+        }
+        true
+    }
+}
+
 /// Runs `policy` greedily on `app` for `opts.steps` control intervals.
 ///
 /// The policy is *not* updated — this mirrors the paper's evaluation
@@ -61,32 +102,48 @@ pub fn evaluate_on_app(
     opts: &EvalOptions,
     seed: u64,
 ) -> EvalEpisode {
+    evaluate_on_app_with_mode(policy, app, opts, seed, TraceMode::Full)
+}
+
+/// Like [`evaluate_on_app`] but with an explicit [`TraceMode`]: sweeps
+/// and benches that only consume `mean_reward` pass [`TraceMode::Off`] to
+/// skip per-interval recording entirely (the returned trace is empty;
+/// `mean_reward` is unaffected).
+pub fn evaluate_on_app_with_mode(
+    policy: &mut dyn DvfsPolicy,
+    app: AppId,
+    opts: &EvalOptions,
+    seed: u64,
+    mode: TraceMode,
+) -> EvalEpisode {
     let mut env_config = DeviceEnvConfig::new(&[app]);
     env_config.control_interval_s = opts.control_interval_s;
     env_config.mode = SequenceMode::RoundRobin;
     let mut env = fedpower_agent::DeviceEnv::new(env_config, seed);
-    let mut last = env.bootstrap().counters;
+    let initial = env.bootstrap();
 
-    let f_max = env.vf_table().max_freq_mhz();
-    let mut trace = Trace::new();
-    for step in 0..opts.steps {
-        let level = policy.decide(&last);
-        let obs = env.execute(level);
-        let reward = opts
-            .reward
-            .reward(obs.clean.freq_mhz / f_max, obs.clean.power_w);
-        trace.push(TraceRecord {
-            step,
-            level,
-            counters: obs.clean,
-            reward,
-        });
-        last = obs.counters;
-    }
+    let mut driver = EvalDriver {
+        policy,
+        reward: opts.reward,
+        f_max: env.vf_table().max_freq_mhz(),
+        mode,
+        trace: if mode.enabled() {
+            Trace::with_capacity(opts.steps as usize)
+        } else {
+            Trace::new()
+        },
+        reward_sum: 0.0,
+        reward_count: 0,
+    };
+    env.run_steps(opts.steps, initial, &mut driver);
     EvalEpisode {
         app,
-        mean_reward: trace.mean_reward().unwrap_or(0.0),
-        trace,
+        mean_reward: if driver.reward_count == 0 {
+            0.0
+        } else {
+            driver.reward_sum / driver.reward_count as f64
+        },
+        trace: driver.trace,
     }
 }
 
@@ -130,37 +187,56 @@ pub fn run_to_completion(
     env_config.control_interval_s = opts.control_interval_s;
     env_config.mode = SequenceMode::RoundRobin;
     let mut env = fedpower_agent::DeviceEnv::new(env_config, seed);
-    let mut last = env.bootstrap().counters;
+    let initial = env.bootstrap();
 
-    let mut steps = 0u64;
-    let mut instructions = 0.0;
-    let mut power_sum = 0.0;
-    let mut violations = 0u64;
-    let mut completed = false;
-    while steps < opts.max_steps {
-        let level = policy.decide(&last);
-        let obs = env.execute(level);
-        steps += 1;
-        instructions += obs.instructions_retired;
-        power_sum += obs.clean.power_w;
-        if obs.clean.power_w > opts.reward.p_crit_w {
-            violations += 1;
+    struct CompletionDriver<'a> {
+        policy: &'a mut dyn DvfsPolicy,
+        target: AppId,
+        p_crit_w: f64,
+        instructions: f64,
+        power_sum: f64,
+        violations: u64,
+        completed: bool,
+    }
+
+    impl StepDriver for CompletionDriver<'_> {
+        fn decide(&mut self, obs: &StepObservation) -> FreqLevel {
+            self.policy.decide(&obs.counters)
         }
-        last = obs.counters;
-        if obs.completed_app == Some(app) {
-            completed = true;
-            break;
+
+        fn observe(&mut self, _step: u64, _action: FreqLevel, obs: &StepObservation) -> bool {
+            self.instructions += obs.instructions_retired;
+            self.power_sum += obs.clean.power_w;
+            if obs.clean.power_w > self.p_crit_w {
+                self.violations += 1;
+            }
+            if obs.completed_app == Some(self.target) {
+                self.completed = true;
+                return false;
+            }
+            true
         }
     }
+
+    let mut driver = CompletionDriver {
+        policy,
+        target: app,
+        p_crit_w: opts.reward.p_crit_w,
+        instructions: 0.0,
+        power_sum: 0.0,
+        violations: 0,
+        completed: false,
+    };
+    let (_, steps) = env.run_steps(opts.max_steps, initial, &mut driver);
     let exec_time_s = steps as f64 * opts.control_interval_s;
     CompletionMetrics {
         app,
         exec_time_s,
-        ips: instructions / exec_time_s,
-        mean_power_w: power_sum / steps as f64,
-        violation_rate: violations as f64 / steps as f64,
-        energy_j: power_sum * opts.control_interval_s,
-        completed,
+        ips: driver.instructions / exec_time_s,
+        mean_power_w: driver.power_sum / steps as f64,
+        violation_rate: driver.violations as f64 / steps as f64,
+        energy_j: driver.power_sum * opts.control_interval_s,
+        completed: driver.completed,
     }
 }
 
@@ -258,6 +334,32 @@ mod tests {
         let m = run_to_completion(&mut p, AppId::Lu, &opts, 7);
         assert!(!m.completed);
         assert_eq!(m.exec_time_s, 2.5);
+    }
+
+    #[test]
+    fn trace_off_yields_identical_mean_reward_and_empty_trace() {
+        let opts = EvalOptions::default();
+        let full = evaluate_on_app(&mut perf_policy(), AppId::Ocean, &opts, 11);
+        let off =
+            evaluate_on_app_with_mode(&mut perf_policy(), AppId::Ocean, &opts, 11, TraceMode::Off);
+        assert_eq!(
+            full.mean_reward.to_bits(),
+            off.mean_reward.to_bits(),
+            "trace mode must not change the reported mean reward"
+        );
+        assert_eq!(full.trace.len(), opts.steps as usize);
+        assert!(off.trace.is_empty());
+    }
+
+    #[test]
+    fn in_loop_reward_mean_matches_trace_mean_bitwise() {
+        let opts = EvalOptions::default();
+        let ep = evaluate_on_app(&mut perf_policy(), AppId::Lu, &opts, 12);
+        assert_eq!(
+            ep.mean_reward.to_bits(),
+            ep.trace.mean_reward().unwrap().to_bits(),
+            "accumulated mean must equal the trace's collect-then-sum mean"
+        );
     }
 
     #[test]

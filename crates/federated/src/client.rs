@@ -1,9 +1,11 @@
 use crate::error::FedError;
 use fedpower_agent::{
     AgentWorkspace, ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State,
+    StepDriver, StepObservation,
 };
 use fedpower_nn::NnError;
 use fedpower_sim::rng::derive_seed;
+use fedpower_sim::FreqLevel;
 
 /// A locally optimized model uploaded to the server at the end of a round.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,8 +113,35 @@ pub struct AgentClient {
     id: usize,
     agent: PowerController,
     env: DeviceEnv,
-    state: State,
+    /// Last environment observation; the next round's first action is
+    /// selected from its state, so training continues seamlessly across
+    /// round boundaries.
+    last_obs: StepObservation,
     samples_this_round: u64,
+}
+
+/// Algorithm 1's per-step training body as a [`StepDriver`], so a whole
+/// round runs through [`DeviceEnv::run_steps`]'s batched path.
+struct TrainDriver<'a> {
+    agent: &'a mut PowerController,
+    ws: &'a mut AgentWorkspace,
+    /// State the pending action was selected from (set in `decide`,
+    /// consumed by `observe` as the transition's origin state).
+    prev_state: State,
+}
+
+impl StepDriver for TrainDriver<'_> {
+    fn decide(&mut self, obs: &StepObservation) -> FreqLevel {
+        self.prev_state = obs.state;
+        self.agent.select_action_with(&self.prev_state, self.ws)
+    }
+
+    fn observe(&mut self, _step: u64, action: FreqLevel, obs: &StepObservation) -> bool {
+        let reward = self.agent.reward_for(&obs.counters);
+        self.agent
+            .observe_with(&self.prev_state, action, reward, self.ws);
+        true
+    }
 }
 
 impl AgentClient {
@@ -126,12 +155,12 @@ impl AgentClient {
     ) -> Self {
         let mut env = DeviceEnv::new(env_config, derive_seed(seed, 200 + id as u64));
         let agent = PowerController::new(controller, derive_seed(seed, 300 + id as u64));
-        let state = env.bootstrap().state;
+        let last_obs = env.bootstrap();
         AgentClient {
             id,
             agent,
             env,
-            state,
+            last_obs,
             samples_this_round: 0,
         }
     }
@@ -161,15 +190,15 @@ impl FederatedClient for AgentClient {
     }
 
     fn train_round_with(&mut self, steps: u64, ws: &mut AgentWorkspace) {
-        self.samples_this_round = 0;
-        for _ in 0..steps {
-            let action = self.agent.select_action_with(&self.state, ws);
-            let obs = self.env.execute(action);
-            let reward = self.agent.reward_for(&obs.counters);
-            self.agent.observe_with(&self.state, action, reward, ws);
-            self.state = obs.state;
-            self.samples_this_round += 1;
-        }
+        let initial = self.last_obs.clone();
+        let mut driver = TrainDriver {
+            agent: &mut self.agent,
+            ws,
+            prev_state: initial.state,
+        };
+        let (last, executed) = self.env.run_steps(steps, initial, &mut driver);
+        self.last_obs = last;
+        self.samples_this_round = executed;
     }
 
     fn upload(&mut self) -> ModelUpdate {

@@ -63,6 +63,14 @@ pub struct Linear {
     /// `out_dim × in_dim` weight matrix. Stored as a [`Matrix`] so the
     /// forward pass never re-materializes it from a flat buffer.
     weights: Matrix,
+    /// Transposed copy (`in_dim × out_dim`) kept in sync with `weights` on
+    /// every parameter write. The forward pass computes `X·Wᵀ` as
+    /// `X·(Wᵀ)` through [`Matrix::matmul_into`], whose inner loop runs
+    /// contiguously over the output dimension and autovectorizes — unlike
+    /// the per-element serial dot of [`Matrix::matmul_t_into`]. Both
+    /// accumulate each output element in the same k-order from 0.0, so the
+    /// results are bit-identical.
+    weights_t: Matrix,
     /// Length `out_dim`.
     bias: Vec<f32>,
 }
@@ -72,25 +80,41 @@ impl Linear {
     /// deterministically.
     pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
         let (weights, bias) = Init::HeUniform.sample(in_dim, out_dim, seed);
-        Linear {
+        let mut layer = Linear {
             in_dim,
             out_dim,
             weights: Matrix::from_rows(out_dim, in_dim, weights)
                 .expect("init sample matches out_dim*in_dim"),
+            weights_t: Matrix::default(),
             bias,
-        }
+        };
+        layer.refresh_transpose();
+        layer
     }
 
     /// Creates a layer with Xavier-uniform weights, appropriate for the
     /// linear output layer of a regression network.
     pub fn new_xavier(in_dim: usize, out_dim: usize, seed: u64) -> Self {
         let (weights, bias) = Init::XavierUniform.sample(in_dim, out_dim, seed);
-        Linear {
+        let mut layer = Linear {
             in_dim,
             out_dim,
             weights: Matrix::from_rows(out_dim, in_dim, weights)
                 .expect("init sample matches out_dim*in_dim"),
+            weights_t: Matrix::default(),
             bias,
+        };
+        layer.refresh_transpose();
+        layer
+    }
+
+    /// Rebuilds the transposed weight copy, reusing its allocation.
+    fn refresh_transpose(&mut self) {
+        self.weights_t.reset(self.in_dim, self.out_dim);
+        for o in 0..self.out_dim {
+            for (i, &w) in self.weights.row(o).iter().enumerate() {
+                self.weights_t.set(i, o, w);
+            }
         }
     }
 
@@ -140,7 +164,7 @@ impl Linear {
                 context: "Linear::forward input width".into(),
             });
         }
-        x.matmul_t_into(&self.weights, z)?;
+        x.matmul_into(&self.weights_t, z)?;
         z.add_row_bias(&self.bias)?;
         Ok(())
     }
@@ -170,6 +194,7 @@ impl Linear {
         let nb = self.bias.len();
         self.weights.as_mut_slice().copy_from_slice(&src[..nw]);
         self.bias.copy_from_slice(&src[nw..nw + nb]);
+        self.refresh_transpose();
         Ok(&src[n..])
     }
 }
@@ -211,6 +236,34 @@ mod tests {
         let mut flat_b = Vec::new();
         b.write_params(&mut flat_b);
         assert_eq!(flat, flat_b);
+    }
+
+    #[test]
+    fn transposed_forward_is_bit_identical_to_direct_dot() {
+        // Regression for the weights_t fast path: X·(Wᵀ) via matmul_into
+        // must reproduce the serial-dot X·Wᵀ bit for bit, including after
+        // a parameter overwrite refreshes the transpose.
+        let mut layer = Linear::new(7, 13, 21);
+        let x = Matrix::from_rows(
+            3,
+            7,
+            (0..21).map(|i| (i as f32 * 0.313).sin() * 1.7).collect(),
+        )
+        .unwrap();
+        let check = |layer: &Linear, x: &Matrix| {
+            let z = layer.forward(x).unwrap();
+            let mut direct = x.matmul_t(&layer.weights).unwrap();
+            direct.add_row_bias(&layer.bias).unwrap();
+            for (a, b) in z.as_slice().iter().zip(direct.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        };
+        check(&layer, &x);
+        let params: Vec<f32> = (0..layer.num_params())
+            .map(|i| (i as f32 * 0.071).cos())
+            .collect();
+        layer.read_params(&params).unwrap();
+        check(&layer, &x);
     }
 
     #[test]

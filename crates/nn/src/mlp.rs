@@ -257,13 +257,16 @@ impl Mlp {
         ws.input.as_mut_slice().copy_from_slice(batch.inputs);
 
         // Forward pass caching both pre- and post-activations per layer.
+        // The output layer is linear, so its post-activation IS its
+        // pre-activation — predictions are read from `pre_acts` directly
+        // and the redundant `n × out_dim` copy is skipped.
         for l in 0..nl {
             {
                 let cur = if l == 0 { &ws.input } else { &ws.acts[l - 1] };
                 self.layers[l].forward_into(cur, &mut ws.pre_acts[l])?;
             }
-            ws.acts[l].copy_from(&ws.pre_acts[l]);
             if l < nl - 1 {
+                ws.acts[l].copy_from(&ws.pre_acts[l]);
                 self.hidden_activation.apply(ws.acts[l].as_mut_slice());
             }
         }
@@ -275,7 +278,7 @@ impl Mlp {
         let inv_n = 1.0 / n as f32;
         for i in 0..n {
             let a = batch.actions[i];
-            let pred = ws.acts[out_idx].get(i, a);
+            let pred = ws.pre_acts[out_idx].get(i, a);
             let target = batch.targets[i];
             total_loss += loss.value(pred, target);
             ws.deltas[out_idx].set(i, a, loss.derivative(pred, target) * inv_n);

@@ -1,5 +1,6 @@
 use crate::counters::{NoiseConfig, PerfCounters};
 use crate::freq::{FreqLevel, VfTable};
+use crate::optable::{OperatingPointTable, VfCache, MAX_VF_LEVELS};
 use crate::perf::{PerfModel, PhaseParams};
 use crate::power::PowerModel;
 use crate::processor::ProcessorConfig;
@@ -50,10 +51,23 @@ pub struct ClusterProcessor {
     thermal: Option<ThermalModel>,
     fixed_temp_c: f64,
     num_cores: usize,
-    /// Fraction of a busy core's base activity an idle core still burns.
-    idle_activity: f64,
     level: FreqLevel,
     noise_rng: StdRng,
+    /// The idle-core phase (activity = the fraction of a busy core's base
+    /// activity an idle core still burns), hoisted out of the per-step
+    /// loop.
+    idle_phase: PhaseParams,
+    /// Per-level idle-core dynamic power, precomputed with the same
+    /// `dynamic_power` call the per-step path used (`None` for oversized
+    /// custom tables, which fall back to computing it each step).
+    idle_dyn_w: Option<[f64; MAX_VF_LEVELS]>,
+    /// Fixed-size copy of the V/f table for `Vec`-free level lookups.
+    vf_cache: Option<VfCache>,
+    /// Per-(phase, level) cache of busy-core IPC/instructions/dynamic
+    /// power. Temperature never enters those quantities, so unlike the
+    /// single-core fast path this stays active under a thermal model;
+    /// leakage is still evaluated per step from the live temperature.
+    optable: Option<OperatingPointTable>,
 }
 
 impl ClusterProcessor {
@@ -69,17 +83,38 @@ impl ClusterProcessor {
         let thermal = config
             .thermal
             .map(|t| ThermalModel::new(t).expect("validated above"));
+        let power = PowerModel::new(config.power).expect("validated above");
+        let idle_activity = 0.08;
+        let idle_phase = PhaseParams::new(1.0, 0.0, 0.0, idle_activity);
+        let vf_cache = VfCache::new(&config.vf_table);
+        let idle_dyn_w = vf_cache.as_ref().map(|cache| {
+            let mut arr = [0.0; MAX_VF_LEVELS];
+            for (level, slot) in arr.iter_mut().enumerate().take(cache.len) {
+                *slot = power.dynamic_power(
+                    &idle_phase,
+                    0.0,
+                    cache.volts[level],
+                    cache.freq_ghz[level],
+                );
+            }
+            arr
+        });
+        let optable =
+            OperatingPointTable::new(&config.vf_table, config.perf, power, config.fixed_temp_c);
         ClusterProcessor {
-            power: PowerModel::new(config.power).expect("validated above"),
+            power,
             perf: config.perf,
             noise: config.noise,
             thermal,
             fixed_temp_c: config.fixed_temp_c,
             num_cores,
-            idle_activity: 0.08,
             level: FreqLevel(0),
             vf_table: config.vf_table,
             noise_rng: rng::derive_rng(seed, streams::SENSOR_NOISE),
+            idle_phase,
+            idle_dyn_w,
+            vf_cache,
+            optable,
         }
     }
 
@@ -127,23 +162,49 @@ impl ClusterProcessor {
     ///
     /// Panics if `workloads.len() != num_cores` or `dt_s` is not positive.
     pub fn run(&mut self, workloads: &[Option<PhaseParams>], dt_s: f64) -> ClusterOutcome {
+        let mut out = ClusterOutcome {
+            cores: Vec::with_capacity(self.num_cores),
+            counters: PerfCounters::default(),
+            clean: PerfCounters::default(),
+            energy_j: 0.0,
+        };
+        self.run_into(workloads, dt_s, &mut out);
+        out
+    }
+
+    /// [`ClusterProcessor::run`] writing into caller-owned scratch; after
+    /// the first call `out`'s buffers are warm and steady-state stepping
+    /// performs no heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != num_cores` or `dt_s` is not positive.
+    pub fn run_into(
+        &mut self,
+        workloads: &[Option<PhaseParams>],
+        dt_s: f64,
+        out: &mut ClusterOutcome,
+    ) {
         assert_eq!(
             workloads.len(),
             self.num_cores,
             "need one workload slot per core"
         );
         assert!(dt_s > 0.0, "interval length must be positive, got {dt_s}");
-        let f_ghz = self
-            .vf_table
-            .freq_ghz(self.level)
-            .expect("current level always valid");
-        let volts = self
-            .vf_table
-            .voltage(self.level)
-            .expect("current level always valid");
+        let (f_ghz, volts) = match &self.vf_cache {
+            Some(cache) => (cache.freq_ghz[self.level.0], cache.volts[self.level.0]),
+            None => (
+                self.vf_table
+                    .freq_ghz(self.level)
+                    .expect("current level always valid"),
+                self.vf_table
+                    .voltage(self.level)
+                    .expect("current level always valid"),
+            ),
+        };
         let temp = self.temperature_c();
 
-        let mut cores = Vec::with_capacity(self.num_cores);
+        out.cores.clear();
         let mut total_dyn = 0.0;
         let mut total_instructions = 0.0;
         let mut weighted_mpki = 0.0;
@@ -152,15 +213,26 @@ impl ClusterProcessor {
         for slot in workloads {
             match slot {
                 Some(phase) => {
-                    let ipc = self.perf.ipc(phase, f_ghz);
-                    let instructions = ipc * f_ghz * 1e9 * dt_s;
-                    let p_dyn = self.power.dynamic_power(phase, ipc, volts, f_ghz);
+                    let (ipc, instructions, p_dyn) = match self.optable.as_mut() {
+                        Some(table) => {
+                            let (point, _, _) = table.lookup(phase, self.level.0);
+                            (point.ipc, point.ips_factor * dt_s, point.dynamic_power_w)
+                        }
+                        None => {
+                            let ipc = self.perf.ipc(phase, f_ghz);
+                            (
+                                ipc,
+                                ipc * f_ghz * 1e9 * dt_s,
+                                self.power.dynamic_power(phase, ipc, volts, f_ghz),
+                            )
+                        }
+                    };
                     total_dyn += p_dyn;
                     total_instructions += instructions;
                     weighted_mpki += instructions * phase.mpki;
                     weighted_mr += instructions * phase.miss_rate();
                     active += 1;
-                    cores.push(Some(CoreOutcome {
+                    out.cores.push(Some(CoreOutcome {
                         instructions_retired: instructions,
                         ipc,
                         dynamic_power_w: p_dyn,
@@ -168,10 +240,14 @@ impl ClusterProcessor {
                 }
                 None => {
                     // Idle core: clock tree and minimal pipeline switching.
-                    let idle_phase = PhaseParams::new(1.0, 0.0, 0.0, self.idle_activity);
-                    let p_idle = self.power.dynamic_power(&idle_phase, 0.0, volts, f_ghz);
+                    let p_idle = match &self.idle_dyn_w {
+                        Some(per_level) => per_level[self.level.0],
+                        None => self
+                            .power
+                            .dynamic_power(&self.idle_phase, 0.0, volts, f_ghz),
+                    };
                     total_dyn += p_idle;
-                    cores.push(None);
+                    out.cores.push(None);
                 }
             }
         }
@@ -184,7 +260,7 @@ impl ClusterProcessor {
         };
 
         let cycles = f_ghz * 1e9 * dt_s * active.max(1) as f64;
-        let clean = PerfCounters {
+        out.clean = PerfCounters {
             freq_mhz: f_ghz * 1000.0,
             power_w: total_power,
             ipc: total_instructions / cycles,
@@ -201,13 +277,8 @@ impl ClusterProcessor {
             ips: total_instructions / dt_s,
             temp_c: temp_after,
         };
-        let counters = self.noise.apply(&clean, &mut self.noise_rng);
-        ClusterOutcome {
-            cores,
-            counters,
-            clean,
-            energy_j: total_power * dt_s,
-        }
+        out.counters = self.noise.apply(&out.clean, &mut self.noise_rng);
+        out.energy_j = total_power * dt_s;
     }
 }
 
@@ -288,6 +359,41 @@ mod tests {
         let out = c.run(&[Some(compute_phase()), Some(memory)], 0.5);
         assert!(out.clean.mpki > compute_phase().mpki);
         assert!(out.clean.mpki < memory.mpki);
+    }
+
+    #[test]
+    fn run_into_matches_run_bitwise_and_reuses_buffers() {
+        let mut a = cluster(4);
+        let mut b = cluster(4);
+        a.set_level(FreqLevel(9));
+        b.set_level(FreqLevel(9));
+        let memory = PhaseParams::new(1.1, 25.0, 60.0, 0.8);
+        let slots = [Some(compute_phase()), Some(memory), None, None];
+        let mut out = b.run(&slots, 0.5);
+        let cores_ptr = out.cores.as_ptr();
+        for _ in 0..5 {
+            let fresh = a.run(&slots, 0.5);
+            b.run_into(&slots, 0.5, &mut out);
+            assert_eq!(fresh, out, "run and run_into must be bit-identical");
+        }
+        assert_eq!(out.cores.as_ptr(), cores_ptr, "core buffer is reused");
+    }
+
+    #[test]
+    fn thermal_cluster_still_tracks_temperature_with_fast_path() {
+        let config = ProcessorConfig {
+            thermal: Some(crate::ThermalModelConfig::jetson_nano()),
+            noise: NoiseConfig::none(),
+            ..ProcessorConfig::jetson_nano()
+        };
+        let mut c = ClusterProcessor::new(config, 2, 0);
+        c.set_level(FreqLevel(14));
+        let slots = [Some(compute_phase()), Some(compute_phase())];
+        let t0 = c.temperature_c();
+        for _ in 0..100 {
+            c.run(&slots, 0.5);
+        }
+        assert!(c.temperature_c() > t0 + 10.0, "die should heat up");
     }
 
     #[test]

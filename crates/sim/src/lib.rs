@@ -46,6 +46,7 @@ mod cluster;
 mod counters;
 mod error;
 mod freq;
+mod optable;
 mod perf;
 mod power;
 mod processor;
@@ -62,4 +63,4 @@ pub use perf::{PerfModel, PhaseParams};
 pub use power::{PowerModel, PowerModelConfig};
 pub use processor::{Processor, ProcessorConfig, StepOutcome};
 pub use thermal::{ThermalModel, ThermalModelConfig};
-pub use trace::{Trace, TraceRecord};
+pub use trace::{Trace, TraceMode, TraceRecord};

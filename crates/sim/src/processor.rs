@@ -1,5 +1,6 @@
 use crate::counters::{NoiseConfig, PerfCounters};
 use crate::freq::{FreqLevel, VfTable};
+use crate::optable::{OperatingPointTable, VfCache};
 use crate::perf::{PerfModel, PhaseParams};
 use crate::power::{PowerModel, PowerModelConfig};
 use crate::rng::{self, streams};
@@ -115,6 +116,14 @@ pub struct Processor {
     dvfs_transition_s: f64,
     level: FreqLevel,
     noise_rng: StdRng,
+    /// Fixed-size copy of the V/f table for `Vec`-free level lookups on
+    /// the analytical path (`None` for oversized custom tables).
+    vf_cache: Option<VfCache>,
+    /// Operating-point fast path; populated only for fixed-temperature
+    /// (`thermal: None`) configurations whose table fits the cache. The
+    /// analytical path remains the fallback — and the oracle — and both
+    /// produce bit-identical results (see [`crate::optable`]).
+    optable: Option<OperatingPointTable>,
 }
 
 impl Processor {
@@ -130,17 +139,38 @@ impl Processor {
         let thermal = config
             .thermal
             .map(|t| ThermalModel::new(t).expect("validated above"));
+        let power = PowerModel::new(config.power).expect("validated above");
+        let optable = if thermal.is_none() {
+            OperatingPointTable::new(&config.vf_table, config.perf, power, config.fixed_temp_c)
+        } else {
+            None
+        };
         Processor {
             level: FreqLevel(0),
-            power: PowerModel::new(config.power).expect("validated above"),
+            power,
             perf: config.perf,
             noise: config.noise,
             thermal,
             fixed_temp_c: config.fixed_temp_c,
             dvfs_transition_s: config.dvfs_transition_us * 1e-6,
+            vf_cache: VfCache::new(&config.vf_table),
             vf_table: config.vf_table,
             noise_rng: rng::derive_rng(seed, streams::SENSOR_NOISE),
+            optable,
         }
+    }
+
+    /// Drops the operating-point fast path, forcing every subsequent step
+    /// through the analytical models. Results are bit-identical either
+    /// way; this exists so equivalence tests can use the analytical path
+    /// as the oracle.
+    pub fn force_analytical(&mut self) {
+        self.optable = None;
+    }
+
+    /// Whether the operating-point fast path is active.
+    pub fn uses_fast_path(&self) -> bool {
+        self.optable.is_some()
     }
 
     /// The V/f table (and hence the DVFS action space).
@@ -197,21 +227,51 @@ impl Processor {
 
     fn run_inner(&mut self, phase: &PhaseParams, dt_s: f64, transitioned: bool) -> StepOutcome {
         assert!(dt_s > 0.0, "interval length must be positive, got {dt_s}");
-        let f_ghz = self
-            .vf_table
-            .freq_ghz(self.level)
-            .expect("current level always valid");
-        let volts = self
-            .vf_table
-            .voltage(self.level)
-            .expect("current level always valid");
-        let ipc = self.perf.ipc(phase, f_ghz);
-
         let compute_s = if transitioned {
             (dt_s - self.dvfs_transition_s).max(0.0)
         } else {
             dt_s
         };
+
+        // Fast path: replay the memoized analytical values for this
+        // (phase, level) pair — bit-identical to the fallback below by
+        // construction (see `crate::optable`).
+        if let Some(table) = self.optable.as_mut() {
+            let (point, miss_rate, mpki) = table.lookup(phase, self.level.0);
+            let instructions = point.ips_factor * compute_s;
+            let clean = PerfCounters {
+                freq_mhz: point.freq_mhz,
+                power_w: point.total_power_w,
+                ipc: point.ipc,
+                miss_rate,
+                mpki,
+                ips: instructions / dt_s,
+                temp_c: self.fixed_temp_c,
+            };
+            let counters = self.noise.apply(&clean, &mut self.noise_rng);
+            return StepOutcome {
+                counters,
+                clean,
+                instructions_retired: instructions,
+                energy_j: point.total_power_w * dt_s,
+                elapsed_s: dt_s,
+            };
+        }
+
+        // Analytical fallback: thermal-model configs (power depends on the
+        // evolving temperature) and oversized custom V/f tables.
+        let (f_ghz, volts) = match &self.vf_cache {
+            Some(cache) => (cache.freq_ghz[self.level.0], cache.volts[self.level.0]),
+            None => (
+                self.vf_table
+                    .freq_ghz(self.level)
+                    .expect("current level always valid"),
+                self.vf_table
+                    .voltage(self.level)
+                    .expect("current level always valid"),
+            ),
+        };
+        let ipc = self.perf.ipc(phase, f_ghz);
         let instructions = ipc * f_ghz * 1e9 * compute_s;
 
         let temp_before = self.temperature_c();

@@ -83,8 +83,12 @@ mod tests {
     fn derived_rngs_produce_distinct_sequences() {
         let mut r1 = derive_rng(9, 1);
         let mut r2 = derive_rng(9, 2);
-        let s1: Vec<u32> = (0..8).map(|_| r1.random()).collect();
-        let s2: Vec<u32> = (0..8).map(|_| r2.random()).collect();
+        let mut s1 = [0u32; 8];
+        let mut s2 = [0u32; 8];
+        for (a, b) in s1.iter_mut().zip(&mut s2) {
+            *a = r1.random();
+            *b = r2.random();
+        }
         assert_ne!(s1, s2);
     }
 }

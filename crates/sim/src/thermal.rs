@@ -63,6 +63,14 @@ impl Default for ThermalModelConfig {
 pub struct ThermalModel {
     config: ThermalModelConfig,
     temp_c: f64,
+    /// Step interval the cached decay factor was computed for. The
+    /// control loop steps with a constant interval, so `exp` runs once
+    /// instead of every step. `dt = 0` maps to `alpha = exp(0) = 1`, so
+    /// the initial cache entry is a valid (if unreachable) point of the
+    /// same function rather than a sentinel.
+    cached_dt_s: f64,
+    /// `(-cached_dt_s / τ).exp()`.
+    cached_alpha: f64,
 }
 
 impl ThermalModel {
@@ -76,6 +84,8 @@ impl ThermalModel {
         Ok(ThermalModel {
             config,
             temp_c: config.ambient_c,
+            cached_dt_s: 0.0,
+            cached_alpha: 1.0,
         })
     }
 
@@ -94,8 +104,14 @@ impl ThermalModel {
     /// the linear ODE, so arbitrary `dt_s` are stable.
     pub fn step(&mut self, power_w: f64, dt_s: f64) -> f64 {
         let target = self.steady_state_c(power_w);
-        let alpha = (-dt_s / self.config.time_constant_s).exp();
-        self.temp_c = target + (self.temp_c - target) * alpha;
+        // The decay factor depends only on dt, which the control loop
+        // keeps constant — cache it instead of calling `exp` every step.
+        // Replaying the cached f64 is bit-identical to recomputing it.
+        if dt_s != self.cached_dt_s {
+            self.cached_dt_s = dt_s;
+            self.cached_alpha = (-dt_s / self.config.time_constant_s).exp();
+        }
+        self.temp_c = target + (self.temp_c - target) * self.cached_alpha;
         self.temp_c
     }
 
@@ -168,6 +184,29 @@ mod tests {
         t.step(2.0, 100.0);
         t.reset();
         assert_eq!(t.temperature_c(), 25.0);
+    }
+
+    #[test]
+    fn cached_alpha_is_bit_identical_to_fresh_exp() {
+        // Regression for the decay-factor cache: stepping with repeated
+        // and *varying* intervals must match a cache-free reference
+        // computation bit for bit.
+        let mut t = ThermalModel::default();
+        let config = ThermalModelConfig::jetson_nano();
+        let mut reference = config.ambient_c;
+        let schedule = [0.5, 0.5, 0.5, 0.1, 0.1, 0.5, 2.0, 0.5, 0.5];
+        for (i, &dt) in schedule.iter().enumerate() {
+            let p = 0.3 * (i % 4) as f64;
+            let stepped = t.step(p, dt);
+            let target = config.ambient_c + p * config.resistance_c_per_w;
+            let alpha = (-dt / config.time_constant_s).exp();
+            reference = target + (reference - target) * alpha;
+            assert_eq!(
+                stepped.to_bits(),
+                reference.to_bits(),
+                "step {i} (dt={dt}) diverged from the uncached reference"
+            );
+        }
     }
 
     #[test]

@@ -40,10 +40,38 @@ pub struct Trace {
     records: Vec<TraceRecord>,
 }
 
+/// Whether an evaluation loop records its per-interval trace.
+///
+/// Sweeps and benches that only consume aggregate statistics pass
+/// [`TraceMode::Off`] so the episode loop skips recording entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Record every control interval (the default).
+    #[default]
+    Full,
+    /// Record nothing; the trace stays empty.
+    Off,
+}
+
+impl TraceMode {
+    /// Whether records should be kept.
+    pub fn enabled(self) -> bool {
+        self == TraceMode::Full
+    }
+}
+
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` records, so an
+    /// episode of known length appends without reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(capacity),
+        }
     }
 
     /// Appends a record.
@@ -222,6 +250,26 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(t.mean_reward(), Some(1.0));
+    }
+
+    #[test]
+    fn with_capacity_never_reallocates_within_budget() {
+        let mut t = Trace::with_capacity(16);
+        let ptr = |t: &Trace| t.records.as_ptr();
+        t.push(record(0, 1, 0.2, 0.0));
+        let p0 = ptr(&t);
+        for step in 1..16 {
+            t.push(record(step, 1, 0.2, 0.0));
+        }
+        assert_eq!(ptr(&t), p0, "pushes within capacity must not reallocate");
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn trace_mode_default_is_full() {
+        assert_eq!(TraceMode::default(), TraceMode::Full);
+        assert!(TraceMode::Full.enabled());
+        assert!(!TraceMode::Off.enabled());
     }
 
     #[test]
