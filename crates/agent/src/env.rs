@@ -221,6 +221,13 @@ impl DeviceEnv {
         self.cpu.uses_fast_path()
     }
 
+    /// `(hits, misses)` of the processor's operating-point row cache
+    /// since construction (`(0, 0)` on the analytical path) — sampled by
+    /// round-granularity telemetry, never on the per-step hot path.
+    pub fn fastpath_stats(&self) -> (u64, u64) {
+        self.cpu.fastpath_stats()
+    }
+
     /// Forces every subsequent step through the analytical models.
     /// Results are bit-identical either way; equivalence tests use this to
     /// obtain the oracle trajectory.

@@ -1,0 +1,54 @@
+//! Validates a telemetry JSONL file: every line must parse as a
+//! [`fedpower_analysis::telemetry::TelemetryRecord`] and the file must
+//! contain at least one record.
+//!
+//! ```text
+//! telemetry_lint <path.jsonl>
+//! ```
+//!
+//! Prints a per-type record tally on success; exits nonzero (with the
+//! offending line) on malformed or empty input. CI runs this against the
+//! stream produced by `fig3 --quick --telemetry jsonl:...`.
+
+use fedpower_analysis::telemetry::{parse_jsonl, TelemetryRecord};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry_lint <path.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("error: {path}: no telemetry records");
+        return ExitCode::FAILURE;
+    }
+    let (mut events, mut counters, mut spans) = (0usize, 0usize, 0usize);
+    let mut max_round = 0u64;
+    for r in &records {
+        match r {
+            TelemetryRecord::Event { .. } => events += 1,
+            TelemetryRecord::Counter { .. } => counters += 1,
+            TelemetryRecord::Span { .. } => spans += 1,
+        }
+        max_round = max_round.max(r.round());
+    }
+    println!(
+        "{path}: {} records ({events} events, {counters} counters, {spans} spans) over {max_round} rounds",
+        records.len(),
+    );
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,9 @@
 //! * [`replicate`] — run an experiment across a set of seeds and summarize,
 //! * [`ema`] / [`rolling_mean`] — smoothing for the noisy per-round reward
 //!   curves of Fig. 3,
-//! * [`pareto_front`] — the power/performance Pareto front across policies.
+//! * [`pareto_front`] — the power/performance Pareto front across policies,
+//! * [`telemetry`] — parser for the JSONL telemetry streams the federation
+//!   writes under `--telemetry jsonl:<path>`.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@ mod regression;
 mod significance;
 mod smooth;
 mod stats;
+pub mod telemetry;
 
 pub use pareto::pareto_front;
 pub use regression::RegressionMetrics;

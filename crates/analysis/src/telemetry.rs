@@ -1,0 +1,397 @@
+//! Parser for the JSONL telemetry stream emitted by
+//! `fedpower-telemetry`'s `JsonlRecorder`.
+//!
+//! Every line is one flat JSON object with a `"type"` discriminator
+//! (`event`, `counter`, or `span`); values are strings or numbers, never
+//! nested. The parser is hand-rolled over that subset — the workspace has
+//! no JSON dependency — but tolerates arbitrary whitespace, reordered
+//! fields, string escapes, and unknown extra fields, so externally
+//! post-processed files still load.
+
+use std::fmt;
+
+/// One parsed line of a telemetry JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryRecord {
+    /// A structured federation event (`"type":"event"`).
+    Event {
+        /// The event kind's snake_case name (e.g. `upload_admitted`).
+        kind: String,
+        /// Federated round the event belongs to (0 = join handshake).
+        round: u64,
+        /// The client involved, if the event is client-scoped.
+        client: Option<usize>,
+        /// Bytes moved, for transfer events (0 otherwise).
+        bytes: u64,
+    },
+    /// A named counter sample (`"type":"counter"`).
+    Counter {
+        /// Counter name (e.g. `env_steps`).
+        name: String,
+        /// Round the sample was taken in.
+        round: u64,
+        /// The client the counter belongs to, if any.
+        client: Option<usize>,
+        /// The sampled (cumulative) value.
+        value: u64,
+    },
+    /// A named wall-clock span (`"type":"span"`).
+    Span {
+        /// Span name (e.g. `train`).
+        name: String,
+        /// Round the span was measured in.
+        round: u64,
+        /// Elapsed wall-clock seconds.
+        seconds: f64,
+    },
+}
+
+impl TelemetryRecord {
+    /// The round this record belongs to.
+    pub fn round(&self) -> u64 {
+        match self {
+            TelemetryRecord::Event { round, .. }
+            | TelemetryRecord::Counter { round, .. }
+            | TelemetryRecord::Span { round, .. } => *round,
+        }
+    }
+}
+
+/// A parse failure, locating the offending line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryParseError {
+    /// 1-based line number of the malformed line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TelemetryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TelemetryParseError {}
+
+/// A scalar JSON value in a flat telemetry object.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    /// Numbers keep their raw text so integer fields parse losslessly.
+    Num(String),
+}
+
+/// Parses a whole JSONL document, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the first malformed line with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TelemetryRecord>, TelemetryParseError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(
+            parse_jsonl_line(line).map_err(|message| TelemetryParseError {
+                line: i + 1,
+                message,
+            })?,
+        );
+    }
+    Ok(records)
+}
+
+/// Parses one JSONL line into a [`TelemetryRecord`].
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON, a missing or
+/// unknown `"type"`, or missing required fields.
+pub fn parse_jsonl_line(line: &str) -> Result<TelemetryRecord, String> {
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let get_str = |key: &str| match get(key) {
+        Some(Scalar::Str(s)) => Ok(s.clone()),
+        Some(Scalar::Num(_)) => Err(format!("field {key:?} must be a string")),
+        None => Err(format!("missing field {key:?}")),
+    };
+    let get_u64 = |key: &str| match get(key) {
+        Some(Scalar::Num(raw)) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("field {key:?} is not an unsigned integer: {raw:?}")),
+        Some(Scalar::Str(_)) => Err(format!("field {key:?} must be a number")),
+        None => Err(format!("missing field {key:?}")),
+    };
+    let client = match get("client") {
+        Some(Scalar::Num(raw)) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| format!("field \"client\" is not an unsigned integer: {raw:?}"))?,
+        ),
+        Some(Scalar::Str(_)) => return Err("field \"client\" must be a number".into()),
+        None => None,
+    };
+    match get_str("type")?.as_str() {
+        "event" => Ok(TelemetryRecord::Event {
+            kind: get_str("kind")?,
+            round: get_u64("round")?,
+            client,
+            bytes: get_u64("bytes")?,
+        }),
+        "counter" => Ok(TelemetryRecord::Counter {
+            name: get_str("name")?,
+            round: get_u64("round")?,
+            client,
+            value: get_u64("value")?,
+        }),
+        "span" => {
+            let seconds = match get("seconds") {
+                Some(Scalar::Num(raw)) => raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("field \"seconds\" is not a number: {raw:?}"))?,
+                Some(Scalar::Str(_)) => return Err("field \"seconds\" must be a number".into()),
+                None => return Err("missing field \"seconds\"".into()),
+            };
+            Ok(TelemetryRecord::Span {
+                name: get_str("name")?,
+                round: get_u64("round")?,
+                seconds,
+            })
+        }
+        other => Err(format!("unknown record type {other:?}")),
+    }
+}
+
+/// Parses a single-line flat JSON object (string keys; string or number
+/// values) into its fields, in document order.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = Vec::new();
+    skip_ws(&mut chars);
+    if chars.next().map(|(_, c)| c) != Some('{') {
+        return Err("expected '{'".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek().map(|&(_, c)| c) == Some('}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(line, &mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next().map(|(_, c)| c) != Some(':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some(&(_, '"')) => Scalar::Str(parse_string(line, &mut chars)?),
+                Some(_) => Scalar::Num(parse_number(line, &mut chars)?),
+                None => return Err("unexpected end of line in value".into()),
+            };
+            fields.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next().map(|(_, c)| c) {
+                Some(',') => continue,
+                Some('}') => break,
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing content after object: {c:?}"));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+    while matches!(chars.peek(), Some(&(_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses a JSON string literal (supports the standard escapes).
+fn parse_string(
+    line: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    if chars.next().map(|(_, c)| c) != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    while let Some((_, c)) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next().map(|(_, c)| c) {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(format!("unterminated string in {line:?}"))
+}
+
+/// Consumes a JSON number's raw text (validation happens at field use).
+fn parse_number(
+    line: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    let start = chars.peek().map(|&(i, _)| i).ok_or("expected a number")?;
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+            end = i + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if end == start {
+        return Err("expected a number".into());
+    }
+    Ok(line[start..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_record_types() {
+        let doc = concat!(
+            "{\"type\":\"event\",\"kind\":\"upload_admitted\",\"round\":3,\"client\":1,\"bytes\":2792}\n",
+            "{\"type\":\"counter\",\"name\":\"env_steps\",\"round\":3,\"client\":0,\"value\":300}\n",
+            "{\"type\":\"span\",\"name\":\"train\",\"round\":3,\"seconds\":0.125}\n",
+        );
+        let records = parse_jsonl(doc).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                TelemetryRecord::Event {
+                    kind: "upload_admitted".into(),
+                    round: 3,
+                    client: Some(1),
+                    bytes: 2792,
+                },
+                TelemetryRecord::Counter {
+                    name: "env_steps".into(),
+                    round: 3,
+                    client: Some(0),
+                    value: 300,
+                },
+                TelemetryRecord::Span {
+                    name: "train".into(),
+                    round: 3,
+                    seconds: 0.125,
+                },
+            ]
+        );
+        assert!(records.iter().all(|r| r.round() == 3));
+    }
+
+    #[test]
+    fn omitted_client_parses_as_none() {
+        let rec = parse_jsonl_line(
+            "{\"type\":\"event\",\"kind\":\"round_start\",\"round\":1,\"bytes\":0}",
+        )
+        .unwrap();
+        assert_eq!(
+            rec,
+            TelemetryRecord::Event {
+                kind: "round_start".into(),
+                round: 1,
+                client: None,
+                bytes: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn tolerates_whitespace_reordered_and_extra_fields() {
+        let rec = parse_jsonl_line(
+            " { \"bytes\" : 7 , \"round\" : 2 , \"type\" : \"event\" , \
+             \"kind\" : \"download_delivered\" , \"note\" : \"extra\" } ",
+        )
+        .unwrap();
+        assert_eq!(
+            rec,
+            TelemetryRecord::Event {
+                kind: "download_delivered".into(),
+                round: 2,
+                client: None,
+                bytes: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let rec = parse_jsonl_line(
+            "{\"type\":\"counter\",\"name\":\"a\\\"b\\u0041\",\"round\":0,\"value\":1}",
+        )
+        .unwrap();
+        assert_eq!(
+            rec,
+            TelemetryRecord::Counter {
+                name: "a\"bA".into(),
+                round: 0,
+                client: None,
+                value: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let doc =
+            "{\"type\":\"event\",\"kind\":\"round_start\",\"round\":1,\"bytes\":0}\nnot json\n";
+        let err = parse_jsonl(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_jsonl_line("{}").is_err(), "missing type");
+        assert!(
+            parse_jsonl_line("{\"type\":\"frobnication\",\"round\":1}").is_err(),
+            "unknown type"
+        );
+        assert!(
+            parse_jsonl_line("{\"type\":\"event\",\"kind\":\"x\",\"round\":-1,\"bytes\":0}")
+                .is_err(),
+            "negative round"
+        );
+        assert!(
+            parse_jsonl_line("{\"type\":\"event\"} trailing").is_err(),
+            "trailing content"
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let doc = "\n\n{\"type\":\"span\",\"name\":\"t\",\"round\":1,\"seconds\":1e-3}\n\n";
+        let records = parse_jsonl(doc).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0],
+            TelemetryRecord::Span {
+                name: "t".into(),
+                round: 1,
+                seconds: 1e-3,
+            }
+        );
+    }
+}

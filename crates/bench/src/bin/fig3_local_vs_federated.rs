@@ -11,12 +11,18 @@
 //! local-only training.
 
 use fedpower_bench::BenchArgs;
-use fedpower_core::experiment::{run_federated, run_local_only};
+use fedpower_core::experiment::{run_federated_recorded, run_local_only};
 use fedpower_core::report::{markdown_table, series_to_csv};
 use fedpower_core::scenario::table2_scenarios;
+use fedpower_telemetry::Sink;
 
 fn main() {
-    let cfg = BenchArgs::from_env().config();
+    let args = BenchArgs::from_env();
+    let cfg = args.config();
+    let sink = Sink::open(&args.telemetry).unwrap_or_else(|e| {
+        eprintln!("error: cannot open telemetry sink: {e}");
+        std::process::exit(2);
+    });
     let mut summary_rows = Vec::new();
     let mut fed_mean_total = 0.0;
     let mut local_mean_total = 0.0;
@@ -25,7 +31,7 @@ fn main() {
     for scenario in table2_scenarios() {
         eprintln!("running {} (R={})...", scenario.name, cfg.fedavg.rounds);
         let local = run_local_only(&scenario, &cfg);
-        let fed = run_federated(&scenario, &cfg);
+        let fed = run_federated_recorded(&scenario, &cfg, sink.recorder());
 
         println!("# {}", scenario.name);
         println!(
@@ -92,4 +98,12 @@ fn main() {
     println!(
         "federated improvement over local-only: {improvement:.0} % (paper: 57 % average performance improvement)"
     );
+    match sink.finish() {
+        Ok(Some(rendered)) => eprintln!("{rendered}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: telemetry sink failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -16,7 +16,9 @@
 //! | `table_edp` | energy-delay product vs. the EDP literature |
 //!
 //! Each binary accepts `--rounds N`, `--seed S` and `--quick` (a scaled-down
-//! run for smoke testing) and prints CSV/markdown to stdout.
+//! run for smoke testing) and prints CSV/markdown to stdout. Binaries that
+//! run a federation additionally honor `--telemetry off|summary|jsonl:<path>`
+//! to stream the federation's structured event log.
 //!
 //! Criterion micro-benchmarks (`cargo bench -p fedpower-bench`) measure the
 //! per-step controller latency and FedAvg aggregation cost backing the
@@ -27,9 +29,10 @@
 
 use fedpower_core::ExperimentConfig;
 use fedpower_federated::{FaultScenario, TransportKind};
+use fedpower_telemetry::SinkSpec;
 
 /// Command-line options shared by all bench binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of federated rounds (`--rounds N`).
     pub rounds: Option<u64>,
@@ -41,6 +44,10 @@ pub struct BenchArgs {
     pub faults: Option<FaultScenario>,
     /// Transport backend for federated runs (`--transport channel|tcp`).
     pub transport: Option<TransportKind>,
+    /// Telemetry sink for federated runs
+    /// (`--telemetry off|summary|jsonl:<path>`); binaries that federate
+    /// open it via [`fedpower_telemetry::Sink::open`].
+    pub telemetry: SinkSpec,
 }
 
 impl BenchArgs {
@@ -58,6 +65,7 @@ impl BenchArgs {
             quick: false,
             faults: None,
             transport: None,
+            telemetry: SinkSpec::Off,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -86,6 +94,12 @@ impl BenchArgs {
                         format!("bad --transport: {v:?} (expected channel or tcp)")
                     })?);
                 }
+                "--telemetry" => {
+                    let v = iter.next().ok_or("--telemetry needs a value")?;
+                    out.telemetry = SinkSpec::parse(&v).ok_or_else(|| {
+                        format!("bad --telemetry: {v:?} (expected off, summary, or jsonl:<path>)")
+                    })?;
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
@@ -101,7 +115,7 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--rounds N] [--seed S] [--quick] [--faults SCENARIO] \
-                     [--transport channel|tcp]"
+                     [--transport channel|tcp] [--telemetry off|summary|jsonl:<path>]"
                 );
                 std::process::exit(2);
             }
@@ -174,6 +188,23 @@ mod tests {
         );
         assert!(parse(&["--faults", "tsunami"]).is_err());
         assert!(parse(&["--faults"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_flag_selects_a_sink() {
+        assert_eq!(parse(&[]).unwrap().telemetry, SinkSpec::Off);
+        assert_eq!(
+            parse(&["--telemetry", "summary"]).unwrap().telemetry,
+            SinkSpec::Summary
+        );
+        assert_eq!(
+            parse(&["--telemetry", "jsonl:/tmp/t.jsonl"])
+                .unwrap()
+                .telemetry,
+            SinkSpec::Jsonl(std::path::PathBuf::from("/tmp/t.jsonl"))
+        );
+        assert!(parse(&["--telemetry", "morse"]).is_err());
+        assert!(parse(&["--telemetry"]).is_err());
     }
 
     #[test]

@@ -4,12 +4,13 @@ use crate::{Command, Invocation};
 use fedpower_agent::RewardConfig;
 use fedpower_core::eval::{run_to_completion, EvalOptions};
 use fedpower_core::experiment::{
-    run_federated, run_federated_training_only, run_fig5, run_local_only, run_table3,
+    run_federated_recorded, run_federated_training_only, run_fig5, run_local_only, run_table3,
 };
 use fedpower_core::metrics::relative;
 use fedpower_core::report::{markdown_table, series_to_csv};
 use fedpower_core::scenario::{six_six_split, table2_scenarios};
 use fedpower_core::ExperimentConfig;
+use fedpower_telemetry::Sink;
 use fedpower_workloads::{catalog, AppId};
 use std::error::Error;
 use std::fs;
@@ -19,23 +20,30 @@ use std::path::Path;
 /// Executes the invocation, printing to stdout and (optionally) writing
 /// CSV artifacts under `--out DIR`.
 ///
+/// `--telemetry` instruments the federated training runs of `fig3` and
+/// `fig4`; a `summary` sink prints its table to stderr at the end, a
+/// `jsonl:<path>` sink streams every event to the file.
+///
 /// # Errors
 ///
-/// Returns I/O errors from artifact writing.
+/// Returns config-validation errors and I/O errors from artifact or
+/// telemetry writing.
 pub fn run(inv: &Invocation) -> Result<(), Box<dyn Error>> {
-    let cfg = inv.config();
+    let cfg = inv.config()?;
+    let sink = Sink::open(&inv.telemetry)?;
     match inv.command {
-        Command::Fig3 => fig3(&cfg, inv.out.as_deref()),
-        Command::Fig4 => fig4(&cfg, inv.out.as_deref()),
-        Command::Table3 => table3(&cfg),
-        Command::Fig5 => fig5(&cfg),
-        Command::Pcrit => pcrit(&cfg),
-        Command::Oracle => oracle(&cfg),
-        Command::List => {
-            list_catalog();
-            Ok(())
-        }
+        Command::Fig3 => fig3(&cfg, inv.out.as_deref(), &sink)?,
+        Command::Fig4 => fig4(&cfg, inv.out.as_deref(), &sink)?,
+        Command::Table3 => table3(&cfg)?,
+        Command::Fig5 => fig5(&cfg)?,
+        Command::Pcrit => pcrit(&cfg)?,
+        Command::Oracle => oracle(&cfg)?,
+        Command::List => list_catalog(),
     }
+    if let Some(rendered) = sink.finish()? {
+        eprintln!("{rendered}");
+    }
+    Ok(())
 }
 
 fn write_artifact(out: Option<&Path>, name: &str, content: &str) -> Result<(), Box<dyn Error>> {
@@ -49,11 +57,11 @@ fn write_artifact(out: Option<&Path>, name: &str, content: &str) -> Result<(), B
     Ok(())
 }
 
-fn fig3(cfg: &ExperimentConfig, out: Option<&Path>) -> Result<(), Box<dyn Error>> {
+fn fig3(cfg: &ExperimentConfig, out: Option<&Path>, sink: &Sink) -> Result<(), Box<dyn Error>> {
     for scenario in table2_scenarios() {
         eprintln!("running {}...", scenario.name);
         let local = run_local_only(&scenario, cfg);
-        let fed = run_federated(&scenario, cfg);
+        let fed = run_federated_recorded(&scenario, cfg, sink.recorder());
         let mut all = local.series;
         all.extend(fed.series);
         let csv = series_to_csv(&all);
@@ -63,10 +71,10 @@ fn fig3(cfg: &ExperimentConfig, out: Option<&Path>) -> Result<(), Box<dyn Error>
     Ok(())
 }
 
-fn fig4(cfg: &ExperimentConfig, out: Option<&Path>) -> Result<(), Box<dyn Error>> {
+fn fig4(cfg: &ExperimentConfig, out: Option<&Path>, sink: &Sink) -> Result<(), Box<dyn Error>> {
     let scenario = table2_scenarios().into_iter().nth(1).expect("scenario 2");
     let local = run_local_only(&scenario, cfg);
-    let fed = run_federated(&scenario, cfg);
+    let fed = run_federated_recorded(&scenario, cfg, sink.recorder());
     let mut csv = String::from("round,local_a_level,local_b_level,federated_level\n");
     for i in 0..fed.series[0].points.len() {
         csv.push_str(&format!(
@@ -151,9 +159,11 @@ fn pcrit(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
     let scenario = six_six_split();
     let mut rows = Vec::new();
     for p_crit in [0.4, 0.5, 0.6, 0.7, 0.8] {
-        let mut sweep_cfg = *cfg;
-        sweep_cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
-        sweep_cfg.controller.reward = RewardConfig::new(p_crit, 0.05);
+        let sweep_cfg = cfg
+            .to_builder()
+            .rounds(cfg.fedavg.rounds.min(40))
+            .reward(RewardConfig::new(p_crit, 0.05))
+            .build()?;
         eprintln!("training at P_crit = {p_crit} W...");
         let policy = run_federated_training_only(&scenario, &sweep_cfg);
         let opts = EvalOptions::from_config(&sweep_cfg);
@@ -195,8 +205,7 @@ fn pcrit(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
 fn oracle(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
     use fedpower_core::eval::evaluate_on_app;
     use fedpower_core::oracle::Oracle;
-    let mut sweep_cfg = *cfg;
-    sweep_cfg.fedavg.rounds = cfg.fedavg.rounds.min(40);
+    let sweep_cfg = cfg.to_builder().rounds(cfg.fedavg.rounds.min(40)).build()?;
     eprintln!("training ({} rounds)...", sweep_cfg.fedavg.rounds);
     let policy = run_federated_training_only(&six_six_split(), &sweep_cfg);
     let bound = Oracle::new(sweep_cfg.controller.reward);
@@ -272,6 +281,31 @@ mod tests {
     #[test]
     fn fig4_quick_runs_end_to_end() {
         run(&quick_inv("fig4", &[])).unwrap();
+    }
+
+    #[test]
+    fn fig4_with_jsonl_telemetry_writes_parseable_events() {
+        let path = std::env::temp_dir().join(format!(
+            "fedpower-cli-telemetry-{}.jsonl",
+            std::process::id()
+        ));
+        let spec = format!("jsonl:{}", path.to_str().expect("utf-8 temp path"));
+        run(&quick_inv("fig4", &["--telemetry", &spec])).unwrap();
+        let contents = fs::read_to_string(&path).expect("telemetry file exists");
+        assert!(!contents.is_empty(), "telemetry stream must not be empty");
+        assert!(
+            contents
+                .lines()
+                .all(|l| l.starts_with('{') && l.ends_with('}')),
+            "every line is a JSON object"
+        );
+        assert!(contents.contains("\"kind\":\"round_start\""));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_telemetry_runs_without_errors() {
+        run(&quick_inv("fig4", &["--telemetry", "summary"])).unwrap();
     }
 
     #[test]

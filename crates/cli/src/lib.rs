@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! fedpower <command> [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp]
+//!          [--faults none|lossy-network|stragglers|flaky-fleet|chaos]
+//!          [--telemetry off|summary|jsonl:<path>]
 //!
 //! commands:
 //!   fig3        local-only vs federated reward curves (3 scenarios)
@@ -21,8 +23,9 @@
 
 pub mod commands;
 
-use fedpower_core::ExperimentConfig;
-use fedpower_federated::TransportKind;
+use fedpower_core::{ConfigError, ExperimentConfig};
+use fedpower_federated::{FaultScenario, TransportKind};
+use fedpower_telemetry::SinkSpec;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -41,6 +44,11 @@ pub struct Invocation {
     pub out: Option<PathBuf>,
     /// `--transport channel|tcp` — federation transport backend.
     pub transport: Option<TransportKind>,
+    /// `--faults <scenario>` — fault model injected into federated runs.
+    pub faults: Option<FaultScenario>,
+    /// `--telemetry off|summary|jsonl:<path>` — where the federation's
+    /// structured telemetry stream goes (default: off).
+    pub telemetry: SinkSpec,
 }
 
 /// The available subcommands.
@@ -119,6 +127,8 @@ impl Invocation {
             quick: false,
             out: None,
             transport: None,
+            faults: None,
+            telemetry: SinkSpec::Off,
         };
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -157,35 +167,63 @@ impl Invocation {
                         ))
                     })?);
                 }
+                "--faults" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--faults needs a value".into()))?;
+                    inv.faults = Some(FaultScenario::parse(&v).ok_or_else(|| {
+                        ParseInvocationError(format!(
+                            "bad --faults: {v:?} (expected none, lossy-network, stragglers, \
+                             flaky-fleet, or chaos)"
+                        ))
+                    })?);
+                }
+                "--telemetry" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--telemetry needs a value".into()))?;
+                    inv.telemetry = SinkSpec::parse(&v).ok_or_else(|| {
+                        ParseInvocationError(format!(
+                            "bad --telemetry: {v:?} (expected off, summary, or jsonl:<path>)"
+                        ))
+                    })?;
+                }
                 other => return Err(ParseInvocationError(format!("unknown argument: {other}"))),
             }
         }
         Ok(inv)
     }
 
-    /// The experiment configuration this invocation selects.
-    pub fn config(&self) -> ExperimentConfig {
-        let mut cfg = if self.quick {
-            ExperimentConfig::smoke()
-        } else {
-            ExperimentConfig::paper()
-        };
+    /// The experiment configuration this invocation selects: a thin
+    /// mapping of the parsed flags onto [`ExperimentConfig::builder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`ConfigError`] when the flag combination is
+    /// invalid (e.g. `--rounds 0`).
+    pub fn config(&self) -> Result<ExperimentConfig, ConfigError> {
+        let mut b = ExperimentConfig::builder().quick(self.quick);
         if let Some(rounds) = self.rounds {
-            cfg.fedavg.rounds = rounds;
+            b = b.rounds(rounds);
         }
         if let Some(seed) = self.seed {
-            cfg.seed = seed;
+            b = b.seed(seed);
         }
         if let Some(transport) = self.transport {
-            cfg.transport = transport;
+            b = b.transport(transport);
         }
-        cfg
+        if let Some(faults) = self.faults {
+            b = b.faults(faults);
+        }
+        b.build()
     }
 }
 
 /// The usage text shown on parse errors.
 pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|list> \
-[--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp]";
+[--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp] \
+[--faults none|lossy-network|stragglers|flaky-fleet|chaos] \
+[--telemetry off|summary|jsonl:<path>]";
 
 #[cfg(test)]
 mod tests {
@@ -202,26 +240,64 @@ mod tests {
         assert_eq!(inv.rounds, Some(12));
         assert_eq!(inv.seed, Some(3));
         assert_eq!(inv.out, Some(PathBuf::from("/tmp/x")));
-        assert_eq!(inv.config().fedavg.rounds, 12);
+        assert_eq!(inv.config().unwrap().fedavg.rounds, 12);
     }
 
     #[test]
     fn quick_selects_smoke_config() {
         let inv = parse(&["table3", "--quick"]).unwrap();
-        assert!(inv.config().eval_steps < ExperimentConfig::paper().eval_steps);
+        assert!(inv.config().unwrap().eval_steps < ExperimentConfig::paper().eval_steps);
     }
 
     #[test]
     fn transport_flag_selects_a_backend() {
         let inv = parse(&["fig3", "--transport", "tcp"]).unwrap();
         assert_eq!(inv.transport, Some(TransportKind::Tcp));
-        assert_eq!(inv.config().transport, TransportKind::Tcp);
+        assert_eq!(inv.config().unwrap().transport, TransportKind::Tcp);
         assert_eq!(
-            parse(&["fig3"]).unwrap().config().transport,
+            parse(&["fig3"]).unwrap().config().unwrap().transport,
             TransportKind::Channel
         );
         assert!(parse(&["fig3", "--transport", "smoke-signals"]).is_err());
         assert!(parse(&["fig3", "--transport"]).is_err());
+    }
+
+    #[test]
+    fn faults_flag_selects_a_scenario() {
+        let inv = parse(&["fig3", "--faults", "chaos"]).unwrap();
+        assert_eq!(inv.faults, Some(FaultScenario::Chaos));
+        assert_eq!(inv.config().unwrap().fault_scenario, FaultScenario::Chaos);
+        assert_eq!(
+            parse(&["fig3"]).unwrap().config().unwrap().fault_scenario,
+            FaultScenario::None
+        );
+        assert!(parse(&["fig3", "--faults", "gremlins"]).is_err());
+        assert!(parse(&["fig3", "--faults"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_flag_selects_a_sink() {
+        assert_eq!(parse(&["fig3"]).unwrap().telemetry, SinkSpec::Off);
+        assert_eq!(
+            parse(&["fig3", "--telemetry", "summary"])
+                .unwrap()
+                .telemetry,
+            SinkSpec::Summary
+        );
+        assert_eq!(
+            parse(&["fig3", "--telemetry", "jsonl:/tmp/t.jsonl"])
+                .unwrap()
+                .telemetry,
+            SinkSpec::Jsonl(PathBuf::from("/tmp/t.jsonl"))
+        );
+        assert!(parse(&["fig3", "--telemetry", "carrier-pigeon"]).is_err());
+        assert!(parse(&["fig3", "--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn invalid_flag_combinations_fail_config_validation() {
+        let inv = parse(&["fig3", "--rounds", "0"]).unwrap();
+        assert_eq!(inv.config(), Err(fedpower_core::ConfigError::ZeroRounds));
     }
 
     #[test]

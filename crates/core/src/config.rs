@@ -1,9 +1,11 @@
-//! The experiment configuration (Table I of the paper).
+//! The experiment configuration (Table I of the paper) and its validating
+//! builder.
 
-use fedpower_agent::ControllerConfig;
+use fedpower_agent::{ControllerConfig, RewardConfig};
 use fedpower_baselines::ProfitConfig;
 use fedpower_federated::{FaultScenario, FedAvgConfig, TransportKind};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Which applications each post-round evaluation covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -59,6 +61,21 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Starts a validating [`ExperimentConfigBuilder`] from the paper's
+    /// configuration. Select the profile first ([`ExperimentConfigBuilder::quick`]),
+    /// then apply overrides; [`ExperimentConfigBuilder::build`] validates the result.
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig::paper(),
+        }
+    }
+
+    /// Re-enters the builder from an existing configuration, for deriving
+    /// validated variants (sweeps, capped-round training runs).
+    pub fn to_builder(self) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder { cfg: self }
+    }
+
     /// The paper's configuration.
     pub fn paper() -> Self {
         ExperimentConfig {
@@ -95,6 +112,177 @@ impl ExperimentConfig {
 impl Default for ExperimentConfig {
     fn default() -> Self {
         ExperimentConfig::paper()
+    }
+}
+
+/// Why [`ExperimentConfigBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `fedavg.rounds` must be at least 1.
+    ZeroRounds,
+    /// `fedavg.steps_per_round` must be at least 1.
+    ZeroStepsPerRound,
+    /// `fedavg.participation` must lie in `(0, 1]`.
+    InvalidParticipation(f64),
+    /// `fedavg.staleness_decay` must lie in `(0, 1]`.
+    InvalidStalenessDecay(f32),
+    /// `control_interval_s` must be positive and finite.
+    InvalidControlInterval(f64),
+    /// `eval_steps` must be at least 1.
+    ZeroEvalSteps,
+    /// `eval_max_steps` must be at least `eval_steps`.
+    EvalCapBelowEpisode {
+        /// Control intervals per evaluation episode.
+        eval_steps: u64,
+        /// The (too small) safety cap on control intervals.
+        eval_max_steps: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroRounds => write!(f, "rounds must be at least 1"),
+            ConfigError::ZeroStepsPerRound => write!(f, "steps per round must be at least 1"),
+            ConfigError::InvalidParticipation(p) => {
+                write!(f, "participation {p} outside (0, 1]")
+            }
+            ConfigError::InvalidStalenessDecay(d) => {
+                write!(f, "staleness decay {d} outside (0, 1]")
+            }
+            ConfigError::InvalidControlInterval(s) => {
+                write!(f, "control interval {s} s must be positive and finite")
+            }
+            ConfigError::ZeroEvalSteps => write!(f, "eval steps must be at least 1"),
+            ConfigError::EvalCapBelowEpisode {
+                eval_steps,
+                eval_max_steps,
+            } => write!(
+                f,
+                "eval step cap {eval_max_steps} below episode length {eval_steps}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ExperimentConfig`], so callers (notably the
+/// CLI and benches) assemble runs declaratively instead of mutating config
+/// fields in place. Starts from [`ExperimentConfig::paper`]; call
+/// [`ExperimentConfigBuilder::quick`] *before* other setters to switch the
+/// base profile to [`ExperimentConfig::smoke`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Switches the base profile to [`ExperimentConfig::smoke`] when
+    /// `quick` is set — resets *all* fields, so apply it first.
+    pub fn quick(mut self, quick: bool) -> Self {
+        if quick {
+            self.cfg = ExperimentConfig::smoke();
+        }
+        self
+    }
+
+    /// Sets the number of federated rounds `R`.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.cfg.fedavg.rounds = rounds;
+        self
+    }
+
+    /// Sets the local environment steps per round `T`.
+    pub fn steps_per_round(mut self, steps: u64) -> Self {
+        self.cfg.fedavg.steps_per_round = steps;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the transport backend carrying the federation's frames.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.cfg.transport = kind;
+        self
+    }
+
+    /// Sets the injected fault scenario.
+    pub fn faults(mut self, scenario: FaultScenario) -> Self {
+        self.cfg.fault_scenario = scenario;
+        self
+    }
+
+    /// Sets the reward shape (P_crit sweeps).
+    pub fn reward(mut self, reward: RewardConfig) -> Self {
+        self.cfg.controller.reward = reward;
+        self
+    }
+
+    /// Sets the per-round participation fraction.
+    pub fn participation(mut self, participation: f64) -> Self {
+        self.cfg.fedavg.participation = participation;
+        self
+    }
+
+    /// Sets the control intervals per evaluation episode.
+    pub fn eval_steps(mut self, steps: u64) -> Self {
+        self.cfg.eval_steps = steps;
+        self
+    }
+
+    /// Sets the safety cap on control intervals for to-completion runs.
+    pub fn eval_max_steps(mut self, steps: u64) -> Self {
+        self.cfg.eval_max_steps = steps;
+        self
+    }
+
+    /// Sets which applications each post-round evaluation covers.
+    pub fn eval_protocol(mut self, protocol: EvalProtocol) -> Self {
+        self.cfg.eval_protocol = protocol;
+        self
+    }
+
+    /// Validates and returns the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] violated, checked in declaration
+    /// order of the enum.
+    pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.fedavg.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        if cfg.fedavg.steps_per_round == 0 {
+            return Err(ConfigError::ZeroStepsPerRound);
+        }
+        let p = cfg.fedavg.participation;
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(ConfigError::InvalidParticipation(p));
+        }
+        let d = cfg.fedavg.staleness_decay;
+        if !(d > 0.0 && d <= 1.0) {
+            return Err(ConfigError::InvalidStalenessDecay(d));
+        }
+        let dt = cfg.control_interval_s;
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(ConfigError::InvalidControlInterval(dt));
+        }
+        if cfg.eval_steps == 0 {
+            return Err(ConfigError::ZeroEvalSteps);
+        }
+        if cfg.eval_max_steps < cfg.eval_steps {
+            return Err(ConfigError::EvalCapBelowEpisode {
+                eval_steps: cfg.eval_steps,
+                eval_max_steps: cfg.eval_max_steps,
+            });
+        }
+        Ok(cfg)
     }
 }
 
@@ -140,6 +328,73 @@ mod tests {
     fn paper_setting_uses_in_process_channels() {
         assert_eq!(ExperimentConfig::paper().transport, TransportKind::Channel);
         assert_eq!(ExperimentConfig::smoke().transport, TransportKind::Channel);
+    }
+
+    #[test]
+    fn builder_defaults_to_the_paper_config() {
+        let cfg = ExperimentConfig::builder().build().unwrap();
+        assert_eq!(cfg, ExperimentConfig::paper());
+    }
+
+    #[test]
+    fn builder_quick_switches_to_the_smoke_profile() {
+        let cfg = ExperimentConfig::builder().quick(true).build().unwrap();
+        assert_eq!(cfg, ExperimentConfig::smoke());
+        let cfg = ExperimentConfig::builder().quick(false).build().unwrap();
+        assert_eq!(cfg, ExperimentConfig::paper());
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let cfg = ExperimentConfig::builder()
+            .quick(true)
+            .rounds(7)
+            .seed(9)
+            .transport(TransportKind::Tcp)
+            .faults(FaultScenario::Chaos)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fedavg.rounds, 7);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.transport, TransportKind::Tcp);
+        assert_eq!(cfg.fault_scenario, FaultScenario::Chaos);
+        assert_eq!(cfg.eval_steps, ExperimentConfig::smoke().eval_steps);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_the_right_error() {
+        assert_eq!(
+            ExperimentConfig::builder().rounds(0).build(),
+            Err(ConfigError::ZeroRounds)
+        );
+        assert_eq!(
+            ExperimentConfig::builder().steps_per_round(0).build(),
+            Err(ConfigError::ZeroStepsPerRound)
+        );
+        assert_eq!(
+            ExperimentConfig::builder().participation(0.0).build(),
+            Err(ConfigError::InvalidParticipation(0.0))
+        );
+        assert_eq!(
+            ExperimentConfig::builder().participation(1.5).build(),
+            Err(ConfigError::InvalidParticipation(1.5))
+        );
+        assert_eq!(
+            ExperimentConfig::builder().eval_steps(0).build(),
+            Err(ConfigError::ZeroEvalSteps)
+        );
+        assert_eq!(
+            ExperimentConfig::builder()
+                .eval_steps(50)
+                .eval_max_steps(10)
+                .build(),
+            Err(ConfigError::EvalCapBelowEpisode {
+                eval_steps: 50,
+                eval_max_steps: 10
+            })
+        );
+        let msg = ConfigError::ZeroRounds.to_string();
+        assert!(msg.contains("rounds"), "{msg}");
     }
 
     #[test]

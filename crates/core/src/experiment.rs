@@ -7,11 +7,10 @@ use crate::policy::DvfsPolicy;
 use crate::scenario::{six_six_split, table2_scenarios, Scenario};
 use fedpower_agent::{AgentWorkspace, DeviceEnvConfig, PowerController};
 use fedpower_baselines::CollabFederation;
-use fedpower_federated::{
-    AgentClient, FaultPlan, FaultScenario, FaultSummary, FederatedClient, Federation, RoundReport,
-    TransportStats,
-};
+use fedpower_federated::report::{FaultSummary, RoundReport, TransportStats};
+use fedpower_federated::{AgentClient, FaultPlan, FaultScenario, FederatedClient, Federation};
 use fedpower_sim::rng::{derive_seed, streams};
+use fedpower_telemetry::{Counter, NullRecorder, Recorder};
 use fedpower_workloads::AppId;
 use serde::{Deserialize, Serialize};
 
@@ -127,6 +126,10 @@ fn federation_loop(
     cfg: &ExperimentConfig,
     series: &mut [EvalSeries],
 ) -> Vec<RoundReport> {
+    let eval_apps_per_round = match cfg.eval_protocol {
+        EvalProtocol::RoundRobin => 1,
+        EvalProtocol::AllApps => AppId::ALL.len() as u64,
+    };
     let mut reports = Vec::with_capacity(cfg.fedavg.rounds as usize);
     for round in 1..=cfg.fedavg.rounds {
         reports.push(federation.run_round());
@@ -137,6 +140,12 @@ fn federation_loop(
             device_series
                 .points
                 .push(eval_point(&mut snapshot, round, d, cfg));
+            federation.recorder_mut().counter(Counter::new(
+                "eval_apps",
+                round,
+                Some(d),
+                eval_apps_per_round,
+            ));
         }
     }
     reports
@@ -144,24 +153,33 @@ fn federation_loop(
 
 /// Builds the scenario's federation over the configured transport,
 /// injecting a seed-deterministic [`FaultPlan`] into the links when the
-/// fault scenario asks for one.
-fn build_federation(clients: Vec<AgentClient>, cfg: &ExperimentConfig) -> Federation<AgentClient> {
+/// fault scenario asks for one, and handing `recorder` the federation's
+/// telemetry stream.
+fn build_federation(
+    clients: Vec<AgentClient>,
+    cfg: &ExperimentConfig,
+    recorder: Box<dyn Recorder>,
+) -> Federation<AgentClient> {
     let rounds = cfg.fedavg.rounds;
     let num_devices = clients.len();
     let seed = derive_seed(cfg.seed, 30);
-    if cfg.fault_scenario == FaultScenario::None {
-        Federation::with_transport(clients, cfg.fedavg, seed, cfg.transport)
-            .expect("transport links")
-    } else {
-        let plan = FaultPlan::generate(
+    let plan = (cfg.fault_scenario != FaultScenario::None).then(|| {
+        FaultPlan::generate(
             &cfg.fault_scenario.config(),
             num_devices,
             rounds,
             derive_seed(cfg.seed, streams::FAULTS),
-        );
-        Federation::with_transport_and_plan(clients, cfg.fedavg, seed, cfg.transport, &plan)
-            .expect("transport links")
-    }
+        )
+    });
+    Federation::with_options(
+        clients,
+        cfg.fedavg,
+        seed,
+        cfg.transport,
+        plan.as_ref(),
+        recorder,
+    )
+    .expect("transport links")
 }
 
 /// Trains one shared policy across the scenario's devices with federated
@@ -173,6 +191,19 @@ fn build_federation(clients: Vec<AgentClient>, cfg: &ExperimentConfig) -> Federa
 /// bytes in flight; with `FaultScenario::None` the plain links are used
 /// unchanged, so fault-free runs are bit-identical across backends.
 pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOutcome {
+    run_federated_recorded(scenario, cfg, Box::new(NullRecorder))
+}
+
+/// [`run_federated`] with a telemetry [`Recorder`] receiving the
+/// federation's structured event stream (round lifecycle, per-client
+/// train/upload/download dispositions, byte counts, simulator counters).
+/// [`run_federated`] is this function with the zero-cost
+/// [`NullRecorder`].
+pub fn run_federated_recorded(
+    scenario: &Scenario,
+    cfg: &ExperimentConfig,
+    recorder: Box<dyn Recorder>,
+) -> FederatedOutcome {
     let clients: Vec<AgentClient> = scenario
         .devices()
         .into_iter()
@@ -191,7 +222,7 @@ pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOu
         .map(|d| EvalSeries::new(format!("federated-{}", (b'A' + d as u8) as char)))
         .collect();
 
-    let mut federation = build_federation(clients, cfg);
+    let mut federation = build_federation(clients, cfg, recorder);
     let reports = federation_loop(&mut federation, cfg, &mut series);
     let agents = federation
         .clients()
@@ -199,6 +230,7 @@ pub fn run_federated(scenario: &Scenario, cfg: &ExperimentConfig) -> FederatedOu
         .map(|c| c.agent().clone())
         .collect();
     let transport = *federation.transport();
+    federation.recorder_mut().flush();
 
     let fault_summary = FaultSummary::from_reports(&reports);
     FederatedOutcome {

@@ -6,6 +6,7 @@ use fedpower_agent::{
 use fedpower_nn::NnError;
 use fedpower_sim::rng::derive_seed;
 use fedpower_sim::FreqLevel;
+use fedpower_telemetry::{Counter, Recorder};
 
 /// A locally optimized model uploaded to the server at the end of a round.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +35,7 @@ pub struct StaleUpdate {
 /// The fallible/fault-aware methods (`begin_round`, `is_online`,
 /// `try_upload`, `try_download`, `take_stale`) have pass-through default
 /// implementations, so reliable clients only implement the core methods;
-/// [`crate::FaultyClient`] overrides them to inject faults.
+/// fault injection lives at the transport layer ([`crate::FaultyTransport`]).
 ///
 /// Training goes through [`FederatedClient::train_round_with`], which
 /// borrows a per-worker [`FederatedClient::Workspace`] so the steady-state
@@ -104,6 +105,11 @@ pub trait FederatedClient: Send {
     fn take_stale(&mut self) -> Option<StaleUpdate> {
         None
     }
+
+    /// Emits the client's round-granularity telemetry counters after a
+    /// completed local training round (cumulative env steps, simulator
+    /// fast-path hits/misses, …). The default emits nothing.
+    fn record_telemetry(&self, _round: u64, _recorder: &mut dyn Recorder) {}
 }
 
 /// The standard client: a [`PowerController`] attached to a simulated
@@ -224,6 +230,18 @@ impl FederatedClient for AgentClient {
 
     fn transfer_bytes(&self) -> usize {
         self.agent.transfer_bytes()
+    }
+
+    fn record_telemetry(&self, round: u64, recorder: &mut dyn Recorder) {
+        recorder.counter(Counter::new(
+            "env_steps",
+            round,
+            Some(self.id),
+            self.env.steps(),
+        ));
+        let (hits, misses) = self.env.fastpath_stats();
+        recorder.counter(Counter::new("optable_hits", round, Some(self.id), hits));
+        recorder.counter(Counter::new("optable_misses", round, Some(self.id), misses));
     }
 }
 

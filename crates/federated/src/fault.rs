@@ -1,5 +1,5 @@
 //! Fault injection for the federation: seed-deterministic fault plans and
-//! a decorator that makes any [`FederatedClient`] unreliable on schedule.
+//! a decorator that makes any [`Transport`] unreliable on schedule.
 //!
 //! Real edge fleets are not the paper's idealized synchronous ring: uploads
 //! are lost, devices straggle behind the round cadence, sensors glitch
@@ -19,15 +19,11 @@
 //! * [`FaultyTransport`] wraps any [`Transport`] and realizes the plan on
 //!   *bytes in flight* — drops, stragglers, and corruption happen where
 //!   they physically occur, between the encoded frame leaving one end and
-//!   arriving at the other. This is the federation's primary fault path.
-//! * [`FaultyClient`] wraps a reliable client and overrides the
-//!   fault-aware trait methods ([`FederatedClient::try_upload`] & co.) to
-//!   realize the plan at the client boundary instead. It remains as a thin
-//!   shim over the same per-client fault state machine so client-level
-//!   fault injection (and the test suite built on it) keeps working; the
-//!   inner client never knows either way.
+//!   arriving at the other. This is the federation's only fault path: the
+//!   former client-boundary decorator (`FaultyClient`) duplicated the same
+//!   state machine one layer too high and has been retired — wrap the
+//!   client's link instead (see `CHANGELOG.md`).
 
-use crate::client::{FederatedClient, ModelUpdate, StaleUpdate};
 use crate::error::FedError;
 use crate::transport::Transport;
 use crate::wire;
@@ -397,8 +393,7 @@ impl FaultPlan {
 }
 
 /// One client's fault schedule unfolding over rounds: the state machine
-/// shared by [`FaultyTransport`] (byte-level actuation) and
-/// [`FaultyClient`] (client-level actuation).
+/// driving [`FaultyTransport`]'s byte-level actuation.
 ///
 /// Tracks the current round, any crash outage in progress, and the
 /// remaining transmissions an [`Fault::UploadDrop`] still has to lose.
@@ -593,192 +588,10 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 }
 
-/// Wraps any [`FederatedClient`] and makes it fail on a [`FaultPlan`]'s
-/// schedule.
-///
-/// The wrapper realizes faults through the trait's fault-aware methods:
-/// the orchestrator sees dropped uploads, straggler errors, corrupt
-/// parameters, and offline rounds, while the inner client's training
-/// dynamics stay untouched. Since the transport refactor,
-/// [`FaultyTransport`] is the primary fault path (bytes in flight); this
-/// decorator remains a thin shim over the same per-client state machine
-/// for injecting faults at the client boundary.
-#[derive(Debug)]
-pub struct FaultyClient<C> {
-    inner: C,
-    state: FaultState,
-    stash: Option<(StaleUpdate, u64)>,
-}
-
-impl<C: FederatedClient> FaultyClient<C> {
-    /// Wraps `inner`, extracting its fault schedule from `plan` by client
-    /// id.
-    pub fn new(inner: C, plan: &FaultPlan) -> Self {
-        let state = FaultState::from_plan(inner.id(), plan);
-        FaultyClient {
-            inner,
-            state,
-            stash: None,
-        }
-    }
-
-    /// Read access to the wrapped client.
-    pub fn inner(&self) -> &C {
-        &self.inner
-    }
-
-    /// Mutable access to the wrapped client.
-    pub fn inner_mut(&mut self) -> &mut C {
-        &mut self.inner
-    }
-
-    /// Consumes the wrapper, returning the inner client.
-    pub fn into_inner(self) -> C {
-        self.inner
-    }
-}
-
-impl<C: FederatedClient> FederatedClient for FaultyClient<C> {
-    type Workspace = C::Workspace;
-
-    fn id(&self) -> usize {
-        self.inner.id()
-    }
-
-    fn train_round_with(&mut self, steps: u64, ws: &mut C::Workspace) {
-        if self.is_online() {
-            self.inner.train_round_with(steps, ws);
-        }
-    }
-
-    fn upload(&mut self) -> ModelUpdate {
-        self.inner.upload()
-    }
-
-    fn download(&mut self, global: &[f32]) {
-        self.inner.download(global);
-    }
-
-    fn transfer_bytes(&self) -> usize {
-        self.inner.transfer_bytes()
-    }
-
-    fn begin_round(&mut self, round: u64) {
-        self.state.begin_round(round);
-        self.inner.begin_round(round);
-    }
-
-    fn is_online(&self) -> bool {
-        self.state.is_online()
-    }
-
-    fn try_upload(&mut self) -> Result<ModelUpdate, FedError> {
-        let client_id = self.inner.id();
-        if !self.is_online() {
-            return Err(FedError::ClientOffline { client_id });
-        }
-        match self.state.fault_now() {
-            Some(Fault::Straggle { delay_rounds }) => {
-                let ready_round = self.state.round + delay_rounds;
-                if self.stash.is_none() {
-                    let update = self.inner.upload();
-                    self.stash = Some((
-                        StaleUpdate {
-                            update,
-                            origin_round: self.state.round,
-                        },
-                        ready_round,
-                    ));
-                }
-                Err(FedError::Straggling {
-                    client_id,
-                    ready_round,
-                })
-            }
-            Some(Fault::UploadDrop { .. }) if self.state.consume_drop_attempt() => {
-                Err(FedError::UploadDropped { client_id })
-            }
-            Some(Fault::Corrupt(kind)) => {
-                let mut update = self.inner.upload();
-                kind.apply(&mut update.params);
-                Ok(update)
-            }
-            _ => Ok(self.inner.upload()),
-        }
-    }
-
-    fn try_download(&mut self, global: &[f32]) -> Result<(), FedError> {
-        let client_id = self.inner.id();
-        if !self.is_online() {
-            return Err(FedError::ClientOffline { client_id });
-        }
-        if matches!(self.state.fault_now(), Some(Fault::DownloadDrop)) {
-            return Err(FedError::DownloadDropped { client_id });
-        }
-        self.inner.try_download(global)
-    }
-
-    fn take_stale(&mut self) -> Option<StaleUpdate> {
-        if !self.is_online() {
-            return None;
-        }
-        match &self.stash {
-            Some((_, ready_round)) if self.state.round >= *ready_round => {
-                self.stash.take().map(|(stale, _)| stale)
-            }
-            _ => None,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Minimal deterministic client for decorator tests.
-    #[derive(Debug)]
-    struct Probe {
-        id: usize,
-        params: Vec<f32>,
-        trained: u64,
-    }
-
-    impl Probe {
-        fn new(id: usize) -> Self {
-            Probe {
-                id,
-                params: vec![1.0; 3],
-                trained: 0,
-            }
-        }
-    }
-
-    impl FederatedClient for Probe {
-        type Workspace = ();
-
-        fn id(&self) -> usize {
-            self.id
-        }
-        fn train_round_with(&mut self, steps: u64, _ws: &mut ()) {
-            self.trained += steps;
-            for p in &mut self.params {
-                *p += 1.0;
-            }
-        }
-        fn upload(&mut self) -> ModelUpdate {
-            ModelUpdate {
-                client_id: self.id,
-                params: self.params.clone(),
-                num_samples: self.trained,
-            }
-        }
-        fn download(&mut self, global: &[f32]) {
-            self.params = global.to_vec();
-        }
-        fn transfer_bytes(&self) -> usize {
-            12
-        }
-    }
+    use crate::client::ModelUpdate;
 
     #[test]
     fn plans_are_seed_deterministic() {
@@ -849,102 +662,10 @@ mod tests {
     }
 
     #[test]
-    fn upload_drop_fails_exactly_attempts_times() {
-        let mut plan = FaultPlan::none();
-        plan.insert(0, 1, Fault::UploadDrop { attempts: 2 });
-        let mut client = FaultyClient::new(Probe::new(0), &plan);
-        client.begin_round(1);
-        assert!(matches!(
-            client.try_upload(),
-            Err(FedError::UploadDropped { client_id: 0 })
-        ));
-        assert!(client.try_upload().is_err());
-        assert!(client.try_upload().is_ok(), "third attempt succeeds");
-        client.begin_round(2);
-        assert!(client.try_upload().is_ok(), "next round is clean");
-    }
-
-    #[test]
-    fn straggler_stashes_then_surfaces_its_update() {
-        let mut plan = FaultPlan::none();
-        plan.insert(0, 1, Fault::Straggle { delay_rounds: 2 });
-        let mut client = FaultyClient::new(Probe::new(0), &plan);
-        client.begin_round(1);
-        client.train_round(10);
-        let err = client.try_upload().unwrap_err();
-        assert_eq!(
-            err,
-            FedError::Straggling {
-                client_id: 0,
-                ready_round: 3
-            }
-        );
-        client.begin_round(2);
-        assert_eq!(client.take_stale(), None, "not ready yet");
-        client.begin_round(3);
-        let stale = client.take_stale().expect("delay elapsed");
-        assert_eq!(stale.origin_round, 1);
-        assert_eq!(stale.update.params, vec![2.0; 3], "params as of round 1");
-        assert_eq!(client.take_stale(), None, "stash drains once");
-    }
-
-    #[test]
-    fn corruption_mangles_the_upload_not_the_client() {
-        let mut plan = FaultPlan::none();
-        plan.insert(0, 1, Fault::Corrupt(CorruptionKind::NaN));
-        let mut client = FaultyClient::new(Probe::new(0), &plan);
-        client.begin_round(1);
-        let update = client.try_upload().unwrap();
-        assert!(update.params[0].is_nan());
-        assert!(
-            client.inner().params.iter().all(|p| p.is_finite()),
-            "inner client params stay clean"
-        );
-    }
-
-    #[test]
     fn amplify_corruption_scales_parameters() {
         let mut params = vec![1.0, -2.0];
         CorruptionKind::Amplify(-10.0).apply(&mut params);
         assert_eq!(params, vec![-10.0, 20.0]);
-    }
-
-    #[test]
-    fn crashed_client_is_offline_then_rejoins() {
-        let mut plan = FaultPlan::none();
-        plan.insert(0, 2, Fault::Crash { down_rounds: 2 });
-        let mut client = FaultyClient::new(Probe::new(0), &plan);
-        client.begin_round(1);
-        assert!(client.is_online());
-        client.begin_round(2);
-        assert!(!client.is_online());
-        client.train_round(10);
-        assert_eq!(client.inner().trained, 0, "offline client does not train");
-        assert!(matches!(
-            client.try_upload(),
-            Err(FedError::ClientOffline { .. })
-        ));
-        assert!(client.try_download(&[5.0; 3]).is_err());
-        client.begin_round(3);
-        assert!(!client.is_online(), "outage lasts two rounds");
-        client.begin_round(4);
-        assert!(client.is_online(), "rejoined");
-        client.try_download(&[5.0; 3]).unwrap();
-        assert_eq!(client.inner().params, vec![5.0; 3]);
-    }
-
-    #[test]
-    fn download_drop_leaves_the_client_stale() {
-        let mut plan = FaultPlan::none();
-        plan.insert(0, 1, Fault::DownloadDrop);
-        let mut client = FaultyClient::new(Probe::new(0), &plan);
-        client.begin_round(1);
-        let before = client.inner().params.clone();
-        assert!(matches!(
-            client.try_download(&[9.0; 3]),
-            Err(FedError::DownloadDropped { client_id: 0 })
-        ));
-        assert_eq!(client.inner().params, before);
     }
 
     #[test]
@@ -964,9 +685,9 @@ mod tests {
     fn plan_only_applies_to_matching_client_id() {
         let mut plan = FaultPlan::none();
         plan.insert(1, 1, Fault::DownloadDrop);
-        let mut unaffected = FaultyClient::new(Probe::new(0), &plan);
+        let mut unaffected = faulty_link(0, &plan);
         unaffected.begin_round(1);
-        assert!(unaffected.try_download(&[2.0; 3]).is_ok());
+        assert!(unaffected.broadcast(&[2, 3, 4]).is_ok());
     }
 
     #[test]

@@ -2,10 +2,12 @@ use crate::client::FederatedClient;
 use crate::error::FedError;
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::pool::WorkerPool;
+use crate::report::{RoundReport, TransportStats};
 use crate::server::{AggregationStrategy, FedAvgServer};
-use crate::transport::{Transport, TransportKind, TransportStats};
+use crate::transport::{Transport, TransportKind};
 use crate::wire;
 use fedpower_sim::rng::{derive_rng, streams};
+use fedpower_telemetry::{Counter, Event, EventKind, NullRecorder, Recorder, Span};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -72,129 +74,6 @@ impl Default for FedAvgConfig {
     }
 }
 
-/// Wall-clock split of one federated round across its phases, so sweeps
-/// can print where the time goes.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-pub struct PhaseTimings {
-    /// Seconds spent in local training (all participants).
-    pub train_s: f64,
-    /// Seconds spent encoding, transmitting and decoding uploads and
-    /// broadcasts (including client-side install).
-    pub transport_s: f64,
-    /// Seconds spent on staleness handling, admission bookkeeping and
-    /// server-side aggregation.
-    pub aggregate_s: f64,
-}
-
-impl PhaseTimings {
-    /// Total measured wall-clock seconds of the round.
-    pub fn total_s(&self) -> f64 {
-        self.train_s + self.transport_s + self.aggregate_s
-    }
-}
-
-/// Timings are measurements, not outcomes: two bit-identical runs take
-/// different wall-clock times, so all `PhaseTimings` compare equal and
-/// exact determinism assertions over [`RoundReport`]s keep holding.
-impl PartialEq for PhaseTimings {
-    fn eq(&self, _other: &Self) -> bool {
-        true
-    }
-}
-
-/// Summary of one federated round, including full fault accounting: every
-/// selected client ends the round in exactly one disposition
-/// (`uploads_ok`, `updates_rejected`, `uploads_dropped`,
-/// `stragglers_started`, `offline`, or `train_panics`), so the counters
-/// reconcile against an injected [`crate::FaultPlan`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct RoundReport {
-    /// One-based round number.
-    pub round: u64,
-    /// Number of clients that completed local training this round.
-    pub participants: usize,
-    /// Client drift: the root-mean-square L2 distance of the admitted
-    /// models from their coordinate-wise mean (computed from streaming
-    /// moments, so the server never buffers the models). Large values
-    /// signal heterogeneous local objectives — exactly the non-IID-ness
-    /// federated averaging must absorb (and the quantity FedProx bounds).
-    pub client_divergence: f32,
-    /// Fresh updates that arrived and passed admission.
-    pub uploads_ok: usize,
-    /// Straggler updates from earlier rounds applied (discounted) now.
-    pub stale_applied: usize,
-    /// Retry transmissions spent on dropped uploads.
-    pub upload_retries: u64,
-    /// Uploads abandoned after the retry budget ran out.
-    pub uploads_dropped: usize,
-    /// Broadcasts lost in transit (those clients keep their stale model).
-    pub download_drops: usize,
-    /// Arrived updates rejected by admission (non-finite or misshapen).
-    pub updates_rejected: usize,
-    /// Clients that started straggling: trained, but their update arrives
-    /// in a later round.
-    pub stragglers_started: usize,
-    /// Selected clients that were offline (crashed) this round.
-    pub offline: usize,
-    /// Clients whose local training panicked (excluded for the round).
-    pub train_panics: usize,
-    /// Whether the round aggregated (false ⇒ quorum unmet, θ unchanged).
-    pub aggregated: bool,
-    /// Wall-clock split of the round (train / transport / aggregate).
-    /// Compares equal regardless of values — see [`PhaseTimings`].
-    pub timing: PhaseTimings,
-}
-
-/// Fault/resilience totals over a whole federated run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct FaultSummary {
-    /// Rounds executed.
-    pub rounds: usize,
-    /// Rounds that met quorum and aggregated.
-    pub aggregated_rounds: usize,
-    /// Fresh updates admitted.
-    pub uploads_ok: usize,
-    /// Straggler updates applied with discounted weight.
-    pub stale_applied: usize,
-    /// Retry transmissions spent on dropped uploads.
-    pub upload_retries: u64,
-    /// Uploads abandoned after exhausting retries.
-    pub uploads_dropped: usize,
-    /// Broadcasts lost in transit.
-    pub download_drops: usize,
-    /// Updates rejected by admission.
-    pub updates_rejected: usize,
-    /// Straggler episodes started.
-    pub stragglers_started: usize,
-    /// Client-rounds spent offline.
-    pub offline: usize,
-    /// Local-training panics contained.
-    pub train_panics: usize,
-}
-
-impl FaultSummary {
-    /// Tallies the reports of a run.
-    pub fn from_reports(reports: &[RoundReport]) -> Self {
-        let mut s = FaultSummary {
-            rounds: reports.len(),
-            ..FaultSummary::default()
-        };
-        for r in reports {
-            s.aggregated_rounds += r.aggregated as usize;
-            s.uploads_ok += r.uploads_ok;
-            s.stale_applied += r.stale_applied;
-            s.upload_retries += r.upload_retries;
-            s.uploads_dropped += r.uploads_dropped;
-            s.download_drops += r.download_drops;
-            s.updates_rejected += r.updates_rejected;
-            s.stragglers_started += r.stragglers_started;
-            s.offline += r.offline;
-            s.train_panics += r.train_panics;
-        }
-        s
-    }
-}
-
 /// Orchestrates `N` clients and one [`FedAvgServer`] through federated
 /// rounds (Fig. 1 of the paper).
 ///
@@ -205,6 +84,12 @@ impl FaultSummary {
 /// parameters; each [`Federation::run_round`] then performs: local
 /// optimization (scoped worker pool when `parallel`) → framed uploads
 /// with admission → streaming aggregation → framed broadcast.
+///
+/// Every round-lifecycle occurrence is emitted as a structured
+/// [`Event`] through the installed [`Recorder`] (a zero-cost
+/// [`NullRecorder`] by default), and the [`RoundReport`] /
+/// [`TransportStats`] counters are pure reductions over that stream —
+/// see [`crate::report`].
 #[derive(Debug)]
 pub struct Federation<C: FederatedClient> {
     config: FedAvgConfig,
@@ -212,6 +97,7 @@ pub struct Federation<C: FederatedClient> {
     clients: Vec<C>,
     links: Vec<Box<dyn Transport>>,
     transport: TransportStats,
+    recorder: Box<dyn Recorder>,
     rng: StdRng,
     rounds_run: u64,
     pool: WorkerPool,
@@ -256,11 +142,7 @@ impl<C: FederatedClient> Federation<C> {
         seed: u64,
         kind: TransportKind,
     ) -> Result<Self, FedError> {
-        let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(clients.len());
-        for c in &clients {
-            links.push(kind.connect(c.id())?);
-        }
-        Ok(Self::with_links(clients, links, config, seed))
+        Self::with_options(clients, config, seed, kind, None, Box::new(NullRecorder))
     }
 
     /// Creates a federation over `kind` links, each wrapped in a
@@ -281,11 +163,46 @@ impl<C: FederatedClient> Federation<C> {
         kind: TransportKind,
         plan: &FaultPlan,
     ) -> Result<Self, FedError> {
+        Self::with_options(
+            clients,
+            config,
+            seed,
+            kind,
+            Some(plan),
+            Box::new(NullRecorder),
+        )
+    }
+
+    /// The most general `kind`-backed constructor: optional fault plan on
+    /// the links, and an explicit telemetry [`Recorder`] that observes
+    /// everything from the join handshake onwards.
+    ///
+    /// # Errors
+    ///
+    /// [`FedError::InvalidConfig`] when a link cannot be established.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Federation::new`] on invalid configuration.
+    pub fn with_options(
+        clients: Vec<C>,
+        config: FedAvgConfig,
+        seed: u64,
+        kind: TransportKind,
+        plan: Option<&FaultPlan>,
+        recorder: Box<dyn Recorder>,
+    ) -> Result<Self, FedError> {
         let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(clients.len());
         for c in &clients {
-            links.push(Box::new(FaultyTransport::new(kind.connect(c.id())?, plan)));
+            let link = kind.connect(c.id())?;
+            links.push(match plan {
+                Some(p) => Box::new(FaultyTransport::new(link, p)),
+                None => link,
+            });
         }
-        Ok(Self::with_links(clients, links, config, seed))
+        Ok(Self::with_links_recorded(
+            clients, links, config, seed, recorder,
+        ))
     }
 
     /// Creates a federation over explicitly supplied links (one per
@@ -296,10 +213,27 @@ impl<C: FederatedClient> Federation<C> {
     /// Panics if `clients` is empty, `links` and `clients` disagree in
     /// length, or `participation`/`staleness_decay` are out of range.
     pub fn with_links(
-        mut clients: Vec<C>,
-        mut links: Vec<Box<dyn Transport>>,
+        clients: Vec<C>,
+        links: Vec<Box<dyn Transport>>,
         config: FedAvgConfig,
         seed: u64,
+    ) -> Self {
+        Self::with_links_recorded(clients, links, config, seed, Box::new(NullRecorder))
+    }
+
+    /// Like [`Federation::with_links`], with an explicit telemetry
+    /// [`Recorder`] that observes everything from the join handshake
+    /// onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Federation::with_links`] on invalid configuration.
+    pub fn with_links_recorded(
+        clients: Vec<C>,
+        links: Vec<Box<dyn Transport>>,
+        config: FedAvgConfig,
+        seed: u64,
+        recorder: Box<dyn Recorder>,
     ) -> Self {
         assert!(!clients.is_empty(), "federation needs at least one client");
         assert_eq!(
@@ -317,41 +251,59 @@ impl<C: FederatedClient> Federation<C> {
             "staleness_decay must be in (0, 1], got {}",
             config.staleness_decay
         );
+        let mut clients = clients;
         let initial = clients[0].upload().params;
         let server = FedAvgServer::with_momentum(initial, config.strategy, config.server_momentum);
-        let mut transport = TransportStats::new();
-        for (client, link) in clients.iter_mut().zip(&mut links) {
-            Self::join(client, link.as_mut(), server.global(), &mut transport);
-        }
-        Federation {
+        let mut fed = Federation {
             config,
             server,
             clients,
             links,
-            transport,
+            transport: TransportStats::new(),
+            recorder,
             rng: derive_rng(seed, streams::FEDERATION),
             rounds_run: 0,
             pool: WorkerPool::default(),
             workspaces: Vec::new(),
+        };
+        for i in 0..fed.clients.len() {
+            fed.join_client(i);
         }
+        fed
     }
 
     /// Delivers the join acknowledgement (initial model) to one client.
     ///
     /// The handshake is control-plane traffic and treated as reliable:
     /// round-based fault plans only start at round 1, and should a link
-    /// fail anyway the model is installed directly.
-    fn join(client: &mut C, link: &mut dyn Transport, global: &[f32], stats: &mut TransportStats) {
-        let frame = wire::encode_join_ack(client.id(), global);
-        let delivered = link
+    /// fail anyway the model is installed directly. The delivery is
+    /// recorded as a round-0 [`EventKind::DownloadDelivered`].
+    fn join_client(&mut self, i: usize) {
+        let client = &mut self.clients[i];
+        let id = client.id();
+        let frame = wire::encode_join_ack(id, self.server.global());
+        let delivered = self.links[i]
             .broadcast(&frame)
             .ok()
             .and_then(|bytes| wire::decode_params(&bytes).ok());
         match delivered {
             Some(params) => client.download(&params),
-            None => client.download(global),
+            None => client.download(self.server.global()),
         }
-        stats.record_download(frame.len());
+        let event = Event::with_bytes(EventKind::DownloadDelivered, 0, id, frame.len());
+        self.transport.apply(&event);
+        self.recorder.event(event);
+    }
+
+    /// Installs a telemetry recorder; subsequent rounds emit through it.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The installed telemetry recorder, for harness-side emissions
+    /// (e.g. evaluation counters between rounds).
+    pub fn recorder_mut(&mut self) -> &mut dyn Recorder {
+        &mut *self.recorder
     }
 
     /// The federation's configuration.
@@ -405,37 +357,69 @@ impl<C: FederatedClient> Federation<C> {
             link.begin_round(round);
         }
 
-        let mut report = RoundReport {
-            round,
-            participants: 0,
-            client_divergence: 0.0,
-            uploads_ok: 0,
-            stale_applied: 0,
-            upload_retries: 0,
-            uploads_dropped: 0,
-            download_drops: 0,
-            updates_rejected: 0,
-            stragglers_started: 0,
-            offline: 0,
-            train_panics: 0,
-            aggregated: false,
-            timing: PhaseTimings::default(),
-        };
+        let mut report = RoundReport::begin(round);
+        Self::emit(
+            &mut self.transport,
+            &mut *self.recorder,
+            &mut report,
+            Event::round_scoped(EventKind::RoundStart, round),
+        );
 
         let mut active: Vec<usize> = Vec::with_capacity(participant_ids.len());
         for &i in &participant_ids {
             if self.clients[i].is_online() && self.links[i].is_online() {
                 active.push(i);
             } else {
-                report.offline += 1;
+                let id = self.clients[i].id();
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::client_scoped(EventKind::ClientOffline, round, id),
+                );
             }
+        }
+
+        if self.config.parallel {
+            // WorkerPool dispatch shape, at round granularity: how many
+            // clients are fanned out over how many workers, in chunks of
+            // what size (the pool's deterministic contiguous split).
+            let workers = self.pool.workers() as u64;
+            let items = active.len() as u64;
+            self.recorder
+                .counter(Counter::new("pool_items", round, None, items));
+            self.recorder
+                .counter(Counter::new("pool_workers", round, None, workers));
+            self.recorder.counter(Counter::new(
+                "pool_chunk",
+                round,
+                None,
+                items.div_ceil(workers.max(1)),
+            ));
         }
 
         let train_start = Instant::now();
         let panicked = self.train_active(&active);
         report.timing.train_s = train_start.elapsed().as_secs_f64();
-        report.train_panics = panicked.len();
-        report.participants = active.len() - panicked.len();
+        self.recorder
+            .span(Span::new("train", round, report.timing.train_s));
+        for &i in &active {
+            let id = self.clients[i].id();
+            let kind = if panicked.contains(&i) {
+                EventKind::TrainPanic
+            } else {
+                EventKind::ClientTrained
+            };
+            Self::emit(
+                &mut self.transport,
+                &mut *self.recorder,
+                &mut report,
+                Event::client_scoped(kind, round, id),
+            );
+            if kind == EventKind::ClientTrained {
+                self.clients[i].record_telemetry(round, &mut *self.recorder);
+            }
+        }
 
         let upload_start = Instant::now();
         let mut acc = self.server.accumulator();
@@ -443,16 +427,22 @@ impl<C: FederatedClient> Federation<C> {
             if panicked.contains(&i) {
                 continue;
             }
+            let id = self.clients[i].id();
             // The retry budget is shared across both layers: client-side
-            // drops (legacy fault path) and in-flight frame drops draw from
-            // the same `max_upload_retries` allowance.
+            // drops (custom clients may refuse) and in-flight frame drops
+            // draw from the same `max_upload_retries` allowance.
             let mut outcome = self.clients[i].try_upload();
             let mut retries = 0;
             while retries < self.config.max_upload_retries
                 && matches!(outcome, Err(FedError::UploadDropped { .. }))
             {
                 retries += 1;
-                self.transport.record_upload_retry();
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::client_scoped(EventKind::UploadRetry, round, id),
+                );
                 outcome = self.clients[i].try_upload();
             }
             let mut frame_len = 0;
@@ -471,124 +461,211 @@ impl<C: FederatedClient> Federation<C> {
                         && matches!(sent, Err(FedError::UploadDropped { .. }))
                     {
                         retries += 1;
-                        self.transport.record_upload_retry();
+                        Self::emit(
+                            &mut self.transport,
+                            &mut *self.recorder,
+                            &mut report,
+                            Event::client_scoped(EventKind::UploadRetry, round, id),
+                        );
                         sent = self.links[i].upload(&frame);
                     }
                     sent
                 }
                 Err(e) => Err(e),
             };
-            report.upload_retries += retries;
             match delivered {
                 Ok(bytes) => {
-                    self.transport.record_upload(frame_len);
-                    match wire::decode_upload(&bytes) {
-                        Ok((_, received)) => match acc.admit(received, 1.0) {
-                            Ok(()) => report.uploads_ok += 1,
-                            Err(_) => {
-                                report.updates_rejected += 1;
-                                self.transport.record_update_rejected();
-                            }
-                        },
-                        Err(_) => {
-                            report.updates_rejected += 1;
-                            self.transport.record_update_rejected();
-                        }
-                    }
+                    Self::emit(
+                        &mut self.transport,
+                        &mut *self.recorder,
+                        &mut report,
+                        Event::with_bytes(EventKind::UploadReceived, round, id, frame_len),
+                    );
+                    let admitted = match wire::decode_upload(&bytes) {
+                        Ok((_, received)) => acc.admit(received, 1.0).is_ok(),
+                        Err(_) => false,
+                    };
+                    let kind = if admitted {
+                        EventKind::UploadAdmitted
+                    } else {
+                        EventKind::UpdateRejected
+                    };
+                    Self::emit(
+                        &mut self.transport,
+                        &mut *self.recorder,
+                        &mut report,
+                        Event::client_scoped(kind, round, id),
+                    );
                 }
                 Err(FedError::UploadDropped { .. }) => {
-                    report.uploads_dropped += 1;
-                    self.transport.record_upload_dropped();
+                    Self::emit(
+                        &mut self.transport,
+                        &mut *self.recorder,
+                        &mut report,
+                        Event::client_scoped(EventKind::UploadDropped, round, id),
+                    );
                 }
                 Err(FedError::Straggling { .. }) => {
-                    report.stragglers_started += 1;
+                    Self::emit(
+                        &mut self.transport,
+                        &mut *self.recorder,
+                        &mut report,
+                        Event::client_scoped(EventKind::StragglerStarted, round, id),
+                    );
                 }
                 Err(_) => {
                     // Went offline mid-round (e.g. crash between training
                     // and upload); treated like an offline participant.
-                    report.offline += 1;
+                    Self::emit(
+                        &mut self.transport,
+                        &mut *self.recorder,
+                        &mut report,
+                        Event::client_scoped(EventKind::ClientOffline, round, id),
+                    );
                 }
             }
         }
-        report.timing.transport_s += upload_start.elapsed().as_secs_f64();
+        let upload_s = upload_start.elapsed().as_secs_f64();
+        report.timing.transport_s += upload_s;
+        self.recorder.span(Span::new("upload", round, upload_s));
 
         let aggregate_start = Instant::now();
         // Straggler updates whose delay elapsed surface now, discounted by
         // staleness. Every client and link is polled: a straggler need not
         // be in this round's participant set to deliver its late update.
-        // Client-level stragglers (legacy fault path) hand over a decoded
-        // update; transport-level stragglers hand over the buffered frame.
+        // Clients may hand over a decoded update; transport-level
+        // stragglers hand over the buffered frame.
         for i in 0..self.clients.len() {
+            let id = self.clients[i].id();
             if let Some(stale) = self.clients[i].take_stale() {
                 let age = round.saturating_sub(stale.origin_round).max(1);
-                self.transport
-                    .record_upload(wire::upload_frame_len(stale.update.params.len()));
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::with_bytes(
+                        EventKind::StaleReceived,
+                        round,
+                        id,
+                        wire::upload_frame_len(stale.update.params.len()),
+                    ),
+                );
                 let weight = self.config.staleness_decay.powi(age as i32);
-                match acc.admit(stale.update, weight) {
-                    Ok(()) => report.stale_applied += 1,
-                    Err(_) => {
-                        report.updates_rejected += 1;
-                        self.transport.record_update_rejected();
-                    }
-                }
+                let kind = if acc.admit(stale.update, weight).is_ok() {
+                    EventKind::StaleApplied
+                } else {
+                    EventKind::UpdateRejected
+                };
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::client_scoped(kind, round, id),
+                );
             }
             if let Some(bytes) = self.links[i].take_stale() {
-                self.transport.record_upload(bytes.len());
-                match wire::decode_upload(&bytes) {
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::with_bytes(EventKind::StaleReceived, round, id, bytes.len()),
+                );
+                let applied = match wire::decode_upload(&bytes) {
                     Ok((origin_round, update)) => {
                         let age = round.saturating_sub(origin_round).max(1);
                         let weight = self.config.staleness_decay.powi(age as i32);
-                        match acc.admit(update, weight) {
-                            Ok(()) => report.stale_applied += 1,
-                            Err(_) => {
-                                report.updates_rejected += 1;
-                                self.transport.record_update_rejected();
-                            }
-                        }
+                        acc.admit(update, weight).is_ok()
                     }
-                    Err(_) => {
-                        report.updates_rejected += 1;
-                        self.transport.record_update_rejected();
-                    }
-                }
+                    Err(_) => false,
+                };
+                let kind = if applied {
+                    EventKind::StaleApplied
+                } else {
+                    EventKind::UpdateRejected
+                };
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::client_scoped(kind, round, id),
+                );
             }
         }
 
         report.client_divergence = acc.divergence();
 
-        if acc.admitted() >= self.config.min_quorum.max(1) {
-            report.aggregated = self.server.commit_round(acc).is_ok();
-        }
+        let quorum_met = acc.admitted() >= self.config.min_quorum.max(1);
+        let committed = quorum_met && self.server.commit_round(acc).is_ok();
+        Self::emit(
+            &mut self.transport,
+            &mut *self.recorder,
+            &mut report,
+            Event::round_scoped(
+                if committed {
+                    EventKind::Aggregated
+                } else {
+                    EventKind::QuorumSkipped
+                },
+                round,
+            ),
+        );
         report.timing.aggregate_s = aggregate_start.elapsed().as_secs_f64();
+        self.recorder
+            .span(Span::new("aggregate", round, report.timing.aggregate_s));
 
         let broadcast_start = Instant::now();
-        for (client, link) in self.clients.iter_mut().zip(&mut self.links) {
+        for i in 0..self.clients.len() {
+            let client = &mut self.clients[i];
+            let link = &mut self.links[i];
             if !(client.is_online() && link.is_online()) {
                 continue;
             }
-            let frame = wire::encode_broadcast(round, client.id(), self.server.global());
+            let id = client.id();
+            let frame = wire::encode_broadcast(round, id, self.server.global());
             let outcome = link
                 .broadcast(&frame)
                 .and_then(|bytes| wire::decode_params(&bytes))
                 .and_then(|params| client.try_download(&params));
-            match outcome {
-                Ok(()) => self.transport.record_download(frame.len()),
+            let event = match outcome {
+                Ok(()) => Event::with_bytes(EventKind::DownloadDelivered, round, id, frame.len()),
+                // The model arrived intact but does not fit the client's
+                // architecture: an admission failure, not a network one.
                 Err(FedError::ShapeMismatch { .. }) => {
-                    // The model arrived intact but does not fit the client's
-                    // architecture: an admission failure, not a network one.
-                    report.updates_rejected += 1;
-                    self.transport.record_update_rejected();
+                    Event::client_scoped(EventKind::UpdateRejected, round, id)
                 }
-                Err(_) => {
-                    report.download_drops += 1;
-                    self.transport.record_download_dropped();
-                }
-            }
+                Err(_) => Event::client_scoped(EventKind::DownloadDropped, round, id),
+            };
+            Self::emit(&mut self.transport, &mut *self.recorder, &mut report, event);
         }
-        report.timing.transport_s += broadcast_start.elapsed().as_secs_f64();
+        let broadcast_s = broadcast_start.elapsed().as_secs_f64();
+        report.timing.transport_s += broadcast_s;
+        self.recorder
+            .span(Span::new("broadcast", round, broadcast_s));
 
+        Self::emit(
+            &mut self.transport,
+            &mut *self.recorder,
+            &mut report,
+            Event::round_scoped(EventKind::RoundEnd, round),
+        );
         self.rounds_run += 1;
         report
+    }
+
+    /// Applies one telemetry event to the round report and the
+    /// federation-wide transport stats, then forwards it to the recorder
+    /// — the single choke point that keeps the reporting structs exact
+    /// reductions of the emitted stream. An associated function (not
+    /// `&mut self`) so call sites can hold disjoint field borrows.
+    fn emit(
+        transport: &mut TransportStats,
+        recorder: &mut dyn Recorder,
+        report: &mut RoundReport,
+        event: Event,
+    ) {
+        report.apply(&event);
+        transport.apply(&event);
+        recorder.event(event);
     }
 
     /// Trains the active participants, containing panics; returns the ids
@@ -672,6 +749,7 @@ fn gaussian(rng: &mut StdRng) -> f32 {
 mod tests {
     use super::*;
     use crate::client::ModelUpdate;
+    use crate::report::FaultSummary;
 
     /// A deterministic fake client for orchestration tests.
     #[derive(Debug)]

@@ -22,10 +22,14 @@
 //!   Gaussian update noise (differential-privacy-style knob); resilient to
 //!   client faults via minimum-quorum aggregation, bounded upload retries,
 //!   staleness-discounted straggler updates, and NaN/shape admission,
-//! * [`FaultPlan`] / [`FaultyClient`] — seed-deterministic fault injection
-//!   (drops, stragglers, corruption, crash-and-rejoin) for resilience
-//!   testing,
-//! * [`TransportStats`] — byte accounting for the §IV-C overhead numbers.
+//! * [`FaultPlan`] / [`FaultyTransport`] — seed-deterministic fault
+//!   injection (drops, stragglers, corruption, crash-and-rejoin) applied to
+//!   bytes in flight, for resilience testing,
+//! * [`report`] — the unified reporting module: [`report::RoundReport`],
+//!   [`report::PhaseTimings`], [`report::TransportStats`] (the §IV-C
+//!   overhead numbers), and [`report::FaultSummary`], all defined as
+//!   deterministic reductions over the [`fedpower_telemetry`] event stream
+//!   the federation emits.
 //!
 //! # Example: two devices with disjoint workloads
 //!
@@ -52,6 +56,7 @@ mod error;
 mod fault;
 mod federation;
 mod pool;
+pub mod report;
 mod server;
 mod td_client;
 mod transport;
@@ -60,12 +65,28 @@ pub mod wire;
 pub use client::{AgentClient, FederatedClient, ModelUpdate, StaleUpdate};
 pub use error::FedError;
 pub use fault::{
-    CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FaultyTransport,
-    PlanCounts,
+    CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyTransport, PlanCounts,
 };
-pub use federation::{FaultSummary, FedAvgConfig, Federation, PhaseTimings, RoundReport};
+pub use federation::{FedAvgConfig, Federation};
 pub use pool::WorkerPool;
 pub use server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
 pub use td_client::TdClient;
-pub use transport::{ChannelTransport, TcpTransport, Transport, TransportKind, TransportStats};
+pub use transport::{ChannelTransport, TcpTransport, Transport, TransportKind};
 pub use wire::{Envelope, WireError};
+
+// Compatibility shims: the reporting types moved into [`report`] when the
+// telemetry subsystem landed. External code keeps compiling through these
+// crate-root aliases; new code should import from `report::`.
+
+/// Moved to [`report::FaultSummary`].
+#[deprecated(since = "0.1.0", note = "moved to `report::FaultSummary`")]
+pub type FaultSummary = report::FaultSummary;
+/// Moved to [`report::PhaseTimings`].
+#[deprecated(since = "0.1.0", note = "moved to `report::PhaseTimings`")]
+pub type PhaseTimings = report::PhaseTimings;
+/// Moved to [`report::RoundReport`].
+#[deprecated(since = "0.1.0", note = "moved to `report::RoundReport`")]
+pub type RoundReport = report::RoundReport;
+/// Moved to [`report::TransportStats`].
+#[deprecated(since = "0.1.0", note = "moved to `report::TransportStats`")]
+pub type TransportStats = report::TransportStats;

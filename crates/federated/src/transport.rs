@@ -6,86 +6,6 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::time::Duration;
 
-/// Byte-level accounting of server↔device communication.
-///
-/// The paper reports 2.8 kB per transfer (§IV-C); this counter lets the
-/// bench harness verify the reproduction's communication volume.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct TransportStats {
-    /// Total bytes uploaded (clients → server).
-    pub uploaded_bytes: u64,
-    /// Total bytes downloaded (server → clients).
-    pub downloaded_bytes: u64,
-    /// Number of uploads that arrived at the server (whether or not they
-    /// later passed admission checks).
-    pub uploads: u64,
-    /// Number of downloads delivered to clients.
-    pub downloads: u64,
-    /// Retry attempts spent re-sending dropped uploads.
-    pub upload_retries: u64,
-    /// Uploads abandoned after exhausting the retry budget.
-    pub uploads_dropped: u64,
-    /// Broadcasts lost in transit (the client kept its stale model).
-    pub downloads_dropped: u64,
-    /// Arrived uploads rejected by server-side admission (non-finite
-    /// values or shape mismatch).
-    pub updates_rejected: u64,
-}
-
-impl TransportStats {
-    /// Creates zeroed statistics.
-    pub fn new() -> Self {
-        TransportStats::default()
-    }
-
-    /// Records one client upload of `bytes`.
-    pub fn record_upload(&mut self, bytes: usize) {
-        self.uploaded_bytes += bytes as u64;
-        self.uploads += 1;
-    }
-
-    /// Records one client download of `bytes`.
-    pub fn record_download(&mut self, bytes: usize) {
-        self.downloaded_bytes += bytes as u64;
-        self.downloads += 1;
-    }
-
-    /// Records a retry attempt spent on a previously dropped upload.
-    pub fn record_upload_retry(&mut self) {
-        self.upload_retries += 1;
-    }
-
-    /// Records an upload abandoned after its retry budget ran out.
-    pub fn record_upload_dropped(&mut self) {
-        self.uploads_dropped += 1;
-    }
-
-    /// Records a broadcast lost in transit.
-    pub fn record_download_dropped(&mut self) {
-        self.downloads_dropped += 1;
-    }
-
-    /// Records an arrived update rejected by server-side admission.
-    pub fn record_update_rejected(&mut self) {
-        self.updates_rejected += 1;
-    }
-
-    /// Total traffic in both directions.
-    pub fn total_bytes(&self) -> u64 {
-        self.uploaded_bytes + self.downloaded_bytes
-    }
-
-    /// Mean bytes per transfer (upload or download), if any occurred.
-    pub fn mean_transfer_bytes(&self) -> Option<f64> {
-        let transfers = self.uploads + self.downloads;
-        if transfers == 0 {
-            None
-        } else {
-            Some(self.total_bytes() as f64 / transfers as f64)
-        }
-    }
-}
-
 /// The server's handle to one client's duplex link.
 ///
 /// The federation is synchronous (Algorithm 2), so both directions are
@@ -398,41 +318,6 @@ impl fmt::Display for TransportKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn accounting_accumulates() {
-        let mut t = TransportStats::new();
-        t.record_upload(2800);
-        t.record_upload(2800);
-        t.record_download(2800);
-        assert_eq!(t.uploaded_bytes, 5600);
-        assert_eq!(t.downloaded_bytes, 2800);
-        assert_eq!(t.uploads, 2);
-        assert_eq!(t.downloads, 1);
-        assert_eq!(t.total_bytes(), 8400);
-        assert_eq!(t.mean_transfer_bytes(), Some(2800.0));
-    }
-
-    #[test]
-    fn empty_stats_have_no_mean() {
-        assert_eq!(TransportStats::new().mean_transfer_bytes(), None);
-    }
-
-    #[test]
-    fn fault_counters_accumulate_independently_of_byte_counters() {
-        let mut t = TransportStats::new();
-        t.record_upload_retry();
-        t.record_upload_retry();
-        t.record_upload_dropped();
-        t.record_download_dropped();
-        t.record_update_rejected();
-        assert_eq!(t.upload_retries, 2);
-        assert_eq!(t.uploads_dropped, 1);
-        assert_eq!(t.downloads_dropped, 1);
-        assert_eq!(t.updates_rejected, 1);
-        assert_eq!(t.total_bytes(), 0, "fault events move no bytes");
-        assert_eq!(t.uploads, 0);
-    }
 
     fn exercise_link(link: &mut dyn Transport) {
         assert!(link.is_online());

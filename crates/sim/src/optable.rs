@@ -111,6 +111,11 @@ pub(crate) struct OperatingPointTable {
     len: usize,
     /// FIFO eviction cursor once all rows are populated.
     next_evict: usize,
+    /// Lookups answered from a populated row (telemetry only — counting
+    /// does not perturb the bit-identical fast path).
+    hits: u64,
+    /// Lookups that had to populate a row (cold phase or evicted).
+    misses: u64,
 }
 
 impl OperatingPointTable {
@@ -130,7 +135,15 @@ impl OperatingPointTable {
             rows: std::array::from_fn(|_| None),
             len: 0,
             next_evict: 0,
+            hits: 0,
+            misses: 0,
         })
+    }
+
+    /// `(hits, misses)` of the row cache since construction, for
+    /// round-granularity telemetry counters.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Returns the operating point for `(phase, level)` plus the phase's
@@ -149,9 +162,11 @@ impl OperatingPointTable {
         assert!(level < self.vf.len, "V/f level out of range");
         for row in self.rows[..self.len].iter().flatten() {
             if row.phase == *phase {
+                self.hits += 1;
                 return (row.points[level], row.miss_rate, row.phase.mpki);
             }
         }
+        self.misses += 1;
         let row = self.populate(phase);
         (row.points[level], row.miss_rate, row.phase.mpki)
     }
@@ -240,6 +255,7 @@ mod tests {
         let (b, _, _) = t.lookup(&phase, 3);
         assert_eq!(a.total_power_w.to_bits(), b.total_power_w.to_bits());
         assert_eq!(t.len, 1, "second lookup must not add a row");
+        assert_eq!(t.stats(), (1, 1), "one cold miss, one warm hit");
     }
 
     #[test]

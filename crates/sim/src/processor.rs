@@ -173,6 +173,14 @@ impl Processor {
         self.optable.is_some()
     }
 
+    /// `(hits, misses)` of the operating-point row cache since
+    /// construction — round-granularity telemetry. `(0, 0)` when the
+    /// fast path is inactive (thermal model on, oversized V/f table, or
+    /// [`Processor::force_analytical`]).
+    pub fn fastpath_stats(&self) -> (u64, u64) {
+        self.optable.as_ref().map_or((0, 0), |t| t.stats())
+    }
+
     /// The V/f table (and hence the DVFS action space).
     pub fn vf_table(&self) -> &VfTable {
         &self.vf_table

@@ -1,0 +1,801 @@
+//! Structured telemetry for the fedpower stack: events, counters and
+//! span timings behind a [`Recorder`] trait, with pluggable sinks.
+//!
+//! The crate is dependency-free (std only) and built around three record
+//! types:
+//!
+//! - [`Event`] — one discrete occurrence in the federation round
+//!   lifecycle (an upload arrived, a broadcast was dropped, a round
+//!   aggregated, …), tagged with its [`EventKind`], the one-based round
+//!   it happened in, the client it concerns (when any) and the frame
+//!   bytes it moved (when any).
+//! - [`Counter`] — a named monotonic value sampled at round granularity
+//!   (env steps simulated, operating-point-table hits, pool items
+//!   dispatched, …).
+//! - [`Span`] — a named wall-clock measurement of one round phase
+//!   (train / upload / aggregate / broadcast).
+//!
+//! Three sinks ship with the crate:
+//!
+//! - [`NullRecorder`] — the zero-cost default. Every method body is
+//!   empty, so with telemetry off the instrumented code inlines to
+//!   nothing; `tests/alloc_discipline.rs` proves recording through it
+//!   performs zero heap allocations.
+//! - [`MemoryRecorder`] — buffers everything in memory behind a cheaply
+//!   clonable handle; tests assert on the emitted stream.
+//! - [`JsonlRecorder`] — writes one JSON object per line to a file for
+//!   offline analysis (parsed back by `fedpower-analysis`).
+//!
+//! Records are emitted at *round* granularity, never per environment
+//! step — the simulator hot path stays allocation-free and untouched.
+//! Downstream, `fedpower_federated::report` rebuilds its `RoundReport`,
+//! `TransportStats` and `FaultSummary` structs as deterministic
+//! reductions over the event stream.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// What happened. Every variant maps to exactly one counter in the
+/// federation's reporting structs (or is purely informational, like
+/// [`EventKind::RoundStart`]); see `fedpower_federated::report` for the
+/// reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A federated round began.
+    RoundStart,
+    /// A federated round finished (its report is complete).
+    RoundEnd,
+    /// A client completed local training this round.
+    ClientTrained,
+    /// A client's local training panicked; it is excluded for the round.
+    TrainPanic,
+    /// A selected client (or its link) was offline.
+    ClientOffline,
+    /// One retry transmission was spent on a dropped upload.
+    UploadRetry,
+    /// A fresh upload frame arrived at the server (`bytes` = frame size).
+    UploadReceived,
+    /// An arrived fresh update passed admission into the aggregate.
+    UploadAdmitted,
+    /// An upload was abandoned after the retry budget ran out.
+    UploadDropped,
+    /// A client started straggling: its update will arrive rounds late.
+    StragglerStarted,
+    /// A buffered straggler frame surfaced (`bytes` = frame size).
+    StaleReceived,
+    /// A surfaced straggler update was admitted at discounted weight.
+    StaleApplied,
+    /// An arrived update failed admission (non-finite, misshapen, …).
+    UpdateRejected,
+    /// A broadcast frame reached its client (`bytes` = frame size).
+    DownloadDelivered,
+    /// A broadcast frame was lost in transit.
+    DownloadDropped,
+    /// The round met quorum and the server committed the aggregate.
+    Aggregated,
+    /// The round missed quorum; θ stays unchanged.
+    QuorumSkipped,
+}
+
+impl EventKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [EventKind; 17] = [
+        EventKind::RoundStart,
+        EventKind::RoundEnd,
+        EventKind::ClientTrained,
+        EventKind::TrainPanic,
+        EventKind::ClientOffline,
+        EventKind::UploadRetry,
+        EventKind::UploadReceived,
+        EventKind::UploadAdmitted,
+        EventKind::UploadDropped,
+        EventKind::StragglerStarted,
+        EventKind::StaleReceived,
+        EventKind::StaleApplied,
+        EventKind::UpdateRejected,
+        EventKind::DownloadDelivered,
+        EventKind::DownloadDropped,
+        EventKind::Aggregated,
+        EventKind::QuorumSkipped,
+    ];
+
+    /// Stable snake_case name used in JSONL output and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RoundStart => "round_start",
+            EventKind::RoundEnd => "round_end",
+            EventKind::ClientTrained => "client_trained",
+            EventKind::TrainPanic => "train_panic",
+            EventKind::ClientOffline => "client_offline",
+            EventKind::UploadRetry => "upload_retry",
+            EventKind::UploadReceived => "upload_received",
+            EventKind::UploadAdmitted => "upload_admitted",
+            EventKind::UploadDropped => "upload_dropped",
+            EventKind::StragglerStarted => "straggler_started",
+            EventKind::StaleReceived => "stale_received",
+            EventKind::StaleApplied => "stale_applied",
+            EventKind::UpdateRejected => "update_rejected",
+            EventKind::DownloadDelivered => "download_delivered",
+            EventKind::DownloadDropped => "download_dropped",
+            EventKind::Aggregated => "aggregated",
+            EventKind::QuorumSkipped => "quorum_skipped",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn parse(name: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One discrete occurrence in the federation lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// One-based round the event belongs to (0 for the join handshake,
+    /// which precedes round 1).
+    pub round: u64,
+    /// The client the event concerns, when it concerns one.
+    pub client: Option<usize>,
+    /// Frame bytes moved by the event (0 when no bytes moved).
+    pub bytes: u64,
+}
+
+impl Event {
+    /// An event that concerns no particular client and moves no bytes.
+    pub fn round_scoped(kind: EventKind, round: u64) -> Event {
+        Event {
+            kind,
+            round,
+            client: None,
+            bytes: 0,
+        }
+    }
+
+    /// An event that concerns `client` and moves no bytes.
+    pub fn client_scoped(kind: EventKind, round: u64, client: usize) -> Event {
+        Event {
+            kind,
+            round,
+            client: Some(client),
+            bytes: 0,
+        }
+    }
+
+    /// An event that concerns `client` and moved `bytes` over the wire.
+    pub fn with_bytes(kind: EventKind, round: u64, client: usize, bytes: usize) -> Event {
+        Event {
+            kind,
+            round,
+            client: Some(client),
+            bytes: bytes as u64,
+        }
+    }
+}
+
+/// A named monotonic value sampled at round granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter {
+    /// Counter name (e.g. `"env_steps"`, `"optable_hits"`).
+    pub name: &'static str,
+    /// One-based round the sample was taken at.
+    pub round: u64,
+    /// The client the counter belongs to, when per-client.
+    pub client: Option<usize>,
+    /// The sampled value (cumulative counters report their running total).
+    pub value: u64,
+}
+
+impl Counter {
+    /// Builds a counter sample.
+    pub fn new(name: &'static str, round: u64, client: Option<usize>, value: u64) -> Counter {
+        Counter {
+            name,
+            round,
+            client,
+            value,
+        }
+    }
+}
+
+/// A named wall-clock measurement of one round phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Phase name (e.g. `"train"`, `"upload"`, `"aggregate"`).
+    pub name: &'static str,
+    /// One-based round the phase belongs to.
+    pub round: u64,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl Span {
+    /// Builds a span measurement.
+    pub fn new(name: &'static str, round: u64, seconds: f64) -> Span {
+        Span {
+            name,
+            round,
+            seconds,
+        }
+    }
+}
+
+/// Sink for telemetry records.
+///
+/// Implementations must be cheap when idle: the federation emits through
+/// a `Box<dyn Recorder>` on every round, with [`NullRecorder`] installed
+/// by default. Methods take `&mut self` so single-threaded sinks need no
+/// interior mutability.
+pub trait Recorder: Send + fmt::Debug {
+    /// Records a lifecycle event.
+    fn event(&mut self, event: Event);
+    /// Records a counter sample.
+    fn counter(&mut self, counter: Counter);
+    /// Records a span measurement.
+    fn span(&mut self, span: Span);
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) {}
+}
+
+impl Recorder for Box<dyn Recorder> {
+    fn event(&mut self, event: Event) {
+        (**self).event(event);
+    }
+    fn counter(&mut self, counter: Counter) {
+        (**self).counter(counter);
+    }
+    fn span(&mut self, span: Span) {
+        (**self).span(span);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// The zero-cost default sink: drops everything.
+///
+/// All method bodies are empty, so instrumented code paths compile down
+/// to nothing when telemetry is off; `tests/alloc_discipline.rs` proves
+/// recording through it never touches the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn event(&mut self, _event: Event) {}
+    fn counter(&mut self, _counter: Counter) {}
+    fn span(&mut self, _span: Span) {}
+}
+
+#[derive(Debug, Default)]
+struct MemoryInner {
+    events: Vec<Event>,
+    counters: Vec<Counter>,
+    spans: Vec<Span>,
+}
+
+/// In-memory sink for tests: buffers every record behind a cheaply
+/// clonable handle, so a test can keep one handle and hand a clone to
+/// the federation as its `Box<dyn Recorder>`.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    inner: Arc<Mutex<MemoryInner>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Snapshot of all recorded events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().expect("telemetry lock").events.clone()
+    }
+
+    /// Snapshot of all recorded counter samples, in emission order.
+    pub fn counters(&self) -> Vec<Counter> {
+        self.inner.lock().expect("telemetry lock").counters.clone()
+    }
+
+    /// Snapshot of all recorded spans, in emission order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().expect("telemetry lock").spans.clone()
+    }
+
+    /// Number of recorded events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+
+    /// Sum of `bytes` over all events of `kind`.
+    pub fn bytes(&self, kind: EventKind) -> u64 {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Whether event rounds never decrease across the stream (the
+    /// monotonic round-scoping guarantee).
+    pub fn rounds_are_monotonic(&self) -> bool {
+        let inner = self.inner.lock().expect("telemetry lock");
+        inner.events.windows(2).all(|w| w[0].round <= w[1].round)
+    }
+
+    /// Total number of records (events + counters + spans).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("telemetry lock");
+        inner.events.len() + inner.counters.len() + inner.spans.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn event(&mut self, event: Event) {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .events
+            .push(event);
+    }
+    fn counter(&mut self, counter: Counter) {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .counters
+            .push(counter);
+    }
+    fn span(&mut self, span: Span) {
+        self.inner.lock().expect("telemetry lock").spans.push(span);
+    }
+}
+
+#[derive(Debug, Default)]
+struct SummaryInner {
+    event_counts: [u64; EventKind::ALL.len()],
+    uploaded_bytes: u64,
+    downloaded_bytes: u64,
+    counter_samples: u64,
+    span_seconds: f64,
+    max_round: u64,
+}
+
+/// Aggregating sink for the CLI's `--telemetry summary` mode: tallies
+/// event counts, byte totals and span time, rendered as a short table at
+/// the end of the run.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryRecorder {
+    inner: Arc<Mutex<SummaryInner>>,
+}
+
+impl SummaryRecorder {
+    /// Creates an empty summary.
+    pub fn new() -> SummaryRecorder {
+        SummaryRecorder::default()
+    }
+
+    /// Renders the tally as a human-readable multi-line table.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("telemetry lock");
+        let mut out = String::from("telemetry summary\n");
+        out.push_str(&format!("  rounds observed      {}\n", inner.max_round));
+        for (kind, &count) in EventKind::ALL.iter().zip(&inner.event_counts) {
+            if count > 0 {
+                out.push_str(&format!("  {:<20} {}\n", kind.name(), count));
+            }
+        }
+        out.push_str(&format!(
+            "  uploaded bytes       {}\n",
+            inner.uploaded_bytes
+        ));
+        out.push_str(&format!(
+            "  downloaded bytes     {}\n",
+            inner.downloaded_bytes
+        ));
+        out.push_str(&format!(
+            "  counter samples      {}\n",
+            inner.counter_samples
+        ));
+        out.push_str(&format!(
+            "  span seconds         {:.3}\n",
+            inner.span_seconds
+        ));
+        out
+    }
+}
+
+impl Recorder for SummaryRecorder {
+    fn event(&mut self, event: Event) {
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        let slot = EventKind::ALL
+            .iter()
+            .position(|k| *k == event.kind)
+            .expect("kind is in ALL");
+        inner.event_counts[slot] += 1;
+        match event.kind {
+            EventKind::UploadReceived | EventKind::StaleReceived => {
+                inner.uploaded_bytes += event.bytes;
+            }
+            EventKind::DownloadDelivered => inner.downloaded_bytes += event.bytes,
+            _ => {}
+        }
+        inner.max_round = inner.max_round.max(event.round);
+    }
+    fn counter(&mut self, _counter: Counter) {
+        self.inner.lock().expect("telemetry lock").counter_samples += 1;
+    }
+    fn span(&mut self, span: Span) {
+        self.inner.lock().expect("telemetry lock").span_seconds += span.seconds;
+    }
+}
+
+#[derive(Debug)]
+struct JsonlInner {
+    writer: BufWriter<File>,
+    error: Option<io::Error>,
+}
+
+impl JsonlInner {
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// File sink writing one JSON object per line (JSON Lines), parsed back
+/// by `fedpower-analysis`. JSON is hand-rolled: the workspace's vendored
+/// `serde` is a no-op stand-in, and every emitted value is a flat object
+/// of string/number fields.
+///
+/// Writes are best-effort — the first I/O error is latched and surfaced
+/// by [`JsonlRecorder::finish`] so a run is never aborted mid-round by a
+/// full disk.
+#[derive(Debug, Clone)]
+pub struct JsonlRecorder {
+    inner: Arc<Mutex<JsonlInner>>,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the output file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`File::create`] failure.
+    pub fn create(path: &Path) -> io::Result<JsonlRecorder> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder {
+            inner: Arc::new(Mutex::new(JsonlInner {
+                writer: BufWriter::new(file),
+                error: None,
+            })),
+        })
+    }
+
+    /// Flushes the file and reports the first write error, if any.
+    ///
+    /// # Errors
+    ///
+    /// The first latched write error, or the flush failure.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.writer.flush()
+    }
+}
+
+fn push_common(line: &mut String, round: u64, client: Option<usize>) {
+    line.push_str(",\"round\":");
+    line.push_str(&round.to_string());
+    if let Some(c) = client {
+        line.push_str(",\"client\":");
+        line.push_str(&c.to_string());
+    }
+}
+
+/// Serializes an event as one JSONL line (with trailing newline).
+pub fn event_to_jsonl(event: &Event) -> String {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"type\":\"event\",\"kind\":\"");
+    line.push_str(event.kind.name());
+    line.push('"');
+    push_common(&mut line, event.round, event.client);
+    line.push_str(",\"bytes\":");
+    line.push_str(&event.bytes.to_string());
+    line.push_str("}\n");
+    line
+}
+
+/// Serializes a counter sample as one JSONL line (with trailing newline).
+pub fn counter_to_jsonl(counter: &Counter) -> String {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"type\":\"counter\",\"name\":\"");
+    line.push_str(counter.name);
+    line.push('"');
+    push_common(&mut line, counter.round, counter.client);
+    line.push_str(",\"value\":");
+    line.push_str(&counter.value.to_string());
+    line.push_str("}\n");
+    line
+}
+
+/// Serializes a span as one JSONL line (with trailing newline). The
+/// seconds field uses Rust's shortest round-trippable `f64` formatting.
+pub fn span_to_jsonl(span: &Span) -> String {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"type\":\"span\",\"name\":\"");
+    line.push_str(span.name);
+    line.push('"');
+    push_common(&mut line, span.round, None);
+    line.push_str(",\"seconds\":");
+    line.push_str(&format!("{:?}", span.seconds));
+    line.push_str("}\n");
+    line
+}
+
+impl Recorder for JsonlRecorder {
+    fn event(&mut self, event: Event) {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .write_line(&event_to_jsonl(&event));
+    }
+    fn counter(&mut self, counter: Counter) {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .write_line(&counter_to_jsonl(&counter));
+    }
+    fn span(&mut self, span: Span) {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .write_line(&span_to_jsonl(&span));
+    }
+    fn flush(&mut self) {
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        if inner.error.is_none() {
+            if let Err(e) = inner.writer.flush() {
+                inner.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Parsed form of a `--telemetry` flag value: `off`, `summary`, or
+/// `jsonl:<path>`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SinkSpec {
+    /// No telemetry (the default): [`NullRecorder`].
+    #[default]
+    Off,
+    /// Tally events and print a table at the end: [`SummaryRecorder`].
+    Summary,
+    /// Write JSON Lines to the given path: [`JsonlRecorder`].
+    Jsonl(PathBuf),
+}
+
+impl SinkSpec {
+    /// Parses a flag value; `None` when it matches no spec.
+    pub fn parse(s: &str) -> Option<SinkSpec> {
+        match s {
+            "off" => Some(SinkSpec::Off),
+            "summary" => Some(SinkSpec::Summary),
+            _ => s
+                .strip_prefix("jsonl:")
+                .filter(|p| !p.is_empty())
+                .map(|p| SinkSpec::Jsonl(PathBuf::from(p))),
+        }
+    }
+}
+
+impl fmt::Display for SinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkSpec::Off => f.write_str("off"),
+            SinkSpec::Summary => f.write_str("summary"),
+            SinkSpec::Jsonl(path) => write!(f, "jsonl:{}", path.display()),
+        }
+    }
+}
+
+/// An opened sink: the runtime counterpart of a [`SinkSpec`], holding
+/// the shared handle the caller keeps while the federation records
+/// through boxed clones.
+#[derive(Debug)]
+pub enum Sink {
+    /// Telemetry off.
+    Off,
+    /// Summary tally.
+    Summary(SummaryRecorder),
+    /// JSON Lines file.
+    Jsonl(JsonlRecorder),
+}
+
+impl Sink {
+    /// Opens the sink described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure for [`SinkSpec::Jsonl`].
+    pub fn open(spec: &SinkSpec) -> io::Result<Sink> {
+        Ok(match spec {
+            SinkSpec::Off => Sink::Off,
+            SinkSpec::Summary => Sink::Summary(SummaryRecorder::new()),
+            SinkSpec::Jsonl(path) => Sink::Jsonl(JsonlRecorder::create(path)?),
+        })
+    }
+
+    /// A boxed recorder feeding this sink (a fresh [`NullRecorder`] for
+    /// [`Sink::Off`]). Call as many times as there are instrumented
+    /// runs; all boxes share the sink's state.
+    pub fn recorder(&self) -> Box<dyn Recorder> {
+        match self {
+            Sink::Off => Box::new(NullRecorder),
+            Sink::Summary(s) => Box::new(s.clone()),
+            Sink::Jsonl(j) => Box::new(j.clone()),
+        }
+    }
+
+    /// Finalizes the sink: flushes files, and returns the rendered
+    /// summary table for [`Sink::Summary`].
+    ///
+    /// # Errors
+    ///
+    /// The first latched JSONL write error, or the flush failure.
+    pub fn finish(&self) -> io::Result<Option<String>> {
+        match self {
+            Sink::Off => Ok(None),
+            Sink::Summary(s) => Ok(Some(s.render())),
+            Sink::Jsonl(j) => {
+                j.finish()?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("no_such_kind"), None);
+    }
+
+    #[test]
+    fn memory_recorder_buffers_and_filters() {
+        let mem = MemoryRecorder::new();
+        let mut boxed: Box<dyn Recorder> = Box::new(mem.clone());
+        boxed.event(Event::round_scoped(EventKind::RoundStart, 1));
+        boxed.event(Event::with_bytes(EventKind::UploadReceived, 1, 0, 60));
+        boxed.event(Event::with_bytes(EventKind::UploadReceived, 1, 1, 60));
+        boxed.counter(Counter::new("env_steps", 1, Some(0), 100));
+        boxed.span(Span::new("train", 1, 0.25));
+        assert_eq!(mem.count(EventKind::UploadReceived), 2);
+        assert_eq!(mem.bytes(EventKind::UploadReceived), 120);
+        assert_eq!(mem.counters().len(), 1);
+        assert_eq!(mem.spans().len(), 1);
+        assert_eq!(mem.len(), 5);
+        assert!(mem.rounds_are_monotonic());
+    }
+
+    #[test]
+    fn monotonicity_check_catches_regressions() {
+        let mem = MemoryRecorder::new();
+        let mut boxed: Box<dyn Recorder> = Box::new(mem.clone());
+        boxed.event(Event::round_scoped(EventKind::RoundStart, 2));
+        boxed.event(Event::round_scoped(EventKind::RoundStart, 1));
+        assert!(!mem.rounds_are_monotonic());
+    }
+
+    #[test]
+    fn jsonl_lines_have_the_documented_shape() {
+        let e = Event::with_bytes(EventKind::UploadAdmitted, 3, 1, 2792);
+        assert_eq!(
+            event_to_jsonl(&e),
+            "{\"type\":\"event\",\"kind\":\"upload_admitted\",\"round\":3,\"client\":1,\"bytes\":2792}\n"
+        );
+        let c = Counter::new("env_steps", 3, Some(0), 300);
+        assert_eq!(
+            counter_to_jsonl(&c),
+            "{\"type\":\"counter\",\"name\":\"env_steps\",\"round\":3,\"client\":0,\"value\":300}\n"
+        );
+        let s = Span::new("train", 3, 0.5);
+        assert_eq!(
+            span_to_jsonl(&s),
+            "{\"type\":\"span\",\"name\":\"train\",\"round\":3,\"seconds\":0.5}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("fedpower_telemetry_unit.jsonl");
+        let jsonl = JsonlRecorder::create(&path).expect("create temp file");
+        let mut boxed: Box<dyn Recorder> = Box::new(jsonl.clone());
+        boxed.event(Event::round_scoped(EventKind::RoundStart, 1));
+        boxed.counter(Counter::new("optable_hits", 1, Some(2), 42));
+        boxed.flush();
+        jsonl.finish().expect("no write errors");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"event\""));
+        assert!(lines[1].contains("\"optable_hits\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sink_spec_parses_the_flag_grammar() {
+        assert_eq!(SinkSpec::parse("off"), Some(SinkSpec::Off));
+        assert_eq!(SinkSpec::parse("summary"), Some(SinkSpec::Summary));
+        assert_eq!(
+            SinkSpec::parse("jsonl:/tmp/t.jsonl"),
+            Some(SinkSpec::Jsonl(PathBuf::from("/tmp/t.jsonl")))
+        );
+        assert_eq!(SinkSpec::parse("jsonl:"), None);
+        assert_eq!(SinkSpec::parse("csv:/tmp/x"), None);
+        assert_eq!(SinkSpec::default(), SinkSpec::Off);
+        assert_eq!(SinkSpec::parse("summary").unwrap().to_string(), "summary");
+    }
+
+    #[test]
+    fn summary_renders_counts_and_bytes() {
+        let sum = SummaryRecorder::new();
+        let mut boxed: Box<dyn Recorder> = Box::new(sum.clone());
+        boxed.event(Event::round_scoped(EventKind::RoundStart, 1));
+        boxed.event(Event::with_bytes(EventKind::UploadReceived, 1, 0, 100));
+        boxed.event(Event::with_bytes(EventKind::DownloadDelivered, 1, 0, 70));
+        boxed.span(Span::new("train", 1, 1.5));
+        let rendered = sum.render();
+        assert!(rendered.contains("round_start"));
+        assert!(rendered.contains("uploaded bytes       100"));
+        assert!(rendered.contains("downloaded bytes     70"));
+        assert!(rendered.contains("rounds observed      1"));
+    }
+
+    #[test]
+    fn null_recorder_is_a_no_op() {
+        let mut null = NullRecorder;
+        null.event(Event::round_scoped(EventKind::RoundStart, 1));
+        null.counter(Counter::new("env_steps", 1, None, 1));
+        null.span(Span::new("train", 1, 0.1));
+        null.flush();
+    }
+}

@@ -1,0 +1,95 @@
+//! Proof that telemetry-off recording is free.
+//!
+//! The federation emits every event through a `Box<dyn Recorder>`; with
+//! the default [`NullRecorder`] installed those virtual calls must never
+//! touch the heap, or the zero-allocation training loop (see
+//! `crates/nn/tests/alloc_discipline.rs`) would regress the moment it is
+//! instrumented. A counting global allocator wraps the system allocator
+//! and asserts exactly zero allocations across a burst of recordings.
+//!
+//! Everything lives in a single `#[test]` so concurrent test threads
+//! cannot pollute the counter while it is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fedpower_telemetry::{Counter, Event, EventKind, NullRecorder, Recorder, Span};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed while running `f`.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (ALLOCS.load(Ordering::SeqCst), out)
+}
+
+#[test]
+fn null_recorder_records_without_allocating() {
+    // Through the same boxed-trait-object indirection the federation
+    // uses, so the proof covers the virtual-dispatch path too.
+    let mut recorder: Box<dyn Recorder> = Box::new(NullRecorder);
+
+    let (allocs, _) = allocations_during(|| {
+        for round in 1..=1_000_u64 {
+            recorder.event(Event::round_scoped(EventKind::RoundStart, round));
+            for client in 0..4 {
+                recorder.event(Event::client_scoped(
+                    EventKind::ClientTrained,
+                    round,
+                    client,
+                ));
+                recorder.event(Event::with_bytes(
+                    EventKind::UploadReceived,
+                    round,
+                    client,
+                    2_792,
+                ));
+                recorder.counter(Counter::new("env_steps", round, Some(client), 100 * round));
+            }
+            recorder.span(Span::new("train", round, 0.001));
+            recorder.event(Event::round_scoped(EventKind::Aggregated, round));
+            recorder.event(Event::round_scoped(EventKind::RoundEnd, round));
+        }
+        recorder.flush();
+    });
+    assert_eq!(
+        allocs, 0,
+        "NullRecorder recording allocated {allocs} times over 1000 simulated rounds"
+    );
+}

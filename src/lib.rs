@@ -15,6 +15,7 @@
 //! * [`agent`] — the paper's local RL power controller (Algorithm 1).
 //! * [`analysis`] — replication statistics, bootstrap CIs, Pareto fronts.
 //! * [`federated`] — FedAvg orchestration (Algorithm 2).
+//! * [`telemetry`] — structured events/counters/spans with pluggable sinks.
 //! * [`wire`] — versioned binary wire protocol for model exchange.
 //! * [`baselines`] — Profit + CollabPolicy and OS-governor baselines.
 //! * [`core`] — experiment harness reproducing every table and figure.
@@ -35,5 +36,6 @@ pub use fedpower_core as core;
 pub use fedpower_federated as federated;
 pub use fedpower_nn as nn;
 pub use fedpower_sim as sim;
+pub use fedpower_telemetry as telemetry;
 pub use fedpower_wire as wire;
 pub use fedpower_workloads as workloads;

@@ -6,8 +6,8 @@ use fedpower::core::experiment::{run_federated, run_fig5, train_profit_collab};
 use fedpower::core::scenario::{six_six_split, table2_scenarios};
 use fedpower::core::ExperimentConfig;
 use fedpower::federated::{
-    AgentClient, FaultConfig, FaultPlan, FaultScenario, FaultyClient, FedAvgConfig,
-    FederatedClient, Federation, TransportKind,
+    AgentClient, FaultConfig, FaultPlan, FaultScenario, FedAvgConfig, FederatedClient, Federation,
+    TransportKind,
 };
 use fedpower::workloads::AppId;
 
@@ -107,45 +107,8 @@ fn engine_variants_are_bit_identical() {
 }
 
 /// With every fault probability at zero the generated plan is empty, and
-/// a fault-wrapped federation reproduces the unwrapped one bit-for-bit —
-/// the fault layer costs nothing when turned off.
-#[test]
-fn zero_probability_faults_equal_the_fault_free_run() {
-    let mut fed_cfg = FedAvgConfig::paper();
-    fed_cfg.rounds = 3;
-    fed_cfg.steps_per_round = 30;
-
-    let plain = {
-        let mut fed = Federation::new(agent_clients(), fed_cfg, 5);
-        fed.run();
-        (
-            fed.global_params().to_vec(),
-            *fed.transport(),
-            fed.clients()[0].agent().params(),
-        )
-    };
-    let wrapped = {
-        let plan = FaultPlan::generate(&FaultConfig::none(), 2, 3, 77);
-        assert!(plan.is_empty(), "zero probabilities must yield no faults");
-        let clients: Vec<FaultyClient<AgentClient>> = agent_clients()
-            .into_iter()
-            .map(|c| FaultyClient::new(c, &plan))
-            .collect();
-        let mut fed = Federation::new(clients, fed_cfg, 5);
-        fed.run();
-        (
-            fed.global_params().to_vec(),
-            *fed.transport(),
-            fed.clients()[0].inner().agent().params(),
-        )
-    };
-    assert_eq!(plain.0, wrapped.0, "global θ must be bit-identical");
-    assert_eq!(plain.1, wrapped.1, "transport accounting must match");
-    assert_eq!(plain.2, wrapped.2, "client-side policies must match");
-}
-
-/// The transport-level twin of the test above: a zero-probability plan on
-/// the links is byte-transparent on both backends.
+/// a plan-wrapped federation reproduces the unwrapped one bit-for-bit on
+/// both backends — the fault layer costs nothing when turned off.
 #[test]
 fn zero_probability_link_faults_equal_the_fault_free_run() {
     let mut fed_cfg = FedAvgConfig::paper();
@@ -156,7 +119,11 @@ fn zero_probability_link_faults_equal_the_fault_free_run() {
             let mut fed = Federation::with_transport(agent_clients(), fed_cfg, 5, kind)
                 .expect("transport links");
             fed.run();
-            (fed.global_params().to_vec(), *fed.transport())
+            (
+                fed.global_params().to_vec(),
+                *fed.transport(),
+                fed.clients()[0].agent().params(),
+            )
         };
         let wrapped = {
             let plan = FaultPlan::generate(&FaultConfig::none(), 2, 3, 77);
@@ -165,13 +132,18 @@ fn zero_probability_link_faults_equal_the_fault_free_run() {
                 Federation::with_transport_and_plan(agent_clients(), fed_cfg, 5, kind, &plan)
                     .expect("transport links");
             fed.run();
-            (fed.global_params().to_vec(), *fed.transport())
+            (
+                fed.global_params().to_vec(),
+                *fed.transport(),
+                fed.clients()[0].agent().params(),
+            )
         };
         assert_eq!(plain.0, wrapped.0, "{kind}: global θ must be bit-identical");
         assert_eq!(
             plain.1, wrapped.1,
             "{kind}: transport accounting must match"
         );
+        assert_eq!(plain.2, wrapped.2, "{kind}: client policies must match");
     }
 }
 

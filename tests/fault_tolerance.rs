@@ -11,16 +11,22 @@
 mod common;
 
 use common::MathClient;
+use fedpower::federated::report::FaultSummary;
 use fedpower::federated::{
-    AggregationStrategy, CorruptionKind, Fault, FaultConfig, FaultPlan, FaultSummary, FaultyClient,
-    FedAvgConfig, FedAvgServer, FedError, FederatedClient, Federation, ModelUpdate,
+    AggregationStrategy, CorruptionKind, Fault, FaultConfig, FaultPlan, FedAvgConfig, FedAvgServer,
+    FedError, FederatedClient, Federation, ModelUpdate, TransportKind,
 };
 
-fn wrap(clients: Vec<MathClient>, plan: &FaultPlan) -> Vec<FaultyClient<MathClient>> {
-    clients
-        .into_iter()
-        .map(|c| FaultyClient::new(c, plan))
-        .collect()
+/// A federation whose channel links realize `plan` in flight
+/// ([`fedpower::federated::FaultyTransport`] wraps every link).
+fn faulted<C: FederatedClient>(
+    clients: Vec<C>,
+    plan: &FaultPlan,
+    cfg: FedAvgConfig,
+    seed: u64,
+) -> Federation<C> {
+    Federation::with_transport_and_plan(clients, cfg, seed, TransportKind::Channel, plan)
+        .expect("channel links")
 }
 
 fn math_clients(n: usize) -> Vec<MathClient> {
@@ -54,7 +60,7 @@ fn dropped_uploads_still_converge_near_the_fault_free_global() {
     };
     let plan = FaultPlan::generate(&faults, 4, rounds, 21);
     assert!(!plan.is_empty(), "the plan must actually inject drops");
-    let mut fed = Federation::new(wrap(math_clients(4), &plan), config(rounds), 11);
+    let mut fed = faulted(math_clients(4), &plan, config(rounds), 11);
     let reports = fed.run();
     let lossy_global = fed.global_params().to_vec();
 
@@ -77,7 +83,7 @@ fn quorum_unmet_round_keeps_theta_unchanged() {
         // More in-flight losses than the retry budget (2) can absorb.
         plan.insert(client, 2, Fault::UploadDrop { attempts: 10 });
     }
-    let mut fed = Federation::new(wrap(math_clients(3), &plan), config(3), 5);
+    let mut fed = faulted(math_clients(3), &plan, config(3), 5);
 
     let r1 = fed.run_round();
     assert!(r1.aggregated);
@@ -107,7 +113,7 @@ fn configured_min_quorum_is_respected() {
     plan.insert(0, 1, Fault::UploadDrop { attempts: 10 });
     let mut cfg = config(1);
     cfg.min_quorum = 3;
-    let mut fed = Federation::new(wrap(math_clients(3), &plan), cfg, 5);
+    let mut fed = faulted(math_clients(3), &plan, cfg, 5);
     let report = fed.run_round();
     assert_eq!(report.uploads_ok, 2);
     assert!(!report.aggregated, "2 updates < quorum of 3");
@@ -136,7 +142,7 @@ fn nan_corrupt_updates_are_rejected_and_excluded() {
     // …and the orchestrator applies it: client 2 is excluded this round.
     let mut plan = FaultPlan::none();
     plan.insert(2, 1, Fault::Corrupt(CorruptionKind::NaN));
-    let mut fed = Federation::new(wrap(math_clients(3), &plan), config(1), 5);
+    let mut fed = faulted(math_clients(3), &plan, config(1), 5);
     let report = fed.run_round();
     assert_eq!(report.updates_rejected, 1);
     assert_eq!(report.uploads_ok, 2);
@@ -192,27 +198,16 @@ impl FederatedClient for ScriptClient {
 fn straggler_updates_arrive_late_with_discounted_weight() {
     let mut plan = FaultPlan::none();
     plan.insert(1, 1, Fault::Straggle { delay_rounds: 1 });
-    let clients: Vec<FaultyClient<ScriptClient>> = vec![
-        FaultyClient::new(
-            ScriptClient {
-                id: 0,
-                round: 0.0,
-                global: vec![],
-            },
-            &plan,
-        ),
-        FaultyClient::new(
-            ScriptClient {
-                id: 1,
-                round: 0.0,
-                global: vec![],
-            },
-            &plan,
-        ),
-    ];
+    let clients: Vec<ScriptClient> = (0..2)
+        .map(|id| ScriptClient {
+            id,
+            round: 0.0,
+            global: vec![],
+        })
+        .collect();
     let mut cfg = config(2);
     cfg.staleness_decay = 0.5;
-    let mut fed = Federation::new(clients, cfg, 5);
+    let mut fed = faulted(clients, &plan, cfg, 5);
 
     // Round 1: client 1 straggles; only client 0's upload (value 1) lands.
     let r1 = fed.run_round();
@@ -244,7 +239,7 @@ fn straggler_updates_arrive_late_with_discounted_weight() {
 fn crashed_client_rejoins_on_the_current_global() {
     let mut plan = FaultPlan::none();
     plan.insert(1, 1, Fault::Crash { down_rounds: 2 });
-    let mut fed = Federation::new(wrap(math_clients(2), &plan), config(4), 5);
+    let mut fed = faulted(math_clients(2), &plan, config(4), 5);
 
     let r1 = fed.run_round();
     assert_eq!(r1.offline, 1);
@@ -253,9 +248,9 @@ fn crashed_client_rejoins_on_the_current_global() {
     assert_eq!(r2.offline, 1);
     // Construction broadcast θ₁ to both; while down, client 1 must not
     // have received anything further.
-    assert_eq!(fed.clients()[1].inner().downloads, 1);
+    assert_eq!(fed.clients()[1].downloads, 1);
     assert_ne!(
-        fed.clients()[1].inner().params,
+        fed.clients()[1].params,
         fed.global_params(),
         "offline client is stale by rounds 1–2"
     );
@@ -264,11 +259,11 @@ fn crashed_client_rejoins_on_the_current_global() {
     assert_eq!(r3.offline, 0);
     assert_eq!(r3.participants, 2, "client 1 rejoined and trained");
     assert_eq!(
-        fed.clients()[1].inner().params,
+        fed.clients()[1].params,
         fed.global_params(),
         "rejoined client holds the current global model"
     );
-    assert_eq!(fed.clients()[1].inner().downloads, 2);
+    assert_eq!(fed.clients()[1].downloads, 2);
 }
 
 /// A download drop leaves the client training from its stale model while
@@ -277,13 +272,13 @@ fn crashed_client_rejoins_on_the_current_global() {
 fn download_drop_leaves_client_stale_until_next_broadcast() {
     let mut plan = FaultPlan::none();
     plan.insert(1, 1, Fault::DownloadDrop);
-    let mut fed = Federation::new(wrap(math_clients(2), &plan), config(2), 5);
+    let mut fed = faulted(math_clients(2), &plan, config(2), 5);
     let r1 = fed.run_round();
     assert_eq!(r1.download_drops, 1);
-    assert_ne!(fed.clients()[1].inner().params, fed.global_params());
+    assert_ne!(fed.clients()[1].params, fed.global_params());
     let r2 = fed.run_round();
     assert_eq!(r2.download_drops, 0);
-    assert_eq!(fed.clients()[1].inner().params, fed.global_params());
+    assert_eq!(fed.clients()[1].params, fed.global_params());
 }
 
 /// Acceptance scenario: 4 clients, 20 % upload drop, one straggler. All
@@ -324,7 +319,7 @@ fn lossy_run_with_straggler_accounts_for_every_fault() {
     assert!(expected_dropped > 0, "plan must contain terminal drops");
     assert_eq!(expected_straggles, 1);
 
-    let mut fed = Federation::new(wrap(math_clients(n), &plan), cfg, 11);
+    let mut fed = faulted(math_clients(n), &plan, cfg, 11);
     let reports = fed.run();
 
     assert_eq!(reports.len(), rounds as usize, "every round completed");
@@ -375,7 +370,7 @@ fn lossy_run_with_straggler_accounts_for_every_fault() {
     );
 }
 
-/// Wrapping clients with an empty fault plan is bit-identical to not
+/// Wrapping the links with an empty fault plan is bit-identical to not
 /// wrapping them at all.
 #[test]
 fn empty_plan_wrapper_is_bitwise_transparent() {
@@ -388,7 +383,7 @@ fn empty_plan_wrapper_is_bitwise_transparent() {
     let wrapped = {
         let plan = FaultPlan::generate(&FaultConfig::none(), 4, rounds, 99);
         assert!(plan.is_empty());
-        let mut fed = Federation::new(wrap(math_clients(4), &plan), config(rounds), 11);
+        let mut fed = faulted(math_clients(4), &plan, config(rounds), 11);
         fed.run();
         (fed.global_params().to_vec(), *fed.transport())
     };
@@ -402,7 +397,7 @@ fn empty_plan_wrapper_is_bitwise_transparent() {
 fn faulty_runs_are_seed_deterministic() {
     let run = |plan_seed: u64| {
         let plan = FaultPlan::generate(&FaultConfig::chaos(), 4, 20, plan_seed);
-        let mut fed = Federation::new(wrap(math_clients(4), &plan), config(20), 11);
+        let mut fed = faulted(math_clients(4), &plan, config(20), 11);
         let reports = fed.run();
         (fed.global_params().to_vec(), reports)
     };

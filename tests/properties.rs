@@ -5,9 +5,8 @@ mod common;
 use common::MathClient;
 use fedpower::agent::{ReplayBuffer, RewardConfig, SoftmaxPolicy, State, Transition};
 use fedpower::baselines::Discretizer;
-use fedpower::federated::{
-    FaultConfig, FaultPlan, FaultSummary, FaultyClient, FedAvgConfig, Federation,
-};
+use fedpower::federated::report::FaultSummary;
+use fedpower::federated::{FaultConfig, FaultPlan, FedAvgConfig, Federation, TransportKind};
 use fedpower::nn::{average_params, Activation, Mlp};
 use fedpower::sim::{PerfCounters, PerfModel, PhaseParams, PowerModel, VfTable};
 use proptest::prelude::*;
@@ -162,13 +161,13 @@ proptest! {
         };
         let rounds = 8_u64;
         let plan = FaultPlan::generate(&faults, 4, rounds, plan_seed);
-        let clients: Vec<FaultyClient<MathClient>> = (0..4)
-            .map(|i| FaultyClient::new(MathClient::new(i), &plan))
-            .collect();
+        let clients: Vec<MathClient> = (0..4).map(MathClient::new).collect();
         let mut cfg = FedAvgConfig::paper();
         cfg.rounds = rounds;
         cfg.steps_per_round = 1;
-        let mut fed = Federation::new(clients, cfg, plan_seed);
+        let mut fed =
+            Federation::with_transport_and_plan(clients, cfg, plan_seed, TransportKind::Channel, &plan)
+                .expect("channel links");
 
         let mut reports = Vec::new();
         for _ in 0..rounds {

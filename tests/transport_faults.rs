@@ -6,9 +6,10 @@
 mod common;
 
 use common::MathClient;
+use fedpower::federated::report::FaultSummary;
 use fedpower::federated::{
-    CorruptionKind, Fault, FaultConfig, FaultPlan, FaultSummary, FedAvgConfig, FederatedClient,
-    Federation, ModelUpdate, TransportKind,
+    CorruptionKind, Fault, FaultConfig, FaultPlan, FedAvgConfig, FederatedClient, Federation,
+    ModelUpdate, TransportKind,
 };
 
 fn math_clients(n: usize) -> Vec<MathClient> {
