@@ -1,0 +1,230 @@
+//! **Fleet benchmark.** Runs one hierarchical (sharded) federated round at
+//! cross-device scale and emits a machine-readable `BENCH_fleet.json`:
+//!
+//! * `clients_per_sec` — simulated edge devices trained, uploaded, and
+//!   aggregated per wall-clock second of the round,
+//! * `round_secs` — wall-clock seconds for the whole round,
+//! * `peak_mib` — peak live heap during the round, tracked by a wrapping
+//!   global allocator (the memory-budget proxy: lazily materialized
+//!   clients must keep the peak near per-worker state, not per-fleet
+//!   state),
+//! * `clients` / `shards` — the topology exercised.
+//!
+//! ```text
+//! cargo bench -p fedpower-bench --bench fleet -- [--quick] [--out PATH]
+//!     [--baseline PATH] [--budget-mib N]
+//! ```
+//!
+//! The full profile runs 100 000 clients over 64 shards; `--quick` runs
+//! 10 000 clients over 8 shards (the CI smoke profile). With
+//! `--baseline PATH` the run compares `clients_per_sec` against the
+//! baseline JSON and exits nonzero on a regression of more than 30 %.
+//! `--budget-mib N` (default 1024) fails the run when the peak live heap
+//! exceeds the budget — a 100k-client round must not cost 100k clients of
+//! memory.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use fedpower_core::experiment::run_fleet;
+use fedpower_core::{ExperimentConfig, FleetSpec};
+
+/// Tracks live and peak heap bytes; dealloc sizes come from the `Layout`,
+/// so the accounting is exact for every allocation routed through the
+/// global allocator.
+struct PeakAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        on_alloc(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        on_alloc(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: PeakAlloc = PeakAlloc;
+
+struct Results {
+    clients_per_sec: f64,
+    round_secs: f64,
+    peak_mib: f64,
+    clients: usize,
+    shards: usize,
+    quick: bool,
+}
+
+impl Results {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"clients_per_sec\": {:.1},\n  \"round_secs\": {:.3},\n  \
+             \"peak_mib\": {:.1},\n  \"clients\": {},\n  \"shards\": {},\n  \
+             \"quick\": {}\n}}\n",
+            self.clients_per_sec,
+            self.round_secs,
+            self.peak_mib,
+            self.clients,
+            self.shards,
+            self.quick
+        )
+    }
+}
+
+/// Pulls `"key": <number>` out of our own JSON format — no JSON crate in
+/// the dependency set, and we only ever parse files this bench wrote.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // Cargo runs benches with the package directory as cwd; resolve
+    // relative paths against the workspace root so
+    // `--baseline BENCH_fleet.json` means the committed baseline.
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf();
+    let resolve = |p: String| {
+        let path = std::path::PathBuf::from(&p);
+        if path.is_absolute() {
+            path
+        } else {
+            workspace_root.join(path)
+        }
+    };
+    let out_path = resolve(arg_value("--out").unwrap_or_else(|| "BENCH_fleet.json".to_string()));
+    let baseline_path = arg_value("--baseline").map(resolve);
+    let budget_mib: f64 = arg_value("--budget-mib")
+        .map(|v| v.parse().expect("--budget-mib takes a number"))
+        .unwrap_or(1024.0);
+
+    let spec = if quick {
+        FleetSpec {
+            clients: 10_000,
+            shards: 8,
+        }
+    } else {
+        FleetSpec {
+            clients: 100_000,
+            shards: 64,
+        }
+    };
+    // One round with a short local schedule: the bench measures the
+    // orchestration path (materialize, train, upload, shard-reduce,
+    // merge, commit, broadcast), not long training runs.
+    let cfg = ExperimentConfig::builder()
+        .quick(true)
+        .rounds(1)
+        .steps_per_round(4)
+        .fleet(Some(spec))
+        .build()
+        .expect("valid fleet bench config");
+
+    eprintln!(
+        "running one round: {} clients over {} shards...",
+        spec.clients, spec.shards
+    );
+    PEAK.store(LIVE.load(Ordering::SeqCst), Ordering::SeqCst);
+    let start = Instant::now();
+    let out = run_fleet(&cfg).expect("fleet run");
+    let round_secs = start.elapsed().as_secs_f64();
+    let peak_mib = PEAK.load(Ordering::SeqCst) as f64 / (1 << 20) as f64;
+
+    assert_eq!(out.reports.len(), 1);
+    assert_eq!(
+        out.reports[0].participants as usize, spec.clients,
+        "every client must be accounted for"
+    );
+    assert!(
+        out.global.iter().all(|p| p.is_finite()),
+        "the committed model must stay finite"
+    );
+
+    let results = Results {
+        clients_per_sec: spec.clients as f64 / round_secs,
+        round_secs,
+        peak_mib,
+        clients: spec.clients,
+        shards: spec.shards,
+        quick,
+    };
+    let json = results.to_json();
+    print!("{json}");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    eprintln!("wrote {}", out_path.display());
+
+    let mut failed = false;
+    if peak_mib > budget_mib {
+        eprintln!(
+            "MEMORY BUDGET EXCEEDED: peak {peak_mib:.1} MiB over the {budget_mib:.1} MiB budget"
+        );
+        failed = true;
+    } else {
+        eprintln!("peak {peak_mib:.1} MiB within the {budget_mib:.1} MiB budget");
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        match json_number(&baseline, "clients_per_sec") {
+            Some(base) => {
+                let now = results.clients_per_sec;
+                let ratio = now / base;
+                eprintln!(
+                    "clients_per_sec: {now:.1} vs baseline {base:.1} ({:.0} %)",
+                    ratio * 100.0
+                );
+                if ratio < 0.7 {
+                    eprintln!("REGRESSION: clients_per_sec fell more than 30 % below the baseline");
+                    failed = true;
+                }
+            }
+            None => eprintln!(
+                "baseline {} has no clients_per_sec; skipping",
+                path.display()
+            ),
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

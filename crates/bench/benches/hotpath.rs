@@ -11,6 +11,9 @@
 //!   [`DeviceEnv::run_steps`] with a trivial driver (no agent in the loop),
 //! * `eval_steps_per_sec` — greedy evaluation episodes through
 //!   `evaluate_on_app_with_mode` with the trace off,
+//! * `fleet_clients_per_sec` — clients per second through one hierarchical
+//!   sharded round ([`fedpower_core::experiment::run_fleet`], 512 clients
+//!   over 8 shards),
 //! * `allocs_per_step` — heap allocations per warm training step, counted
 //!   by a wrapping global allocator (the zero-allocation contract says 0).
 //!
@@ -20,8 +23,9 @@
 //!
 //! With `--baseline PATH` the run compares its throughput metrics
 //! (`train_steps_per_sec`, `round_steps_per_sec`, `env_steps_per_sec`,
-//! `eval_steps_per_sec`) against the baseline JSON and exits nonzero on a
-//! regression of more than 30 % — the CI smoke gate.
+//! `eval_steps_per_sec`, `fleet_clients_per_sec`) against the baseline
+//! JSON and exits nonzero on a regression of more than 30 % — the CI
+//! smoke gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,7 +34,9 @@ use std::time::{Duration, Instant};
 use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, StepDriver, StepObservation};
 use fedpower_baselines::PerformanceGovernor;
 use fedpower_core::eval::{evaluate_on_app_with_mode, EvalOptions};
+use fedpower_core::experiment::run_fleet;
 use fedpower_core::policy::GovernorPolicy;
+use fedpower_core::{ExperimentConfig, FleetSpec};
 use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
 use fedpower_nn::{Activation, Adam, ForwardScratch, Huber, Mlp, TrainBatch, TrainScratch};
 use fedpower_sim::{FreqLevel, TraceMode, VfTable};
@@ -89,6 +95,7 @@ struct Results {
     round_steps_per_sec: f64,
     env_steps_per_sec: f64,
     eval_steps_per_sec: f64,
+    fleet_clients_per_sec: f64,
     allocs_per_step: f64,
     quick: bool,
 }
@@ -98,13 +105,14 @@ impl Results {
         format!(
             "{{\n  \"ns_per_forward\": {:.1},\n  \"train_steps_per_sec\": {:.1},\n  \
              \"round_steps_per_sec\": {:.1},\n  \"env_steps_per_sec\": {:.1},\n  \
-             \"eval_steps_per_sec\": {:.1},\n  \"allocs_per_step\": {:.3},\n  \
-             \"quick\": {}\n}}\n",
+             \"eval_steps_per_sec\": {:.1},\n  \"fleet_clients_per_sec\": {:.1},\n  \
+             \"allocs_per_step\": {:.3},\n  \"quick\": {}\n}}\n",
             self.ns_per_forward,
             self.train_steps_per_sec,
             self.round_steps_per_sec,
             self.env_steps_per_sec,
             self.eval_steps_per_sec,
+            self.fleet_clients_per_sec,
             self.allocs_per_step,
             self.quick
         )
@@ -275,12 +283,35 @@ fn main() {
     });
     let eval_steps_per_sec = (eval_iters * eval_opts.steps) as f64 / eval_secs;
 
+    eprintln!("measuring a hierarchical sharded round (512 clients, 8 shards)...");
+    let fleet_spec = FleetSpec {
+        clients: 512,
+        shards: 8,
+    };
+    let fleet_cfg = ExperimentConfig::builder()
+        .quick(true)
+        .rounds(1)
+        .steps_per_round(4)
+        .fleet(Some(fleet_spec))
+        .build()
+        .expect("valid fleet smoke config");
+    run_fleet(&fleet_cfg).expect("fleet warm-up"); // warm allocator/thread state
+    let fleet_start = Instant::now();
+    let fleet_out = run_fleet(&fleet_cfg).expect("fleet round");
+    let fleet_secs = fleet_start.elapsed().as_secs_f64();
+    assert_eq!(
+        fleet_out.reports[0].participants as usize,
+        fleet_spec.clients
+    );
+    let fleet_clients_per_sec = fleet_spec.clients as f64 / fleet_secs;
+
     let results = Results {
         ns_per_forward,
         train_steps_per_sec,
         round_steps_per_sec,
         env_steps_per_sec,
         eval_steps_per_sec,
+        fleet_clients_per_sec,
         allocs_per_step,
         quick,
     };
@@ -298,6 +329,7 @@ fn main() {
             "round_steps_per_sec",
             "env_steps_per_sec",
             "eval_steps_per_sec",
+            "fleet_clients_per_sec",
         ] {
             let Some(base) = json_number(&baseline, key) else {
                 eprintln!("baseline {} has no {key}; skipping", path.display());

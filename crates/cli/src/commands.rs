@@ -4,12 +4,13 @@ use crate::{Command, Invocation};
 use fedpower_agent::RewardConfig;
 use fedpower_core::eval::{run_to_completion, EvalOptions};
 use fedpower_core::experiment::{
-    run_federated_recorded, run_federated_training_only, run_fig5, run_local_only, run_table3,
+    run_federated_recorded, run_federated_training_only, run_fig5, run_fleet_recorded,
+    run_local_only, run_table3,
 };
 use fedpower_core::metrics::relative;
 use fedpower_core::report::{markdown_table, series_to_csv};
 use fedpower_core::scenario::{six_six_split, table2_scenarios};
-use fedpower_core::ExperimentConfig;
+use fedpower_core::{ExperimentConfig, FleetSpec};
 use fedpower_telemetry::Sink;
 use fedpower_workloads::{catalog, AppId};
 use std::error::Error;
@@ -38,6 +39,7 @@ pub fn run(inv: &Invocation) -> Result<(), Box<dyn Error>> {
         Command::Fig5 => fig5(&cfg)?,
         Command::Pcrit => pcrit(&cfg)?,
         Command::Oracle => oracle(&cfg)?,
+        Command::Fleet => fleet(&cfg, &sink)?,
         Command::List => list_catalog(),
     }
     if let Some(rendered) = sink.finish()? {
@@ -229,6 +231,60 @@ fn oracle(cfg: &ExperimentConfig) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Runs a hierarchical sharded federation; without `--fleet` a modest
+/// default topology (120 clients over 8 shards) demonstrates the path.
+fn fleet(cfg: &ExperimentConfig, sink: &Sink) -> Result<(), Box<dyn Error>> {
+    let mut cfg = *cfg;
+    let spec = cfg.fleet.unwrap_or(FleetSpec {
+        clients: 120,
+        shards: 8,
+    });
+    cfg.fleet = Some(spec);
+    eprintln!(
+        "running {} clients over {} shards for {} rounds...",
+        spec.clients, spec.shards, cfg.fedavg.rounds
+    );
+    let out = run_fleet_recorded(&cfg, sink.recorder())?;
+    println!(
+        "{}",
+        markdown_table(
+            &["metric", "value"],
+            &[
+                vec!["clients".into(), spec.clients.to_string()],
+                vec!["shards".into(), spec.shards.to_string()],
+                vec!["rounds".into(), out.reports.len().to_string()],
+                vec![
+                    "aggregated rounds".into(),
+                    out.fault_summary.aggregated_rounds.to_string(),
+                ],
+                vec![
+                    "uploads ok".into(),
+                    out.fault_summary.uploads_ok.to_string()
+                ],
+                vec![
+                    "uploads dropped".into(),
+                    out.fault_summary.uploads_dropped.to_string(),
+                ],
+                vec![
+                    "uploaded MiB".into(),
+                    format!(
+                        "{:.2}",
+                        out.transport.uploaded_bytes as f64 / (1 << 20) as f64
+                    ),
+                ],
+                vec![
+                    "downloaded MiB".into(),
+                    format!(
+                        "{:.2}",
+                        out.transport.downloaded_bytes as f64 / (1 << 20) as f64
+                    ),
+                ],
+            ],
+        )
+    );
+    Ok(())
+}
+
 fn list_catalog() {
     let rows: Vec<Vec<String>> = catalog::all_models()
         .iter()
@@ -306,6 +362,11 @@ mod tests {
     #[test]
     fn summary_telemetry_runs_without_errors() {
         run(&quick_inv("fig4", &["--telemetry", "summary"])).unwrap();
+    }
+
+    #[test]
+    fn fleet_quick_runs_end_to_end() {
+        run(&quick_inv("fleet", &["--fleet", "shards=3,clients=9"])).unwrap();
     }
 
     #[test]

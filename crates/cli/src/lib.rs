@@ -7,6 +7,7 @@
 //! fedpower <command> [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp]
 //!          [--faults none|lossy-network|stragglers|flaky-fleet|chaos]
 //!          [--telemetry off|summary|jsonl:<path>]
+//!          [--fleet shards=<k>,clients=<n>]
 //!
 //! commands:
 //!   fig3        local-only vs federated reward curves (3 scenarios)
@@ -15,6 +16,7 @@
 //!   fig5        per-application comparison (six/six split)
 //!   pcrit       sweep the power constraint from 0.4 W to 0.8 W
 //!   oracle      regret of the trained policy vs a perfect-knowledge oracle
+//!   fleet       hierarchical sharded federation at cross-device scale
 //!   list        list the application catalog with model characteristics
 //! ```
 
@@ -23,7 +25,7 @@
 
 pub mod commands;
 
-use fedpower_core::{ConfigError, ExperimentConfig};
+use fedpower_core::{ConfigError, ExperimentConfig, FleetSpec};
 use fedpower_federated::{FaultScenario, TransportKind};
 use fedpower_telemetry::SinkSpec;
 use std::fmt;
@@ -49,6 +51,32 @@ pub struct Invocation {
     /// `--telemetry off|summary|jsonl:<path>` — where the federation's
     /// structured telemetry stream goes (default: off).
     pub telemetry: SinkSpec,
+    /// `--fleet shards=<k>,clients=<n>` — hierarchical shard topology for
+    /// the `fleet` command (keys accepted in either order).
+    pub fleet: Option<FleetSpec>,
+}
+
+/// Parses a `--fleet` value of the form `shards=<k>,clients=<n>` (the two
+/// `key=value` pairs in either order).
+fn parse_fleet_spec(s: &str) -> Option<FleetSpec> {
+    let mut clients: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    for pair in s.split(',') {
+        let (key, value) = pair.split_once('=')?;
+        let slot = match key.trim() {
+            "clients" => &mut clients,
+            "shards" => &mut shards,
+            _ => return None,
+        };
+        if slot.is_some() {
+            return None; // duplicate key
+        }
+        *slot = Some(value.trim().parse().ok()?);
+    }
+    Some(FleetSpec {
+        clients: clients?,
+        shards: shards?,
+    })
 }
 
 /// The available subcommands.
@@ -61,6 +89,7 @@ pub enum Command {
     Fig5,
     Pcrit,
     Oracle,
+    Fleet,
     List,
 }
 
@@ -73,6 +102,7 @@ impl Command {
             "fig5" => Some(Command::Fig5),
             "pcrit" => Some(Command::Pcrit),
             "oracle" => Some(Command::Oracle),
+            "fleet" => Some(Command::Fleet),
             "list" => Some(Command::List),
             _ => None,
         }
@@ -88,6 +118,7 @@ impl fmt::Display for Command {
             Command::Fig5 => "fig5",
             Command::Pcrit => "pcrit",
             Command::Oracle => "oracle",
+            Command::Fleet => "fleet",
             Command::List => "list",
         };
         f.write_str(name)
@@ -129,6 +160,7 @@ impl Invocation {
             transport: None,
             faults: None,
             telemetry: SinkSpec::Off,
+            fleet: None,
         };
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -188,6 +220,16 @@ impl Invocation {
                         ))
                     })?;
                 }
+                "--fleet" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--fleet needs a value".into()))?;
+                    inv.fleet = Some(parse_fleet_spec(&v).ok_or_else(|| {
+                        ParseInvocationError(format!(
+                            "bad --fleet: {v:?} (expected shards=<k>,clients=<n>)"
+                        ))
+                    })?);
+                }
                 other => return Err(ParseInvocationError(format!("unknown argument: {other}"))),
             }
         }
@@ -215,15 +257,18 @@ impl Invocation {
         if let Some(faults) = self.faults {
             b = b.faults(faults);
         }
+        if self.fleet.is_some() {
+            b = b.fleet(self.fleet);
+        }
         b.build()
     }
 }
 
 /// The usage text shown on parse errors.
-pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|list> \
+pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|fleet|list> \
 [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp] \
 [--faults none|lossy-network|stragglers|flaky-fleet|chaos] \
-[--telemetry off|summary|jsonl:<path>]";
+[--telemetry off|summary|jsonl:<path>] [--fleet shards=<k>,clients=<n>]";
 
 #[cfg(test)]
 mod tests {
@@ -295,6 +340,37 @@ mod tests {
     }
 
     #[test]
+    fn fleet_flag_parses_both_key_orders() {
+        let spec = FleetSpec {
+            clients: 100_000,
+            shards: 64,
+        };
+        for v in ["shards=64,clients=100000", "clients=100000,shards=64"] {
+            let inv = parse(&["fleet", "--fleet", v]).unwrap();
+            assert_eq!(inv.fleet, Some(spec));
+            assert_eq!(inv.config().unwrap().fleet, Some(spec));
+        }
+        assert_eq!(parse(&["fleet"]).unwrap().fleet, None);
+        for bad in [
+            "shards=64",
+            "clients=10",
+            "shards=64,clients=ten",
+            "shards=1,shards=2",
+            "gerbils=9,clients=10",
+            "shards=2,clients=4,shards=8",
+        ] {
+            assert!(parse(&["fleet", "--fleet", bad]).is_err(), "{bad}");
+        }
+        assert!(parse(&["fleet", "--fleet"]).is_err());
+        // Degenerate topologies parse but fail config validation.
+        let inv = parse(&["fleet", "--fleet", "shards=0,clients=10"]).unwrap();
+        assert!(matches!(
+            inv.config(),
+            Err(fedpower_core::ConfigError::DegenerateFleet(_))
+        ));
+    }
+
+    #[test]
     fn invalid_flag_combinations_fail_config_validation() {
         let inv = parse(&["fig3", "--rounds", "0"]).unwrap();
         assert_eq!(inv.config(), Err(fedpower_core::ConfigError::ZeroRounds));
@@ -318,6 +394,7 @@ mod tests {
             Command::Fig5,
             Command::Pcrit,
             Command::Oracle,
+            Command::Fleet,
             Command::List,
         ] {
             assert_eq!(Command::parse(&cmd.to_string()), Some(cmd));

@@ -21,6 +21,20 @@ pub enum EvalProtocol {
     AllApps,
 }
 
+/// Shard topology for a hierarchical (fleet) federated run: `clients`
+/// simulated edge devices reduced through `shards` edge aggregators.
+///
+/// `None` on [`ExperimentConfig::fleet`] means the classic flat topology;
+/// `Some` routes `run` through [`crate::experiment::run_fleet`], which is
+/// bit-identical to a flat round per the exact-sum aggregation contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Total simulated clients across all shards (≥ 1).
+    pub clients: usize,
+    /// Edge aggregators splitting the client range (≥ 1).
+    pub shards: usize,
+}
+
 /// All hyperparameters of a reproduction run, defaulting to Table I.
 ///
 /// | Parameter | Value | Parameter | Value |
@@ -58,6 +72,11 @@ pub struct ExperimentConfig {
     pub transport: TransportKind,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
+    /// Hierarchical shard topology (`None` = classic flat federation).
+    /// Serialized configs from before the fleet subsystem deserialize to
+    /// `None`.
+    #[serde(default)]
+    pub fleet: Option<FleetSpec>,
 }
 
 impl ExperimentConfig {
@@ -89,6 +108,7 @@ impl ExperimentConfig {
             fault_scenario: FaultScenario::None,
             transport: TransportKind::Channel,
             seed: 42,
+            fleet: None,
         }
     }
 
@@ -137,6 +157,8 @@ pub enum ConfigError {
         /// The (too small) safety cap on control intervals.
         eval_max_steps: u64,
     },
+    /// A [`FleetSpec`] must have at least one client and one shard.
+    DegenerateFleet(FleetSpec),
 }
 
 impl fmt::Display for ConfigError {
@@ -160,6 +182,11 @@ impl fmt::Display for ConfigError {
             } => write!(
                 f,
                 "eval step cap {eval_max_steps} below episode length {eval_steps}"
+            ),
+            ConfigError::DegenerateFleet(spec) => write!(
+                f,
+                "fleet topology needs at least one client and one shard, got {} clients / {} shards",
+                spec.clients, spec.shards
             ),
         }
     }
@@ -247,6 +274,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets (or clears) the hierarchical shard topology.
+    pub fn fleet(mut self, fleet: Option<FleetSpec>) -> Self {
+        self.cfg.fleet = fleet;
+        self
+    }
+
     /// Validates and returns the assembled configuration.
     ///
     /// # Errors
@@ -281,6 +314,11 @@ impl ExperimentConfigBuilder {
                 eval_steps: cfg.eval_steps,
                 eval_max_steps: cfg.eval_max_steps,
             });
+        }
+        if let Some(spec) = cfg.fleet {
+            if spec.clients == 0 || spec.shards == 0 {
+                return Err(ConfigError::DegenerateFleet(spec));
+            }
         }
         Ok(cfg)
     }
@@ -395,6 +433,41 @@ mod tests {
         );
         let msg = ConfigError::ZeroRounds.to_string();
         assert!(msg.contains("rounds"), "{msg}");
+    }
+
+    #[test]
+    fn builder_accepts_and_validates_fleet_topologies() {
+        let spec = FleetSpec {
+            clients: 100,
+            shards: 8,
+        };
+        let cfg = ExperimentConfig::builder()
+            .fleet(Some(spec))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fleet, Some(spec));
+        assert_eq!(ExperimentConfig::paper().fleet, None);
+        for bad in [
+            FleetSpec {
+                clients: 0,
+                shards: 8,
+            },
+            FleetSpec {
+                clients: 100,
+                shards: 0,
+            },
+        ] {
+            assert_eq!(
+                ExperimentConfig::builder().fleet(Some(bad)).build(),
+                Err(ConfigError::DegenerateFleet(bad))
+            );
+        }
+        let msg = ConfigError::DegenerateFleet(FleetSpec {
+            clients: 0,
+            shards: 0,
+        })
+        .to_string();
+        assert!(msg.contains("fleet"), "{msg}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! End-to-end experiment drivers for the paper's evaluation section.
 
-use crate::config::{EvalProtocol, ExperimentConfig};
+use crate::config::{EvalProtocol, ExperimentConfig, FleetSpec};
 use crate::eval::{evaluate_on_app, run_to_completion, CompletionMetrics, EvalOptions};
 use crate::metrics::{EvalPoint, EvalSeries, MethodSummary};
 use crate::policy::DvfsPolicy;
@@ -8,7 +8,10 @@ use crate::scenario::{six_six_split, table2_scenarios, Scenario};
 use fedpower_agent::{AgentWorkspace, DeviceEnvConfig, PowerController};
 use fedpower_baselines::CollabFederation;
 use fedpower_federated::report::{FaultSummary, RoundReport, TransportStats};
-use fedpower_federated::{AgentClient, FaultPlan, FaultScenario, FederatedClient, Federation};
+use fedpower_federated::{
+    AgentClient, FaultPlan, FaultScenario, FedError, FederatedClient, Federation, Fleet,
+    FleetClientFactory, FleetConfig,
+};
 use fedpower_sim::rng::{derive_seed, streams};
 use fedpower_telemetry::{Counter, NullRecorder, Recorder};
 use fedpower_workloads::AppId;
@@ -240,6 +243,119 @@ pub fn run_federated_recorded(
         reports,
         fault_summary,
     }
+}
+
+/// Materializes simulated edge devices on demand for a hierarchical
+/// (sharded) fleet run.
+///
+/// Each client `id` runs one application from the paper's twelve
+/// (cycling `AppId::ALL`), so an arbitrarily large fleet covers every
+/// workload without holding more than one device per worker in memory.
+/// Construction is deterministic in `(id, round)` per the
+/// [`FleetClientFactory`] contract: the training seed folds the round
+/// into the per-client stream.
+#[derive(Debug, Clone)]
+pub struct DeviceFleetFactory {
+    cfg: ExperimentConfig,
+    initial: Vec<f32>,
+}
+
+impl DeviceFleetFactory {
+    /// Builds the factory, seeding the initial global model from the
+    /// experiment's master seed (stream 300, matching the convention the
+    /// per-client controllers use).
+    pub fn new(cfg: &ExperimentConfig) -> Self {
+        let initial = PowerController::new(cfg.controller, derive_seed(cfg.seed, 300)).params();
+        DeviceFleetFactory { cfg: *cfg, initial }
+    }
+
+    /// The application assigned to client `id`.
+    pub fn app_for(id: usize) -> AppId {
+        AppId::ALL[id % AppId::ALL.len()]
+    }
+}
+
+impl FleetClientFactory for DeviceFleetFactory {
+    type Client = AgentClient;
+
+    fn initial_global(&self) -> Vec<f32> {
+        self.initial.clone()
+    }
+
+    fn materialize(&self, id: usize, round: u64) -> AgentClient {
+        let apps = [Self::app_for(id)];
+        let seed = derive_seed(derive_seed(self.cfg.seed, 20 + id as u64), round);
+        AgentClient::new(id, self.cfg.controller, device_env(&apps, &self.cfg), seed)
+    }
+}
+
+/// Result of a hierarchical (sharded) federated run.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The final global model parameters.
+    pub global: Vec<f32>,
+    /// Per-round orchestration reports (identical in shape to the flat
+    /// engine's).
+    pub reports: Vec<RoundReport>,
+    /// Communication accounting across all shards.
+    pub transport: TransportStats,
+    /// Fault/resilience totals over the run.
+    pub fault_summary: FaultSummary,
+}
+
+/// Runs one hierarchical federated experiment per
+/// [`ExperimentConfig::fleet`]: `clients` simulated devices reduced
+/// through `shards` edge aggregators, bit-identical to a flat FedAvg
+/// round over the same clients.
+///
+/// # Errors
+///
+/// Returns [`FedError::InvalidConfig`] when `cfg.fleet` is `None` or the
+/// federated settings fall outside the sharded engine's domain, and
+/// [`FedError::UnsupportedInFleet`] for non-associative (robust)
+/// aggregation strategies.
+pub fn run_fleet(cfg: &ExperimentConfig) -> Result<FleetOutcome, FedError> {
+    run_fleet_recorded(cfg, Box::new(NullRecorder))
+}
+
+/// [`run_fleet`] with a telemetry [`Recorder`] receiving the fleet's
+/// structured event stream (round lifecycle, per-client dispositions
+/// replayed shard by shard, per-shard counters and spans).
+pub fn run_fleet_recorded(
+    cfg: &ExperimentConfig,
+    recorder: Box<dyn Recorder>,
+) -> Result<FleetOutcome, FedError> {
+    let spec: FleetSpec = cfg.fleet.ok_or_else(|| {
+        FedError::InvalidConfig("fleet run requires a fleet topology (clients/shards)".into())
+    })?;
+    let plan = (cfg.fault_scenario != FaultScenario::None).then(|| {
+        FaultPlan::generate(
+            &cfg.fault_scenario.config(),
+            spec.clients,
+            cfg.fedavg.rounds,
+            derive_seed(cfg.seed, streams::FAULTS),
+        )
+    });
+    let fleet_cfg = FleetConfig {
+        fedavg: cfg.fedavg,
+        num_clients: spec.clients,
+        shards: spec.shards,
+    };
+    let mut fleet = Fleet::with_options(
+        DeviceFleetFactory::new(cfg),
+        fleet_cfg,
+        plan.as_ref(),
+        recorder,
+    )?;
+    let reports = fleet.run();
+    fleet.recorder_mut().flush();
+    let fault_summary = FaultSummary::from_reports(&reports);
+    Ok(FleetOutcome {
+        global: fleet.global_params().to_vec(),
+        reports,
+        transport: *fleet.transport(),
+        fault_summary,
+    })
 }
 
 /// Trains the *Profit+CollabPolicy* baseline on a scenario and returns the
@@ -543,6 +659,43 @@ mod tests {
             );
         }
         assert_eq!(out.series[0].points.len(), 6, "every round evaluates");
+    }
+
+    fn tiny_fleet_cfg(clients: usize, shards: usize) -> ExperimentConfig {
+        let mut cfg = tiny_cfg();
+        cfg.fedavg.rounds = 2;
+        cfg.fedavg.steps_per_round = 5;
+        cfg.fleet = Some(FleetSpec { clients, shards });
+        cfg
+    }
+
+    #[test]
+    fn fleet_experiment_runs_and_accounts_every_client() {
+        let cfg = tiny_fleet_cfg(6, 3);
+        let out = run_fleet(&cfg).unwrap();
+        assert_eq!(out.reports.len(), 2);
+        assert_eq!(out.reports[0].participants, 6);
+        assert_eq!(out.fault_summary.aggregated_rounds, 2);
+        assert!(out.global.iter().all(|p| p.is_finite()));
+        assert_eq!(out.transport.uploads, 2 * 6);
+        // 6 join-handshake downloads + 6 per round.
+        assert_eq!(out.transport.downloads, 6 + 2 * 6);
+    }
+
+    #[test]
+    fn fleet_outcome_is_shard_invariant_and_seed_deterministic() {
+        let a = run_fleet(&tiny_fleet_cfg(5, 1)).unwrap();
+        let b = run_fleet(&tiny_fleet_cfg(5, 4)).unwrap();
+        assert_eq!(a.global, b.global, "shard count must not change the model");
+        assert_eq!(a.reports, b.reports);
+        let c = run_fleet(&tiny_fleet_cfg(5, 4)).unwrap();
+        assert_eq!(b.global, c.global);
+    }
+
+    #[test]
+    fn fleet_run_without_topology_is_a_typed_error() {
+        let cfg = tiny_cfg();
+        assert!(matches!(run_fleet(&cfg), Err(FedError::InvalidConfig(_))));
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod policy;
 pub mod report;
 pub mod scenario;
 
-pub use config::{ConfigError, EvalProtocol, ExperimentConfig, ExperimentConfigBuilder};
+pub use config::{ConfigError, EvalProtocol, ExperimentConfig, ExperimentConfigBuilder, FleetSpec};
 pub use scenario::Scenario;

@@ -1,3 +1,4 @@
+use crate::server::AggregationStrategy;
 use fedpower_nn::NnError;
 use fedpower_wire::WireError;
 use std::error::Error;
@@ -62,6 +63,14 @@ pub enum FedError {
         /// Parameter count the global model carried.
         actual: usize,
     },
+    /// The aggregation strategy cannot run under sharded (fleet)
+    /// aggregation: robust combiners need every update's coordinates, so
+    /// their shard partials do not merge associatively. Fleet mode fails
+    /// fast rather than silently producing a different answer.
+    UnsupportedInFleet {
+        /// The strategy that was requested.
+        strategy: AggregationStrategy,
+    },
 }
 
 impl fmt::Display for FedError {
@@ -103,6 +112,10 @@ impl fmt::Display for FedError {
             } => write!(
                 f,
                 "client {client_id}: architecture mismatch (expects {expected} params, global model has {actual})"
+            ),
+            FedError::UnsupportedInFleet { strategy } => write!(
+                f,
+                "aggregation strategy {strategy:?} is not associative and cannot run under sharded (fleet) aggregation"
             ),
         }
     }
@@ -193,6 +206,13 @@ mod tests {
                 }
                 .to_string(),
                 "687 params",
+            ),
+            (
+                FedError::UnsupportedInFleet {
+                    strategy: AggregationStrategy::CoordinateMedian,
+                }
+                .to_string(),
+                "not associative",
             ),
         ];
         for (rendered, needle) in cases {

@@ -1,0 +1,1140 @@
+//! Hierarchical (sharded) federated orchestration: one aggregation round
+//! over a fleet too large to hold in memory at once.
+//!
+//! The flat [`crate::Federation`] owns every client object for its whole
+//! lifetime — fine for the paper's N ≤ 32, hopeless for a 100 000-device
+//! fleet, where the clients' environments alone would exhaust memory.
+//! [`Fleet`] keeps the round *algebra* identical while changing the
+//! round *topology*:
+//!
+//! * the client id space is split into contiguous shards;
+//! * each shard is reduced by an [`EdgeAggregator`] on a worker slot of
+//!   the crate's [`WorkerPool`], materializing clients **one at a time**
+//!   from a [`FleetClientFactory`], training each against a persistent
+//!   per-worker workspace, folding its update into a shard-local
+//!   [`RoundAccumulator`], and dropping it — peak memory per worker is
+//!   one client plus one workspace plus one accumulator, independent of
+//!   fleet size;
+//! * the root merges the shard partials ([`RoundAccumulator::merge`])
+//!   and commits through the ordinary [`FedAvgServer::commit_round`]
+//!   path.
+//!
+//! Because the streaming accumulator's sums are [`crate::ExactSum`]
+//! integers, the merge is associative and commutative *down to the bit*:
+//! for stateless clients the sharded round commits exactly the bytes the
+//! flat engine commits, for every shard count, with or without an active
+//! [`FaultPlan`] — `tests/fleet_determinism.rs` proves it. Robust
+//! combiners ([`AggregationStrategy::TrimmedMean`],
+//! [`AggregationStrategy::CoordinateMedian`]) need every update's
+//! coordinates at one place and therefore cannot run sharded; [`Fleet`]
+//! rejects them up front with [`FedError::UnsupportedInFleet`] rather
+//! than buffering 100k updates at the root and blowing the budget the
+//! topology exists to hold.
+//!
+//! Fault semantics mirror the flat engine's exactly, actuated from the
+//! plan instead of a per-link state machine: crash outages skip the
+//! client (it later resumes from the model it last held, tracked in a
+//! stale-model ledger), upload drops spend the shared retry budget,
+//! corruption is rejected by server admission, stragglers surface late at
+//! a staleness-discounted weight, and dropped broadcasts leave the client
+//! on its own post-round parameters. Two documented approximations exist
+//! for exotic client behavior: a client whose *training panicked* and
+//! whose broadcast also dropped resumes from its round-start (not
+//! mid-panic) parameters, and client-side `is_online`/`try_upload`
+//! overrides cannot carry state across rounds (materialized clients live
+//! for one round) — the bundled [`crate::AgentClient`] and the test
+//! clients exercise neither.
+
+use crate::client::{FederatedClient, ModelUpdate};
+use crate::error::FedError;
+use crate::fault::{Fault, FaultPlan};
+use crate::federation::FedAvgConfig;
+use crate::pool::WorkerPool;
+use crate::report::{RoundReport, TransportStats};
+use crate::server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
+use crate::wire;
+use fedpower_telemetry::{Counter, Event, EventKind, NullRecorder, Recorder, Span};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Configuration of a sharded fleet round: the ordinary federated
+/// settings plus the fleet's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Round settings shared with the flat engine. Fleet rounds are
+    /// full-participation and noise-free (`participation` must be 1.0 and
+    /// `update_noise_sigma` 0.0): both knobs draw from the flat engine's
+    /// serial RNG stream, which a sharded round cannot reproduce.
+    pub fedavg: FedAvgConfig,
+    /// Total simulated clients (the paper's N, scaled to fleet size).
+    pub num_clients: usize,
+    /// Shards the client id space is split into. More shards than
+    /// clients is allowed — trailing shards are empty and merge as
+    /// identities.
+    pub shards: usize,
+}
+
+/// Builds fleet clients on demand, one shard worker at a time.
+///
+/// The fleet never holds more than one client per worker slot, so client
+/// state cannot persist across rounds inside the client object. Instead
+/// the contract is:
+///
+/// * `materialize(id, round)` must be a pure function of its arguments —
+///   calling it twice yields identical clients (this is what makes a
+///   sharded run reproducible and shard-count-independent);
+/// * the engine installs the parameters the client actually holds
+///   (current global, or its stale model when it missed broadcasts)
+///   via [`FederatedClient::download`] right after materialization, so
+///   the factory's own initial parameters are irrelevant;
+/// * cross-round *model* state is the engine's job (the stale-model
+///   ledger); cross-round *environment* state, if desired, must be
+///   derived deterministically from `(id, round)`.
+pub trait FleetClientFactory: Sync {
+    /// The client type this factory builds.
+    type Client: FederatedClient;
+
+    /// Initial global model θ₁ (the flat engine takes it from client 0).
+    fn initial_global(&self) -> Vec<f32>;
+
+    /// Builds the client `id` for `round`. Must be deterministic in
+    /// `(id, round)`.
+    fn materialize(&self, id: usize, round: u64) -> Self::Client;
+}
+
+/// A straggler's update buffered at the root until its delay elapses.
+#[derive(Debug)]
+struct StashedStraggler {
+    client: usize,
+    /// Round the update was trained in.
+    origin: u64,
+    /// First round it may surface.
+    ready: u64,
+    update: ModelUpdate,
+}
+
+/// Read-only state a shard worker needs to process its clients.
+struct ShardContext<'a, F: FleetClientFactory> {
+    factory: &'a F,
+    /// Global model at the start of the round.
+    global: &'a [f32],
+    /// Per-client stale models (clients that missed broadcasts); absent
+    /// means the client holds the current global.
+    ledger: &'a BTreeMap<usize, Vec<f32>>,
+    plan: &'a FaultPlan,
+    /// `(client, round)` cells inside a crash outage.
+    offline: &'a BTreeSet<(usize, u64)>,
+    round: u64,
+    steps: u64,
+    strategy: AggregationStrategy,
+    max_upload_retries: u64,
+}
+
+/// Buffers a shard's telemetry so workers need no shared recorder; the
+/// root replays everything through its single emission choke point in
+/// shard order.
+#[derive(Debug, Default)]
+struct ShardTelemetry {
+    events: Vec<Event>,
+    counters: Vec<Counter>,
+    spans: Vec<Span>,
+}
+
+impl Recorder for ShardTelemetry {
+    fn event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+    fn counter(&mut self, counter: Counter) {
+        self.counters.push(counter);
+    }
+    fn span(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+}
+
+/// Reduces one shard of clients into a partial round: a shard-local
+/// [`RoundAccumulator`] plus the buffered telemetry and cross-round side
+/// effects (straggler stashes, stale-model retentions) the root applies
+/// after the merge.
+///
+/// Edge aggregators only exist for streaming (mean-based) strategies —
+/// [`EdgeAggregator::new`] rejects robust combiners with
+/// [`FedError::UnsupportedInFleet`], the same check [`Fleet`] applies at
+/// construction.
+#[derive(Debug)]
+pub struct EdgeAggregator {
+    shard: usize,
+    round: u64,
+    acc: RoundAccumulator,
+    telemetry: ShardTelemetry,
+    stragglers: Vec<StashedStraggler>,
+    /// Post-round parameters of clients whose broadcast will drop this
+    /// round (they keep training from these until a broadcast lands).
+    retained: Vec<(usize, Vec<f32>)>,
+    upload_bytes: u64,
+    clients_processed: u64,
+    secs: f64,
+}
+
+impl EdgeAggregator {
+    /// Opens an empty shard reducer for `round`, aggregating models of
+    /// `model_len` parameters under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::UnsupportedInFleet`] for the buffering
+    /// (robust) strategies, whose partials do not merge associatively.
+    pub fn new(
+        shard: usize,
+        round: u64,
+        strategy: AggregationStrategy,
+        model_len: usize,
+    ) -> Result<Self, FedError> {
+        if matches!(
+            strategy,
+            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian
+        ) {
+            return Err(FedError::UnsupportedInFleet { strategy });
+        }
+        Ok(EdgeAggregator {
+            shard,
+            round,
+            acc: RoundAccumulator::for_model(strategy, model_len),
+            telemetry: ShardTelemetry::default(),
+            stragglers: Vec::new(),
+            retained: Vec::new(),
+            upload_bytes: 0,
+            clients_processed: 0,
+            secs: 0.0,
+        })
+    }
+
+    /// The shard index this aggregator reduces.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The round this aggregator belongs to.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Updates admitted into the shard partial so far.
+    pub fn admitted(&self) -> usize {
+        self.acc.admitted()
+    }
+
+    /// Online clients this shard materialized and trained.
+    pub fn clients_processed(&self) -> u64 {
+        self.clients_processed
+    }
+
+    /// Upload frame bytes this shard received.
+    pub fn upload_bytes(&self) -> u64 {
+        self.upload_bytes
+    }
+
+    /// Consumes the reducer, returning the shard-local partial
+    /// accumulator for merging into the root's.
+    pub fn into_accumulator(self) -> RoundAccumulator {
+        self.acc
+    }
+
+    /// Records the arrival of a fresh upload and admits it at unit
+    /// weight, mirroring the flat engine's received-frame path.
+    fn deliver(&mut self, id: usize, update: ModelUpdate) {
+        let round = self.round;
+        let frame_len = wire::upload_frame_len(update.params.len());
+        self.telemetry.event(Event::with_bytes(
+            EventKind::UploadReceived,
+            round,
+            id,
+            frame_len,
+        ));
+        self.upload_bytes += frame_len as u64;
+        let kind = if self.acc.admit(update, 1.0).is_ok() {
+            EventKind::UploadAdmitted
+        } else {
+            EventKind::UpdateRejected
+        };
+        self.telemetry.event(Event::client_scoped(kind, round, id));
+    }
+
+    /// Materializes, trains, and uploads one client, realizing any
+    /// scheduled fault exactly as the flat engine's transport layer
+    /// would.
+    fn process_client<F: FleetClientFactory>(
+        &mut self,
+        ctx: &ShardContext<'_, F>,
+        id: usize,
+        ws: &mut <F::Client as FederatedClient>::Workspace,
+    ) {
+        let round = ctx.round;
+        if ctx.offline.contains(&(id, round)) {
+            self.telemetry
+                .event(Event::client_scoped(EventKind::ClientOffline, round, id));
+            return;
+        }
+        // The model this client actually holds: its stale ledger entry if
+        // it missed broadcasts, the current global otherwise.
+        let resume: &[f32] = ctx.ledger.get(&id).map_or(ctx.global, Vec::as_slice);
+        let mut client = ctx.factory.materialize(id, round);
+        client.download(resume);
+        client.begin_round(round);
+        if !client.is_online() {
+            self.telemetry
+                .event(Event::client_scoped(EventKind::ClientOffline, round, id));
+            return;
+        }
+        self.clients_processed += 1;
+        let trained =
+            catch_unwind(AssertUnwindSafe(|| client.train_round_with(ctx.steps, ws))).is_ok();
+        if !trained {
+            self.telemetry
+                .event(Event::client_scoped(EventKind::TrainPanic, round, id));
+            if matches!(ctx.plan.fault_at(id, round), Some(Fault::DownloadDrop)) {
+                // Documented approximation: the flat engine would retain
+                // the panicked client's mid-train parameters, which are
+                // not reproducible; retain its round-start model instead.
+                self.retained.push((id, resume.to_vec()));
+            }
+            return;
+        }
+        self.telemetry
+            .event(Event::client_scoped(EventKind::ClientTrained, round, id));
+        client.record_telemetry(round, &mut self.telemetry);
+
+        // Client-layer upload, spending the shared retry budget first —
+        // mirrors the flat engine, where client-side and in-flight drops
+        // draw from the same allowance.
+        let mut retries = 0;
+        let mut outcome = client.try_upload();
+        while retries < ctx.max_upload_retries
+            && matches!(outcome, Err(FedError::UploadDropped { .. }))
+        {
+            retries += 1;
+            self.telemetry
+                .event(Event::client_scoped(EventKind::UploadRetry, round, id));
+            outcome = client.try_upload();
+        }
+        let mut update = match outcome {
+            Ok(update) => update,
+            Err(FedError::UploadDropped { .. }) => {
+                self.telemetry
+                    .event(Event::client_scoped(EventKind::UploadDropped, round, id));
+                return;
+            }
+            Err(FedError::Straggling { .. }) => {
+                // A client-layer straggler cannot deliver late (the
+                // client object does not survive the round); counted,
+                // update lost. Plan-scheduled stragglers do deliver.
+                self.telemetry
+                    .event(Event::client_scoped(EventKind::StragglerStarted, round, id));
+                return;
+            }
+            Err(_) => {
+                self.telemetry
+                    .event(Event::client_scoped(EventKind::ClientOffline, round, id));
+                return;
+            }
+        };
+        drop(client);
+
+        // In-flight faults, realized from the plan.
+        match ctx.plan.fault_at(id, round) {
+            Some(Fault::Straggle { delay_rounds }) => {
+                self.telemetry
+                    .event(Event::client_scoped(EventKind::StragglerStarted, round, id));
+                self.stragglers.push(StashedStraggler {
+                    client: id,
+                    origin: round,
+                    ready: round + delay_rounds,
+                    update,
+                });
+            }
+            Some(Fault::UploadDrop { attempts }) => {
+                let budget = ctx.max_upload_retries - retries;
+                for _ in 0..attempts.min(budget) {
+                    self.telemetry
+                        .event(Event::client_scoped(EventKind::UploadRetry, round, id));
+                }
+                if attempts <= budget {
+                    self.deliver(id, update);
+                } else {
+                    self.telemetry
+                        .event(Event::client_scoped(EventKind::UploadDropped, round, id));
+                }
+            }
+            Some(Fault::Corrupt(kind)) => {
+                kind.apply(&mut update.params);
+                self.deliver(id, update);
+            }
+            Some(Fault::DownloadDrop) => {
+                self.retained.push((id, update.params.clone()));
+                self.deliver(id, update);
+            }
+            // A crash cell never reaches the upload phase (the offline
+            // check above returned); kept for exhaustiveness.
+            Some(Fault::Crash { .. }) | None => self.deliver(id, update),
+        }
+    }
+}
+
+/// Runs one shard: an [`EdgeAggregator`] over a contiguous client range,
+/// materializing clients lazily against the worker's persistent
+/// workspace.
+fn run_shard<F: FleetClientFactory>(
+    ctx: &ShardContext<'_, F>,
+    shard: usize,
+    clients: Range<usize>,
+    ws: &mut <F::Client as FederatedClient>::Workspace,
+) -> EdgeAggregator {
+    let start = Instant::now();
+    let mut edge = EdgeAggregator::new(shard, ctx.round, ctx.strategy, ctx.global.len())
+        .expect("fleet construction validated the strategy");
+    for id in clients {
+        edge.process_client(ctx, id, ws);
+    }
+    edge.secs = start.elapsed().as_secs_f64();
+    edge
+}
+
+/// Hierarchical round orchestration over a sharded fleet.
+///
+/// Construction validates the configuration ([`Fleet::with_options`]);
+/// [`Fleet::run_round`] then executes rounds with the same phase
+/// structure, event vocabulary, and accounting as the flat
+/// [`crate::Federation`], but fanned out over [`EdgeAggregator`] shards.
+/// For stateless clients the committed global model is bit-identical to
+/// the flat engine's for every shard count — see the crate docs and
+/// `tests/fleet_determinism.rs`.
+pub struct Fleet<F: FleetClientFactory> {
+    factory: F,
+    config: FleetConfig,
+    server: FedAvgServer,
+    plan: FaultPlan,
+    /// `(client, round)` cells inside a crash outage, precomputed from
+    /// the plan.
+    offline: BTreeSet<(usize, u64)>,
+    /// Round → clients whose crash outage begins there (they pin their
+    /// currently held model into the ledger).
+    crash_starts: BTreeMap<u64, Vec<usize>>,
+    /// Stale models of clients that missed broadcasts; absence means the
+    /// client holds the current global.
+    ledger: BTreeMap<usize, Vec<f32>>,
+    /// Straggler updates waiting out their delay at the root.
+    stash: BTreeMap<usize, StashedStraggler>,
+    transport: TransportStats,
+    recorder: Box<dyn Recorder>,
+    pool: WorkerPool,
+    workspaces: Vec<<F::Client as FederatedClient>::Workspace>,
+    rounds_run: u64,
+}
+
+// Manual impl: the recorder is a trait object and workspaces need not be
+// `Debug`, so derive is unavailable; show the orchestration state only.
+impl<F: FleetClientFactory> std::fmt::Debug for Fleet<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("config", &self.config)
+            .field("rounds_run", &self.rounds_run)
+            .field("transport", &self.transport)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FleetClientFactory> Fleet<F> {
+    /// Creates a fleet with no fault plan and no telemetry sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::with_options`].
+    pub fn new(factory: F, config: FleetConfig) -> Result<Self, FedError> {
+        Fleet::with_options(factory, config, None, Box::new(NullRecorder))
+    }
+
+    /// Creates a fleet with an optional fault plan and a telemetry
+    /// recorder.
+    ///
+    /// Delivers the join handshake accounting (one round-0
+    /// [`EventKind::DownloadDelivered`] per client, like the flat
+    /// engine's reliable control-plane join).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::UnsupportedInFleet`] when the aggregation
+    /// strategy is a robust (buffering) combiner, and
+    /// [`FedError::InvalidConfig`] when the fleet shape is degenerate
+    /// (zero clients or shards, an empty initial model) or the federated
+    /// settings are outside the sharded engine's domain (partial
+    /// participation, update noise, out-of-range staleness decay or
+    /// momentum).
+    pub fn with_options(
+        factory: F,
+        config: FleetConfig,
+        plan: Option<&FaultPlan>,
+        recorder: Box<dyn Recorder>,
+    ) -> Result<Self, FedError> {
+        let fed = &config.fedavg;
+        if config.num_clients == 0 {
+            return Err(FedError::InvalidConfig(
+                "fleet needs at least one client".to_string(),
+            ));
+        }
+        if config.shards == 0 {
+            return Err(FedError::InvalidConfig(
+                "fleet needs at least one shard".to_string(),
+            ));
+        }
+        if fed.participation != 1.0 {
+            return Err(FedError::InvalidConfig(format!(
+                "fleet rounds are full-participation (participation must be 1.0, got {})",
+                fed.participation
+            )));
+        }
+        if fed.update_noise_sigma != 0.0 {
+            return Err(FedError::InvalidConfig(format!(
+                "fleet rounds cannot reproduce the serial noise stream \
+                 (update_noise_sigma must be 0, got {})",
+                fed.update_noise_sigma
+            )));
+        }
+        if !(fed.staleness_decay > 0.0 && fed.staleness_decay <= 1.0) {
+            return Err(FedError::InvalidConfig(format!(
+                "staleness_decay must be in (0, 1], got {}",
+                fed.staleness_decay
+            )));
+        }
+        if !(0.0..1.0).contains(&fed.server_momentum) {
+            return Err(FedError::InvalidConfig(format!(
+                "server momentum must be in [0, 1), got {}",
+                fed.server_momentum
+            )));
+        }
+        if matches!(
+            fed.strategy,
+            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian
+        ) {
+            return Err(FedError::UnsupportedInFleet {
+                strategy: fed.strategy,
+            });
+        }
+        let initial = factory.initial_global();
+        if initial.is_empty() {
+            return Err(FedError::InvalidConfig(
+                "initial global model cannot be empty".to_string(),
+            ));
+        }
+        let server = FedAvgServer::with_momentum(initial, fed.strategy, fed.server_momentum);
+        let plan = plan.cloned().unwrap_or_default();
+        let mut offline = BTreeSet::new();
+        let mut crash_starts: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (client, round, fault) in plan.iter() {
+            if client >= config.num_clients {
+                continue;
+            }
+            if let Fault::Crash { down_rounds } = fault {
+                crash_starts.entry(round).or_default().push(client);
+                for r in round..round + down_rounds {
+                    offline.insert((client, r));
+                }
+            }
+        }
+        let mut fleet = Fleet {
+            factory,
+            config,
+            server,
+            plan,
+            offline,
+            crash_starts,
+            ledger: BTreeMap::new(),
+            stash: BTreeMap::new(),
+            transport: TransportStats::new(),
+            recorder,
+            pool: WorkerPool::default(),
+            workspaces: Vec::new(),
+            rounds_run: 0,
+        };
+        let join_bytes = wire::encode_join_ack(0, fleet.server.global()).len();
+        for id in 0..fleet.config.num_clients {
+            let event = Event::with_bytes(EventKind::DownloadDelivered, 0, id, join_bytes);
+            fleet.transport.apply(&event);
+            fleet.recorder.event(event);
+        }
+        Ok(fleet)
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The current global model parameters.
+    pub fn global_params(&self) -> &[f32] {
+        self.server.global()
+    }
+
+    /// Communication statistics so far.
+    pub fn transport(&self) -> &TransportStats {
+        &self.transport
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Installs a telemetry recorder; subsequent rounds emit through it.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The installed telemetry recorder, for harness-side emissions.
+    pub fn recorder_mut(&mut self) -> &mut dyn Recorder {
+        &mut *self.recorder
+    }
+
+    /// Applies one telemetry event to the round report and the
+    /// fleet-wide transport stats, then forwards it to the recorder —
+    /// the same single choke point the flat engine uses.
+    fn emit(
+        transport: &mut TransportStats,
+        recorder: &mut dyn Recorder,
+        report: &mut RoundReport,
+        event: Event,
+    ) {
+        report.apply(&event);
+        transport.apply(&event);
+        recorder.event(event);
+    }
+
+    /// Executes one sharded federated round.
+    ///
+    /// Phases: shard fan-out (materialize → train → upload, reduced by
+    /// one [`EdgeAggregator`] per shard), root merge of the shard
+    /// partials, straggler surfacing, quorum-checked commit, and
+    /// broadcast accounting. Every fault the plan schedules is realized
+    /// with the flat engine's semantics; like the flat engine, the round
+    /// itself never panics over client behavior.
+    pub fn run_round(&mut self) -> RoundReport {
+        let round = self.rounds_run + 1;
+        let mut report = RoundReport::begin(round);
+        Self::emit(
+            &mut self.transport,
+            &mut *self.recorder,
+            &mut report,
+            Event::round_scoped(EventKind::RoundStart, round),
+        );
+
+        let global: Vec<f32> = self.server.global().to_vec();
+        // Clients whose crash outage begins this round pin the model they
+        // currently hold; an existing ledger entry (earlier missed
+        // broadcast) already records exactly that.
+        if let Some(crashing) = self.crash_starts.get(&round) {
+            for &id in crashing {
+                self.ledger.entry(id).or_insert_with(|| global.clone());
+            }
+        }
+
+        let chunk = self.config.num_clients.div_ceil(self.config.shards);
+        let ranges: Vec<(usize, Range<usize>)> = (0..self.config.shards)
+            .map(|s| {
+                let start = (s * chunk).min(self.config.num_clients);
+                let end = ((s + 1) * chunk).min(self.config.num_clients);
+                (s, start..end)
+            })
+            .collect();
+        let ctx = ShardContext {
+            factory: &self.factory,
+            global: &global,
+            ledger: &self.ledger,
+            plan: &self.plan,
+            offline: &self.offline,
+            round,
+            steps: self.config.fedavg.steps_per_round,
+            strategy: self.config.fedavg.strategy,
+            max_upload_retries: self.config.fedavg.max_upload_retries,
+        };
+        let fanout_start = Instant::now();
+        let outcomes = self.pool.map_with_setup(
+            ranges,
+            &mut self.workspaces,
+            <F::Client as FederatedClient>::Workspace::default,
+            |(shard, clients), ws| run_shard(&ctx, shard, clients, ws),
+        );
+        report.timing.train_s = fanout_start.elapsed().as_secs_f64();
+
+        // Root fold, in shard order: replay each shard's buffered
+        // telemetry through the emission choke point, account the shard,
+        // merge its partial, and collect its cross-round side effects.
+        let aggregate_start = Instant::now();
+        let mut acc = self.server.accumulator();
+        let mut retained: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+        for edge in outcomes {
+            for event in &edge.telemetry.events {
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    *event,
+                );
+            }
+            for counter in &edge.telemetry.counters {
+                self.recorder.counter(*counter);
+            }
+            for span in &edge.telemetry.spans {
+                self.recorder.span(*span);
+            }
+            self.recorder.counter(Counter::new(
+                "shard_clients",
+                round,
+                Some(edge.shard),
+                edge.clients_processed,
+            ));
+            self.recorder.counter(Counter::new(
+                "shard_admitted",
+                round,
+                Some(edge.shard),
+                edge.acc.admitted() as u64,
+            ));
+            self.recorder.counter(Counter::new(
+                "shard_bytes",
+                round,
+                Some(edge.shard),
+                edge.upload_bytes,
+            ));
+            self.recorder.span(Span::new("shard", round, edge.secs));
+            for stashed in edge.stragglers {
+                // Like the flat transport's single-slot stash: a client
+                // already straggling keeps its first buffered update.
+                self.stash.entry(stashed.client).or_insert(stashed);
+            }
+            for (id, params) in edge.retained {
+                retained.insert(id, params);
+            }
+            acc.merge(edge.acc)
+                .expect("shard accumulators share the root's strategy and shape");
+        }
+
+        // Straggler updates whose delay elapsed (and whose client is
+        // reachable) surface now, discounted by staleness — in client-id
+        // order, exactly as the flat engine polls its clients.
+        let ready: Vec<usize> = self
+            .stash
+            .iter()
+            .filter(|(id, s)| round >= s.ready && !self.offline.contains(&(**id, round)))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ready {
+            let stashed = self
+                .stash
+                .remove(&id)
+                .expect("selected from the stash above");
+            Self::emit(
+                &mut self.transport,
+                &mut *self.recorder,
+                &mut report,
+                Event::with_bytes(
+                    EventKind::StaleReceived,
+                    round,
+                    id,
+                    wire::upload_frame_len(stashed.update.params.len()),
+                ),
+            );
+            let age = round.saturating_sub(stashed.origin).max(1);
+            let weight = self.config.fedavg.staleness_decay.powi(age as i32);
+            let kind = if acc.admit(stashed.update, weight).is_ok() {
+                EventKind::StaleApplied
+            } else {
+                EventKind::UpdateRejected
+            };
+            Self::emit(
+                &mut self.transport,
+                &mut *self.recorder,
+                &mut report,
+                Event::client_scoped(kind, round, id),
+            );
+        }
+
+        report.client_divergence = acc.divergence();
+        let quorum_met = acc.admitted() >= self.config.fedavg.min_quorum.max(1);
+        let committed = quorum_met && self.server.commit_round(acc).is_ok();
+        Self::emit(
+            &mut self.transport,
+            &mut *self.recorder,
+            &mut report,
+            Event::round_scoped(
+                if committed {
+                    EventKind::Aggregated
+                } else {
+                    EventKind::QuorumSkipped
+                },
+                round,
+            ),
+        );
+        report.timing.aggregate_s = aggregate_start.elapsed().as_secs_f64();
+        self.recorder
+            .span(Span::new("aggregate", round, report.timing.aggregate_s));
+
+        // Broadcast accounting: offline clients are skipped silently (as
+        // in the flat engine); a dropped broadcast leaves the client on
+        // its own post-round parameters via the ledger; a delivered one
+        // syncs it back to the global.
+        let broadcast_start = Instant::now();
+        let frame_len = wire::broadcast_frame_len(self.server.global().len());
+        for id in 0..self.config.num_clients {
+            if self.offline.contains(&(id, round)) {
+                continue;
+            }
+            if matches!(self.plan.fault_at(id, round), Some(Fault::DownloadDrop)) {
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::client_scoped(EventKind::DownloadDropped, round, id),
+                );
+                if let Some(params) = retained.remove(&id) {
+                    self.ledger.insert(id, params);
+                }
+            } else {
+                Self::emit(
+                    &mut self.transport,
+                    &mut *self.recorder,
+                    &mut report,
+                    Event::with_bytes(EventKind::DownloadDelivered, round, id, frame_len),
+                );
+                self.ledger.remove(&id);
+            }
+        }
+        let broadcast_s = broadcast_start.elapsed().as_secs_f64();
+        report.timing.transport_s += broadcast_s;
+        self.recorder
+            .span(Span::new("broadcast", round, broadcast_s));
+
+        Self::emit(
+            &mut self.transport,
+            &mut *self.recorder,
+            &mut report,
+            Event::round_scoped(EventKind::RoundEnd, round),
+        );
+        self.rounds_run += 1;
+        report
+    }
+
+    /// Runs all `config.fedavg.rounds` rounds, returning one report per
+    /// round.
+    pub fn run(&mut self) -> Vec<RoundReport> {
+        (0..self.config.fedavg.rounds)
+            .map(|_| self.run_round())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{CorruptionKind, FaultConfig};
+    use crate::federation::Federation;
+    use crate::transport::TransportKind;
+    use fedpower_telemetry::MemoryRecorder;
+
+    /// A deterministic, stateless test client: training is a pure
+    /// function of the downloaded parameters, so the fleet's per-round
+    /// materialization is semantically identical to the flat engine's
+    /// persistent client objects.
+    #[derive(Debug, Clone)]
+    struct StubClient {
+        id: usize,
+        params: Vec<f32>,
+        target: f32,
+    }
+
+    impl StubClient {
+        fn new(id: usize, dim: usize) -> Self {
+            StubClient {
+                id,
+                params: vec![0.0; dim],
+                target: (id + 1) as f32 * 0.1,
+            }
+        }
+    }
+
+    impl FederatedClient for StubClient {
+        type Workspace = ();
+
+        fn id(&self) -> usize {
+            self.id
+        }
+
+        fn train_round_with(&mut self, steps: u64, _ws: &mut ()) {
+            for _ in 0..steps {
+                for (i, p) in self.params.iter_mut().enumerate() {
+                    *p += 0.3 * (self.target + i as f32 * 0.01 - *p);
+                }
+            }
+        }
+
+        fn upload(&mut self) -> ModelUpdate {
+            ModelUpdate {
+                client_id: self.id,
+                params: self.params.clone(),
+                num_samples: 10 + self.id as u64,
+            }
+        }
+
+        fn download(&mut self, global: &[f32]) {
+            self.params = global.to_vec();
+        }
+
+        fn transfer_bytes(&self) -> usize {
+            self.params.len() * 4
+        }
+    }
+
+    struct StubFactory {
+        dim: usize,
+    }
+
+    impl FleetClientFactory for StubFactory {
+        type Client = StubClient;
+
+        fn initial_global(&self) -> Vec<f32> {
+            vec![0.0; self.dim]
+        }
+
+        fn materialize(&self, id: usize, _round: u64) -> StubClient {
+            StubClient::new(id, self.dim)
+        }
+    }
+
+    fn fleet_config(num_clients: usize, shards: usize, rounds: u64) -> FleetConfig {
+        FleetConfig {
+            fedavg: FedAvgConfig {
+                rounds,
+                steps_per_round: 3,
+                ..FedAvgConfig::paper()
+            },
+            num_clients,
+            shards,
+        }
+    }
+
+    /// The flat reference run over the same stub clients.
+    fn flat_run(
+        num_clients: usize,
+        rounds: u64,
+        plan: Option<&FaultPlan>,
+    ) -> (Vec<f32>, Vec<RoundReport>, TransportStats) {
+        let clients: Vec<StubClient> = (0..num_clients).map(|id| StubClient::new(id, 4)).collect();
+        let cfg = FedAvgConfig {
+            rounds,
+            steps_per_round: 3,
+            ..FedAvgConfig::paper()
+        };
+        let mut fed = Federation::with_options(
+            clients,
+            cfg,
+            9,
+            TransportKind::Channel,
+            plan,
+            Box::new(NullRecorder),
+        )
+        .expect("flat federation constructs");
+        let reports = fed.run();
+        (fed.global_params().to_vec(), reports, *fed.transport())
+    }
+
+    #[test]
+    fn robust_strategies_fail_fast() {
+        for strategy in [
+            AggregationStrategy::TrimmedMean { trim_each_side: 1 },
+            AggregationStrategy::CoordinateMedian,
+        ] {
+            let mut config = fleet_config(4, 2, 1);
+            config.fedavg.strategy = strategy;
+            let err = Fleet::new(StubFactory { dim: 4 }, config).expect_err("rejected");
+            assert_eq!(err, FedError::UnsupportedInFleet { strategy });
+            let err = EdgeAggregator::new(0, 1, strategy, 4).expect_err("rejected");
+            assert_eq!(err, FedError::UnsupportedInFleet { strategy });
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        let bad = |config: FleetConfig| {
+            matches!(
+                Fleet::new(StubFactory { dim: 4 }, config),
+                Err(FedError::InvalidConfig(_))
+            )
+        };
+        assert!(bad(fleet_config(0, 1, 1)), "zero clients");
+        assert!(bad(fleet_config(4, 0, 1)), "zero shards");
+        let mut partial = fleet_config(4, 2, 1);
+        partial.fedavg.participation = 0.5;
+        assert!(bad(partial), "partial participation");
+        let mut noisy = fleet_config(4, 2, 1);
+        noisy.fedavg.update_noise_sigma = 0.1;
+        assert!(bad(noisy), "update noise");
+        let mut decay = fleet_config(4, 2, 1);
+        decay.fedavg.staleness_decay = 0.0;
+        assert!(bad(decay), "staleness decay");
+        assert!(
+            matches!(
+                Fleet::new(StubFactory { dim: 0 }, fleet_config(4, 2, 1)),
+                Err(FedError::InvalidConfig(_))
+            ),
+            "empty model"
+        );
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_round() {
+        let reference = {
+            let mut fleet =
+                Fleet::new(StubFactory { dim: 4 }, fleet_config(13, 1, 3)).expect("constructs");
+            let reports = fleet.run();
+            (fleet.global_params().to_vec(), reports, *fleet.transport())
+        };
+        for shards in [2, 5, 13, 64] {
+            let mut fleet = Fleet::new(StubFactory { dim: 4 }, fleet_config(13, shards, 3))
+                .expect("constructs");
+            let reports = fleet.run();
+            assert_eq!(
+                fleet.global_params(),
+                reference.0.as_slice(),
+                "{shards} shards"
+            );
+            assert_eq!(reports, reference.1, "{shards} shards");
+            assert_eq!(fleet.transport(), &reference.2, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn fleet_matches_the_flat_engine_bit_for_bit() {
+        let (flat_global, flat_reports, flat_transport) = flat_run(6, 4, None);
+        let mut fleet =
+            Fleet::new(StubFactory { dim: 4 }, fleet_config(6, 3, 4)).expect("constructs");
+        let reports = fleet.run();
+        assert_eq!(fleet.global_params(), flat_global.as_slice());
+        assert_eq!(reports, flat_reports);
+        assert_eq!(fleet.transport(), &flat_transport);
+    }
+
+    #[test]
+    fn fleet_matches_the_flat_engine_under_chaos() {
+        let plan = FaultPlan::generate(&FaultConfig::chaos(), 8, 12, 21);
+        let (flat_global, flat_reports, flat_transport) = flat_run(8, 12, Some(&plan));
+        let mut fleet = Fleet::with_options(
+            StubFactory { dim: 4 },
+            fleet_config(8, 3, 12),
+            Some(&plan),
+            Box::new(NullRecorder),
+        )
+        .expect("constructs");
+        let reports = fleet.run();
+        assert_eq!(fleet.global_params(), flat_global.as_slice());
+        assert_eq!(reports, flat_reports);
+        assert_eq!(fleet.transport(), &flat_transport);
+    }
+
+    #[test]
+    fn scripted_faults_mirror_the_flat_engine() {
+        // One of each cross-round fault, scripted so the test pins the
+        // exact semantics: a straggler delivering late, a dropped
+        // broadcast leaving its client on a stale model, a crash outage
+        // pinning the pre-crash model, and a corrupt upload rejected by
+        // admission.
+        let mut plan = FaultPlan::none();
+        plan.insert(0, 1, Fault::Straggle { delay_rounds: 1 });
+        plan.insert(1, 1, Fault::DownloadDrop);
+        plan.insert(2, 2, Fault::Crash { down_rounds: 2 });
+        plan.insert(3, 2, Fault::Corrupt(CorruptionKind::NaN));
+        plan.insert(4, 1, Fault::UploadDrop { attempts: 3 });
+        let (flat_global, flat_reports, flat_transport) = flat_run(5, 5, Some(&plan));
+
+        let recorder = MemoryRecorder::new();
+        let mut fleet = Fleet::with_options(
+            StubFactory { dim: 4 },
+            fleet_config(5, 2, 5),
+            Some(&plan),
+            Box::new(recorder.clone()),
+        )
+        .expect("constructs");
+        let reports = fleet.run();
+        assert_eq!(fleet.global_params(), flat_global.as_slice());
+        assert_eq!(reports, flat_reports);
+        assert_eq!(fleet.transport(), &flat_transport);
+
+        assert_eq!(recorder.count(EventKind::StragglerStarted), 1);
+        assert_eq!(recorder.count(EventKind::StaleReceived), 1);
+        assert_eq!(recorder.count(EventKind::StaleApplied), 1);
+        assert_eq!(recorder.count(EventKind::DownloadDropped), 1);
+        assert_eq!(recorder.count(EventKind::UpdateRejected), 1, "NaN rejected");
+        assert_eq!(
+            recorder.count(EventKind::ClientOffline),
+            2,
+            "two rounds of crash outage"
+        );
+        assert_eq!(
+            recorder.count(EventKind::UploadDropped),
+            1,
+            "drop budget exhausted"
+        );
+        assert_eq!(
+            recorder.count(EventKind::UploadRetry),
+            2,
+            "paper budget R=2"
+        );
+    }
+
+    #[test]
+    fn more_shards_than_clients_merges_empty_partials() {
+        let mut fleet =
+            Fleet::new(StubFactory { dim: 4 }, fleet_config(3, 8, 2)).expect("constructs");
+        let reports = fleet.run();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.participants == 3));
+        assert!(reports.iter().all(|r| r.aggregated));
+    }
+
+    #[test]
+    fn shard_telemetry_accounts_every_client_and_byte() {
+        let recorder = MemoryRecorder::new();
+        let mut fleet = Fleet::with_options(
+            StubFactory { dim: 4 },
+            fleet_config(10, 4, 1),
+            None,
+            Box::new(recorder.clone()),
+        )
+        .expect("constructs");
+        fleet.run_round();
+        let counters = recorder.counters();
+        let clients: u64 = counters
+            .iter()
+            .filter(|c| c.name == "shard_clients")
+            .map(|c| c.value)
+            .sum();
+        let bytes: u64 = counters
+            .iter()
+            .filter(|c| c.name == "shard_bytes")
+            .map(|c| c.value)
+            .sum();
+        let admitted: u64 = counters
+            .iter()
+            .filter(|c| c.name == "shard_admitted")
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(clients, 10);
+        assert_eq!(admitted, 10);
+        assert_eq!(bytes, 10 * wire::upload_frame_len(4) as u64);
+        let shard_spans = recorder
+            .spans()
+            .iter()
+            .filter(|s| s.name == "shard")
+            .count();
+        assert_eq!(shard_spans, 4, "one span per shard");
+    }
+}

@@ -22,6 +22,12 @@
 //!   Gaussian update noise (differential-privacy-style knob); resilient to
 //!   client faults via minimum-quorum aggregation, bounded upload retries,
 //!   staleness-discounted straggler updates, and NaN/shape admission,
+//! * [`Fleet`] — hierarchical (sharded) cross-device orchestration: each
+//!   [`EdgeAggregator`] reduces a shard of lazily materialized clients
+//!   into an exact partial sum ([`ExactSum`] arithmetic), and the merged
+//!   partials commit through the same server path bit-identically to a
+//!   flat round — which is what keeps a 100k-client round inside a fixed
+//!   memory budget,
 //! * [`FaultPlan`] / [`FaultyTransport`] — seed-deterministic fault
 //!   injection (drops, stragglers, corruption, crash-and-rejoin) applied to
 //!   bytes in flight, for resilience testing,
@@ -53,8 +59,10 @@
 
 mod client;
 mod error;
+mod exact;
 mod fault;
 mod federation;
+mod fleet;
 mod pool;
 pub mod report;
 mod server;
@@ -64,10 +72,12 @@ pub mod wire;
 
 pub use client::{AgentClient, FederatedClient, ModelUpdate, StaleUpdate};
 pub use error::FedError;
+pub use exact::ExactSum;
 pub use fault::{
     CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyTransport, PlanCounts,
 };
 pub use federation::{FedAvgConfig, Federation};
+pub use fleet::{EdgeAggregator, Fleet, FleetClientFactory, FleetConfig};
 pub use pool::WorkerPool;
 pub use server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
 pub use td_client::TdClient;

@@ -77,9 +77,35 @@ impl WorkerPool {
         R: Send,
         F: Fn(I, &mut W) -> R + Sync,
     {
+        self.map_with_setup(items, scratch, W::default, f)
+    }
+
+    /// [`WorkerPool::map_with`] for scratch types without a useful
+    /// `Default`: missing per-worker slots are created by calling `setup`
+    /// instead. This is how fleet shards share one pre-built training
+    /// workspace per worker while materializing their clients lazily —
+    /// the workspace construction can depend on configuration the
+    /// `Default` impl cannot see.
+    ///
+    /// Existing slots are never re-initialized; like
+    /// [`WorkerPool::map_with`], warmed scratch persists across calls.
+    pub fn map_with_setup<I, W, R, S, F>(
+        &self,
+        items: Vec<I>,
+        scratch: &mut Vec<W>,
+        setup: S,
+        f: F,
+    ) -> Vec<R>
+    where
+        I: Send,
+        W: Send,
+        R: Send,
+        S: FnMut() -> W,
+        F: Fn(I, &mut W) -> R + Sync,
+    {
         let n = items.len();
         if scratch.len() < self.workers {
-            scratch.resize_with(self.workers, W::default);
+            scratch.resize_with(self.workers, setup);
         }
         if n == 0 {
             return Vec::new();
@@ -180,6 +206,40 @@ mod tests {
         });
         let filled: usize = scratch.iter().map(Vec::len).sum();
         assert_eq!(filled, 12);
+    }
+
+    #[test]
+    fn map_with_setup_builds_scratch_from_the_closure() {
+        let pool = WorkerPool::new(4);
+        // The scratch type has no Default: every slot is built by `setup`
+        // from captured configuration.
+        let capacity = 16usize;
+        let mut scratch: Vec<Vec<u32>> = Vec::new();
+        let out = pool.map_with_setup(
+            (0..10u32).collect(),
+            &mut scratch,
+            || Vec::with_capacity(capacity),
+            |x, buf| {
+                buf.push(x);
+                x * 3
+            },
+        );
+        assert_eq!(out, (0..10).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(scratch.len(), 4, "one slot per worker");
+        assert!(scratch.iter().all(|s| s.capacity() >= capacity));
+        let touched: usize = scratch.iter().map(Vec::len).sum();
+        assert_eq!(touched, 10);
+        // A second call reuses warmed slots without re-running setup.
+        pool.map_with_setup(
+            (0..2u32).collect(),
+            &mut scratch,
+            || panic!("setup must not re-run for existing slots"),
+            |x, buf: &mut Vec<u32>| {
+                buf.push(x);
+                x
+            },
+        );
+        assert_eq!(scratch.iter().map(Vec::len).sum::<usize>(), 12);
     }
 
     #[test]

@@ -224,6 +224,23 @@ impl RoundReport {
         }
     }
 
+    /// Reduces a recorded event stream to the report of round `round`:
+    /// events of other rounds are skipped, matching ones fold through
+    /// [`RoundReport::apply`]. Equal to the live report of the run that
+    /// emitted the stream in every event-derived field —
+    /// `client_divergence` (a property of the admitted models, not of the
+    /// event stream) and the wall-clock `timing` are the two fields the
+    /// stream does not carry.
+    pub fn from_events<'a>(round: u64, events: impl IntoIterator<Item = &'a Event>) -> Self {
+        let mut report = RoundReport::begin(round);
+        for event in events {
+            if event.round == round {
+                report.apply(event);
+            }
+        }
+        report
+    }
+
     /// Folds one telemetry event into the report — the single source of
     /// truth for how the round lifecycle maps onto its counters. Byte
     /// movements are forwarded into the per-round `transport` delta.
@@ -384,6 +401,27 @@ mod tests {
         direct.record_download_dropped();
         direct.record_update_rejected();
         assert_eq!(reduced, direct);
+    }
+
+    #[test]
+    fn from_events_filters_to_the_requested_round() {
+        let events = [
+            Event::client_scoped(EventKind::ClientTrained, 1, 0),
+            Event::client_scoped(EventKind::ClientTrained, 2, 0),
+            Event::client_scoped(EventKind::ClientTrained, 2, 1),
+            Event::with_bytes(EventKind::UploadReceived, 2, 0, 60),
+            Event::client_scoped(EventKind::UploadAdmitted, 2, 0),
+            Event::round_scoped(EventKind::Aggregated, 2),
+            Event::round_scoped(EventKind::Aggregated, 1),
+        ];
+        let r2 = RoundReport::from_events(2, &events);
+        assert_eq!(r2.round, 2);
+        assert_eq!(r2.participants, 2, "round-1 events must be excluded");
+        assert_eq!(r2.uploads_ok, 1);
+        assert_eq!(r2.transport.uploaded_bytes, 60);
+        assert!(r2.aggregated);
+        let r3 = RoundReport::from_events(3, &events);
+        assert_eq!(r3, RoundReport::begin(3), "no round-3 events recorded");
     }
 
     #[test]

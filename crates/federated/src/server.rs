@@ -1,5 +1,6 @@
 use crate::client::ModelUpdate;
 use crate::error::FedError;
+use crate::exact::ExactSum;
 use fedpower_nn::average_params;
 use serde::{Deserialize, Serialize};
 
@@ -225,7 +226,7 @@ impl FedAvgServer {
     /// update and fall back to buffering. Finish the round with
     /// [`FedAvgServer::commit_round`].
     pub fn accumulator(&self) -> RoundAccumulator {
-        RoundAccumulator::new(self.strategy, self.global.len())
+        RoundAccumulator::for_model(self.strategy, self.global.len())
     }
 
     /// Aggregates an accumulated round into the next global model.
@@ -261,23 +262,30 @@ impl FedAvgServer {
                 total_samples,
             } => {
                 let next: Vec<f32> = if !acc.all_unit {
-                    if !(total_weight.is_finite() && total_weight > 0.0) {
+                    let total = total_weight.to_f64();
+                    if !(total.is_finite() && total > 0.0) {
                         return Err(FedError::InvalidConfig(format!(
-                            "weights must sum to a positive finite value, got {total_weight}"
+                            "weights must sum to a positive finite value, got {total}"
                         )));
                     }
-                    weighted_sum.iter().map(|s| s / total_weight).collect()
+                    weighted_sum
+                        .iter()
+                        .map(|s| (s.to_f64() / total) as f32)
+                        .collect()
                 } else {
                     match (self.strategy, total_samples) {
                         (AggregationStrategy::SampleWeighted, 1..) => samples_sum
                             .expect("SampleWeighted streams a sample-weighted sum")
                             .iter()
-                            .map(|s| s / total_samples as f32)
+                            .map(|s| (s.to_f64() / total_samples as f64) as f32)
                             .collect(),
                         // Uniform, or SampleWeighted's zero-sample fallback.
                         _ => {
-                            let n = acc.admitted as f32;
-                            weighted_sum.iter().map(|s| s / n).collect()
+                            let n = acc.admitted as f64;
+                            weighted_sum
+                                .iter()
+                                .map(|s| (s.to_f64() / n) as f32)
+                                .collect()
                         }
                     }
                 };
@@ -357,16 +365,19 @@ fn validate_against(expected_len: usize, update: &ModelUpdate) -> Result<(), Fed
 /// How an accumulator folds its admitted updates.
 #[derive(Debug, Clone, PartialEq)]
 enum AccMode {
-    /// Mean-based strategies: running sums, O(1) memory in client count.
+    /// Mean-based strategies: exact running sums, O(1) memory in client
+    /// count. The sums are [`ExactSum`]s, so the folded state — and the
+    /// model committed from it — is bit-independent of admission order
+    /// and of how the round was partitioned into shards.
     Streaming {
         /// `Σ wᵢ·θᵢ` over admitted updates, with `wᵢ` the explicit
         /// (staleness) weight.
-        weighted_sum: Vec<f32>,
+        weighted_sum: Vec<ExactSum>,
         /// `Σ wᵢ`.
-        total_weight: f32,
+        total_weight: ExactSum,
         /// `Σ nᵢ·θᵢ` (sample-weighted sum), kept only under
         /// [`AggregationStrategy::SampleWeighted`].
-        samples_sum: Option<Vec<f32>>,
+        samples_sum: Option<Vec<ExactSum>>,
         /// `Σ nᵢ`.
         total_samples: u64,
     },
@@ -380,39 +391,55 @@ enum AccMode {
 /// A server-side round in progress: updates are admission-checked and
 /// folded into running aggregates as they arrive off the wire.
 ///
-/// Create with [`FedAvgServer::accumulator`], feed with
+/// Create with [`FedAvgServer::accumulator`] (or standalone with
+/// [`RoundAccumulator::for_model`]), feed with
 /// [`RoundAccumulator::admit`], finish with [`FedAvgServer::commit_round`].
 /// Besides the aggregate itself the accumulator tracks the per-coordinate
 /// first and second moments of the admitted models, from which
 /// [`RoundAccumulator::divergence`] derives the round's client-drift
 /// metric without buffering.
+///
+/// Streaming accumulators over the same multiset of admissions are
+/// *bit-identical* regardless of admission order, and
+/// [`RoundAccumulator::merge`] combines shard-local partials into exactly
+/// the state a single flat accumulator would have reached — the property
+/// the fleet engine's sharded-equals-flat guarantee rests on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundAccumulator {
     mode: AccMode,
+    strategy: AggregationStrategy,
     /// Whether every admitted update carried weight exactly 1.0 (the
     /// fault-free case; selects the strategy path on commit).
     all_unit: bool,
     admitted: usize,
     expected_len: usize,
     /// Per-coordinate `Σ θᵢⱼ` (unweighted, for the divergence metric).
-    div_sum: Vec<f32>,
+    div_sum: Vec<ExactSum>,
     /// Per-coordinate `Σ θᵢⱼ²`.
-    div_sumsq: Vec<f32>,
+    div_sumsq: Vec<ExactSum>,
 }
 
 impl RoundAccumulator {
-    fn new(strategy: AggregationStrategy, expected_len: usize) -> Self {
+    /// Opens an empty accumulator for models of `expected_len` parameters
+    /// under `strategy`.
+    ///
+    /// Shard-level (edge) aggregators open their own accumulators with
+    /// this constructor and later [`RoundAccumulator::merge`] them into
+    /// the root's; in the single-server topology prefer
+    /// [`FedAvgServer::accumulator`], which fills in both arguments from
+    /// the server.
+    pub fn for_model(strategy: AggregationStrategy, expected_len: usize) -> Self {
         let mode = match strategy {
             AggregationStrategy::Uniform => AccMode::Streaming {
-                weighted_sum: vec![0.0; expected_len],
-                total_weight: 0.0,
+                weighted_sum: vec![ExactSum::ZERO; expected_len],
+                total_weight: ExactSum::ZERO,
                 samples_sum: None,
                 total_samples: 0,
             },
             AggregationStrategy::SampleWeighted => AccMode::Streaming {
-                weighted_sum: vec![0.0; expected_len],
-                total_weight: 0.0,
-                samples_sum: Some(vec![0.0; expected_len]),
+                weighted_sum: vec![ExactSum::ZERO; expected_len],
+                total_weight: ExactSum::ZERO,
+                samples_sum: Some(vec![ExactSum::ZERO; expected_len]),
                 total_samples: 0,
             },
             AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian => {
@@ -424,11 +451,12 @@ impl RoundAccumulator {
         };
         RoundAccumulator {
             mode,
+            strategy,
             all_unit: true,
             admitted: 0,
             expected_len,
-            div_sum: vec![0.0; expected_len],
-            div_sumsq: vec![0.0; expected_len],
+            div_sum: vec![ExactSum::ZERO; expected_len],
+            div_sumsq: vec![ExactSum::ZERO; expected_len],
         }
     }
 
@@ -448,8 +476,11 @@ impl RoundAccumulator {
             .zip(&mut self.div_sumsq)
             .zip(&update.params)
         {
-            *s += p;
-            *q += p * p;
+            s.add(p);
+            // p is finite (admission), but p² can overflow f32; saturate so
+            // the drift moment degrades gracefully instead of poisoning the
+            // exact sum.
+            q.add((p * p).min(f32::MAX));
         }
         self.all_unit &= weight == 1.0;
         self.admitted += 1;
@@ -461,13 +492,13 @@ impl RoundAccumulator {
                 total_samples,
             } => {
                 for (acc, &p) in weighted_sum.iter_mut().zip(&update.params) {
-                    *acc += weight * p;
+                    acc.add((weight * p).clamp(f32::MIN, f32::MAX));
                 }
-                *total_weight += weight;
+                total_weight.add(weight);
                 if let Some(sample_acc) = samples_sum {
                     let n = update.num_samples as f32;
                     for (acc, &p) in sample_acc.iter_mut().zip(&update.params) {
-                        *acc += n * p;
+                        acc.add((n * p).clamp(f32::MIN, f32::MAX));
                     }
                     *total_samples += update.num_samples;
                 }
@@ -480,10 +511,91 @@ impl RoundAccumulator {
         Ok(())
     }
 
+    /// Folds a shard-local partial accumulator into this one.
+    ///
+    /// For streaming (mean-based) strategies the running sums are exact
+    /// integers, so merging is associative and commutative down to the
+    /// bit: any partition of a round's admissions into shards, merged in
+    /// any order, reproduces the state a single flat accumulator would
+    /// hold after admitting the same updates. This is what lets an
+    /// `EdgeAggregator` reduce its shard independently and the root commit
+    /// the merged result through the ordinary
+    /// [`FedAvgServer::commit_round`] path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::UnsupportedInFleet`] for buffered (robust)
+    /// strategies — trimmed-mean and coordinate-median need every
+    /// update's coordinates at one place, so their partials do not merge;
+    /// [`FedError::Model`] when the two accumulators disagree on model
+    /// shape; and [`FedError::InvalidConfig`] when their strategies
+    /// differ. On error `self` is left unchanged.
+    pub fn merge(&mut self, other: RoundAccumulator) -> Result<(), FedError> {
+        if other.expected_len != self.expected_len {
+            return Err(FedError::Model(fedpower_nn::NnError::ShapeMismatch {
+                expected: self.expected_len,
+                actual: other.expected_len,
+                context: "merged shard accumulator".to_string(),
+            }));
+        }
+        if other.strategy != self.strategy {
+            return Err(FedError::InvalidConfig(format!(
+                "cannot merge accumulators with different strategies ({:?} vs {:?})",
+                self.strategy, other.strategy
+            )));
+        }
+        match (&mut self.mode, other.mode) {
+            (
+                AccMode::Streaming {
+                    weighted_sum,
+                    total_weight,
+                    samples_sum,
+                    total_samples,
+                },
+                AccMode::Streaming {
+                    weighted_sum: other_sum,
+                    total_weight: other_weight,
+                    samples_sum: other_samples,
+                    total_samples: other_count,
+                },
+            ) => {
+                for (acc, s) in weighted_sum.iter_mut().zip(&other_sum) {
+                    acc.merge(s);
+                }
+                total_weight.merge(&other_weight);
+                if let (Some(acc), Some(s)) = (samples_sum.as_mut(), other_samples.as_ref()) {
+                    for (a, b) in acc.iter_mut().zip(s) {
+                        a.merge(b);
+                    }
+                }
+                *total_samples += other_count;
+            }
+            _ => {
+                return Err(FedError::UnsupportedInFleet {
+                    strategy: self.strategy,
+                })
+            }
+        }
+        for (a, b) in self.div_sum.iter_mut().zip(&other.div_sum) {
+            a.merge(b);
+        }
+        for (a, b) in self.div_sumsq.iter_mut().zip(&other.div_sumsq) {
+            a.merge(b);
+        }
+        self.all_unit &= other.all_unit;
+        self.admitted += other.admitted;
+        Ok(())
+    }
+
     /// Updates admitted so far (fresh and stale alike) — the round's
     /// quorum count.
     pub fn admitted(&self) -> usize {
         self.admitted
+    }
+
+    /// The strategy this accumulator folds under.
+    pub fn strategy(&self) -> AggregationStrategy {
+        self.strategy
     }
 
     /// Client drift of the admitted models: the root-mean-square L2
@@ -494,15 +606,15 @@ impl RoundAccumulator {
         if self.admitted < 2 {
             return 0.0;
         }
-        let m = self.admitted as f32;
-        let mut total = 0.0_f32;
-        for (&s, &q) in self.div_sum.iter().zip(&self.div_sumsq) {
-            let mean = s / m;
+        let m = self.admitted as f64;
+        let mut total = 0.0_f64;
+        for (s, q) in self.div_sum.iter().zip(&self.div_sumsq) {
+            let mean = s.to_f64() / m;
             // Catastrophic cancellation can take the variance a hair
             // negative; clamp rather than emit NaN.
-            total += (q - m * mean * mean).max(0.0);
+            total += (q.to_f64() - m * mean * mean).max(0.0);
         }
-        (total / m).sqrt()
+        (total / m).sqrt() as f32
     }
 }
 
@@ -826,6 +938,107 @@ mod tests {
         let acc = server.accumulator();
         assert_eq!(server.commit_round(acc), Err(FedError::EmptyRound));
         assert_eq!(server.rounds_completed(), 0);
+    }
+
+    #[test]
+    fn merged_shard_accumulators_equal_the_flat_accumulator() {
+        let server = FedAvgServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
+        let updates: Vec<ModelUpdate> = (0..10)
+            .map(|i| {
+                update(
+                    i,
+                    vec![0.1 * i as f32, -2.5e-20 * i as f32, (i as f32).sin()],
+                    10 + i as u64,
+                )
+            })
+            .collect();
+        let mut flat = server.accumulator();
+        for u in &updates {
+            flat.admit(u.clone(), 1.0).unwrap();
+        }
+        // Partition 10 admissions into 3 uneven shards, merge out of order.
+        let mut shards: Vec<RoundAccumulator> = (0..3)
+            .map(|_| RoundAccumulator::for_model(server.strategy(), 3))
+            .collect();
+        for (i, u) in updates.iter().enumerate() {
+            shards[[0, 0, 1, 2, 2, 2, 2, 1, 0, 2][i]]
+                .admit(u.clone(), 1.0)
+                .unwrap();
+        }
+        let mut root = RoundAccumulator::for_model(server.strategy(), 3);
+        for shard in shards.into_iter().rev() {
+            root.merge(shard).unwrap();
+        }
+        assert_eq!(root, flat, "merged partials must be bit-identical");
+        assert_eq!(root.admitted(), 10);
+        assert_eq!(root.divergence(), flat.divergence());
+    }
+
+    #[test]
+    fn merging_buffered_accumulators_is_a_typed_error() {
+        let strategy = AggregationStrategy::TrimmedMean { trim_each_side: 1 };
+        let mut root = RoundAccumulator::for_model(strategy, 2);
+        let shard = RoundAccumulator::for_model(strategy, 2);
+        assert_eq!(
+            root.merge(shard),
+            Err(FedError::UnsupportedInFleet { strategy })
+        );
+        let mut median = RoundAccumulator::for_model(AggregationStrategy::CoordinateMedian, 2);
+        assert!(matches!(
+            median.merge(RoundAccumulator::for_model(
+                AggregationStrategy::CoordinateMedian,
+                2
+            )),
+            Err(FedError::UnsupportedInFleet { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_shape_or_strategy() {
+        let mut root = RoundAccumulator::for_model(AggregationStrategy::Uniform, 2);
+        assert!(matches!(
+            root.merge(RoundAccumulator::for_model(AggregationStrategy::Uniform, 3)),
+            Err(FedError::Model(_))
+        ));
+        assert!(matches!(
+            root.merge(RoundAccumulator::for_model(
+                AggregationStrategy::SampleWeighted,
+                2
+            )),
+            Err(FedError::InvalidConfig(_))
+        ));
+        // Failed merges leave the target untouched.
+        assert_eq!(
+            root,
+            RoundAccumulator::for_model(AggregationStrategy::Uniform, 2)
+        );
+    }
+
+    #[test]
+    fn streaming_admission_order_never_changes_the_committed_bits() {
+        let updates: Vec<ModelUpdate> = (0..8)
+            .map(|i| {
+                update(
+                    i,
+                    vec![(i as f32 * 0.77).cos() * 10f32.powi(i as i32 - 4)],
+                    1,
+                )
+            })
+            .collect();
+        let mut forward = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut backward = forward.clone();
+        let mut acc_f = forward.accumulator();
+        for u in &updates {
+            acc_f.admit(u.clone(), 1.0).unwrap();
+        }
+        let mut acc_b = backward.accumulator();
+        for u in updates.iter().rev() {
+            acc_b.admit(u.clone(), 1.0).unwrap();
+        }
+        assert_eq!(acc_f, acc_b);
+        let a = forward.commit_round(acc_f).unwrap().to_vec();
+        let b = backward.commit_round(acc_b).unwrap().to_vec();
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
     }
 
     #[test]

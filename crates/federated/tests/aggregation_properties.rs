@@ -1,6 +1,6 @@
 //! Property-based tests of the aggregation rules' formal guarantees.
 
-use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate};
+use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate, RoundAccumulator};
 use proptest::prelude::*;
 
 fn update(id: usize, params: Vec<f32>, samples: u64) -> ModelUpdate {
@@ -70,6 +70,99 @@ proptest! {
             let global = server.aggregate(&updates).expect("valid round");
             for (g, e) in global.iter().zip(&p) {
                 prop_assert!((g - e).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Shard-and-merge is exact: folding updates through any partition of
+    /// per-shard [`RoundAccumulator`]s and merging the partials — in
+    /// forward order, reverse order, or as a pairwise tree — is
+    /// **bit-identical** to admitting every update into one flat
+    /// accumulator, including the committed global, the admitted count,
+    /// and the divergence estimate. This is the associativity/commutativity
+    /// contract the hierarchical fleet topology is built on.
+    #[test]
+    fn sharded_merge_is_bit_identical_to_the_flat_accumulator(
+        (params, assignment, discounted, uniform) in (2_usize..10, 1_usize..8)
+            .prop_flat_map(|(n, len)| (
+                models(n, len),
+                prop::collection::vec(0_usize..4, n..=n),
+                prop::collection::vec(0_usize..2, n..=n),
+                0_usize..2,
+            )),
+    ) {
+        let strategy = if uniform == 0 {
+            AggregationStrategy::Uniform
+        } else {
+            AggregationStrategy::SampleWeighted
+        };
+        let len = params[0].len();
+        let updates: Vec<ModelUpdate> = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| update(i, p.clone(), (i as u64 + 1) * 3))
+            .collect();
+        // Stale updates carry a discounted weight, exercising the
+        // weighted commit path alongside the unit-weight one.
+        let weights: Vec<f32> = discounted
+            .iter()
+            .map(|&d| if d == 1 { 0.5 } else { 1.0 })
+            .collect();
+
+        let fold = |indices: &[usize]| {
+            let mut acc = RoundAccumulator::for_model(strategy, len);
+            for &i in indices {
+                acc.admit(updates[i].clone(), weights[i]).expect("valid update");
+            }
+            acc
+        };
+        let shard = |s: usize| {
+            let members: Vec<usize> =
+                (0..updates.len()).filter(|&i| assignment[i] == s).collect();
+            fold(&members)
+        };
+        let flat = fold(&(0..updates.len()).collect::<Vec<_>>());
+
+        let mut forward = RoundAccumulator::for_model(strategy, len);
+        for s in 0..4 {
+            forward.merge(shard(s)).expect("same shape and strategy");
+        }
+        let mut reverse = RoundAccumulator::for_model(strategy, len);
+        for s in (0..4).rev() {
+            reverse.merge(shard(s)).expect("same shape and strategy");
+        }
+        let mut left = shard(0);
+        left.merge(shard(1)).expect("same shape and strategy");
+        let mut right = shard(2);
+        right.merge(shard(3)).expect("same shape and strategy");
+        let mut tree = left;
+        tree.merge(right).expect("same shape and strategy");
+
+        let reference = FedAvgServer::new(vec![0.25; len], strategy);
+        let commit = |acc: RoundAccumulator| {
+            let mut server = reference.clone();
+            let global = server.commit_round(acc).expect("non-empty round").to_vec();
+            global
+        };
+        let expected_global = commit(fold(&(0..updates.len()).collect::<Vec<_>>()));
+        let expected_divergence = flat.divergence();
+        let expected_admitted = flat.admitted();
+        for (label, acc) in [("forward", forward), ("reverse", reverse), ("tree", tree)] {
+            prop_assert_eq!(acc.admitted(), expected_admitted, "{} admitted", label);
+            prop_assert_eq!(
+                acc.divergence().to_bits(),
+                expected_divergence.to_bits(),
+                "{} divergence bits",
+                label
+            );
+            let global = commit(acc);
+            for (i, (a, b)) in global.iter().zip(&expected_global).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} coordinate {} differs: {} vs {}",
+                    label, i, a, b
+                );
             }
         }
     }

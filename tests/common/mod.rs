@@ -1,6 +1,6 @@
 //! Shared fixtures for the workspace integration tests.
 
-use fedpower::federated::{FederatedClient, ModelUpdate};
+use fedpower::federated::{FederatedClient, FleetClientFactory, ModelUpdate};
 
 /// A tiny deterministic federated client with analytically tractable
 /// dynamics: each local round pulls every parameter halfway toward the
@@ -33,6 +33,26 @@ impl MathClient {
             target,
             downloads: 0,
         }
+    }
+}
+
+/// Materializes [`MathClient`]s on demand for hierarchical (fleet) runs.
+/// Training is a pure function of the downloaded parameters, so per-round
+/// materialization is semantically identical to the flat engine's
+/// persistent client objects.
+#[derive(Debug)]
+#[allow(dead_code)] // only the fleet-mode suites construct it
+pub struct MathFleetFactory;
+
+impl FleetClientFactory for MathFleetFactory {
+    type Client = MathClient;
+
+    fn initial_global(&self) -> Vec<f32> {
+        vec![0.0; 4]
+    }
+
+    fn materialize(&self, id: usize, _round: u64) -> MathClient {
+        MathClient::new(id)
     }
 }
 

@@ -8,13 +8,15 @@
 
 mod common;
 
-use common::MathClient;
+use common::{MathClient, MathFleetFactory};
 use fedpower::analysis::telemetry::{parse_jsonl, TelemetryRecord};
 use fedpower::core::experiment::{run_federated, run_federated_recorded};
 use fedpower::core::scenario::table2_scenarios;
 use fedpower::core::ExperimentConfig;
-use fedpower::federated::report::{FaultSummary, TransportStats};
-use fedpower::federated::{FaultConfig, FaultPlan, FedAvgConfig, Federation, TransportKind};
+use fedpower::federated::report::{FaultSummary, RoundReport, TransportStats};
+use fedpower::federated::{
+    FaultConfig, FaultPlan, FedAvgConfig, Federation, Fleet, FleetConfig, TransportKind,
+};
 use fedpower::telemetry::{EventKind, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 
 fn tiny() -> ExperimentConfig {
@@ -49,6 +51,94 @@ fn chaos_run(recorder: Box<dyn Recorder>) -> (Federation<MathClient>, FaultSumma
     let reports = fed.run();
     let summary = FaultSummary::from_reports(&reports);
     (fed, summary)
+}
+
+/// A 20-round sharded fleet of six MathClients observed by `recorder`,
+/// driven by the same kind of seeded chaos plan as [`chaos_run`].
+fn chaos_fleet_run(
+    recorder: Box<dyn Recorder>,
+) -> (
+    Fleet<MathFleetFactory>,
+    Vec<fedpower::federated::report::RoundReport>,
+) {
+    let rounds = 20;
+    let plan = FaultPlan::generate(&FaultConfig::chaos(), 6, rounds, 7);
+    assert!(!plan.is_empty(), "the chaos plan must inject faults");
+    let mut cfg = FedAvgConfig::paper();
+    cfg.rounds = rounds;
+    cfg.steps_per_round = 1;
+    let config = FleetConfig {
+        fedavg: cfg,
+        num_clients: 6,
+        shards: 3,
+    };
+    let mut fleet =
+        Fleet::with_options(MathFleetFactory, config, Some(&plan), recorder).expect("valid fleet");
+    let reports = fleet.run();
+    (fleet, reports)
+}
+
+/// Fleet mode keeps the reconciliation contract: per-shard buffered
+/// telemetry, replayed at the root, reduces back to exactly the live
+/// round reports, transport stats, and fault summary — and the per-shard
+/// counters account for every client and every uploaded byte.
+#[test]
+fn fleet_event_stream_reconciles_with_live_accounting() {
+    let mem = MemoryRecorder::new();
+    let (fleet, reports) = chaos_fleet_run(Box::new(mem.clone()));
+    let events = mem.events();
+
+    // Every live round report is reproducible from the stream alone
+    // (client_divergence is a property of the admitted models, not of
+    // the event stream — patch it before comparing).
+    for live in &reports {
+        let mut derived = RoundReport::from_events(live.round, &events);
+        derived.client_divergence = live.client_divergence;
+        assert_eq!(&derived, live, "round {} diverged", live.round);
+    }
+    assert_eq!(TransportStats::from_events(&events), *fleet.transport());
+    assert_eq!(
+        FaultSummary::from_events(&events),
+        FaultSummary::from_reports(&reports)
+    );
+    // Chaos actually exercised the sharded fault paths.
+    let summary = FaultSummary::from_reports(&reports);
+    assert!(summary.uploads_dropped > 0, "{summary:?}");
+    assert!(summary.offline > 0, "{summary:?}");
+    assert!(mem.rounds_are_monotonic());
+
+    // Per-shard counters: every round's shard_clients (online clients
+    // materialized and trained) plus the round's offline count covers
+    // the whole fleet, and each round times one span per shard.
+    let counters = mem.counters();
+    for round in 1..=20 {
+        let clients: u64 = counters
+            .iter()
+            .filter(|c| c.name == "shard_clients" && c.round == round)
+            .map(|c| c.value)
+            .sum();
+        let offline = reports[round as usize - 1].offline as u64;
+        assert_eq!(clients + offline, 6, "round {round} lost clients");
+        let shard_spans = mem
+            .spans()
+            .iter()
+            .filter(|s| s.name == "shard" && s.round == round)
+            .count();
+        assert_eq!(shard_spans, 3, "round {round} missed shard spans");
+    }
+}
+
+/// Fleet observation is passive too: an instrumented sharded run is
+/// bit-identical to the `NullRecorder` run.
+#[test]
+fn recorded_fleet_run_is_bit_identical_to_uninstrumented() {
+    let (plain, plain_reports) = chaos_fleet_run(Box::new(NullRecorder));
+    let mem = MemoryRecorder::new();
+    let (recorded, recorded_reports) = chaos_fleet_run(Box::new(mem.clone()));
+    assert_eq!(plain.global_params(), recorded.global_params());
+    assert_eq!(plain_reports, recorded_reports);
+    assert_eq!(plain.transport(), recorded.transport());
+    assert!(!mem.is_empty(), "the instrumented run produced telemetry");
 }
 
 /// Observation is passive: a run recorded by `MemoryRecorder` is
