@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fedpower_agent::{ControllerConfig, PowerController, State};
-use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate};
+use fedpower_federated::{AggregationServer, AggregationStrategy, ModelUpdate};
 use fedpower_nn::Mlp;
 use fedpower_sim::{FreqLevel, PhaseParams, Processor, ProcessorConfig};
 
@@ -44,7 +44,7 @@ fn bench_fedavg(c: &mut Criterion) {
             num_samples: 100,
         })
         .collect();
-    let mut server = FedAvgServer::new(net.params(), AggregationStrategy::Uniform);
+    let mut server = AggregationServer::new(net.params(), AggregationStrategy::Uniform);
     c.bench_function("server/fedavg_aggregate_8clients", |b| {
         b.iter(|| {
             black_box(

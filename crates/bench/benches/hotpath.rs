@@ -14,6 +14,10 @@
 //! * `fleet_clients_per_sec` — clients per second through one hierarchical
 //!   sharded round ([`fedpower_core::experiment::run_fleet`], 512 clients
 //!   over 8 shards),
+//! * `fedadam_round_commits_per_sec` — combine-plus-commit rounds per
+//!   second through an [`AggregationServer`] running the FedAdam commit
+//!   stage on the paper's 687-parameter model (moment buffers are
+//!   server-owned and allocated once),
 //! * `allocs_per_step` — heap allocations per warm training step, counted
 //!   by a wrapping global allocator (the zero-allocation contract says 0).
 //!
@@ -23,9 +27,9 @@
 //!
 //! With `--baseline PATH` the run compares its throughput metrics
 //! (`train_steps_per_sec`, `round_steps_per_sec`, `env_steps_per_sec`,
-//! `eval_steps_per_sec`, `fleet_clients_per_sec`) against the baseline
-//! JSON and exits nonzero on a regression of more than 30 % — the CI
-//! smoke gate.
+//! `eval_steps_per_sec`, `fleet_clients_per_sec`,
+//! `fedadam_round_commits_per_sec`) against the baseline JSON and exits
+//! nonzero on a regression of more than 30 % — the CI smoke gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,7 +41,10 @@ use fedpower_core::eval::{evaluate_on_app_with_mode, EvalOptions};
 use fedpower_core::experiment::run_fleet;
 use fedpower_core::policy::GovernorPolicy;
 use fedpower_core::{ExperimentConfig, FleetSpec};
-use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+use fedpower_federated::{
+    AgentClient, AggregationServer, AggregationStrategy, FedAvgConfig, Federation, ModelUpdate,
+    ServerOpt,
+};
 use fedpower_nn::{Activation, Adam, ForwardScratch, Huber, Mlp, TrainBatch, TrainScratch};
 use fedpower_sim::{FreqLevel, TraceMode, VfTable};
 use fedpower_workloads::AppId;
@@ -96,6 +103,7 @@ struct Results {
     env_steps_per_sec: f64,
     eval_steps_per_sec: f64,
     fleet_clients_per_sec: f64,
+    fedadam_round_commits_per_sec: f64,
     allocs_per_step: f64,
     quick: bool,
 }
@@ -106,6 +114,7 @@ impl Results {
             "{{\n  \"ns_per_forward\": {:.1},\n  \"train_steps_per_sec\": {:.1},\n  \
              \"round_steps_per_sec\": {:.1},\n  \"env_steps_per_sec\": {:.1},\n  \
              \"eval_steps_per_sec\": {:.1},\n  \"fleet_clients_per_sec\": {:.1},\n  \
+             \"fedadam_round_commits_per_sec\": {:.1},\n  \
              \"allocs_per_step\": {:.3},\n  \"quick\": {}\n}}\n",
             self.ns_per_forward,
             self.train_steps_per_sec,
@@ -113,6 +122,7 @@ impl Results {
             self.env_steps_per_sec,
             self.eval_steps_per_sec,
             self.fleet_clients_per_sec,
+            self.fedadam_round_commits_per_sec,
             self.allocs_per_step,
             self.quick
         )
@@ -305,6 +315,39 @@ fn main() {
     );
     let fleet_clients_per_sec = fleet_spec.clients as f64 / fleet_secs;
 
+    eprintln!("measuring FedAdam server commits (687-param model, 2 updates per round)...");
+    let model_len = net.num_params();
+    let mut server = AggregationServer::with_optimizer(
+        vec![0.05; model_len],
+        AggregationStrategy::Uniform,
+        0.0,
+        ServerOpt::fedadam(),
+    );
+    let uploads: Vec<Vec<f32>> = (0..2)
+        .map(|c| {
+            (0..model_len)
+                .map(|i| 0.1 * ((i as f32) * 0.017 + c as f32).sin())
+                .collect()
+        })
+        .collect();
+    let (commit_iters, commit_secs) = measure(window, || {
+        let mut acc = server.accumulator();
+        for (c, params) in uploads.iter().enumerate() {
+            acc.admit(
+                ModelUpdate {
+                    client_id: c,
+                    params: params.clone(),
+                    num_samples: 1,
+                },
+                1.0,
+            )
+            .expect("well-formed update");
+        }
+        let global = server.commit_round(acc).expect("quorum of 2");
+        std::hint::black_box(global[0]);
+    });
+    let fedadam_round_commits_per_sec = commit_iters as f64 / commit_secs;
+
     let results = Results {
         ns_per_forward,
         train_steps_per_sec,
@@ -312,6 +355,7 @@ fn main() {
         env_steps_per_sec,
         eval_steps_per_sec,
         fleet_clients_per_sec,
+        fedadam_round_commits_per_sec,
         allocs_per_step,
         quick,
     };
@@ -330,6 +374,7 @@ fn main() {
             "env_steps_per_sec",
             "eval_steps_per_sec",
             "fleet_clients_per_sec",
+            "fedadam_round_commits_per_sec",
         ] {
             let Some(base) = json_number(&baseline, key) else {
                 eprintln!("baseline {} has no {key}; skipping", path.display());

@@ -28,7 +28,7 @@
 #![warn(missing_docs)]
 
 use fedpower_core::ExperimentConfig;
-use fedpower_federated::{FaultScenario, TransportKind};
+use fedpower_federated::{FaultScenario, ServerOpt, ServerOptKind, TransportKind};
 use fedpower_telemetry::SinkSpec;
 
 /// Command-line options shared by all bench binaries.
@@ -48,6 +48,9 @@ pub struct BenchArgs {
     /// (`--telemetry off|summary|jsonl:<path>`); binaries that federate
     /// open it via [`fedpower_telemetry::Sink::open`].
     pub telemetry: SinkSpec,
+    /// Server commit stage for federated runs
+    /// (`--optimizer fedavg|fedadam|fedprox`).
+    pub optimizer: Option<ServerOptKind>,
 }
 
 impl BenchArgs {
@@ -66,6 +69,7 @@ impl BenchArgs {
             faults: None,
             transport: None,
             telemetry: SinkSpec::Off,
+            optimizer: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -100,6 +104,12 @@ impl BenchArgs {
                         format!("bad --telemetry: {v:?} (expected off, summary, or jsonl:<path>)")
                     })?;
                 }
+                "--optimizer" => {
+                    let v = iter.next().ok_or("--optimizer needs a value")?;
+                    out.optimizer = Some(ServerOptKind::parse(&v).ok_or_else(|| {
+                        format!("bad --optimizer: {v:?} (expected fedavg, fedadam, or fedprox)")
+                    })?);
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
@@ -115,7 +125,8 @@ impl BenchArgs {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--rounds N] [--seed S] [--quick] [--faults SCENARIO] \
-                     [--transport channel|tcp] [--telemetry off|summary|jsonl:<path>]"
+                     [--transport channel|tcp] [--telemetry off|summary|jsonl:<path>] \
+                     [--optimizer fedavg|fedadam|fedprox]"
                 );
                 std::process::exit(2);
             }
@@ -140,6 +151,9 @@ impl BenchArgs {
         }
         if let Some(transport) = self.transport {
             cfg.transport = transport;
+        }
+        if let Some(kind) = self.optimizer {
+            cfg.fedavg.optimizer = ServerOpt::from_kind(kind);
         }
         cfg
     }
@@ -205,6 +219,24 @@ mod tests {
         );
         assert!(parse(&["--telemetry", "morse"]).is_err());
         assert!(parse(&["--telemetry"]).is_err());
+    }
+
+    #[test]
+    fn optimizer_flag_selects_a_commit_stage() {
+        let args = parse(&["--optimizer", "fedprox"]).unwrap();
+        assert_eq!(args.optimizer, Some(ServerOptKind::FedProx));
+        assert_eq!(args.config().fedavg.optimizer, ServerOpt::fedprox());
+        assert_eq!(
+            parse(&[]).unwrap().config().fedavg.optimizer,
+            ServerOpt::FedAvg,
+            "default stays plain FedAvg"
+        );
+        let msg = parse(&["--optimizer", "sgd"]).unwrap_err();
+        assert!(
+            msg.contains("fedavg") && msg.contains("fedadam") && msg.contains("fedprox"),
+            "{msg}"
+        );
+        assert!(parse(&["--optimizer"]).is_err());
     }
 
     #[test]

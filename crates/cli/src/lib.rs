@@ -7,7 +7,7 @@
 //! fedpower <command> [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp]
 //!          [--faults none|lossy-network|stragglers|flaky-fleet|chaos]
 //!          [--telemetry off|summary|jsonl:<path>]
-//!          [--fleet shards=<k>,clients=<n>]
+//!          [--fleet shards=<k>,clients=<n>] [--optimizer fedavg|fedadam|fedprox]
 //!
 //! commands:
 //!   fig3        local-only vs federated reward curves (3 scenarios)
@@ -26,7 +26,7 @@
 pub mod commands;
 
 use fedpower_core::{ConfigError, ExperimentConfig, FleetSpec};
-use fedpower_federated::{FaultScenario, TransportKind};
+use fedpower_federated::{FaultScenario, ServerOpt, ServerOptKind, TransportKind};
 use fedpower_telemetry::SinkSpec;
 use std::fmt;
 use std::path::PathBuf;
@@ -54,6 +54,10 @@ pub struct Invocation {
     /// `--fleet shards=<k>,clients=<n>` — hierarchical shard topology for
     /// the `fleet` command (keys accepted in either order).
     pub fleet: Option<FleetSpec>,
+    /// `--optimizer fedavg|fedadam|fedprox` — server commit stage
+    /// (selected by kind; each kind carries its reference
+    /// hyperparameters).
+    pub optimizer: Option<ServerOptKind>,
 }
 
 /// Parses a `--fleet` value of the form `shards=<k>,clients=<n>` (the two
@@ -161,6 +165,7 @@ impl Invocation {
             faults: None,
             telemetry: SinkSpec::Off,
             fleet: None,
+            optimizer: None,
         };
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -220,6 +225,16 @@ impl Invocation {
                         ))
                     })?;
                 }
+                "--optimizer" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--optimizer needs a value".into()))?;
+                    inv.optimizer = Some(ServerOptKind::parse(&v).ok_or_else(|| {
+                        ParseInvocationError(format!(
+                            "bad --optimizer: {v:?} (expected fedavg, fedadam, or fedprox)"
+                        ))
+                    })?);
+                }
                 "--fleet" => {
                     let v = iter
                         .next()
@@ -260,6 +275,9 @@ impl Invocation {
         if self.fleet.is_some() {
             b = b.fleet(self.fleet);
         }
+        if let Some(kind) = self.optimizer {
+            b = b.optimizer(ServerOpt::from_kind(kind));
+        }
         b.build()
     }
 }
@@ -268,7 +286,8 @@ impl Invocation {
 pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|fleet|list> \
 [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp] \
 [--faults none|lossy-network|stragglers|flaky-fleet|chaos] \
-[--telemetry off|summary|jsonl:<path>] [--fleet shards=<k>,clients=<n>]";
+[--telemetry off|summary|jsonl:<path>] [--fleet shards=<k>,clients=<n>] \
+[--optimizer fedavg|fedadam|fedprox]";
 
 #[cfg(test)]
 mod tests {
@@ -368,6 +387,41 @@ mod tests {
             inv.config(),
             Err(fedpower_core::ConfigError::DegenerateFleet(_))
         ));
+    }
+
+    #[test]
+    fn optimizer_flag_selects_a_commit_stage() {
+        let inv = parse(&["fig3", "--optimizer", "fedadam"]).unwrap();
+        assert_eq!(inv.optimizer, Some(ServerOptKind::FedAdam));
+        assert_eq!(inv.config().unwrap().fedavg.optimizer, ServerOpt::fedadam());
+        assert_eq!(
+            parse(&["fig3", "--optimizer", "fedprox"])
+                .unwrap()
+                .config()
+                .unwrap()
+                .fedavg
+                .optimizer,
+            ServerOpt::fedprox()
+        );
+        // Default (and explicit fedavg) selects the paper's plain commit.
+        assert_eq!(
+            parse(&["fig3"]).unwrap().config().unwrap().fedavg.optimizer,
+            ServerOpt::FedAvg
+        );
+        assert_eq!(
+            parse(&["fig3", "--optimizer", "fedavg"])
+                .unwrap()
+                .config()
+                .unwrap(),
+            parse(&["fig3"]).unwrap().config().unwrap()
+        );
+        let err = parse(&["fig3", "--optimizer", "sgd"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("fedavg") && msg.contains("fedadam") && msg.contains("fedprox"),
+            "parse error must list the accepted names: {msg}"
+        );
+        assert!(parse(&["fig3", "--optimizer"]).is_err());
     }
 
     #[test]

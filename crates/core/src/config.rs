@@ -3,7 +3,7 @@
 
 use fedpower_agent::{ControllerConfig, RewardConfig};
 use fedpower_baselines::ProfitConfig;
-use fedpower_federated::{FaultScenario, FedAvgConfig, TransportKind};
+use fedpower_federated::{FaultScenario, FedAvgConfig, ServerOpt, TransportKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -159,6 +159,17 @@ pub enum ConfigError {
     },
     /// A [`FleetSpec`] must have at least one client and one shard.
     DegenerateFleet(FleetSpec),
+    /// FedAdam's server learning rate must be positive and finite.
+    InvalidServerLr(f32),
+    /// FedAdam's moment coefficients β₁/β₂ must lie in `[0, 1)`.
+    InvalidServerBeta(f32),
+    /// FedAdam's ε must be positive and finite.
+    InvalidServerEpsilon(f32),
+    /// FedProx's proximal coefficient μ must be finite and ≥ 0.
+    InvalidProxMu(f32),
+    /// `fedavg.server_momentum` is a FedAvg(M) setting; FedAdam maintains
+    /// its own moments, so the two cannot be combined.
+    MomentumUnderFedAdam(f32),
 }
 
 impl fmt::Display for ConfigError {
@@ -187,6 +198,23 @@ impl fmt::Display for ConfigError {
                 f,
                 "fleet topology needs at least one client and one shard, got {} clients / {} shards",
                 spec.clients, spec.shards
+            ),
+            ConfigError::InvalidServerLr(lr) => {
+                write!(f, "server learning rate {lr} must be positive and finite")
+            }
+            ConfigError::InvalidServerBeta(b) => {
+                write!(f, "Adam moment coefficient beta {b} outside [0, 1)")
+            }
+            ConfigError::InvalidServerEpsilon(eps) => {
+                write!(f, "Adam epsilon {eps} must be positive and finite")
+            }
+            ConfigError::InvalidProxMu(mu) => write!(
+                f,
+                "proximal coefficient {mu} must be finite and >= 0 (0 disables the proximal pull)"
+            ),
+            ConfigError::MomentumUnderFedAdam(m) => write!(
+                f,
+                "server momentum {m} must be 0 under FedAdam (FedAdam maintains its own moments)"
             ),
         }
     }
@@ -280,6 +308,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the server commit stage (FedAvg, FedAdam, or FedProx).
+    pub fn optimizer(mut self, optimizer: ServerOpt) -> Self {
+        self.cfg.fedavg.optimizer = optimizer;
+        self
+    }
+
     /// Validates and returns the assembled configuration.
     ///
     /// # Errors
@@ -318,6 +352,37 @@ impl ExperimentConfigBuilder {
         if let Some(spec) = cfg.fleet {
             if spec.clients == 0 || spec.shards == 0 {
                 return Err(ConfigError::DegenerateFleet(spec));
+            }
+        }
+        match cfg.fedavg.optimizer {
+            ServerOpt::FedAvg => {}
+            ServerOpt::FedAdam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                if !(lr > 0.0 && lr.is_finite()) {
+                    return Err(ConfigError::InvalidServerLr(lr));
+                }
+                for b in [beta1, beta2] {
+                    if !(0.0..1.0).contains(&b) {
+                        return Err(ConfigError::InvalidServerBeta(b));
+                    }
+                }
+                if !(eps > 0.0 && eps.is_finite()) {
+                    return Err(ConfigError::InvalidServerEpsilon(eps));
+                }
+                if cfg.fedavg.server_momentum != 0.0 {
+                    return Err(ConfigError::MomentumUnderFedAdam(
+                        cfg.fedavg.server_momentum,
+                    ));
+                }
+            }
+            ServerOpt::FedProx { mu } => {
+                if !(mu >= 0.0 && mu.is_finite()) {
+                    return Err(ConfigError::InvalidProxMu(mu));
+                }
             }
         }
         Ok(cfg)
@@ -468,6 +533,74 @@ mod tests {
         })
         .to_string();
         assert!(msg.contains("fleet"), "{msg}");
+    }
+
+    #[test]
+    fn paper_setting_commits_with_plain_fedavg() {
+        assert_eq!(
+            ExperimentConfig::paper().fedavg.optimizer,
+            ServerOpt::FedAvg
+        );
+        assert_eq!(
+            ExperimentConfig::smoke().fedavg.optimizer,
+            ServerOpt::FedAvg
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_optimizer_hyperparameters() {
+        let adam = |lr, beta1, beta2, eps| {
+            ExperimentConfig::builder()
+                .optimizer(ServerOpt::FedAdam {
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                })
+                .build()
+        };
+        assert_eq!(
+            adam(0.0, 0.9, 0.99, 1e-3),
+            Err(ConfigError::InvalidServerLr(0.0))
+        );
+        assert_eq!(
+            adam(0.01, 1.0, 0.99, 1e-3),
+            Err(ConfigError::InvalidServerBeta(1.0))
+        );
+        assert_eq!(
+            adam(0.01, 0.9, -0.1, 1e-3),
+            Err(ConfigError::InvalidServerBeta(-0.1))
+        );
+        assert_eq!(
+            adam(0.01, 0.9, 0.99, 0.0),
+            Err(ConfigError::InvalidServerEpsilon(0.0))
+        );
+        assert_eq!(
+            ExperimentConfig::builder()
+                .optimizer(ServerOpt::FedProx { mu: -0.5 })
+                .build(),
+            Err(ConfigError::InvalidProxMu(-0.5))
+        );
+        let mut with_momentum = ExperimentConfig::paper();
+        with_momentum.fedavg.server_momentum = 0.5;
+        assert_eq!(
+            with_momentum
+                .to_builder()
+                .optimizer(ServerOpt::fedadam())
+                .build(),
+            Err(ConfigError::MomentumUnderFedAdam(0.5))
+        );
+        let ok = ExperimentConfig::builder()
+            .optimizer(ServerOpt::fedadam())
+            .build()
+            .unwrap();
+        assert_eq!(ok.fedavg.optimizer, ServerOpt::fedadam());
+        let msg = ConfigError::InvalidServerBeta(1.5).to_string();
+        assert!(msg.contains("[0, 1)"), "{msg}");
+        let msg = ConfigError::InvalidServerLr(f32::NAN).to_string();
+        assert!(msg.contains("positive and finite"), "{msg}");
+        let msg = ConfigError::InvalidProxMu(-1.0).to_string();
+        assert!(msg.contains(">= 0"), "{msg}");
     }
 
     #[test]

@@ -25,6 +25,19 @@ fn device_env(apps: &[AppId], cfg: &ExperimentConfig) -> DeviceEnvConfig {
     env
 }
 
+/// The controller configuration federated clients train under: the
+/// experiment's controller settings with the server optimizer's client-side
+/// knobs applied — FedProx's μ pulls each client's local objective toward
+/// the last broadcast global model. μ stays 0 (a no-op) for FedAvg/FedAdam,
+/// so the default path is untouched.
+fn client_controller(cfg: &ExperimentConfig) -> fedpower_agent::ControllerConfig {
+    let mut ctrl = cfg.controller;
+    if let fedpower_federated::ServerOpt::FedProx { mu } = cfg.fedavg.optimizer {
+        ctrl.prox_mu = mu;
+    }
+    ctrl
+}
+
 /// Evaluates a policy snapshot after a training round, producing one point
 /// of a Fig. 3 curve.
 ///
@@ -214,7 +227,7 @@ pub fn run_federated_recorded(
         .map(|(d, apps)| {
             AgentClient::new(
                 d,
-                cfg.controller,
+                client_controller(cfg),
                 device_env(apps, cfg),
                 derive_seed(cfg.seed, 20 + d as u64),
             )
@@ -285,7 +298,12 @@ impl FleetClientFactory for DeviceFleetFactory {
     fn materialize(&self, id: usize, round: u64) -> AgentClient {
         let apps = [Self::app_for(id)];
         let seed = derive_seed(derive_seed(self.cfg.seed, 20 + id as u64), round);
-        AgentClient::new(id, self.cfg.controller, device_env(&apps, &self.cfg), seed)
+        AgentClient::new(
+            id,
+            client_controller(&self.cfg),
+            device_env(&apps, &self.cfg),
+            seed,
+        )
     }
 }
 
@@ -423,7 +441,7 @@ pub fn run_federated_training_only(scenario: &Scenario, cfg: &ExperimentConfig) 
         .map(|(d, apps)| {
             AgentClient::new(
                 d,
-                cfg.controller,
+                client_controller(cfg),
                 device_env(apps, cfg),
                 derive_seed(cfg.seed, 20 + d as u64),
             )
@@ -469,7 +487,7 @@ pub fn run_personalized(
         .map(|(d, apps)| {
             AgentClient::new(
                 d,
-                cfg.controller,
+                client_controller(cfg),
                 device_env(apps, cfg),
                 derive_seed(cfg.seed, 20 + d as u64),
             )

@@ -3,7 +3,7 @@ use crate::error::FedError;
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::pool::WorkerPool;
 use crate::report::{RoundReport, TransportStats};
-use crate::server::{AggregationStrategy, FedAvgServer};
+use crate::server::{AggregationServer, AggregationStrategy, ServerOpt};
 use crate::transport::{Transport, TransportKind};
 use crate::wire;
 use fedpower_sim::rng::{derive_rng, streams};
@@ -45,6 +45,9 @@ pub struct FedAvgConfig {
     /// `a` rounds late is weighted `staleness_decay^a` relative to fresh
     /// ones. Must be in (0, 1].
     pub staleness_decay: f32,
+    /// How the combined round aggregate commits into the global model
+    /// (paper: plain FedAvg assignment).
+    pub optimizer: ServerOpt,
 }
 
 impl FedAvgConfig {
@@ -64,6 +67,7 @@ impl FedAvgConfig {
             min_quorum: 1,
             max_upload_retries: 2,
             staleness_decay: 0.5,
+            optimizer: ServerOpt::FedAvg,
         }
     }
 }
@@ -74,7 +78,7 @@ impl Default for FedAvgConfig {
     }
 }
 
-/// Orchestrates `N` clients and one [`FedAvgServer`] through federated
+/// Orchestrates `N` clients and one [`AggregationServer`] through federated
 /// rounds (Fig. 1 of the paper).
 ///
 /// Every model exchange crosses a per-client [`Transport`] link as an
@@ -93,7 +97,7 @@ impl Default for FedAvgConfig {
 #[derive(Debug)]
 pub struct Federation<C: FederatedClient> {
     config: FedAvgConfig,
-    server: FedAvgServer,
+    server: AggregationServer,
     clients: Vec<C>,
     links: Vec<Box<dyn Transport>>,
     transport: TransportStats,
@@ -253,7 +257,12 @@ impl<C: FederatedClient> Federation<C> {
         );
         let mut clients = clients;
         let initial = clients[0].upload().params;
-        let server = FedAvgServer::with_momentum(initial, config.strategy, config.server_momentum);
+        let server = AggregationServer::with_optimizer(
+            initial,
+            config.strategy,
+            config.server_momentum,
+            config.optimizer,
+        );
         let mut fed = Federation {
             config,
             server,
@@ -321,7 +330,12 @@ impl<C: FederatedClient> Federation<C> {
         &mut self.clients
     }
 
-    /// The current global model parameters.
+    /// Which commit stage the server runs.
+    pub fn optimizer_kind(&self) -> crate::server::ServerOptKind {
+        self.server.optimizer_kind()
+    }
+
+    /// The current global model parameters θ.
     pub fn global_params(&self) -> &[f32] {
         self.server.global()
     }
@@ -364,6 +378,14 @@ impl<C: FederatedClient> Federation<C> {
             &mut report,
             Event::round_scoped(EventKind::RoundStart, round),
         );
+        // Which commit stage the server runs this round, as a counter so
+        // `report::from_events` reconciliation stays a pure Event reduction.
+        self.recorder.counter(Counter::new(
+            "optimizer",
+            round,
+            None,
+            self.config.optimizer.kind().code(),
+        ));
 
         let mut active: Vec<usize> = Vec::with_capacity(participant_ids.len());
         for &i in &participant_ids {
@@ -552,6 +574,8 @@ impl<C: FederatedClient> Federation<C> {
                 );
                 let weight = self.config.staleness_decay.powi(age as i32);
                 let kind = if acc.admit(stale.update, weight).is_ok() {
+                    self.recorder
+                        .counter(Counter::new("stale_age", round, Some(id), age));
                     EventKind::StaleApplied
                 } else {
                     EventKind::UpdateRejected
@@ -574,7 +598,12 @@ impl<C: FederatedClient> Federation<C> {
                     Ok((origin_round, update)) => {
                         let age = round.saturating_sub(origin_round).max(1);
                         let weight = self.config.staleness_decay.powi(age as i32);
-                        acc.admit(update, weight).is_ok()
+                        let ok = acc.admit(update, weight).is_ok();
+                        if ok {
+                            self.recorder
+                                .counter(Counter::new("stale_age", round, Some(id), age));
+                        }
+                        ok
                     }
                     Err(_) => false,
                 };

@@ -16,7 +16,8 @@
 //!   one client plus one workspace plus one accumulator, independent of
 //!   fleet size;
 //! * the root merges the shard partials ([`RoundAccumulator::merge`])
-//!   and commits through the ordinary [`FedAvgServer::commit_round`]
+//!   and commits through the ordinary
+//!   [`AggregationServer::commit_round`](crate::AggregationServer::commit_round)
 //!   path.
 //!
 //! Because the streaming accumulator's sums are [`crate::ExactSum`]
@@ -51,7 +52,7 @@ use crate::fault::{Fault, FaultPlan};
 use crate::federation::FedAvgConfig;
 use crate::pool::WorkerPool;
 use crate::report::{RoundReport, TransportStats};
-use crate::server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
+use crate::server::{AggregationServer, AggregationStrategy, RoundAccumulator, ServerOpt};
 use crate::wire;
 use fedpower_telemetry::{Counter, Event, EventKind, NullRecorder, Recorder, Span};
 use serde::{Deserialize, Serialize};
@@ -193,10 +194,7 @@ impl EdgeAggregator {
         strategy: AggregationStrategy,
         model_len: usize,
     ) -> Result<Self, FedError> {
-        if matches!(
-            strategy,
-            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian
-        ) {
+        if !strategy.shard_reducible() {
             return Err(FedError::UnsupportedInFleet { strategy });
         }
         Ok(EdgeAggregator {
@@ -414,7 +412,7 @@ fn run_shard<F: FleetClientFactory>(
 pub struct Fleet<F: FleetClientFactory> {
     factory: F,
     config: FleetConfig,
-    server: FedAvgServer,
+    server: AggregationServer,
     plan: FaultPlan,
     /// `(client, round)` cells inside a crash outage, precomputed from
     /// the plan.
@@ -514,13 +512,20 @@ impl<F: FleetClientFactory> Fleet<F> {
                 fed.server_momentum
             )));
         }
-        if matches!(
-            fed.strategy,
-            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian
-        ) {
+        if !fed.strategy.shard_reducible() {
             return Err(FedError::UnsupportedInFleet {
                 strategy: fed.strategy,
             });
+        }
+        if let Err(msg) = fed.optimizer.validate() {
+            return Err(FedError::InvalidConfig(msg));
+        }
+        if matches!(fed.optimizer, ServerOpt::FedAdam { .. }) && fed.server_momentum != 0.0 {
+            return Err(FedError::InvalidConfig(format!(
+                "server_momentum is a FedAvg(M) setting and must be 0 under FedAdam \
+                 (FedAdam maintains its own moments), got {}",
+                fed.server_momentum
+            )));
         }
         let initial = factory.initial_global();
         if initial.is_empty() {
@@ -528,7 +533,12 @@ impl<F: FleetClientFactory> Fleet<F> {
                 "initial global model cannot be empty".to_string(),
             ));
         }
-        let server = FedAvgServer::with_momentum(initial, fed.strategy, fed.server_momentum);
+        let server = AggregationServer::with_optimizer(
+            initial,
+            fed.strategy,
+            fed.server_momentum,
+            fed.optimizer,
+        );
         let plan = plan.cloned().unwrap_or_default();
         let mut offline = BTreeSet::new();
         let mut crash_starts: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
@@ -628,6 +638,13 @@ impl<F: FleetClientFactory> Fleet<F> {
             &mut report,
             Event::round_scoped(EventKind::RoundStart, round),
         );
+        // Commit-stage kind, mirroring the flat engine's round counter.
+        self.recorder.counter(Counter::new(
+            "optimizer",
+            round,
+            None,
+            self.config.fedavg.optimizer.kind().code(),
+        ));
 
         let global: Vec<f32> = self.server.global().to_vec();
         // Clients whose crash outage begins this round pin the model they
@@ -747,6 +764,8 @@ impl<F: FleetClientFactory> Fleet<F> {
             let age = round.saturating_sub(stashed.origin).max(1);
             let weight = self.config.fedavg.staleness_decay.powi(age as i32);
             let kind = if acc.admit(stashed.update, weight).is_ok() {
+                self.recorder
+                    .counter(Counter::new("stale_age", round, Some(id), age));
                 EventKind::StaleApplied
             } else {
                 EventKind::UpdateRejected

@@ -12,9 +12,11 @@
 //!
 //! Components:
 //!
-//! * [`FedAvgServer`] — synchronous parameter averaging with
+//! * [`AggregationServer`] — synchronous parameter averaging with
 //!   [`AggregationStrategy`] (the paper's unweighted mean plus a
-//!   sample-weighted extension),
+//!   sample-weighted extension) feeding a [`ServerOptimizer`] commit stage
+//!   ([`ServerOpt::FedAvg`], [`ServerOpt::FedAdam`], [`ServerOpt::FedProx`])
+//!   with an optional staleness-aware buffered-async round ([`AsyncRound`]),
 //! * [`AgentClient`] — a [`FederatedClient`] wrapping a power controller
 //!   and its simulated device,
 //! * [`Federation`] — round orchestration (`R` rounds × `T` local steps),
@@ -79,7 +81,10 @@ pub use fault::{
 pub use federation::{FedAvgConfig, Federation};
 pub use fleet::{EdgeAggregator, Fleet, FleetClientFactory, FleetConfig};
 pub use pool::WorkerPool;
-pub use server::{AggregationStrategy, FedAvgServer, RoundAccumulator};
+pub use server::{
+    AggregationServer, AggregationStrategy, AsyncRound, FedAdamCommit, FedAvgCommit, FedProxCommit,
+    RoundAccumulator, ServerOpt, ServerOptKind, ServerOptimizer, STALENESS_BUCKETS,
+};
 pub use td_client::TdClient;
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportKind};
 pub use wire::{Envelope, WireError};
@@ -100,3 +105,7 @@ pub type RoundReport = report::RoundReport;
 /// Moved to [`report::TransportStats`].
 #[deprecated(since = "0.1.0", note = "moved to `report::TransportStats`")]
 pub type TransportStats = report::TransportStats;
+/// Renamed to [`AggregationServer`] when the commit stage generalized
+/// beyond plain FedAvg.
+#[deprecated(since = "0.1.0", note = "renamed to `AggregationServer`")]
+pub type FedAvgServer = AggregationServer;

@@ -26,10 +26,438 @@ pub enum AggregationStrategy {
     CoordinateMedian,
 }
 
+impl AggregationStrategy {
+    /// Whether shard-local partials of this strategy merge associatively
+    /// (bit-exactly) into the state of a flat round — the capability the
+    /// fleet engine and [`RoundAccumulator::merge`] require. The robust
+    /// combiners ([`AggregationStrategy::TrimmedMean`],
+    /// [`AggregationStrategy::CoordinateMedian`]) need every update's
+    /// coordinates in one place and are not shard-reducible.
+    pub fn shard_reducible(self) -> bool {
+        !matches!(
+            self,
+            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian
+        )
+    }
+}
+
+/// Which server optimizer commits combined rounds into θ — the
+/// hyperparameter-free selector shared by the CLI (`--optimizer`) and
+/// telemetry. [`ServerOpt`] carries the full configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ServerOptKind {
+    /// Plain FedAvg assignment, optionally smoothed by FedAvgM momentum
+    /// (the paper's server).
+    #[default]
+    FedAvg,
+    /// Server-side Adam over the round's aggregate delta (adaptive
+    /// federated optimization, Reddi et al. 2021).
+    FedAdam,
+    /// FedAvg commit plus a client-side proximal term μ/2·‖w − θ‖²
+    /// (Li et al. 2020).
+    FedProx,
+}
+
+impl ServerOptKind {
+    /// Every selectable kind, in CLI listing order.
+    pub const ALL: [ServerOptKind; 3] = [
+        ServerOptKind::FedAvg,
+        ServerOptKind::FedAdam,
+        ServerOptKind::FedProx,
+    ];
+
+    /// The CLI name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerOptKind::FedAvg => "fedavg",
+            ServerOptKind::FedAdam => "fedadam",
+            ServerOptKind::FedProx => "fedprox",
+        }
+    }
+
+    /// Parses a CLI name (`fedavg`, `fedadam`, `fedprox`).
+    pub fn parse(s: &str) -> Option<Self> {
+        ServerOptKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Stable numeric code recorded in telemetry counters.
+    pub fn code(self) -> u64 {
+        match self {
+            ServerOptKind::FedAvg => 0,
+            ServerOptKind::FedAdam => 1,
+            ServerOptKind::FedProx => 2,
+        }
+    }
+}
+
+/// Server-optimizer selection with hyperparameters, carried in
+/// [`crate::FedAvgConfig::optimizer`].
+///
+/// `FedAvg` is the paper's server and the default; `fedadam()` /
+/// `fedprox()` build the other schemes with their reference defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ServerOpt {
+    /// Plain FedAvg commit (composes with `server_momentum` for FedAvgM).
+    #[default]
+    FedAvg,
+    /// Server-side Adam over the aggregate delta.
+    FedAdam {
+        /// Server learning rate η (must be positive and finite).
+        lr: f32,
+        /// First-moment decay β₁ ∈ [0, 1).
+        beta1: f32,
+        /// Second-moment decay β₂ ∈ [0, 1).
+        beta2: f32,
+        /// Denominator floor ε (must be positive and finite).
+        eps: f32,
+    },
+    /// Client-side proximal term; the server commit is FedAvg's.
+    FedProx {
+        /// Proximal coefficient μ ≥ 0 (0 disables the pull).
+        mu: f32,
+    },
+}
+
+impl ServerOpt {
+    /// FedAdam with the adaptive-federated-optimization defaults used by
+    /// this repo's ablations: η = 0.01, β₁ = 0.9, β₂ = 0.99, ε = 10⁻³.
+    pub fn fedadam() -> Self {
+        ServerOpt::FedAdam {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+        }
+    }
+
+    /// FedProx with μ = 0.01 (the ablation default).
+    pub fn fedprox() -> Self {
+        ServerOpt::FedProx { mu: 0.01 }
+    }
+
+    /// The configuration a bare CLI kind selects (reference defaults).
+    pub fn from_kind(kind: ServerOptKind) -> Self {
+        match kind {
+            ServerOptKind::FedAvg => ServerOpt::FedAvg,
+            ServerOptKind::FedAdam => ServerOpt::fedadam(),
+            ServerOptKind::FedProx => ServerOpt::fedprox(),
+        }
+    }
+
+    /// Which optimizer this configures.
+    pub fn kind(self) -> ServerOptKind {
+        match self {
+            ServerOpt::FedAvg => ServerOptKind::FedAvg,
+            ServerOpt::FedAdam { .. } => ServerOptKind::FedAdam,
+            ServerOpt::FedProx { .. } => ServerOptKind::FedProx,
+        }
+    }
+
+    /// The proximal coefficient clients should train under (0 for the
+    /// non-proximal optimizers).
+    pub fn prox_mu(self) -> f32 {
+        match self {
+            ServerOpt::FedProx { mu } => mu,
+            _ => 0.0,
+        }
+    }
+
+    /// Checks the hyperparameter domains, returning the first violation
+    /// as a message naming the valid range.
+    ///
+    /// # Errors
+    ///
+    /// `Err(msg)` when a FedAdam coefficient or the FedProx μ is outside
+    /// its domain (η, ε positive finite; β ∈ [0, 1); μ ≥ 0 finite).
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            ServerOpt::FedAvg => Ok(()),
+            ServerOpt::FedAdam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                if !(lr > 0.0 && lr.is_finite()) {
+                    return Err(format!(
+                        "server learning rate must be positive and finite, got {lr}"
+                    ));
+                }
+                for b in [beta1, beta2] {
+                    if !(0.0..1.0).contains(&b) {
+                        return Err(format!(
+                            "Adam moment coefficient beta must be in [0, 1), got {b}"
+                        ));
+                    }
+                }
+                if !(eps > 0.0 && eps.is_finite()) {
+                    return Err(format!(
+                        "Adam epsilon must be positive and finite, got {eps}"
+                    ));
+                }
+                Ok(())
+            }
+            ServerOpt::FedProx { mu } => {
+                if !(mu >= 0.0 && mu.is_finite()) {
+                    return Err(format!(
+                        "proximal coefficient mu must be finite and >= 0 \
+                         (0 disables the proximal pull), got {mu}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Commit-stage policy of the two-stage aggregation pipeline.
+///
+/// Aggregation is split into a *combine* stage — the
+/// [`RoundAccumulator`]/[`AggregationStrategy`] machinery reducing the
+/// round's admitted updates to one aggregate model — and a *commit* stage
+/// deciding how that aggregate folds into the global model θ. A
+/// `ServerOptimizer` is the commit stage: `commit` consumes the combine
+/// stage's output `next` (same length as `global`, guaranteed by
+/// admission) and updates `global` in place. Implementations own whatever
+/// cross-round state they need (momentum velocity, Adam moments) and must
+/// allocate it once at construction so the steady-state commit stays
+/// allocation-free.
+pub trait ServerOptimizer {
+    /// Folds the combined round model `next` into `global`.
+    fn commit(&mut self, global: &mut Vec<f32>, next: Vec<f32>);
+
+    /// Which optimizer this is, for config echo and telemetry.
+    fn kind(&self) -> ServerOptKind;
+}
+
+/// The FedAvg commit: the aggregate replaces θ directly, or — with
+/// FedAvgM momentum β > 0 — through the smoothed velocity
+/// `v ← β·v + (θ − next)`, `θ ← θ − v` (Hsu et al. 2019).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedAvgCommit {
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl FedAvgCommit {
+    /// A commit stage for models of `model_len` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum ∉ [0, 1)`.
+    pub fn new(model_len: usize, momentum: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1), got {momentum}"
+        );
+        FedAvgCommit {
+            momentum,
+            velocity: vec![0.0; model_len],
+        }
+    }
+}
+
+impl ServerOptimizer for FedAvgCommit {
+    fn commit(&mut self, global: &mut Vec<f32>, next: Vec<f32>) {
+        if self.momentum > 0.0 {
+            #[allow(clippy::needless_range_loop)] // index couples global, next, velocity
+            for i in 0..global.len() {
+                let delta = global[i] - next[i];
+                self.velocity[i] = self.momentum * self.velocity[i] + delta;
+                global[i] -= self.velocity[i];
+            }
+        } else {
+            *global = next;
+        }
+    }
+
+    fn kind(&self) -> ServerOptKind {
+        ServerOptKind::FedAvg
+    }
+}
+
+/// The FedAdam commit (Reddi et al. 2021): the round's pseudo-gradient
+/// `g = θ − next` drives per-coordinate Adam moments, and θ moves by the
+/// adaptive step instead of the raw aggregate.
+///
+/// Two deliberate arithmetic choices make the optimizer *reduce to
+/// FedAvg bit-for-bit* in the degenerate corner (DESIGN.md §13): the
+/// denominator is `max(√v̂, ε)` rather than `√v̂ + ε`, and the write-back
+/// is anchored on the aggregate — `θᵢ ← nextᵢ + (gᵢ − stepᵢ)` — rather
+/// than on θ. With β₁ = β₂ = 0, η = 1 and an ε-dominated denominator,
+/// `stepᵢ = gᵢ` exactly, the parenthesis is zero, and the commit is the
+/// FedAvg assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedAdamCommit {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// Rounds committed (Adam's bias-correction step count).
+    t: u64,
+    /// First moment, allocated once — the commit stage never allocates.
+    m: Vec<f32>,
+    /// Second moment, allocated once.
+    v: Vec<f32>,
+}
+
+impl FedAdamCommit {
+    /// A commit stage for models of `model_len` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr`/`eps` are not positive finite or a β ∉ [0, 1).
+    pub fn new(model_len: usize, lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        let opt = ServerOpt::FedAdam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+        };
+        if let Err(msg) = opt.validate() {
+            panic!("{msg}");
+        }
+        FedAdamCommit {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: vec![0.0; model_len],
+            v: vec![0.0; model_len],
+        }
+    }
+}
+
+impl ServerOptimizer for FedAdamCommit {
+    fn commit(&mut self, global: &mut Vec<f32>, next: Vec<f32>) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        #[allow(clippy::needless_range_loop)] // index couples global, next, moments
+        for i in 0..global.len() {
+            let g = global[i] - next[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            let step = self.lr * (m_hat / v_hat.sqrt().max(self.eps));
+            global[i] = next[i] + (g - step);
+        }
+    }
+
+    fn kind(&self) -> ServerOptKind {
+        ServerOptKind::FedAdam
+    }
+}
+
+/// The FedProx commit (Li et al. 2020). The proximal term μ/2·‖w − θ‖²
+/// acts on the *client* objective — engines thread μ into the clients'
+/// local training — so the server-side commit is exactly FedAvg's; the
+/// struct carries μ for config echo and reports the right kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedProxCommit {
+    mu: f32,
+    inner: FedAvgCommit,
+}
+
+impl FedProxCommit {
+    /// A commit stage for models of `model_len` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is negative or non-finite, or `momentum ∉ [0, 1)`.
+    pub fn new(model_len: usize, momentum: f32, mu: f32) -> Self {
+        if let Err(msg) = (ServerOpt::FedProx { mu }).validate() {
+            panic!("{msg}");
+        }
+        FedProxCommit {
+            mu,
+            inner: FedAvgCommit::new(model_len, momentum),
+        }
+    }
+
+    /// The proximal coefficient clients train under.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+}
+
+impl ServerOptimizer for FedProxCommit {
+    fn commit(&mut self, global: &mut Vec<f32>, next: Vec<f32>) {
+        self.inner.commit(global, next);
+    }
+
+    fn kind(&self) -> ServerOptKind {
+        ServerOptKind::FedProx
+    }
+}
+
+/// The server's optimizer state — an enum delegating to the concrete
+/// [`ServerOptimizer`]s rather than a boxed trait object, so
+/// [`AggregationServer`] keeps its `Clone`/`PartialEq` derives.
+#[derive(Debug, Clone, PartialEq)]
+// Variants deliberately mirror [`ServerOpt`]'s names one-to-one.
+#[allow(clippy::enum_variant_names)]
+enum CommitState {
+    FedAvg(FedAvgCommit),
+    FedAdam(FedAdamCommit),
+    FedProx(FedProxCommit),
+}
+
+impl CommitState {
+    /// Builds the optimizer state a [`ServerOpt`] selects.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the hyperparameters fail [`ServerOpt::validate`], or
+    /// when `momentum > 0` is combined with FedAdam (`server_momentum` is
+    /// a FedAvg(M) setting; FedAdam maintains its own moments).
+    fn from_config(model_len: usize, momentum: f32, opt: ServerOpt) -> Self {
+        match opt {
+            ServerOpt::FedAvg => CommitState::FedAvg(FedAvgCommit::new(model_len, momentum)),
+            ServerOpt::FedAdam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                assert!(
+                    momentum == 0.0,
+                    "server_momentum is a FedAvg(M) setting and must be 0 under FedAdam \
+                     (FedAdam maintains its own moments), got {momentum}"
+                );
+                CommitState::FedAdam(FedAdamCommit::new(model_len, lr, beta1, beta2, eps))
+            }
+            ServerOpt::FedProx { mu } => {
+                CommitState::FedProx(FedProxCommit::new(model_len, momentum, mu))
+            }
+        }
+    }
+}
+
+impl ServerOptimizer for CommitState {
+    fn commit(&mut self, global: &mut Vec<f32>, next: Vec<f32>) {
+        match self {
+            CommitState::FedAvg(o) => o.commit(global, next),
+            CommitState::FedAdam(o) => o.commit(global, next),
+            CommitState::FedProx(o) => o.commit(global, next),
+        }
+    }
+
+    fn kind(&self) -> ServerOptKind {
+        match self {
+            CommitState::FedAvg(o) => o.kind(),
+            CommitState::FedAdam(o) => o.kind(),
+            CommitState::FedProx(o) => o.kind(),
+        }
+    }
+}
+
 /// The central aggregation server of Algorithm 2.
 ///
 /// Aggregation is synchronous: the caller collects all participating
-/// clients' updates before invoking [`FedAvgServer::aggregate`]. An
+/// clients' updates before invoking [`AggregationServer::aggregate`]. An
 /// optional server momentum (FedAvgM, Hsu et al. 2019) smooths the global
 /// trajectory across rounds.
 ///
@@ -37,8 +465,8 @@ pub enum AggregationStrategy {
 ///
 /// ```
 /// # fn main() -> Result<(), fedpower_federated::FedError> {
-/// use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate};
-/// let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+/// use fedpower_federated::{AggregationStrategy, AggregationServer, ModelUpdate};
+/// let mut server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
 /// let global = server.aggregate(&[
 ///     ModelUpdate { client_id: 0, params: vec![1.0, 2.0], num_samples: 100 },
 ///     ModelUpdate { client_id: 1, params: vec![3.0, 4.0], num_samples: 100 },
@@ -48,16 +476,16 @@ pub enum AggregationStrategy {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct FedAvgServer {
+pub struct AggregationServer {
     global: Vec<f32>,
     strategy: AggregationStrategy,
-    momentum: f32,
-    velocity: Vec<f32>,
+    opt: CommitState,
     rounds_completed: u64,
 }
 
-impl FedAvgServer {
-    /// Creates a server with initial global parameters θ₁ and no momentum.
+impl AggregationServer {
+    /// Creates a server with initial global parameters θ₁, a plain FedAvg
+    /// commit, and no momentum.
     ///
     /// # Panics
     ///
@@ -74,17 +502,30 @@ impl FedAvgServer {
     ///
     /// Panics if `initial` is empty or `momentum ∉ [0, 1)`.
     pub fn with_momentum(initial: Vec<f32>, strategy: AggregationStrategy, momentum: f32) -> Self {
+        Self::with_optimizer(initial, strategy, momentum, ServerOpt::FedAvg)
+    }
+
+    /// The fully general constructor: combine under `strategy`, commit
+    /// through the [`ServerOptimizer`] that `optimizer` selects.
+    /// `momentum` is FedAvgM's β and applies to the FedAvg-commit
+    /// optimizers only (it must be 0 under FedAdam).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, `momentum ∉ [0, 1)`, or the
+    /// optimizer hyperparameters fail [`ServerOpt::validate`].
+    pub fn with_optimizer(
+        initial: Vec<f32>,
+        strategy: AggregationStrategy,
+        momentum: f32,
+        optimizer: ServerOpt,
+    ) -> Self {
         assert!(!initial.is_empty(), "global model cannot be empty");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1), got {momentum}"
-        );
-        let velocity = vec![0.0; initial.len()];
-        FedAvgServer {
+        let opt = CommitState::from_config(initial.len(), momentum, optimizer);
+        AggregationServer {
             global: initial,
             strategy,
-            momentum,
-            velocity,
+            opt,
             rounds_completed: 0,
         }
     }
@@ -97,6 +538,11 @@ impl FedAvgServer {
     /// The configured aggregation strategy.
     pub fn strategy(&self) -> AggregationStrategy {
         self.strategy
+    }
+
+    /// Which server optimizer commits this server's rounds.
+    pub fn optimizer_kind(&self) -> ServerOptKind {
+        self.opt.kind()
     }
 
     /// Rounds aggregated so far.
@@ -167,7 +613,7 @@ impl FedAvgServer {
     /// sum to 1; the strategy's own weighting is bypassed.
     ///
     /// Note: `aggregate_weighted` with unit weights is *not* guaranteed to
-    /// be bit-identical to [`FedAvgServer::aggregate`] (normalization
+    /// be bit-identical to [`AggregationServer::aggregate`] (normalization
     /// arithmetic differs); callers keep the fault-free path on
     /// `aggregate`.
     ///
@@ -224,7 +670,7 @@ impl FedAvgServer {
     /// robust strategies ([`AggregationStrategy::TrimmedMean`],
     /// [`AggregationStrategy::CoordinateMedian`]) inherently need every
     /// update and fall back to buffering. Finish the round with
-    /// [`FedAvgServer::commit_round`].
+    /// [`AggregationServer::commit_round`].
     pub fn accumulator(&self) -> RoundAccumulator {
         RoundAccumulator::for_model(self.strategy, self.global.len())
     }
@@ -233,9 +679,9 @@ impl FedAvgServer {
     ///
     /// Semantics match the per-`Vec` paths: a round whose admitted updates
     /// all carry unit weight aggregates under the configured strategy
-    /// (like [`FedAvgServer::aggregate`]); as soon as any update was
+    /// (like [`AggregationServer::aggregate`]); as soon as any update was
     /// staleness-discounted the explicit weights take over and the
-    /// strategy is bypassed (like [`FedAvgServer::aggregate_weighted`]).
+    /// strategy is bypassed (like [`AggregationServer::aggregate_weighted`]).
     ///
     /// # Errors
     ///
@@ -295,18 +741,42 @@ impl FedAvgServer {
         }
     }
 
-    /// Installs an aggregated model, applying server momentum if enabled.
-    fn commit(&mut self, next: Vec<f32>) {
-        if self.momentum > 0.0 {
-            #[allow(clippy::needless_range_loop)] // index couples global, next, velocity
-            for i in 0..self.global.len() {
-                let delta = self.global[i] - next[i];
-                self.velocity[i] = self.momentum * self.velocity[i] + delta;
-                self.global[i] -= self.velocity[i];
-            }
-        } else {
-            self.global = next;
+    /// Opens a staleness-aware buffered-async round: updates fold as they
+    /// arrive via [`AsyncRound::fold`], each discounted by
+    /// `staleness_decay^age`, and commit through
+    /// [`AggregationServer::commit_async`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staleness_decay ∉ (0, 1]`.
+    pub fn async_round(&self, staleness_decay: f32) -> AsyncRound {
+        assert!(
+            staleness_decay > 0.0 && staleness_decay <= 1.0,
+            "staleness_decay must be in (0, 1], got {staleness_decay}"
+        );
+        AsyncRound {
+            acc: self.accumulator(),
+            decay: staleness_decay,
+            histogram: [0; STALENESS_BUCKETS],
         }
+    }
+
+    /// Commits a buffered-async round through the ordinary
+    /// [`AggregationServer::commit_round`] path — an async round whose
+    /// folds were all age 0 commits bit-identically to a synchronous
+    /// round over the same updates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AggregationServer::commit_round`].
+    pub fn commit_async(&mut self, round: AsyncRound) -> Result<&[f32], FedError> {
+        self.commit_round(round.acc)
+    }
+
+    /// Hands the combine stage's output to the commit stage (the
+    /// configured [`ServerOptimizer`]).
+    fn commit(&mut self, next: Vec<f32>) {
+        self.opt.commit(&mut self.global, next);
         self.rounds_completed += 1;
     }
 
@@ -340,7 +810,7 @@ impl FedAvgServer {
     }
 }
 
-/// The admission check shared by [`FedAvgServer::validate_update`] and
+/// The admission check shared by [`AggregationServer::validate_update`] and
 /// [`RoundAccumulator::admit`].
 fn validate_against(expected_len: usize, update: &ModelUpdate) -> Result<(), FedError> {
     if update.params.len() != expected_len {
@@ -391,9 +861,9 @@ enum AccMode {
 /// A server-side round in progress: updates are admission-checked and
 /// folded into running aggregates as they arrive off the wire.
 ///
-/// Create with [`FedAvgServer::accumulator`] (or standalone with
+/// Create with [`AggregationServer::accumulator`] (or standalone with
 /// [`RoundAccumulator::for_model`]), feed with
-/// [`RoundAccumulator::admit`], finish with [`FedAvgServer::commit_round`].
+/// [`RoundAccumulator::admit`], finish with [`AggregationServer::commit_round`].
 /// Besides the aggregate itself the accumulator tracks the per-coordinate
 /// first and second moments of the admitted models, from which
 /// [`RoundAccumulator::divergence`] derives the round's client-drift
@@ -426,7 +896,7 @@ impl RoundAccumulator {
     /// Shard-level (edge) aggregators open their own accumulators with
     /// this constructor and later [`RoundAccumulator::merge`] them into
     /// the root's; in the single-server topology prefer
-    /// [`FedAvgServer::accumulator`], which fills in both arguments from
+    /// [`AggregationServer::accumulator`], which fills in both arguments from
     /// the server.
     pub fn for_model(strategy: AggregationStrategy, expected_len: usize) -> Self {
         let mode = match strategy {
@@ -442,7 +912,10 @@ impl RoundAccumulator {
                 samples_sum: Some(vec![ExactSum::ZERO; expected_len]),
                 total_samples: 0,
             },
-            AggregationStrategy::TrimmedMean { .. } | AggregationStrategy::CoordinateMedian => {
+            // Every non-shard-reducible (robust) strategy needs the full
+            // update set and buffers.
+            _ => {
+                debug_assert!(!strategy.shard_reducible());
                 AccMode::Buffered {
                     updates: Vec::new(),
                     weights: Vec::new(),
@@ -466,7 +939,7 @@ impl RoundAccumulator {
     /// # Errors
     ///
     /// Returns [`FedError::CorruptUpdate`] — same check and message as
-    /// [`FedAvgServer::validate_update`] — and leaves the accumulator
+    /// [`AggregationServer::validate_update`] — and leaves the accumulator
     /// untouched.
     pub fn admit(&mut self, update: ModelUpdate, weight: f32) -> Result<(), FedError> {
         validate_against(self.expected_len, &update)?;
@@ -520,7 +993,7 @@ impl RoundAccumulator {
     /// hold after admitting the same updates. This is what lets an
     /// `EdgeAggregator` reduce its shard independently and the root commit
     /// the merged result through the ordinary
-    /// [`FedAvgServer::commit_round`] path.
+    /// [`AggregationServer::commit_round`] path.
     ///
     /// # Errors
     ///
@@ -618,6 +1091,59 @@ impl RoundAccumulator {
     }
 }
 
+/// Staleness ages the [`AsyncRound`] histogram resolves individually;
+/// older folds clamp into the last bucket.
+pub const STALENESS_BUCKETS: usize = 8;
+
+/// A staleness-aware buffered-async commit in progress.
+///
+/// Generalizes the engines' synchronous straggler handling: instead of
+/// gathering a round behind one barrier, updates *fold as they arrive*,
+/// each discounted by `staleness_decay^age`, where `age` counts how many
+/// rounds behind the current global model the update trained on. Age 0
+/// (an update trained on the current θ) folds at weight exactly 1.0, so
+/// an async round whose folds are all fresh is bit-identical to a
+/// synchronous round over the same updates — the synchronous engines are
+/// the degenerate case of this API.
+///
+/// Open with [`AggregationServer::async_round`], feed with
+/// [`AsyncRound::fold`], finish with [`AggregationServer::commit_async`].
+/// The per-age histogram ([`AsyncRound::staleness_histogram`]) feeds the
+/// round's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncRound {
+    acc: RoundAccumulator,
+    decay: f32,
+    histogram: [u64; STALENESS_BUCKETS],
+}
+
+impl AsyncRound {
+    /// Admission-checks `update` and folds it in at weight
+    /// `staleness_decay^age`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::CorruptUpdate`] — the same admission check as
+    /// [`RoundAccumulator::admit`] — and leaves the round untouched.
+    pub fn fold(&mut self, update: ModelUpdate, age: u64) -> Result<(), FedError> {
+        let weight = self.decay.powi(age.min(i32::MAX as u64) as i32);
+        self.acc.admit(update, weight)?;
+        self.histogram[(age as usize).min(STALENESS_BUCKETS - 1)] += 1;
+        Ok(())
+    }
+
+    /// Updates folded so far (the round's quorum count).
+    pub fn folded(&self) -> usize {
+        self.acc.admitted()
+    }
+
+    /// How many updates folded at each staleness age (index = age; the
+    /// last bucket absorbs everything older).
+    pub fn staleness_histogram(&self) -> &[u64; STALENESS_BUCKETS] {
+        &self.histogram
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,7 +1158,7 @@ mod tests {
 
     #[test]
     fn uniform_aggregation_is_plain_mean() {
-        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
         let global = server
             .aggregate(&[
                 update(0, vec![1.0, 2.0], 100),
@@ -645,7 +1171,7 @@ mod tests {
 
     #[test]
     fn sample_weighted_aggregation_respects_counts() {
-        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::SampleWeighted);
+        let mut server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::SampleWeighted);
         let global = server
             .aggregate(&[
                 update(0, vec![0.0, 0.0], 100),
@@ -657,7 +1183,7 @@ mod tests {
 
     #[test]
     fn sample_weighted_with_zero_samples_falls_back_to_uniform() {
-        let mut server = FedAvgServer::new(vec![0.0; 1], AggregationStrategy::SampleWeighted);
+        let mut server = AggregationServer::new(vec![0.0; 1], AggregationStrategy::SampleWeighted);
         let global = server
             .aggregate(&[update(0, vec![2.0], 0), update(1, vec![4.0], 0)])
             .unwrap();
@@ -666,13 +1192,13 @@ mod tests {
 
     #[test]
     fn empty_round_errors() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         assert_eq!(server.aggregate(&[]), Err(FedError::EmptyRound));
     }
 
     #[test]
     fn shape_mismatch_errors_and_preserves_global() {
-        let mut server = FedAvgServer::new(vec![0.0, 0.0], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0, 0.0], AggregationStrategy::Uniform);
         let before = server.global().to_vec();
         let result = server.aggregate(&[update(0, vec![1.0, 2.0], 1), update(1, vec![1.0], 1)]);
         assert!(matches!(result, Err(FedError::Model(_))));
@@ -683,7 +1209,7 @@ mod tests {
     #[test]
     fn aggregating_identical_models_is_identity() {
         let p = vec![0.5_f32, -1.5, 2.0];
-        let mut server = FedAvgServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
         let global = server
             .aggregate(&[update(0, p.clone(), 10), update(1, p.clone(), 10)])
             .unwrap();
@@ -692,7 +1218,7 @@ mod tests {
 
     #[test]
     fn trimmed_mean_discards_a_byzantine_outlier() {
-        let mut server = FedAvgServer::new(
+        let mut server = AggregationServer::new(
             vec![0.0; 2],
             AggregationStrategy::TrimmedMean { trim_each_side: 1 },
         );
@@ -712,7 +1238,7 @@ mod tests {
 
     #[test]
     fn coordinate_median_ignores_minority_poison() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
         let global = server
             .aggregate(&[
                 update(0, vec![1.0], 1),
@@ -725,7 +1251,7 @@ mod tests {
 
     #[test]
     fn median_of_even_count_averages_middle_pair() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
         let global = server
             .aggregate(&[
                 update(0, vec![1.0], 1),
@@ -739,7 +1265,7 @@ mod tests {
 
     #[test]
     fn over_trimming_errors_instead_of_panicking() {
-        let mut server = FedAvgServer::new(
+        let mut server = AggregationServer::new(
             vec![0.0],
             AggregationStrategy::TrimmedMean { trim_each_side: 1 },
         );
@@ -750,8 +1276,9 @@ mod tests {
     #[test]
     fn momentum_free_first_step_matches_plain_fedavg() {
         let updates = [update(0, vec![2.0], 1), update(1, vec![4.0], 1)];
-        let mut plain = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
-        let mut momo = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.9);
+        let mut plain = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut momo =
+            AggregationServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.9);
         assert_eq!(
             plain.aggregate(&updates).unwrap(),
             momo.aggregate(&updates).unwrap(),
@@ -763,7 +1290,8 @@ mod tests {
     fn momentum_accelerates_a_consistent_direction() {
         // Clients keep reporting the same target; with momentum the global
         // model overshoots plain averaging after a few rounds.
-        let mut momo = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.5);
+        let mut momo =
+            AggregationServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.5);
         for _ in 0..3 {
             momo.aggregate(&[update(0, vec![1.0], 1)]).unwrap();
         }
@@ -777,12 +1305,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "momentum")]
     fn invalid_momentum_panics() {
-        let _ = FedAvgServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 1.0);
+        let _ = AggregationServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 1.0);
     }
 
     #[test]
     fn weighted_aggregation_discounts_low_weight_updates() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         let updates = [update(0, vec![0.0], 1), update(1, vec![4.0], 1)];
         // Weights 3:1 → (3·0 + 1·4)/4 = 1.
         let global = server.aggregate_weighted(&updates, &[3.0, 1.0]).unwrap();
@@ -792,7 +1320,7 @@ mod tests {
 
     #[test]
     fn weighted_aggregation_rejects_bad_weights() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         let updates = [update(0, vec![1.0], 1)];
         assert!(matches!(
             server.aggregate_weighted(&updates, &[]),
@@ -811,7 +1339,7 @@ mod tests {
 
     #[test]
     fn validate_update_flags_nan_and_shape() {
-        let server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
         assert!(server
             .validate_update(&update(0, vec![1.0, 2.0], 1))
             .is_ok());
@@ -832,7 +1360,7 @@ mod tests {
     #[test]
     fn robust_strategies_survive_nan_without_panicking() {
         // Admission normally filters NaN, but the sort itself must not panic.
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
         let result = server.aggregate(&[
             update(0, vec![1.0], 1),
             update(1, vec![f32::NAN], 1),
@@ -844,11 +1372,11 @@ mod tests {
     #[test]
     fn trimmed_mean_with_zero_trim_equals_uniform_mean() {
         let updates = [update(0, vec![1.0, 5.0], 1), update(1, vec![3.0, 7.0], 1)];
-        let mut trimmed = FedAvgServer::new(
+        let mut trimmed = AggregationServer::new(
             vec![0.0; 2],
             AggregationStrategy::TrimmedMean { trim_each_side: 0 },
         );
-        let mut uniform = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let mut uniform = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
         assert_eq!(
             trimmed.aggregate(&updates).unwrap(),
             uniform.aggregate(&updates).unwrap()
@@ -857,7 +1385,7 @@ mod tests {
 
     #[test]
     fn streaming_uniform_round_matches_the_plain_mean() {
-        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
         let mut acc = server.accumulator();
         acc.admit(update(0, vec![1.0, 2.0], 100), 1.0).unwrap();
         acc.admit(update(1, vec![3.0, 6.0], 900), 1.0).unwrap();
@@ -869,7 +1397,7 @@ mod tests {
 
     #[test]
     fn streaming_sample_weighted_round_respects_counts() {
-        let mut server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::SampleWeighted);
+        let mut server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::SampleWeighted);
         let mut acc = server.accumulator();
         acc.admit(update(0, vec![0.0, 0.0], 100), 1.0).unwrap();
         acc.admit(update(1, vec![4.0, 8.0], 300), 1.0).unwrap();
@@ -884,7 +1412,7 @@ mod tests {
 
     #[test]
     fn stale_weights_switch_the_accumulator_to_the_weighted_mean() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         let mut acc = server.accumulator();
         // Weights 3:1 → (3·0 + 1·4)/4 = 1, the aggregate_weighted case.
         acc.admit(update(0, vec![0.0], 1), 3.0).unwrap();
@@ -895,7 +1423,7 @@ mod tests {
 
     #[test]
     fn buffered_robust_strategies_go_through_the_legacy_path() {
-        let mut streamed = FedAvgServer::new(
+        let mut streamed = AggregationServer::new(
             vec![0.0; 2],
             AggregationStrategy::TrimmedMean { trim_each_side: 1 },
         );
@@ -917,7 +1445,7 @@ mod tests {
 
     #[test]
     fn accumulator_admission_rejects_like_validate_update() {
-        let server = FedAvgServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let server = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
         let mut acc = server.accumulator();
         let nan = acc.admit(update(3, vec![1.0, f32::NAN], 1), 1.0);
         assert_eq!(
@@ -934,7 +1462,7 @@ mod tests {
 
     #[test]
     fn empty_accumulator_commit_errors() {
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         let acc = server.accumulator();
         assert_eq!(server.commit_round(acc), Err(FedError::EmptyRound));
         assert_eq!(server.rounds_completed(), 0);
@@ -942,7 +1470,7 @@ mod tests {
 
     #[test]
     fn merged_shard_accumulators_equal_the_flat_accumulator() {
-        let server = FedAvgServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
+        let server = AggregationServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
         let updates: Vec<ModelUpdate> = (0..10)
             .map(|i| {
                 update(
@@ -1025,7 +1553,7 @@ mod tests {
                 )
             })
             .collect();
-        let mut forward = FedAvgServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut forward = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         let mut backward = forward.clone();
         let mut acc_f = forward.accumulator();
         for u in &updates {
@@ -1043,7 +1571,7 @@ mod tests {
 
     #[test]
     fn accumulator_divergence_matches_the_two_client_geometry() {
-        let server = FedAvgServer::new(vec![0.0; 4], AggregationStrategy::Uniform);
+        let server = AggregationServer::new(vec![0.0; 4], AggregationStrategy::Uniform);
         let mut acc = server.accumulator();
         assert_eq!(acc.divergence(), 0.0, "empty round has no drift");
         acc.admit(update(0, vec![1.0; 4], 1), 1.0).unwrap();
@@ -1055,5 +1583,211 @@ mod tests {
             "{}",
             acc.divergence()
         );
+    }
+
+    #[test]
+    fn shard_reducible_splits_streaming_from_buffered() {
+        assert!(AggregationStrategy::Uniform.shard_reducible());
+        assert!(AggregationStrategy::SampleWeighted.shard_reducible());
+        assert!(!AggregationStrategy::TrimmedMean { trim_each_side: 1 }.shard_reducible());
+        assert!(!AggregationStrategy::CoordinateMedian.shard_reducible());
+    }
+
+    #[test]
+    fn optimizer_kind_round_trips_through_names_and_codes() {
+        for kind in ServerOptKind::ALL {
+            assert_eq!(ServerOptKind::parse(kind.name()), Some(kind));
+            assert_eq!(ServerOpt::from_kind(kind).kind(), kind);
+        }
+        assert_eq!(ServerOptKind::parse("sgd"), None);
+        assert_eq!(ServerOptKind::FedAvg.code(), 0);
+        assert_eq!(ServerOptKind::FedAdam.code(), 1);
+        assert_eq!(ServerOptKind::FedProx.code(), 2);
+    }
+
+    #[test]
+    fn optimizer_validation_names_the_valid_range() {
+        let bad_lr = ServerOpt::FedAdam {
+            lr: 0.0,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+        };
+        assert!(bad_lr.validate().unwrap_err().contains("positive"));
+        let bad_beta = ServerOpt::FedAdam {
+            lr: 0.01,
+            beta1: 1.0,
+            beta2: 0.99,
+            eps: 1e-3,
+        };
+        assert!(bad_beta.validate().unwrap_err().contains("[0, 1)"));
+        let bad_mu = ServerOpt::FedProx { mu: -0.5 };
+        assert!(bad_mu.validate().unwrap_err().contains(">= 0"));
+        assert!(ServerOpt::fedadam().validate().is_ok());
+        assert!(ServerOpt::fedprox().validate().is_ok());
+        assert!(ServerOpt::FedAvg.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "server learning rate")]
+    fn invalid_fedadam_lr_panics_at_construction() {
+        let _ = AggregationServer::with_optimizer(
+            vec![0.0],
+            AggregationStrategy::Uniform,
+            0.0,
+            ServerOpt::FedAdam {
+                lr: f32::NAN,
+                beta1: 0.9,
+                beta2: 0.99,
+                eps: 1e-3,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "server_momentum")]
+    fn momentum_under_fedadam_panics() {
+        let _ = AggregationServer::with_optimizer(
+            vec![0.0],
+            AggregationStrategy::Uniform,
+            0.5,
+            ServerOpt::fedadam(),
+        );
+    }
+
+    #[test]
+    fn fedadam_reduction_corner_commits_the_fedavg_bits() {
+        // β₁ = β₂ = 0, η = 1, ε = 1: with |g| ≤ 1 per coordinate the
+        // denominator is ε-dominated, step = g exactly, and the commit
+        // must equal the plain FedAvg assignment bit-for-bit.
+        let reduction = ServerOpt::FedAdam {
+            lr: 1.0,
+            beta1: 0.0,
+            beta2: 0.0,
+            eps: 1.0,
+        };
+        let initial = vec![0.25_f32, -0.5, 0.125];
+        let mut adam = AggregationServer::with_optimizer(
+            initial.clone(),
+            AggregationStrategy::Uniform,
+            0.0,
+            reduction,
+        );
+        let mut avg = AggregationServer::new(initial, AggregationStrategy::Uniform);
+        for r in 0..5 {
+            let updates = [
+                update(0, vec![0.3 + 0.01 * r as f32, -0.2, 0.7], 1),
+                update(1, vec![-0.1, 0.4, 0.05 * r as f32], 1),
+            ];
+            let a = adam.aggregate(&updates).unwrap().to_vec();
+            let b = avg.aggregate(&updates).unwrap().to_vec();
+            let a_bits: Vec<u32> = a.iter().map(|p| p.to_bits()).collect();
+            let b_bits: Vec<u32> = b.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(a_bits, b_bits, "round {r} diverged");
+        }
+        assert_eq!(adam.optimizer_kind(), ServerOptKind::FedAdam);
+    }
+
+    #[test]
+    fn fedadam_damps_the_raw_aggregate_step() {
+        // With a small server lr the adaptive step moves θ much less than
+        // the FedAvg assignment would.
+        let mut adam = AggregationServer::with_optimizer(
+            vec![0.0],
+            AggregationStrategy::Uniform,
+            0.0,
+            ServerOpt::fedadam(),
+        );
+        adam.aggregate(&[update(0, vec![1.0], 1)]).unwrap();
+        let theta = adam.global()[0];
+        assert!(
+            theta > 0.0 && theta < 0.5,
+            "expected a damped adaptive step toward the aggregate, got {theta}"
+        );
+    }
+
+    #[test]
+    fn fedprox_commit_is_fedavg_on_the_server_side() {
+        let updates = [update(0, vec![2.0], 1), update(1, vec![4.0], 1)];
+        let mut prox = AggregationServer::with_optimizer(
+            vec![0.0],
+            AggregationStrategy::Uniform,
+            0.0,
+            ServerOpt::fedprox(),
+        );
+        let mut avg = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
+        assert_eq!(
+            prox.aggregate(&updates).unwrap(),
+            avg.aggregate(&updates).unwrap()
+        );
+        assert_eq!(prox.optimizer_kind(), ServerOptKind::FedProx);
+        assert_eq!(ServerOpt::fedprox().prox_mu(), 0.01);
+        assert_eq!(ServerOpt::FedAvg.prox_mu(), 0.0);
+    }
+
+    #[test]
+    fn async_round_with_fresh_folds_matches_the_synchronous_commit() {
+        let updates = [
+            update(0, vec![1.0, 2.0], 100),
+            update(1, vec![3.0, 6.0], 900),
+        ];
+        let mut sync = AggregationServer::new(vec![0.0; 2], AggregationStrategy::Uniform);
+        let mut async_srv = sync.clone();
+        let mut acc = sync.accumulator();
+        for u in &updates {
+            acc.admit(u.clone(), 1.0).unwrap();
+        }
+        let mut round = async_srv.async_round(0.5);
+        for u in &updates {
+            round.fold(u.clone(), 0).unwrap();
+        }
+        assert_eq!(round.folded(), 2);
+        assert_eq!(round.staleness_histogram()[0], 2);
+        let a: Vec<u32> = sync
+            .commit_round(acc)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        let b: Vec<u32> = async_srv
+            .commit_async(round)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(a, b, "all-fresh async round must be bit-identical");
+    }
+
+    #[test]
+    fn async_round_discounts_stale_folds_like_the_sync_path() {
+        let decay = 0.5_f32;
+        let mut sync = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut async_srv = sync.clone();
+        let mut acc = sync.accumulator();
+        acc.admit(update(0, vec![4.0], 1), 1.0).unwrap();
+        acc.admit(update(1, vec![8.0], 1), decay.powi(2)).unwrap();
+        let mut round = async_srv.async_round(decay);
+        round.fold(update(0, vec![4.0], 1), 0).unwrap();
+        round.fold(update(1, vec![8.0], 1), 2).unwrap();
+        assert_eq!(round.staleness_histogram()[2], 1);
+        assert_eq!(
+            sync.commit_round(acc).unwrap(),
+            async_srv.commit_async(round).unwrap()
+        );
+    }
+
+    #[test]
+    fn async_histogram_clamps_ancient_folds_into_the_last_bucket() {
+        let server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let mut round = server.async_round(0.9);
+        round.fold(update(0, vec![1.0], 1), 500).unwrap();
+        assert_eq!(round.staleness_histogram()[STALENESS_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "staleness_decay")]
+    fn async_round_rejects_out_of_range_decay() {
+        let server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let _ = server.async_round(0.0);
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests of the aggregation rules' formal guarantees.
 
-use fedpower_federated::{AggregationStrategy, FedAvgServer, ModelUpdate, RoundAccumulator};
+use fedpower_federated::{AggregationServer, AggregationStrategy, ModelUpdate, RoundAccumulator};
 use proptest::prelude::*;
 
 fn update(id: usize, params: Vec<f32>, samples: u64) -> ModelUpdate {
@@ -39,7 +39,7 @@ proptest! {
             AggregationStrategy::TrimmedMean { trim_each_side: (n - 1) / 2 },
         ];
         for strategy in strategies {
-            let mut server = FedAvgServer::new(vec![0.0; len], strategy);
+            let mut server = AggregationServer::new(vec![0.0; len], strategy);
             let global = server.aggregate(&updates).expect("valid round").to_vec();
             for i in 0..len {
                 let lo = params.iter().map(|p| p[i]).fold(f32::INFINITY, f32::min);
@@ -66,7 +66,7 @@ proptest! {
             AggregationStrategy::SampleWeighted,
             AggregationStrategy::CoordinateMedian,
         ] {
-            let mut server = FedAvgServer::new(vec![0.0; p.len()], strategy);
+            let mut server = AggregationServer::new(vec![0.0; p.len()], strategy);
             let global = server.aggregate(&updates).expect("valid round");
             for (g, e) in global.iter().zip(&p) {
                 prop_assert!((g - e).abs() < 1e-6);
@@ -138,7 +138,7 @@ proptest! {
         let mut tree = left;
         tree.merge(right).expect("same shape and strategy");
 
-        let reference = FedAvgServer::new(vec![0.25; len], strategy);
+        let reference = AggregationServer::new(vec![0.25; len], strategy);
         let commit = |acc: RoundAccumulator| {
             let mut server = reference.clone();
             let global = server.commit_round(acc).expect("non-empty round").to_vec();
@@ -181,7 +181,7 @@ proptest! {
             .collect();
         updates.push(update(3, vec![poison], 1));
         updates.push(update(4, vec![-poison], 1));
-        let mut server = FedAvgServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
+        let mut server = AggregationServer::new(vec![0.0], AggregationStrategy::CoordinateMedian);
         let global = server.aggregate(&updates).expect("valid round");
         prop_assert!(
             (0.9..=1.1).contains(&global[0]),

@@ -73,6 +73,29 @@ fn agent_clients() -> Vec<AgentClient> {
     ]
 }
 
+/// Selecting `--optimizer fedavg` explicitly is bit-identical to the
+/// default configuration, under the seeded chaos plan: the ServerOptimizer
+/// refactor routes the default commit through exactly the legacy
+/// arithmetic.
+#[test]
+fn explicit_fedavg_optimizer_matches_the_default_under_chaos() {
+    use fedpower::federated::ServerOpt;
+    let scenario = &table2_scenarios()[0];
+    let mut cfg = tiny();
+    cfg.fault_scenario = FaultScenario::Chaos;
+    let default_run = run_federated(scenario, &cfg);
+    let mut explicit_cfg = cfg;
+    explicit_cfg.fedavg.optimizer = ServerOpt::FedAvg;
+    let explicit_run = run_federated(scenario, &explicit_cfg);
+    for (a, b) in default_run.agents.iter().zip(explicit_run.agents.iter()) {
+        assert_eq!(a.params(), b.params());
+    }
+    assert_eq!(default_run.series, explicit_run.series);
+    assert_eq!(default_run.transport, explicit_run.transport);
+    assert_eq!(default_run.reports, explicit_run.reports);
+    assert_eq!(default_run.fault_summary, explicit_run.fault_summary);
+}
+
 /// The reward series, transport accounting, and final policy are
 /// bit-identical across (serial, parallel) × (channel, TCP): the worker
 /// pool and both byte transports are pure plumbing around the same math.

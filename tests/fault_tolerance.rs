@@ -13,8 +13,8 @@ mod common;
 use common::MathClient;
 use fedpower::federated::report::FaultSummary;
 use fedpower::federated::{
-    AggregationStrategy, CorruptionKind, Fault, FaultConfig, FaultPlan, FedAvgConfig, FedAvgServer,
-    FedError, FederatedClient, Federation, ModelUpdate, TransportKind,
+    AggregationServer, AggregationStrategy, CorruptionKind, Fault, FaultConfig, FaultPlan,
+    FedAvgConfig, FedError, FederatedClient, Federation, ModelUpdate, TransportKind,
 };
 
 /// A federation whose channel links realize `plan` in flight
@@ -125,7 +125,7 @@ fn configured_min_quorum_is_respected() {
 #[test]
 fn nan_corrupt_updates_are_rejected_and_excluded() {
     // The server-level admission check is the `FedError` surface…
-    let server = FedAvgServer::new(vec![0.0; 4], AggregationStrategy::Uniform);
+    let server = AggregationServer::new(vec![0.0; 4], AggregationStrategy::Uniform);
     let corrupt = ModelUpdate {
         client_id: 2,
         params: vec![1.0, f32::NAN, 3.0, 4.0],

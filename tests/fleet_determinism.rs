@@ -126,5 +126,78 @@ fn robust_combiners_under_sharding_fail_fast_with_a_typed_error() {
         assert_eq!(err, FedError::UnsupportedInFleet { strategy });
         let msg = err.to_string();
         assert!(msg.contains("not associative"), "{msg}");
+        // The message names the rejected strategy, not just the rule.
+        let name = match strategy {
+            AggregationStrategy::TrimmedMean { .. } => "TrimmedMean",
+            _ => "CoordinateMedian",
+        };
+        assert!(msg.contains(name), "{msg}");
+        assert!(!strategy.shard_reducible());
     }
+}
+
+/// Selecting `--optimizer fedavg` explicitly is bit-identical to the
+/// default fleet configuration under the seeded chaos plan.
+#[test]
+fn explicit_fedavg_optimizer_matches_the_default_fleet_under_chaos() {
+    use fedpower::federated::ServerOpt;
+    let rounds = 10;
+    let plan = FaultPlan::generate(&FaultConfig::chaos(), 8, rounds, 5);
+    assert!(!plan.is_empty());
+    let default_run = fleet_run(8, 3, rounds, Some(&plan));
+    let explicit_run = {
+        let mut config = FleetConfig {
+            fedavg: fed_cfg(rounds),
+            num_clients: 8,
+            shards: 3,
+        };
+        config.fedavg.optimizer = ServerOpt::FedAvg;
+        let mut fleet = Fleet::with_options(
+            MathFleetFactory,
+            config,
+            Some(&plan),
+            Box::new(NullRecorder),
+        )
+        .expect("fleet constructs");
+        let reports = fleet.run();
+        (fleet.global_params().to_vec(), reports, *fleet.transport())
+    };
+    assert_eq!(default_run, explicit_run);
+}
+
+/// A fleet rejects unusable optimizer hyperparameters with a typed error
+/// whose message points at the offending setting.
+#[test]
+fn invalid_optimizer_configs_are_typed_fleet_errors() {
+    use fedpower::federated::ServerOpt;
+    let base = |optimizer| {
+        let mut config = FleetConfig {
+            fedavg: fed_cfg(1),
+            num_clients: 2,
+            shards: 1,
+        };
+        config.fedavg.optimizer = optimizer;
+        config
+    };
+    let err = Fleet::new(
+        MathFleetFactory,
+        base(ServerOpt::FedAdam {
+            lr: -1.0,
+            beta1: 0.9,
+            beta2: 0.99,
+            eps: 1e-3,
+        }),
+    )
+    .expect_err("negative server lr");
+    assert!(matches!(err, FedError::InvalidConfig(_)));
+    assert!(err.to_string().contains("learning rate"), "{err}");
+
+    let err = Fleet::new(MathFleetFactory, base(ServerOpt::FedProx { mu: -0.1 }))
+        .expect_err("negative mu");
+    assert!(err.to_string().contains("mu"), "{err}");
+
+    let mut conflicted = base(ServerOpt::fedadam());
+    conflicted.fedavg.server_momentum = 0.5;
+    let err = Fleet::new(MathFleetFactory, conflicted).expect_err("momentum under FedAdam");
+    assert!(err.to_string().contains("server_momentum"), "{err}");
 }
