@@ -315,6 +315,51 @@ mod tests {
     }
 
     #[test]
+    fn run_steps_matches_a_manual_execute_loop_bitwise() {
+        // Licenses lockstep batching (`AgentClient::train_block_with`):
+        // interleaving decide → `execute` → observe by hand across many
+        // environments must reproduce `run_steps` trajectories exactly,
+        // so any caller-side loop with the same per-step sequence is
+        // bit-identical to the batched path.
+        struct Cycle(u64);
+        impl StepDriver for Cycle {
+            fn decide(&mut self, obs: &StepObservation) -> FreqLevel {
+                self.0 += 1;
+                FreqLevel(((self.0 + obs.counters.freq_mhz as u64) % 15) as usize)
+            }
+            fn observe(&mut self, _: u64, _: FreqLevel, _: &StepObservation) -> bool {
+                true
+            }
+        }
+        let mut batched = env(&[AppId::Fft, AppId::Lu], 9);
+        let mut manual = batched.clone();
+        let initial = batched.bootstrap();
+        let mut driver = Cycle(0);
+        let (last, executed) = batched.run_steps(40, initial.clone(), &mut driver);
+        assert_eq!(executed, 40);
+
+        let _ = manual.bootstrap();
+        let mut driver = Cycle(0);
+        let mut obs = initial;
+        for step in 0..40u64 {
+            let action = driver.decide(&obs);
+            obs = manual.execute(action);
+            assert!(driver.observe(step, action, &obs));
+        }
+        assert_eq!(obs.state.features(), last.state.features());
+        assert_eq!(
+            obs.counters.power_w.to_bits(),
+            last.counters.power_w.to_bits()
+        );
+        assert_eq!(
+            obs.instructions_retired.to_bits(),
+            last.instructions_retired.to_bits()
+        );
+        assert_eq!(manual.steps(), batched.steps());
+        assert_eq!(manual.completed_apps(), batched.completed_apps());
+    }
+
+    #[test]
     fn higher_level_burns_more_power_in_observation() {
         let mut e = env(&[AppId::Lu], 3);
         let low = e.execute(FreqLevel(1));

@@ -17,11 +17,12 @@
 //!
 //! The full profile runs 100 000 clients over 64 shards; `--quick` runs
 //! 10 000 clients over 8 shards (the CI smoke profile). With
-//! `--baseline PATH` the run compares `clients_per_sec` against the
-//! baseline JSON and exits nonzero on a regression of more than 30 %.
-//! `--budget-mib N` (default 1024) fails the run when the peak live heap
-//! exceeds the budget — a 100k-client round must not cost 100k clients of
-//! memory.
+//! `--baseline PATH` the run compares `clients_per_sec` (and, when the
+//! baseline records a full-profile `round_secs`, the round wall-clock)
+//! against the baseline JSON and exits nonzero on a regression of more
+//! than 30 %. `--budget-mib N` (default 128) fails the run when the peak
+//! live heap exceeds the budget — a 100k-client round must not cost 100k
+//! clients of memory.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,9 +134,12 @@ fn main() {
     };
     let out_path = resolve(arg_value("--out").unwrap_or_else(|| "BENCH_fleet.json".to_string()));
     let baseline_path = arg_value("--baseline").map(resolve);
+    // Default tracks the measured full-profile peak (~51 MiB) with 2.5×
+    // headroom; anything past it means per-fleet state leaked into the
+    // round.
     let budget_mib: f64 = arg_value("--budget-mib")
         .map(|v| v.parse().expect("--budget-mib takes a number"))
-        .unwrap_or(1024.0);
+        .unwrap_or(128.0);
 
     let spec = if quick {
         FleetSpec {
@@ -222,6 +226,28 @@ fn main() {
                 "baseline {} has no clients_per_sec; skipping",
                 path.display()
             ),
+        }
+        // Round wall-clock gates in the opposite direction — lower is
+        // better — and only against a baseline from the same profile
+        // (quick and full rounds differ by an order of magnitude).
+        let same_profile = json_number(&baseline, "clients")
+            .map(|c| c as usize == spec.clients)
+            .unwrap_or(false);
+        match json_number(&baseline, "round_secs") {
+            Some(base) if same_profile => {
+                let now = results.round_secs;
+                let ratio = now / base;
+                eprintln!(
+                    "round_secs: {now:.3} vs baseline {base:.3} ({:.0} %)",
+                    ratio * 100.0
+                );
+                if ratio > 1.0 / 0.7 {
+                    eprintln!("REGRESSION: round_secs rose more than 30 % above the baseline");
+                    failed = true;
+                }
+            }
+            Some(_) => eprintln!("baseline profile differs; skipping round_secs gate"),
+            None => eprintln!("baseline {} has no round_secs; skipping", path.display()),
         }
     }
     if failed {

@@ -11,6 +11,10 @@
 //!   [`DeviceEnv::run_steps`] with a trivial driver (no agent in the loop),
 //! * `eval_steps_per_sec` — greedy evaluation episodes through
 //!   `evaluate_on_app_with_mode` with the trace off,
+//! * `batched_select_actions_per_sec` — cross-client batched action
+//!   selection: 32 weight-sharing controllers answered by one
+//!   [`Mlp::forward_batch_with`] matmul plus per-controller softmax
+//!   sampling (the fleet lockstep fast path),
 //! * `fleet_clients_per_sec` — clients per second through one hierarchical
 //!   sharded round ([`fedpower_core::experiment::run_fleet`], 512 clients
 //!   over 8 shards),
@@ -27,15 +31,20 @@
 //!
 //! With `--baseline PATH` the run compares its throughput metrics
 //! (`train_steps_per_sec`, `round_steps_per_sec`, `env_steps_per_sec`,
-//! `eval_steps_per_sec`, `fleet_clients_per_sec`,
-//! `fedadam_round_commits_per_sec`) against the baseline JSON and exits
-//! nonzero on a regression of more than 30 % — the CI smoke gate.
+//! `eval_steps_per_sec`, `batched_select_actions_per_sec`,
+//! `fleet_clients_per_sec`, `fedadam_round_commits_per_sec`) and latency
+//! metrics (`ns_per_forward`, `ns_per_forward_simd` — gated only when the
+//! baseline has them) against the baseline JSON and exits nonzero on a
+//! regression of more than 30 % — the CI smoke gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use fedpower_agent::{ControllerConfig, DeviceEnv, DeviceEnvConfig, StepDriver, StepObservation};
+use fedpower_agent::{
+    AgentWorkspace, ControllerConfig, DeviceEnv, DeviceEnvConfig, PowerController, State,
+    StepDriver, StepObservation,
+};
 use fedpower_baselines::PerformanceGovernor;
 use fedpower_core::eval::{evaluate_on_app_with_mode, EvalOptions};
 use fedpower_core::experiment::run_fleet;
@@ -98,10 +107,12 @@ fn measure(window: Duration, mut step: impl FnMut()) -> (u64, f64) {
 
 struct Results {
     ns_per_forward: f64,
+    ns_per_forward_simd: Option<f64>,
     train_steps_per_sec: f64,
     round_steps_per_sec: f64,
     env_steps_per_sec: f64,
     eval_steps_per_sec: f64,
+    batched_select_actions_per_sec: f64,
     fleet_clients_per_sec: f64,
     fedadam_round_commits_per_sec: f64,
     allocs_per_step: f64,
@@ -110,10 +121,18 @@ struct Results {
 
 impl Results {
     fn to_json(&self) -> String {
+        // `ns_per_forward_simd` is present only when the binary was built
+        // with the `simd` feature on hardware that has the AVX2 path, so
+        // the scalar-config baseline stays comparable.
+        let simd_line = match self.ns_per_forward_simd {
+            Some(ns) => format!("  \"ns_per_forward_simd\": {ns:.1},\n"),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"ns_per_forward\": {:.1},\n  \"train_steps_per_sec\": {:.1},\n  \
+            "{{\n  \"ns_per_forward\": {:.1},\n{simd_line}  \"train_steps_per_sec\": {:.1},\n  \
              \"round_steps_per_sec\": {:.1},\n  \"env_steps_per_sec\": {:.1},\n  \
-             \"eval_steps_per_sec\": {:.1},\n  \"fleet_clients_per_sec\": {:.1},\n  \
+             \"eval_steps_per_sec\": {:.1},\n  \"batched_select_actions_per_sec\": {:.1},\n  \
+             \"fleet_clients_per_sec\": {:.1},\n  \
              \"fedadam_round_commits_per_sec\": {:.1},\n  \
              \"allocs_per_step\": {:.3},\n  \"quick\": {}\n}}\n",
             self.ns_per_forward,
@@ -121,6 +140,7 @@ impl Results {
             self.round_steps_per_sec,
             self.env_steps_per_sec,
             self.eval_steps_per_sec,
+            self.batched_select_actions_per_sec,
             self.fleet_clients_per_sec,
             self.fedadam_round_commits_per_sec,
             self.allocs_per_step,
@@ -216,12 +236,41 @@ fn main() {
     };
     net.train_batch_with(&warm_batch, &huber, &mut opt, &mut train);
 
-    eprintln!("measuring forward_with ({window:?} window)...");
+    // Spin before the first timed section: on a freshly started process
+    // the CPU may still be ramping its clock, and the first window would
+    // otherwise absorb the slow cycles (most visible in --quick runs,
+    // whose 200 ms windows cannot amortize it).
+    measure(Duration::from_millis(300), || {
+        std::hint::black_box(net.forward_with(&x, &mut fwd).expect("valid input"));
+    });
+
+    eprintln!("measuring forward_with ({window:?} window, scalar kernels)...");
+    fedpower_nn::set_simd_enabled(false);
     let (fwd_iters, fwd_secs) = measure(window, || {
         let q = net.forward_with(&x, &mut fwd).expect("valid input");
         std::hint::black_box(q[0]);
     });
     let ns_per_forward = fwd_secs * 1e9 / fwd_iters as f64;
+
+    // Re-enable runtime dispatch; when the `simd` feature is compiled in
+    // and the CPU has AVX2 this measures the explicit-kernel forward, and
+    // every later section (train, rounds, fleet) runs on the same path the
+    // gate is checking for that feature configuration.
+    let ns_per_forward_simd = if fedpower_nn::set_simd_enabled(true) {
+        eprintln!("measuring forward_with (explicit AVX2 kernels)...");
+        let (iters, secs) = measure(window, || {
+            let q = net.forward_with(&x, &mut fwd).expect("valid input");
+            std::hint::black_box(q[0]);
+        });
+        let ns = secs * 1e9 / iters as f64;
+        eprintln!(
+            "forward: scalar {ns_per_forward:.1} ns vs simd {ns:.1} ns ({:.2}x)",
+            ns_per_forward / ns
+        );
+        Some(ns)
+    } else {
+        None
+    };
 
     eprintln!("measuring train_batch_with (batch {batch_size})...");
     ALLOCS.store(0, Ordering::SeqCst);
@@ -293,6 +342,67 @@ fn main() {
     });
     let eval_steps_per_sec = (eval_iters * eval_opts.steps) as f64 / eval_secs;
 
+    // Cross-client batched action selection: the fleet lockstep fast path
+    // answers a block of weight-sharing controllers with one batched
+    // matmul, then samples each controller's action from its μ row. The
+    // serial reference (one `select_action_with` per controller) runs
+    // first so the speedup is visible in the log.
+    const SELECT_BATCH: usize = 32;
+    eprintln!("measuring batched action selection ({SELECT_BATCH} weight-sharing controllers)...");
+    let num_actions = ControllerConfig::paper().num_actions;
+    let mut controllers: Vec<PowerController> = (0..SELECT_BATCH)
+        .map(|_| PowerController::new(ControllerConfig::paper(), 99))
+        .collect();
+    let states: Vec<State> = (0..SELECT_BATCH)
+        .map(|i| {
+            let mut f = [0.0_f32; 5];
+            for (j, v) in f.iter_mut().enumerate() {
+                *v = ((i * 5 + j) as f32 * 0.29).sin().abs();
+            }
+            State::from_features(f)
+        })
+        .collect();
+    let mut aws = AgentWorkspace::new();
+    let serial_pass = |controllers: &mut [PowerController], aws: &mut AgentWorkspace| {
+        for (c, s) in controllers.iter_mut().zip(&states) {
+            let action = c.select_action_with(s, aws);
+            std::hint::black_box(action.0);
+        }
+    };
+    let batched_pass = |controllers: &mut [PowerController], aws: &mut AgentWorkspace| {
+        let mut scratch = std::mem::take(&mut aws.batch);
+        scratch.states.reset(SELECT_BATCH, 5);
+        for (row, s) in states.iter().enumerate() {
+            scratch.states.row_mut(row).copy_from_slice(s.features());
+        }
+        {
+            let mu = controllers[0]
+                .network()
+                .forward_batch_with(&scratch.states, &mut aws.forward)
+                .expect("state rows match the network input width");
+            scratch.mu.clear();
+            scratch.mu.extend_from_slice(mu.as_slice());
+        }
+        for (i, c) in controllers.iter_mut().enumerate() {
+            let mu_row = &scratch.mu[i * num_actions..(i + 1) * num_actions];
+            let action = c.select_action_from_mu(mu_row, &mut aws.probs);
+            std::hint::black_box(action.0);
+        }
+        aws.batch = scratch;
+    };
+    // Warm both paths so scratch buffers reach steady-state capacity.
+    serial_pass(&mut controllers, &mut aws);
+    batched_pass(&mut controllers, &mut aws);
+    let (serial_iters, serial_secs) = measure(window, || serial_pass(&mut controllers, &mut aws));
+    let serial_select_per_sec = (serial_iters * SELECT_BATCH as u64) as f64 / serial_secs;
+    let (batch_iters, batch_secs) = measure(window, || batched_pass(&mut controllers, &mut aws));
+    let batched_select_actions_per_sec = (batch_iters * SELECT_BATCH as u64) as f64 / batch_secs;
+    eprintln!(
+        "selection: batched {batched_select_actions_per_sec:.0}/s vs serial \
+         {serial_select_per_sec:.0}/s ({:.2}x)",
+        batched_select_actions_per_sec / serial_select_per_sec
+    );
+
     eprintln!("measuring a hierarchical sharded round (512 clients, 8 shards)...");
     let fleet_spec = FleetSpec {
         clients: 512,
@@ -350,10 +460,12 @@ fn main() {
 
     let results = Results {
         ns_per_forward,
+        ns_per_forward_simd,
         train_steps_per_sec,
         round_steps_per_sec,
         env_steps_per_sec,
         eval_steps_per_sec,
+        batched_select_actions_per_sec,
         fleet_clients_per_sec,
         fedadam_round_commits_per_sec,
         allocs_per_step,
@@ -373,6 +485,7 @@ fn main() {
             "round_steps_per_sec",
             "env_steps_per_sec",
             "eval_steps_per_sec",
+            "batched_select_actions_per_sec",
             "fleet_clients_per_sec",
             "fedadam_round_commits_per_sec",
         ] {
@@ -388,6 +501,25 @@ fn main() {
             );
             if ratio < 0.7 {
                 eprintln!("REGRESSION: {key} fell more than 30 % below the baseline");
+                failed = true;
+            }
+        }
+        // Latency keys gate in the opposite direction — lower is better.
+        // `ns_per_forward_simd` exists only in simd-feature runs on AVX2
+        // hardware, so it gates only when both sides measured it.
+        for key in ["ns_per_forward", "ns_per_forward_simd"] {
+            let (Some(base), Some(now)) = (json_number(&baseline, key), json_number(&json, key))
+            else {
+                eprintln!("{key} not present on both sides; skipping");
+                continue;
+            };
+            let ratio = now / base;
+            eprintln!(
+                "{key}: {now:.1} ns vs baseline {base:.1} ns ({:.0} %)",
+                ratio * 100.0
+            );
+            if ratio > 1.0 / 0.7 {
+                eprintln!("REGRESSION: {key} rose more than 30 % above the baseline");
                 failed = true;
             }
         }

@@ -358,6 +358,7 @@ pub fn run_fleet_recorded(
         fedavg: cfg.fedavg,
         num_clients: spec.clients,
         shards: spec.shards,
+        batch: FleetConfig::DEFAULT_BATCH,
     };
     let mut fleet = Fleet::with_options(
         DeviceFleetFactory::new(cfg),

@@ -1,0 +1,141 @@
+//! Cross-client batch planning for lockstep action selection.
+//!
+//! A fleet round materializes many clients that all just downloaded the
+//! same global model: until their first optimizer update their
+//! controllers hold bit-identical weights, so their per-step
+//! action-selection forward passes can be stacked into **one** batched
+//! matmul (`B × in · in × out`) instead of `B` vector-matrix products.
+//! The weight matrix is then read once per step instead of once per
+//! client per step, amortizing its cache traffic across the batch.
+//!
+//! [`BatchPlanner`] is the grouping half of that optimization: it splits
+//! a run of clients into maximal contiguous groups that a caller-supplied
+//! compatibility predicate certifies as batchable (bit-identical weights,
+//! equal configuration and step counters), capped at a maximum group
+//! size. The execution half lives in
+//! [`AgentClient::train_block_with`](crate::FederatedClient::train_block_with),
+//! which drives each group through the lockstep loop.
+//!
+//! Planning is allocation-free: the planner yields one group boundary at
+//! a time instead of materializing a plan vector.
+
+/// Splits client runs into batchable groups.
+///
+/// Groups are *contiguous*: clients are considered in the order given,
+/// and a group is the longest prefix (from the current start) whose
+/// members are all compatible with the group's first client. This matches
+/// the fleet's contiguous client-id blocks and keeps planning O(n) with
+/// zero allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlanner {
+    max_group: usize,
+}
+
+impl BatchPlanner {
+    /// Creates a planner that caps groups at `max_group` clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_group` is zero (a zero-width group can never make
+    /// progress).
+    pub fn new(max_group: usize) -> Self {
+        assert!(max_group > 0, "batch groups need at least one slot");
+        BatchPlanner { max_group }
+    }
+
+    /// The configured group-size cap.
+    pub fn max_group(&self) -> usize {
+        self.max_group
+    }
+
+    /// Returns the exclusive end of the group starting at `start` within
+    /// `n` items: the largest `end ≤ n` with `end − start ≤ max_group`
+    /// such that `compatible(start, k)` holds for every `k` in
+    /// `(start, end)`. Always returns at least `start + 1` (a lone client
+    /// is its own group), so a planning loop always makes progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= n`.
+    pub fn group_end(
+        &self,
+        start: usize,
+        n: usize,
+        mut compatible: impl FnMut(usize, usize) -> bool,
+    ) -> usize {
+        assert!(start < n, "group start {start} out of range for {n} items");
+        let cap = n.min(start + self.max_group);
+        let mut end = start + 1;
+        while end < cap && compatible(start, end) {
+            end += 1;
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects the planner's group boundaries over `keys`, where two
+    /// items are compatible iff their keys match.
+    fn plan(planner: BatchPlanner, keys: &[u32]) -> Vec<(usize, usize)> {
+        let mut groups = Vec::new();
+        let mut start = 0;
+        while start < keys.len() {
+            let end = planner.group_end(start, keys.len(), |a, b| keys[a] == keys[b]);
+            groups.push((start, end));
+            start = end;
+        }
+        groups
+    }
+
+    #[test]
+    fn homogeneous_runs_form_one_group_up_to_the_cap() {
+        let planner = BatchPlanner::new(32);
+        assert_eq!(plan(planner, &[7; 5]), vec![(0, 5)]);
+        assert_eq!(
+            plan(BatchPlanner::new(2), &[7; 5]),
+            vec![(0, 2), (2, 4), (4, 5)]
+        );
+    }
+
+    #[test]
+    fn incompatible_neighbours_split_groups() {
+        let planner = BatchPlanner::new(32);
+        assert_eq!(
+            plan(planner, &[1, 1, 2, 2, 2, 3]),
+            vec![(0, 2), (2, 5), (5, 6)]
+        );
+    }
+
+    #[test]
+    fn alternating_keys_degrade_to_singleton_groups() {
+        let planner = BatchPlanner::new(32);
+        assert_eq!(
+            plan(planner, &[1, 2, 1, 2]),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_group() {
+        let keys: Vec<u32> = (0..97).map(|i| i / 13).collect();
+        for cap in [1, 3, 32, 200] {
+            let groups = plan(BatchPlanner::new(cap), &keys);
+            let mut covered = 0;
+            for &(s, e) in &groups {
+                assert_eq!(s, covered, "cap {cap}: groups must be contiguous");
+                assert!(e > s && e - s <= cap, "cap {cap}: bad group ({s}, {e})");
+                covered = e;
+            }
+            assert_eq!(covered, keys.len(), "cap {cap}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_cap_is_rejected() {
+        BatchPlanner::new(0);
+    }
+}

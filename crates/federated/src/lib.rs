@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod client;
 mod error;
 mod exact;
@@ -72,6 +73,7 @@ mod td_client;
 mod transport;
 pub mod wire;
 
+pub use batch::BatchPlanner;
 pub use client::{AgentClient, FederatedClient, ModelUpdate, StaleUpdate};
 pub use error::FedError;
 pub use exact::ExactSum;

@@ -1,0 +1,45 @@
+//! Compile-and-use coverage of the `#[deprecated]` crate-root aliases.
+//!
+//! The reporting types moved into `fedpower_federated::report` and
+//! `FedAvgServer` was renamed to `AggregationServer`; crate-root aliases
+//! keep pre-move code compiling until their scheduled removal (see
+//! `CHANGELOG.md`). This suite is the executable form of that promise:
+//! it uses every alias the way pre-move code did, so an accidental
+//! removal or a drift between alias and current type fails CI instead of
+//! breaking downstream builds. Run under `--all-features` so the aliases
+//! stay exercised in every feature configuration.
+
+#![allow(deprecated)]
+
+use fedpower_federated::report;
+use fedpower_federated::{
+    AggregationServer, AggregationStrategy, FaultSummary, FedAvgServer, PhaseTimings, RoundReport,
+    TransportStats,
+};
+
+/// Compile-time proof that two paths name the same type.
+fn same_type<T>(_: &T, _: &T) {}
+
+#[test]
+fn fed_avg_server_alias_still_constructs_an_aggregation_server() {
+    let via_alias = FedAvgServer::new(vec![0.0_f32; 8], AggregationStrategy::Uniform);
+    let via_name = AggregationServer::new(vec![0.0_f32; 8], AggregationStrategy::Uniform);
+    same_type(&via_alias, &via_name);
+    assert_eq!(via_alias.global(), via_name.global());
+}
+
+#[test]
+fn crate_root_report_paths_still_name_the_report_types() {
+    let summary: FaultSummary = report::FaultSummary::default();
+    assert_eq!(summary, report::FaultSummary::from_events(&[]));
+
+    let timings: PhaseTimings = report::PhaseTimings::default();
+    same_type(&timings, &report::PhaseTimings::default());
+
+    let stats: TransportStats = report::TransportStats::default();
+    assert_eq!(stats, report::TransportStats::from_events(&[]));
+
+    let round: RoundReport = report::RoundReport::from_events(1, &[]);
+    same_type(&round, &report::RoundReport::from_events(1, &[]));
+    assert_eq!(round.round, 1);
+}

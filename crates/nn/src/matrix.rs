@@ -1,10 +1,12 @@
-use crate::NnError;
+use crate::{kernels, NnError};
 
 /// A dense row-major `f32` matrix.
 ///
 /// The networks in this workspace are tiny (the paper's policy net has 687
 /// parameters), so this type favours clarity and checked construction over
-/// raw throughput. All hot loops are simple and auto-vectorize well.
+/// raw throughput. The matrix products dispatch into the SIMD-width-aware
+/// [`kernels`](crate::kernels) module (fixed-width chunked scalar forms,
+/// plus explicit AVX2 behind the `simd` feature).
 ///
 /// # Example
 ///
@@ -119,6 +121,19 @@ impl Matrix {
         self.cols = cols;
     }
 
+    /// Reshapes to `rows × cols` for a kernel that fully overwrites the
+    /// storage: skips the zero-fill entirely when the element count is
+    /// unchanged (the steady-state scratch-reuse case on the hot path).
+    fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        if self.data.len() != len {
+            self.data.clear();
+            self.data.resize(len, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Makes `self` a copy of `other`, reusing the existing allocation
     /// whenever capacity allows.
     pub fn copy_from(&mut self, other: &Matrix) {
@@ -142,9 +157,10 @@ impl Matrix {
     /// [`Matrix::matmul`] writing into caller-owned scratch; `out` is
     /// reshaped (reusing its allocation) and fully overwritten.
     ///
-    /// The inner loop intentionally has no `a == 0.0` skip: the branch
-    /// blocked autovectorization and silently turned `0 · NaN` into `0`
-    /// instead of propagating the NaN.
+    /// The kernel intentionally has no `a == 0.0` skip: the branch blocked
+    /// autovectorization and silently turned `0 · NaN` into `0` instead of
+    /// propagating the NaN. Every output element accumulates in k-order
+    /// from 0.0 ([`kernels::matmul`]), so the SIMD path is bit-identical.
     ///
     /// # Errors
     ///
@@ -157,17 +173,15 @@ impl Matrix {
                 context: "matmul inner dimension".into(),
             });
         }
-        out.reset(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
-            }
-        }
+        out.reshape_for_overwrite(self.rows, other.cols);
+        kernels::matmul(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         Ok(())
     }
 
@@ -184,7 +198,9 @@ impl Matrix {
 
     /// [`Matrix::t_matmul`] writing into caller-owned scratch; `out` is
     /// reshaped (reusing its allocation) and fully overwritten. Like
-    /// [`Matrix::matmul_into`] there is deliberately no zero-skip branch.
+    /// [`Matrix::matmul_into`] there is deliberately no zero-skip branch,
+    /// and the same k-order accumulation ([`kernels::t_matmul`]) keeps the
+    /// SIMD path bit-identical.
     ///
     /// # Errors
     ///
@@ -197,17 +213,15 @@ impl Matrix {
                 context: "t_matmul shared row dimension".into(),
             });
         }
-        out.reset(self.cols, other.cols);
-        for k in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.data[k * self.cols + i];
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
-            }
-        }
+        out.reshape_for_overwrite(self.cols, other.cols);
+        kernels::t_matmul(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            other.cols,
+        );
         Ok(())
     }
 
@@ -225,6 +239,10 @@ impl Matrix {
     /// [`Matrix::matmul_t`] writing into caller-owned scratch; `out` is
     /// reshaped (reusing its allocation) and fully overwritten.
     ///
+    /// Each output element is a serial dot reduction, so the SIMD path
+    /// ([`kernels::matmul_t`]) reorders the summation and matches the
+    /// scalar result only within tolerance — see the `kernels` module docs.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] if the column counts disagree.
@@ -236,15 +254,15 @@ impl Matrix {
                 context: "matmul_t shared column dimension".into(),
             });
         }
-        out.reset(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                let dot: f32 = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
-                out.data[i * other.rows + j] = dot;
-            }
-        }
+        out.reshape_for_overwrite(self.rows, other.rows);
+        kernels::matmul_t(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
         Ok(())
     }
 

@@ -1,0 +1,64 @@
+//! Throwaway timing probe (not an assertion test) — run release-mode with
+//! `cargo test -p fedpower-nn --release --test perf_probe -- --nocapture --ignored`.
+
+use fedpower_nn::{Activation, ForwardScratch, Matrix, Mlp};
+use std::time::Instant;
+
+fn time(label: &str, mut f: impl FnMut()) {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < 200 {
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    println!("{label}: {ns:.1} ns");
+}
+
+#[test]
+#[ignore]
+fn probe() {
+    let net = Mlp::new(&[5, 32, 15], Activation::Relu, 42);
+    let x: Vec<f32> = (0..5).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut fwd = ForwardScratch::new();
+    net.forward_with(&x, &mut fwd).unwrap();
+
+    fedpower_nn::set_simd_enabled(false);
+    time("forward scalar", || {
+        let q = net.forward_with(&x, &mut fwd).unwrap();
+        std::hint::black_box(q[0]);
+    });
+    if fedpower_nn::set_simd_enabled(true) {
+        time("forward simd", || {
+            let q = net.forward_with(&x, &mut fwd).unwrap();
+            std::hint::black_box(q[0]);
+        });
+    }
+
+    let a1 = Matrix::from_rows(1, 5, x.clone()).unwrap();
+    let w1 = Matrix::from_rows(5, 32, (0..160).map(|i| (i as f32 * 0.1).sin()).collect()).unwrap();
+    let a2 = Matrix::from_rows(1, 32, (0..32).map(|i| (i as f32 * 0.2).cos()).collect()).unwrap();
+    let w2 = Matrix::from_rows(32, 15, (0..480).map(|i| (i as f32 * 0.3).sin()).collect()).unwrap();
+    let mut out = Matrix::zeros(1, 32);
+    fedpower_nn::set_simd_enabled(false);
+    time("matmul 1x5*5x32 scalar", || {
+        a1.matmul_into(&w1, &mut out).unwrap();
+        std::hint::black_box(out.get(0, 0));
+    });
+    time("matmul 1x32*32x15 scalar", || {
+        a2.matmul_into(&w2, &mut out).unwrap();
+        std::hint::black_box(out.get(0, 0));
+    });
+    if fedpower_nn::set_simd_enabled(true) {
+        time("matmul 1x5*5x32 simd", || {
+            a1.matmul_into(&w1, &mut out).unwrap();
+            std::hint::black_box(out.get(0, 0));
+        });
+        time("matmul 1x32*32x15 simd", || {
+            a2.matmul_into(&w2, &mut out).unwrap();
+            std::hint::black_box(out.get(0, 0));
+        });
+    }
+}

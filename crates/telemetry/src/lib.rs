@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -459,15 +460,19 @@ impl Recorder for SummaryRecorder {
 #[derive(Debug)]
 struct JsonlInner {
     writer: BufWriter<File>,
+    /// Reusable line buffer: every record serializes into this one
+    /// string (capacity is retained across records), so a steady-state
+    /// recording run performs zero per-record heap allocations.
+    scratch: String,
     error: Option<io::Error>,
 }
 
 impl JsonlInner {
-    fn write_line(&mut self, line: &str) {
+    fn write_scratch(&mut self) {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+        if let Err(e) = self.writer.write_all(self.scratch.as_bytes()) {
             self.error = Some(e);
         }
     }
@@ -497,6 +502,7 @@ impl JsonlRecorder {
         Ok(JsonlRecorder {
             inner: Arc::new(Mutex::new(JsonlInner {
                 writer: BufWriter::new(file),
+                scratch: String::with_capacity(96),
                 error: None,
             })),
         })
@@ -517,72 +523,89 @@ impl JsonlRecorder {
 }
 
 fn push_common(line: &mut String, round: u64, client: Option<usize>) {
-    line.push_str(",\"round\":");
-    line.push_str(&round.to_string());
+    let _ = write!(line, ",\"round\":{round}");
     if let Some(c) = client {
-        line.push_str(",\"client\":");
-        line.push_str(&c.to_string());
+        let _ = write!(line, ",\"client\":{c}");
     }
+}
+
+/// Serializes an event onto `line` (cleared first) as one JSONL line
+/// (with trailing newline), reusing the string's capacity.
+pub fn event_to_jsonl_into(event: &Event, line: &mut String) {
+    line.clear();
+    line.push_str("{\"type\":\"event\",\"kind\":\"");
+    line.push_str(event.kind.name());
+    line.push('"');
+    push_common(line, event.round, event.client);
+    let _ = write!(line, ",\"bytes\":{}", event.bytes);
+    line.push_str("}\n");
 }
 
 /// Serializes an event as one JSONL line (with trailing newline).
 pub fn event_to_jsonl(event: &Event) -> String {
-    let mut line = String::with_capacity(96);
-    line.push_str("{\"type\":\"event\",\"kind\":\"");
-    line.push_str(event.kind.name());
-    line.push('"');
-    push_common(&mut line, event.round, event.client);
-    line.push_str(",\"bytes\":");
-    line.push_str(&event.bytes.to_string());
-    line.push_str("}\n");
+    let mut line = String::new();
+    event_to_jsonl_into(event, &mut line);
     line
+}
+
+/// Serializes a counter sample onto `line` (cleared first) as one JSONL
+/// line (with trailing newline), reusing the string's capacity.
+pub fn counter_to_jsonl_into(counter: &Counter, line: &mut String) {
+    line.clear();
+    line.push_str("{\"type\":\"counter\",\"name\":\"");
+    line.push_str(counter.name);
+    line.push('"');
+    push_common(line, counter.round, counter.client);
+    let _ = write!(line, ",\"value\":{}", counter.value);
+    line.push_str("}\n");
 }
 
 /// Serializes a counter sample as one JSONL line (with trailing newline).
 pub fn counter_to_jsonl(counter: &Counter) -> String {
-    let mut line = String::with_capacity(96);
-    line.push_str("{\"type\":\"counter\",\"name\":\"");
-    line.push_str(counter.name);
-    line.push('"');
-    push_common(&mut line, counter.round, counter.client);
-    line.push_str(",\"value\":");
-    line.push_str(&counter.value.to_string());
-    line.push_str("}\n");
+    let mut line = String::new();
+    counter_to_jsonl_into(counter, &mut line);
     line
+}
+
+/// Serializes a span onto `line` (cleared first) as one JSONL line (with
+/// trailing newline), reusing the string's capacity. The seconds field
+/// uses Rust's shortest round-trippable `f64` formatting.
+pub fn span_to_jsonl_into(span: &Span, line: &mut String) {
+    line.clear();
+    line.push_str("{\"type\":\"span\",\"name\":\"");
+    line.push_str(span.name);
+    line.push('"');
+    push_common(line, span.round, None);
+    let _ = write!(line, ",\"seconds\":{:?}", span.seconds);
+    line.push_str("}\n");
 }
 
 /// Serializes a span as one JSONL line (with trailing newline). The
 /// seconds field uses Rust's shortest round-trippable `f64` formatting.
 pub fn span_to_jsonl(span: &Span) -> String {
-    let mut line = String::with_capacity(96);
-    line.push_str("{\"type\":\"span\",\"name\":\"");
-    line.push_str(span.name);
-    line.push('"');
-    push_common(&mut line, span.round, None);
-    line.push_str(",\"seconds\":");
-    line.push_str(&format!("{:?}", span.seconds));
-    line.push_str("}\n");
+    let mut line = String::new();
+    span_to_jsonl_into(span, &mut line);
     line
 }
 
 impl Recorder for JsonlRecorder {
     fn event(&mut self, event: Event) {
-        self.inner
-            .lock()
-            .expect("telemetry lock")
-            .write_line(&event_to_jsonl(&event));
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        let inner = &mut *inner;
+        event_to_jsonl_into(&event, &mut inner.scratch);
+        inner.write_scratch();
     }
     fn counter(&mut self, counter: Counter) {
-        self.inner
-            .lock()
-            .expect("telemetry lock")
-            .write_line(&counter_to_jsonl(&counter));
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        let inner = &mut *inner;
+        counter_to_jsonl_into(&counter, &mut inner.scratch);
+        inner.write_scratch();
     }
     fn span(&mut self, span: Span) {
-        self.inner
-            .lock()
-            .expect("telemetry lock")
-            .write_line(&span_to_jsonl(&span));
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        let inner = &mut *inner;
+        span_to_jsonl_into(&span, &mut inner.scratch);
+        inner.write_scratch();
     }
     fn flush(&mut self) {
         let mut inner = self.inner.lock().expect("telemetry lock");

@@ -71,6 +71,7 @@ fn chaos_fleet_run(
         fedavg: cfg,
         num_clients: 6,
         shards: 3,
+        batch: FleetConfig::DEFAULT_BATCH,
     };
     let mut fleet =
         Fleet::with_options(MathFleetFactory, config, Some(&plan), recorder).expect("valid fleet");
