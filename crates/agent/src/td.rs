@@ -312,10 +312,18 @@ impl TdController {
         Ok(())
     }
 
-    /// Size in bytes of one model upload on the wire: the encoded
+    /// Size in bytes of one dense model upload on the wire: the encoded
     /// [`fedpower_wire`] upload frame for this network's parameter count.
     pub fn transfer_bytes(&self) -> usize {
-        fedpower_wire::upload_frame_len(self.net.num_params())
+        self.transfer_bytes_with(fedpower_wire::Codec::Dense32)
+    }
+
+    /// Size in bytes of one upload under `codec` — framed length comes
+    /// from the one wire-layer helper
+    /// ([`fedpower_wire::Codec::upload_frame_len`]), so telemetry cannot
+    /// drift from the real frames.
+    pub fn transfer_bytes_with(&self, codec: fedpower_wire::Codec) -> usize {
+        codec.upload_frame_len(self.net.num_params())
     }
 }
 

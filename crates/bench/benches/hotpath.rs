@@ -22,6 +22,11 @@
 //!   second through an [`AggregationServer`] running the FedAdam commit
 //!   stage on the paper's 687-parameter model (moment buffers are
 //!   server-owned and allocated once),
+//! * `bytes_per_round_{dense,q8,topk}` — upload bytes per 2-client round
+//!   for the paper model under each wire codec (deterministic framed
+//!   lengths; the bench asserts q8 ≤ dense/3.5 and topk:0.05 ≤ dense/8),
+//! * `encode_decode_updates_per_sec` — full q8 encode → frame → decode →
+//!   dense-reconstruct round trips per second on the 687-parameter model,
 //! * `allocs_per_step` — heap allocations per warm training step, counted
 //!   by a wrapping global allocator (the zero-allocation contract says 0).
 //!
@@ -32,10 +37,11 @@
 //! With `--baseline PATH` the run compares its throughput metrics
 //! (`train_steps_per_sec`, `round_steps_per_sec`, `env_steps_per_sec`,
 //! `eval_steps_per_sec`, `batched_select_actions_per_sec`,
-//! `fleet_clients_per_sec`, `fedadam_round_commits_per_sec`) and latency
-//! metrics (`ns_per_forward`, `ns_per_forward_simd` — gated only when the
-//! baseline has them) against the baseline JSON and exits nonzero on a
-//! regression of more than 30 % — the CI smoke gate.
+//! `fleet_clients_per_sec`, `fedadam_round_commits_per_sec`,
+//! `encode_decode_updates_per_sec`) and lower-is-better metrics
+//! (`ns_per_forward`, `ns_per_forward_simd`, `bytes_per_round_*` — each
+//! gated only when the baseline has it) against the baseline JSON and
+//! exits nonzero on a regression of more than 30 % — the CI smoke gate.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,8 +57,8 @@ use fedpower_core::experiment::run_fleet;
 use fedpower_core::policy::GovernorPolicy;
 use fedpower_core::{ExperimentConfig, FleetSpec};
 use fedpower_federated::{
-    AgentClient, AggregationServer, AggregationStrategy, FedAvgConfig, Federation, ModelUpdate,
-    ServerOpt,
+    AgentClient, AggregationServer, AggregationStrategy, Codec, CodedUpdate, Envelope,
+    FedAvgConfig, Federation, ModelUpdate, ServerOpt,
 };
 use fedpower_nn::{Activation, Adam, ForwardScratch, Huber, Mlp, TrainBatch, TrainScratch};
 use fedpower_sim::{FreqLevel, TraceMode, VfTable};
@@ -115,6 +121,10 @@ struct Results {
     batched_select_actions_per_sec: f64,
     fleet_clients_per_sec: f64,
     fedadam_round_commits_per_sec: f64,
+    bytes_per_round_dense: f64,
+    bytes_per_round_q8: f64,
+    bytes_per_round_topk: f64,
+    encode_decode_updates_per_sec: f64,
     allocs_per_step: f64,
     quick: bool,
 }
@@ -134,6 +144,9 @@ impl Results {
              \"eval_steps_per_sec\": {:.1},\n  \"batched_select_actions_per_sec\": {:.1},\n  \
              \"fleet_clients_per_sec\": {:.1},\n  \
              \"fedadam_round_commits_per_sec\": {:.1},\n  \
+             \"bytes_per_round_dense\": {:.1},\n  \"bytes_per_round_q8\": {:.1},\n  \
+             \"bytes_per_round_topk\": {:.1},\n  \
+             \"encode_decode_updates_per_sec\": {:.1},\n  \
              \"allocs_per_step\": {:.3},\n  \"quick\": {}\n}}\n",
             self.ns_per_forward,
             self.train_steps_per_sec,
@@ -143,6 +156,10 @@ impl Results {
             self.batched_select_actions_per_sec,
             self.fleet_clients_per_sec,
             self.fedadam_round_commits_per_sec,
+            self.bytes_per_round_dense,
+            self.bytes_per_round_q8,
+            self.bytes_per_round_topk,
+            self.encode_decode_updates_per_sec,
             self.allocs_per_step,
             self.quick
         )
@@ -458,6 +475,48 @@ fn main() {
     });
     let fedadam_round_commits_per_sec = commit_iters as f64 / commit_secs;
 
+    // Codec wire economics: deterministic framed upload lengths for one
+    // 2-client round of the paper model, plus the q8 encode → frame →
+    // decode → dense-reconstruct throughput. The byte ratios are asserted
+    // here (not against the baseline) because framed lengths are exact.
+    let topk_codec = Codec::parse("topk:0.05").expect("valid codec spec");
+    let bytes_per_round_dense = (2 * Codec::Dense32.upload_frame_len(model_len)) as f64;
+    let bytes_per_round_q8 = (2 * Codec::Q8.upload_frame_len(model_len)) as f64;
+    let bytes_per_round_topk = (2 * topk_codec.upload_frame_len(model_len)) as f64;
+    eprintln!(
+        "bytes/round (2 clients, {model_len} params): dense {bytes_per_round_dense:.0} B, q8 \
+         {bytes_per_round_q8:.0} B ({:.2}x), topk:0.05 {bytes_per_round_topk:.0} B ({:.2}x)",
+        bytes_per_round_dense / bytes_per_round_q8,
+        bytes_per_round_dense / bytes_per_round_topk
+    );
+    assert!(
+        bytes_per_round_q8 <= bytes_per_round_dense / 3.5,
+        "q8 must stay within 2/7 of dense bytes (pure int8 caps the win at 4x)"
+    );
+    assert!(
+        bytes_per_round_topk <= bytes_per_round_dense / 8.0,
+        "topk:0.05 must deliver at least the 8x byte reduction"
+    );
+
+    eprintln!("measuring q8 encode + decode round trips ({model_len}-param model)...");
+    let dense_params: Vec<f32> = (0..model_len)
+        .map(|i| 0.1 * ((i as f32) * 0.013).sin())
+        .collect();
+    let mut reconstructed: Vec<f32> = Vec::with_capacity(model_len);
+    let (codec_iters, codec_secs) = measure(window, || {
+        let coded = CodedUpdate::quantize_q8(&dense_params);
+        let frame = Envelope::codec_upload(1, 0, 64, coded).encode();
+        let env = Envelope::decode(&frame).expect("own frame decodes");
+        let fedpower_federated::wire::Payload::CodecUpload { update, .. } = &env.payload else {
+            unreachable!("encoded a codec upload");
+        };
+        update
+            .reconstruct_into(None, &mut reconstructed)
+            .expect("q8 needs no reference");
+        std::hint::black_box(reconstructed[0]);
+    });
+    let encode_decode_updates_per_sec = codec_iters as f64 / codec_secs;
+
     let results = Results {
         ns_per_forward,
         ns_per_forward_simd,
@@ -468,6 +527,10 @@ fn main() {
         batched_select_actions_per_sec,
         fleet_clients_per_sec,
         fedadam_round_commits_per_sec,
+        bytes_per_round_dense,
+        bytes_per_round_q8,
+        bytes_per_round_topk,
+        encode_decode_updates_per_sec,
         allocs_per_step,
         quick,
     };
@@ -488,6 +551,7 @@ fn main() {
             "batched_select_actions_per_sec",
             "fleet_clients_per_sec",
             "fedadam_round_commits_per_sec",
+            "encode_decode_updates_per_sec",
         ] {
             let Some(base) = json_number(&baseline, key) else {
                 eprintln!("baseline {} has no {key}; skipping", path.display());
@@ -504,10 +568,20 @@ fn main() {
                 failed = true;
             }
         }
-        // Latency keys gate in the opposite direction — lower is better.
-        // `ns_per_forward_simd` exists only in simd-feature runs on AVX2
-        // hardware, so it gates only when both sides measured it.
-        for key in ["ns_per_forward", "ns_per_forward_simd"] {
+        // Latency and byte keys gate in the opposite direction — lower is
+        // better. `ns_per_forward_simd` exists only in simd-feature runs
+        // on AVX2 hardware, and the byte keys only once a codec-aware
+        // baseline is committed, so each gates only when both sides have
+        // it. (The byte keys are deterministic framed lengths — any drift
+        // at all is a wire-format change, but the same 30 % gate keeps the
+        // mechanics uniform; the hard ratio contract is asserted above.)
+        for (key, unit) in [
+            ("ns_per_forward", "ns"),
+            ("ns_per_forward_simd", "ns"),
+            ("bytes_per_round_dense", "B"),
+            ("bytes_per_round_q8", "B"),
+            ("bytes_per_round_topk", "B"),
+        ] {
             let (Some(base), Some(now)) = (json_number(&baseline, key), json_number(&json, key))
             else {
                 eprintln!("{key} not present on both sides; skipping");
@@ -515,7 +589,7 @@ fn main() {
             };
             let ratio = now / base;
             eprintln!(
-                "{key}: {now:.1} ns vs baseline {base:.1} ns ({:.0} %)",
+                "{key}: {now:.1} {unit} vs baseline {base:.1} {unit} ({:.0} %)",
                 ratio * 100.0
             );
             if ratio > 1.0 / 0.7 {

@@ -14,15 +14,16 @@
 use fedpower_agent::{DeviceEnvConfig, PowerController, State};
 use fedpower_bench::BenchArgs;
 use fedpower_core::report::markdown_table;
-use fedpower_federated::{AgentClient, FedAvgConfig, Federation};
+use fedpower_federated::{AgentClient, Codec, FedAvgConfig, Federation};
 use fedpower_sim::FreqLevel;
 use fedpower_workloads::AppId;
 use std::time::Instant;
 
-/// Runs one short federated round over the configured transport and
-/// returns the measured mean upload size in bytes — counted from the
-/// encoded frames that actually crossed the link, not estimated.
-fn measured_transfer_bytes(cfg: &fedpower_core::ExperimentConfig) -> f64 {
+/// Runs one short federated round over the configured transport with
+/// uploads encoded under `codec`, and returns the measured mean upload
+/// size in bytes — counted from the encoded frames that actually crossed
+/// the link, not estimated.
+fn measured_transfer_bytes(cfg: &fedpower_core::ExperimentConfig, codec: Codec) -> f64 {
     let clients: Vec<AgentClient> = [&[AppId::Fft][..], &[AppId::Ocean][..]]
         .iter()
         .enumerate()
@@ -31,6 +32,7 @@ fn measured_transfer_bytes(cfg: &fedpower_core::ExperimentConfig) -> f64 {
     let mut fed_cfg = FedAvgConfig::paper();
     fed_cfg.rounds = 1;
     fed_cfg.steps_per_round = 20;
+    fed_cfg.codec = codec;
     let mut fed = Federation::with_transport(clients, fed_cfg, cfg.seed, cfg.transport)
         .expect("transport links");
     fed.run_round();
@@ -71,13 +73,43 @@ fn main() {
     let overhead_pct = per_step_us / interval_us * 100.0;
 
     let transfer = agent.transfer_bytes();
-    let measured = measured_transfer_bytes(&cfg);
-    // §IV-C reports 2.8 kB per transfer; the encoded frame for the paper's
-    // 5→32→15 network must land in that ballpark.
+    let measured = measured_transfer_bytes(&cfg, Codec::Dense32);
+    // §IV-C reports 2.8 kB per transfer; the paper's 5→32→15 network (687
+    // parameters) encodes to exactly 2 792 B dense on our wire.
     assert!(
         (2000.0..=3500.0).contains(&measured),
         "measured wire transfer {measured:.0} B is outside the paper's ~2.8 kB ballpark"
     );
+    assert_eq!(
+        measured, 2792.0,
+        "dense frames are bit-stable: 32 B overhead + 12 B body header + 4 B/param"
+    );
+    // Every codec's measured on-the-wire size must equal the analytic
+    // framed length — the single helper telemetry and `transfer_bytes`
+    // route through — within tight absolute bounds on the compression win.
+    let mut codec_rows = Vec::new();
+    for (codec, lo, hi) in [
+        (Codec::Q8, 700.0, 800.0),    // 740 B: 3.77× under dense
+        (Codec::Q16, 1400.0, 1500.0), // 1 427 B: 1.96× under dense
+        (Codec::parse("topk:0.1").unwrap(), 550.0, 650.0), // 609 B: 4.58×
+        (Codec::parse("topk:0.05").unwrap(), 300.0, 400.0), // 337 B: 8.28×
+    ] {
+        let bytes = measured_transfer_bytes(&cfg, codec);
+        assert_eq!(
+            bytes,
+            agent.transfer_bytes_with(codec) as f64,
+            "{codec}: measured frames must match the analytic framed length"
+        );
+        assert!(
+            (lo..=hi).contains(&bytes),
+            "{codec}: measured {bytes:.0} B outside [{lo}, {hi}]"
+        );
+        codec_rows.push(vec![
+            format!("upload frame ({codec})"),
+            format!("{bytes:.0} B"),
+            format!("{:.2}x vs dense", measured / bytes),
+        ]);
+    }
     let replay_kb = agent.replay().memory_bytes() as f64 / 1024.0;
 
     println!(
@@ -122,6 +154,11 @@ fn main() {
                 ],
             ],
         )
+    );
+    println!();
+    println!(
+        "{}",
+        markdown_table(&["codec", "measured on the wire", "reduction"], &codec_rows)
     );
     println!(
         "note: our per-step cost is far below the paper's 29 ms because the paper measures a \

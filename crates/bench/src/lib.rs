@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 use fedpower_core::ExperimentConfig;
-use fedpower_federated::{FaultScenario, ServerOpt, ServerOptKind, TransportKind};
+use fedpower_federated::{Codec, FaultScenario, ServerOpt, ServerOptKind, TransportKind};
 use fedpower_telemetry::SinkSpec;
 
 /// Command-line options shared by all bench binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// `PartialEq` only: `Codec::TopK` carries an `f32` fraction, which has no
+// total equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchArgs {
     /// Number of federated rounds (`--rounds N`).
     pub rounds: Option<u64>,
@@ -51,6 +53,9 @@ pub struct BenchArgs {
     /// Server commit stage for federated runs
     /// (`--optimizer fedavg|fedadam|fedprox`).
     pub optimizer: Option<ServerOptKind>,
+    /// Upload codec for federated runs
+    /// (`--codec dense|q8|q16|topk:<frac>`).
+    pub codec: Option<Codec>,
 }
 
 impl BenchArgs {
@@ -70,6 +75,7 @@ impl BenchArgs {
             transport: None,
             telemetry: SinkSpec::Off,
             optimizer: None,
+            codec: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -110,6 +116,12 @@ impl BenchArgs {
                         format!("bad --optimizer: {v:?} (expected fedavg, fedadam, or fedprox)")
                     })?);
                 }
+                "--codec" => {
+                    let v = iter.next().ok_or("--codec needs a value")?;
+                    out.codec = Some(Codec::parse(&v).ok_or_else(|| {
+                        format!("bad --codec: {v:?} (expected dense, q8, q16, or topk:<frac>)")
+                    })?);
+                }
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
@@ -126,7 +138,7 @@ impl BenchArgs {
                 eprintln!(
                     "usage: [--rounds N] [--seed S] [--quick] [--faults SCENARIO] \
                      [--transport channel|tcp] [--telemetry off|summary|jsonl:<path>] \
-                     [--optimizer fedavg|fedadam|fedprox]"
+                     [--optimizer fedavg|fedadam|fedprox] [--codec dense|q8|q16|topk:<frac>]"
                 );
                 std::process::exit(2);
             }
@@ -154,6 +166,9 @@ impl BenchArgs {
         }
         if let Some(kind) = self.optimizer {
             cfg.fedavg.optimizer = ServerOpt::from_kind(kind);
+        }
+        if let Some(codec) = self.codec {
+            cfg.fedavg.codec = codec;
         }
         cfg
     }
@@ -237,6 +252,21 @@ mod tests {
             "{msg}"
         );
         assert!(parse(&["--optimizer"]).is_err());
+    }
+
+    #[test]
+    fn codec_flag_selects_an_upload_codec() {
+        let args = parse(&["--codec", "topk:0.05"]).unwrap();
+        assert_eq!(args.codec, Some(Codec::TopK { frac: 0.05 }));
+        assert_eq!(args.config().fedavg.codec, Codec::TopK { frac: 0.05 });
+        assert_eq!(
+            parse(&[]).unwrap().config().fedavg.codec,
+            Codec::Dense32,
+            "default stays dense"
+        );
+        assert!(parse(&["--codec", "gzip"]).is_err());
+        assert!(parse(&["--codec", "topk:1.5"]).is_err());
+        assert!(parse(&["--codec"]).is_err());
     }
 
     #[test]

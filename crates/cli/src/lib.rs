@@ -8,6 +8,7 @@
 //!          [--faults none|lossy-network|stragglers|flaky-fleet|chaos]
 //!          [--telemetry off|summary|jsonl:<path>]
 //!          [--fleet shards=<k>,clients=<n>] [--optimizer fedavg|fedadam|fedprox]
+//!          [--codec dense|q8|q16|topk:<frac>]
 //!
 //! commands:
 //!   fig3        local-only vs federated reward curves (3 scenarios)
@@ -26,13 +27,15 @@
 pub mod commands;
 
 use fedpower_core::{ConfigError, ExperimentConfig, FleetSpec};
-use fedpower_federated::{FaultScenario, ServerOpt, ServerOptKind, TransportKind};
+use fedpower_federated::{Codec, FaultScenario, ServerOpt, ServerOptKind, TransportKind};
 use fedpower_telemetry::SinkSpec;
 use std::fmt;
 use std::path::PathBuf;
 
 /// A parsed CLI invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// `PartialEq` only: `Codec::TopK` carries an `f32` fraction, which has no
+// total equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// The selected command.
     pub command: Command,
@@ -58,6 +61,9 @@ pub struct Invocation {
     /// (selected by kind; each kind carries its reference
     /// hyperparameters).
     pub optimizer: Option<ServerOptKind>,
+    /// `--codec dense|q8|q16|topk:<frac>` — upload codec clients encode
+    /// their round updates with.
+    pub codec: Option<Codec>,
 }
 
 /// Parses a `--fleet` value of the form `shards=<k>,clients=<n>` (the two
@@ -166,6 +172,7 @@ impl Invocation {
             telemetry: SinkSpec::Off,
             fleet: None,
             optimizer: None,
+            codec: None,
         };
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -235,6 +242,16 @@ impl Invocation {
                         ))
                     })?);
                 }
+                "--codec" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| ParseInvocationError("--codec needs a value".into()))?;
+                    inv.codec = Some(Codec::parse(&v).ok_or_else(|| {
+                        ParseInvocationError(format!(
+                            "bad --codec: {v:?} (expected dense, q8, q16, or topk:<frac>)"
+                        ))
+                    })?);
+                }
                 "--fleet" => {
                     let v = iter
                         .next()
@@ -278,6 +295,9 @@ impl Invocation {
         if let Some(kind) = self.optimizer {
             b = b.optimizer(ServerOpt::from_kind(kind));
         }
+        if let Some(codec) = self.codec {
+            b = b.codec(codec);
+        }
         b.build()
     }
 }
@@ -287,7 +307,7 @@ pub const USAGE: &str = "usage: fedpower <fig3|fig4|table3|fig5|pcrit|oracle|fle
 [--rounds N] [--seed S] [--quick] [--out DIR] [--transport channel|tcp] \
 [--faults none|lossy-network|stragglers|flaky-fleet|chaos] \
 [--telemetry off|summary|jsonl:<path>] [--fleet shards=<k>,clients=<n>] \
-[--optimizer fedavg|fedadam|fedprox]";
+[--optimizer fedavg|fedadam|fedprox] [--codec dense|q8|q16|topk:<frac>]";
 
 #[cfg(test)]
 mod tests {
@@ -311,6 +331,22 @@ mod tests {
     fn quick_selects_smoke_config() {
         let inv = parse(&["table3", "--quick"]).unwrap();
         assert!(inv.config().unwrap().eval_steps < ExperimentConfig::paper().eval_steps);
+    }
+
+    #[test]
+    fn codec_flag_selects_an_upload_codec() {
+        let inv = parse(&["fig3", "--codec", "q8"]).unwrap();
+        assert_eq!(inv.codec, Some(Codec::Q8));
+        assert_eq!(inv.config().unwrap().fedavg.codec, Codec::Q8);
+        let inv = parse(&["fig3", "--codec", "topk:0.1"]).unwrap();
+        assert_eq!(inv.codec, Some(Codec::TopK { frac: 0.1 }));
+        assert_eq!(
+            parse(&["fig3"]).unwrap().config().unwrap().fedavg.codec,
+            Codec::Dense32
+        );
+        assert!(parse(&["fig3", "--codec", "gzip"]).is_err());
+        assert!(parse(&["fig3", "--codec", "topk:0"]).is_err());
+        assert!(parse(&["fig3", "--codec"]).is_err());
     }
 
     #[test]

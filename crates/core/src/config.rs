@@ -3,7 +3,7 @@
 
 use fedpower_agent::{ControllerConfig, RewardConfig};
 use fedpower_baselines::ProfitConfig;
-use fedpower_federated::{FaultScenario, FedAvgConfig, ServerOpt, TransportKind};
+use fedpower_federated::{Codec, FaultScenario, FedAvgConfig, ServerOpt, TransportKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -170,6 +170,8 @@ pub enum ConfigError {
     /// `fedavg.server_momentum` is a FedAvg(M) setting; FedAdam maintains
     /// its own moments, so the two cannot be combined.
     MomentumUnderFedAdam(f32),
+    /// A [`Codec::TopK`] fraction must lie in `(0, 1]`.
+    InvalidTopKFraction(f32),
 }
 
 impl fmt::Display for ConfigError {
@@ -212,6 +214,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "proximal coefficient {mu} must be finite and >= 0 (0 disables the proximal pull)"
             ),
+            ConfigError::InvalidTopKFraction(frac) => {
+                write!(f, "topk fraction must be in (0, 1], got {frac}")
+            }
             ConfigError::MomentumUnderFedAdam(m) => write!(
                 f,
                 "server momentum {m} must be 0 under FedAdam (FedAdam maintains its own moments)"
@@ -314,6 +319,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the upload codec (dense f32, q8/q16 quantized, or top-k
+    /// sparse deltas).
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.cfg.fedavg.codec = codec;
+        self
+    }
+
     /// Validates and returns the assembled configuration.
     ///
     /// # Errors
@@ -352,6 +364,11 @@ impl ExperimentConfigBuilder {
         if let Some(spec) = cfg.fleet {
             if spec.clients == 0 || spec.shards == 0 {
                 return Err(ConfigError::DegenerateFleet(spec));
+            }
+        }
+        if let Codec::TopK { frac } = cfg.fedavg.codec {
+            if !(frac.is_finite() && frac > 0.0 && frac <= 1.0) {
+                return Err(ConfigError::InvalidTopKFraction(frac));
             }
         }
         match cfg.fedavg.optimizer {
@@ -613,5 +630,20 @@ mod tests {
             ExperimentConfig::smoke().fault_scenario,
             FaultScenario::None
         );
+    }
+
+    #[test]
+    fn builder_sets_and_validates_the_codec() {
+        let cfg = ExperimentConfig::builder()
+            .codec(Codec::Q8)
+            .build()
+            .expect("valid codec");
+        assert_eq!(cfg.fedavg.codec, Codec::Q8);
+        assert_eq!(ExperimentConfig::paper().fedavg.codec, Codec::Dense32);
+        let err = ExperimentConfig::builder()
+            .codec(Codec::TopK { frac: 0.0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvalidTopKFraction(0.0));
     }
 }

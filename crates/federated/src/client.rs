@@ -89,6 +89,15 @@ pub trait FederatedClient: Send {
     /// Serialized size of one upload in bytes (for transport accounting).
     fn transfer_bytes(&self) -> usize;
 
+    /// Serialized size of one upload under `codec` — the true framed
+    /// length for the active upload codec. The default conservatively
+    /// reports the dense size; codec-aware clients override it to route
+    /// through [`crate::wire::Codec::upload_frame_len`].
+    fn transfer_bytes_with(&self, codec: crate::wire::Codec) -> usize {
+        let _ = codec;
+        self.transfer_bytes()
+    }
+
     /// Notifies the client that federated round `round` (1-based) begins.
     /// Fault-injecting clients use this to advance their fault schedule.
     fn begin_round(&mut self, _round: u64) {}
@@ -363,6 +372,10 @@ impl FederatedClient for AgentClient {
 
     fn transfer_bytes(&self) -> usize {
         self.agent.transfer_bytes()
+    }
+
+    fn transfer_bytes_with(&self, codec: crate::wire::Codec) -> usize {
+        self.agent.transfer_bytes_with(codec)
     }
 
     fn record_telemetry(&self, round: u64, recorder: &mut dyn Recorder) {

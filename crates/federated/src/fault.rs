@@ -58,6 +58,46 @@ impl CorruptionKind {
             }
         }
     }
+
+    /// Applies the corruption to a codec-compressed body in place — the
+    /// quantized analogue of [`CorruptionKind::apply`]. `NaN` poisons the
+    /// reconstruction (a NaN scale or sparse value makes every affected
+    /// parameter non-finite); `Amplify` scales what the server will decode
+    /// by exactly the same factor as the dense path (for linear
+    /// quantization, scaling both `scale` and `zero_point` scales every
+    /// reconstructed value).
+    pub fn apply_coded(self, update: &mut wire::CodedUpdate) {
+        use wire::CodedUpdate;
+        match (self, update) {
+            (CorruptionKind::NaN, CodedUpdate::Q8 { scale, .. })
+            | (CorruptionKind::NaN, CodedUpdate::Q16 { scale, .. }) => *scale = f32::NAN,
+            (CorruptionKind::NaN, CodedUpdate::TopK { values, .. }) => {
+                if let Some(v) = values.first_mut() {
+                    *v = f32::NAN;
+                }
+            }
+            (
+                CorruptionKind::Amplify(factor),
+                CodedUpdate::Q8 {
+                    scale, zero_point, ..
+                },
+            )
+            | (
+                CorruptionKind::Amplify(factor),
+                CodedUpdate::Q16 {
+                    scale, zero_point, ..
+                },
+            ) => {
+                *scale *= factor;
+                *zero_point *= factor;
+            }
+            (CorruptionKind::Amplify(factor), CodedUpdate::TopK { values, .. }) => {
+                for v in values {
+                    *v *= factor;
+                }
+            }
+        }
+    }
 }
 
 /// One scheduled fault in a `(client, round)` cell.
@@ -500,17 +540,21 @@ impl<T: Transport> FaultyTransport<T> {
         self.inner
     }
 
-    /// Re-frames an upload with its parameters mangled by `kind`; frames
-    /// that do not decode as uploads pass through untouched (the wire
-    /// layer will reject them anyway).
+    /// Re-frames an upload — dense or codec-compressed — with its payload
+    /// mangled by `kind` and a freshly valid CRC, so it is the server's
+    /// admission check (not the checksum) that must catch it. Frames that
+    /// do not decode as uploads pass through untouched (the wire layer
+    /// will reject them anyway).
     fn corrupt_frame(kind: CorruptionKind, frame: &[u8]) -> Vec<u8> {
-        match wire::decode_upload(frame) {
-            Ok((round, mut update)) => {
-                kind.apply(&mut update.params);
-                wire::encode_upload(round, &update)
-            }
-            Err(_) => frame.to_vec(),
+        let Ok(mut env) = wire::Envelope::decode(frame) else {
+            return frame.to_vec();
+        };
+        match &mut env.payload {
+            wire::Payload::ModelUpload { params, .. } => kind.apply(params),
+            wire::Payload::CodecUpload { update, .. } => kind.apply_coded(update),
+            _ => return frame.to_vec(),
         }
+        env.encode()
     }
 }
 
@@ -770,6 +814,55 @@ mod tests {
         let (_, update) = wire::decode_upload(&delivered).expect("CRC still valid");
         assert!(update.params[0].is_nan());
         assert!(update.params[1..].iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn transport_corruption_survives_codec_frames() {
+        let update = ModelUpdate {
+            client_id: 0,
+            params: vec![1.0, 2.0, 3.0],
+            num_samples: 10,
+        };
+        let reference = vec![0.0f32; 3];
+        let refs = {
+            let mut w = wire::ReferenceWindow::default();
+            w.push(0, reference.clone());
+            w
+        };
+        let codecs = [
+            wire::Codec::Q8,
+            wire::Codec::Q16,
+            wire::Codec::TopK { frac: 1.0 },
+        ];
+        // NaN poisoning re-seals the CRC, so the decode succeeds and it is
+        // admission's finite check that must do the rejecting.
+        for codec in codecs {
+            let mut plan = FaultPlan::none();
+            plan.insert(0, 1, Fault::Corrupt(CorruptionKind::NaN));
+            let mut link = faulty_link(0, &plan);
+            link.begin_round(1);
+            let frame = wire::encode_upload_with(codec, 1, &update, Some((0, &reference)));
+            let delivered = link.upload(&frame).unwrap();
+            let (_, decoded) = wire::decode_upload_with(&delivered, wire::CODEC_VERSION, &refs)
+                .expect("CRC still valid");
+            assert!(decoded.params.iter().any(|p| p.is_nan()), "{codec}");
+        }
+        // Amplify scales what the server decodes by exactly the factor,
+        // matching the dense corruption semantics.
+        for codec in codecs {
+            let mut plan = FaultPlan::none();
+            plan.insert(0, 1, Fault::Corrupt(CorruptionKind::Amplify(2.0)));
+            let mut link = faulty_link(0, &plan);
+            link.begin_round(1);
+            let frame = wire::encode_upload_with(codec, 1, &update, Some((0, &reference)));
+            let delivered = link.upload(&frame).unwrap();
+            let (_, mangled) =
+                wire::decode_upload_with(&delivered, wire::CODEC_VERSION, &refs).unwrap();
+            let (_, clean) = wire::decode_upload_with(&frame, wire::CODEC_VERSION, &refs).unwrap();
+            for (c, m) in clean.params.iter().zip(&mangled.params) {
+                assert!((2.0 * c - m).abs() < 1e-4, "{codec}: clean {c} mangled {m}");
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct FedAvgConfig {
     /// How the combined round aggregate commits into the global model
     /// (paper: plain FedAvg assignment).
     pub optimizer: ServerOpt,
+    /// Upload codec clients encode their round updates with
+    /// (paper: dense f32, bit-identical version-1 frames).
+    pub codec: wire::Codec,
+    /// Highest wire version the server admits. Lowering it to
+    /// [`wire::VERSION`] models a v1 server: codec frames are rejected at
+    /// admission (`updates_rejected`) instead of decoded.
+    pub max_wire_version: u16,
 }
 
 impl FedAvgConfig {
@@ -68,6 +75,8 @@ impl FedAvgConfig {
             max_upload_retries: 2,
             staleness_decay: 0.5,
             optimizer: ServerOpt::FedAvg,
+            codec: wire::Codec::Dense32,
+            max_wire_version: wire::CODEC_VERSION,
         }
     }
 }
@@ -106,6 +115,12 @@ pub struct Federation<C: FederatedClient> {
     rounds_run: u64,
     pool: WorkerPool,
     workspaces: Vec<C::Workspace>,
+    /// Recently broadcast globals, keyed by round — the references top-k
+    /// sparse uploads are reconstructed against at admission.
+    reference: wire::ReferenceWindow,
+    /// Per client: the round of the last global it actually downloaded
+    /// (its top-k encoding reference), `None` until the join handshake.
+    client_refs: Vec<Option<u64>>,
 }
 
 impl<C: FederatedClient> Federation<C> {
@@ -255,6 +270,18 @@ impl<C: FederatedClient> Federation<C> {
             "staleness_decay must be in (0, 1], got {}",
             config.staleness_decay
         );
+        if let wire::Codec::TopK { frac } = config.codec {
+            assert!(
+                frac.is_finite() && frac > 0.0 && frac <= 1.0,
+                "topk fraction must be in (0, 1], got {frac}"
+            );
+        }
+        assert!(
+            config.max_wire_version >= wire::VERSION,
+            "max_wire_version must be at least {}, got {}",
+            wire::VERSION,
+            config.max_wire_version
+        );
         let mut clients = clients;
         let initial = clients[0].upload().params;
         let server = AggregationServer::with_optimizer(
@@ -263,6 +290,7 @@ impl<C: FederatedClient> Federation<C> {
             config.server_momentum,
             config.optimizer,
         );
+        let n = clients.len();
         let mut fed = Federation {
             config,
             server,
@@ -274,7 +302,12 @@ impl<C: FederatedClient> Federation<C> {
             rounds_run: 0,
             pool: WorkerPool::default(),
             workspaces: Vec::new(),
+            reference: wire::ReferenceWindow::default(),
+            client_refs: vec![None; n],
         };
+        // The join handshake is round 0: its θ₁ is the first top-k
+        // reference.
+        fed.reference.push(0, fed.server.global().to_vec());
         for i in 0..fed.clients.len() {
             fed.join_client(i);
         }
@@ -299,6 +332,9 @@ impl<C: FederatedClient> Federation<C> {
             Some(params) => client.download(&params),
             None => client.download(self.server.global()),
         }
+        // Either path installs θ₁, so the client's top-k reference is the
+        // round-0 global.
+        self.client_refs[i] = Some(0);
         let event = Event::with_bytes(EventKind::DownloadDelivered, 0, id, frame.len());
         self.transport.apply(&event);
         self.recorder.event(event);
@@ -476,7 +512,10 @@ impl<C: FederatedClient> Federation<C> {
                             *p += sigma * gaussian(&mut self.rng);
                         }
                     }
-                    let frame = wire::encode_upload(round, &update);
+                    let reference = self.client_refs[i]
+                        .and_then(|r| self.reference.get(r).map(|params| (r, params)));
+                    let frame =
+                        wire::encode_upload_with(self.config.codec, round, &update, reference);
                     frame_len = frame.len();
                     let mut sent = self.links[i].upload(&frame);
                     while retries < self.config.max_upload_retries
@@ -503,7 +542,16 @@ impl<C: FederatedClient> Federation<C> {
                         &mut report,
                         Event::with_bytes(EventKind::UploadReceived, round, id, frame_len),
                     );
-                    let admitted = match wire::decode_upload(&bytes) {
+                    // Codec frames are decoded back to dense before
+                    // admission, so the accumulator (and every optimizer
+                    // or robust combiner behind it) is codec-agnostic;
+                    // version-negotiation and missing-reference failures
+                    // land in the rejected branch below.
+                    let admitted = match wire::decode_upload_with(
+                        &bytes,
+                        self.config.max_wire_version,
+                        &self.reference,
+                    ) {
                         Ok((_, received)) => acc.admit(received, 1.0).is_ok(),
                         Err(_) => false,
                     };
@@ -569,7 +617,9 @@ impl<C: FederatedClient> Federation<C> {
                         EventKind::StaleReceived,
                         round,
                         id,
-                        wire::upload_frame_len(stale.update.params.len()),
+                        self.config
+                            .codec
+                            .upload_frame_len(stale.update.params.len()),
                     ),
                 );
                 let weight = self.config.staleness_decay.powi(age as i32);
@@ -594,7 +644,11 @@ impl<C: FederatedClient> Federation<C> {
                     &mut report,
                     Event::with_bytes(EventKind::StaleReceived, round, id, bytes.len()),
                 );
-                let applied = match wire::decode_upload(&bytes) {
+                let applied = match wire::decode_upload_with(
+                    &bytes,
+                    self.config.max_wire_version,
+                    &self.reference,
+                ) {
                     Ok((origin_round, update)) => {
                         let age = round.saturating_sub(origin_round).max(1);
                         let weight = self.config.staleness_decay.powi(age as i32);
@@ -643,6 +697,9 @@ impl<C: FederatedClient> Federation<C> {
             .span(Span::new("aggregate", round, report.timing.aggregate_s));
 
         let broadcast_start = Instant::now();
+        // Whatever goes out this round — committed or unchanged θ — is the
+        // reference the next round's top-k deltas encode against.
+        self.reference.push(round, self.server.global().to_vec());
         for i in 0..self.clients.len() {
             let client = &mut self.clients[i];
             let link = &mut self.links[i];
@@ -656,7 +713,10 @@ impl<C: FederatedClient> Federation<C> {
                 .and_then(|bytes| wire::decode_params(&bytes))
                 .and_then(|params| client.try_download(&params));
             let event = match outcome {
-                Ok(()) => Event::with_bytes(EventKind::DownloadDelivered, round, id, frame.len()),
+                Ok(()) => {
+                    self.client_refs[i] = Some(round);
+                    Event::with_bytes(EventKind::DownloadDelivered, round, id, frame.len())
+                }
                 // The model arrived intact but does not fit the client's
                 // architecture: an admission failure, not a network one.
                 Err(FedError::ShapeMismatch { .. }) => {
@@ -1094,6 +1154,67 @@ mod tests {
     fn invalid_participation_panics() {
         let mut config = FedAvgConfig::paper();
         config.participation = 0.0;
+        let _ = Federation::new(vec![FakeClient::new(0, 0.0)], config, 0);
+    }
+
+    #[test]
+    fn codec_rounds_aggregate_like_dense_on_exact_tensors() {
+        // Constant drifts quantize exactly (scale 0) and keep-all top-k
+        // deltas are exact, so every codec lands the dense answer.
+        for codec in [
+            wire::Codec::Q8,
+            wire::Codec::Q16,
+            wire::Codec::TopK { frac: 1.0 },
+        ] {
+            let mut config = FedAvgConfig::paper();
+            config.codec = codec;
+            let mut fed = two_client_federation(config);
+            let report = fed.run_round();
+            assert_eq!(report.updates_rejected, 0, "{codec}");
+            assert_eq!(fed.global_params(), &[1.5; 4], "{codec}");
+            // Telemetry carries the codec's true framed length, not the
+            // dense one.
+            assert_eq!(
+                fed.transport().uploaded_bytes,
+                2 * codec.upload_frame_len(4) as u64,
+                "{codec}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_codec_rounds_stay_finite_and_committed() {
+        let mut config = FedAvgConfig::paper();
+        config.codec = wire::Codec::TopK { frac: 0.5 };
+        config.rounds = 3;
+        let mut fed = two_client_federation(config);
+        for report in fed.run() {
+            assert!(report.aggregated);
+            assert_eq!(report.updates_rejected, 0);
+        }
+        assert!(fed.global_params().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn v1_server_rejects_every_codec_upload_at_admission() {
+        let mut config = FedAvgConfig::paper();
+        config.codec = wire::Codec::Q8;
+        config.max_wire_version = wire::VERSION;
+        let mut fed = two_client_federation(config);
+        let before = fed.global_params().to_vec();
+        let report = fed.run_round();
+        // Both frames arrive, both fail version negotiation, and with
+        // nothing admitted the round misses quorum: θ is unchanged.
+        assert_eq!(report.updates_rejected, 2);
+        assert!(!report.aggregated);
+        assert_eq!(fed.global_params(), before.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "topk fraction")]
+    fn invalid_topk_fraction_panics() {
+        let mut config = FedAvgConfig::paper();
+        config.codec = wire::Codec::TopK { frac: 0.0 };
         let _ = Federation::new(vec![FakeClient::new(0, 0.0)], config, 0);
     }
 }

@@ -149,6 +149,8 @@ struct ShardContext<'a, F: FleetClientFactory> {
     max_upload_retries: u64,
     /// Lockstep block width ([`FleetConfig::batch`]).
     batch: usize,
+    /// Upload codec for shard byte accounting.
+    codec: wire::Codec,
 }
 
 /// Buffers a shard's telemetry so workers need no shared recorder; the
@@ -195,6 +197,10 @@ pub struct EdgeAggregator {
     upload_bytes: u64,
     clients_processed: u64,
     secs: f64,
+    /// Upload codec the shard's clients nominally encode with — fleet
+    /// rounds move no real frames, so the codec only drives the byte
+    /// accounting (`upload_bytes` reflects the true framed length).
+    codec: wire::Codec,
 }
 
 impl EdgeAggregator {
@@ -211,6 +217,22 @@ impl EdgeAggregator {
         strategy: AggregationStrategy,
         model_len: usize,
     ) -> Result<Self, FedError> {
+        Self::with_codec(shard, round, strategy, model_len, wire::Codec::Dense32)
+    }
+
+    /// Like [`EdgeAggregator::new`], with upload bytes accounted at the
+    /// framed length of `codec` instead of dense f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::UnsupportedInFleet`] like [`EdgeAggregator::new`].
+    pub fn with_codec(
+        shard: usize,
+        round: u64,
+        strategy: AggregationStrategy,
+        model_len: usize,
+        codec: wire::Codec,
+    ) -> Result<Self, FedError> {
         if !strategy.shard_reducible() {
             return Err(FedError::UnsupportedInFleet { strategy });
         }
@@ -224,6 +246,7 @@ impl EdgeAggregator {
             upload_bytes: 0,
             clients_processed: 0,
             secs: 0.0,
+            codec,
         })
     }
 
@@ -262,7 +285,7 @@ impl EdgeAggregator {
     /// weight, mirroring the flat engine's received-frame path.
     fn deliver(&mut self, id: usize, update: ModelUpdate) {
         let round = self.round;
-        let frame_len = wire::upload_frame_len(update.params.len());
+        let frame_len = self.codec.upload_frame_len(update.params.len());
         self.telemetry.event(Event::with_bytes(
             EventKind::UploadReceived,
             round,
@@ -487,8 +510,9 @@ fn run_shard<F: FleetClientFactory>(
     ws: &mut <F::Client as FederatedClient>::Workspace,
 ) -> EdgeAggregator {
     let start = Instant::now();
-    let mut edge = EdgeAggregator::new(shard, ctx.round, ctx.strategy, ctx.global.len())
-        .expect("fleet construction validated the strategy");
+    let mut edge =
+        EdgeAggregator::with_codec(shard, ctx.round, ctx.strategy, ctx.global.len(), ctx.codec)
+            .expect("fleet construction validated the strategy");
     if ctx.batch <= 1 {
         for id in clients {
             edge.process_client(ctx, id, ws);
@@ -615,6 +639,13 @@ impl<F: FleetClientFactory> Fleet<F> {
                 "staleness_decay must be in (0, 1], got {}",
                 fed.staleness_decay
             )));
+        }
+        if let wire::Codec::TopK { frac } = fed.codec {
+            if !(frac.is_finite() && frac > 0.0 && frac <= 1.0) {
+                return Err(FedError::InvalidConfig(format!(
+                    "topk fraction must be in (0, 1], got {frac}"
+                )));
+            }
         }
         if !(0.0..1.0).contains(&fed.server_momentum) {
             return Err(FedError::InvalidConfig(format!(
@@ -785,6 +816,7 @@ impl<F: FleetClientFactory> Fleet<F> {
             strategy: self.config.fedavg.strategy,
             max_upload_retries: self.config.fedavg.max_upload_retries,
             batch: self.config.batch,
+            codec: self.config.fedavg.codec,
         };
         let fanout_start = Instant::now();
         let outcomes = self.pool.map_with_setup(
@@ -869,7 +901,10 @@ impl<F: FleetClientFactory> Fleet<F> {
                     EventKind::StaleReceived,
                     round,
                     id,
-                    wire::upload_frame_len(stashed.update.params.len()),
+                    self.config
+                        .fedavg
+                        .codec
+                        .upload_frame_len(stashed.update.params.len()),
                 ),
             );
             let age = round.saturating_sub(stashed.origin).max(1);
@@ -1394,5 +1429,45 @@ mod tests {
             .filter(|s| s.name == "shard")
             .count();
         assert_eq!(shard_spans, 4, "one span per shard");
+    }
+
+    #[test]
+    fn codec_fleet_rounds_account_compressed_bytes_and_commit_identically() {
+        let dense = {
+            let mut fleet = Fleet::new(StubFactory { dim: 4 }, fleet_config(10, 4, 1)).unwrap();
+            fleet.run_round();
+            fleet.global_params().to_vec()
+        };
+        let codec = wire::Codec::Q8;
+        let recorder = MemoryRecorder::new();
+        let mut cfg = fleet_config(10, 4, 1);
+        cfg.fedavg.codec = codec;
+        let mut fleet = Fleet::with_options(
+            StubFactory { dim: 4 },
+            cfg,
+            None,
+            Box::new(recorder.clone()),
+        )
+        .expect("constructs");
+        fleet.run_round();
+        // The codec is byte accounting only in the fleet path: the merged
+        // round is bit-identical to dense, while shard_bytes shrink to the
+        // compressed framed length.
+        assert_eq!(fleet.global_params(), dense.as_slice());
+        let bytes: u64 = recorder
+            .counters()
+            .iter()
+            .filter(|c| c.name == "shard_bytes")
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(bytes, 10 * codec.upload_frame_len(4) as u64);
+    }
+
+    #[test]
+    fn invalid_topk_fraction_is_rejected_at_fleet_construction() {
+        let mut cfg = fleet_config(4, 2, 1);
+        cfg.fedavg.codec = wire::Codec::TopK { frac: 0.0 };
+        let err = Fleet::new(StubFactory { dim: 4 }, cfg).expect_err("rejected");
+        assert!(matches!(err, FedError::InvalidConfig(_)), "{err:?}");
     }
 }

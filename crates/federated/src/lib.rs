@@ -89,7 +89,7 @@ pub use server::{
 };
 pub use td_client::TdClient;
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportKind};
-pub use wire::{Envelope, WireError};
+pub use wire::{Codec, CodecError, CodedUpdate, Envelope, ReferenceWindow, WireError};
 
 // Compatibility shims: the reporting types moved into [`report`] when the
 // telemetry subsystem landed. External code keeps compiling through these

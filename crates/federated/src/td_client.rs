@@ -79,6 +79,10 @@ impl FederatedClient for TdClient {
     fn transfer_bytes(&self) -> usize {
         self.agent.transfer_bytes()
     }
+
+    fn transfer_bytes_with(&self, codec: crate::wire::Codec) -> usize {
+        self.agent.transfer_bytes_with(codec)
+    }
 }
 
 #[cfg(test)]

@@ -189,4 +189,54 @@ proptest! {
             global[0]
         );
     }
+
+    /// A round whose clients upload under a mix of codecs (dense, q8,
+    /// q16, keep-all top-k) commits within quantization tolerance of the
+    /// all-dense round: decode reconstructs full dense updates before
+    /// admission, so the accumulator itself is codec-agnostic.
+    #[test]
+    fn mixed_codec_rounds_match_dense_within_quantization_tolerance(
+        params in (3_usize..7, 1_usize..20).prop_flat_map(|(n, len)| models(n, len)),
+    ) {
+        use fedpower_federated::wire;
+
+        let len = params[0].len();
+        let reference = vec![0.0_f32; len];
+        let mut refs = wire::ReferenceWindow::default();
+        refs.push(0, reference.clone());
+        let codecs = [
+            wire::Codec::Dense32,
+            wire::Codec::Q8,
+            wire::Codec::Q16,
+            wire::Codec::TopK { frac: 1.0 },
+        ];
+
+        let mut dense = RoundAccumulator::for_model(AggregationStrategy::Uniform, len);
+        let mut mixed = RoundAccumulator::for_model(AggregationStrategy::Uniform, len);
+        for (i, p) in params.iter().enumerate() {
+            let u = update(i, p.clone(), (i as u64 + 1) * 5);
+            dense.admit(u.clone(), 1.0).expect("dense admits");
+            let codec = codecs[i % codecs.len()];
+            let frame = wire::encode_upload_with(codec, 1, &u, Some((0, &reference)));
+            let (_, decoded) = wire::decode_upload_with(&frame, wire::CODEC_VERSION, &refs)
+                .expect("codec frame decodes");
+            mixed.admit(decoded, 1.0).expect("mixed admits");
+        }
+        let mut dense_server =
+            AggregationServer::new(vec![0.0; len], AggregationStrategy::Uniform);
+        let mut mixed_server =
+            AggregationServer::new(vec![0.0; len], AggregationStrategy::Uniform);
+        let dense_global = dense_server.commit_round(dense).expect("commits").to_vec();
+        let mixed_global = mixed_server.commit_round(mixed).expect("commits").to_vec();
+        // Worst per-element codec error is q8's half step: with inputs in
+        // ±10, scale ≤ 20/255 so half a step is under 0.04; averaging
+        // never amplifies it.
+        for (i, (d, m)) in dense_global.iter().zip(&mixed_global).enumerate() {
+            prop_assert!(
+                (d - m).abs() <= 0.05,
+                "coordinate {} differs beyond quantization: dense {} vs mixed {}",
+                i, d, m
+            );
+        }
+    }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests for the federation wire protocol: envelopes
 //! roundtrip losslessly and any single-bit corruption is rejected.
 
-use fedpower::wire::{broadcast_frame_len, upload_frame_len, Envelope};
+use fedpower::wire::{
+    broadcast_frame_len, upload_frame_len, Codec, CodedUpdate, Envelope, WireError, VERSION,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -56,5 +58,126 @@ proptest! {
         let bytes = Envelope::model_upload(1, 0, 5, params).encode();
         let keep = cut % bytes.len();
         prop_assert!(Envelope::decode(&bytes[..keep]).is_err());
+    }
+
+    /// Linear quantization reconstructs every element within half a
+    /// quantization step, for both the 8- and 16-bit codecs, across
+    /// random finite tensors.
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_half_a_step(
+        params in prop::collection::vec(-1.0e4_f32..1.0e4, 1..256),
+    ) {
+        for (coded, levels) in [
+            (CodedUpdate::quantize_q8(&params), 255.0_f64),
+            (CodedUpdate::quantize_q16(&params), 65_535.0_f64),
+        ] {
+            let lo = params.iter().cloned().fold(f32::INFINITY, f32::min) as f64;
+            let hi = params.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+            let scale = (hi - lo) / levels;
+            // Half a step, plus f32 rounding slack proportional to the
+            // tensor's magnitude (the reconstruction `zero + code·scale`
+            // rounds at the magnitude of `zero`, not of `scale`).
+            let slack = 16.0 * f32::EPSILON as f64 * lo.abs().max(hi.abs()).max(1.0);
+            let bound = scale * 0.5 + slack;
+            let mut back = Vec::new();
+            coded.reconstruct_into(None, &mut back).expect("no reference needed");
+            prop_assert_eq!(back.len(), params.len());
+            for (p, b) in params.iter().zip(&back) {
+                prop_assert!(
+                    ((*p as f64) - (*b as f64)).abs() <= bound,
+                    "{} vs {} exceeds half-step {}", p, b, bound
+                );
+            }
+        }
+    }
+
+    /// Non-finite tensors poison the quantized frame: reconstruction is
+    /// non-finite everywhere, so server admission (which requires finite
+    /// parameters) rejects the update rather than averaging garbage.
+    #[test]
+    fn non_finite_tensors_poison_quantization(
+        mut params in prop::collection::vec(-10.0_f32..10.0, 1..64),
+        poison_at in 0_usize..64,
+        poison_kind in 0_usize..3,
+    ) {
+        let at = poison_at % params.len();
+        params[at] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][poison_kind];
+        for coded in [CodedUpdate::quantize_q8(&params), CodedUpdate::quantize_q16(&params)] {
+            let mut back = Vec::new();
+            coded.reconstruct_into(None, &mut back).expect("decodes");
+            prop_assert!(back.iter().all(|v| !v.is_finite()));
+        }
+    }
+
+    /// Top-k encode → decode is exact on the kept indices and returns the
+    /// reference verbatim elsewhere.
+    #[test]
+    fn topk_is_exact_on_kept_indices(
+        pairs in prop::collection::vec((-10.0_f32..10.0, -10.0_f32..10.0), 1..128),
+        frac in 0.01_f32..1.0,
+    ) {
+        let reference: Vec<f32> = pairs.iter().map(|(r, _)| *r).collect();
+        let params: Vec<f32> = pairs.iter().map(|(_, p)| *p).collect();
+        let coded = CodedUpdate::top_k(&params, &reference, 7, frac);
+        let kept: Vec<u32> = match &coded {
+            CodedUpdate::TopK { indices, .. } => indices.clone(),
+            other => panic!("expected TopK, got {other:?}"),
+        };
+        prop_assert_eq!(kept.len(), Codec::keep_count(frac, params.len()));
+        let mut back = Vec::new();
+        coded.reconstruct_into(Some(&reference), &mut back).expect("reference present");
+        for (i, (p, b)) in params.iter().zip(&back).enumerate() {
+            if kept.contains(&(i as u32)) {
+                // Kept coordinates reconstruct exactly: ref + (p - ref).
+                prop_assert!((p - b).abs() <= f32::EPSILON * 64.0 * p.abs().max(1.0));
+            } else {
+                prop_assert_eq!(*b, reference[i], "dropped index {} must hold the reference", i);
+            }
+        }
+    }
+
+    /// A codec frame forged to claim wire version 1 (with a re-sealed
+    /// CRC) decodes to `UnsupportedVersion` — never a panic, never a
+    /// model: version 1 predates codec payloads.
+    #[test]
+    fn forged_v1_codec_frames_are_unsupported_version(
+        params in prop::collection::vec(-10.0_f32..10.0, 1..64),
+        samples in 0_u64..1_000,
+    ) {
+        let coded = CodedUpdate::quantize_q8(&params);
+        let mut bytes = Envelope::codec_upload(3, 9, samples, coded).encode();
+        // Stamp the version field back to 1 and re-seal the CRC trailer
+        // so only the version check can reject it.
+        bytes[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        let crc = fedpower::wire::crc32(&bytes[..bytes.len() - 4]);
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&crc.to_le_bytes());
+        prop_assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(WireError::UnsupportedVersion(1))
+        ));
+    }
+
+    /// Codec envelopes round-trip losslessly and their frames are exactly
+    /// as long as `Codec::upload_frame_len` promises.
+    #[test]
+    fn codec_envelopes_roundtrip_at_the_promised_length(
+        round in 0_u64..1_000_000,
+        client in 0_u64..10_000,
+        samples in 0_u64..1_000_000,
+        params in prop::collection::vec(-100.0_f32..100.0, 1..128),
+        frac in 0.01_f32..1.0,
+    ) {
+        let reference = vec![0.0_f32; params.len()];
+        for (codec, coded) in [
+            (Codec::Q8, CodedUpdate::quantize_q8(&params)),
+            (Codec::Q16, CodedUpdate::quantize_q16(&params)),
+            (Codec::TopK { frac }, CodedUpdate::top_k(&params, &reference, 0, frac)),
+        ] {
+            let env = Envelope::codec_upload(round, client, samples, coded);
+            let bytes = env.encode();
+            prop_assert_eq!(bytes.len(), codec.upload_frame_len(params.len()));
+            prop_assert_eq!(Envelope::decode(&bytes).expect("valid frame"), env);
+        }
     }
 }
