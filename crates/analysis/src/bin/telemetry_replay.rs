@@ -1,0 +1,72 @@
+//! Reconstructs federation-server round state from a telemetry JSONL
+//! log and asserts it matches a checkpoint file — the crash-recovery
+//! ops check for the standalone `fedpower-server`.
+//!
+//! ```text
+//! telemetry_replay <events.jsonl> <checkpoint.fpck>
+//! ```
+//!
+//! Replays the event stream (`round_end`, `aggregated`, churn events)
+//! into a [`fedpower_analysis::replay::ReplayState`] and verifies the
+//! log/checkpoint invariants: round counters within the one-round
+//! flush-then-save bound, and the checkpoint's reference window a
+//! suffix of the log's commit history. Exits nonzero, naming the
+//! violated invariant, when the two diverge — a diverged pair means the
+//! checkpoint does not describe the run the log recorded.
+
+use fedpower_analysis::replay::replay;
+use fedpower_analysis::telemetry::parse_jsonl;
+use fedpower_wire::checkpoint::Checkpoint;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (Some(log_path), Some(ck_path)) = (std::env::args().nth(1), std::env::args().nth(2)) else {
+        eprintln!("usage: telemetry_replay <events.jsonl> <checkpoint.fpck>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&log_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {log_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error: {log_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ck = match Checkpoint::load(Path::new(&ck_path)) {
+        Ok(ck) => ck,
+        Err(e) => {
+            eprintln!("error: cannot load checkpoint {ck_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let state = replay(&records);
+    let reference_rounds: Vec<u64> = ck.reference.iter().map(|(round, _)| *round).collect();
+    if let Err(e) = state.check_against(ck.rounds_run, ck.rounds_committed, &reference_rounds) {
+        eprintln!("error: {log_path} vs {ck_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let interrupted = match state.interrupted_round {
+        Some(r) => format!(", round {r} interrupted mid-flight"),
+        None => String::new(),
+    };
+    println!(
+        "{log_path}: {} round(s) run, {} committed, {} join(s), {} leave(s), \
+         {} offline client-round(s){interrupted} — matches {ck_path} \
+         (checkpoint at round {}, window of {})",
+        state.rounds_run,
+        state.rounds_committed,
+        state.joins,
+        state.leaves,
+        state.offline,
+        ck.rounds_run,
+        reference_rounds.len(),
+    );
+    ExitCode::SUCCESS
+}

@@ -32,6 +32,7 @@
 
 mod pareto;
 mod regression;
+pub mod replay;
 mod significance;
 mod smooth;
 mod stats;

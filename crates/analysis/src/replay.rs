@@ -1,0 +1,218 @@
+//! Reconstruction of federation-server round state from a telemetry
+//! JSONL stream — the ops-side inverse of the server's checkpoint.
+//!
+//! The standalone server emits one `round_end` event per completed
+//! round, one `aggregated` event per committed round, and flushes the
+//! JSONL sink *before* writing the checkpoint covering that round. A
+//! crash-recovery check therefore holds these invariants between a log
+//! and the checkpoint found next to it:
+//!
+//! 1. `ck.rounds_run ≤ log.rounds_run ≤ ck.rounds_run + 1` — the log is
+//!    never behind the checkpoint, and at most one round ahead (a crash
+//!    in the sliver between the round's final flush and the checkpoint
+//!    write).
+//! 2. Committed-round counts drift by the same bound.
+//! 3. The checkpoint's reference-window rounds are a suffix of the
+//!    log's commit history (round 0, the initial model the window is
+//!    seeded with, followed by the committed rounds) — the window holds
+//!    the most recent commits.
+//!
+//! [`replay`] folds a parsed record stream into a [`ReplayState`];
+//! [`ReplayState::check_against`] asserts the invariants. The
+//! `telemetry_replay` binary wires both to files.
+
+use crate::telemetry::TelemetryRecord;
+use std::fmt;
+
+/// Server round state reconstructed from an event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayState {
+    /// Completed rounds (`round_end` events).
+    pub rounds_run: u64,
+    /// Rounds that met quorum and committed (`aggregated` events).
+    pub rounds_committed: u64,
+    /// The committed rounds in order — the reference-window history.
+    pub committed_rounds: Vec<u64>,
+    /// Join handshakes completed (`client_joined`).
+    pub joins: usize,
+    /// Connections lost (`client_left`).
+    pub leaves: usize,
+    /// Client-rounds spent offline (`client_offline`).
+    pub offline: usize,
+    /// A round that started but never ended — the round a crash
+    /// interrupted, when the log ends mid-round.
+    pub interrupted_round: Option<u64>,
+}
+
+/// An invariant violation between a log and a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayMismatch(pub String);
+
+impl fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ReplayMismatch {}
+
+/// Folds a telemetry record stream into the server round state it
+/// implies. Counters and spans are ignored; only lifecycle events carry
+/// round-state information.
+pub fn replay(records: &[TelemetryRecord]) -> ReplayState {
+    let mut state = ReplayState::default();
+    let mut open: Option<u64> = None;
+    for r in records {
+        let TelemetryRecord::Event { kind, round, .. } = r else {
+            continue;
+        };
+        match kind.as_str() {
+            "round_start" => open = Some(*round),
+            "round_end" => {
+                state.rounds_run += 1;
+                open = None;
+            }
+            "aggregated" => {
+                state.rounds_committed += 1;
+                state.committed_rounds.push(*round);
+            }
+            "client_joined" => state.joins += 1,
+            "client_left" => state.leaves += 1,
+            "client_offline" => state.offline += 1,
+            _ => {}
+        }
+    }
+    state.interrupted_round = open;
+    state
+}
+
+impl ReplayState {
+    /// Asserts the log/checkpoint invariants (see the module docs)
+    /// against a checkpoint's round counters and reference-window round
+    /// numbers.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayMismatch`] describing the first violated invariant.
+    pub fn check_against(
+        &self,
+        ck_rounds_run: u64,
+        ck_rounds_committed: u64,
+        ck_reference_rounds: &[u64],
+    ) -> Result<(), ReplayMismatch> {
+        if !(ck_rounds_run..=ck_rounds_run + 1).contains(&self.rounds_run) {
+            return Err(ReplayMismatch(format!(
+                "log shows {} completed round(s) but the checkpoint recorded {} \
+                 (the log may lead by at most one round)",
+                self.rounds_run, ck_rounds_run
+            )));
+        }
+        if !(ck_rounds_committed..=ck_rounds_committed + 1).contains(&self.rounds_committed) {
+            return Err(ReplayMismatch(format!(
+                "log shows {} committed round(s) but the checkpoint recorded {}",
+                self.rounds_committed, ck_rounds_committed
+            )));
+        }
+        // The checkpoint's window must be a suffix of the log's commit
+        // history, ignoring a possible one-round lead of the log. The
+        // window is seeded with round 0 (the initial global model), so
+        // the history starts there.
+        let mut history = vec![0u64];
+        history.extend_from_slice(&self.committed_rounds);
+        if self.rounds_committed == ck_rounds_committed + 1 {
+            history.pop();
+        }
+        if !history.ends_with(ck_reference_rounds) {
+            return Err(ReplayMismatch(format!(
+                "checkpoint reference window {:?} is not a suffix of the log's \
+                 committed rounds {:?}",
+                ck_reference_rounds, history
+            )));
+        }
+        if ck_rounds_committed > 0 && ck_reference_rounds.is_empty() {
+            return Err(ReplayMismatch(
+                "checkpoint committed rounds but holds an empty reference window".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: &str, round: u64) -> TelemetryRecord {
+        TelemetryRecord::Event {
+            kind: kind.into(),
+            round,
+            client: None,
+            bytes: 0,
+        }
+    }
+
+    fn clean_run(rounds: u64) -> Vec<TelemetryRecord> {
+        let mut log = vec![event("client_joined", 0), event("client_joined", 0)];
+        for r in 1..=rounds {
+            log.push(event("round_start", r));
+            log.push(event("aggregated", r));
+            log.push(event("round_end", r));
+        }
+        log
+    }
+
+    #[test]
+    fn replays_a_clean_run() {
+        let state = replay(&clean_run(3));
+        assert_eq!(state.rounds_run, 3);
+        assert_eq!(state.rounds_committed, 3);
+        assert_eq!(state.committed_rounds, vec![1, 2, 3]);
+        assert_eq!(state.joins, 2);
+        assert_eq!(state.interrupted_round, None);
+        state.check_against(3, 3, &[1, 2, 3]).unwrap();
+        state.check_against(3, 3, &[2, 3]).unwrap();
+    }
+
+    #[test]
+    fn spots_the_interrupted_round() {
+        let mut log = clean_run(2);
+        log.push(event("round_start", 3));
+        log.push(event("client_offline", 3));
+        let state = replay(&log);
+        assert_eq!(state.rounds_run, 2);
+        assert_eq!(state.interrupted_round, Some(3));
+        assert_eq!(state.offline, 1);
+        state.check_against(2, 2, &[1, 2]).unwrap();
+    }
+
+    #[test]
+    fn tolerates_the_log_leading_by_one_round() {
+        // Crash between the round-3 flush and the round-3 checkpoint:
+        // the checkpoint still describes round 2.
+        let state = replay(&clean_run(3));
+        state.check_against(2, 2, &[1, 2]).unwrap();
+    }
+
+    #[test]
+    fn rejects_diverged_logs() {
+        let state = replay(&clean_run(4));
+        // Checkpoint ahead of the log: impossible under flush-then-save.
+        assert!(state.check_against(5, 5, &[4, 5]).is_err());
+        // Log more than one round ahead: telemetry went missing.
+        assert!(state.check_against(2, 2, &[1, 2]).is_err());
+        // Reference window from some other run.
+        assert!(state.check_against(4, 4, &[2, 4]).is_err());
+    }
+
+    #[test]
+    fn quorum_skipped_rounds_run_without_committing() {
+        let mut log = clean_run(1);
+        log.push(event("round_start", 2));
+        log.push(event("quorum_skipped", 2));
+        log.push(event("round_end", 2));
+        let state = replay(&log);
+        assert_eq!(state.rounds_run, 2);
+        assert_eq!(state.rounds_committed, 1);
+        state.check_against(2, 1, &[1]).unwrap();
+    }
+}

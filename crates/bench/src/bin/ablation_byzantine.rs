@@ -63,7 +63,11 @@ fn run(
     let mut cfg = FedAvgConfig::paper();
     cfg.strategy = strategy;
     cfg.rounds = rounds;
-    let mut fed = Federation::with_transport_and_plan(agents, cfg, 7, transport, &plan)
+    let mut fed = Federation::builder(agents, cfg)
+        .seed(7)
+        .transport(transport)
+        .fault_plan(&plan)
+        .build()
         .expect("transport links");
     fed.run();
 

@@ -33,7 +33,10 @@ fn measured_transfer_bytes(cfg: &fedpower_core::ExperimentConfig, codec: Codec) 
     fed_cfg.rounds = 1;
     fed_cfg.steps_per_round = 20;
     fed_cfg.codec = codec;
-    let mut fed = Federation::with_transport(clients, fed_cfg, cfg.seed, cfg.transport)
+    let mut fed = Federation::builder(clients, fed_cfg)
+        .seed(cfg.seed)
+        .transport(cfg.transport)
+        .build()
         .expect("transport links");
     fed.run_round();
     let stats = fed.transport();

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod server;
 
 use fedpower_core::{ConfigError, ExperimentConfig, FleetSpec};
 use fedpower_federated::{Codec, FaultScenario, ServerOpt, ServerOptKind, TransportKind};

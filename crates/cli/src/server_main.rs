@@ -1,0 +1,19 @@
+//! The `fedpower-server` command-line tool: the standalone federation
+//! server and its TCP client driver.
+
+use fedpower_cli::server::{run, ServerInvocation, SERVER_USAGE};
+
+fn main() {
+    let inv = match ServerInvocation::parse(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{SERVER_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&inv) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -187,14 +187,14 @@ fn build_federation(
             derive_seed(cfg.seed, streams::FAULTS),
         )
     });
-    Federation::with_options(
-        clients,
-        cfg.fedavg,
-        seed,
-        cfg.transport,
-        plan.as_ref(),
-        recorder,
-    )
+    let builder = Federation::builder(clients, cfg.fedavg)
+        .seed(seed)
+        .transport(cfg.transport)
+        .recorder(recorder);
+    match plan.as_ref() {
+        Some(p) => builder.fault_plan(p).build(),
+        None => builder.build(),
+    }
     .expect("transport links")
 }
 
@@ -448,13 +448,11 @@ pub fn run_federated_training_only(scenario: &Scenario, cfg: &ExperimentConfig) 
             )
         })
         .collect();
-    let mut federation = Federation::with_transport(
-        clients,
-        cfg.fedavg,
-        derive_seed(cfg.seed, 30),
-        cfg.transport,
-    )
-    .expect("transport links");
+    let mut federation = Federation::builder(clients, cfg.fedavg)
+        .seed(derive_seed(cfg.seed, 30))
+        .transport(cfg.transport)
+        .build()
+        .expect("transport links");
     federation.run();
     federation.clients()[0].agent().clone()
 }
@@ -494,13 +492,11 @@ pub fn run_personalized(
             )
         })
         .collect();
-    let mut federation = Federation::with_transport(
-        clients,
-        cfg.fedavg,
-        derive_seed(cfg.seed, 30),
-        cfg.transport,
-    )
-    .expect("transport links");
+    let mut federation = Federation::builder(clients, cfg.fedavg)
+        .seed(derive_seed(cfg.seed, 30))
+        .transport(cfg.transport)
+        .build()
+        .expect("transport links");
     federation.run();
     let global = federation.clients()[0].agent().clone();
 

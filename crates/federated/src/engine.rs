@@ -1,0 +1,1000 @@
+//! The sans-I/O round engine: every *protocol decision* of a federated
+//! round — admission, staleness weighting, quorum, commit, reference
+//! tracking — as a frame-in/action-out state machine with no I/O, no
+//! clock, and no client objects.
+//!
+//! [`RoundEngine::handle`] consumes one [`Frame`] (something that
+//! happened: an upload arrived, a broadcast was delivered, the round
+//! closed) and returns the [`Action`]s the driver must perform (emit a
+//! telemetry event, record a counter, store the round's divergence).
+//! Drivers own everything physical: training, transport links, retries,
+//! RNG, wall-clock spans, thread pools. Three drivers share the engine:
+//!
+//! * [`crate::Federation`] — the in-process flat loop (frames derived
+//!   from owned clients and per-client links);
+//! * [`crate::Fleet`] — the sharded loop (edge partials merged in via
+//!   [`Frame::MergePartial`]);
+//! * the standalone `fedpower-server` binary — a nonblocking TCP
+//!   readiness loop feeding real socket frames, with [`RoundEngine::tick`]
+//!   closing out clients that miss the round deadline.
+//!
+//! The engine is *proven bit-identical* to the pre-engine drivers:
+//! `tests/engine_identity.rs` pins the CRC32 of the canonical telemetry
+//! stream + report fields + committed global bits under seeded chaos
+//! faults against goldens captured before the refactor.
+//!
+//! Clients are addressed by *slot* (dense index `0..n`); the engine maps
+//! slots to the telemetry ids supplied at construction, so drivers whose
+//! client ids are not dense still emit the right stream.
+
+use crate::client::ModelUpdate;
+use crate::error::FedError;
+use crate::federation::FedAvgConfig;
+use crate::server::{
+    AggregationServer, AggregationStrategy, RoundAccumulator, ServerOpt, ServerOptKind,
+};
+use crate::wire;
+use fedpower_telemetry::{Counter, Event, EventKind};
+use std::collections::BTreeSet;
+
+/// The protocol-level configuration a [`RoundEngine`] enforces — the
+/// subset of [`FedAvgConfig`] that belongs to the server side of the
+/// wire, plus the netserver's deadline knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnginePolicy {
+    /// How admitted updates combine.
+    pub strategy: AggregationStrategy,
+    /// FedAvgM server momentum β.
+    pub server_momentum: f32,
+    /// The commit stage.
+    pub optimizer: ServerOpt,
+    /// Fewest admitted updates required to commit a round.
+    pub min_quorum: usize,
+    /// Per-round decay applied to straggler updates.
+    pub staleness_decay: f32,
+    /// Highest wire version admitted.
+    pub max_wire_version: u16,
+    /// Upload codec (drives stale-update byte accounting and the
+    /// reference-window bookkeeping).
+    pub codec: wire::Codec,
+    /// Deadline budget in [`RoundEngine::tick`] calls: `Some(n)` arms a
+    /// per-round deadline of `n` ticks after which clients that have not
+    /// resolved their upload are marked offline for the round. `None`
+    /// (the in-process drivers) disables deadline tracking entirely.
+    pub deadline_ticks: Option<u32>,
+}
+
+impl EnginePolicy {
+    /// The engine policy a [`FedAvgConfig`] implies (no deadline — the
+    /// in-process drivers resolve every client synchronously).
+    pub fn from_config(cfg: &FedAvgConfig) -> Self {
+        EnginePolicy {
+            strategy: cfg.strategy,
+            server_momentum: cfg.server_momentum,
+            optimizer: cfg.optimizer,
+            min_quorum: cfg.min_quorum,
+            staleness_decay: cfg.staleness_decay,
+            max_wire_version: cfg.max_wire_version,
+            codec: cfg.codec,
+            deadline_ticks: None,
+        }
+    }
+}
+
+/// One observed occurrence, fed into [`RoundEngine::handle`]. Frames
+/// carry *facts* (bytes arrived, a broadcast landed); the engine decides
+/// what they mean (admitted, rejected, stale-discounted).
+///
+/// `client` fields are slots (dense indices), not telemetry ids.
+#[derive(Debug)]
+pub enum Frame {
+    /// A client completed the join handshake and holds the current
+    /// global model; `frame_len` is the join-ack frame's encoded length.
+    Join {
+        /// Slot of the joining client.
+        client: usize,
+        /// Encoded join-ack frame length, for byte accounting.
+        frame_len: usize,
+    },
+    /// A new round opens (the driver has selected participants).
+    BeginRound,
+    /// A participant was unreachable (client or link offline, or it went
+    /// offline mid-round).
+    Offline {
+        /// Slot of the offline client.
+        client: usize,
+    },
+    /// A participant finished local training.
+    Trained {
+        /// Slot of the trained client.
+        client: usize,
+    },
+    /// A participant's local training panicked; it is excluded from the
+    /// round's upload phase.
+    TrainPanicked {
+        /// Slot of the panicked client.
+        client: usize,
+    },
+    /// One upload retry was spent (client-side refusal or in-flight
+    /// drop — the budget is the driver's).
+    UploadRetry {
+        /// Slot of the retrying client.
+        client: usize,
+    },
+    /// An upload frame arrived. `sent_len` is the length the client put
+    /// on the wire (what byte accounting records); `bytes` is what the
+    /// server received (what admission decodes — faults may have
+    /// corrupted it in flight).
+    Upload {
+        /// Slot of the uploading client.
+        client: usize,
+        /// Encoded frame length as sent.
+        sent_len: usize,
+        /// Frame bytes as received.
+        bytes: Vec<u8>,
+    },
+    /// An upload was abandoned after exhausting its retry budget.
+    UploadDropped {
+        /// Slot of the dropped client.
+        client: usize,
+    },
+    /// A client started straggling; its update will surface in a later
+    /// round.
+    StragglerStarted {
+        /// Slot of the straggling client.
+        client: usize,
+    },
+    /// A straggler's decoded update surfaced (client-layer stashes and
+    /// the fleet's root stash hand over decoded updates).
+    StaleUpdate {
+        /// Slot of the straggler.
+        client: usize,
+        /// Round the update was trained in.
+        origin_round: u64,
+        /// The late update.
+        update: ModelUpdate,
+    },
+    /// A straggler's buffered *frame* surfaced (transport-layer stashes
+    /// hand over raw bytes; the origin round is decoded from the frame).
+    StaleBytes {
+        /// Slot of the straggler.
+        client: usize,
+        /// The buffered upload frame.
+        bytes: Vec<u8>,
+    },
+    /// A shard-local partial accumulator merges into the round (the
+    /// fleet topology's edge aggregators).
+    MergePartial {
+        /// The shard's reduced partial.
+        partial: RoundAccumulator,
+    },
+    /// The upload phase is over: compute divergence, check quorum,
+    /// commit (or skip), and advance the reference window.
+    CloseRound,
+    /// A broadcast frame was delivered and installed; the client now
+    /// holds this round's global (its next top-k reference).
+    Delivered {
+        /// Slot of the receiving client.
+        client: usize,
+        /// Encoded broadcast frame length, for byte accounting.
+        frame_len: usize,
+    },
+    /// A broadcast arrived intact but did not fit the client's
+    /// architecture — an admission failure, not a network one.
+    DownloadRejected {
+        /// Slot of the rejecting client.
+        client: usize,
+    },
+    /// A broadcast was lost in flight; the client keeps its stale model.
+    DownloadDropped {
+        /// Slot of the client that missed the broadcast.
+        client: usize,
+    },
+    /// The round is fully over; bookkeeping advances.
+    EndRound,
+}
+
+/// What a driver must do in response to a [`Frame`] — the engine's only
+/// output channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Emit this event through the driver's telemetry choke point
+    /// (report + transport stats + recorder).
+    Emit(Event),
+    /// Record this counter (recorder only — counters bypass reports).
+    Count(Counter),
+    /// Store this round's client-divergence metric in the round report.
+    Divergence(f32),
+}
+
+/// The sans-I/O federated round state machine. See the module docs.
+#[derive(Debug)]
+pub struct RoundEngine {
+    policy: EnginePolicy,
+    server: AggregationServer,
+    /// Recently broadcast globals, keyed by round — the references
+    /// top-k sparse uploads are reconstructed against at admission.
+    reference: wire::ReferenceWindow,
+    /// Slot → telemetry id.
+    client_ids: Vec<usize>,
+    /// Per slot: the round of the last global the client actually
+    /// installed (its top-k encoding reference); `None` until it joins.
+    client_refs: Vec<Option<u64>>,
+    /// The open round's accumulator (`None` between rounds).
+    acc: Option<RoundAccumulator>,
+    rounds_run: u64,
+    /// Joined clients that have not yet resolved their upload this round
+    /// (deadline tracking; maintained only when the policy arms one).
+    pending: BTreeSet<usize>,
+    /// Remaining deadline ticks for the open round.
+    deadline: Option<u32>,
+}
+
+impl RoundEngine {
+    /// Creates an engine over `client_ids.len()` slots with initial
+    /// global model θ₁.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or the policy's optimizer
+    /// hyperparameters are invalid (the [`AggregationServer`] checks).
+    pub fn new(initial: Vec<f32>, policy: EnginePolicy, client_ids: Vec<usize>) -> Self {
+        let server = AggregationServer::with_optimizer(
+            initial,
+            policy.strategy,
+            policy.server_momentum,
+            policy.optimizer,
+        );
+        let n = client_ids.len();
+        let mut engine = RoundEngine {
+            policy,
+            server,
+            reference: wire::ReferenceWindow::default(),
+            client_ids,
+            client_refs: vec![None; n],
+            acc: None,
+            rounds_run: 0,
+            pending: BTreeSet::new(),
+            deadline: None,
+        };
+        // The join handshake is round 0: its θ₁ is the first top-k
+        // reference.
+        engine.reference.push(0, engine.server.global().to_vec());
+        engine
+    }
+
+    /// The engine's policy.
+    pub fn policy(&self) -> &EnginePolicy {
+        &self.policy
+    }
+
+    /// The current global model parameters θ.
+    pub fn global(&self) -> &[f32] {
+        self.server.global()
+    }
+
+    /// Which commit stage the server runs.
+    pub fn optimizer_kind(&self) -> ServerOptKind {
+        self.server.optimizer_kind()
+    }
+
+    /// Rounds completed so far (incremented at [`Frame::EndRound`]).
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// Rounds that actually committed (aggregated) so far.
+    pub fn rounds_committed(&self) -> u64 {
+        self.server.rounds_completed()
+    }
+
+    /// The round currently open, or `None` between rounds.
+    pub fn open_round(&self) -> Option<u64> {
+        self.acc.as_ref().map(|_| self.rounds_run + 1)
+    }
+
+    /// Updates admitted into the open round so far.
+    pub fn admitted(&self) -> usize {
+        self.acc.as_ref().map_or(0, RoundAccumulator::admitted)
+    }
+
+    /// Whether `slot` has completed the join handshake (and not left).
+    pub fn joined(&self, slot: usize) -> bool {
+        self.client_refs.get(slot).is_some_and(Option::is_some)
+    }
+
+    /// Total client slots this engine was configured with (joined or not).
+    pub fn client_count(&self) -> usize {
+        self.client_refs.len()
+    }
+
+    /// Joined clients whose upload is still unresolved this round
+    /// (meaningful only under an armed deadline policy).
+    pub fn pending_uploads(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether `slot`'s upload is still unresolved this round (meaningful
+    /// only under an armed deadline policy).
+    pub fn upload_pending(&self, slot: usize) -> bool {
+        self.pending.contains(&slot)
+    }
+
+    /// The `(round, params)` reference `slot`'s next sparse upload
+    /// should encode against, if the window still holds it.
+    pub fn upload_reference(&self, slot: usize) -> Option<(u64, &[f32])> {
+        self.client_refs
+            .get(slot)
+            .copied()
+            .flatten()
+            .and_then(|r| self.reference.get(r).map(|params| (r, params)))
+    }
+
+    /// Marks `slot` as departed (connection closed): it must re-join
+    /// before the engine will track it again. Round accounting for an
+    /// in-round departure is the driver's call ([`Frame::Offline`]).
+    pub fn leave(&mut self, slot: usize) {
+        if let Some(r) = self.client_refs.get_mut(slot) {
+            *r = None;
+        }
+        self.pending.remove(&slot);
+    }
+
+    /// Snapshots everything a restarted server needs to continue
+    /// bit-identically: round counters, θ, the top-k reference window,
+    /// per-slot references, and the commit stage's cross-round state
+    /// (serialized into the checkpoint's opaque optimizer blob).
+    ///
+    /// Call between rounds only — an open round's accumulator is
+    /// deliberately not captured; the round-boundary protocol replays an
+    /// interrupted round from its start instead.
+    pub fn checkpoint(&self) -> wire::checkpoint::Checkpoint {
+        debug_assert!(
+            self.acc.is_none(),
+            "checkpoints are taken at round boundaries"
+        );
+        wire::checkpoint::Checkpoint {
+            rounds_run: self.rounds_run,
+            rounds_committed: self.server.rounds_completed(),
+            global: self.server.global().to_vec(),
+            reference: self
+                .reference
+                .rounds()
+                .map(|r| {
+                    let params = self
+                        .reference
+                        .get(r)
+                        .expect("rounds() yields held entries")
+                        .to_vec();
+                    (r, params)
+                })
+                .collect(),
+            client_refs: self.client_refs.clone(),
+            optimizer: self.server.snapshot_opt_state(),
+        }
+    }
+
+    /// Restores an engine to the state [`RoundEngine::checkpoint`]
+    /// captured. The engine must have been constructed from the *same
+    /// configuration* (policy, model shape, slot count) as the one that
+    /// wrote the checkpoint — only mutated state is restored. Any open
+    /// round is discarded; clients re-join after a restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] when the checkpoint's model
+    /// shape, slot count, or optimizer blob disagree with this engine's
+    /// configuration. The engine is unchanged on error.
+    pub fn restore(&mut self, ck: wire::checkpoint::Checkpoint) -> Result<(), FedError> {
+        if ck.global.len() != self.server.global().len() {
+            return Err(FedError::InvalidConfig(format!(
+                "checkpoint global has {} parameters, engine model has {}",
+                ck.global.len(),
+                self.server.global().len()
+            )));
+        }
+        if ck.client_refs.len() != self.client_refs.len() {
+            return Err(FedError::InvalidConfig(format!(
+                "checkpoint has {} client slots, engine has {}",
+                ck.client_refs.len(),
+                self.client_refs.len()
+            )));
+        }
+        self.server.restore_opt_state(&ck.optimizer)?;
+        self.server.restore_global(ck.global);
+        let mut reference = wire::ReferenceWindow::default();
+        for (round, params) in ck.reference {
+            reference.push(round, params);
+        }
+        self.rounds_run = ck.rounds_run;
+        self.reference = reference;
+        // Checkpoint slot references describe the pre-restart
+        // connections; every client re-joins after a restart, so the
+        // restored engine starts with no one admitted.
+        self.client_refs = vec![None; ck.client_refs.len()];
+        self.acc = None;
+        self.pending.clear();
+        self.deadline = None;
+        Ok(())
+    }
+
+    /// The telemetry id of `slot`.
+    fn id(&self, slot: usize) -> usize {
+        self.client_ids[slot]
+    }
+
+    /// Resolves `slot`'s upload for deadline purposes.
+    fn resolve(&mut self, slot: usize) {
+        self.pending.remove(&slot);
+    }
+
+    /// Consumes one frame and returns the driver's obligations, in the
+    /// exact order the pre-engine drivers performed them.
+    pub fn handle(&mut self, frame: Frame) -> Vec<Action> {
+        match frame {
+            Frame::Join { client, frame_len } => {
+                // A (re)joining client installs the last broadcast
+                // global, so its reference is the last completed round.
+                self.client_refs[client] = Some(self.rounds_run);
+                vec![Action::Emit(Event::with_bytes(
+                    EventKind::DownloadDelivered,
+                    self.rounds_run,
+                    self.id(client),
+                    frame_len,
+                ))]
+            }
+            Frame::BeginRound => {
+                let round = self.rounds_run + 1;
+                self.acc = Some(self.server.accumulator());
+                if let Some(ticks) = self.policy.deadline_ticks {
+                    self.deadline = Some(ticks);
+                    self.pending = (0..self.client_refs.len())
+                        .filter(|&s| self.client_refs[s].is_some())
+                        .collect();
+                }
+                vec![
+                    Action::Emit(Event::round_scoped(EventKind::RoundStart, round)),
+                    Action::Count(Counter::new(
+                        "optimizer",
+                        round,
+                        None,
+                        self.policy.optimizer.kind().code(),
+                    )),
+                ]
+            }
+            Frame::Offline { client } => {
+                self.resolve(client);
+                vec![Action::Emit(Event::client_scoped(
+                    EventKind::ClientOffline,
+                    self.rounds_run + 1,
+                    self.id(client),
+                ))]
+            }
+            Frame::Trained { client } => vec![Action::Emit(Event::client_scoped(
+                EventKind::ClientTrained,
+                self.rounds_run + 1,
+                self.id(client),
+            ))],
+            Frame::TrainPanicked { client } => {
+                self.resolve(client);
+                vec![Action::Emit(Event::client_scoped(
+                    EventKind::TrainPanic,
+                    self.rounds_run + 1,
+                    self.id(client),
+                ))]
+            }
+            Frame::UploadRetry { client } => vec![Action::Emit(Event::client_scoped(
+                EventKind::UploadRetry,
+                self.rounds_run + 1,
+                self.id(client),
+            ))],
+            Frame::Upload {
+                client,
+                sent_len,
+                bytes,
+            } => {
+                self.resolve(client);
+                let round = self.rounds_run + 1;
+                let id = self.id(client);
+                let mut actions = vec![Action::Emit(Event::with_bytes(
+                    EventKind::UploadReceived,
+                    round,
+                    id,
+                    sent_len,
+                ))];
+                // Codec frames are decoded back to dense before
+                // admission, so the accumulator (and every optimizer or
+                // robust combiner behind it) is codec-agnostic;
+                // version-negotiation and missing-reference failures
+                // land in the rejected branch.
+                let acc = self.acc.as_mut().expect("a round is open");
+                let admitted = match wire::decode_upload_with(
+                    &bytes,
+                    self.policy.max_wire_version,
+                    &self.reference,
+                ) {
+                    Ok((_, received)) => acc.admit(received, 1.0).is_ok(),
+                    Err(_) => false,
+                };
+                let kind = if admitted {
+                    EventKind::UploadAdmitted
+                } else {
+                    EventKind::UpdateRejected
+                };
+                actions.push(Action::Emit(Event::client_scoped(kind, round, id)));
+                actions
+            }
+            Frame::UploadDropped { client } => {
+                self.resolve(client);
+                vec![Action::Emit(Event::client_scoped(
+                    EventKind::UploadDropped,
+                    self.rounds_run + 1,
+                    self.id(client),
+                ))]
+            }
+            Frame::StragglerStarted { client } => {
+                self.resolve(client);
+                vec![Action::Emit(Event::client_scoped(
+                    EventKind::StragglerStarted,
+                    self.rounds_run + 1,
+                    self.id(client),
+                ))]
+            }
+            Frame::StaleUpdate {
+                client,
+                origin_round,
+                update,
+            } => {
+                let round = self.rounds_run + 1;
+                let age = round.saturating_sub(origin_round).max(1);
+                let frame_len = self.policy.codec.upload_frame_len(update.params.len());
+                self.admit_stale(client, update, age, frame_len)
+            }
+            Frame::StaleBytes { client, bytes } => {
+                let round = self.rounds_run + 1;
+                let id = self.id(client);
+                let mut actions = vec![Action::Emit(Event::with_bytes(
+                    EventKind::StaleReceived,
+                    round,
+                    id,
+                    bytes.len(),
+                ))];
+                let acc = self.acc.as_mut().expect("a round is open");
+                let applied = match wire::decode_upload_with(
+                    &bytes,
+                    self.policy.max_wire_version,
+                    &self.reference,
+                ) {
+                    Ok((origin_round, update)) => {
+                        let age = round.saturating_sub(origin_round).max(1);
+                        let weight = self.policy.staleness_decay.powi(age as i32);
+                        let ok = acc.admit(update, weight).is_ok();
+                        if ok {
+                            actions.push(Action::Count(Counter::new(
+                                "stale_age",
+                                round,
+                                Some(id),
+                                age,
+                            )));
+                        }
+                        ok
+                    }
+                    Err(_) => false,
+                };
+                let kind = if applied {
+                    EventKind::StaleApplied
+                } else {
+                    EventKind::UpdateRejected
+                };
+                actions.push(Action::Emit(Event::client_scoped(kind, round, id)));
+                actions
+            }
+            Frame::MergePartial { partial } => {
+                self.acc
+                    .as_mut()
+                    .expect("a round is open")
+                    .merge(partial)
+                    .expect("shard accumulators share the root's strategy and shape");
+                Vec::new()
+            }
+            Frame::CloseRound => {
+                let round = self.rounds_run + 1;
+                let acc = self.acc.take().expect("a round is open");
+                self.deadline = None;
+                self.pending.clear();
+                let divergence = acc.divergence();
+                let quorum_met = acc.admitted() >= self.policy.min_quorum.max(1);
+                let committed = quorum_met && self.server.commit_round(acc).is_ok();
+                // Whatever goes out this round — committed or unchanged
+                // θ — is the reference the next round's top-k deltas
+                // encode against.
+                self.reference.push(round, self.server.global().to_vec());
+                vec![
+                    Action::Divergence(divergence),
+                    Action::Emit(Event::round_scoped(
+                        if committed {
+                            EventKind::Aggregated
+                        } else {
+                            EventKind::QuorumSkipped
+                        },
+                        round,
+                    )),
+                ]
+            }
+            Frame::Delivered { client, frame_len } => {
+                let round = self.rounds_run + 1;
+                self.client_refs[client] = Some(round);
+                vec![Action::Emit(Event::with_bytes(
+                    EventKind::DownloadDelivered,
+                    round,
+                    self.id(client),
+                    frame_len,
+                ))]
+            }
+            Frame::DownloadRejected { client } => vec![Action::Emit(Event::client_scoped(
+                EventKind::UpdateRejected,
+                self.rounds_run + 1,
+                self.id(client),
+            ))],
+            Frame::DownloadDropped { client } => vec![Action::Emit(Event::client_scoped(
+                EventKind::DownloadDropped,
+                self.rounds_run + 1,
+                self.id(client),
+            ))],
+            Frame::EndRound => {
+                let round = self.rounds_run + 1;
+                self.rounds_run += 1;
+                vec![Action::Emit(Event::round_scoped(
+                    EventKind::RoundEnd,
+                    round,
+                ))]
+            }
+        }
+    }
+
+    /// One deadline interval elapsed. Returns the actions of closing out
+    /// every still-pending client as offline once the armed budget is
+    /// spent; empty otherwise (including when no deadline is armed).
+    pub fn tick(&mut self) -> Vec<Action> {
+        let Some(remaining) = self.deadline else {
+            return Vec::new();
+        };
+        if remaining > 1 {
+            self.deadline = Some(remaining - 1);
+            return Vec::new();
+        }
+        self.deadline = None;
+        let expired: Vec<usize> = std::mem::take(&mut self.pending).into_iter().collect();
+        let round = self.rounds_run + 1;
+        expired
+            .into_iter()
+            .map(|slot| {
+                Action::Emit(Event::client_scoped(
+                    EventKind::ClientOffline,
+                    round,
+                    self.id(slot),
+                ))
+            })
+            .collect()
+    }
+
+    /// The shared stale-admission sequence: receive accounting, ageing,
+    /// staleness-discounted admit, applied/rejected verdict.
+    fn admit_stale(
+        &mut self,
+        client: usize,
+        update: ModelUpdate,
+        age: u64,
+        frame_len: usize,
+    ) -> Vec<Action> {
+        let round = self.rounds_run + 1;
+        let id = self.id(client);
+        let mut actions = vec![Action::Emit(Event::with_bytes(
+            EventKind::StaleReceived,
+            round,
+            id,
+            frame_len,
+        ))];
+        let weight = self.policy.staleness_decay.powi(age as i32);
+        let acc = self.acc.as_mut().expect("a round is open");
+        let kind = if acc.admit(update, weight).is_ok() {
+            actions.push(Action::Count(Counter::new(
+                "stale_age",
+                round,
+                Some(id),
+                age,
+            )));
+            EventKind::StaleApplied
+        } else {
+            EventKind::UpdateRejected
+        };
+        actions.push(Action::Emit(Event::client_scoped(kind, round, id)));
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ModelUpdate;
+    use crate::wire;
+
+    fn engine(n: usize) -> RoundEngine {
+        let policy = EnginePolicy::from_config(&FedAvgConfig::paper());
+        RoundEngine::new(vec![0.0; 4], policy, (0..n).collect())
+    }
+
+    fn upload_frame(round: u64, id: usize, params: Vec<f32>) -> Vec<u8> {
+        wire::encode_upload(
+            round,
+            &ModelUpdate {
+                client_id: id,
+                params,
+                num_samples: 10,
+            },
+        )
+    }
+
+    fn emitted(actions: &[Action]) -> Vec<EventKind> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Emit(e) => Some(e.kind),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_full_round_commits_the_mean() {
+        let mut eng = engine(2);
+        for slot in 0..2 {
+            eng.handle(Frame::Join {
+                client: slot,
+                frame_len: 60,
+            });
+        }
+        eng.handle(Frame::BeginRound);
+        for (slot, value) in [(0, 1.0_f32), (1, 3.0)] {
+            let bytes = upload_frame(1, slot, vec![value; 4]);
+            let actions = eng.handle(Frame::Upload {
+                client: slot,
+                sent_len: bytes.len(),
+                bytes,
+            });
+            assert_eq!(
+                emitted(&actions),
+                [EventKind::UploadReceived, EventKind::UploadAdmitted]
+            );
+        }
+        let actions = eng.handle(Frame::CloseRound);
+        assert_eq!(emitted(&actions), [EventKind::Aggregated]);
+        eng.handle(Frame::EndRound);
+        assert_eq!(eng.global(), &[2.0; 4]);
+        assert_eq!(eng.rounds_run(), 1);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_admitted() {
+        let mut eng = engine(1);
+        eng.handle(Frame::Join {
+            client: 0,
+            frame_len: 60,
+        });
+        eng.handle(Frame::BeginRound);
+        let mut bytes = upload_frame(1, 0, vec![1.0; 4]);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let actions = eng.handle(Frame::Upload {
+            client: 0,
+            sent_len: bytes.len(),
+            bytes,
+        });
+        assert_eq!(
+            emitted(&actions),
+            [EventKind::UploadReceived, EventKind::UpdateRejected]
+        );
+        let actions = eng.handle(Frame::CloseRound);
+        assert_eq!(emitted(&actions), [EventKind::QuorumSkipped]);
+    }
+
+    #[test]
+    fn unmet_quorum_skips_and_keeps_theta() {
+        let policy = EnginePolicy {
+            min_quorum: 2,
+            ..EnginePolicy::from_config(&FedAvgConfig::paper())
+        };
+        let mut eng = RoundEngine::new(vec![0.5; 4], policy, vec![0]);
+        eng.handle(Frame::Join {
+            client: 0,
+            frame_len: 60,
+        });
+        eng.handle(Frame::BeginRound);
+        let bytes = upload_frame(1, 0, vec![9.0; 4]);
+        eng.handle(Frame::Upload {
+            client: 0,
+            sent_len: bytes.len(),
+            bytes,
+        });
+        let actions = eng.handle(Frame::CloseRound);
+        assert_eq!(emitted(&actions), [EventKind::QuorumSkipped]);
+        assert_eq!(eng.global(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn stale_updates_are_discounted_and_counted() {
+        let mut eng = engine(2);
+        eng.handle(Frame::Join {
+            client: 0,
+            frame_len: 60,
+        });
+        eng.handle(Frame::BeginRound);
+        eng.handle(Frame::EndRound);
+        eng.handle(Frame::BeginRound);
+        let actions = eng.handle(Frame::StaleUpdate {
+            client: 1,
+            origin_round: 1,
+            update: ModelUpdate {
+                client_id: 1,
+                params: vec![2.0; 4],
+                num_samples: 10,
+            },
+        });
+        assert_eq!(
+            emitted(&actions),
+            [EventKind::StaleReceived, EventKind::StaleApplied]
+        );
+        let age = actions.iter().find_map(|a| match a {
+            Action::Count(c) if c.name == "stale_age" => Some(c.value),
+            _ => None,
+        });
+        assert_eq!(age, Some(1));
+    }
+
+    #[test]
+    fn deadline_tick_marks_pending_clients_offline() {
+        let policy = EnginePolicy {
+            deadline_ticks: Some(2),
+            ..EnginePolicy::from_config(&FedAvgConfig::paper())
+        };
+        let mut eng = RoundEngine::new(vec![0.0; 4], policy, vec![0, 1]);
+        for slot in 0..2 {
+            eng.handle(Frame::Join {
+                client: slot,
+                frame_len: 60,
+            });
+        }
+        eng.handle(Frame::BeginRound);
+        let bytes = upload_frame(1, 0, vec![1.0; 4]);
+        eng.handle(Frame::Upload {
+            client: 0,
+            sent_len: bytes.len(),
+            bytes,
+        });
+        assert_eq!(eng.pending_uploads(), 1);
+        assert!(eng.tick().is_empty(), "first tick only decrements");
+        let actions = eng.tick();
+        assert_eq!(emitted(&actions), [EventKind::ClientOffline]);
+        assert_eq!(eng.pending_uploads(), 0);
+        assert!(eng.tick().is_empty(), "deadline disarms after expiry");
+    }
+
+    #[test]
+    fn rejoin_after_leave_references_the_latest_round() {
+        let mut eng = engine(1);
+        eng.handle(Frame::Join {
+            client: 0,
+            frame_len: 60,
+        });
+        eng.handle(Frame::BeginRound);
+        let bytes = upload_frame(1, 0, vec![1.0; 4]);
+        eng.handle(Frame::Upload {
+            client: 0,
+            sent_len: bytes.len(),
+            bytes,
+        });
+        eng.handle(Frame::CloseRound);
+        eng.handle(Frame::Delivered {
+            client: 0,
+            frame_len: 60,
+        });
+        eng.handle(Frame::EndRound);
+        eng.leave(0);
+        assert!(!eng.joined(0));
+        let actions = eng.handle(Frame::Join {
+            client: 0,
+            frame_len: 60,
+        });
+        match &actions[0] {
+            Action::Emit(e) => assert_eq!(e.round, 1, "rejoin references round 1"),
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(eng.upload_reference(0).map(|(r, _)| r), Some(1));
+    }
+
+    /// Runs one committed round with both slots participating.
+    fn run_round(eng: &mut RoundEngine, value: f32) {
+        let round = eng.rounds_run() + 1;
+        eng.handle(Frame::BeginRound);
+        for slot in 0..2 {
+            let bytes = upload_frame(round, slot, vec![value + slot as f32; 4]);
+            eng.handle(Frame::Upload {
+                client: slot,
+                sent_len: bytes.len(),
+                bytes,
+            });
+        }
+        eng.handle(Frame::CloseRound);
+        for slot in 0..2 {
+            eng.handle(Frame::Delivered {
+                client: slot,
+                frame_len: 60,
+            });
+        }
+        eng.handle(Frame::EndRound);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let mut live = engine(2);
+        for slot in 0..2 {
+            live.handle(Frame::Join {
+                client: slot,
+                frame_len: 60,
+            });
+        }
+        run_round(&mut live, 1.0);
+        run_round(&mut live, 2.5);
+        let ck = live.checkpoint();
+        assert_eq!(ck.rounds_run, 2);
+        assert_eq!(ck.rounds_committed, 2);
+
+        // A restarted server: same configuration, fresh engine, restore,
+        // clients re-join, then one more round on each side.
+        let mut restored = engine(2);
+        restored
+            .restore(ck.clone())
+            .expect("a matching checkpoint restores");
+        assert_eq!(restored.rounds_run(), 2);
+        assert_eq!(restored.rounds_committed(), 2);
+        assert!(!restored.joined(0), "clients re-join after a restart");
+        for slot in 0..2 {
+            restored.handle(Frame::Join {
+                client: slot,
+                frame_len: 60,
+            });
+        }
+        assert_eq!(
+            restored.upload_reference(0).map(|(r, _)| r),
+            Some(2),
+            "rejoin references the checkpointed round"
+        );
+        run_round(&mut live, -0.75);
+        run_round(&mut restored, -0.75);
+        let a: Vec<u32> = live.global().iter().map(|p| p.to_bits()).collect();
+        let b: Vec<u32> = restored.global().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(a, b, "post-restore rounds must be bit-identical");
+    }
+
+    #[test]
+    fn checkpoint_survives_the_wire_format() {
+        let mut eng = engine(2);
+        for slot in 0..2 {
+            eng.handle(Frame::Join {
+                client: slot,
+                frame_len: 60,
+            });
+        }
+        run_round(&mut eng, 3.0);
+        let ck = eng.checkpoint();
+        let decoded = wire::checkpoint::Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(decoded, ck, "engine checkpoints encode losslessly");
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_checkpoint() {
+        let mut small = engine(1);
+        let ck = engine(2).checkpoint();
+        assert!(matches!(small.restore(ck), Err(FedError::InvalidConfig(_))));
+    }
+}

@@ -71,6 +71,10 @@ pub enum FedError {
         /// The strategy that was requested.
         strategy: AggregationStrategy,
     },
+    /// A socket or checkpoint-file operation failed (the standalone
+    /// server and its network client driver). Carries the rendered
+    /// [`std::io::Error`] so `FedError` keeps structural equality.
+    Io(String),
 }
 
 impl fmt::Display for FedError {
@@ -117,7 +121,14 @@ impl fmt::Display for FedError {
                 f,
                 "aggregation strategy {strategy:?} is not associative and cannot run under sharded (fleet) aggregation"
             ),
+            FedError::Io(msg) => write!(f, "i/o failure: {msg}"),
         }
+    }
+}
+
+impl From<std::io::Error> for FedError {
+    fn from(e: std::io::Error) -> Self {
+        FedError::Io(e.to_string())
     }
 }
 

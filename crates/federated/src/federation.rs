@@ -1,13 +1,14 @@
 use crate::client::FederatedClient;
+use crate::engine::{Action, EnginePolicy, Frame, RoundEngine};
 use crate::error::FedError;
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::pool::WorkerPool;
 use crate::report::{RoundReport, TransportStats};
-use crate::server::{AggregationServer, AggregationStrategy, ServerOpt};
+use crate::server::{AggregationStrategy, ServerOpt};
 use crate::transport::{Transport, TransportKind};
 use crate::wire;
 use fedpower_sim::rng::{derive_rng, streams};
-use fedpower_telemetry::{Counter, Event, EventKind, NullRecorder, Recorder, Span};
+use fedpower_telemetry::{Counter, NullRecorder, Recorder, Span};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -87,8 +88,8 @@ impl Default for FedAvgConfig {
     }
 }
 
-/// Orchestrates `N` clients and one [`AggregationServer`] through federated
-/// rounds (Fig. 1 of the paper).
+/// Orchestrates `N` clients and one [`AggregationServer`](crate::AggregationServer)
+/// through federated rounds (Fig. 1 of the paper).
 ///
 /// Every model exchange crosses a per-client [`Transport`] link as an
 /// encoded [`wire::Envelope`] frame — the server and clients communicate
@@ -99,28 +100,150 @@ impl Default for FedAvgConfig {
 /// with admission → streaming aggregation → framed broadcast.
 ///
 /// Every round-lifecycle occurrence is emitted as a structured
-/// [`Event`] through the installed [`Recorder`] (a zero-cost
+/// [`Event`](fedpower_telemetry::Event) through the installed [`Recorder`] (a zero-cost
 /// [`NullRecorder`] by default), and the [`RoundReport`] /
 /// [`TransportStats`] counters are pure reductions over that stream —
 /// see [`crate::report`].
 #[derive(Debug)]
 pub struct Federation<C: FederatedClient> {
     config: FedAvgConfig,
-    server: AggregationServer,
+    /// The sans-I/O protocol core: admission, staleness weighting,
+    /// quorum, commit, and reference-window tracking all live here —
+    /// the federation is a driver feeding it frames.
+    engine: RoundEngine,
     clients: Vec<C>,
     links: Vec<Box<dyn Transport>>,
     transport: TransportStats,
     recorder: Box<dyn Recorder>,
     rng: StdRng,
-    rounds_run: u64,
     pool: WorkerPool,
     workspaces: Vec<C::Workspace>,
-    /// Recently broadcast globals, keyed by round — the references top-k
-    /// sparse uploads are reconstructed against at admission.
-    reference: wire::ReferenceWindow,
-    /// Per client: the round of the last global it actually downloaded
-    /// (its top-k encoding reference), `None` until the join handshake.
-    client_refs: Vec<Option<u64>>,
+}
+
+/// Staged construction of a [`Federation`], obtained from
+/// [`Federation::builder`].
+///
+/// This is the redesigned constructor surface: one builder replaces the
+/// old combinatorial `with_transport` / `with_transport_and_plan` /
+/// `with_options` / `with_links` / `with_links_recorded` constructors,
+/// which remain as `#[deprecated]` forwarders until their scheduled
+/// removal (see `CHANGELOG.md`).
+///
+/// ```
+/// # use fedpower_federated::{FedAvgConfig, Federation, TdClient, TransportKind};
+/// # use fedpower_agent::{DeviceEnvConfig, TdConfig};
+/// # use fedpower_workloads::AppId;
+/// # let client = |id| TdClient::new(id, TdConfig::paper_with_gamma(0.9),
+/// #     DeviceEnvConfig::new(&[AppId::Fft]), 7);
+/// let federation = Federation::builder(vec![client(0), client(1)], FedAvgConfig::paper())
+///     .seed(42)
+///     .transport(TransportKind::Tcp)
+///     .build()
+///     .expect("loopback links");
+/// ```
+///
+/// The lifetime `'p` is that of the optional borrowed [`FaultPlan`];
+/// builders without one are `'static`.
+#[derive(Debug)]
+pub struct FederationBuilder<'p, C: FederatedClient> {
+    clients: Vec<C>,
+    config: FedAvgConfig,
+    seed: u64,
+    kind: TransportKind,
+    links: Option<Vec<Box<dyn Transport>>>,
+    plan: Option<&'p FaultPlan>,
+    recorder: Box<dyn Recorder>,
+}
+
+impl<'p, C: FederatedClient> FederationBuilder<'p, C> {
+    /// Seed for the federation's participation-sampling RNG (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Link backend used when no explicit links are supplied (default
+    /// [`TransportKind::Channel`]).
+    #[must_use]
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Explicit transport links, one per client in the same order.
+    /// Overrides [`FederationBuilder::transport`].
+    #[must_use]
+    pub fn links(mut self, links: Vec<Box<dyn Transport>>) -> Self {
+        self.links = Some(links);
+        self
+    }
+
+    /// Wraps every link in a [`FaultyTransport`] actuating `plan` on the
+    /// bytes in flight — the transport-level fault-injection path.
+    #[must_use]
+    pub fn fault_plan<'q>(self, plan: &'q FaultPlan) -> FederationBuilder<'q, C> {
+        FederationBuilder {
+            clients: self.clients,
+            config: self.config,
+            seed: self.seed,
+            kind: self.kind,
+            links: self.links,
+            plan: Some(plan),
+            recorder: self.recorder,
+        }
+    }
+
+    /// Telemetry recorder observing everything from the join handshake
+    /// onwards (default: the zero-cost [`NullRecorder`]).
+    #[must_use]
+    pub fn recorder(mut self, recorder: Box<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Connects the links (unless supplied explicitly) and assembles the
+    /// federation, broadcasting the initial global model to every client.
+    ///
+    /// # Errors
+    ///
+    /// [`FedError::InvalidConfig`] when a link cannot be established
+    /// (e.g. no loopback networking for [`TransportKind::Tcp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty, explicit `links` and `clients`
+    /// disagree in length, or `participation`/`staleness_decay` are out
+    /// of range.
+    pub fn build(self) -> Result<Federation<C>, FedError> {
+        let links: Vec<Box<dyn Transport>> = match self.links {
+            Some(links) => match self.plan {
+                Some(p) => links
+                    .into_iter()
+                    .map(|link| Box::new(FaultyTransport::new(link, p)) as Box<dyn Transport>)
+                    .collect(),
+                None => links,
+            },
+            None => {
+                let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(self.clients.len());
+                for c in &self.clients {
+                    let link = self.kind.connect(c.id())?;
+                    links.push(match self.plan {
+                        Some(p) => Box::new(FaultyTransport::new(link, p)),
+                        None => link,
+                    });
+                }
+                links
+            }
+        };
+        Ok(Federation::assemble(
+            self.clients,
+            links,
+            self.config,
+            self.seed,
+            self.recorder,
+        ))
+    }
 }
 
 impl<C: FederatedClient> Federation<C> {
@@ -134,15 +257,27 @@ impl<C: FederatedClient> Federation<C> {
     ///
     /// Panics if `clients` is empty or `participation` is outside `(0, 1]`.
     pub fn new(clients: Vec<C>, config: FedAvgConfig, seed: u64) -> Self {
-        let links = clients
-            .iter()
-            .map(|c| {
-                TransportKind::Channel
-                    .connect(c.id())
-                    .expect("channel links are infallible")
-            })
-            .collect();
-        Self::with_links(clients, links, config, seed)
+        Self::builder(clients, config)
+            .seed(seed)
+            .build()
+            .expect("channel links are infallible")
+    }
+
+    /// Starts staged construction of a federation — the one constructor
+    /// surface behind every transport/fault-plan/recorder combination.
+    ///
+    /// Defaults: seed 0, [`TransportKind::Channel`] links, no fault
+    /// plan, a [`NullRecorder`]. See [`FederationBuilder`].
+    pub fn builder(clients: Vec<C>, config: FedAvgConfig) -> FederationBuilder<'static, C> {
+        FederationBuilder {
+            clients,
+            config,
+            seed: 0,
+            kind: TransportKind::Channel,
+            links: None,
+            plan: None,
+            recorder: Box::new(NullRecorder),
+        }
     }
 
     /// Creates a federation whose links all use the `kind` backend.
@@ -155,13 +290,20 @@ impl<C: FederatedClient> Federation<C> {
     /// # Panics
     ///
     /// Panics like [`Federation::new`] on invalid configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Federation::builder(clients, config).seed(..).transport(kind).build()`"
+    )]
     pub fn with_transport(
         clients: Vec<C>,
         config: FedAvgConfig,
         seed: u64,
         kind: TransportKind,
     ) -> Result<Self, FedError> {
-        Self::with_options(clients, config, seed, kind, None, Box::new(NullRecorder))
+        Self::builder(clients, config)
+            .seed(seed)
+            .transport(kind)
+            .build()
     }
 
     /// Creates a federation over `kind` links, each wrapped in a
@@ -175,6 +317,10 @@ impl<C: FederatedClient> Federation<C> {
     /// # Panics
     ///
     /// Panics like [`Federation::new`] on invalid configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Federation::builder(..).transport(kind).fault_plan(plan).build()`"
+    )]
     pub fn with_transport_and_plan(
         clients: Vec<C>,
         config: FedAvgConfig,
@@ -182,14 +328,11 @@ impl<C: FederatedClient> Federation<C> {
         kind: TransportKind,
         plan: &FaultPlan,
     ) -> Result<Self, FedError> {
-        Self::with_options(
-            clients,
-            config,
-            seed,
-            kind,
-            Some(plan),
-            Box::new(NullRecorder),
-        )
+        Self::builder(clients, config)
+            .seed(seed)
+            .transport(kind)
+            .fault_plan(plan)
+            .build()
     }
 
     /// The most general `kind`-backed constructor: optional fault plan on
@@ -203,6 +346,10 @@ impl<C: FederatedClient> Federation<C> {
     /// # Panics
     ///
     /// Panics like [`Federation::new`] on invalid configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Federation::builder(..)` with `.transport`/`.fault_plan`/`.recorder`"
+    )]
     pub fn with_options(
         clients: Vec<C>,
         config: FedAvgConfig,
@@ -211,17 +358,14 @@ impl<C: FederatedClient> Federation<C> {
         plan: Option<&FaultPlan>,
         recorder: Box<dyn Recorder>,
     ) -> Result<Self, FedError> {
-        let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(clients.len());
-        for c in &clients {
-            let link = kind.connect(c.id())?;
-            links.push(match plan {
-                Some(p) => Box::new(FaultyTransport::new(link, p)),
-                None => link,
-            });
+        let builder = Self::builder(clients, config)
+            .seed(seed)
+            .transport(kind)
+            .recorder(recorder);
+        match plan {
+            Some(p) => builder.fault_plan(p).build(),
+            None => builder.build(),
         }
-        Ok(Self::with_links_recorded(
-            clients, links, config, seed, recorder,
-        ))
     }
 
     /// Creates a federation over explicitly supplied links (one per
@@ -231,13 +375,21 @@ impl<C: FederatedClient> Federation<C> {
     ///
     /// Panics if `clients` is empty, `links` and `clients` disagree in
     /// length, or `participation`/`staleness_decay` are out of range.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Federation::builder(clients, config).seed(..).links(links).build()`"
+    )]
     pub fn with_links(
         clients: Vec<C>,
         links: Vec<Box<dyn Transport>>,
         config: FedAvgConfig,
         seed: u64,
     ) -> Self {
-        Self::with_links_recorded(clients, links, config, seed, Box::new(NullRecorder))
+        Self::builder(clients, config)
+            .seed(seed)
+            .links(links)
+            .build()
+            .expect("explicit links are infallible")
     }
 
     /// Like [`Federation::with_links`], with an explicit telemetry
@@ -247,7 +399,33 @@ impl<C: FederatedClient> Federation<C> {
     /// # Panics
     ///
     /// Panics like [`Federation::with_links`] on invalid configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Federation::builder(..).links(links).recorder(recorder).build()`"
+    )]
     pub fn with_links_recorded(
+        clients: Vec<C>,
+        links: Vec<Box<dyn Transport>>,
+        config: FedAvgConfig,
+        seed: u64,
+        recorder: Box<dyn Recorder>,
+    ) -> Self {
+        Self::builder(clients, config)
+            .seed(seed)
+            .links(links)
+            .recorder(recorder)
+            .build()
+            .expect("explicit links are infallible")
+    }
+
+    /// Assembles the federation once links exist — shared tail of every
+    /// construction path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty, `links` and `clients` disagree in
+    /// length, or `participation`/`staleness_decay` are out of range.
+    fn assemble(
         clients: Vec<C>,
         links: Vec<Box<dyn Transport>>,
         config: FedAvgConfig,
@@ -284,30 +462,19 @@ impl<C: FederatedClient> Federation<C> {
         );
         let mut clients = clients;
         let initial = clients[0].upload().params;
-        let server = AggregationServer::with_optimizer(
-            initial,
-            config.strategy,
-            config.server_momentum,
-            config.optimizer,
-        );
-        let n = clients.len();
+        let ids: Vec<usize> = clients.iter().map(FederatedClient::id).collect();
+        let engine = RoundEngine::new(initial, EnginePolicy::from_config(&config), ids);
         let mut fed = Federation {
             config,
-            server,
+            engine,
             clients,
             links,
             transport: TransportStats::new(),
             recorder,
             rng: derive_rng(seed, streams::FEDERATION),
-            rounds_run: 0,
             pool: WorkerPool::default(),
             workspaces: Vec::new(),
-            reference: wire::ReferenceWindow::default(),
-            client_refs: vec![None; n],
         };
-        // The join handshake is round 0: its θ₁ is the first top-k
-        // reference.
-        fed.reference.push(0, fed.server.global().to_vec());
         for i in 0..fed.clients.len() {
             fed.join_client(i);
         }
@@ -319,25 +486,27 @@ impl<C: FederatedClient> Federation<C> {
     /// The handshake is control-plane traffic and treated as reliable:
     /// round-based fault plans only start at round 1, and should a link
     /// fail anyway the model is installed directly. The delivery is
-    /// recorded as a round-0 [`EventKind::DownloadDelivered`].
+    /// recorded as a round-0 `DownloadDelivered` event via the engine's
+    /// [`Frame::Join`].
     fn join_client(&mut self, i: usize) {
         let client = &mut self.clients[i];
         let id = client.id();
-        let frame = wire::encode_join_ack(id, self.server.global());
+        let frame = wire::encode_join_ack(id, self.engine.global());
         let delivered = self.links[i]
             .broadcast(&frame)
             .ok()
             .and_then(|bytes| wire::decode_params(&bytes).ok());
         match delivered {
             Some(params) => client.download(&params),
-            None => client.download(self.server.global()),
+            None => client.download(self.engine.global()),
         }
-        // Either path installs θ₁, so the client's top-k reference is the
-        // round-0 global.
-        self.client_refs[i] = Some(0);
-        let event = Event::with_bytes(EventKind::DownloadDelivered, 0, id, frame.len());
-        self.transport.apply(&event);
-        self.recorder.event(event);
+        // Either path installs θ₁, so the engine records the join either
+        // way.
+        let actions = self.engine.handle(Frame::Join {
+            client: i,
+            frame_len: frame.len(),
+        });
+        Self::apply(&mut self.transport, &mut *self.recorder, None, actions);
     }
 
     /// Installs a telemetry recorder; subsequent rounds emit through it.
@@ -368,12 +537,18 @@ impl<C: FederatedClient> Federation<C> {
 
     /// Which commit stage the server runs.
     pub fn optimizer_kind(&self) -> crate::server::ServerOptKind {
-        self.server.optimizer_kind()
+        self.engine.optimizer_kind()
     }
 
     /// The current global model parameters θ.
     pub fn global_params(&self) -> &[f32] {
-        self.server.global()
+        self.engine.global()
+    }
+
+    /// The round engine this federation drives (protocol-level state:
+    /// reference window, quorum, commit).
+    pub fn engine(&self) -> &RoundEngine {
+        &self.engine
     }
 
     /// Communication statistics so far.
@@ -383,7 +558,7 @@ impl<C: FederatedClient> Federation<C> {
 
     /// Rounds completed so far.
     pub fn rounds_run(&self) -> u64 {
-        self.rounds_run
+        self.engine.rounds_run()
     }
 
     /// Executes one federated round: select participants, local training,
@@ -399,7 +574,7 @@ impl<C: FederatedClient> Federation<C> {
     /// `run_round` itself never panics over client behavior.
     pub fn run_round(&mut self) -> RoundReport {
         let participant_ids = self.select_participants();
-        let round = self.rounds_run + 1;
+        let round = self.engine.rounds_run() + 1;
         for client in &mut self.clients {
             client.begin_round(round);
         }
@@ -408,32 +583,28 @@ impl<C: FederatedClient> Federation<C> {
         }
 
         let mut report = RoundReport::begin(round);
-        Self::emit(
+        // The engine opens the round (and emits the round-start event
+        // plus the commit-stage counter `report::from_events` reconciles
+        // against).
+        let actions = self.engine.handle(Frame::BeginRound);
+        Self::apply(
             &mut self.transport,
             &mut *self.recorder,
-            &mut report,
-            Event::round_scoped(EventKind::RoundStart, round),
+            Some(&mut report),
+            actions,
         );
-        // Which commit stage the server runs this round, as a counter so
-        // `report::from_events` reconciliation stays a pure Event reduction.
-        self.recorder.counter(Counter::new(
-            "optimizer",
-            round,
-            None,
-            self.config.optimizer.kind().code(),
-        ));
 
         let mut active: Vec<usize> = Vec::with_capacity(participant_ids.len());
         for &i in &participant_ids {
             if self.clients[i].is_online() && self.links[i].is_online() {
                 active.push(i);
             } else {
-                let id = self.clients[i].id();
-                Self::emit(
+                let actions = self.engine.handle(Frame::Offline { client: i });
+                Self::apply(
                     &mut self.transport,
                     &mut *self.recorder,
-                    &mut report,
-                    Event::client_scoped(EventKind::ClientOffline, round, id),
+                    Some(&mut report),
+                    actions,
                 );
             }
         }
@@ -462,30 +633,29 @@ impl<C: FederatedClient> Federation<C> {
         self.recorder
             .span(Span::new("train", round, report.timing.train_s));
         for &i in &active {
-            let id = self.clients[i].id();
-            let kind = if panicked.contains(&i) {
-                EventKind::TrainPanic
+            let trained = !panicked.contains(&i);
+            let frame = if trained {
+                Frame::Trained { client: i }
             } else {
-                EventKind::ClientTrained
+                Frame::TrainPanicked { client: i }
             };
-            Self::emit(
+            let actions = self.engine.handle(frame);
+            Self::apply(
                 &mut self.transport,
                 &mut *self.recorder,
-                &mut report,
-                Event::client_scoped(kind, round, id),
+                Some(&mut report),
+                actions,
             );
-            if kind == EventKind::ClientTrained {
+            if trained {
                 self.clients[i].record_telemetry(round, &mut *self.recorder);
             }
         }
 
         let upload_start = Instant::now();
-        let mut acc = self.server.accumulator();
         for &i in &active {
             if panicked.contains(&i) {
                 continue;
             }
-            let id = self.clients[i].id();
             // The retry budget is shared across both layers: client-side
             // drops (custom clients may refuse) and in-flight frame drops
             // draw from the same `max_upload_retries` allowance.
@@ -495,11 +665,12 @@ impl<C: FederatedClient> Federation<C> {
                 && matches!(outcome, Err(FedError::UploadDropped { .. }))
             {
                 retries += 1;
-                Self::emit(
+                let actions = self.engine.handle(Frame::UploadRetry { client: i });
+                Self::apply(
                     &mut self.transport,
                     &mut *self.recorder,
-                    &mut report,
-                    Event::client_scoped(EventKind::UploadRetry, round, id),
+                    Some(&mut report),
+                    actions,
                 );
                 outcome = self.clients[i].try_upload();
             }
@@ -512,8 +683,7 @@ impl<C: FederatedClient> Federation<C> {
                             *p += sigma * gaussian(&mut self.rng);
                         }
                     }
-                    let reference = self.client_refs[i]
-                        .and_then(|r| self.reference.get(r).map(|params| (r, params)));
+                    let reference = self.engine.upload_reference(i);
                     let frame =
                         wire::encode_upload_with(self.config.codec, round, &update, reference);
                     frame_len = frame.len();
@@ -522,11 +692,12 @@ impl<C: FederatedClient> Federation<C> {
                         && matches!(sent, Err(FedError::UploadDropped { .. }))
                     {
                         retries += 1;
-                        Self::emit(
+                        let actions = self.engine.handle(Frame::UploadRetry { client: i });
+                        Self::apply(
                             &mut self.transport,
                             &mut *self.recorder,
-                            &mut report,
-                            Event::client_scoped(EventKind::UploadRetry, round, id),
+                            Some(&mut report),
+                            actions,
                         );
                         sent = self.links[i].upload(&frame);
                     }
@@ -534,66 +705,28 @@ impl<C: FederatedClient> Federation<C> {
                 }
                 Err(e) => Err(e),
             };
-            match delivered {
-                Ok(bytes) => {
-                    Self::emit(
-                        &mut self.transport,
-                        &mut *self.recorder,
-                        &mut report,
-                        Event::with_bytes(EventKind::UploadReceived, round, id, frame_len),
-                    );
-                    // Codec frames are decoded back to dense before
-                    // admission, so the accumulator (and every optimizer
-                    // or robust combiner behind it) is codec-agnostic;
-                    // version-negotiation and missing-reference failures
-                    // land in the rejected branch below.
-                    let admitted = match wire::decode_upload_with(
-                        &bytes,
-                        self.config.max_wire_version,
-                        &self.reference,
-                    ) {
-                        Ok((_, received)) => acc.admit(received, 1.0).is_ok(),
-                        Err(_) => false,
-                    };
-                    let kind = if admitted {
-                        EventKind::UploadAdmitted
-                    } else {
-                        EventKind::UpdateRejected
-                    };
-                    Self::emit(
-                        &mut self.transport,
-                        &mut *self.recorder,
-                        &mut report,
-                        Event::client_scoped(kind, round, id),
-                    );
-                }
-                Err(FedError::UploadDropped { .. }) => {
-                    Self::emit(
-                        &mut self.transport,
-                        &mut *self.recorder,
-                        &mut report,
-                        Event::client_scoped(EventKind::UploadDropped, round, id),
-                    );
-                }
-                Err(FedError::Straggling { .. }) => {
-                    Self::emit(
-                        &mut self.transport,
-                        &mut *self.recorder,
-                        &mut report,
-                        Event::client_scoped(EventKind::StragglerStarted, round, id),
-                    );
-                }
-                Err(_) => {
-                    // Went offline mid-round (e.g. crash between training
-                    // and upload); treated like an offline participant.
-                    Self::emit(
-                        &mut self.transport,
-                        &mut *self.recorder,
-                        &mut report,
-                        Event::client_scoped(EventKind::ClientOffline, round, id),
-                    );
-                }
-            }
+            // Admission — version, shape, codec references — is the
+            // engine's decision; the driver only reports what happened
+            // on the wire.
+            let frame = match delivered {
+                Ok(bytes) => Frame::Upload {
+                    client: i,
+                    sent_len: frame_len,
+                    bytes,
+                },
+                Err(FedError::UploadDropped { .. }) => Frame::UploadDropped { client: i },
+                Err(FedError::Straggling { .. }) => Frame::StragglerStarted { client: i },
+                // Went offline mid-round (e.g. crash between training
+                // and upload); treated like an offline participant.
+                Err(_) => Frame::Offline { client: i },
+            };
+            let actions = self.engine.handle(frame);
+            Self::apply(
+                &mut self.transport,
+                &mut *self.recorder,
+                Some(&mut report),
+                actions,
+            );
         }
         let upload_s = upload_start.elapsed().as_secs_f64();
         report.timing.transport_s += upload_s;
@@ -606,100 +739,44 @@ impl<C: FederatedClient> Federation<C> {
         // Clients may hand over a decoded update; transport-level
         // stragglers hand over the buffered frame.
         for i in 0..self.clients.len() {
-            let id = self.clients[i].id();
             if let Some(stale) = self.clients[i].take_stale() {
-                let age = round.saturating_sub(stale.origin_round).max(1);
-                Self::emit(
+                let actions = self.engine.handle(Frame::StaleUpdate {
+                    client: i,
+                    origin_round: stale.origin_round,
+                    update: stale.update,
+                });
+                Self::apply(
                     &mut self.transport,
                     &mut *self.recorder,
-                    &mut report,
-                    Event::with_bytes(
-                        EventKind::StaleReceived,
-                        round,
-                        id,
-                        self.config
-                            .codec
-                            .upload_frame_len(stale.update.params.len()),
-                    ),
-                );
-                let weight = self.config.staleness_decay.powi(age as i32);
-                let kind = if acc.admit(stale.update, weight).is_ok() {
-                    self.recorder
-                        .counter(Counter::new("stale_age", round, Some(id), age));
-                    EventKind::StaleApplied
-                } else {
-                    EventKind::UpdateRejected
-                };
-                Self::emit(
-                    &mut self.transport,
-                    &mut *self.recorder,
-                    &mut report,
-                    Event::client_scoped(kind, round, id),
+                    Some(&mut report),
+                    actions,
                 );
             }
             if let Some(bytes) = self.links[i].take_stale() {
-                Self::emit(
+                let actions = self.engine.handle(Frame::StaleBytes { client: i, bytes });
+                Self::apply(
                     &mut self.transport,
                     &mut *self.recorder,
-                    &mut report,
-                    Event::with_bytes(EventKind::StaleReceived, round, id, bytes.len()),
-                );
-                let applied = match wire::decode_upload_with(
-                    &bytes,
-                    self.config.max_wire_version,
-                    &self.reference,
-                ) {
-                    Ok((origin_round, update)) => {
-                        let age = round.saturating_sub(origin_round).max(1);
-                        let weight = self.config.staleness_decay.powi(age as i32);
-                        let ok = acc.admit(update, weight).is_ok();
-                        if ok {
-                            self.recorder
-                                .counter(Counter::new("stale_age", round, Some(id), age));
-                        }
-                        ok
-                    }
-                    Err(_) => false,
-                };
-                let kind = if applied {
-                    EventKind::StaleApplied
-                } else {
-                    EventKind::UpdateRejected
-                };
-                Self::emit(
-                    &mut self.transport,
-                    &mut *self.recorder,
-                    &mut report,
-                    Event::client_scoped(kind, round, id),
+                    Some(&mut report),
+                    actions,
                 );
             }
         }
 
-        report.client_divergence = acc.divergence();
-
-        let quorum_met = acc.admitted() >= self.config.min_quorum.max(1);
-        let committed = quorum_met && self.server.commit_round(acc).is_ok();
-        Self::emit(
+        // Quorum check and commit are the engine's: it also advances the
+        // reference window to whatever θ goes out this round.
+        let actions = self.engine.handle(Frame::CloseRound);
+        Self::apply(
             &mut self.transport,
             &mut *self.recorder,
-            &mut report,
-            Event::round_scoped(
-                if committed {
-                    EventKind::Aggregated
-                } else {
-                    EventKind::QuorumSkipped
-                },
-                round,
-            ),
+            Some(&mut report),
+            actions,
         );
         report.timing.aggregate_s = aggregate_start.elapsed().as_secs_f64();
         self.recorder
             .span(Span::new("aggregate", round, report.timing.aggregate_s));
 
         let broadcast_start = Instant::now();
-        // Whatever goes out this round — committed or unchanged θ — is the
-        // reference the next round's top-k deltas encode against.
-        self.reference.push(round, self.server.global().to_vec());
         for i in 0..self.clients.len() {
             let client = &mut self.clients[i];
             let link = &mut self.links[i];
@@ -707,54 +784,74 @@ impl<C: FederatedClient> Federation<C> {
                 continue;
             }
             let id = client.id();
-            let frame = wire::encode_broadcast(round, id, self.server.global());
+            let frame = wire::encode_broadcast(round, id, self.engine.global());
             let outcome = link
                 .broadcast(&frame)
                 .and_then(|bytes| wire::decode_params(&bytes))
                 .and_then(|params| client.try_download(&params));
-            let event = match outcome {
-                Ok(()) => {
-                    self.client_refs[i] = Some(round);
-                    Event::with_bytes(EventKind::DownloadDelivered, round, id, frame.len())
-                }
+            let engine_frame = match outcome {
+                Ok(()) => Frame::Delivered {
+                    client: i,
+                    frame_len: frame.len(),
+                },
                 // The model arrived intact but does not fit the client's
                 // architecture: an admission failure, not a network one.
-                Err(FedError::ShapeMismatch { .. }) => {
-                    Event::client_scoped(EventKind::UpdateRejected, round, id)
-                }
-                Err(_) => Event::client_scoped(EventKind::DownloadDropped, round, id),
+                Err(FedError::ShapeMismatch { .. }) => Frame::DownloadRejected { client: i },
+                Err(_) => Frame::DownloadDropped { client: i },
             };
-            Self::emit(&mut self.transport, &mut *self.recorder, &mut report, event);
+            let actions = self.engine.handle(engine_frame);
+            Self::apply(
+                &mut self.transport,
+                &mut *self.recorder,
+                Some(&mut report),
+                actions,
+            );
         }
         let broadcast_s = broadcast_start.elapsed().as_secs_f64();
         report.timing.transport_s += broadcast_s;
         self.recorder
             .span(Span::new("broadcast", round, broadcast_s));
 
-        Self::emit(
+        let actions = self.engine.handle(Frame::EndRound);
+        Self::apply(
             &mut self.transport,
             &mut *self.recorder,
-            &mut report,
-            Event::round_scoped(EventKind::RoundEnd, round),
+            Some(&mut report),
+            actions,
         );
-        self.rounds_run += 1;
         report
     }
 
-    /// Applies one telemetry event to the round report and the
-    /// federation-wide transport stats, then forwards it to the recorder
-    /// — the single choke point that keeps the reporting structs exact
-    /// reductions of the emitted stream. An associated function (not
-    /// `&mut self`) so call sites can hold disjoint field borrows.
-    fn emit(
+    /// Performs the engine's requested [`Action`]s: events flow through
+    /// the single telemetry choke point (report + transport stats +
+    /// recorder — which keeps the reporting structs exact reductions of
+    /// the emitted stream), counters go straight to the recorder, and
+    /// the divergence metric lands in the report. An associated function
+    /// (not `&mut self`) so call sites can hold disjoint field borrows;
+    /// `report` is `None` outside a round (the join handshake).
+    fn apply(
         transport: &mut TransportStats,
         recorder: &mut dyn Recorder,
-        report: &mut RoundReport,
-        event: Event,
+        mut report: Option<&mut RoundReport>,
+        actions: Vec<Action>,
     ) {
-        report.apply(&event);
-        transport.apply(&event);
-        recorder.event(event);
+        for action in actions {
+            match action {
+                Action::Emit(event) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.apply(&event);
+                    }
+                    transport.apply(&event);
+                    recorder.event(event);
+                }
+                Action::Count(counter) => recorder.counter(counter),
+                Action::Divergence(d) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.client_divergence = d;
+                    }
+                }
+            }
+        }
     }
 
     /// Trains the active participants, containing panics; returns the ids
@@ -1014,9 +1111,11 @@ mod tests {
         };
         let tcp = {
             let clients = vec![FakeClient::new(0, 0.0), FakeClient::new(1, 10.0)];
-            let mut fed =
-                Federation::with_transport(clients, FedAvgConfig::paper(), 7, TransportKind::Tcp)
-                    .expect("loopback TCP links");
+            let mut fed = Federation::builder(clients, FedAvgConfig::paper())
+                .seed(7)
+                .transport(TransportKind::Tcp)
+                .build()
+                .expect("loopback TCP links");
             fed.run_round();
             fed.global_params().to_vec()
         };
@@ -1033,14 +1132,11 @@ mod tests {
         let wrapped = {
             let clients = vec![FakeClient::new(0, 0.0), FakeClient::new(1, 10.0)];
             let plan = FaultPlan::default();
-            let mut fed = Federation::with_transport_and_plan(
-                clients,
-                FedAvgConfig::paper(),
-                7,
-                TransportKind::Channel,
-                &plan,
-            )
-            .expect("channel links are infallible");
+            let mut fed = Federation::builder(clients, FedAvgConfig::paper())
+                .seed(7)
+                .fault_plan(&plan)
+                .build()
+                .expect("channel links are infallible");
             let report = fed.run_round();
             assert_eq!(report.uploads_ok, 2);
             assert_eq!(report.uploads_dropped, 0);

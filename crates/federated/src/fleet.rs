@@ -47,12 +47,13 @@
 //! clients exercise neither.
 
 use crate::client::{FederatedClient, ModelUpdate};
+use crate::engine::{Action, EnginePolicy, Frame, RoundEngine};
 use crate::error::FedError;
 use crate::fault::{Fault, FaultPlan};
 use crate::federation::FedAvgConfig;
 use crate::pool::WorkerPool;
 use crate::report::{RoundReport, TransportStats};
-use crate::server::{AggregationServer, AggregationStrategy, RoundAccumulator, ServerOpt};
+use crate::server::{AggregationStrategy, RoundAccumulator, ServerOpt};
 use crate::wire;
 use fedpower_telemetry::{Counter, Event, EventKind, NullRecorder, Recorder, Span};
 use serde::{Deserialize, Serialize};
@@ -541,7 +542,10 @@ fn run_shard<F: FleetClientFactory>(
 pub struct Fleet<F: FleetClientFactory> {
     factory: F,
     config: FleetConfig,
-    server: AggregationServer,
+    /// The sans-I/O protocol core shared with the flat engine driver:
+    /// partial merges, staleness weighting, quorum, and commit all
+    /// happen here.
+    engine: RoundEngine,
     plan: FaultPlan,
     /// `(client, round)` cells inside a crash outage, precomputed from
     /// the plan.
@@ -558,7 +562,6 @@ pub struct Fleet<F: FleetClientFactory> {
     recorder: Box<dyn Recorder>,
     pool: WorkerPool,
     workspaces: Vec<<F::Client as FederatedClient>::Workspace>,
-    rounds_run: u64,
 }
 
 // Manual impl: the recorder is a trait object and workspaces need not be
@@ -567,7 +570,7 @@ impl<F: FleetClientFactory> std::fmt::Debug for Fleet<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Fleet")
             .field("config", &self.config)
-            .field("rounds_run", &self.rounds_run)
+            .field("rounds_run", &self.engine.rounds_run())
             .field("transport", &self.transport)
             .finish_non_exhaustive()
     }
@@ -668,18 +671,15 @@ impl<F: FleetClientFactory> Fleet<F> {
                 fed.server_momentum
             )));
         }
+        let policy = EnginePolicy::from_config(fed);
         let initial = factory.initial_global();
         if initial.is_empty() {
             return Err(FedError::InvalidConfig(
                 "initial global model cannot be empty".to_string(),
             ));
         }
-        let server = AggregationServer::with_optimizer(
-            initial,
-            fed.strategy,
-            fed.server_momentum,
-            fed.optimizer,
-        );
+        // Fleet slots are the dense id space itself.
+        let engine = RoundEngine::new(initial, policy, (0..config.num_clients).collect());
         let plan = plan.cloned().unwrap_or_default();
         let mut offline = BTreeSet::new();
         let mut crash_starts: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
@@ -697,7 +697,7 @@ impl<F: FleetClientFactory> Fleet<F> {
         let mut fleet = Fleet {
             factory,
             config,
-            server,
+            engine,
             plan,
             offline,
             crash_starts,
@@ -707,13 +707,14 @@ impl<F: FleetClientFactory> Fleet<F> {
             recorder,
             pool: WorkerPool::default(),
             workspaces: Vec::new(),
-            rounds_run: 0,
         };
-        let join_bytes = wire::encode_join_ack(0, fleet.server.global()).len();
+        let join_bytes = wire::encode_join_ack(0, fleet.engine.global()).len();
         for id in 0..fleet.config.num_clients {
-            let event = Event::with_bytes(EventKind::DownloadDelivered, 0, id, join_bytes);
-            fleet.transport.apply(&event);
-            fleet.recorder.event(event);
+            let actions = fleet.engine.handle(Frame::Join {
+                client: id,
+                frame_len: join_bytes,
+            });
+            Self::apply(&mut fleet.transport, &mut *fleet.recorder, None, actions);
         }
         Ok(fleet)
     }
@@ -725,7 +726,13 @@ impl<F: FleetClientFactory> Fleet<F> {
 
     /// The current global model parameters.
     pub fn global_params(&self) -> &[f32] {
-        self.server.global()
+        self.engine.global()
+    }
+
+    /// The sans-I/O round engine driving this fleet's protocol
+    /// decisions.
+    pub fn engine(&self) -> &RoundEngine {
+        &self.engine
     }
 
     /// Communication statistics so far.
@@ -735,7 +742,7 @@ impl<F: FleetClientFactory> Fleet<F> {
 
     /// Rounds completed so far.
     pub fn rounds_run(&self) -> u64 {
-        self.rounds_run
+        self.engine.rounds_run()
     }
 
     /// Installs a telemetry recorder; subsequent rounds emit through it.
@@ -762,6 +769,34 @@ impl<F: FleetClientFactory> Fleet<F> {
         recorder.event(event);
     }
 
+    /// Performs the engine's [`Action`]s: events go through the same
+    /// choke point as [`Fleet::emit`] (join-time actions carry no
+    /// report), counters go to the recorder, divergence to the report.
+    fn apply(
+        transport: &mut TransportStats,
+        recorder: &mut dyn Recorder,
+        mut report: Option<&mut RoundReport>,
+        actions: Vec<Action>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Emit(event) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.apply(&event);
+                    }
+                    transport.apply(&event);
+                    recorder.event(event);
+                }
+                Action::Count(counter) => recorder.counter(counter),
+                Action::Divergence(d) => {
+                    if let Some(r) = report.as_deref_mut() {
+                        r.client_divergence = d;
+                    }
+                }
+            }
+        }
+    }
+
     /// Executes one sharded federated round.
     ///
     /// Phases: shard fan-out (materialize → train → upload, reduced by
@@ -771,23 +806,17 @@ impl<F: FleetClientFactory> Fleet<F> {
     /// with the flat engine's semantics; like the flat engine, the round
     /// itself never panics over client behavior.
     pub fn run_round(&mut self) -> RoundReport {
-        let round = self.rounds_run + 1;
+        let round = self.engine.rounds_run() + 1;
         let mut report = RoundReport::begin(round);
-        Self::emit(
+        let actions = self.engine.handle(Frame::BeginRound);
+        Self::apply(
             &mut self.transport,
             &mut *self.recorder,
-            &mut report,
-            Event::round_scoped(EventKind::RoundStart, round),
+            Some(&mut report),
+            actions,
         );
-        // Commit-stage kind, mirroring the flat engine's round counter.
-        self.recorder.counter(Counter::new(
-            "optimizer",
-            round,
-            None,
-            self.config.fedavg.optimizer.kind().code(),
-        ));
 
-        let global: Vec<f32> = self.server.global().to_vec();
+        let global: Vec<f32> = self.engine.global().to_vec();
         // Clients whose crash outage begins this round pin the model they
         // currently hold; an existing ledger entry (earlier missed
         // broadcast) already records exactly that.
@@ -829,9 +858,9 @@ impl<F: FleetClientFactory> Fleet<F> {
 
         // Root fold, in shard order: replay each shard's buffered
         // telemetry through the emission choke point, account the shard,
-        // merge its partial, and collect its cross-round side effects.
+        // merge its partial into the engine's open round, and collect its
+        // cross-round side effects.
         let aggregate_start = Instant::now();
-        let mut acc = self.server.accumulator();
         let mut retained: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
         for edge in outcomes {
             for event in &edge.telemetry.events {
@@ -875,8 +904,8 @@ impl<F: FleetClientFactory> Fleet<F> {
             for (id, params) in edge.retained {
                 retained.insert(id, params);
             }
-            acc.merge(edge.acc)
-                .expect("shard accumulators share the root's strategy and shape");
+            self.engine
+                .handle(Frame::MergePartial { partial: edge.acc });
         }
 
         // Straggler updates whose delay elapsed (and whose client is
@@ -893,52 +922,25 @@ impl<F: FleetClientFactory> Fleet<F> {
                 .stash
                 .remove(&id)
                 .expect("selected from the stash above");
-            Self::emit(
+            let actions = self.engine.handle(Frame::StaleUpdate {
+                client: id,
+                origin_round: stashed.origin,
+                update: stashed.update,
+            });
+            Self::apply(
                 &mut self.transport,
                 &mut *self.recorder,
-                &mut report,
-                Event::with_bytes(
-                    EventKind::StaleReceived,
-                    round,
-                    id,
-                    self.config
-                        .fedavg
-                        .codec
-                        .upload_frame_len(stashed.update.params.len()),
-                ),
-            );
-            let age = round.saturating_sub(stashed.origin).max(1);
-            let weight = self.config.fedavg.staleness_decay.powi(age as i32);
-            let kind = if acc.admit(stashed.update, weight).is_ok() {
-                self.recorder
-                    .counter(Counter::new("stale_age", round, Some(id), age));
-                EventKind::StaleApplied
-            } else {
-                EventKind::UpdateRejected
-            };
-            Self::emit(
-                &mut self.transport,
-                &mut *self.recorder,
-                &mut report,
-                Event::client_scoped(kind, round, id),
+                Some(&mut report),
+                actions,
             );
         }
 
-        report.client_divergence = acc.divergence();
-        let quorum_met = acc.admitted() >= self.config.fedavg.min_quorum.max(1);
-        let committed = quorum_met && self.server.commit_round(acc).is_ok();
-        Self::emit(
+        let actions = self.engine.handle(Frame::CloseRound);
+        Self::apply(
             &mut self.transport,
             &mut *self.recorder,
-            &mut report,
-            Event::round_scoped(
-                if committed {
-                    EventKind::Aggregated
-                } else {
-                    EventKind::QuorumSkipped
-                },
-                round,
-            ),
+            Some(&mut report),
+            actions,
         );
         report.timing.aggregate_s = aggregate_start.elapsed().as_secs_f64();
         self.recorder
@@ -949,43 +951,43 @@ impl<F: FleetClientFactory> Fleet<F> {
         // its own post-round parameters via the ledger; a delivered one
         // syncs it back to the global.
         let broadcast_start = Instant::now();
-        let frame_len = wire::broadcast_frame_len(self.server.global().len());
+        let frame_len = wire::broadcast_frame_len(self.engine.global().len());
         for id in 0..self.config.num_clients {
             if self.offline.contains(&(id, round)) {
                 continue;
             }
-            if matches!(self.plan.fault_at(id, round), Some(Fault::DownloadDrop)) {
-                Self::emit(
-                    &mut self.transport,
-                    &mut *self.recorder,
-                    &mut report,
-                    Event::client_scoped(EventKind::DownloadDropped, round, id),
-                );
+            let frame = if matches!(self.plan.fault_at(id, round), Some(Fault::DownloadDrop)) {
                 if let Some(params) = retained.remove(&id) {
                     self.ledger.insert(id, params);
                 }
+                Frame::DownloadDropped { client: id }
             } else {
-                Self::emit(
-                    &mut self.transport,
-                    &mut *self.recorder,
-                    &mut report,
-                    Event::with_bytes(EventKind::DownloadDelivered, round, id, frame_len),
-                );
                 self.ledger.remove(&id);
-            }
+                Frame::Delivered {
+                    client: id,
+                    frame_len,
+                }
+            };
+            let actions = self.engine.handle(frame);
+            Self::apply(
+                &mut self.transport,
+                &mut *self.recorder,
+                Some(&mut report),
+                actions,
+            );
         }
         let broadcast_s = broadcast_start.elapsed().as_secs_f64();
         report.timing.transport_s += broadcast_s;
         self.recorder
             .span(Span::new("broadcast", round, broadcast_s));
 
-        Self::emit(
+        let actions = self.engine.handle(Frame::EndRound);
+        Self::apply(
             &mut self.transport,
             &mut *self.recorder,
-            &mut report,
-            Event::round_scoped(EventKind::RoundEnd, round),
+            Some(&mut report),
+            actions,
         );
-        self.rounds_run += 1;
         report
     }
 
@@ -1003,7 +1005,6 @@ mod tests {
     use super::*;
     use crate::fault::{CorruptionKind, FaultConfig};
     use crate::federation::Federation;
-    use crate::transport::TransportKind;
     use fedpower_telemetry::MemoryRecorder;
 
     /// A deterministic, stateless test client: training is a pure
@@ -1100,14 +1101,11 @@ mod tests {
             steps_per_round: 3,
             ..FedAvgConfig::paper()
         };
-        let mut fed = Federation::with_options(
-            clients,
-            cfg,
-            9,
-            TransportKind::Channel,
-            plan,
-            Box::new(NullRecorder),
-        )
+        let builder = Federation::builder(clients, cfg).seed(9);
+        let mut fed = match plan {
+            Some(p) => builder.fault_plan(p).build(),
+            None => builder.build(),
+        }
         .expect("flat federation constructs");
         let reports = fed.run();
         (fed.global_params().to_vec(), reports, *fed.transport())

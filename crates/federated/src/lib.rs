@@ -61,11 +61,13 @@
 
 mod batch;
 mod client;
+pub mod engine;
 mod error;
 mod exact;
 mod fault;
 mod federation;
 mod fleet;
+pub mod netserver;
 mod pool;
 pub mod report;
 mod server;
@@ -75,13 +77,15 @@ pub mod wire;
 
 pub use batch::BatchPlanner;
 pub use client::{AgentClient, FederatedClient, ModelUpdate, StaleUpdate};
+pub use engine::{Action, EnginePolicy, Frame, RoundEngine};
 pub use error::FedError;
 pub use exact::ExactSum;
 pub use fault::{
     CorruptionKind, Fault, FaultConfig, FaultPlan, FaultScenario, FaultyTransport, PlanCounts,
 };
-pub use federation::{FedAvgConfig, Federation};
+pub use federation::{FedAvgConfig, Federation, FederationBuilder};
 pub use fleet::{EdgeAggregator, Fleet, FleetClientFactory, FleetConfig};
+pub use netserver::{run_client, serve, serve_on, JoinOptions, ServeOptions, ServeReport};
 pub use pool::WorkerPool;
 pub use server::{
     AggregationServer, AggregationStrategy, AsyncRound, FedAdamCommit, FedAvgCommit, FedProxCommit,

@@ -1,0 +1,723 @@
+//! The standalone federation server and its network client driver: real
+//! TCP sockets driving the same sans-I/O [`RoundEngine`] the in-process
+//! drivers use.
+//!
+//! [`serve`] runs a hand-rolled *nonblocking readiness loop* — no async
+//! runtime — over one listening socket: every accepted connection gets
+//! its own [`FrameReassembler`], so partial reads never desynchronize a
+//! stream, and every complete frame becomes an engine [`Frame`]. The
+//! protocol decisions (admission, staleness weighting, quorum, commit)
+//! stay in the engine; this module owns only sockets, the wall clock,
+//! and the checkpoint file.
+//!
+//! # Protocol
+//!
+//! Frames on the wire are `fedpower-wire` envelopes behind the stream
+//! length prefix ([`fedpower_wire::stream`]):
+//!
+//! 1. A client connects and sends a join request naming its slot.
+//! 2. The server replies with a join ack carrying `(rounds_completed, θ)`
+//!    — a freshly started experiment acks round 0, a restarted server
+//!    acks wherever its checkpoint left off.
+//! 3. The client trains round `rounds_completed + 1` locally and uploads.
+//! 4. When every joined client's upload has resolved — or the round
+//!    deadline expires, closing out stragglers via [`RoundEngine::tick`]
+//!    — the server commits, checkpoints, broadcasts the new global, and
+//!    the cycle repeats from 3.
+//!
+//! # Churn
+//!
+//! Joins and leaves map onto the same accounting the in-process fault
+//! plans use: a connection dying mid-round becomes [`Frame::Offline`]
+//! (the round proceeds without it, `clients_offline` accounting), an
+//! upload that trained against an earlier round becomes
+//! [`Frame::StaleBytes`] (staleness-discounted admission), and a
+//! rejoining client is re-admitted through the ordinary join handshake.
+//! [`EventKind::ClientJoined`] / [`EventKind::ClientLeft`] record the
+//! churn itself — events only this driver emits, so the in-process
+//! telemetry streams (and their golden hashes) are unchanged.
+//!
+//! # Checkpointed resume
+//!
+//! After every round the engine state is written to the checkpoint path
+//! (atomic temp-file + rename, CRC-sealed — see
+//! [`fedpower_wire::checkpoint`]). Checkpoints are taken at *round
+//! boundaries only*: a server killed mid-round restarts from the last
+//! boundary and replays the interrupted round. Clients cache their last
+//! trained upload per round, so a replayed round re-admits the *same*
+//! updates — and because streaming aggregation is admission-order
+//! independent ([`crate::ExactSum`]), the replayed commit is
+//! bit-identical to the one the crash destroyed.
+
+use crate::client::FederatedClient;
+use crate::engine::{Action, EnginePolicy, Frame, RoundEngine};
+use crate::error::FedError;
+use crate::federation::FedAvgConfig;
+use crate::wire;
+use fedpower_telemetry::{Event, EventKind, Recorder};
+use fedpower_wire::checkpoint::Checkpoint;
+use fedpower_wire::stream::{prefix_frame, FrameReassembler};
+use fedpower_wire::{Envelope, MsgKind, Payload};
+use std::collections::BTreeSet;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// How long [`serve`]'s readiness loop sleeps when a poll pass moved no
+/// bytes — long enough to stay off the CPU, short next to any round.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// Configuration of one [`serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7070` (port 0 picks a free port;
+    /// the bound address is echoed through [`ServeReport::addr`]).
+    pub addr: String,
+    /// Client slots: clients identify as `0..slots` in their join
+    /// requests; anything else is refused.
+    pub slots: usize,
+    /// Total rounds to run (absolute — a resumed server counts the
+    /// checkpointed rounds toward this target).
+    pub rounds: u64,
+    /// The federation policy (quorum, optimizer, codec, staleness).
+    pub config: FedAvgConfig,
+    /// Initial global model θ₁. Must be non-empty and must match what a
+    /// restored checkpoint expects; ignored otherwise after a restore.
+    pub initial_global: Vec<f32>,
+    /// Checkpoint file. When the file exists at startup the server
+    /// resumes from it; every completed round overwrites it atomically.
+    /// `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// How many clients must have joined before a round opens. Rounds
+    /// wait for this population, so deterministic experiments get
+    /// deterministic participant sets. Clamped to `1..=slots`.
+    pub wait_for: usize,
+    /// Wall-clock budget per round: when it expires the engine's
+    /// deadline tick closes out still-pending clients as offline.
+    pub round_timeout: Duration,
+    /// Test hook: exit cleanly right after checkpointing this round
+    /// (simulates a crash at a round boundary without signal plumbing;
+    /// the kill-and-resume CI job uses a real SIGKILL instead).
+    pub halt_after: Option<u64>,
+}
+
+impl ServeOptions {
+    /// Server options for `slots` clients with the given federation
+    /// config and initial model: listen on an ephemeral local port, wait
+    /// for the full population each round, 30-second round deadline, no
+    /// checkpoint.
+    pub fn new(slots: usize, config: FedAvgConfig, initial_global: Vec<f32>) -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            slots,
+            rounds: config.rounds,
+            config,
+            initial_global,
+            checkpoint: None,
+            wait_for: slots,
+            round_timeout: Duration::from_secs(30),
+            halt_after: None,
+        }
+    }
+}
+
+/// What a completed (or halted) [`serve`] run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The address the listener actually bound (resolves port 0).
+    pub addr: String,
+    /// Rounds run in total, including checkpointed ones.
+    pub rounds_run: u64,
+    /// Rounds that met quorum and committed.
+    pub rounds_committed: u64,
+    /// The final global model θ.
+    pub global: Vec<f32>,
+    /// The round count the server resumed from, when it restored a
+    /// checkpoint at startup.
+    pub resumed_from: Option<u64>,
+}
+
+/// One accepted connection: its socket, stream reassembler, and the
+/// slot it identified as (after its join request).
+struct Conn {
+    stream: TcpStream,
+    reasm: FrameReassembler,
+    slot: Option<usize>,
+    dead: bool,
+}
+
+/// Per-round driver state the engine deliberately does not own: which
+/// slots already had an upload fed in (a reconnecting client re-sends
+/// its cached round upload; the duplicate must not be admitted twice).
+#[derive(Default)]
+struct RoundLedger {
+    fed: BTreeSet<usize>,
+}
+
+/// Performs the engine's obligations against the recorder (the
+/// standalone server keeps no `RoundReport`; reports are reconstructed
+/// from telemetry by `telemetry_replay`).
+fn apply(recorder: &mut dyn Recorder, actions: Vec<Action>) {
+    for action in actions {
+        match action {
+            Action::Emit(event) => recorder.event(event),
+            Action::Count(counter) => recorder.counter(counter),
+            Action::Divergence(_) => {}
+        }
+    }
+}
+
+/// Runs the standalone federation server until `opts.rounds` rounds have
+/// completed (or the `halt_after` hook fires).
+///
+/// # Errors
+///
+/// [`FedError::Io`] when the listener cannot bind or a checkpoint
+/// cannot be written/restored; [`FedError::InvalidConfig`] when the
+/// options are degenerate or a restored checkpoint disagrees with the
+/// configuration. Individual connection failures are *not* errors —
+/// they are churn, accounted through the engine.
+pub fn serve(opts: &ServeOptions, recorder: &mut dyn Recorder) -> Result<ServeReport, FedError> {
+    // A restarted server races the kernel's TIME_WAIT hold on its old
+    // port; retry AddrInUse briefly instead of failing the resume.
+    let t0 = Instant::now();
+    let listener = loop {
+        match TcpListener::bind(&opts.addr) {
+            Ok(l) => break l,
+            Err(e)
+                if e.kind() == ErrorKind::AddrInUse && t0.elapsed() < Duration::from_secs(15) =>
+            {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    serve_on(listener, opts, recorder)
+}
+
+/// [`serve`] on an already-bound listener — for callers that need the
+/// port before the server runs (tests, systemd-style socket activation).
+/// `opts.addr` is ignored; the listener's address is authoritative.
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_on(
+    listener: TcpListener,
+    opts: &ServeOptions,
+    recorder: &mut dyn Recorder,
+) -> Result<ServeReport, FedError> {
+    if opts.slots == 0 {
+        return Err(FedError::InvalidConfig(
+            "the server needs at least one client slot".to_string(),
+        ));
+    }
+    if opts.initial_global.is_empty() {
+        return Err(FedError::InvalidConfig(
+            "the server needs a non-empty initial global model".to_string(),
+        ));
+    }
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?.to_string();
+
+    let mut policy = EnginePolicy::from_config(&opts.config);
+    // One tick per round: the driver owns the wall clock and spends the
+    // whole deadline budget in a single expiry.
+    policy.deadline_ticks = Some(1);
+    let mut engine = RoundEngine::new(
+        opts.initial_global.clone(),
+        policy,
+        (0..opts.slots).collect(),
+    );
+    let mut resumed_from = None;
+    if let Some(path) = &opts.checkpoint {
+        if path.exists() {
+            let ck = Checkpoint::load(path)?;
+            let at = ck.rounds_run;
+            engine.restore(ck)?;
+            resumed_from = Some(at);
+        }
+    }
+    let wait_for = opts.wait_for.clamp(1, opts.slots);
+
+    let mut conns: Vec<Conn> = Vec::new();
+    // Uploads that arrived while no round was open (a client racing
+    // ahead of the quorum wait); drained right after the next round
+    // opens.
+    let mut parked: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut ledger = RoundLedger::default();
+    let mut round_opened: Option<Instant> = None;
+
+    'rounds: while engine.rounds_run() < opts.rounds {
+        let mut moved = false;
+
+        // Admit new connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn {
+                        stream,
+                        reasm: FrameReassembler::new(),
+                        slot: None,
+                        dead: false,
+                    });
+                    moved = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // Pump every connection: read what the socket has, surface
+        // complete frames, feed them to the engine.
+        for conn in &mut conns {
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.reasm.extend(&chunk[..n]);
+                        moved = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            while !conn.dead {
+                match conn.reasm.next_frame() {
+                    Ok(Some(frame)) => {
+                        if !handle_frame(
+                            conn,
+                            frame,
+                            &mut engine,
+                            recorder,
+                            &mut parked,
+                            &mut ledger,
+                        ) {
+                            conn.dead = true;
+                        }
+                    }
+                    Ok(None) => break,
+                    // Desynchronized or hostile stream; drop it.
+                    Err(_) => conn.dead = true,
+                }
+            }
+        }
+
+        // Reap dead connections: a joined client leaving mid-round is
+        // the fault plans' Offline for this round.
+        for conn in &mut conns {
+            if !conn.dead {
+                continue;
+            }
+            if let Some(slot) = conn.slot.take() {
+                let open = engine.open_round();
+                if open.is_some() && engine.upload_pending(slot) {
+                    apply(recorder, engine.handle(Frame::Offline { client: slot }));
+                }
+                recorder.event(Event::client_scoped(
+                    EventKind::ClientLeft,
+                    open.unwrap_or_else(|| engine.rounds_run()),
+                    slot,
+                ));
+                engine.leave(slot);
+            }
+        }
+        conns.retain(|c| !c.dead);
+
+        // Round management.
+        if round_opened.is_none() {
+            let joined = (0..opts.slots).filter(|&s| engine.joined(s)).count();
+            if joined >= wait_for {
+                apply(recorder, engine.handle(Frame::BeginRound));
+                round_opened = Some(Instant::now());
+                ledger.fed.clear();
+                for (slot, bytes) in std::mem::take(&mut parked) {
+                    if engine.joined(slot) {
+                        dispatch_upload(
+                            slot,
+                            bytes,
+                            &mut engine,
+                            recorder,
+                            &mut parked,
+                            &mut ledger,
+                        );
+                    }
+                }
+                moved = true;
+            }
+        }
+        if let Some(t0) = round_opened {
+            let expired = t0.elapsed() >= opts.round_timeout;
+            if expired {
+                apply(recorder, engine.tick());
+            }
+            if expired || engine.pending_uploads() == 0 {
+                let round = engine.rounds_run() + 1;
+                apply(recorder, engine.handle(Frame::CloseRound));
+                broadcast(&mut conns, round, &mut engine, recorder);
+                apply(recorder, engine.handle(Frame::EndRound));
+                round_opened = None;
+                // Make the round's telemetry durable before the
+                // checkpoint that covers it: a crash-recovery replay
+                // (`telemetry_replay`) must never see the log behind
+                // the checkpoint.
+                recorder.flush();
+                if let Some(path) = &opts.checkpoint {
+                    engine.checkpoint().save(path)?;
+                }
+                if opts.halt_after == Some(engine.rounds_run()) {
+                    break 'rounds;
+                }
+                moved = true;
+            }
+        }
+
+        if !moved {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+
+    Ok(ServeReport {
+        addr,
+        rounds_run: engine.rounds_run(),
+        rounds_committed: engine.rounds_committed(),
+        global: engine.global().to_vec(),
+        resumed_from,
+    })
+}
+
+/// Processes one complete frame from `conn`. Returns `false` when the
+/// connection violated the protocol and should be dropped.
+fn handle_frame(
+    conn: &mut Conn,
+    frame: Vec<u8>,
+    engine: &mut RoundEngine,
+    recorder: &mut dyn Recorder,
+    parked: &mut Vec<(usize, Vec<u8>)>,
+    ledger: &mut RoundLedger,
+) -> bool {
+    let Ok(env) = Envelope::decode(&frame) else {
+        // A structurally broken frame from an identified, not-yet-fed
+        // connection still reaches the engine (when a round is open) so
+        // the rejection is accounted; anything else is simply dropped.
+        return match conn.slot {
+            Some(slot) if engine.open_round().is_some() && !ledger.fed.contains(&slot) => {
+                ledger.fed.insert(slot);
+                apply(
+                    recorder,
+                    engine.handle(Frame::Upload {
+                        client: slot,
+                        sent_len: frame.len(),
+                        bytes: frame,
+                    }),
+                );
+                true
+            }
+            _ => false,
+        };
+    };
+    match env.kind() {
+        MsgKind::JoinRequest => {
+            let slot = env.client_id as usize;
+            if slot >= engine.client_count() {
+                return false;
+            }
+            conn.slot = Some(slot);
+            let ack = wire::encode_join_ack_at(engine.rounds_run(), slot, engine.global());
+            let ack_len = ack.len();
+            if write_frame(&mut conn.stream, &ack).is_err() {
+                return false;
+            }
+            apply(
+                recorder,
+                engine.handle(Frame::Join {
+                    client: slot,
+                    frame_len: ack_len,
+                }),
+            );
+            recorder.event(Event::client_scoped(
+                EventKind::ClientJoined,
+                engine.rounds_run(),
+                slot,
+            ));
+            true
+        }
+        MsgKind::ModelUpload | MsgKind::CodecUpload => {
+            let Some(slot) = conn.slot else {
+                return false; // uploads before the join handshake
+            };
+            dispatch_upload(slot, frame, engine, recorder, parked, ledger);
+            true
+        }
+        // Clients never send acks or broadcasts.
+        MsgKind::JoinAck | MsgKind::Broadcast => false,
+    }
+}
+
+/// Routes an upload frame to the right engine admission path: fresh for
+/// the open round, staleness-discounted when it trained against an
+/// earlier round, parked when no round it fits is open yet. Re-sent
+/// duplicates (a client re-joining mid-round re-submits its cached
+/// upload) are dropped — the engine already folded the first copy.
+fn dispatch_upload(
+    slot: usize,
+    bytes: Vec<u8>,
+    engine: &mut RoundEngine,
+    recorder: &mut dyn Recorder,
+    parked: &mut Vec<(usize, Vec<u8>)>,
+    ledger: &mut RoundLedger,
+) {
+    let origin = Envelope::decode(&bytes).map(|e| e.round).unwrap_or(0);
+    match engine.open_round() {
+        Some(_) if ledger.fed.contains(&slot) => {}
+        Some(round) if origin == round || origin == 0 => {
+            ledger.fed.insert(slot);
+            let sent_len = bytes.len();
+            apply(
+                recorder,
+                engine.handle(Frame::Upload {
+                    client: slot,
+                    sent_len,
+                    bytes,
+                }),
+            );
+        }
+        Some(round) if origin < round => {
+            ledger.fed.insert(slot);
+            apply(
+                recorder,
+                engine.handle(Frame::StaleBytes {
+                    client: slot,
+                    bytes,
+                }),
+            );
+        }
+        // origin > round (a replayed-round race) or no round open: hold
+        // the frame until its round opens.
+        _ => parked.push((slot, bytes)),
+    }
+}
+
+/// Broadcasts the round's global model to every joined connection,
+/// feeding the engine the delivery outcome per client.
+fn broadcast(
+    conns: &mut [Conn],
+    round: u64,
+    engine: &mut RoundEngine,
+    recorder: &mut dyn Recorder,
+) {
+    for conn in conns.iter_mut() {
+        let Some(slot) = conn.slot else { continue };
+        if !engine.joined(slot) {
+            continue;
+        }
+        let frame = wire::encode_broadcast(round, slot, engine.global());
+        let frame_len = frame.len();
+        let outcome = if write_frame(&mut conn.stream, &frame).is_ok() {
+            Frame::Delivered {
+                client: slot,
+                frame_len,
+            }
+        } else {
+            conn.dead = true;
+            Frame::DownloadDropped { client: slot }
+        };
+        apply(recorder, engine.handle(outcome));
+    }
+}
+
+/// Writes one length-prefixed frame, retrying `WouldBlock` (a
+/// momentarily full send buffer on the server's nonblocking sockets)
+/// with short sleeps.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let wire_bytes = prefix_frame(frame);
+    let mut written = 0;
+    while written < wire_bytes.len() {
+        match stream.write(&wire_bytes[written..]) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(IDLE_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    stream.flush()
+}
+
+/// Configuration of one [`run_client`] session.
+#[derive(Debug, Clone)]
+pub struct JoinOptions {
+    /// Server address to connect to.
+    pub addr: String,
+    /// Stop once the server has completed this many rounds.
+    pub rounds: u64,
+    /// Local environment steps per round.
+    pub steps_per_round: u64,
+    /// Upload codec to encode round updates with.
+    pub codec: wire::Codec,
+    /// Total budget for (re)connecting — covers both the initial
+    /// connection and re-joining across a server restart.
+    pub reconnect: Duration,
+    /// How long one blocking read may wait before the client treats the
+    /// connection as lost and re-joins. Must comfortably exceed the
+    /// server's round duration (slowest client's training time).
+    pub read_timeout: Duration,
+}
+
+impl JoinOptions {
+    /// Client options against `addr` mirroring the server's `config`.
+    pub fn new(addr: impl Into<String>, config: &FedAvgConfig) -> Self {
+        JoinOptions {
+            addr: addr.into(),
+            rounds: config.rounds,
+            steps_per_round: config.steps_per_round,
+            codec: config.codec,
+            reconnect: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Runs one federated client against a [`serve`] instance until the
+/// server has completed `opts.rounds` rounds; returns the final global
+/// model it installed.
+///
+/// Survives server restarts: on any connection failure the client
+/// re-joins (within `opts.reconnect`), and its last trained upload is
+/// cached per round so a replayed round re-submits the *same* update
+/// instead of training twice — the property the checkpointed-resume
+/// bit-identity guarantee rests on.
+///
+/// # Errors
+///
+/// [`FedError::Io`] when the server stays unreachable past the
+/// reconnect budget, and [`FedError::Wire`] /
+/// [`FedError::CorruptUpdate`] when the server speaks a malformed
+/// protocol.
+pub fn run_client<C: FederatedClient>(
+    opts: &JoinOptions,
+    client: &mut C,
+) -> Result<Vec<f32>, FedError> {
+    let slot = client.id();
+    let mut cached: Option<(u64, Vec<u8>)> = None;
+    'sessions: loop {
+        let mut stream = connect_retry(&opts.addr, opts.reconnect, opts.read_timeout)?;
+        let mut reasm = FrameReassembler::new();
+        if write_frame(&mut stream, &Envelope::join_request(slot as u64).encode()).is_err() {
+            continue 'sessions;
+        }
+        let Ok(ack) = recv_frame(&mut stream, &mut reasm) else {
+            continue 'sessions;
+        };
+        let env = Envelope::decode(&ack)?;
+        let (mut completed, global) = match env.payload {
+            Payload::JoinAck { params } => (env.round, params),
+            other => {
+                return Err(FedError::CorruptUpdate {
+                    client_id: slot,
+                    reason: format!("expected a join ack, got {:?}", other.kind()),
+                })
+            }
+        };
+        client.download(&global);
+        if completed >= opts.rounds {
+            return Ok(global);
+        }
+        // The (round, params) reference top-k uploads encode against:
+        // the last global this client installed.
+        let mut reference = (completed, global);
+        loop {
+            let round = completed + 1;
+            let frame = match &cached {
+                Some((r, f)) if *r == round => f.clone(),
+                _ => {
+                    client.begin_round(round);
+                    client.train_round(opts.steps_per_round);
+                    let update = client.upload();
+                    let f = wire::encode_upload_with(
+                        opts.codec,
+                        round,
+                        &update,
+                        Some((reference.0, reference.1.as_slice())),
+                    );
+                    cached = Some((round, f.clone()));
+                    f
+                }
+            };
+            if write_frame(&mut stream, &frame).is_err() {
+                continue 'sessions;
+            }
+            let Ok(reply) = recv_frame(&mut stream, &mut reasm) else {
+                continue 'sessions;
+            };
+            let env = Envelope::decode(&reply)?;
+            let Payload::Broadcast { params } = env.payload else {
+                return Err(FedError::CorruptUpdate {
+                    client_id: slot,
+                    reason: format!("expected a broadcast, got {:?}", env.payload.kind()),
+                });
+            };
+            client.download(&params);
+            completed = env.round;
+            if completed >= opts.rounds {
+                return Ok(params);
+            }
+            reference = (completed, params);
+        }
+    }
+}
+
+/// Connects with retries until `budget` elapses (the server may still be
+/// starting, or restarting after a crash).
+fn connect_retry(
+    addr: &str,
+    budget: Duration,
+    read_timeout: Duration,
+) -> Result<TcpStream, FedError> {
+    let t0 = Instant::now();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(read_timeout))?;
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => {
+                if t0.elapsed() >= budget {
+                    return Err(FedError::Io(format!(
+                        "server at {addr} unreachable for {budget:?}: {e}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Receives one complete frame on the blocking client socket, retaining
+/// partial progress in `reasm` across reads.
+fn recv_frame(stream: &mut TcpStream, reasm: &mut FrameReassembler) -> std::io::Result<Vec<u8>> {
+    loop {
+        match reasm.next_frame() {
+            Ok(Some(frame)) => return Ok(frame),
+            Ok(None) => {}
+            Err(e) => return Err(std::io::Error::new(ErrorKind::InvalidData, e.to_string())),
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ErrorKind::UnexpectedEof.into());
+        }
+        reasm.extend(&chunk[..n]);
+    }
+}

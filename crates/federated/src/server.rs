@@ -550,6 +550,96 @@ impl AggregationServer {
         self.rounds_completed
     }
 
+    /// Serializes the commit stage's mutable cross-round state (round
+    /// count, FedAvgM velocity, Adam moments) into the opaque optimizer
+    /// blob a checkpoint carries. Hyperparameters are *not* stored — a
+    /// restored server is rebuilt from configuration first, then this
+    /// blob reinstates only what training mutated.
+    pub(crate) fn snapshot_opt_state(&self) -> Vec<u8> {
+        fn put_params(out: &mut Vec<u8>, params: &[f32]) {
+            out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+            for p in params {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.push(self.opt.kind().code() as u8);
+        out.extend_from_slice(&self.rounds_completed.to_le_bytes());
+        match &self.opt {
+            CommitState::FedAvg(o) => put_params(&mut out, &o.velocity),
+            CommitState::FedAdam(o) => {
+                out.extend_from_slice(&o.t.to_le_bytes());
+                put_params(&mut out, &o.m);
+                put_params(&mut out, &o.v);
+            }
+            CommitState::FedProx(o) => put_params(&mut out, &o.inner.velocity),
+        }
+        out
+    }
+
+    /// Restores the commit stage's mutable state from a blob written by
+    /// [`AggregationServer::snapshot_opt_state`]. The server must already
+    /// be configured identically to the one that wrote the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedError::InvalidConfig`] when the blob's optimizer kind
+    /// or state shapes disagree with this server's configuration, or the
+    /// blob is truncated/oversized.
+    pub(crate) fn restore_opt_state(&mut self, blob: &[u8]) -> Result<(), FedError> {
+        let mut cur = OptBlobCursor { buf: blob, pos: 0 };
+        let kind = cur.u8()?;
+        if kind != self.opt.kind().code() as u8 {
+            return Err(FedError::InvalidConfig(format!(
+                "checkpoint optimizer kind {kind} does not match the configured {:?}",
+                self.opt.kind()
+            )));
+        }
+        let rounds_completed = cur.u64()?;
+        let opt = match &self.opt {
+            CommitState::FedAvg(o) => CommitState::FedAvg(FedAvgCommit {
+                momentum: o.momentum,
+                velocity: cur.params(o.velocity.len())?,
+            }),
+            CommitState::FedAdam(o) => {
+                let t = cur.u64()?;
+                CommitState::FedAdam(FedAdamCommit {
+                    t,
+                    m: cur.params(o.m.len())?,
+                    v: cur.params(o.v.len())?,
+                    ..o.clone()
+                })
+            }
+            CommitState::FedProx(o) => CommitState::FedProx(FedProxCommit {
+                mu: o.mu,
+                inner: FedAvgCommit {
+                    momentum: o.inner.momentum,
+                    velocity: cur.params(o.inner.velocity.len())?,
+                },
+            }),
+        };
+        if cur.pos != blob.len() {
+            return Err(FedError::InvalidConfig(format!(
+                "optimizer blob has {} trailing bytes",
+                blob.len() - cur.pos
+            )));
+        }
+        self.opt = opt;
+        self.rounds_completed = rounds_completed;
+        Ok(())
+    }
+
+    /// Replaces θ wholesale (checkpoint restore). The shape must match —
+    /// the commit stage's per-coordinate state was sized at construction.
+    pub(crate) fn restore_global(&mut self, global: Vec<f32>) {
+        assert_eq!(
+            global.len(),
+            self.global.len(),
+            "checkpoint global shape must match the configured model"
+        );
+        self.global = global;
+    }
+
     /// Combines client updates into the next global model and returns it.
     ///
     /// Mean-based strategies compute `θ_{r+1} = Σ w_n · θ_r^n`; the robust
@@ -807,6 +897,49 @@ impl AggregationServer {
             out.push(combine(&column));
         }
         Ok(out)
+    }
+}
+
+/// Bounds-checked reader over an optimizer state blob
+/// ([`AggregationServer::restore_opt_state`]).
+struct OptBlobCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl OptBlobCursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], FedError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FedError::InvalidConfig(
+                "optimizer blob truncated".to_string(),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FedError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, FedError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// A parameter vector whose length prefix must equal `expected`.
+    fn params(&mut self, expected: usize) -> Result<Vec<f32>, FedError> {
+        let declared = u32::from_le_bytes(self.take(4)?.try_into().expect("4")) as usize;
+        if declared != expected {
+            return Err(FedError::InvalidConfig(format!(
+                "optimizer blob state has {declared} parameters, model has {expected}"
+            )));
+        }
+        let bytes = self.take(4 * declared)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4")))
+            .collect())
     }
 }
 
@@ -1789,5 +1922,92 @@ mod tests {
     fn async_round_rejects_out_of_range_decay() {
         let server = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
         let _ = server.async_round(0.0);
+    }
+
+    #[test]
+    fn optimizer_state_round_trips_through_the_blob_bitwise() {
+        // Train a FedAdam server two rounds, snapshot, rebuild from the
+        // same configuration, restore — then a third round must commit
+        // bit-identically on both servers (moments and t carried over).
+        let mut live = AggregationServer::with_optimizer(
+            vec![0.0; 2],
+            AggregationStrategy::Uniform,
+            0.0,
+            ServerOpt::fedadam(),
+        );
+        for r in 0..2 {
+            live.aggregate(&[update(0, vec![1.0 + r as f32, -2.0], 1)])
+                .unwrap();
+        }
+        let blob = live.snapshot_opt_state();
+        let mut restored = AggregationServer::with_optimizer(
+            live.global().to_vec(),
+            AggregationStrategy::Uniform,
+            0.0,
+            ServerOpt::fedadam(),
+        );
+        restored.restore_opt_state(&blob).unwrap();
+        assert_eq!(restored.rounds_completed(), 2);
+        let next = [update(0, vec![0.25, 0.75], 1)];
+        let a: Vec<u32> = live
+            .aggregate(&next)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        let b: Vec<u32> = restored
+            .aggregate(&next)
+            .unwrap()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(a, b, "restored Adam moments must continue bit-identically");
+    }
+
+    #[test]
+    fn momentum_velocity_survives_the_blob() {
+        let mut live =
+            AggregationServer::with_momentum(vec![0.0], AggregationStrategy::Uniform, 0.5);
+        live.aggregate(&[update(0, vec![1.0], 1)]).unwrap();
+        let blob = live.snapshot_opt_state();
+        let mut restored = AggregationServer::with_momentum(
+            live.global().to_vec(),
+            AggregationStrategy::Uniform,
+            0.5,
+        );
+        restored.restore_opt_state(&blob).unwrap();
+        let a = live.aggregate(&[update(0, vec![1.0], 1)]).unwrap()[0].to_bits();
+        let b = restored.aggregate(&[update(0, vec![1.0], 1)]).unwrap()[0].to_bits();
+        assert_eq!(a, b, "FedAvgM velocity must carry across restore");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_blobs() {
+        let mut fedavg = AggregationServer::new(vec![0.0], AggregationStrategy::Uniform);
+        let adam_blob = AggregationServer::with_optimizer(
+            vec![0.0],
+            AggregationStrategy::Uniform,
+            0.0,
+            ServerOpt::fedadam(),
+        )
+        .snapshot_opt_state();
+        assert!(matches!(
+            fedavg.restore_opt_state(&adam_blob),
+            Err(FedError::InvalidConfig(_))
+        ));
+
+        let mut wrong_shape = AggregationServer::new(vec![0.0; 3], AggregationStrategy::Uniform);
+        let blob = fedavg.snapshot_opt_state();
+        assert!(matches!(
+            wrong_shape.restore_opt_state(&blob),
+            Err(FedError::InvalidConfig(_))
+        ));
+
+        let mut truncated = fedavg.snapshot_opt_state();
+        truncated.pop();
+        assert!(fedavg.restore_opt_state(&truncated).is_err());
+        let mut trailing = fedavg.snapshot_opt_state();
+        trailing.push(0);
+        assert!(fedavg.restore_opt_state(&trailing).is_err());
     }
 }

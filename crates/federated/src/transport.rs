@@ -1,4 +1,5 @@
 use crate::error::FedError;
+use fedpower_wire::stream;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{Read, Write};
@@ -162,9 +163,14 @@ const TCP_READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Loopback TCP transport: frames cross a real socket pair.
 ///
 /// Each link binds an ephemeral listener on `127.0.0.1`, connects, and
-/// holds both stream ends. Frames are `u32` little-endian length-prefixed;
-/// read timeouts and I/O failures map onto the federation's drop
-/// dispositions ([`FedError::UploadDropped`] /
+/// holds both stream ends. Frames are `u32` little-endian length-prefixed
+/// and reassembled through a persistent per-end
+/// [`fedpower_wire::stream::FrameReassembler`], so a short read — or a
+/// read timeout landing mid-frame — keeps its partial progress instead of
+/// desynchronizing the stream (the pre-reassembler implementation used
+/// bare `read_exact` and silently discarded a timed-out frame's prefix,
+/// corrupting every frame after it). Timeouts and I/O failures map onto
+/// the federation's drop dispositions ([`FedError::UploadDropped`] /
 /// [`FedError::DownloadDropped`]).
 #[derive(Debug)]
 pub struct TcpTransport {
@@ -173,6 +179,10 @@ pub struct TcpTransport {
     server_end: TcpStream,
     /// The client's end of the socket.
     client_end: TcpStream,
+    /// Reassembly buffer for bytes arriving at the server end.
+    server_rx: stream::FrameReassembler,
+    /// Reassembly buffer for bytes arriving at the client end.
+    client_rx: stream::FrameReassembler,
 }
 
 impl TcpTransport {
@@ -204,6 +214,8 @@ impl TcpTransport {
             client_id,
             server_end,
             client_end,
+            server_rx: stream::FrameReassembler::new(),
+            client_rx: stream::FrameReassembler::new(),
         })
     }
 
@@ -213,28 +225,46 @@ impl TcpTransport {
         stream.flush()
     }
 
-    fn recv_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-        let mut len = [0u8; 4];
-        stream.read_exact(&mut len)?;
-        let len = u32::from_le_bytes(len) as usize;
-        if len > fedpower_wire::MAX_PAYLOAD_LEN + fedpower_wire::FRAME_OVERHEAD {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("declared frame length {len} exceeds protocol maximum"),
-            ));
+    /// Reads until the reassembler surfaces one whole frame. A timeout
+    /// (or any other error) mid-frame leaves the partial bytes buffered
+    /// in `reasm`, so the next call resumes where this one stopped —
+    /// the stream never desynchronizes.
+    fn recv_frame(
+        stream: &mut TcpStream,
+        reasm: &mut stream::FrameReassembler,
+    ) -> std::io::Result<Vec<u8>> {
+        loop {
+            match reasm.next_frame() {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            reasm.extend(&chunk[..n]);
         }
-        let mut frame = vec![0u8; len];
-        stream.read_exact(&mut frame)?;
-        Ok(frame)
     }
 
-    fn hop(tx: &TcpStream, rx: &mut TcpStream, frame: &[u8]) -> std::io::Result<Vec<u8>> {
+    fn hop(
+        tx: &TcpStream,
+        rx: &mut TcpStream,
+        reasm: &mut stream::FrameReassembler,
+        frame: &[u8],
+    ) -> std::io::Result<Vec<u8>> {
         // Write from a helper thread so a frame larger than the socket
         // buffers cannot deadlock the synchronous send-then-receive hop.
         let mut tx = tx.try_clone()?;
         let frame = frame.to_vec();
         let writer = std::thread::spawn(move || TcpTransport::send_frame(&mut tx, &frame));
-        let received = TcpTransport::recv_frame(rx);
+        let received = TcpTransport::recv_frame(rx, reasm);
         match writer.join() {
             Ok(Ok(())) => received,
             Ok(Err(e)) => Err(e),
@@ -249,18 +279,26 @@ impl Transport for TcpTransport {
     }
 
     fn upload(&mut self, frame: &[u8]) -> Result<Vec<u8>, FedError> {
-        TcpTransport::hop(&self.client_end, &mut self.server_end, frame).map_err(|_| {
-            FedError::UploadDropped {
-                client_id: self.client_id,
-            }
+        TcpTransport::hop(
+            &self.client_end,
+            &mut self.server_end,
+            &mut self.server_rx,
+            frame,
+        )
+        .map_err(|_| FedError::UploadDropped {
+            client_id: self.client_id,
         })
     }
 
     fn broadcast(&mut self, frame: &[u8]) -> Result<Vec<u8>, FedError> {
-        TcpTransport::hop(&self.server_end, &mut self.client_end, frame).map_err(|_| {
-            FedError::DownloadDropped {
-                client_id: self.client_id,
-            }
+        TcpTransport::hop(
+            &self.server_end,
+            &mut self.client_end,
+            &mut self.client_rx,
+            frame,
+        )
+        .map_err(|_| FedError::DownloadDropped {
+            client_id: self.client_id,
         })
     }
 }
@@ -344,6 +382,49 @@ mod tests {
         let mut link = TcpTransport::connect(7).expect("loopback TCP available");
         assert_eq!(link.client_id(), 7);
         exercise_link(&mut link);
+    }
+
+    #[test]
+    fn tcp_short_reads_survive_a_timeout_without_desync() {
+        // Regression test for the short-read desync: deliver a frame's
+        // length prefix (and part of its body), let the receive attempt
+        // time out, then deliver the rest plus a second frame. The old
+        // `read_exact`-based receiver discarded the partial progress, so
+        // the resumed read misparsed the body tail as a length prefix;
+        // the persistent reassembler must hand over both frames intact.
+        let mut link = TcpTransport::connect(3).expect("loopback TCP available");
+        link.server_end
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let first = vec![0x11u8; 200];
+        let second = vec![0x22u8; 32];
+        let mut wire = (first.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&first);
+        // Prefix + half the body now; the rest after the timeout.
+        let cut = 4 + first.len() / 2;
+        let mut tx = link.client_end.try_clone().unwrap();
+        tx.write_all(&wire[..cut]).unwrap();
+        tx.flush().unwrap();
+        let timed_out = TcpTransport::recv_frame(&mut link.server_end, &mut link.server_rx)
+            .expect_err("only half a frame has arrived");
+        assert!(
+            matches!(
+                timed_out.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "{timed_out:?}"
+        );
+        tx.write_all(&wire[cut..]).unwrap();
+        let mut second_wire = (second.len() as u32).to_le_bytes().to_vec();
+        second_wire.extend_from_slice(&second);
+        tx.write_all(&second_wire).unwrap();
+        tx.flush().unwrap();
+        let got_first =
+            TcpTransport::recv_frame(&mut link.server_end, &mut link.server_rx).unwrap();
+        assert_eq!(got_first, first, "partial progress was retained");
+        let got_second =
+            TcpTransport::recv_frame(&mut link.server_end, &mut link.server_rx).unwrap();
+        assert_eq!(got_second, second, "stream stayed in sync");
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! top-k sparse uploads reconstruct against.
 
 pub use fedpower_wire::{
-    broadcast_frame_len, crc32, upload_frame_len, Codec, CodecError, CodecScratch, CodedUpdate,
-    Envelope, MsgKind, Payload, WireError, CODEC_VERSION, FRAME_OVERHEAD, HEADER_LEN, MAGIC,
-    MAX_PAYLOAD_LEN, VERSION,
+    broadcast_frame_len, checkpoint, crc32, stream, upload_frame_len, Codec, CodecError,
+    CodecScratch, CodedUpdate, Envelope, MsgKind, Payload, WireError, CODEC_VERSION,
+    FRAME_OVERHEAD, HEADER_LEN, MAGIC, MAX_PAYLOAD_LEN, VERSION,
 };
 
 use crate::client::ModelUpdate;
@@ -68,6 +68,12 @@ pub fn encode_join_ack(client_id: usize, params: &[f32]) -> Vec<u8> {
     Envelope::join_ack(client_id as u64, params.to_vec()).encode()
 }
 
+/// Encodes a mid-experiment join acknowledgement: `round` is the last
+/// completed round, whose global `params` the joining client installs.
+pub fn encode_join_ack_at(round: u64, client_id: usize, params: &[f32]) -> Vec<u8> {
+    Envelope::join_ack_at(round, client_id as u64, params.to_vec()).encode()
+}
+
 /// Decodes a server→client frame (broadcast or join-ack) into the carried
 /// global parameters.
 ///
@@ -80,9 +86,9 @@ pub fn decode_params(frame: &[u8]) -> Result<Vec<f32>, FedError> {
     let env = Envelope::decode(frame)?;
     match env.payload {
         Payload::Broadcast { params } | Payload::JoinAck { params } => Ok(params),
-        Payload::ModelUpload { .. } | Payload::CodecUpload { .. } => Err(FedError::CorruptUpdate {
+        other => Err(FedError::CorruptUpdate {
             client_id: env.client_id as usize,
-            reason: "expected a broadcast, got a model upload".into(),
+            reason: format!("expected a broadcast, got {:?}", other.kind()),
         }),
     }
 }

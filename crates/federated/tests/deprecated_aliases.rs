@@ -11,11 +11,15 @@
 
 #![allow(deprecated)]
 
+use fedpower_agent::{DeviceEnvConfig, TdConfig};
 use fedpower_federated::report;
 use fedpower_federated::{
-    AggregationServer, AggregationStrategy, FaultSummary, FedAvgServer, PhaseTimings, RoundReport,
+    AggregationServer, AggregationStrategy, FaultPlan, FaultSummary, FedAvgConfig, FedAvgServer,
+    FederatedClient, Federation, PhaseTimings, RoundReport, TdClient, TransportKind,
     TransportStats,
 };
+use fedpower_telemetry::NullRecorder;
+use fedpower_workloads::AppId;
 
 /// Compile-time proof that two paths name the same type.
 fn same_type<T>(_: &T, _: &T) {}
@@ -42,4 +46,102 @@ fn crate_root_report_paths_still_name_the_report_types() {
     let round: RoundReport = report::RoundReport::from_events(1, &[]);
     same_type(&round, &report::RoundReport::from_events(1, &[]));
     assert_eq!(round.round, 1);
+}
+
+fn td_clients() -> Vec<TdClient> {
+    vec![
+        TdClient::new(
+            0,
+            TdConfig::paper_with_gamma(0.9),
+            DeviceEnvConfig::new(&[AppId::Fft]),
+            1,
+        ),
+        TdClient::new(
+            1,
+            TdConfig::paper_with_gamma(0.9),
+            DeviceEnvConfig::new(&[AppId::Ocean]),
+            2,
+        ),
+    ]
+}
+
+fn quick_config() -> FedAvgConfig {
+    FedAvgConfig {
+        rounds: 1,
+        steps_per_round: 10,
+        ..FedAvgConfig::paper()
+    }
+}
+
+#[test]
+fn deprecated_federation_constructors_still_build_the_builder_output() {
+    // Each deprecated constructor forwards to `Federation::builder`; a
+    // round through any of them must commit the same global model as the
+    // equivalent builder chain.
+    let via_builder = {
+        let mut fed = Federation::builder(td_clients(), quick_config())
+            .seed(7)
+            .build()
+            .expect("channel links");
+        fed.run_round();
+        fed.global_params().to_vec()
+    };
+
+    let mut via_transport =
+        Federation::with_transport(td_clients(), quick_config(), 7, TransportKind::Channel)
+            .expect("channel links");
+    via_transport.run_round();
+    assert_eq!(via_transport.global_params(), &via_builder[..]);
+
+    let plan = FaultPlan::none();
+    let mut via_plan = Federation::with_transport_and_plan(
+        td_clients(),
+        quick_config(),
+        7,
+        TransportKind::Channel,
+        &plan,
+    )
+    .expect("channel links");
+    via_plan.run_round();
+    assert_eq!(via_plan.global_params(), &via_builder[..]);
+
+    let mut via_options = Federation::with_options(
+        td_clients(),
+        quick_config(),
+        7,
+        TransportKind::Channel,
+        None,
+        Box::new(NullRecorder),
+    )
+    .expect("channel links");
+    via_options.run_round();
+    assert_eq!(via_options.global_params(), &via_builder[..]);
+}
+
+#[test]
+fn deprecated_link_constructors_still_accept_explicit_links() {
+    let links = |clients: &[TdClient]| {
+        clients
+            .iter()
+            .map(|c| {
+                TransportKind::Channel
+                    .connect(c.id())
+                    .expect("channel links are infallible")
+            })
+            .collect()
+    };
+
+    let clients = td_clients();
+    let mut via_links = Federation::with_links(td_clients(), links(&clients), quick_config(), 7);
+    via_links.run_round();
+
+    let mut via_recorded = Federation::with_links_recorded(
+        td_clients(),
+        links(&clients),
+        quick_config(),
+        7,
+        Box::new(NullRecorder),
+    );
+    via_recorded.run_round();
+    assert_eq!(via_links.global_params(), via_recorded.global_params());
 }

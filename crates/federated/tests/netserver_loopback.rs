@@ -1,0 +1,411 @@
+//! Loopback tests of the standalone federation server: real TCP sockets
+//! on 127.0.0.1 driving [`fedpower_federated::serve`] against scripted
+//! and real clients, covering the ISSUE-10 churn and checkpointed-resume
+//! guarantees.
+
+use fedpower_agent::{ControllerConfig, DeviceEnvConfig};
+use fedpower_federated::engine::{Action, EnginePolicy, Frame, RoundEngine};
+use fedpower_federated::wire as fedwire;
+use fedpower_federated::{
+    run_client, serve, serve_on, AgentClient, Codec, Fault, FaultPlan, FedAvgConfig,
+    FederatedClient, Federation, JoinOptions, ModelUpdate, ServeOptions, TransportKind,
+};
+use fedpower_telemetry::{Event, EventKind, MemoryRecorder, Recorder};
+use fedpower_wire::stream::{prefix_frame, FrameReassembler};
+use fedpower_wire::Envelope;
+use fedpower_workloads::AppId;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// Picks a free loopback port so two server incarnations can share one
+/// address (port 0 would bind a different port each time).
+fn free_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    let addr = listener.local_addr().expect("probe addr").to_string();
+    drop(listener);
+    addr
+}
+
+fn small_config(rounds: u64) -> FedAvgConfig {
+    FedAvgConfig {
+        rounds,
+        steps_per_round: 20,
+        ..FedAvgConfig::default()
+    }
+}
+
+fn agent(id: usize, app: AppId, seed: u64) -> AgentClient {
+    AgentClient::new(
+        id,
+        ControllerConfig::default(),
+        DeviceEnvConfig::new(&[app]),
+        seed,
+    )
+}
+
+/// A scripted raw-socket client: join handshake plus framed send/recv,
+/// used where the test must control exactly when a client disconnects.
+struct Scripted {
+    stream: TcpStream,
+    reasm: FrameReassembler,
+}
+
+impl Scripted {
+    fn join(addr: &str, slot: u64) -> (Scripted, Envelope) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let mut c = Scripted {
+            stream,
+            reasm: FrameReassembler::new(),
+        };
+        c.send(&Envelope::join_request(slot).encode());
+        let ack = c.recv();
+        (c, ack)
+    }
+
+    fn send(&mut self, frame: &[u8]) {
+        self.stream.write_all(&prefix_frame(frame)).expect("send");
+    }
+
+    fn recv(&mut self) -> Envelope {
+        loop {
+            if let Some(frame) = self.reasm.next_frame().expect("stream") {
+                return Envelope::decode(&frame).expect("decode");
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            let n = self.stream.read(&mut chunk).expect("recv");
+            assert!(n > 0, "server closed the connection mid-script");
+            self.reasm.extend(&chunk[..n]);
+        }
+    }
+}
+
+/// Lets the server's readiness loop observe whatever the script just did
+/// (sockets on loopback settle in microseconds; this is generous).
+fn settle() {
+    thread::sleep(Duration::from_millis(200));
+}
+
+/// Two real [`AgentClient`]s complete a federation over loopback TCP and
+/// end up holding the server's final global model.
+#[test]
+fn loopback_clients_and_server_complete_a_federation() {
+    let config = small_config(3);
+    let addr = free_addr();
+    // The in-process drivers size the global from their first client;
+    // the standalone server must know the shape up front.
+    let initial: Vec<f32> = agent(0, AppId::Fft, 1)
+        .upload()
+        .params
+        .iter()
+        .map(|_| 0.0)
+        .collect();
+    let mut opts = ServeOptions::new(2, config, initial);
+    opts.addr = addr.clone();
+    let recorder = MemoryRecorder::new();
+    let server = {
+        let opts = opts.clone();
+        let mut rec = recorder.clone();
+        thread::spawn(move || serve(&opts, &mut rec).expect("serve"))
+    };
+    let joiners: Vec<_> = [(0, AppId::Fft, 1u64), (1, AppId::Ocean, 2u64)]
+        .into_iter()
+        .map(|(id, app, seed)| {
+            let join = JoinOptions::new(addr.clone(), &opts.config);
+            thread::spawn(move || {
+                let mut client = agent(id, app, seed);
+                run_client(&join, &mut client).expect("client")
+            })
+        })
+        .collect();
+    let finals: Vec<Vec<f32>> = joiners.into_iter().map(|j| j.join().unwrap()).collect();
+    let report = server.join().unwrap();
+
+    assert_eq!(report.rounds_run, 3);
+    assert_eq!(report.rounds_committed, 3);
+    assert_eq!(report.resumed_from, None);
+    for f in &finals {
+        assert_eq!(f, &report.global, "client final diverged from server");
+    }
+    let events = recorder.events();
+    let joins = events
+        .iter()
+        .filter(|e| e.kind == EventKind::ClientJoined)
+        .count();
+    assert_eq!(joins, 2, "one join event per client");
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::RoundEnd)
+            .count(),
+        3
+    );
+}
+
+fn apply(recorder: &mut dyn Recorder, actions: Vec<Action>) {
+    for action in actions {
+        match action {
+            Action::Emit(event) => recorder.event(event),
+            Action::Count(counter) => recorder.counter(counter),
+            Action::Divergence(_) => {}
+        }
+    }
+}
+
+/// Mid-round disconnect + rejoin (ISSUE-10 satellite): client 1's
+/// round-1 upload is accepted, it drops mid-round-2 (socket close →
+/// `Frame::Offline` → `ClientLeft`), and rejoins for round 3. The TCP
+/// run's full telemetry stream is bit-identical to an in-process
+/// [`RoundEngine`] run fed the equivalent frame schedule — the same
+/// frames a `FaultPlan` crash-and-rejoin produces — and the per-round
+/// participation accounting matches an actual `FaultPlan` run with a
+/// one-round `Crash` at round 2.
+#[test]
+fn mid_round_disconnect_and_rejoin_matches_the_fault_plan_accounting() {
+    let dim = 4;
+    let config = small_config(3);
+    let addr = free_addr();
+    let mut opts = ServeOptions::new(2, config, vec![0.25; dim]);
+    opts.addr = addr.clone();
+    let recorder = MemoryRecorder::new();
+    let server = {
+        let opts = opts.clone();
+        let mut rec = recorder.clone();
+        thread::spawn(move || serve(&opts, &mut rec).expect("serve"))
+    };
+
+    // Fixed, deterministic client updates: round r, client c uploads
+    // params (r + c/10) so every commit is reproducible in the replica.
+    let update = |client: usize, round: u64| ModelUpdate {
+        client_id: client,
+        params: vec![round as f32 + client as f32 / 10.0; dim],
+        num_samples: 20,
+    };
+    let frame = |client: usize, round: u64| {
+        fedwire::encode_upload_with(Codec::Dense32, round, &update(client, round), None)
+    };
+
+    let (mut a, ack_a) = Scripted::join(&addr, 0);
+    assert_eq!(ack_a.round, 0);
+    let (mut b, ack_b) = Scripted::join(&addr, 1);
+    assert_eq!(ack_b.round, 0);
+    settle();
+
+    // Round 1: both upload (A strictly first), both receive θ₁.
+    a.send(&frame(0, 1));
+    settle();
+    b.send(&frame(1, 1));
+    let theta1 = a.recv();
+    assert_eq!(theta1.round, 1);
+    assert_eq!(b.recv().round, 1);
+
+    // Round 2: A uploads; B drops after its round-1 upload was accepted.
+    a.send(&frame(0, 2));
+    settle();
+    drop(b);
+    settle();
+    let theta2 = a.recv();
+    assert_eq!(theta2.round, 2, "round 2 commits without B");
+
+    // Round 3: B rejoins (acked at round 2) and both participate.
+    let (mut b, ack_b2) = Scripted::join(&addr, 1);
+    assert_eq!(ack_b2.round, 2, "rejoin acks the committed round");
+    b.send(&frame(1, 3));
+    settle();
+    a.send(&frame(0, 3));
+    assert_eq!(a.recv().round, 3);
+    assert_eq!(b.recv().round, 3);
+
+    let report = server.join().unwrap();
+    assert_eq!(report.rounds_run, 3);
+    assert_eq!(report.rounds_committed, 3);
+
+    // In-process replica: the same engine fed the equivalent frame
+    // schedule — join/join, round 1 both, round 2 A + B offline/left,
+    // rejoin, round 3 both — which is exactly the frame sequence a
+    // FaultPlan crash-and-rejoin run produces for this schedule.
+    let mut replica_rec = MemoryRecorder::new();
+    let rec: &mut dyn Recorder = &mut replica_rec;
+    let mut policy = EnginePolicy::from_config(&opts.config);
+    policy.deadline_ticks = Some(1);
+    let mut engine = RoundEngine::new(opts.initial_global.clone(), policy, vec![0, 1]);
+    let join = |engine: &mut RoundEngine, rec: &mut dyn Recorder, slot: usize| {
+        let ack = fedwire::encode_join_ack_at(engine.rounds_run(), slot, engine.global());
+        let actions = engine.handle(Frame::Join {
+            client: slot,
+            frame_len: ack.len(),
+        });
+        apply(rec, actions);
+        rec.event(Event::client_scoped(
+            EventKind::ClientJoined,
+            engine.rounds_run(),
+            slot,
+        ));
+    };
+    let upload = |engine: &mut RoundEngine, rec: &mut dyn Recorder, slot: usize, round: u64| {
+        let bytes = frame(slot, round);
+        let sent_len = bytes.len();
+        let actions = engine.handle(Frame::Upload {
+            client: slot,
+            sent_len,
+            bytes,
+        });
+        apply(rec, actions);
+    };
+    let deliver = |engine: &mut RoundEngine, rec: &mut dyn Recorder, slot: usize, round: u64| {
+        let len = fedwire::encode_broadcast(round, slot, engine.global()).len();
+        let actions = engine.handle(Frame::Delivered {
+            client: slot,
+            frame_len: len,
+        });
+        apply(rec, actions);
+    };
+    join(&mut engine, rec, 0);
+    join(&mut engine, rec, 1);
+    // Round 1.
+    apply(rec, engine.handle(Frame::BeginRound));
+    upload(&mut engine, rec, 0, 1);
+    upload(&mut engine, rec, 1, 1);
+    apply(rec, engine.handle(Frame::CloseRound));
+    deliver(&mut engine, rec, 0, 1);
+    deliver(&mut engine, rec, 1, 1);
+    apply(rec, engine.handle(Frame::EndRound));
+    // Round 2: B drops mid-round.
+    apply(rec, engine.handle(Frame::BeginRound));
+    upload(&mut engine, rec, 0, 2);
+    apply(rec, engine.handle(Frame::Offline { client: 1 }));
+    rec.event(Event::client_scoped(EventKind::ClientLeft, 2, 1));
+    engine.leave(1);
+    apply(rec, engine.handle(Frame::CloseRound));
+    deliver(&mut engine, rec, 0, 2);
+    apply(rec, engine.handle(Frame::EndRound));
+    // Round 3: B rejoins.
+    join(&mut engine, rec, 1);
+    apply(rec, engine.handle(Frame::BeginRound));
+    upload(&mut engine, rec, 1, 3);
+    upload(&mut engine, rec, 0, 3);
+    apply(rec, engine.handle(Frame::CloseRound));
+    deliver(&mut engine, rec, 0, 3);
+    deliver(&mut engine, rec, 1, 3);
+    apply(rec, engine.handle(Frame::EndRound));
+
+    assert_eq!(
+        engine.global(),
+        report.global.as_slice(),
+        "TCP and in-process globals diverged"
+    );
+    assert_eq!(
+        recorder.events(),
+        replica_rec.events(),
+        "TCP and in-process telemetry streams diverged"
+    );
+    assert_eq!(recorder.counters(), replica_rec.counters());
+
+    // The same churn expressed as a FaultPlan: client 1 crashes in round
+    // 2 for one round, rejoining in round 3. Per-round participation and
+    // offline accounting match the server's.
+    let mut plan = FaultPlan::none();
+    plan.insert(1, 2, Fault::Crash { down_rounds: 1 });
+    let clients = vec![agent(0, AppId::Fft, 1), agent(1, AppId::Ocean, 2)];
+    let mut federation = Federation::builder(clients, opts.config)
+        .seed(42)
+        .transport(TransportKind::Channel)
+        .fault_plan(&plan)
+        .build()
+        .expect("federation");
+    let reports = federation.run();
+    let planned: Vec<(usize, usize)> = reports
+        .iter()
+        .map(|r| (r.participants, r.offline))
+        .collect();
+    let events = recorder.events();
+    let served: Vec<(usize, usize)> = (1..=3)
+        .map(|round| {
+            let of = |kind: EventKind| {
+                events
+                    .iter()
+                    .filter(|e| e.kind == kind && e.round == round)
+                    .count()
+            };
+            (of(EventKind::UploadAdmitted), of(EventKind::ClientOffline))
+        })
+        .collect();
+    assert_eq!(planned, vec![(2, 0), (1, 1), (2, 0)]);
+    assert_eq!(
+        served, planned,
+        "TCP accounting diverged from the FaultPlan run"
+    );
+}
+
+/// Kill-and-resume (ISSUE-10 acceptance): a server halted after round 2
+/// restarts from its checkpoint and the remaining rounds are
+/// byte-identical to an uninterrupted run — clients re-submit their
+/// cached round uploads, and streaming aggregation is admission-order
+/// independent, so the replayed commits reproduce exactly.
+#[test]
+fn halted_server_resumes_bit_identically_after_restart() {
+    let rounds = 4;
+    let probe = agent(0, AppId::Fft, 1).upload();
+    let initial: Vec<f32> = probe.params.iter().map(|_| 0.0).collect();
+
+    let run = |halt_at_2: bool, checkpoint: Option<std::path::PathBuf>| {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let config = small_config(rounds);
+        let mut opts = ServeOptions::new(2, config, initial.clone());
+        opts.checkpoint = checkpoint;
+        let joiners: Vec<_> = [(0usize, AppId::Fft, 1u64), (1, AppId::Ocean, 2)]
+            .into_iter()
+            .map(|(id, app, seed)| {
+                let join = JoinOptions::new(addr.clone(), &opts.config);
+                thread::spawn(move || {
+                    let mut client = agent(id, app, seed);
+                    run_client(&join, &mut client).expect("client")
+                })
+            })
+            .collect();
+        let report = if halt_at_2 {
+            let halted = {
+                let mut opts = opts.clone();
+                opts.halt_after = Some(2);
+                let incarnation = listener.try_clone().expect("clone listener");
+                let mut rec = fedpower_telemetry::NullRecorder;
+                serve_on(incarnation, &opts, &mut rec).expect("halted serve")
+            };
+            assert_eq!(halted.rounds_run, 2, "halt hook fires at round 2");
+            // Restart: same listener, same checkpoint. The clients are
+            // still out there retrying; they rejoin and resume.
+            let mut rec = fedpower_telemetry::NullRecorder;
+            serve_on(listener, &opts, &mut rec).expect("resumed serve")
+        } else {
+            let mut rec = fedpower_telemetry::NullRecorder;
+            serve_on(listener, &opts, &mut rec).expect("serve")
+        };
+        let finals: Vec<Vec<f32>> = joiners.into_iter().map(|j| j.join().unwrap()).collect();
+        (report, finals)
+    };
+
+    let (uninterrupted, finals_a) = run(false, None);
+    assert_eq!(uninterrupted.rounds_run, rounds);
+
+    let ck = std::env::temp_dir().join(format!("fedpower-resume-{}.fpck", std::process::id()));
+    let _ = std::fs::remove_file(&ck);
+    let (resumed, finals_b) = run(true, Some(ck.clone()));
+    let _ = std::fs::remove_file(&ck);
+
+    assert_eq!(resumed.resumed_from, Some(2));
+    assert_eq!(resumed.rounds_run, rounds);
+    assert_eq!(resumed.rounds_committed, uninterrupted.rounds_committed);
+    assert_eq!(
+        resumed.global, uninterrupted.global,
+        "resumed run diverged from the uninterrupted run"
+    );
+    assert_eq!(finals_a, finals_b);
+    for f in &finals_b {
+        assert_eq!(f, &resumed.global);
+    }
+}

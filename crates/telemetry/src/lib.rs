@@ -82,11 +82,17 @@ pub enum EventKind {
     Aggregated,
     /// The round missed quorum; θ stays unchanged.
     QuorumSkipped,
+    /// A client connected and completed the join handshake (standalone
+    /// server; the in-process drivers' fixed populations never emit it).
+    ClientJoined,
+    /// A client's connection closed (leave, crash, or network failure);
+    /// it must re-join before contributing again.
+    ClientLeft,
 }
 
 impl EventKind {
     /// All kinds, in declaration order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::RoundStart,
         EventKind::RoundEnd,
         EventKind::ClientTrained,
@@ -104,6 +110,8 @@ impl EventKind {
         EventKind::DownloadDropped,
         EventKind::Aggregated,
         EventKind::QuorumSkipped,
+        EventKind::ClientJoined,
+        EventKind::ClientLeft,
     ];
 
     /// Stable snake_case name used in JSONL output and summaries.
@@ -126,6 +134,8 @@ impl EventKind {
             EventKind::DownloadDropped => "download_dropped",
             EventKind::Aggregated => "aggregated",
             EventKind::QuorumSkipped => "quorum_skipped",
+            EventKind::ClientJoined => "client_joined",
+            EventKind::ClientLeft => "client_left",
         }
     }
 

@@ -21,7 +21,7 @@
 //!      0     4  magic  b"FPWR"
 //!      4     2  version (little-endian u16; 1, or 2 for codec uploads)
 //!      6     1  message kind (0 upload, 1 broadcast, 2 join-ack,
-//!               3 codec upload — version ≥ 2 only)
+//!               3 codec upload — version ≥ 2 only, 4 join-request)
 //!      7     1  reserved (0)
 //!      8     8  round (little-endian u64)
 //!     16     8  client id (little-endian u64)
@@ -51,6 +51,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod stream;
 
 use std::error::Error;
 use std::fmt;
@@ -89,6 +92,9 @@ pub enum MsgKind {
     /// A client's model upload compressed by a non-dense [`Codec`].
     /// Requires protocol version ≥ [`CODEC_VERSION`].
     CodecUpload,
+    /// A client's request to join (or rejoin) the federation; the server
+    /// answers with a [`MsgKind::JoinAck`] carrying the current global.
+    JoinRequest,
 }
 
 impl MsgKind {
@@ -98,6 +104,7 @@ impl MsgKind {
             MsgKind::Broadcast => 1,
             MsgKind::JoinAck => 2,
             MsgKind::CodecUpload => 3,
+            MsgKind::JoinRequest => 4,
         }
     }
 
@@ -107,6 +114,7 @@ impl MsgKind {
             1 => Some(MsgKind::Broadcast),
             2 => Some(MsgKind::JoinAck),
             3 => Some(MsgKind::CodecUpload),
+            4 => Some(MsgKind::JoinRequest),
             _ => None,
         }
     }
@@ -153,6 +161,9 @@ pub enum Payload {
         /// The compressed update body.
         update: CodedUpdate,
     },
+    /// Client → server: a request to join the federation (empty body —
+    /// the addressing header carries everything).
+    JoinRequest,
 }
 
 impl Payload {
@@ -163,6 +174,7 @@ impl Payload {
             Payload::Broadcast { .. } => MsgKind::Broadcast,
             Payload::JoinAck { .. } => MsgKind::JoinAck,
             Payload::CodecUpload { .. } => MsgKind::CodecUpload,
+            Payload::JoinRequest => MsgKind::JoinRequest,
         }
     }
 
@@ -174,7 +186,7 @@ impl Payload {
             Payload::ModelUpload { params, .. }
             | Payload::Broadcast { params }
             | Payload::JoinAck { params } => params,
-            Payload::CodecUpload { .. } => &[],
+            Payload::CodecUpload { .. } | Payload::JoinRequest => &[],
         }
     }
 
@@ -184,6 +196,7 @@ impl Payload {
             Payload::ModelUpload { params, .. } => 12 + 4 * params.len(),
             Payload::Broadcast { params } | Payload::JoinAck { params } => 4 + 4 * params.len(),
             Payload::CodecUpload { update, .. } => 9 + update.encoded_len(),
+            Payload::JoinRequest => 0,
         }
     }
 
@@ -207,6 +220,7 @@ impl Payload {
                 out.push(update.tag());
                 update.encode_into(out);
             }
+            Payload::JoinRequest => {}
         }
     }
 
@@ -245,6 +259,15 @@ impl Payload {
                     num_samples,
                     update,
                 })
+            }
+            MsgKind::JoinRequest => {
+                if !bytes.is_empty() {
+                    return Err(WireError::LengthMismatch {
+                        declared: 0,
+                        actual: bytes.len(),
+                    });
+                }
+                Ok(Payload::JoinRequest)
             }
         }
     }
@@ -285,10 +308,27 @@ impl Envelope {
 
     /// The server's join acknowledgement carrying the initial model.
     pub fn join_ack(client_id: u64, params: Vec<f32>) -> Self {
+        Envelope::join_ack_at(0, client_id, params)
+    }
+
+    /// A join acknowledgement issued mid-experiment: `round` is the last
+    /// completed round, so a rejoining client knows which global it now
+    /// holds (its top-k reference). [`Envelope::join_ack`] is the
+    /// construction-time special case `round = 0`.
+    pub fn join_ack_at(round: u64, client_id: u64, params: Vec<f32>) -> Self {
+        Envelope {
+            round,
+            client_id,
+            payload: Payload::JoinAck { params },
+        }
+    }
+
+    /// A client's request to join (or rejoin) the federation.
+    pub fn join_request(client_id: u64) -> Self {
         Envelope {
             round: 0,
             client_id,
-            payload: Payload::JoinAck { params },
+            payload: Payload::JoinRequest,
         }
     }
 
@@ -970,6 +1010,14 @@ pub enum WireError {
     /// A codec-upload payload violates its codec's canonical form
     /// (out-of-range or non-ascending top-k indices).
     MalformedCodec,
+    /// A stream length prefix declares a frame beyond the protocol
+    /// maximum (a desynchronized or hostile peer).
+    FrameTooLarge {
+        /// Length the prefix declared.
+        declared: usize,
+        /// Largest frame the reassembler accepts.
+        max: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -990,6 +1038,12 @@ impl fmt::Display for WireError {
             ),
             WireError::UnknownCodec(tag) => write!(f, "unknown codec tag {tag}"),
             WireError::MalformedCodec => f.write_str("malformed codec payload"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(
+                    f,
+                    "stream frame of {declared} bytes exceeds the {max}-byte maximum"
+                )
+            }
         }
     }
 }
@@ -1062,6 +1116,48 @@ mod tests {
             Envelope::broadcast(9, 1, vec![0.5; 7]).encoded_len(),
             broadcast_frame_len(7)
         );
+    }
+
+    #[test]
+    fn join_request_and_mid_experiment_ack_round_trip() {
+        let req = Envelope::join_request(5);
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), FRAME_OVERHEAD, "join requests carry no body");
+        let back = Envelope::decode(&bytes).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.kind(), MsgKind::JoinRequest);
+        assert_eq!(
+            u16::from_le_bytes(bytes[4..6].try_into().unwrap()),
+            VERSION,
+            "join requests are version-1 frames"
+        );
+
+        let ack = Envelope::join_ack_at(9, 5, vec![1.0; 3]);
+        let back = Envelope::decode(&ack.encode()).unwrap();
+        assert_eq!(back.round, 9, "mid-experiment acks carry the round");
+        assert_eq!(back, ack);
+        assert_eq!(
+            Envelope::join_ack(5, vec![1.0; 3]),
+            Envelope::join_ack_at(0, 5, vec![1.0; 3]),
+            "the legacy constructor is the round-0 special case"
+        );
+    }
+
+    #[test]
+    fn join_request_with_a_body_is_rejected() {
+        // A forged non-empty join-request body (CRC re-sealed) must fail
+        // payload decoding, not silently carry data.
+        let mut frame = Envelope::join_request(1).encode();
+        let insert_at = HEADER_LEN;
+        frame.splice(insert_at..insert_at, [0u8; 4]);
+        frame[24..28].copy_from_slice(&4u32.to_le_bytes());
+        let body_end = frame.len() - 4;
+        let crc = crc32(&frame[..body_end]).to_le_bytes();
+        frame[body_end..].copy_from_slice(&crc);
+        assert!(matches!(
+            Envelope::decode(&frame),
+            Err(WireError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

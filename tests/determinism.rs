@@ -139,7 +139,10 @@ fn zero_probability_link_faults_equal_the_fault_free_run() {
     fed_cfg.steps_per_round = 30;
     for kind in [TransportKind::Channel, TransportKind::Tcp] {
         let plain = {
-            let mut fed = Federation::with_transport(agent_clients(), fed_cfg, 5, kind)
+            let mut fed = Federation::builder(agent_clients(), fed_cfg)
+                .seed(5)
+                .transport(kind)
+                .build()
                 .expect("transport links");
             fed.run();
             (
@@ -151,9 +154,12 @@ fn zero_probability_link_faults_equal_the_fault_free_run() {
         let wrapped = {
             let plan = FaultPlan::generate(&FaultConfig::none(), 2, 3, 77);
             assert!(plan.is_empty(), "zero probabilities must yield no faults");
-            let mut fed =
-                Federation::with_transport_and_plan(agent_clients(), fed_cfg, 5, kind, &plan)
-                    .expect("transport links");
+            let mut fed = Federation::builder(agent_clients(), fed_cfg)
+                .seed(5)
+                .transport(kind)
+                .fault_plan(&plan)
+                .build()
+                .expect("transport links");
             fed.run();
             (
                 fed.global_params().to_vec(),

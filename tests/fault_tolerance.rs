@@ -14,7 +14,7 @@ use common::MathClient;
 use fedpower::federated::report::FaultSummary;
 use fedpower::federated::{
     AggregationServer, AggregationStrategy, CorruptionKind, Fault, FaultConfig, FaultPlan,
-    FedAvgConfig, FedError, FederatedClient, Federation, ModelUpdate, TransportKind,
+    FedAvgConfig, FedError, FederatedClient, Federation, ModelUpdate,
 };
 
 /// A federation whose channel links realize `plan` in flight
@@ -25,7 +25,10 @@ fn faulted<C: FederatedClient>(
     cfg: FedAvgConfig,
     seed: u64,
 ) -> Federation<C> {
-    Federation::with_transport_and_plan(clients, cfg, seed, TransportKind::Channel, plan)
+    Federation::builder(clients, cfg)
+        .seed(seed)
+        .fault_plan(plan)
+        .build()
         .expect("channel links")
 }
 

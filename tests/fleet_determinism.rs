@@ -11,7 +11,7 @@ use common::{MathClient, MathFleetFactory};
 use fedpower::federated::report::{FaultSummary, RoundReport, TransportStats};
 use fedpower::federated::{
     AggregationStrategy, FaultConfig, FaultPlan, FedAvgConfig, FedError, Federation, Fleet,
-    FleetConfig, TransportKind,
+    FleetConfig,
 };
 use fedpower::telemetry::NullRecorder;
 
@@ -30,14 +30,11 @@ fn flat_run(
     plan: Option<&FaultPlan>,
 ) -> (Vec<f32>, Vec<RoundReport>, TransportStats) {
     let clients: Vec<MathClient> = (0..num_clients).map(MathClient::new).collect();
-    let mut fed = Federation::with_options(
-        clients,
-        fed_cfg(rounds),
-        9,
-        TransportKind::Channel,
-        plan,
-        Box::new(NullRecorder),
-    )
+    let builder = Federation::builder(clients, fed_cfg(rounds)).seed(9);
+    let mut fed = match plan {
+        Some(p) => builder.fault_plan(p).build(),
+        None => builder.build(),
+    }
     .expect("flat federation constructs");
     let reports = fed.run();
     (fed.global_params().to_vec(), reports, *fed.transport())

@@ -6,7 +6,7 @@ use common::MathClient;
 use fedpower::agent::{ReplayBuffer, RewardConfig, SoftmaxPolicy, State, Transition};
 use fedpower::baselines::Discretizer;
 use fedpower::federated::report::FaultSummary;
-use fedpower::federated::{FaultConfig, FaultPlan, FedAvgConfig, Federation, TransportKind};
+use fedpower::federated::{FaultConfig, FaultPlan, FedAvgConfig, Federation};
 use fedpower::nn::{average_params, Activation, Mlp};
 use fedpower::sim::{PerfCounters, PerfModel, PhaseParams, PowerModel, VfTable};
 use proptest::prelude::*;
@@ -165,9 +165,11 @@ proptest! {
         let mut cfg = FedAvgConfig::paper();
         cfg.rounds = rounds;
         cfg.steps_per_round = 1;
-        let mut fed =
-            Federation::with_transport_and_plan(clients, cfg, plan_seed, TransportKind::Channel, &plan)
-                .expect("channel links");
+        let mut fed = Federation::builder(clients, cfg)
+            .seed(plan_seed)
+            .fault_plan(&plan)
+            .build()
+            .expect("channel links");
 
         let mut reports = Vec::new();
         for _ in 0..rounds {

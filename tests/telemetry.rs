@@ -14,9 +14,7 @@ use fedpower::core::experiment::{run_federated, run_federated_recorded};
 use fedpower::core::scenario::table2_scenarios;
 use fedpower::core::ExperimentConfig;
 use fedpower::federated::report::{FaultSummary, RoundReport, TransportStats};
-use fedpower::federated::{
-    FaultConfig, FaultPlan, FedAvgConfig, Federation, Fleet, FleetConfig, TransportKind,
-};
+use fedpower::federated::{FaultConfig, FaultPlan, FedAvgConfig, Federation, Fleet, FleetConfig};
 use fedpower::telemetry::{EventKind, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 
 fn tiny() -> ExperimentConfig {
@@ -39,15 +37,12 @@ fn chaos_run(recorder: Box<dyn Recorder>) -> (Federation<MathClient>, FaultSumma
     cfg.rounds = rounds;
     cfg.steps_per_round = 1;
     let clients: Vec<MathClient> = (0..4).map(MathClient::new).collect();
-    let mut fed = Federation::with_options(
-        clients,
-        cfg,
-        11,
-        TransportKind::Channel,
-        Some(&plan),
-        recorder,
-    )
-    .expect("channel links");
+    let mut fed = Federation::builder(clients, cfg)
+        .seed(11)
+        .fault_plan(&plan)
+        .recorder(recorder)
+        .build()
+        .expect("channel links");
     let reports = fed.run();
     let summary = FaultSummary::from_reports(&reports);
     (fed, summary)

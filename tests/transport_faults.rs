@@ -29,7 +29,12 @@ fn fed_with(
     plan: &FaultPlan,
     kind: TransportKind,
 ) -> Federation<MathClient> {
-    Federation::with_transport_and_plan(clients, cfg, 5, kind, plan).expect("transport links")
+    Federation::builder(clients, cfg)
+        .seed(5)
+        .transport(kind)
+        .fault_plan(plan)
+        .build()
+        .expect("transport links")
 }
 
 /// In-flight frame drops draw from the same retry budget the client-level
@@ -145,7 +150,11 @@ fn frames_buffered_by_a_straggling_link_land_late_and_discounted() {
         ];
         let mut cfg = config(2);
         cfg.staleness_decay = 0.5;
-        let mut fed = Federation::with_transport_and_plan(clients, cfg, 5, kind, &plan)
+        let mut fed = Federation::builder(clients, cfg)
+            .seed(5)
+            .transport(kind)
+            .fault_plan(&plan)
+            .build()
             .expect("transport links");
 
         // Round 1: client 1's frame is held in flight; only client 0's
